@@ -1,0 +1,62 @@
+// Extension: the same cluster at altitude.
+//
+// Section II-A notes the machine sits ~100 m above sea level; accelerated
+// studies (the paper's ref [13]) put DRAM under beam because natural flux
+// at sea level is tiny.  The flux model scales exponentially with altitude,
+// so a Leadville-style 3,000 m data centre should multiply the *neutron*
+// mechanisms (multi-bit word errors, showers) while leaving weak bits and
+// the degrading component untouched - a clean falsifiable split.
+#include <cstdio>
+
+#include "analysis/bitstats.hpp"
+#include "analysis/extraction.hpp"
+#include "common/table.hpp"
+#include "sim/campaign.hpp"
+#include "util/campaign_cache.hpp"
+
+int main() {
+  using namespace unp;
+  bench::print_header(
+      "Extension - campaign vs site altitude",
+      "neutron-driven multi-bit counts scale ~exp(h/1900m); weak bits and "
+      "the degrading component do not care");
+
+  TextTable table({"Altitude (m)", "Flux factor", "Multi-bit faults",
+                   "All faults", "Multi-bit scaling"});
+  double baseline_multibit = 0.0;
+  for (const double altitude : {100.0, 1500.0, 3000.0}) {
+    sim::CampaignConfig config;
+    env::NeutronFluxModel::Config flux;
+    flux.site.altitude_m = altitude;
+    config.faults.neutron.flux = env::NeutronFluxModel(flux);
+    // The strike rate scales with the flux: keep the per-flux-unit rate
+    // fixed by scaling the fleet event budget with the altitude factor.
+    const double factor = config.faults.neutron.flux.altitude_factor() /
+                          env::NeutronFluxModel().altitude_factor();
+    config.faults.neutron.multibit_events_fleet *= factor;
+    config.faults.neutron.single_shower_events_fleet *= factor;
+
+    const sim::CampaignResult campaign = sim::run_campaign(config);
+    const analysis::ExtractionResult extraction =
+        analysis::extract_faults(campaign.archive);
+    const analysis::AdjacencyStats adj =
+        analysis::adjacency_stats(extraction.faults);
+
+    if (baseline_multibit == 0.0) {
+      baseline_multibit = static_cast<double>(adj.multibit_faults);
+    }
+    table.add_row(
+        {format_fixed(altitude, 0),
+         format_fixed(config.faults.neutron.flux.altitude_factor(), 2),
+         format_count(adj.multibit_faults),
+         format_count(extraction.faults.size()),
+         format_fixed(static_cast<double>(adj.multibit_faults) /
+                          baseline_multibit,
+                      2) + "x"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("(total fault counts barely move - the loud mechanisms are "
+              "component defects, not cosmic rays; only the multi-bit "
+              "population rides the atmosphere)\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Extension experiment (Section VI future work): "stress test our system by
+// turning on the nodes with heating issues and monitoring them as well as
+// their neighbors."
+//
+// We rerun the campaign with the SoC-12 shutdown cancelled (the column
+// stays powered and scanned all year) and compare the per-slot error rates
+// of the hot column and its neighbours against the baseline run.
+#include <cstdio>
+
+#include "analysis/extraction.hpp"
+#include "common/table.hpp"
+#include "sim/campaign.hpp"
+#include "util/campaign_cache.hpp"
+
+namespace {
+
+struct SlotRates {
+  double soc12_hours = 0.0;
+  std::uint64_t soc12_errors = 0;
+  double neighbor_hours = 0.0;
+  std::uint64_t neighbor_errors = 0;
+
+  [[nodiscard]] double soc12_rate() const {
+    return soc12_hours > 0 ? static_cast<double>(soc12_errors) / soc12_hours : 0;
+  }
+  [[nodiscard]] double neighbor_rate() const {
+    return neighbor_hours > 0
+               ? static_cast<double>(neighbor_errors) / neighbor_hours
+               : 0;
+  }
+};
+
+SlotRates measure(const unp::sim::CampaignResult& campaign) {
+  using namespace unp;
+  const analysis::ExtractionResult extraction =
+      analysis::extract_faults(campaign.archive);
+  SlotRates rates;
+  for (int i = 0; i < cluster::kStudyNodeSlots; ++i) {
+    const cluster::NodeId node = cluster::node_from_index(i);
+    const double hours = campaign.archive.log(node).monitored_hours();
+    if (node.soc == cluster::kOverheatingSoc) {
+      rates.soc12_hours += hours;
+    } else if (node.soc == cluster::kOverheatingSoc - 1 ||
+               node.soc == cluster::kOverheatingSoc + 1) {
+      rates.neighbor_hours += hours;
+    }
+  }
+  for (const auto& f : extraction.faults) {
+    // Skip the three pathological nodes so the hot-column signal shows.
+    if (f.node == cluster::NodeId{2, 4} || f.node == cluster::NodeId{4, 5} ||
+        f.node == cluster::NodeId{58, 2}) {
+      continue;
+    }
+    if (f.node.soc == cluster::kOverheatingSoc) {
+      ++rates.soc12_errors;
+    } else if (f.node.soc == cluster::kOverheatingSoc - 1 ||
+               f.node.soc == cluster::kOverheatingSoc + 1) {
+      ++rates.neighbor_errors;
+    }
+  }
+  return rates;
+}
+
+}  // namespace
+
+int main() {
+  using namespace unp;
+  bench::print_header(
+      "Extension - overheating-column stress test (Section VI future work)",
+      "keeping SoC-12 powered multiplies its scanned hours and exposes the "
+      "heat-stressed error rate against its neighbours");
+
+  const SlotRates baseline = measure(sim::default_campaign());
+
+  sim::CampaignConfig stress;
+  // Cancel the admin shutdown: the column stays up all campaign.
+  stress.availability.overheat_shutdown = stress.window.end;
+  const sim::CampaignResult stressed = sim::run_campaign(stress);
+  const SlotRates after = measure(stressed);
+
+  TextTable table({"Run", "SoC-12 hours", "SoC-12 errors", "SoC-12 err/Mh",
+                   "Neighbor err/Mh"});
+  auto add = [&](const char* name, const SlotRates& r) {
+    table.add_row({name, format_fixed(r.soc12_hours, 0),
+                   format_count(r.soc12_errors),
+                   format_fixed(r.soc12_rate() * 1e6, 1),
+                   format_fixed(r.neighbor_rate() * 1e6, 1)});
+  };
+  add("baseline (shutdown in July)", baseline);
+  add("stress (column powered all year)", after);
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("scanned-hours gained on the hot column : %.0f\n",
+              after.soc12_hours - baseline.soc12_hours);
+  std::printf("hot column vs neighbours error ratio   : %.1fx\n",
+              after.neighbor_rate() > 0
+                  ? after.soc12_rate() / after.neighbor_rate()
+                  : 0.0);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Performance: SECDED(72,64) codec and chipkill outcome classification.
+//
+// The ECC what-if analysis decodes every observed corruption; these cases
+// establish the codec cost per word and the classification throughput.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ecc/outcome.hpp"
+
+namespace {
+
+using namespace unp;
+
+void BM_SecdedEncode(benchmark::State& state) {
+  const ecc::Secded7264& code = ecc::Secded7264::instance();
+  RngStream rng(3);
+  std::vector<std::uint64_t> words(4096);
+  for (auto& w : words) w = rng.next_u64();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.encode(words[i++ & 4095]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SecdedEncode);
+
+void BM_SecdedDecode(benchmark::State& state) {
+  // Mix of clean words, single-bit and double-bit errors.
+  const ecc::Secded7264& code = ecc::Secded7264::instance();
+  RngStream rng(5);
+  struct Case {
+    std::uint64_t data;
+    std::uint8_t check;
+  };
+  std::vector<Case> cases(4096);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    std::uint64_t data = rng.next_u64();
+    const std::uint8_t check = code.encode(data);
+    if (i % 3 == 1) data ^= 1ULL << rng.uniform_u64(64);
+    if (i % 3 == 2) {
+      data ^= 1ULL << rng.uniform_u64(64);
+      data ^= 1ULL << rng.uniform_u64(64);
+    }
+    cases[i] = {data, check};
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& c = cases[i++ & 4095];
+    benchmark::DoNotOptimize(code.decode(c.data, c.check));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SecdedDecode);
+
+void BM_OutcomeClassification(benchmark::State& state) {
+  RngStream rng(7);
+  std::vector<std::pair<Word, Word>> pairs(4096);
+  for (auto& [expected, actual] : pairs) {
+    expected = rng.bernoulli(0.5) ? 0xFFFFFFFFu : 0x00000000u;
+    actual = expected;
+    const auto flips = 1 + rng.uniform_u64(3);
+    for (std::uint64_t f = 0; f < flips; ++f) actual ^= 1u << rng.uniform_u64(32);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [expected, actual] = pairs[i++ & 4095];
+    benchmark::DoNotOptimize(ecc::secded_outcome(expected, actual));
+    benchmark::DoNotOptimize(ecc::chipkill_outcome(expected, actual));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OutcomeClassification);
+
+}  // namespace

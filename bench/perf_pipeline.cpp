@@ -1,0 +1,53 @@
+// Performance: the campaign and analysis pipeline end to end.
+//
+// Establishes the cost of (a) planning+simulating a full 13-month fleet,
+// (b) extracting faults from the archive, and (c) the simultaneity
+// grouping - the three stages every experiment replays.
+#include <benchmark/benchmark.h>
+
+#include "analysis/extraction.hpp"
+#include "analysis/grouping.hpp"
+#include "sim/campaign.hpp"
+
+namespace {
+
+using namespace unp;
+
+void BM_CampaignMonth(benchmark::State& state) {
+  // One-month fleet simulation (the quickstart workload).
+  for (auto _ : state) {
+    sim::CampaignConfig config;
+    config.seed = 11;
+    config.window.start = from_civil_utc({2015, 9, 1, 0, 0, 0});
+    config.window.end = from_civil_utc({2015, 10, 1, 0, 0, 0});
+    benchmark::DoNotOptimize(sim::run_campaign(config));
+  }
+}
+BENCHMARK(BM_CampaignMonth)->Unit(benchmark::kMillisecond);
+
+void BM_FullCampaign(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_campaign(sim::CampaignConfig{}));
+  }
+}
+BENCHMARK(BM_FullCampaign)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_Extraction(benchmark::State& state) {
+  const sim::CampaignResult& campaign = sim::default_campaign();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::extract_faults(campaign.archive));
+  }
+}
+BENCHMARK(BM_Extraction)->Unit(benchmark::kMillisecond);
+
+void BM_Grouping(benchmark::State& state) {
+  const sim::CampaignResult& campaign = sim::default_campaign();
+  const analysis::ExtractionResult extraction =
+      analysis::extract_faults(campaign.archive);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::group_simultaneous(extraction.faults));
+  }
+}
+BENCHMARK(BM_Grouping)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,88 @@
+// Performance: the live memory scanner's check-and-flip pass.
+//
+// The original tool's duty is to sweep 3 GB continuously; its pass rate
+// bounds the detection latency of every fault in the study.  These
+// google-benchmark cases measure the fused verify+write loop over resident
+// memory for both patterns and several buffer sizes / thread counts.
+#include <benchmark/benchmark.h>
+
+#include "scanner/pattern.hpp"
+#include "scanner/real_backend.hpp"
+#include "scanner/scanner.hpp"
+#include "scanner/sim_backend.hpp"
+
+namespace {
+
+using namespace unp;
+
+void BM_VerifyAndWritePass(benchmark::State& state) {
+  const auto bytes = static_cast<std::uint64_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  scanner::RealMemoryBackend backend(bytes, threads);
+  backend.fill(0x00000000u);
+
+  Word expected = 0x00000000u;
+  Word next = 0xFFFFFFFFu;
+  std::uint64_t mismatches = 0;
+  for (auto _ : state) {
+    backend.verify_and_write(expected, next,
+                             [&](std::uint64_t, Word) { ++mismatches; });
+    std::swap(expected, next);
+  }
+  benchmark::DoNotOptimize(mismatches);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_VerifyAndWritePass)
+    ->ArgsProduct({{1 << 20, 16 << 20, 256 << 20}, {1, 2, 4}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScannerStepWithErrors(benchmark::State& state) {
+  // A pass over a dirty buffer: fault density per MiB from the arg.
+  const std::uint64_t bytes = 16 << 20;
+  const auto faults = static_cast<std::uint64_t>(state.range(0));
+  scanner::RealMemoryBackend backend(bytes, 1);
+
+  telemetry::NodeLog log;
+  scanner::NodeLogSink sink(log);
+  scanner::ManualClock clock;
+  scanner::FixedProbe probe(35.0);
+  scanner::MemoryScanner scan(backend, sink, clock, probe,
+                              {cluster::NodeId{0, 1},
+                               scanner::PatternKind::kAlternating, 0});
+  scan.start();
+  for (auto _ : state) {
+    for (std::uint64_t f = 0; f < faults; ++f) {
+      backend.poke(f * 977 % backend.word_count(), 0xDEADBEEFu);
+    }
+    scan.step();
+  }
+  benchmark::DoNotOptimize(scan.errors_logged());
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_ScannerStepWithErrors)->Arg(0)->Arg(16)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulatedBackendPass(benchmark::State& state) {
+  // The campaign substrate: a virtual 3 GB space with `stuck` faults should
+  // cost O(faults), not O(memory).
+  const auto stuck = static_cast<std::uint64_t>(state.range(0));
+  scanner::SimulatedMemoryBackend backend((3ULL << 30) / 4);
+  RngStream rng(1);
+  for (std::uint64_t i = 0; i < stuck; ++i) {
+    backend.inject_stuck(rng.uniform_u64(backend.word_count()),
+                         dram::CellLeakModel::all_discharge(1u << (i % 32)));
+  }
+  Word expected = 0x00000000u, next = 0xFFFFFFFFu;
+  std::uint64_t mismatches = 0;
+  for (auto _ : state) {
+    backend.verify_and_write(expected, next,
+                             [&](std::uint64_t, Word) { ++mismatches; });
+    std::swap(expected, next);
+  }
+  benchmark::DoNotOptimize(mismatches);
+}
+BENCHMARK(BM_SimulatedBackendPass)->Arg(0)->Arg(100)->Arg(10000);
+
+}  // namespace

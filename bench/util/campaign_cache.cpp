@@ -1,0 +1,25 @@
+#include "util/campaign_cache.hpp"
+
+#include <cstdio>
+
+namespace unp::bench {
+
+const CampaignData& default_data() {
+  static const CampaignData data = [] {
+    CampaignData d;
+    d.campaign = &sim::default_campaign();
+    d.extraction = analysis::extract_faults(d.campaign->archive);
+    d.groups = analysis::group_simultaneous(d.extraction.faults);
+    return d;
+  }();
+  return data;
+}
+
+void print_header(const std::string& experiment, const std::string& paper_shape) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper: %s\n", paper_shape.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace unp::bench

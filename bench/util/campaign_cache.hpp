@@ -1,0 +1,28 @@
+// Shared bench scaffolding: every figure/table binary replays the same
+// calibrated campaign (seed 42) and extraction, then prints its own view.
+// The helpers here run that pipeline once per process and expose the
+// pieces, plus small printing utilities shared across benches.
+#pragma once
+
+#include <string>
+
+#include "analysis/extraction.hpp"
+#include "analysis/grouping.hpp"
+#include "sim/campaign.hpp"
+
+namespace unp::bench {
+
+struct CampaignData {
+  const sim::CampaignResult* campaign = nullptr;
+  analysis::ExtractionResult extraction;
+  std::vector<analysis::SimultaneousGroup> groups;  ///< over extraction.faults
+};
+
+/// The default campaign + extraction pipeline, computed once per process.
+[[nodiscard]] const CampaignData& default_data();
+
+/// Standard bench header: experiment id, paper reference, and the shape the
+/// paper reports (so every bench output is self-describing).
+void print_header(const std::string& experiment, const std::string& paper_shape);
+
+}  // namespace unp::bench

@@ -1,0 +1,96 @@
+#include "analysis/alignment.hpp"
+
+#include <algorithm>
+
+namespace unp::analysis {
+
+const char* to_string(GroupGeometry geometry) noexcept {
+  switch (geometry) {
+    case GroupGeometry::kSameRow: return "same-row";
+    case GroupGeometry::kSameColumn: return "same-column";
+    case GroupGeometry::kSameBank: return "same-bank";
+    case GroupGeometry::kScattered: return "scattered";
+  }
+  return "unknown";
+}
+
+GroupGeometry classify_geometry(const SimultaneousGroup& group,
+                                const dram::AddressMap& map) {
+  bool same_row = true, same_column = true, same_bank = true;
+  bool first = true;
+  dram::WordLocation base;
+  for (const FaultRecord* f : group.members) {
+    const std::uint64_t word = f->virtual_address / sizeof(Word);
+    const dram::WordLocation loc = map.decode(word % map.geometry().total_words());
+    if (first) {
+      base = loc;
+      first = false;
+      continue;
+    }
+    same_bank &= loc.rank == base.rank && loc.bank == base.bank;
+    same_row &= loc.rank == base.rank && loc.bank == base.bank &&
+                loc.row == base.row;
+    same_column &= loc.rank == base.rank && loc.bank == base.bank &&
+                   loc.column == base.column;
+  }
+  if (same_row) return GroupGeometry::kSameRow;
+  if (same_column) return GroupGeometry::kSameColumn;
+  if (same_bank) return GroupGeometry::kSameBank;
+  return GroupGeometry::kScattered;
+}
+
+AlignmentStats physical_alignment_stats(
+    const std::vector<SimultaneousGroup>& groups, const dram::AddressMap& map) {
+  AlignmentStats stats;
+  std::vector<std::uint64_t> rows;
+  for (const auto& g : groups) {
+    if (g.members.size() < 2) continue;
+    ++stats.groups_examined;
+    switch (classify_geometry(g, map)) {
+      case GroupGeometry::kSameRow: ++stats.same_row; break;
+      case GroupGeometry::kSameColumn: ++stats.same_column; break;
+      case GroupGeometry::kSameBank: ++stats.same_bank; break;
+      case GroupGeometry::kScattered: ++stats.scattered; break;
+    }
+    // Same-row pair detection (see header).
+    rows.clear();
+    for (const FaultRecord* f : g.members) {
+      const std::uint64_t word = f->virtual_address / sizeof(Word);
+      const dram::WordLocation loc =
+          map.decode(word % map.geometry().total_words());
+      rows.push_back((static_cast<std::uint64_t>(loc.rank) << 40) |
+                     (static_cast<std::uint64_t>(loc.bank) << 32) | loc.row);
+    }
+    std::sort(rows.begin(), rows.end());
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+      if (rows[i] == rows[i - 1]) {
+        ++stats.with_aligned_pair;
+        break;
+      }
+    }
+  }
+  return stats;
+}
+
+LogicalSpread logical_spread(const std::vector<SimultaneousGroup>& groups) {
+  LogicalSpread spread;
+  double sum = 0.0;
+  std::uint64_t counted = 0;
+  for (const auto& g : groups) {
+    if (g.members.size() < 2) continue;
+    std::uint64_t lo = g.members.front()->virtual_address;
+    std::uint64_t hi = lo;
+    for (const FaultRecord* f : g.members) {
+      lo = std::min(lo, f->virtual_address);
+      hi = std::max(hi, f->virtual_address);
+    }
+    const std::uint64_t span = hi - lo;
+    sum += static_cast<double>(span);
+    spread.max_span_bytes = std::max(spread.max_span_bytes, span);
+    ++counted;
+  }
+  if (counted > 0) spread.mean_span_bytes = sum / static_cast<double>(counted);
+  return spread;
+}
+
+}  // namespace unp::analysis

@@ -1,0 +1,69 @@
+// Physical-alignment analysis of simultaneous corruptions.
+//
+// Section III-C: "We suspect that the affected memory cells are in physical
+// proximity or alignment (row, column, bank) however the memory controller
+// maps them to different address words."  The authors could only suspect;
+// with the device's address map in hand the hypothesis is testable: project
+// each simultaneous group's words back to (rank, bank, row, column) and
+// classify the group's geometry.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/grouping.hpp"
+#include "dram/address_map.hpp"
+
+namespace unp::analysis {
+
+enum class GroupGeometry : std::uint8_t {
+  kSameRow,     ///< every word in one (rank, bank, row)
+  kSameColumn,  ///< every word shares (rank, bank, column) across rows
+  kSameBank,    ///< same (rank, bank), otherwise mixed
+  kScattered    ///< spans banks/ranks
+};
+
+[[nodiscard]] const char* to_string(GroupGeometry geometry) noexcept;
+
+/// Geometry of one multi-word group under the given map.
+[[nodiscard]] GroupGeometry classify_geometry(const SimultaneousGroup& group,
+                                              const dram::AddressMap& map);
+
+struct AlignmentStats {
+  std::uint64_t groups_examined = 0;  ///< multi-word groups only
+  std::uint64_t same_row = 0;
+  std::uint64_t same_column = 0;
+  std::uint64_t same_bank = 0;
+  std::uint64_t scattered = 0;
+  /// Groups in which at least one (rank, bank, row) hosts two or more of
+  /// the corrupted words.  Robust against same-instant merging: when
+  /// several independent strikes land in one scan pass they are logged with
+  /// one timestamp and classified as "scattered" above, but a genuine
+  /// aligned burst inside the pile still shows up as a same-row pair
+  /// (random rows virtually never collide across a million rows).
+  std::uint64_t with_aligned_pair = 0;
+
+  [[nodiscard]] double aligned_fraction() const noexcept {
+    return groups_examined
+               ? static_cast<double>(same_row + same_column) /
+                     static_cast<double>(groups_examined)
+               : 0.0;
+  }
+};
+
+/// Classify every multi-word simultaneous group.
+[[nodiscard]] AlignmentStats physical_alignment_stats(
+    const std::vector<SimultaneousGroup>& groups, const dram::AddressMap& map);
+
+/// Mean/max logical address distance within multi-word groups - the
+/// controller-scattering the paper describes ("maps them to different
+/// address words").
+struct LogicalSpread {
+  double mean_span_bytes = 0.0;
+  std::uint64_t max_span_bytes = 0;
+};
+
+[[nodiscard]] LogicalSpread logical_spread(
+    const std::vector<SimultaneousGroup>& groups);
+
+}  // namespace unp::analysis

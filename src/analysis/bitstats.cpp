@@ -1,0 +1,95 @@
+#include "analysis/bitstats.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace unp::analysis {
+
+std::vector<MultibitPattern> multibit_patterns(
+    const std::vector<FaultRecord>& faults) {
+  std::map<std::pair<Word, Word>, std::uint64_t> census;
+  for (const auto& f : faults) {
+    if (f.is_multibit()) ++census[{f.expected, f.actual}];
+  }
+  std::vector<MultibitPattern> out;
+  out.reserve(census.size());
+  for (const auto& [key, count] : census) {
+    MultibitPattern p;
+    p.expected = key.first;
+    p.corrupted = key.second;
+    p.bits = flipped_bit_count(p.expected, p.corrupted);
+    p.occurrences = count;
+    p.consecutive = flipped_bits_adjacent(p.expected ^ p.corrupted);
+    out.push_back(p);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MultibitPattern& a, const MultibitPattern& b) {
+              if (a.bits != b.bits) return a.bits < b.bits;
+              if (a.occurrences != b.occurrences)
+                return a.occurrences < b.occurrences;
+              return a.corrupted < b.corrupted;
+            });
+  return out;
+}
+
+DirectionStats direction_stats(const std::vector<FaultRecord>& faults) {
+  DirectionStats s;
+  for (const auto& f : faults) {
+    s.one_to_zero += static_cast<std::uint64_t>(
+        std::popcount(one_to_zero_mask(f.expected, f.actual)));
+    s.zero_to_one += static_cast<std::uint64_t>(
+        std::popcount(zero_to_one_mask(f.expected, f.actual)));
+  }
+  return s;
+}
+
+AdjacencyStats adjacency_stats(const std::vector<FaultRecord>& faults) {
+  AdjacencyStats s;
+  double distance_sum = 0.0;
+  std::uint64_t distance_count = 0;
+  for (const auto& f : faults) {
+    if (!f.is_multibit()) continue;
+    ++s.multibit_faults;
+    const Word mask = f.flip_mask();
+    if (flipped_bits_adjacent(mask)) {
+      ++s.consecutive;
+    } else {
+      ++s.non_adjacent;
+    }
+    for (const int gap : flipped_bit_gaps(mask)) {
+      distance_sum += gap;
+      ++distance_count;
+      s.max_distance = std::max(s.max_distance, gap);
+    }
+    const int low = std::popcount(mask & Word{0x0000FFFF});
+    const int high = std::popcount(mask & Word{0xFFFF0000});
+    if (low > high) ++s.low_half_majority;
+  }
+  if (distance_count > 0) {
+    s.mean_distance = distance_sum / static_cast<double>(distance_count);
+  }
+  return s;
+}
+
+NodePatternProfile node_pattern_profile(const std::vector<FaultRecord>& faults,
+                                        cluster::NodeId node) {
+  NodePatternProfile p;
+  std::set<std::uint64_t> addresses;
+  std::set<std::pair<Word, Word>> patterns;  // (flip mask, 1->0 mask)
+  std::set<Word> masks;
+  for (const auto& f : faults) {
+    if (!(f.node == node)) continue;
+    ++p.faults;
+    addresses.insert(f.virtual_address);
+    patterns.insert({f.flip_mask(), one_to_zero_mask(f.expected, f.actual)});
+    masks.insert(f.flip_mask());
+  }
+  p.distinct_addresses = addresses.size();
+  p.distinct_patterns = patterns.size();
+  p.single_fixed_bit =
+      p.faults > 0 && masks.size() == 1 && std::popcount(*masks.begin()) == 1;
+  return p;
+}
+
+}  // namespace unp::analysis

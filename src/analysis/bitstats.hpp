@@ -1,0 +1,71 @@
+// Bit-level corruption statistics (Table I and Section III-C prose):
+//
+//   - the census of multi-bit word corruption patterns with their
+//     occurrence counts and adjacency (Table I);
+//   - flip direction: ~90% of corrupted bits went 1 -> 0;
+//   - distances between corrupted bits: mean ~3, max 11, majority
+//     non-adjacent;
+//   - position: most multi-bit corruption sits in the low half of the word.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/extraction.hpp"
+
+namespace unp::analysis {
+
+/// One Table I row: a distinct (expected, corrupted) pattern.
+struct MultibitPattern {
+  int bits = 0;
+  Word expected = 0;
+  Word corrupted = 0;
+  std::uint64_t occurrences = 0;
+  bool consecutive = false;  ///< flipped bits form one contiguous run
+};
+
+/// The multi-bit pattern census, ordered like Table I (bits asc, then
+/// occurrences asc).
+[[nodiscard]] std::vector<MultibitPattern> multibit_patterns(
+    const std::vector<FaultRecord>& faults);
+
+struct DirectionStats {
+  std::uint64_t one_to_zero = 0;
+  std::uint64_t zero_to_one = 0;
+
+  [[nodiscard]] double one_to_zero_fraction() const noexcept {
+    const std::uint64_t total = one_to_zero + zero_to_one;
+    return total > 0 ? static_cast<double>(one_to_zero) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+/// Per-bit flip directions across all faults.
+[[nodiscard]] DirectionStats direction_stats(const std::vector<FaultRecord>& faults);
+
+struct AdjacencyStats {
+  std::uint64_t multibit_faults = 0;
+  std::uint64_t consecutive = 0;     ///< contiguous flipped-bit runs
+  std::uint64_t non_adjacent = 0;
+  double mean_distance = 0.0;        ///< mean gap between successive flips
+  int max_distance = 0;              ///< max bit-position gap observed
+  std::uint64_t low_half_majority = 0;  ///< faults with most flips in bits 0..15
+};
+
+/// Adjacency/distance census over the multi-bit faults.
+[[nodiscard]] AdjacencyStats adjacency_stats(const std::vector<FaultRecord>& faults);
+
+/// Distinct corrupted addresses and distinct flip patterns of one node
+/// (Section III-H characterizes node 02-04 with these).
+struct NodePatternProfile {
+  std::uint64_t faults = 0;
+  std::uint64_t distinct_addresses = 0;
+  std::uint64_t distinct_patterns = 0;  ///< distinct (flip_mask, direction)
+  bool single_fixed_bit = false;  ///< all faults flip the identical bit
+};
+
+[[nodiscard]] NodePatternProfile node_pattern_profile(
+    const std::vector<FaultRecord>& faults, cluster::NodeId node);
+
+}  // namespace unp::analysis

@@ -1,0 +1,102 @@
+#include "analysis/diagnosis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace unp::analysis {
+
+const char* to_string(NodeCondition condition) noexcept {
+  switch (condition) {
+    case NodeCondition::kHealthy: return "healthy";
+    case NodeCondition::kSporadic: return "sporadic";
+    case NodeCondition::kWeakCell: return "weak-cell";
+    case NodeCondition::kStuckRegion: return "stuck-region";
+    case NodeCondition::kComponentFailure: return "component-failure";
+  }
+  return "unknown";
+}
+
+const char* NodeDiagnosis::recommendation() const noexcept {
+  switch (condition) {
+    case NodeCondition::kHealthy: return "none";
+    case NodeCondition::kSporadic: return "monitor";
+    case NodeCondition::kWeakCell: return "retire the affected page";
+    case NodeCondition::kStuckRegion: return "replace the DIMM";
+    case NodeCondition::kComponentFailure:
+      return "replace the node (retirement cannot keep up)";
+  }
+  return "none";
+}
+
+NodeDiagnosis diagnose_node(const std::vector<FaultRecord>& faults,
+                            cluster::NodeId node,
+                            const DiagnosisConfig& config) {
+  NodeDiagnosis diag;
+  diag.node = node;
+
+  std::map<std::uint64_t, std::uint64_t> address_counts;
+  std::set<std::pair<Word, Word>> patterns;
+  for (const auto& f : faults) {
+    if (!(f.node == node)) continue;
+    ++diag.faults;
+    diag.raw_logs += f.raw_logs;
+    ++address_counts[f.virtual_address];
+    patterns.insert({f.flip_mask(), one_to_zero_mask(f.expected, f.actual)});
+  }
+  diag.distinct_addresses = address_counts.size();
+  diag.distinct_patterns = patterns.size();
+
+  if (diag.faults == 0) {
+    diag.condition = NodeCondition::kHealthy;
+    return diag;
+  }
+  if (diag.faults <= config.sporadic_max_faults) {
+    diag.condition = NodeCondition::kSporadic;
+    return diag;
+  }
+
+  // Dominant-address mass: how much of the record one address explains.
+  std::uint64_t dominant = 0;
+  for (const auto& [address, count] : address_counts) {
+    dominant = std::max(dominant, count);
+  }
+  const double address_ratio = static_cast<double>(diag.distinct_addresses) /
+                               static_cast<double>(diag.faults);
+  const double dominant_share = static_cast<double>(dominant) /
+                                static_cast<double>(diag.faults);
+  const double raw_ratio = static_cast<double>(diag.raw_logs) /
+                           static_cast<double>(diag.faults);
+
+  if (address_ratio <= config.localized_address_ratio && dominant_share >= 0.5) {
+    diag.condition = raw_ratio >= config.stuck_raw_ratio
+                         ? NodeCondition::kStuckRegion
+                         : NodeCondition::kWeakCell;
+    return diag;
+  }
+  if (raw_ratio >= config.stuck_raw_ratio) {
+    diag.condition = NodeCondition::kStuckRegion;
+    return diag;
+  }
+  diag.condition = NodeCondition::kComponentFailure;
+  return diag;
+}
+
+std::vector<NodeDiagnosis> diagnose_fleet(const std::vector<FaultRecord>& faults,
+                                          const DiagnosisConfig& config) {
+  std::set<int> nodes;
+  for (const auto& f : faults) nodes.insert(cluster::node_index(f.node));
+
+  std::vector<NodeDiagnosis> out;
+  out.reserve(nodes.size());
+  for (const int idx : nodes) {
+    out.push_back(diagnose_node(faults, cluster::node_from_index(idx), config));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const NodeDiagnosis& a, const NodeDiagnosis& b) {
+              return a.faults > b.faults;
+            });
+  return out;
+}
+
+}  // namespace unp::analysis

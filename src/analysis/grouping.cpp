@@ -1,0 +1,94 @@
+#include "analysis/grouping.hpp"
+
+#include <algorithm>
+
+namespace unp::analysis {
+
+int SimultaneousGroup::total_bits() const noexcept {
+  int bits = 0;
+  for (const FaultRecord* f : members) bits += f->flipped_bits();
+  return bits;
+}
+
+int SimultaneousGroup::max_word_bits() const noexcept {
+  int bits = 0;
+  for (const FaultRecord* f : members) bits = std::max(bits, f->flipped_bits());
+  return bits;
+}
+
+std::vector<SimultaneousGroup> group_simultaneous(
+    const std::vector<FaultRecord>& faults) {
+  // Order by (node, time) to make groups contiguous.
+  std::vector<const FaultRecord*> sorted;
+  sorted.reserve(faults.size());
+  for (const auto& f : faults) sorted.push_back(&f);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const FaultRecord* a, const FaultRecord* b) {
+              const int na = cluster::node_index(a->node);
+              const int nb = cluster::node_index(b->node);
+              if (na != nb) return na < nb;
+              if (a->first_seen != b->first_seen)
+                return a->first_seen < b->first_seen;
+              return a->virtual_address < b->virtual_address;
+            });
+
+  std::vector<SimultaneousGroup> groups;
+  for (const FaultRecord* f : sorted) {
+    if (!groups.empty() && groups.back().node == f->node &&
+        groups.back().time == f->first_seen) {
+      groups.back().members.push_back(f);
+    } else {
+      SimultaneousGroup g;
+      g.node = f->node;
+      g.time = f->first_seen;
+      g.members.push_back(f);
+      groups.push_back(std::move(g));
+    }
+  }
+  return groups;
+}
+
+MultibitViewpoints count_viewpoints(const std::vector<SimultaneousGroup>& groups) {
+  MultibitViewpoints v;
+  auto clamp_bits = [](int bits) {
+    return std::clamp(bits, 1, MultibitViewpoints::kMaxBits);
+  };
+  for (const auto& g : groups) {
+    for (const FaultRecord* f : g.members) {
+      ++v.per_word[clamp_bits(f->flipped_bits())];
+    }
+    ++v.per_node[clamp_bits(g.total_bits())];
+  }
+  return v;
+}
+
+CoOccurrence count_co_occurrence(const std::vector<SimultaneousGroup>& groups) {
+  CoOccurrence c;
+  for (const auto& g : groups) {
+    if (!g.is_simultaneous()) continue;
+    c.simultaneous_corruptions += g.members.size();
+    c.max_bits_one_instant =
+        std::max<std::uint64_t>(c.max_bits_one_instant,
+                                static_cast<std::uint64_t>(g.total_bits()));
+
+    int multibit_words = 0;
+    int widest = 0;
+    for (const FaultRecord* f : g.members) {
+      const int bits = f->flipped_bits();
+      if (bits >= 2) ++multibit_words;
+      widest = std::max(widest, bits);
+    }
+    if (multibit_words == 0) {
+      ++c.multi_single_groups;
+    } else if (multibit_words >= 2) {
+      ++c.double_plus_double;
+    } else if (widest == 2) {
+      ++c.double_plus_single;
+    } else if (widest == 3) {
+      ++c.triple_plus_single;
+    }
+  }
+  return c;
+}
+
+}  // namespace unp::analysis

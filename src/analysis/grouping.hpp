@@ -1,0 +1,60 @@
+// Simultaneity analysis (Section III-C).
+//
+// Faults on the same node bearing the same timestamp came from one scan
+// pass, hence one instant: the paper treats them as a single multi-cell
+// phenomenon ("per node" accounting) even though each would look like an
+// isolated ECC correction on a classical machine ("per memory word"
+// accounting).  Fig 4 contrasts the two viewpoints.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/extraction.hpp"
+
+namespace unp::analysis {
+
+/// Faults of one node observed at one instant.
+struct SimultaneousGroup {
+  cluster::NodeId node;
+  TimePoint time = 0;
+  std::vector<const FaultRecord*> members;
+
+  /// Total flipped bits across all member words.
+  [[nodiscard]] int total_bits() const noexcept;
+  /// Largest per-word flip width in the group.
+  [[nodiscard]] int max_word_bits() const noexcept;
+  [[nodiscard]] bool is_simultaneous() const noexcept { return members.size() >= 2; }
+};
+
+/// Group faults by (node, first_seen); includes singleton groups.
+/// Pointers reference `faults`, which must outlive the result.
+[[nodiscard]] std::vector<SimultaneousGroup> group_simultaneous(
+    const std::vector<FaultRecord>& faults);
+
+/// Fig 4's two viewpoints: error counts bucketed by flip width 1..32,
+/// counted per memory word and per node-instant.
+struct MultibitViewpoints {
+  static constexpr int kMaxBits = 37;  ///< buckets 1..36 (36 = widest burst)
+  std::uint64_t per_word[kMaxBits + 1] = {};
+  std::uint64_t per_node[kMaxBits + 1] = {};
+};
+
+[[nodiscard]] MultibitViewpoints count_viewpoints(
+    const std::vector<SimultaneousGroup>& groups);
+
+/// Section III-C's co-occurrence census: how often multi-bit word errors
+/// were accompanied by other corruption in the same instant.
+struct CoOccurrence {
+  std::uint64_t simultaneous_corruptions = 0;  ///< faults in >=2-member groups
+  std::uint64_t multi_single_groups = 0;       ///< >=2 members, all single-bit
+  std::uint64_t double_plus_single = 0;        ///< a 2-bit word + single(s)
+  std::uint64_t triple_plus_single = 0;        ///< a 3-bit word + single(s)
+  std::uint64_t double_plus_double = 0;        ///< two multi-bit words together
+  std::uint64_t max_bits_one_instant = 0;      ///< widest total corruption
+};
+
+[[nodiscard]] CoOccurrence count_co_occurrence(
+    const std::vector<SimultaneousGroup>& groups);
+
+}  // namespace unp::analysis

@@ -1,0 +1,69 @@
+#include "analysis/interarrival.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace unp::analysis {
+
+namespace {
+
+InterArrivalStats stats_from_times(std::vector<TimePoint>& times) {
+  InterArrivalStats stats;
+  std::sort(times.begin(), times.end());
+  if (times.size() < 2) return stats;
+
+  std::vector<double> gaps;
+  gaps.reserve(times.size() - 1);
+  RunningStats acc;
+  std::uint64_t minute = 0, hour = 0;
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    const double gap = static_cast<double>(times[i] - times[i - 1]);
+    gaps.push_back(gap);
+    acc.add(gap);
+    if (gap <= 60.0) ++minute;
+    if (gap <= 3600.0) ++hour;
+  }
+  stats.gaps = gaps.size();
+  stats.mean_s = acc.mean();
+  stats.median_s = median_of(gaps);
+  stats.cv = acc.mean() > 0.0 ? acc.stddev() / acc.mean() : 0.0;
+  stats.within_minute =
+      static_cast<double>(minute) / static_cast<double>(gaps.size());
+  stats.within_hour =
+      static_cast<double>(hour) / static_cast<double>(gaps.size());
+  return stats;
+}
+
+}  // namespace
+
+InterArrivalStats interarrival_stats(
+    const std::vector<FaultRecord>& faults,
+    const std::vector<cluster::NodeId>& excluded_nodes) {
+  std::vector<TimePoint> times;
+  times.reserve(faults.size());
+  for (const auto& f : faults) {
+    if (std::find(excluded_nodes.begin(), excluded_nodes.end(), f.node) !=
+        excluded_nodes.end()) {
+      continue;
+    }
+    times.push_back(f.first_seen);
+  }
+  return stats_from_times(times);
+}
+
+InterArrivalStats poisson_reference(std::uint64_t events, std::int64_t span_s,
+                                    std::uint64_t seed) {
+  RngStream rng(seed, /*stream_id=*/0x901550);
+  std::vector<TimePoint> times;
+  times.reserve(events);
+  for (std::uint64_t i = 0; i < events; ++i) {
+    times.push_back(static_cast<TimePoint>(
+        rng.uniform_u64(static_cast<std::uint64_t>(span_s))));
+  }
+  return stats_from_times(times);
+}
+
+}  // namespace unp::analysis

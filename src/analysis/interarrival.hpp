@@ -1,0 +1,47 @@
+// Inter-arrival structure of the error process (Section III-I's temporal
+// correlation, quantified).
+//
+// "Memory errors are not only clustered in a few nodes, but also clustered
+// in time."  The regime split shows it coarsely; inter-arrival statistics
+// pin it down: a memoryless (Poisson) error process has coefficient of
+// variation 1 and exponential gaps, while the campaign's process is wildly
+// over-dispersed - most gaps are seconds-to-minutes inside bursts, with
+// day-long silences between them.  The burstiness index and the short-gap
+// mass are what lazy-checkpointing schemes (the paper's refs [2], [18])
+// exploit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/extraction.hpp"
+
+namespace unp::analysis {
+
+struct InterArrivalStats {
+  std::uint64_t gaps = 0;
+  double mean_s = 0.0;
+  double median_s = 0.0;
+  double cv = 0.0;  ///< stddev / mean; 1 for a Poisson process
+  /// Fraction of gaps shorter than the thresholds (burst mass).
+  double within_minute = 0.0;
+  double within_hour = 0.0;
+  /// Burstiness index B = (cv - 1) / (cv + 1): 0 Poisson, -> 1 bursty.
+  [[nodiscard]] double burstiness() const noexcept {
+    return (cv + 1.0) > 0.0 ? (cv - 1.0) / (cv + 1.0) : 0.0;
+  }
+};
+
+/// Inter-arrival statistics of the fault stream (cluster-wide), optionally
+/// excluding nodes (the permanent failure, per Section III-I).
+[[nodiscard]] InterArrivalStats interarrival_stats(
+    const std::vector<FaultRecord>& faults,
+    const std::vector<cluster::NodeId>& excluded_nodes = {});
+
+/// The same statistics for a synthetic Poisson process with an equal number
+/// of events over the same span (the null hypothesis to compare against).
+[[nodiscard]] InterArrivalStats poisson_reference(std::uint64_t events,
+                                                  std::int64_t span_s,
+                                                  std::uint64_t seed);
+
+}  // namespace unp::analysis

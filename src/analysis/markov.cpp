@@ -1,0 +1,87 @@
+#include "analysis/markov.hpp"
+
+#include <algorithm>
+
+namespace unp::analysis {
+
+double MarkovRegimeModel::stationary_degraded() const noexcept {
+  const double up = 1.0 - p_stay_normal;    // normal -> degraded
+  const double down = 1.0 - p_stay_degraded;  // degraded -> normal
+  const double total = up + down;
+  return total > 0.0 ? up / total : 0.0;
+}
+
+double MarkovRegimeModel::mean_normal_spell_days() const noexcept {
+  const double leave = 1.0 - p_stay_normal;
+  return leave > 0.0 ? 1.0 / leave : 0.0;
+}
+
+double MarkovRegimeModel::mean_degraded_spell_days() const noexcept {
+  const double leave = 1.0 - p_stay_degraded;
+  return leave > 0.0 ? 1.0 / leave : 0.0;
+}
+
+std::vector<bool> MarkovRegimeModel::simulate(std::size_t days, RngStream& rng,
+                                              bool start_degraded) const {
+  std::vector<bool> out(days);
+  bool degraded = start_degraded;
+  for (std::size_t d = 0; d < days; ++d) {
+    out[d] = degraded;
+    const double stay = degraded ? p_stay_degraded : p_stay_normal;
+    if (!rng.bernoulli(stay)) degraded = !degraded;
+  }
+  return out;
+}
+
+MarkovRegimeModel fit_markov_regime(const std::vector<bool>& degraded) {
+  MarkovRegimeModel model;
+  std::uint64_t nn = 0, nd = 0, dn = 0, dd = 0;
+  for (std::size_t d = 1; d < degraded.size(); ++d) {
+    const bool from = degraded[d - 1];
+    const bool to = degraded[d];
+    if (!from && !to) ++nn;
+    if (!from && to) ++nd;
+    if (from && !to) ++dn;
+    if (from && to) ++dd;
+  }
+  model.transitions_observed = nn + nd + dn + dd;
+  if (nn + nd > 0) {
+    model.p_stay_normal =
+        static_cast<double>(nn) / static_cast<double>(nn + nd);
+  }
+  if (dn + dd > 0) {
+    model.p_stay_degraded =
+        static_cast<double>(dd) / static_cast<double>(dn + dd);
+  }
+  return model;
+}
+
+SpellStats spell_stats(const std::vector<bool>& degraded) {
+  SpellStats stats;
+  double normal_sum = 0.0, degraded_sum = 0.0;
+  std::size_t d = 0;
+  while (d < degraded.size()) {
+    std::size_t run = 1;
+    while (d + run < degraded.size() && degraded[d + run] == degraded[d]) ++run;
+    if (degraded[d]) {
+      ++stats.degraded_spells;
+      degraded_sum += static_cast<double>(run);
+      stats.longest_degraded_spell =
+          std::max<std::uint64_t>(stats.longest_degraded_spell, run);
+    } else {
+      ++stats.normal_spells;
+      normal_sum += static_cast<double>(run);
+    }
+    d += run;
+  }
+  if (stats.normal_spells > 0) {
+    stats.mean_normal_spell = normal_sum / static_cast<double>(stats.normal_spells);
+  }
+  if (stats.degraded_spells > 0) {
+    stats.mean_degraded_spell =
+        degraded_sum / static_cast<double>(stats.degraded_spells);
+  }
+  return stats;
+}
+
+}  // namespace unp::analysis

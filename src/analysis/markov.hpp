@@ -1,0 +1,53 @@
+// Two-state Markov model of the system regime.
+//
+// Section III-I classifies each day as normal or degraded and reports the
+// split; a resilience controller needs more: how long do degraded spells
+// *last*, and how predictable is tomorrow from today?  Fitting a two-state
+// Markov chain to the day sequence answers both (expected spell lengths
+// are 1/(1-p_stay)), and the fitted chain doubles as a generative model for
+// synthetic regime traces in capacity planning.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/regime.hpp"
+#include "common/rng.hpp"
+
+namespace unp::analysis {
+
+struct MarkovRegimeModel {
+  /// P(tomorrow normal | today normal).
+  double p_stay_normal = 1.0;
+  /// P(tomorrow degraded | today degraded).
+  double p_stay_degraded = 0.0;
+  std::uint64_t transitions_observed = 0;
+
+  /// Stationary probability of the degraded state.
+  [[nodiscard]] double stationary_degraded() const noexcept;
+
+  /// Expected consecutive-day spell lengths.
+  [[nodiscard]] double mean_normal_spell_days() const noexcept;
+  [[nodiscard]] double mean_degraded_spell_days() const noexcept;
+
+  /// Sample a synthetic day sequence from the fitted chain.
+  [[nodiscard]] std::vector<bool> simulate(std::size_t days, RngStream& rng,
+                                           bool start_degraded = false) const;
+};
+
+/// Maximum-likelihood fit from a classified day sequence.
+[[nodiscard]] MarkovRegimeModel fit_markov_regime(const std::vector<bool>& degraded);
+
+/// Empirical spell-length statistics of a day sequence (for comparing the
+/// fit against the data it came from).
+struct SpellStats {
+  double mean_normal_spell = 0.0;
+  double mean_degraded_spell = 0.0;
+  std::uint64_t normal_spells = 0;
+  std::uint64_t degraded_spells = 0;
+  std::uint64_t longest_degraded_spell = 0;
+};
+
+[[nodiscard]] SpellStats spell_stats(const std::vector<bool>& degraded);
+
+}  // namespace unp::analysis

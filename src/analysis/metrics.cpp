@@ -1,0 +1,261 @@
+#include "analysis/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace unp::analysis {
+
+const char* bit_class_label(int klass) noexcept {
+  switch (klass) {
+    case 0: return "1";
+    case 1: return "2";
+    case 2: return "3";
+    case 3: return "4";
+    case 4: return "5";
+    case 5: return "6+";
+  }
+  return "?";
+}
+
+namespace {
+
+Grid2D node_grid() {
+  return Grid2D(static_cast<std::size_t>(cluster::kStudyBlades),
+                static_cast<std::size_t>(cluster::kSocsPerBlade));
+}
+
+}  // namespace
+
+Grid2D hours_scanned_grid(const telemetry::CampaignArchive& archive) {
+  Grid2D grid = node_grid();
+  for (int i = 0; i < cluster::kStudyNodeSlots; ++i) {
+    const cluster::NodeId node = cluster::node_from_index(i);
+    grid.at(static_cast<std::size_t>(node.blade),
+            static_cast<std::size_t>(node.soc)) =
+        archive.log(node).monitored_hours();
+  }
+  return grid;
+}
+
+Grid2D terabyte_hours_grid(const telemetry::CampaignArchive& archive) {
+  Grid2D grid = node_grid();
+  for (int i = 0; i < cluster::kStudyNodeSlots; ++i) {
+    const cluster::NodeId node = cluster::node_from_index(i);
+    grid.at(static_cast<std::size_t>(node.blade),
+            static_cast<std::size_t>(node.soc)) =
+        archive.log(node).terabyte_hours();
+  }
+  return grid;
+}
+
+Grid2D errors_grid(const std::vector<FaultRecord>& faults) {
+  Grid2D grid = node_grid();
+  for (const auto& f : faults) {
+    grid.at(static_cast<std::size_t>(f.node.blade),
+            static_cast<std::size_t>(f.node.soc)) += 1.0;
+  }
+  return grid;
+}
+
+std::uint64_t HourOfDayProfile::total(int hour) const noexcept {
+  std::uint64_t sum = 0;
+  for (int c = 0; c < kBitClasses; ++c)
+    sum += counts[static_cast<std::size_t>(hour)][static_cast<std::size_t>(c)];
+  return sum;
+}
+
+std::uint64_t HourOfDayProfile::multibit(int hour) const noexcept {
+  std::uint64_t sum = 0;
+  for (int c = 1; c < kBitClasses; ++c)
+    sum += counts[static_cast<std::size_t>(hour)][static_cast<std::size_t>(c)];
+  return sum;
+}
+
+double HourOfDayProfile::day_night_ratio_multibit() const noexcept {
+  double day = 0.0, night = 0.0;
+  for (int h = 0; h < 24; ++h) {
+    const auto v = static_cast<double>(multibit(h));
+    if (h >= 7 && h <= 18) {
+      day += v;
+    } else {
+      night += v;
+    }
+  }
+  // Normalize per hour: the day window spans 12 hours, the night 12.
+  return night > 0.0 ? day / night : 0.0;
+}
+
+HourOfDayProfile hour_of_day_profile(const std::vector<FaultRecord>& faults) {
+  HourOfDayProfile profile;
+  for (const auto& f : faults) {
+    const auto hour = static_cast<std::size_t>(
+        BarcelonaClock::local_hour(f.first_seen));
+    const auto klass = static_cast<std::size_t>(bit_class(f.flipped_bits()));
+    ++profile.counts[hour][klass];
+  }
+  return profile;
+}
+
+TemperatureProfile::TemperatureProfile() {
+  by_class.reserve(kBitClasses);
+  for (int c = 0; c < kBitClasses; ++c) {
+    by_class.emplace_back(kLoC, kHiC, kBins);
+  }
+}
+
+TemperatureProfile temperature_profile(const std::vector<FaultRecord>& faults) {
+  TemperatureProfile profile;
+  for (const auto& f : faults) {
+    if (!telemetry::has_temperature(f.temperature_c)) {
+      ++profile.without_reading;
+      continue;
+    }
+    profile.by_class[static_cast<std::size_t>(bit_class(f.flipped_bits()))].add(
+        f.temperature_c);
+  }
+  return profile;
+}
+
+std::vector<double> daily_terabyte_hours(const telemetry::CampaignArchive& archive) {
+  const CampaignWindow& window = archive.window();
+  const auto days = static_cast<std::size_t>(window.duration_days()) + 2;
+  std::vector<double> series(days, 0.0);
+  constexpr double kBytesPerTb = 1099511627776.0;
+
+  for (int i = 0; i < cluster::kStudyNodeSlots; ++i) {
+    const telemetry::NodeLog& log = archive.log(cluster::node_from_index(i));
+    // Pair STARTs with ENDs using the same conservative rule as
+    // NodeLog::monitored_hours, then split each session across local days.
+    std::size_t e = 0;
+    const auto& starts = log.starts();
+    const auto& ends = log.ends();
+    for (std::size_t s = 0; s < starts.size(); ++s) {
+      while (e < ends.size() && ends[e].time < starts[s].time) ++e;
+      const TimePoint next_start = s + 1 < starts.size() ? starts[s + 1].time : 0;
+      if (e >= ends.size() ||
+          (s + 1 < starts.size() && ends[e].time > next_start)) {
+        continue;  // END lost
+      }
+      const double tb = static_cast<double>(starts[s].allocated_bytes) / kBytesPerTb;
+      TimePoint t = starts[s].time;
+      const TimePoint session_end = ends[e].time;
+      ++e;
+      while (t < session_end) {
+        const std::int64_t day = window.day_of_campaign(t);
+        // End of the local day containing t.
+        const TimePoint local_midnight =
+            t + (kSecondsPerDay -
+                 ((t + BarcelonaClock::utc_offset(t)) % kSecondsPerDay));
+        const TimePoint chunk_end = std::min(session_end, local_midnight);
+        if (day >= 0 && static_cast<std::size_t>(day) < series.size()) {
+          series[static_cast<std::size_t>(day)] +=
+              tb * static_cast<double>(chunk_end - t) / kSecondsPerHour;
+        }
+        t = chunk_end;
+      }
+    }
+  }
+  return series;
+}
+
+std::vector<std::array<std::uint64_t, kBitClasses>> daily_errors(
+    const std::vector<FaultRecord>& faults, const CampaignWindow& window) {
+  const auto days = static_cast<std::size_t>(window.duration_days()) + 2;
+  std::vector<std::array<std::uint64_t, kBitClasses>> series(days);
+  for (const auto& f : faults) {
+    const std::int64_t day = window.day_of_campaign(f.first_seen);
+    if (day < 0 || static_cast<std::size_t>(day) >= days) continue;
+    ++series[static_cast<std::size_t>(day)]
+            [static_cast<std::size_t>(bit_class(f.flipped_bits()))];
+  }
+  return series;
+}
+
+TopNodeSeries top_node_series(const std::vector<FaultRecord>& faults,
+                              const CampaignWindow& window, std::size_t top) {
+  std::vector<std::uint64_t> totals(
+      static_cast<std::size_t>(cluster::kStudyNodeSlots), 0);
+  for (const auto& f : faults) {
+    ++totals[static_cast<std::size_t>(cluster::node_index(f.node))];
+  }
+
+  std::vector<int> order(static_cast<std::size_t>(cluster::kStudyNodeSlots));
+  for (int i = 0; i < cluster::kStudyNodeSlots; ++i)
+    order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return totals[static_cast<std::size_t>(a)] > totals[static_cast<std::size_t>(b)];
+  });
+
+  TopNodeSeries result;
+  const auto days = static_cast<std::size_t>(window.duration_days()) + 2;
+  for (std::size_t k = 0; k < top; ++k) {
+    const int idx = order[k];
+    if (totals[static_cast<std::size_t>(idx)] == 0) break;
+    result.nodes.push_back(cluster::node_from_index(idx));
+    result.node_totals.push_back(totals[static_cast<std::size_t>(idx)]);
+    result.per_day.emplace_back(days, 0);
+  }
+  result.rest_per_day.assign(days, 0);
+
+  for (const auto& f : faults) {
+    const std::int64_t day = window.day_of_campaign(f.first_seen);
+    if (day < 0 || static_cast<std::size_t>(day) >= days) continue;
+    const auto d = static_cast<std::size_t>(day);
+    bool in_top = false;
+    for (std::size_t k = 0; k < result.nodes.size(); ++k) {
+      if (result.nodes[k] == f.node) {
+        ++result.per_day[k][d];
+        in_top = true;
+        break;
+      }
+    }
+    if (!in_top) {
+      ++result.rest_per_day[d];
+      ++result.rest_total;
+    }
+  }
+  return result;
+}
+
+PearsonResult scan_error_correlation(const telemetry::CampaignArchive& archive,
+                                     const std::vector<FaultRecord>& faults) {
+  const std::vector<double> tbh = daily_terabyte_hours(archive);
+  const auto errors = daily_errors(faults, archive.window());
+  const std::size_t days = std::min(tbh.size(), errors.size());
+  std::vector<double> x(days), y(days);
+  for (std::size_t d = 0; d < days; ++d) {
+    x[d] = tbh[d];
+    std::uint64_t total = 0;
+    for (int c = 0; c < kBitClasses; ++c)
+      total += errors[d][static_cast<std::size_t>(c)];
+    y[d] = static_cast<double>(total);
+  }
+  return pearson(x, y);
+}
+
+HeadlineStats headline_stats(const telemetry::CampaignArchive& archive,
+                             const ExtractionResult& extraction) {
+  HeadlineStats stats;
+  stats.raw_logs = extraction.total_raw_logs;
+  stats.removed_fraction = extraction.removed_fraction();
+  stats.independent_faults = extraction.faults.size();
+  stats.monitored_node_hours = archive.total_monitored_hours();
+  stats.terabyte_hours = archive.total_terabyte_hours();
+
+  for (int i = 0; i < cluster::kStudyNodeSlots; ++i) {
+    if (archive.log(cluster::node_from_index(i)).monitored_hours() > 0.0) {
+      ++stats.monitored_nodes;
+    }
+  }
+  if (stats.independent_faults > 0) {
+    stats.node_mtbf_hours = stats.monitored_node_hours /
+                            static_cast<double>(stats.independent_faults);
+    stats.cluster_mtbe_minutes =
+        static_cast<double>(archive.window().duration_seconds()) / 60.0 /
+        static_cast<double>(stats.independent_faults);
+  }
+  return stats;
+}
+
+}  // namespace unp::analysis

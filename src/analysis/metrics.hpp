@@ -1,0 +1,118 @@
+// Figure-level metrics over the extracted faults and the raw archive:
+// the node-grid heat maps (Figs 1-3), hour-of-day profiles (Figs 5-6),
+// temperature profiles (Figs 7-8), daily series (Figs 9-11), the top-node
+// decomposition (Fig 12) and the scan-vs-error correlation (Section III-G).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/extraction.hpp"
+#include "common/histogram.hpp"
+#include "common/stats.hpp"
+#include "telemetry/archive.hpp"
+
+namespace unp::analysis {
+
+/// Flip-width classes used throughout the figures: 1, 2, 3, 4, 5, 6+.
+constexpr int kBitClasses = 6;
+[[nodiscard]] constexpr int bit_class(int bits) noexcept {
+  return bits >= kBitClasses ? kBitClasses - 1 : bits - 1;
+}
+[[nodiscard]] const char* bit_class_label(int klass) noexcept;
+
+// --- Node-grid heat maps (blade rows x SoC columns) ---------------------
+
+/// Fig 1: hours each node was scanned (from START/END pairing).
+[[nodiscard]] Grid2D hours_scanned_grid(const telemetry::CampaignArchive& archive);
+
+/// Fig 2: terabyte-hours each node scanned.
+[[nodiscard]] Grid2D terabyte_hours_grid(const telemetry::CampaignArchive& archive);
+
+/// Fig 3: independent memory errors per node.
+[[nodiscard]] Grid2D errors_grid(const std::vector<FaultRecord>& faults);
+
+// --- Hour-of-day profiles (Figs 5, 6) ------------------------------------
+
+/// counts[hour][bit class]; hours are local (Europe/Madrid) wall clock.
+struct HourOfDayProfile {
+  std::array<std::array<std::uint64_t, kBitClasses>, 24> counts{};
+
+  [[nodiscard]] std::uint64_t total(int hour) const noexcept;
+  [[nodiscard]] std::uint64_t multibit(int hour) const noexcept;
+  /// Errors observed 07:00-18:59 vs the rest (the paper's day/night split).
+  [[nodiscard]] double day_night_ratio_multibit() const noexcept;
+};
+
+[[nodiscard]] HourOfDayProfile hour_of_day_profile(
+    const std::vector<FaultRecord>& faults);
+
+// --- Temperature profiles (Figs 7, 8) ------------------------------------
+
+/// One histogram per bit class over node temperature; faults without a
+/// reading (pre-April) are excluded.
+struct TemperatureProfile {
+  static constexpr double kLoC = 20.0;
+  static constexpr double kHiC = 80.0;
+  static constexpr std::size_t kBins = 30;  ///< 2 degC bins
+
+  std::vector<Histogram1D> by_class;  ///< kBitClasses histograms
+  std::uint64_t without_reading = 0;
+
+  TemperatureProfile();
+};
+
+[[nodiscard]] TemperatureProfile temperature_profile(
+    const std::vector<FaultRecord>& faults);
+
+// --- Daily series (Figs 9-12) --------------------------------------------
+
+/// Terabyte-hours scanned per campaign day (Fig 9), from START/END pairs
+/// split across local-day boundaries.
+[[nodiscard]] std::vector<double> daily_terabyte_hours(
+    const telemetry::CampaignArchive& archive);
+
+/// counts[day][bit class] (Figs 10, 11).
+[[nodiscard]] std::vector<std::array<std::uint64_t, kBitClasses>> daily_errors(
+    const std::vector<FaultRecord>& faults, const CampaignWindow& window);
+
+/// Fig 12: per-day error counts of the `top` loudest nodes plus the rest.
+struct TopNodeSeries {
+  std::vector<cluster::NodeId> nodes;          ///< loudest first
+  std::vector<std::uint64_t> node_totals;      ///< same order
+  std::vector<std::vector<std::uint64_t>> per_day;  ///< [node][day]
+  std::vector<std::uint64_t> rest_per_day;
+  std::uint64_t rest_total = 0;
+};
+
+[[nodiscard]] TopNodeSeries top_node_series(const std::vector<FaultRecord>& faults,
+                                            const CampaignWindow& window,
+                                            std::size_t top = 3);
+
+/// Section III-G: Pearson correlation between daily scanned TB-h and daily
+/// error counts.
+[[nodiscard]] PearsonResult scan_error_correlation(
+    const telemetry::CampaignArchive& archive,
+    const std::vector<FaultRecord>& faults);
+
+// --- Headline statistics (Section III-B) ---------------------------------
+
+struct HeadlineStats {
+  std::uint64_t raw_logs = 0;
+  double removed_fraction = 0.0;
+  std::uint64_t independent_faults = 0;
+  double monitored_node_hours = 0.0;
+  double terabyte_hours = 0.0;
+  int monitored_nodes = 0;
+  /// Mean time between errors for one node (monitored hours / faults).
+  double node_mtbf_hours = 0.0;
+  /// Mean time between errors anywhere in the cluster (campaign minutes /
+  /// faults).
+  double cluster_mtbe_minutes = 0.0;
+};
+
+[[nodiscard]] HeadlineStats headline_stats(const telemetry::CampaignArchive& archive,
+                                           const ExtractionResult& extraction);
+
+}  // namespace unp::analysis

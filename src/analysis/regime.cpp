@@ -1,0 +1,71 @@
+#include "analysis/regime.hpp"
+
+#include <algorithm>
+
+namespace unp::analysis {
+
+RegimeResult classify_regime(const std::vector<FaultRecord>& faults,
+                             const CampaignWindow& window,
+                             const RegimeConfig& config) {
+  RegimeResult result;
+  const auto days = static_cast<std::size_t>(window.duration_days()) + 2;
+  result.errors_per_day.assign(days, 0);
+
+  for (const auto& f : faults) {
+    if (std::find(config.excluded_nodes.begin(), config.excluded_nodes.end(),
+                  f.node) != config.excluded_nodes.end()) {
+      continue;
+    }
+    const std::int64_t day = window.day_of_campaign(f.first_seen);
+    if (day < 0 || static_cast<std::size_t>(day) >= days) continue;
+    ++result.errors_per_day[static_cast<std::size_t>(day)];
+  }
+
+  result.degraded.assign(days, false);
+  for (std::size_t d = 0; d < days; ++d) {
+    const std::uint64_t errors = result.errors_per_day[d];
+    if (errors > config.normal_threshold) {
+      result.degraded[d] = true;
+      ++result.degraded_days;
+      result.degraded_errors += errors;
+    } else {
+      ++result.normal_days;
+      result.normal_errors += errors;
+    }
+  }
+
+  if (result.normal_errors > 0) {
+    result.normal_mtbf_hours = static_cast<double>(result.normal_days) * 24.0 /
+                               static_cast<double>(result.normal_errors);
+  }
+  if (result.degraded_errors > 0) {
+    result.degraded_mtbf_hours =
+        static_cast<double>(result.degraded_days) * 24.0 /
+        static_cast<double>(result.degraded_errors);
+  }
+  return result;
+}
+
+AutoRegime classify_regime_excluding_loudest(
+    const std::vector<FaultRecord>& faults, const CampaignWindow& window,
+    std::uint64_t normal_threshold) {
+  std::vector<std::uint64_t> totals(
+      static_cast<std::size_t>(cluster::kStudyNodeSlots), 0);
+  for (const auto& f : faults) {
+    ++totals[static_cast<std::size_t>(cluster::node_index(f.node))];
+  }
+  const auto loudest = static_cast<std::size_t>(std::distance(
+      totals.begin(), std::max_element(totals.begin(), totals.end())));
+
+  AutoRegime out;
+  RegimeConfig config;
+  config.normal_threshold = normal_threshold;
+  if (totals[loudest] > 0) {
+    out.excluded = cluster::node_from_index(static_cast<int>(loudest));
+    config.excluded_nodes.push_back(*out.excluded);
+  }
+  out.regime = classify_regime(faults, window, config);
+  return out;
+}
+
+}  // namespace unp::analysis

@@ -1,0 +1,66 @@
+// Regime classification and MTBF (Section III-I).
+//
+// With the permanently failing node excluded (production systems would
+// pull it), days split into two regimes:
+//
+//   normal    <= 3 independent errors (the paper's safety-margin threshold)
+//   degraded  >  3 errors - bursty periods where MTBF collapses from ~167 h
+//             to well under an hour
+//
+// The classification drives both Fig 13 and the checkpoint-interval
+// adaptation argument.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/extraction.hpp"
+
+namespace unp::analysis {
+
+struct RegimeConfig {
+  /// Nodes excluded before classification (permanent failures).
+  std::vector<cluster::NodeId> excluded_nodes;
+  /// Max errors/day still counted as normal.
+  std::uint64_t normal_threshold = 3;
+};
+
+struct RegimeResult {
+  std::vector<bool> degraded;  ///< per campaign day
+  std::vector<std::uint64_t> errors_per_day;
+
+  std::uint64_t normal_days = 0;
+  std::uint64_t degraded_days = 0;
+  std::uint64_t normal_errors = 0;
+  std::uint64_t degraded_errors = 0;
+
+  /// MTBF over normal days only (hours per error).
+  double normal_mtbf_hours = 0.0;
+  /// MTBF over degraded days only.
+  double degraded_mtbf_hours = 0.0;
+
+  [[nodiscard]] double degraded_fraction() const noexcept {
+    const std::uint64_t total = normal_days + degraded_days;
+    return total > 0 ? static_cast<double>(degraded_days) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+/// Classify every campaign day.
+[[nodiscard]] RegimeResult classify_regime(const std::vector<FaultRecord>& faults,
+                                           const CampaignWindow& window,
+                                           const RegimeConfig& config);
+
+/// Convenience: exclude the loudest node (the study's permanent failure)
+/// automatically, then classify.  Returns the excluded node, if any.
+struct AutoRegime {
+  RegimeResult regime;
+  std::optional<cluster::NodeId> excluded;
+};
+[[nodiscard]] AutoRegime classify_regime_excluding_loudest(
+    const std::vector<FaultRecord>& faults, const CampaignWindow& window,
+    std::uint64_t normal_threshold = 3);
+
+}  // namespace unp::analysis

@@ -1,0 +1,97 @@
+#include "cluster/availability.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace unp::cluster {
+
+AvailabilityTimeline::AvailabilityTimeline(std::vector<Interval> intervals)
+    : intervals_(std::move(intervals)) {
+  for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    UNP_REQUIRE(intervals_[i].end > intervals_[i].start);
+    if (i > 0) UNP_REQUIRE(intervals_[i].start >= intervals_[i - 1].end);
+  }
+}
+
+bool AvailabilityTimeline::is_available(TimePoint t) const noexcept {
+  // First interval whose end is beyond t.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](TimePoint value, const Interval& iv) { return value < iv.end; });
+  return it != intervals_.end() && it->contains(t);
+}
+
+std::int64_t AvailabilityTimeline::total_seconds() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& iv : intervals_) total += iv.seconds();
+  return total;
+}
+
+void AvailabilityTimeline::subtract(const Interval& cut) {
+  if (cut.end <= cut.start) return;
+  std::vector<Interval> out;
+  out.reserve(intervals_.size() + 1);
+  for (const auto& iv : intervals_) {
+    if (iv.end <= cut.start || iv.start >= cut.end) {
+      out.push_back(iv);
+      continue;
+    }
+    if (iv.start < cut.start) out.push_back({iv.start, cut.start});
+    if (iv.end > cut.end) out.push_back({cut.end, iv.end});
+  }
+  intervals_ = std::move(out);
+}
+
+std::vector<Interval> AvailabilityTimeline::clip(const Interval& window) const {
+  std::vector<Interval> out;
+  for (const auto& iv : intervals_) {
+    const TimePoint s = std::max(iv.start, window.start);
+    const TimePoint e = std::min(iv.end, window.end);
+    if (e > s) out.push_back({s, e});
+  }
+  return out;
+}
+
+AvailabilityTimeline AvailabilityModel::build(NodeId id) const {
+  const CampaignWindow& w = config_.window;
+  AvailabilityTimeline timeline({{w.start, w.end}});
+
+  // Overheating column: powered until the admin shutdown, then off for the
+  // remainder of the study except a short re-test window in the autumn.
+  if (Topology::is_overheating_slot(id)) {
+    const TimePoint retest_start = from_civil_utc({2015, 10, 5, 9, 0, 0});
+    const TimePoint retest_end = from_civil_utc({2015, 10, 9, 18, 0, 0});
+    timeline.subtract({config_.overheat_shutdown, retest_start});
+    timeline.subtract({retest_end, w.end});
+  }
+
+  // Blade-wide hardware shutdown.
+  if (id.blade == config_.failed_blade) {
+    timeline.subtract({config_.failed_blade_shutdown, w.end});
+  }
+
+  // Administrative outages targeted at this node.
+  for (const auto& [outage_node, outage] : config_.extra_outages) {
+    if (outage_node == id) timeline.subtract(outage);
+  }
+
+  // Per-node maintenance gaps: Poisson count, uniform placement/length.
+  RngStream rng(config_.seed, /*stream_id=*/0xA7A1,
+                static_cast<std::uint64_t>(node_index(id)));
+  const std::uint64_t gaps = rng.poisson(config_.maintenance_gaps_mean);
+  for (std::uint64_t g = 0; g < gaps; ++g) {
+    const double len_h =
+        rng.uniform(config_.maintenance_gap_min_h, config_.maintenance_gap_max_h);
+    const auto len_s = static_cast<std::int64_t>(len_h * kSecondsPerHour);
+    const auto span = static_cast<std::uint64_t>(w.duration_seconds());
+    const TimePoint start =
+        w.start + static_cast<TimePoint>(rng.uniform_u64(span));
+    timeline.subtract({start, start + len_s});
+  }
+
+  return timeline;
+}
+
+}  // namespace unp::cluster

@@ -1,0 +1,95 @@
+// Per-node power/availability timelines over the campaign.
+//
+// Fig 1's structure comes from administrative outages, not from faults:
+//   - the overheating SoC-12 column was powered off for long stretches
+//     after the admins decided to shut it down (early July 2015 here);
+//   - blade 33 was shut down mid-study for hardware issues;
+//   - individual nodes accumulate occasional maintenance gaps.
+//
+// An AvailabilityTimeline is an ordered set of disjoint half-open intervals
+// [start, end) during which the node is powered and schedulable.  Scan
+// sessions (sched/) can only exist inside these intervals.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "cluster/topology.hpp"
+#include "common/civil_time.hpp"
+
+namespace unp::cluster {
+
+/// Half-open time interval [start, end).
+struct Interval {
+  TimePoint start = 0;
+  TimePoint end = 0;
+
+  [[nodiscard]] std::int64_t seconds() const noexcept { return end - start; }
+  [[nodiscard]] bool contains(TimePoint t) const noexcept {
+    return t >= start && t < end;
+  }
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Ordered, disjoint availability intervals for one node.
+class AvailabilityTimeline {
+ public:
+  AvailabilityTimeline() = default;
+  /// Intervals must be non-empty, sorted, and non-overlapping.
+  explicit AvailabilityTimeline(std::vector<Interval> intervals);
+
+  [[nodiscard]] const std::vector<Interval>& intervals() const noexcept {
+    return intervals_;
+  }
+  [[nodiscard]] bool is_available(TimePoint t) const noexcept;
+  [[nodiscard]] std::int64_t total_seconds() const noexcept;
+  [[nodiscard]] double total_hours() const noexcept {
+    return static_cast<double>(total_seconds()) / kSecondsPerHour;
+  }
+
+  /// Remove [cut.start, cut.end) from the timeline.
+  void subtract(const Interval& cut);
+
+  /// Intersect with a window, returning clipped intervals.
+  [[nodiscard]] std::vector<Interval> clip(const Interval& window) const;
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+/// Builds the availability timelines of every study node.
+class AvailabilityModel {
+ public:
+  struct Config {
+    CampaignWindow window{};
+    /// Date the admins shut down the overheating SoC-12 column.
+    TimePoint overheat_shutdown = from_civil_utc({2015, 7, 3, 9, 0, 0});
+    /// Blade powered off mid-study for hardware issues.
+    int failed_blade = 33;
+    TimePoint failed_blade_shutdown = from_civil_utc({2015, 5, 18, 14, 0, 0});
+    /// Mean number of maintenance gaps per node over the campaign, and the
+    /// gap-length envelope (uniform hours).
+    double maintenance_gaps_mean = 3.0;
+    double maintenance_gap_min_h = 6.0;
+    double maintenance_gap_max_h = 120.0;
+    /// Administrative outages of specific nodes (e.g. the degrading node's
+    /// unmonitored stretches, the pathological node's removal from the
+    /// scheduler pool).
+    std::vector<std::pair<NodeId, Interval>> extra_outages;
+    std::uint64_t seed = 42;
+  };
+
+  AvailabilityModel() : AvailabilityModel(Config{}) {}
+  explicit AvailabilityModel(const Config& config) : config_(config) {}
+
+  /// Timeline for one monitored node.  Deterministic per (seed, node).
+  [[nodiscard]] AvailabilityTimeline build(NodeId id) const;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace unp::cluster

@@ -1,0 +1,75 @@
+#include "cluster/topology.hpp"
+
+#include <cstdio>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace unp::cluster {
+
+std::string node_name(NodeId id) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%02d-%02d", id.blade, id.soc);
+  return buf;
+}
+
+NodeId parse_node_name(const std::string& name) {
+  int blade = -1, soc = -1;
+  UNP_REQUIRE(std::sscanf(name.c_str(), "%d-%d", &blade, &soc) == 2);
+  UNP_REQUIRE(blade >= 0 && blade < kStudyBlades);
+  UNP_REQUIRE(soc >= 0 && soc < kSocsPerBlade);
+  return NodeId{blade, soc};
+}
+
+const char* to_string(NodeRole role) noexcept {
+  switch (role) {
+    case NodeRole::kCompute: return "compute";
+    case NodeRole::kLogin: return "login";
+    case NodeRole::kDeadOnArrival: return "dead";
+  }
+  return "unknown";
+}
+
+Topology::Topology(const Config& config) : config_(config) {
+  UNP_REQUIRE(config_.login_nodes >= 0 && config_.login_nodes <= kStudyBlades);
+  UNP_REQUIRE(config_.dead_nodes >= 0);
+
+  roles_.assign(kStudyNodeSlots, NodeRole::kCompute);
+
+  // Login nodes: the first SoC of each of the first `login_nodes` blades
+  // (Fig 1: "the first blades do not perform any error monitoring in the
+  // first SoC; ... they are dedicated as login nodes").
+  for (int blade = 0; blade < config_.login_nodes; ++blade) {
+    roles_[static_cast<std::size_t>(node_index({blade, 0}))] = NodeRole::kLogin;
+  }
+
+  // Permanently failed nodes, placed deterministically from the seed among
+  // the remaining compute slots.
+  RngStream rng(config_.seed, /*stream_id=*/0xDEAD);
+  int placed = 0;
+  while (placed < config_.dead_nodes) {
+    const auto idx = static_cast<std::size_t>(
+        rng.uniform_u64(static_cast<std::uint64_t>(kStudyNodeSlots)));
+    if (roles_[idx] == NodeRole::kCompute) {
+      roles_[idx] = NodeRole::kDeadOnArrival;
+      ++placed;
+    }
+  }
+
+  monitored_.reserve(static_cast<std::size_t>(kStudyNodeSlots));
+  for (int i = 0; i < kStudyNodeSlots; ++i) {
+    if (roles_[static_cast<std::size_t>(i)] == NodeRole::kCompute) {
+      monitored_.push_back(node_from_index(i));
+    }
+  }
+  UNP_ENSURE(static_cast<int>(monitored_.size()) ==
+             kStudyNodeSlots - config_.login_nodes - config_.dead_nodes);
+}
+
+NodeRole Topology::role(NodeId id) const {
+  UNP_REQUIRE(id.blade >= 0 && id.blade < kStudyBlades);
+  UNP_REQUIRE(id.soc >= 0 && id.soc < kSocsPerBlade);
+  return roles_[static_cast<std::size_t>(node_index(id))];
+}
+
+}  // namespace unp::cluster

@@ -1,0 +1,118 @@
+// Physical topology of the prototype machine (Section II-A).
+//
+//   2 racks x 4 chassis x 9 blades = 72 blades; 15 SoC nodes per blade
+//   = 1080 nodes.  One full chassis (9 blades) was dedicated to another
+//   study, 9 nodes served as login nodes, and a handful had permanent
+//   hardware failures, leaving 923 nodes continuously monitored.
+//
+// Nodes are addressed as "<blade>-<soc>" (e.g. the paper's nodes 02-04,
+// 04-05 and 58-02), with blade numbering restricted to the 63 blades that
+// took part in the study, matching the layout of Figs 1-3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace unp::cluster {
+
+constexpr int kRacks = 2;
+constexpr int kChassisPerRack = 4;
+constexpr int kBladesPerChassis = 9;
+constexpr int kTotalBlades = kRacks * kChassisPerRack * kBladesPerChassis;  // 72
+constexpr int kSocsPerBlade = 15;
+constexpr int kTotalNodes = kTotalBlades * kSocsPerBlade;  // 1080
+
+/// Blades participating in the memory study (one chassis excluded).
+constexpr int kStudyBlades = kTotalBlades - kBladesPerChassis;  // 63
+constexpr int kStudyNodeSlots = kStudyBlades * kSocsPerBlade;   // 945
+
+/// The SoC slot with rack-position heat problems (turned off mid-study).
+constexpr int kOverheatingSoc = 12;
+
+/// Memory per node: 4 GB LPDDR, of which at most 3 GB is scannable.
+constexpr std::uint64_t kNodeMemoryBytes = 4ULL << 30;
+constexpr std::uint64_t kScannableBytes = 3ULL << 30;
+
+/// Identity of a node within the study grid.
+struct NodeId {
+  int blade = 0;  ///< 0 .. kStudyBlades-1
+  int soc = 0;    ///< 0 .. kSocsPerBlade-1
+
+  friend bool operator==(const NodeId&, const NodeId&) = default;
+  friend auto operator<=>(const NodeId&, const NodeId&) = default;
+};
+
+/// Dense index of a node in [0, kStudyNodeSlots).
+[[nodiscard]] constexpr int node_index(NodeId id) noexcept {
+  return id.blade * kSocsPerBlade + id.soc;
+}
+[[nodiscard]] constexpr NodeId node_from_index(int index) noexcept {
+  return NodeId{index / kSocsPerBlade, index % kSocsPerBlade};
+}
+
+/// "BB-SS" rendering used in the paper and in the telemetry host field.
+[[nodiscard]] std::string node_name(NodeId id);
+
+/// Parse "BB-SS".  Throws ContractViolation on malformed input.
+[[nodiscard]] NodeId parse_node_name(const std::string& name);
+
+/// Role of a node slot within the study.
+enum class NodeRole : std::uint8_t {
+  kCompute,      ///< monitored by the scanner when idle
+  kLogin,        ///< login node: never scanned
+  kDeadOnArrival ///< permanent hardware failure: never powered/scanned
+};
+
+[[nodiscard]] const char* to_string(NodeRole role) noexcept;
+
+/// Static description of the study population.
+class Topology {
+ public:
+  struct Config {
+    /// Number of login nodes (SoC 0 of the first N blades).
+    int login_nodes = 9;
+    /// Nodes that never worked; drawn deterministically from the seed.
+    int dead_nodes = 13;
+    std::uint64_t seed = 42;
+  };
+
+  Topology() : Topology(Config{}) {}
+  explicit Topology(const Config& config);
+
+  [[nodiscard]] NodeRole role(NodeId id) const;
+  [[nodiscard]] bool is_monitored(NodeId id) const {
+    return role(id) == NodeRole::kCompute;
+  }
+  /// True for slots in the overheating SoC column.
+  [[nodiscard]] static bool is_overheating_slot(NodeId id) noexcept {
+    return id.soc == kOverheatingSoc;
+  }
+
+  /// All monitored (compute) nodes, ascending by index.
+  [[nodiscard]] const std::vector<NodeId>& monitored_nodes() const noexcept {
+    return monitored_;
+  }
+  [[nodiscard]] int monitored_count() const noexcept {
+    return static_cast<int>(monitored_.size());
+  }
+
+  /// Chassis index (0..6 within the study; used for locality analyses).
+  [[nodiscard]] static int chassis_of(NodeId id) noexcept {
+    return id.blade / kBladesPerChassis;
+  }
+  /// Rack index (0 or 1).  The excluded chassis is the last one of rack 1,
+  /// so study blades 0..62 keep their physical position.
+  [[nodiscard]] static int rack_of(NodeId id) noexcept {
+    return id.blade / (kChassisPerRack * kBladesPerChassis);
+  }
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  std::vector<NodeRole> roles_;  ///< indexed by node_index
+  std::vector<NodeId> monitored_;
+};
+
+}  // namespace unp::cluster

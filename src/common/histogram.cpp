@@ -1,0 +1,4 @@
+// Histogram1D and Grid2D are header-only; this translation unit exists so the
+// target has a stable archive member and to host any future out-of-line
+// helpers.
+#include "common/histogram.hpp"

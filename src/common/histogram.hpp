@@ -1,0 +1,115 @@
+// Binned counters backing the paper's figures: 1-D histograms (hour-of-day,
+// temperature, per-day series) and 2-D grids (the blade x SoC heat maps of
+// Figs 1-3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace unp {
+
+/// Fixed-width-bin histogram over [lo, hi) with under/overflow buckets.
+class Histogram1D {
+ public:
+  Histogram1D(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {
+    UNP_REQUIRE(bins > 0);
+    UNP_REQUIRE(hi > lo);
+  }
+
+  /// Add `weight` to the bin containing `x` (default weight 1).
+  void add(double x, std::uint64_t weight = 1) noexcept {
+    if (x < lo_) {
+      underflow_ += weight;
+    } else if (x >= hi_) {
+      overflow_ += weight;
+    } else {
+      const double frac = (x - lo_) / (hi_ - lo_);
+      auto idx = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+      if (idx >= counts_.size()) idx = counts_.size() - 1;  // fp edge
+      counts_[idx] += weight;
+    }
+  }
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const {
+    UNP_REQUIRE(bin < counts_.size());
+    return counts_[bin];
+  }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+
+  [[nodiscard]] double bin_lo(std::size_t bin) const {
+    UNP_REQUIRE(bin < counts_.size());
+    return lo_ + bin_width() * static_cast<double>(bin);
+  }
+  [[nodiscard]] double bin_center(std::size_t bin) const {
+    return bin_lo(bin) + 0.5 * bin_width();
+  }
+  [[nodiscard]] double bin_width() const noexcept {
+    return (hi_ - lo_) / static_cast<double>(counts_.size());
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    std::uint64_t sum = underflow_ + overflow_;
+    for (auto c : counts_) sum += c;
+    return sum;
+  }
+
+  void merge(const Histogram1D& other) {
+    UNP_REQUIRE(other.counts_.size() == counts_.size());
+    UNP_REQUIRE(other.lo_ == lo_ && other.hi_ == hi_);
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+/// Dense row-major 2-D grid of doubles; the unit of the heat-map figures.
+class Grid2D {
+ public:
+  Grid2D(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), cells_(rows * cols, fill) {
+    UNP_REQUIRE(rows > 0 && cols > 0);
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    UNP_REQUIRE(r < rows_ && c < cols_);
+    return cells_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    UNP_REQUIRE(r < rows_ && c < cols_);
+    return cells_[r * cols_ + c];
+  }
+
+  [[nodiscard]] double max_value() const noexcept {
+    double m = cells_.empty() ? 0.0 : cells_.front();
+    for (double v : cells_) m = v > m ? v : m;
+    return m;
+  }
+  [[nodiscard]] double sum() const noexcept {
+    double s = 0.0;
+    for (double v : cells_) s += v;
+    return s;
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> cells_;
+};
+
+}  // namespace unp

@@ -1,0 +1,43 @@
+// Lightweight contract checking used across the library.
+//
+// UNP_REQUIRE  - precondition; always on, throws unp::ContractViolation.
+// UNP_ENSURE   - postcondition/invariant; always on, same exception.
+//
+// The library prefers throwing over aborting so that long-running campaign
+// simulations and the live scanner can fail a single unit of work without
+// taking down the whole process (mirrors how the original scanning daemon had
+// to survive arbitrary memory states).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace unp {
+
+/// Thrown when a UNP_REQUIRE / UNP_ENSURE contract fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace unp
+
+#define UNP_REQUIRE(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::unp::detail::contract_fail("precondition", #expr, __FILE__, __LINE__); \
+  } while (false)
+
+#define UNP_ENSURE(expr)                                                   \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::unp::detail::contract_fail("invariant", #expr, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,168 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace unp {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b) noexcept {
+  // Feed both words through one splitmix64 round each; asymmetric so that
+  // mix64(a, b) != mix64(b, a) in general (stream ids are positional).
+  std::uint64_t s = a ^ 0x2545f4914f6cdd1dULL;
+  std::uint64_t h = splitmix64(s);
+  s = h ^ (b + 0x9e3779b97f4a7c15ULL);
+  return splitmix64(s);
+}
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  // Seed the four state words from splitmix64, per the xoshiro authors'
+  // guidance; guarantees a non-zero state for any seed.
+  std::uint64_t sm = seed;
+  for (auto& w : s_) w = splitmix64(sm);
+}
+
+std::uint64_t Xoshiro256::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> acc{};
+  for (std::uint64_t jump_word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump_word & (std::uint64_t{1} << b)) {
+        for (std::size_t i = 0; i < 4; ++i) acc[i] ^= s_[i];
+      }
+      (void)next();
+    }
+  }
+  s_ = acc;
+}
+
+double RngStream::uniform() noexcept {
+  // Top 53 bits -> double in [0, 1).
+  return static_cast<double>(gen_.next() >> 11) * 0x1.0p-53;
+}
+
+double RngStream::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t RngStream::uniform_u64(std::uint64_t n) noexcept {
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = gen_.next();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = gen_.next();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t RngStream::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_u64(span));
+}
+
+bool RngStream::bernoulli(double p) noexcept { return uniform() < p; }
+
+double RngStream::exponential(double rate) noexcept {
+  // Inversion; 1 - U in (0, 1] avoids log(0).
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+std::uint64_t RngStream::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth: multiply uniforms until below exp(-mean).
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double prod = uniform();
+    while (prod > limit) {
+      ++k;
+      prod *= uniform();
+    }
+    return k;
+  }
+  // PTRS transformed rejection (Hormann 1993) for large means.
+  const double b = 0.931 + 2.53 * std::sqrt(mean);
+  const double a = -0.059 + 0.02483 * b;
+  const double inv_alpha = 1.1239 + 1.1328 / (b - 3.4);
+  const double v_r = 0.9277 - 3.6224 / (b - 2.0);
+  for (;;) {
+    double u = uniform() - 0.5;
+    const double v = uniform();
+    const double us = 0.5 - std::fabs(u);
+    const double k = std::floor((2.0 * a / us + b) * u + mean + 0.43);
+    if (us >= 0.07 && v <= v_r) return static_cast<std::uint64_t>(k);
+    if (k < 0.0 || (us < 0.013 && v > us)) continue;
+    const double log_mean = std::log(mean);
+    if (std::log(v) + std::log(inv_alpha) - std::log(a / (us * us) + b) <=
+        k * log_mean - mean - std::lgamma(k + 1.0)) {
+      return static_cast<std::uint64_t>(k);
+    }
+  }
+}
+
+double RngStream::normal() noexcept {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_normal_ = true;
+  return u * factor;
+}
+
+double RngStream::normal(double mu, double sigma) noexcept {
+  return mu + sigma * normal();
+}
+
+std::size_t RngStream::weighted_index(const double* weights,
+                                      std::size_t weights_size) noexcept {
+  double total = 0.0;
+  for (std::size_t i = 0; i < weights_size; ++i) total += weights[i];
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights_size; ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights_size - 1;  // floating-point slack: fall back to last bucket
+}
+
+}  // namespace unp

@@ -1,0 +1,101 @@
+// Deterministic pseudo-random number generation for the campaign simulator.
+//
+// Every stochastic component of the simulation draws from its own RngStream,
+// derived from (campaign seed, stream id, entity id).  Streams are stable:
+// the same key always yields the same sequence regardless of the order in
+// which other streams are consumed, which keeps the whole 13-month campaign
+// bit-reproducible even when node timelines are generated in parallel.
+//
+// The generator is xoshiro256** (Blackman & Vigna), seeded through splitmix64
+// as its authors recommend.  We implement it locally rather than relying on
+// std::mt19937_64 so that results are identical across standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace unp {
+
+/// splitmix64 step: the canonical stateless 64-bit mixer.  Used both as a
+/// seeding routine and as a cheap hash for stream derivation.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Hash-combine for stream keys (seed, stream id, entity id, ...).
+[[nodiscard]] std::uint64_t mix64(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// xoshiro256** 1.0 - 64-bit all-purpose generator, period 2^256 - 1.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+
+  [[nodiscard]] std::uint64_t next() noexcept;
+
+  // UniformRandomBitGenerator interface so <random> distributions also work.
+  std::uint64_t operator()() noexcept { return next(); }
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~std::uint64_t{0}; }
+
+  /// 2^128 decorrelation jump (from the reference implementation).
+  void jump() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// A keyed random stream with the distributions the fault models need.
+///
+/// All distribution implementations are local (no <random>) so that the exact
+/// sequence of variates is part of this library's contract.
+class RngStream {
+ public:
+  /// Root stream of a campaign.
+  explicit RngStream(std::uint64_t seed) noexcept : gen_(seed) {}
+
+  /// Derived stream: deterministic function of (parent seed, ids).
+  RngStream(std::uint64_t seed, std::uint64_t stream_id,
+            std::uint64_t entity_id = 0) noexcept
+      : gen_(mix64(mix64(seed, stream_id), entity_id)) {}
+
+  [[nodiscard]] std::uint64_t next_u64() noexcept { return gen_.next(); }
+
+  /// Uniform in [0, 1).  53-bit mantissa construction.
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n).  Uses Lemire's unbiased multiply-shift
+  /// rejection method.  Requires n > 0.
+  [[nodiscard]] std::uint64_t uniform_u64(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Exponential inter-arrival time with the given rate (events per unit
+  /// time).  Requires rate > 0.
+  [[nodiscard]] double exponential(double rate) noexcept;
+
+  /// Poisson count with the given mean (>= 0).  Knuth multiplication for
+  /// small means, PTRS transformed-rejection (Hormann) for large means.
+  [[nodiscard]] std::uint64_t poisson(double mean) noexcept;
+
+  /// Standard normal via Marsaglia polar method (cached spare).
+  [[nodiscard]] double normal() noexcept;
+  [[nodiscard]] double normal(double mu, double sigma) noexcept;
+
+  /// Pick an index in [0, weights_size) proportionally to weights[i].
+  /// Requires at least one strictly positive weight.
+  [[nodiscard]] std::size_t weighted_index(const double* weights,
+                                           std::size_t weights_size) noexcept;
+
+ private:
+  Xoshiro256 gen_;
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace unp

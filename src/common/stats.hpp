@@ -1,0 +1,66 @@
+// Statistical primitives used by the failure analysis (Section III of the
+// paper): running moments, Pearson correlation with a two-sided p-value
+// (the paper reports r = -0.17966, p = 0.0002 for scanned-TB-h vs errors),
+// and simple order statistics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace unp {
+
+/// Numerically stable streaming mean/variance (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Merge another accumulator (parallel reduction, Chan et al.).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Result of a Pearson correlation test.
+struct PearsonResult {
+  double r = 0.0;        ///< correlation coefficient in [-1, 1]
+  double p_value = 1.0;  ///< two-sided p under the t-distribution null
+  std::size_t n = 0;     ///< number of paired samples
+};
+
+/// Pearson product-moment correlation of two equally sized series.
+/// Requires x.size() == y.size() and at least 3 samples for a p-value.
+[[nodiscard]] PearsonResult pearson(std::span<const double> x,
+                                    std::span<const double> y);
+
+/// Regularized incomplete beta function I_x(a, b) via the continued-fraction
+/// expansion (Lentz).  Exposed for testing; domain x in [0,1], a,b > 0.
+[[nodiscard]] double incomplete_beta(double a, double b, double x);
+
+/// Two-sided p-value for a Student-t statistic with `dof` degrees of freedom.
+[[nodiscard]] double student_t_two_sided_p(double t, double dof);
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] double mean_of(std::span<const double> xs) noexcept;
+
+/// Median (copies and partially sorts); 0 for an empty span.
+[[nodiscard]] double median_of(std::span<const double> xs);
+
+/// Linear-interpolated percentile, q in [0, 100].
+[[nodiscard]] double percentile_of(std::span<const double> xs, double q);
+
+}  // namespace unp

@@ -1,0 +1,134 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/require.hpp"
+
+namespace unp {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  UNP_REQUIRE(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  UNP_REQUIRE(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) out.append(widths[c] - row[c].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(header_, out);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(rule, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+std::string render_bars(const std::vector<BarEntry>& entries, int width) {
+  UNP_REQUIRE(width > 0);
+  double max_v = 0.0;
+  std::size_t label_w = 0;
+  for (const auto& e : entries) {
+    max_v = std::max(max_v, e.value);
+    label_w = std::max(label_w, e.label.size());
+  }
+  std::string out;
+  for (const auto& e : entries) {
+    out += e.label;
+    out.append(label_w - e.label.size() + 2, ' ');
+    const int bar =
+        max_v > 0.0
+            ? static_cast<int>(std::lround(e.value / max_v * width))
+            : 0;
+    out.append(static_cast<std::size_t>(bar), '#');
+    out += "  ";
+    out += format_fixed(e.value, e.value == std::floor(e.value) ? 0 : 2);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_heatmap(const Grid2D& grid, bool log_scale) {
+  static constexpr char kRamp[] = {' ', '.', ':', '-', '=', '+', '*', '%', '@'};
+  constexpr int kLevels = static_cast<int>(sizeof kRamp) - 1;  // indices 1..8
+
+  auto transform = [log_scale](double v) {
+    return log_scale ? std::log1p(v) : v;
+  };
+  double max_v = 0.0;
+  for (std::size_t r = 0; r < grid.rows(); ++r) {
+    for (std::size_t c = 0; c < grid.cols(); ++c) {
+      max_v = std::max(max_v, transform(grid.at(r, c)));
+    }
+  }
+
+  std::string out;
+  for (std::size_t r = 0; r < grid.rows(); ++r) {
+    for (std::size_t c = 0; c < grid.cols(); ++c) {
+      const double raw = grid.at(r, c);
+      if (raw <= 0.0) {
+        out += kRamp[0];
+      } else if (max_v <= 0.0) {
+        out += kRamp[1];
+      } else {
+        int level = 1 + static_cast<int>(transform(raw) / max_v *
+                                         static_cast<double>(kLevels - 1));
+        level = std::clamp(level, 1, kLevels);
+        out += kRamp[level];
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string format_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string format_count(std::uint64_t v) {
+  // Group thousands with commas for readability in bench output.
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i == lead || (i > lead && (i - lead) % 3 == 0)) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string format_hex32(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%08x", v);
+  return buf;
+}
+
+}  // namespace unp

@@ -1,0 +1,52 @@
+// Plain-text rendering helpers for the bench binaries: fixed-width tables
+// (Tables I and II), horizontal bar series (the per-hour / per-day figures)
+// and ASCII heat maps (the blade x SoC node grids of Figs 1-3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.hpp"
+
+namespace unp {
+
+/// Column-aligned ASCII table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a separator line under the header; columns padded to the
+  /// widest cell.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One labelled series entry of a bar chart.
+struct BarEntry {
+  std::string label;
+  double value = 0.0;
+};
+
+/// Horizontal ASCII bar chart; bars scaled to `width` characters at the max.
+[[nodiscard]] std::string render_bars(const std::vector<BarEntry>& entries,
+                                      int width = 60);
+
+/// ASCII heat map of a grid; '.' for zero, then density characters scaled to
+/// the grid maximum.  When `log_scale` is set, values are compressed with
+/// log1p before scaling (Fig 3 uses a logarithmic colour scale).
+[[nodiscard]] std::string render_heatmap(const Grid2D& grid, bool log_scale = false);
+
+/// Format helpers used throughout the bench output.
+[[nodiscard]] std::string format_fixed(double v, int decimals);
+[[nodiscard]] std::string format_count(std::uint64_t v);
+[[nodiscard]] std::string format_hex32(std::uint32_t v);
+
+}  // namespace unp

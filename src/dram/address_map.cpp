@@ -1,0 +1,83 @@
+#include "dram/address_map.hpp"
+
+#include <bit>
+
+#include "common/require.hpp"
+
+namespace unp::dram {
+
+int log2_exact(std::uint64_t n) {
+  UNP_REQUIRE(n > 0 && std::has_single_bit(n));
+  return std::countr_zero(n);
+}
+
+AddressMap::AddressMap(const Geometry& geometry)
+    : geometry_(geometry),
+      column_bits_(log2_exact(geometry.columns)),
+      bank_bits_(log2_exact(static_cast<std::uint64_t>(geometry.banks))),
+      rank_bits_(log2_exact(static_cast<std::uint64_t>(geometry.ranks))),
+      row_bits_(log2_exact(geometry.rows)) {
+  UNP_REQUIRE(geometry.channels == 1);  // prototype nodes are single-channel
+}
+
+WordLocation AddressMap::decode(std::uint64_t word_index) const {
+  UNP_REQUIRE(word_index < geometry_.total_words());
+  // Layout (LSB first): column | bank | rank | row   (Co-Ba-Ra-Ro), the
+  // interleaving order that spreads consecutive addresses across banks at
+  // row-buffer granularity.
+  std::uint64_t v = word_index;
+  WordLocation loc;
+  loc.column = static_cast<std::uint32_t>(v & ((1ULL << column_bits_) - 1));
+  v >>= column_bits_;
+  auto bank = static_cast<std::uint32_t>(v & ((1ULL << bank_bits_) - 1));
+  v >>= bank_bits_;
+  loc.rank = static_cast<int>(v & ((1ULL << rank_bits_) - 1));
+  v >>= rank_bits_;
+  loc.row = static_cast<std::uint32_t>(v & ((1ULL << row_bits_) - 1));
+  // Bank XOR interleaving: fold low row bits into the bank select so that
+  // same-column words of neighbouring rows live in different banks.
+  bank ^= loc.row & ((1u << bank_bits_) - 1);
+  loc.bank = static_cast<int>(bank);
+  return loc;
+}
+
+std::uint64_t AddressMap::encode(const WordLocation& loc) const {
+  UNP_REQUIRE(loc.channel == 0);
+  UNP_REQUIRE(loc.rank >= 0 && loc.rank < geometry_.ranks);
+  UNP_REQUIRE(loc.bank >= 0 && loc.bank < geometry_.banks);
+  UNP_REQUIRE(loc.row < geometry_.rows);
+  UNP_REQUIRE(loc.column < geometry_.columns);
+  auto bank = static_cast<std::uint32_t>(loc.bank);
+  bank ^= loc.row & ((1u << bank_bits_) - 1);  // undo XOR interleave
+  std::uint64_t v = loc.row;
+  v = (v << rank_bits_) | static_cast<std::uint64_t>(loc.rank);
+  v = (v << bank_bits_) | bank;
+  v = (v << column_bits_) | loc.column;
+  return v;
+}
+
+std::vector<std::uint64_t> AddressMap::row_neighbors(std::uint64_t word_index) const {
+  WordLocation loc = decode(word_index);
+  std::vector<std::uint64_t> out;
+  out.reserve(geometry_.columns);
+  for (std::uint32_t c = 0; c < geometry_.columns; ++c) {
+    loc.column = c;
+    out.push_back(encode(loc));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> AddressMap::column_neighbors(
+    std::uint64_t word_index, std::uint32_t count) const {
+  WordLocation loc = decode(word_index);
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  const std::uint32_t start_row = loc.row;
+  for (std::uint32_t i = 0; i < count && start_row + i < geometry_.rows; ++i) {
+    loc.row = start_row + i;
+    out.push_back(encode(loc));
+  }
+  return out;
+}
+
+}  // namespace unp::dram

@@ -1,0 +1,52 @@
+// Logical word index <-> physical (channel, rank, bank, row, column) mapping.
+//
+// Memory controllers interleave consecutive logical addresses across banks
+// and ranks to maximize parallelism, which is exactly why the paper's
+// simultaneous multi-word corruptions ("cells in physical proximity or
+// alignment ... the memory controller maps them to different address words")
+// appear at scattered logical addresses.  The map implements the common
+// RoRaBaCo bit-slicing with bank XOR-interleaving.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/geometry.hpp"
+
+namespace unp::dram {
+
+class AddressMap {
+ public:
+  explicit AddressMap(const Geometry& geometry);
+
+  /// Physical coordinates of logical word `index` in [0, total_words).
+  [[nodiscard]] WordLocation decode(std::uint64_t word_index) const;
+
+  /// Inverse of decode.
+  [[nodiscard]] std::uint64_t encode(const WordLocation& loc) const;
+
+  /// Logical word indices of every word in the same physical row as
+  /// `word_index`, ascending (the row a row-upset event would wipe).
+  [[nodiscard]] std::vector<std::uint64_t> row_neighbors(std::uint64_t word_index) const;
+
+  /// Logical word indices of the words in the same column position across
+  /// every row of the same bank, limited to `count` entries starting at the
+  /// current row (a column-fault alignment set).
+  [[nodiscard]] std::vector<std::uint64_t> column_neighbors(std::uint64_t word_index,
+                                                            std::uint32_t count) const;
+
+  [[nodiscard]] const Geometry& geometry() const noexcept { return geometry_; }
+
+ private:
+  Geometry geometry_;
+  // Cached bit widths of each field.
+  int column_bits_;
+  int bank_bits_;
+  int rank_bits_;
+  int row_bits_;
+};
+
+/// Number of bits needed to index `n` values; requires n to be a power of 2.
+[[nodiscard]] int log2_exact(std::uint64_t n);
+
+}  // namespace unp::dram

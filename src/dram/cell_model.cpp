@@ -1,0 +1,19 @@
+#include "dram/cell_model.hpp"
+
+namespace unp::dram {
+
+WordCorruption CellLeakModel::make_corruption(Word affected_mask,
+                                              RngStream& rng) const noexcept {
+  Word stuck = 0;
+  Word remaining = affected_mask;
+  while (remaining != 0) {
+    const int b = std::countr_zero(remaining);
+    if (!rng.bernoulli(config_.discharge_probability)) {
+      stuck |= Word{1} << b;  // charge gain: cell reads 1
+    }
+    remaining &= remaining - 1;
+  }
+  return WordCorruption{affected_mask, stuck};
+}
+
+}  // namespace unp::dram

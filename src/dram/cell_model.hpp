@@ -1,0 +1,71 @@
+// Cell-level corruption semantics.
+//
+// A DRAM cell stores charge; the dominant failure mode is charge *loss*, so
+// ~90% of observed bit flips in the study go 1 -> 0 (Section III-C).  A
+// fault is therefore not "bit X toggles" but "cell X now reads 0 (or 1)
+// regardless of what was written" for the duration of the fault.  Whether
+// the scanner *sees* it depends on the pattern phase: a discharged cell is
+// invisible while the expected word is 0x00000000 and manifests in the
+// 0xFFFFFFFF (or counter-value) phase.  This latency is modelled explicitly
+// and is what makes Table I's expected values informative.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+
+namespace unp::dram {
+
+/// Corruption of one 32-bit word: which cells are affected and the value
+/// each affected cell now returns.
+struct WordCorruption {
+  Word affected_mask = 0;   ///< cells overridden by the fault
+  Word stuck_value = 0;     ///< value read for affected cells (bitwise)
+
+  /// Value observed when the scanner expects `expected`.
+  [[nodiscard]] Word apply(Word expected) const noexcept {
+    return (expected & ~affected_mask) | (stuck_value & affected_mask);
+  }
+
+  /// Bits whose observed value differs from `expected`.
+  [[nodiscard]] Word visible_mask(Word expected) const noexcept {
+    return expected ^ apply(expected);
+  }
+
+  /// True if at least one affected cell misreads under `expected`.
+  [[nodiscard]] bool visible(Word expected) const noexcept {
+    return visible_mask(expected) != 0;
+  }
+
+  friend bool operator==(const WordCorruption&, const WordCorruption&) = default;
+};
+
+/// Direction statistics of the physical mechanism.
+class CellLeakModel {
+ public:
+  struct Config {
+    /// Probability an affected cell discharges (reads 0); the complement
+    /// gains charge (reads 1).  Paper: ~90% of flips were 1 -> 0.
+    double discharge_probability = 0.90;
+  };
+
+  CellLeakModel() = default;
+  explicit CellLeakModel(const Config& config) : config_(config) {}
+
+  /// Draw per-cell directions for every bit of `affected_mask`.
+  [[nodiscard]] WordCorruption make_corruption(Word affected_mask,
+                                               RngStream& rng) const noexcept;
+
+  /// Corruption in which every affected cell discharges.
+  [[nodiscard]] static WordCorruption all_discharge(Word affected_mask) noexcept {
+    return WordCorruption{affected_mask, 0};
+  }
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_{};
+};
+
+}  // namespace unp::dram

@@ -1,0 +1,2 @@
+// Geometry is constexpr/header-only; the translation unit anchors the target.
+#include "dram/geometry.hpp"

@@ -1,0 +1,56 @@
+// LPDDR device geometry for the prototype's 4 GB node memory.
+//
+// The analyses care about *structure*, not timing: which 32-bit scanner
+// words share a row / bank (the paper suspects simultaneous multi-word
+// errors hit physically close or aligned cells that the controller maps to
+// distant addresses), and how many words the 3 GB scan buffer covers.
+#pragma once
+
+#include <cstdint>
+
+#include "common/require.hpp"
+
+namespace unp::dram {
+
+/// Structural geometry of one node's memory as seen by the scanner.
+struct Geometry {
+  int channels = 1;
+  int ranks = 2;
+  int banks = 8;
+  std::uint32_t rows = 65536;      ///< rows per bank
+  std::uint32_t columns = 1024;    ///< column bursts per row
+  int word_bytes = 4;              ///< scanner compares 32-bit words
+
+  /// Words per row burst span.
+  [[nodiscard]] constexpr std::uint64_t words_per_row() const noexcept {
+    return static_cast<std::uint64_t>(columns);
+  }
+  [[nodiscard]] constexpr std::uint64_t words_per_bank() const noexcept {
+    return words_per_row() * rows;
+  }
+  [[nodiscard]] constexpr std::uint64_t total_words() const noexcept {
+    return words_per_bank() * static_cast<std::uint64_t>(banks) *
+           static_cast<std::uint64_t>(ranks) *
+           static_cast<std::uint64_t>(channels);
+  }
+  [[nodiscard]] constexpr std::uint64_t total_bytes() const noexcept {
+    return total_words() * static_cast<std::uint64_t>(word_bytes);
+  }
+};
+
+/// Default geometry: 1 channel x 2 ranks x 8 banks x 65536 rows x 1024
+/// columns x 4 B = 4 GiB, matching the node memory size in Section II-A.
+[[nodiscard]] constexpr Geometry default_geometry() noexcept { return Geometry{}; }
+
+/// Coordinates of one word inside the device.
+struct WordLocation {
+  int channel = 0;
+  int rank = 0;
+  int bank = 0;
+  std::uint32_t row = 0;
+  std::uint32_t column = 0;
+
+  friend bool operator==(const WordLocation&, const WordLocation&) = default;
+};
+
+}  // namespace unp::dram

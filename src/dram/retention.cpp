@@ -1,0 +1,53 @@
+#include "dram/retention.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace unp::dram {
+
+namespace {
+
+/// Standard normal CDF.
+double normal_cdf(double x) noexcept {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+}  // namespace
+
+double RetentionModel::temperature_factor(double celsius) const noexcept {
+  // Retention halves every `halving_c` above the reference (and doubles
+  // below it): leakage currents grow exponentially with temperature.
+  return std::exp2(-(celsius - config_.reference_c) / config_.halving_c);
+}
+
+double RetentionModel::sample_retention_s(RngStream& rng) const noexcept {
+  return config_.median_retention_s * std::exp(config_.sigma * rng.normal());
+}
+
+bool RetentionModel::leaks_at(double retention_s, double celsius) const noexcept {
+  return retention_s * temperature_factor(celsius) < config_.refresh_interval_s;
+}
+
+double RetentionModel::critical_temperature_c(double retention_s) const noexcept {
+  UNP_REQUIRE(retention_s > 0.0);
+  // Solve retention * 2^(-(T - ref)/halving) = refresh for T.
+  return config_.reference_c +
+         config_.halving_c *
+             std::log2(retention_s / config_.refresh_interval_s);
+}
+
+double RetentionModel::expected_weak_bits(std::uint64_t bytes,
+                                          double celsius) const noexcept {
+  const double cells = static_cast<double>(bytes) * 8.0;
+  // A VRT cell is observable when its *weak-state* retention misses the
+  // refresh deadline: base / divisor * temp_factor < refresh.
+  const double threshold_base = config_.refresh_interval_s *
+                                config_.vrt_weak_divisor /
+                                temperature_factor(celsius);
+  const double z = std::log(threshold_base / config_.median_retention_s) /
+                   config_.sigma;
+  return cells * config_.vrt_fraction * normal_cdf(z);
+}
+
+}  // namespace unp::dram

@@ -1,0 +1,77 @@
+// Cell retention-time model: the physics beneath the weak bit.
+//
+// A DRAM cell must hold its charge for one refresh interval (64 ms
+// nominal).  Retention times are approximately lognormal with a long weak
+// tail, shrink exponentially with temperature (roughly halving every
+// ~10 degC), and a small population of cells exhibits *variable retention
+// time* (VRT): they flip between a healthy and a weak retention state at
+// random - which is exactly the intermittent, episodic signature of the
+// study's weak-bit nodes (Section III-H) and of the burn-in escapes the
+// paper describes (ref [17]).
+//
+// The model answers two questions the campaign data alone cannot:
+//   - how rare must a tail cell be for a 4 GB node to ship with ~one of
+//     them (the fleet saw 2 weak-bit nodes in 923)?
+//   - what would the weak bit's leak rate have done on a hot node (the
+//     paper saw no temperature correlation only because scanning nodes
+//     idle at 30-40 degC)?
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace unp::dram {
+
+class RetentionModel {
+ public:
+  struct Config {
+    /// Median retention at the reference temperature, seconds.  Healthy
+    /// cells hold charge for seconds - orders of magnitude beyond the
+    /// 64 ms refresh.
+    double median_retention_s = 2.0;
+    /// Lognormal sigma of the healthy population.
+    double sigma = 0.4;
+    /// Fraction of cells in the VRT population.
+    double vrt_fraction = 2e-7;
+    /// Retention divisor while a VRT cell sits in its weak state.
+    double vrt_weak_divisor = 8.0;
+    /// Reference temperature for median_retention_s.
+    double reference_c = 45.0;
+    /// Temperature sensitivity: retention halves every this many degC.
+    double halving_c = 10.0;
+    /// DRAM refresh interval, seconds.
+    double refresh_interval_s = 0.064;
+  };
+
+  RetentionModel() : RetentionModel(Config{}) {}
+  explicit RetentionModel(const Config& config) : config_(config) {}
+
+  /// Temperature scaling factor applied to any retention time.
+  [[nodiscard]] double temperature_factor(double celsius) const noexcept;
+
+  /// Draw one cell's base (healthy-state) retention time at the reference
+  /// temperature.
+  [[nodiscard]] double sample_retention_s(RngStream& rng) const noexcept;
+
+  /// Probability that a cell with base retention `retention_s` misses the
+  /// refresh deadline at `celsius` (deterministic threshold model: 1 or 0).
+  [[nodiscard]] bool leaks_at(double retention_s, double celsius) const noexcept;
+
+  /// Temperature at which a cell with base retention `retention_s` starts
+  /// missing refreshes.
+  [[nodiscard]] double critical_temperature_c(double retention_s) const noexcept;
+
+  /// Expected number of cells in a `bytes`-sized device whose *weak-state*
+  /// VRT retention misses refresh at `celsius` - i.e. the expected count of
+  /// intermittently observable weak bits per device.
+  [[nodiscard]] double expected_weak_bits(std::uint64_t bytes,
+                                          double celsius) const noexcept;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace unp::dram

@@ -1,0 +1,72 @@
+#include "dram/scrambler.hpp"
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace unp::dram {
+
+BitScrambler::BitScrambler(const std::array<int, 32>& map) noexcept : map_(map) {
+  for (int p = 0; p < 32; ++p) inv_[static_cast<std::size_t>(map_[static_cast<std::size_t>(p)])] = p;
+}
+
+BitScrambler BitScrambler::identity() noexcept {
+  std::array<int, 32> m{};
+  for (int i = 0; i < 32; ++i) m[static_cast<std::size_t>(i)] = i;
+  return BitScrambler(m);
+}
+
+BitScrambler BitScrambler::stride3() noexcept {
+  // Within each 16-bit half: logical = (physical * 3) mod 16; halves kept
+  // separate (the two byte-pair lanes of the LPDDR bus).
+  std::array<int, 32> m{};
+  for (int p = 0; p < 32; ++p) {
+    const int half = p / 16;
+    const int within = p % 16;
+    m[static_cast<std::size_t>(p)] = half * 16 + (within * 3) % 16;
+  }
+  return BitScrambler(m);
+}
+
+BitScrambler BitScrambler::from_seed(std::uint64_t seed) noexcept {
+  std::array<int, 32> m{};
+  for (int i = 0; i < 32; ++i) m[static_cast<std::size_t>(i)] = i;
+  RngStream rng(seed, /*stream_id=*/0x5C4A);
+  // Fisher-Yates.
+  for (int i = 31; i > 0; --i) {
+    const auto j = static_cast<int>(rng.uniform_u64(static_cast<std::uint64_t>(i) + 1));
+    const int tmp = m[static_cast<std::size_t>(i)];
+    m[static_cast<std::size_t>(i)] = m[static_cast<std::size_t>(j)];
+    m[static_cast<std::size_t>(j)] = tmp;
+  }
+  return BitScrambler(m);
+}
+
+Word BitScrambler::logical_mask(Word physical_mask) const noexcept {
+  Word out = 0;
+  while (physical_mask != 0) {
+    const int p = std::countr_zero(physical_mask);
+    out |= Word{1} << to_logical(p);
+    physical_mask &= physical_mask - 1;
+  }
+  return out;
+}
+
+Word BitScrambler::physical_mask(Word logical_mask_bits) const noexcept {
+  Word out = 0;
+  while (logical_mask_bits != 0) {
+    const int l = std::countr_zero(logical_mask_bits);
+    out |= Word{1} << to_physical(l);
+    logical_mask_bits &= logical_mask_bits - 1;
+  }
+  return out;
+}
+
+Word BitScrambler::contiguous_upset(int start, int size) const noexcept {
+  Word physical = 0;
+  for (int i = 0; i < size; ++i) {
+    physical |= Word{1} << ((start + i) % 32);
+  }
+  return logical_mask(physical);
+}
+
+}  // namespace unp::dram

@@ -1,0 +1,25 @@
+#include "ecc/chipkill.hpp"
+
+#include <bit>
+
+namespace unp::ecc {
+
+int ChipkillModel::symbols_touched(std::uint64_t error_mask) noexcept {
+  int count = 0;
+  for (int s = 0; s < kSymbols; ++s) {
+    const std::uint64_t symbol_mask = 0xFULL << (s * kSymbolBits);
+    if (error_mask & symbol_mask) ++count;
+  }
+  return count;
+}
+
+ChipkillModel::Outcome ChipkillModel::classify(std::uint64_t error_mask) noexcept {
+  if (error_mask == 0) return Outcome::kClean;
+  switch (symbols_touched(error_mask)) {
+    case 1: return Outcome::kCorrected;
+    case 2: return Outcome::kDetected;
+    default: return Outcome::kUndetected;
+  }
+}
+
+}  // namespace unp::ecc

@@ -1,0 +1,69 @@
+#include "ecc/outcome.hpp"
+
+namespace unp::ecc {
+
+const char* to_string(EccOutcome outcome) noexcept {
+  switch (outcome) {
+    case EccOutcome::kNoError: return "no-error";
+    case EccOutcome::kCorrected: return "corrected";
+    case EccOutcome::kDetected: return "detected";
+    case EccOutcome::kMiscorrected: return "miscorrected";
+    case EccOutcome::kUndetected: return "undetected";
+  }
+  return "unknown";
+}
+
+EccOutcome parity_outcome(Word expected, Word observed) noexcept {
+  if (expected == observed) return EccOutcome::kNoError;
+  const int flips = flipped_bit_count(expected, observed);
+  return (flips % 2 == 1) ? EccOutcome::kDetected : EccOutcome::kUndetected;
+}
+
+EccOutcome secded_outcome(Word expected, Word observed) noexcept {
+  if (expected == observed) return EccOutcome::kNoError;
+  const auto original = static_cast<std::uint64_t>(expected);
+  const auto corrupted = static_cast<std::uint64_t>(observed);
+
+  const Secded7264& code = Secded7264::instance();
+  const std::uint8_t check = code.encode(original);
+  const Secded7264::DecodeResult res = code.decode(corrupted, check);
+
+  switch (res.action) {
+    case Secded7264::Action::kClean:
+      return EccOutcome::kUndetected;  // corrupted word decoded as valid
+    case Secded7264::Action::kCorrectedCheck:
+      // The decoder blamed a check bit; the data stays corrupted: silent.
+      return EccOutcome::kMiscorrected;
+    case Secded7264::Action::kCorrectedData:
+      return res.data == original ? EccOutcome::kCorrected
+                                  : EccOutcome::kMiscorrected;
+    case Secded7264::Action::kDetected:
+      return EccOutcome::kDetected;
+  }
+  return EccOutcome::kDetected;
+}
+
+EccOutcome chipkill_outcome(Word expected, Word observed) noexcept {
+  if (expected == observed) return EccOutcome::kNoError;
+  const auto error_mask =
+      static_cast<std::uint64_t>(expected ^ observed);
+  switch (ChipkillModel::classify(error_mask)) {
+    case ChipkillModel::Outcome::kClean: return EccOutcome::kNoError;
+    case ChipkillModel::Outcome::kCorrected: return EccOutcome::kCorrected;
+    case ChipkillModel::Outcome::kDetected: return EccOutcome::kDetected;
+    case ChipkillModel::Outcome::kUndetected: return EccOutcome::kUndetected;
+  }
+  return EccOutcome::kDetected;
+}
+
+void OutcomeCounts::add(EccOutcome outcome) noexcept {
+  switch (outcome) {
+    case EccOutcome::kNoError: ++no_error; break;
+    case EccOutcome::kCorrected: ++corrected; break;
+    case EccOutcome::kDetected: ++detected; break;
+    case EccOutcome::kMiscorrected: ++miscorrected; break;
+    case EccOutcome::kUndetected: ++undetected; break;
+  }
+}
+
+}  // namespace unp::ecc

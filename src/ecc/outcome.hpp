@@ -1,0 +1,65 @@
+// Ground-truth ECC outcome classification for observed corruptions.
+//
+// Given what the scanner saw (expected word, observed word) we can decide
+// exactly what each protection scheme would have done, because unlike a
+// production system we know the injected truth.  This powers the paper's
+// detectable-vs-undetectable analysis (Section III-D) and the ECC what-if
+// ablation.
+//
+// Scanner words are 32-bit; ECC words are 64-bit.  The study's words embed
+// into the lower half of an ECC word whose upper half is clean, which is
+// conservative for SECDED/chipkill (extra clean bits never mask an error).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitops.hpp"
+#include "ecc/chipkill.hpp"
+#include "ecc/secded.hpp"
+
+namespace unp::ecc {
+
+/// What a protection scheme would have turned this corruption into.
+enum class EccOutcome : std::uint8_t {
+  kNoError,       ///< nothing flipped
+  kCorrected,     ///< transparently repaired (ECC counter ticks)
+  kDetected,      ///< uncorrectable but signalled (machine-check / crash)
+  kMiscorrected,  ///< decoder "fixed" the wrong bit: silent corruption
+  kUndetected     ///< decoder saw a clean word: silent corruption
+};
+
+[[nodiscard]] const char* to_string(EccOutcome outcome) noexcept;
+
+/// True when the outcome leaves wrong data without any signal.
+[[nodiscard]] constexpr bool is_silent(EccOutcome outcome) noexcept {
+  return outcome == EccOutcome::kMiscorrected || outcome == EccOutcome::kUndetected;
+}
+
+/// Outcome of a per-word parity bit (detect-only: flags odd-weight flips,
+/// silently passes even-weight ones; corrects nothing).
+[[nodiscard]] EccOutcome parity_outcome(Word expected, Word observed) noexcept;
+
+/// Outcome of the SECDED(72,64) code for a 32-bit scanner corruption.
+[[nodiscard]] EccOutcome secded_outcome(Word expected, Word observed) noexcept;
+
+/// Outcome of the chipkill symbol code for a 32-bit scanner corruption.
+[[nodiscard]] EccOutcome chipkill_outcome(Word expected, Word observed) noexcept;
+
+/// Aggregated outcome tally for a corruption population.
+struct OutcomeCounts {
+  std::uint64_t no_error = 0;
+  std::uint64_t corrected = 0;
+  std::uint64_t detected = 0;
+  std::uint64_t miscorrected = 0;
+  std::uint64_t undetected = 0;
+
+  void add(EccOutcome outcome) noexcept;
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return no_error + corrected + detected + miscorrected + undetected;
+  }
+  [[nodiscard]] std::uint64_t silent() const noexcept {
+    return miscorrected + undetected;
+  }
+};
+
+}  // namespace unp::ecc

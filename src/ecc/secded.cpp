@@ -1,0 +1,77 @@
+#include "ecc/secded.hpp"
+
+#include <bit>
+
+#include "common/require.hpp"
+
+namespace unp::ecc {
+
+Secded7264::Secded7264() {
+  // Enumerate odd-weight columns in a fixed order: all 56 weight-3 vectors
+  // first, then weight-5 vectors until 64 columns are assigned.  Unit
+  // vectors (weight 1) are reserved for the check bits themselves.
+  int next = 0;
+  for (int w : {3, 5}) {
+    for (int v = 1; v < 256 && next < 64; ++v) {
+      if (std::popcount(static_cast<unsigned>(v)) == w) {
+        columns_[static_cast<std::size_t>(next++)] = static_cast<std::uint8_t>(v);
+      }
+    }
+  }
+  UNP_ENSURE(next == 64);
+
+  col_index_.fill(-1);
+  for (int i = 0; i < 64; ++i) {
+    col_index_[columns_[static_cast<std::size_t>(i)]] = static_cast<std::int8_t>(i);
+  }
+}
+
+const Secded7264& Secded7264::instance() {
+  static const Secded7264 code;
+  return code;
+}
+
+std::uint8_t Secded7264::encode(std::uint64_t data) const noexcept {
+  std::uint8_t check = 0;
+  std::uint64_t remaining = data;
+  while (remaining != 0) {
+    const int b = std::countr_zero(remaining);
+    check = static_cast<std::uint8_t>(check ^ columns_[static_cast<std::size_t>(b)]);
+    remaining &= remaining - 1;
+  }
+  return check;
+}
+
+Secded7264::DecodeResult Secded7264::decode(std::uint64_t data,
+                                            std::uint8_t check) const noexcept {
+  const auto syndrome = static_cast<std::uint8_t>(encode(data) ^ check);
+  DecodeResult res;
+  res.data = data;
+  if (syndrome == 0) {
+    res.action = Action::kClean;
+    return res;
+  }
+  const int weight = std::popcount(static_cast<unsigned>(syndrome));
+  if (weight % 2 == 0) {
+    // Even non-zero syndrome: guaranteed-detected double (or even-count) error.
+    res.action = Action::kDetected;
+    return res;
+  }
+  if (weight == 1) {
+    // Unit syndrome: the corresponding check bit itself flipped.
+    res.action = Action::kCorrectedCheck;
+    return res;
+  }
+  const std::int8_t bit = col_index_[syndrome];
+  if (bit >= 0) {
+    res.action = Action::kCorrectedData;
+    res.corrected_bit = bit;
+    res.data = data ^ (std::uint64_t{1} << bit);
+    return res;
+  }
+  // Odd-weight syndrome matching no column: detected, uncorrectable.
+  res.action = Action::kDetected;
+  return res;
+}
+
+}  // namespace unp::ecc

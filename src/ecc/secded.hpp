@@ -1,0 +1,60 @@
+// Hsiao SECDED(72,64) code.
+//
+// The prototype machine had no ECC; the paper repeatedly asks "what would a
+// SECDED-protected system have seen?" (Sections III-C/D): double-bit word
+// errors would be *detected* (crash), >2-bit errors may escape as silent
+// data corruption, and single-bit errors would be silently corrected.  This
+// module implements a real odd-weight-column (Hsiao) SECDED code so those
+// questions are answered by decoding, not by assumption.
+//
+// Construction: 8 check bits; the 64 data columns of the parity-check
+// matrix are distinct odd-weight-(3,5) 8-bit vectors, the 8 check columns
+// are the unit vectors.  Properties: every single-bit error yields an
+// odd-weight syndrome equal to its column (correctable); every double-bit
+// error yields a non-zero even-weight syndrome (detectable, uncorrectable);
+// triple errors alias either a column (miscorrection) or nothing (detected).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace unp::ecc {
+
+class Secded7264 {
+ public:
+  /// The canonical Hsiao construction used by this library.
+  [[nodiscard]] static const Secded7264& instance();
+
+  /// Check byte for a 64-bit data word.
+  [[nodiscard]] std::uint8_t encode(std::uint64_t data) const noexcept;
+
+  enum class Action : std::uint8_t {
+    kClean,           ///< zero syndrome
+    kCorrectedData,   ///< single data-bit flip corrected
+    kCorrectedCheck,  ///< single check-bit flip corrected (data untouched)
+    kDetected         ///< uncorrectable error signalled
+  };
+
+  struct DecodeResult {
+    Action action = Action::kClean;
+    std::uint64_t data = 0;   ///< post-correction data
+    int corrected_bit = -1;   ///< data-bit index for kCorrectedData
+  };
+
+  /// Decode a received (data, check) pair.
+  [[nodiscard]] DecodeResult decode(std::uint64_t data,
+                                    std::uint8_t check) const noexcept;
+
+  /// Column of the parity-check matrix for data bit `i` (testing hook).
+  [[nodiscard]] std::uint8_t data_column(int i) const noexcept {
+    return columns_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  Secded7264();
+
+  std::array<std::uint8_t, 64> columns_{};   ///< data-bit H columns
+  std::array<std::int8_t, 256> col_index_{}; ///< syndrome -> data bit (or -1)
+};
+
+}  // namespace unp::ecc

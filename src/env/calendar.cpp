@@ -1,0 +1,27 @@
+#include "env/calendar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace unp::env {
+
+double AcademicCalendar::utilization(TimePoint t) const noexcept {
+  const std::int64_t day = BarcelonaClock::local_day_index(t);
+  const CivilDateTime local = BarcelonaClock::to_local(t);
+
+  double u = config_.month_utilization[local.month - 1];
+
+  const int wd = weekday_from_days(day);
+  if (wd == 0 || wd == 6) u *= config_.weekend_factor;
+
+  // Deterministic per-day wobble so daily series are not perfectly smooth.
+  RngStream rng(config_.seed, /*stream_id=*/0xCA1E,
+                static_cast<std::uint64_t>(day));
+  u += config_.wobble * (2.0 * rng.uniform() - 1.0);
+
+  return std::clamp(u, 0.02, 0.98);
+}
+
+}  // namespace unp::env

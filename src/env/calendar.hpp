@@ -1,0 +1,61 @@
+// Academic-calendar utilization model.
+//
+// The scanner only runs while a node is idle (between jobs), so the amount of
+// memory scanned per day mirrors the *complement* of cluster utilization.
+// Section III-G observes intense scanning in August, September and December
+// (academic vacations) and less from April to July (end of the academic
+// year).  This model produces a daily expected utilization in [0, 1] from
+// month-of-year base levels, a weekend dip, and smooth day-to-day noise.
+#pragma once
+
+#include <cstdint>
+
+#include "common/civil_time.hpp"
+
+namespace unp::env {
+
+class AcademicCalendar {
+ public:
+  struct Config {
+    /// Base utilization per calendar month (index 0 = January).
+    /// Calibrated so vacations (Aug/Sep/Dec) leave most nodes idle.
+    double month_utilization[12] = {
+        0.55,  // Jan
+        0.55,  // Feb
+        0.60,  // Mar
+        0.72,  // Apr  } end of academic year:
+        0.75,  // May  }   heavy use, little idle time
+        0.78,  // Jun  }
+        0.70,  // Jul  }
+        0.28,  // Aug  vacation: mostly idle
+        0.35,  // Sep  vacation tail
+        0.55,  // Oct
+        0.60,  // Nov
+        0.30,  // Dec  winter break
+    };
+    /// Multiplier applied to weekend utilization.
+    double weekend_factor = 0.55;
+    /// Amplitude of the deterministic day-to-day wobble.
+    double wobble = 0.10;
+    std::uint64_t seed = 1;
+  };
+
+  AcademicCalendar() : AcademicCalendar(Config{}) {}
+  explicit AcademicCalendar(const Config& config) : config_(config) {}
+
+  /// Expected fraction of nodes occupied by jobs during local day `t` falls
+  /// in.  Always within [0.02, 0.98].
+  [[nodiscard]] double utilization(TimePoint t) const noexcept;
+
+  /// Convenience: expected idle fraction (what the scanner can use).
+  [[nodiscard]] double idle_fraction(TimePoint t) const noexcept {
+    return 1.0 - utilization(t);
+  }
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace unp::env

@@ -1,0 +1,29 @@
+#include "env/neutron.hpp"
+
+#include <cmath>
+
+namespace unp::env {
+
+double NeutronFluxModel::altitude_factor() const noexcept {
+  return std::exp(config_.site.altitude_m / config_.altitude_efold_m);
+}
+
+double NeutronFluxModel::flux(TimePoint t) const noexcept {
+  const double elev_deg = solar_elevation_deg(t, config_.site);
+  const double solar = elev_deg > 0.0
+                           ? std::sin(elev_deg * 3.14159265358979323846 / 180.0)
+                           : 0.0;
+  return altitude_factor() * (1.0 + config_.solar_amplitude * solar);
+}
+
+double NeutronFluxModel::mean_flux_over_day(TimePoint t0, int steps) const noexcept {
+  if (steps <= 0) steps = 1;
+  double sum = 0.0;
+  const double dt = static_cast<double>(kSecondsPerDay) / steps;
+  for (int i = 0; i < steps; ++i) {
+    sum += flux(t0 + static_cast<TimePoint>((static_cast<double>(i) + 0.5) * dt));
+  }
+  return sum / steps;
+}
+
+}  // namespace unp::env

@@ -1,0 +1,108 @@
+#include "env/solar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace unp::env {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double deg2rad(double d) noexcept { return d * kPi / 180.0; }
+constexpr double rad2deg(double r) noexcept { return r * 180.0 / kPi; }
+
+/// Julian centuries since J2000.0.
+double julian_century(double jd) noexcept { return (jd - 2451545.0) / 36525.0; }
+
+struct SolarAngles {
+  double declination_deg;
+  double eot_minutes;
+};
+
+/// NOAA solar-position core: declination and equation of time.
+SolarAngles noaa_angles(double jd) noexcept {
+  const double t = julian_century(jd);
+
+  const double geom_mean_long =
+      std::fmod(280.46646 + t * (36000.76983 + t * 0.0003032), 360.0);
+  const double geom_mean_anom = 357.52911 + t * (35999.05029 - 0.0001537 * t);
+  const double eccent = 0.016708634 - t * (0.000042037 + 0.0000001267 * t);
+
+  const double m_rad = deg2rad(geom_mean_anom);
+  const double eq_of_center =
+      std::sin(m_rad) * (1.914602 - t * (0.004817 + 0.000014 * t)) +
+      std::sin(2.0 * m_rad) * (0.019993 - 0.000101 * t) +
+      std::sin(3.0 * m_rad) * 0.000289;
+
+  const double true_long = geom_mean_long + eq_of_center;
+  const double omega = 125.04 - 1934.136 * t;
+  const double apparent_long =
+      true_long - 0.00569 - 0.00478 * std::sin(deg2rad(omega));
+
+  const double mean_obliq =
+      23.0 + (26.0 + (21.448 - t * (46.815 + t * (0.00059 - t * 0.001813))) / 60.0) / 60.0;
+  const double obliq_corr = mean_obliq + 0.00256 * std::cos(deg2rad(omega));
+
+  const double decl = rad2deg(std::asin(std::sin(deg2rad(obliq_corr)) *
+                                        std::sin(deg2rad(apparent_long))));
+
+  const double var_y = std::tan(deg2rad(obliq_corr / 2.0)) *
+                       std::tan(deg2rad(obliq_corr / 2.0));
+  const double l_rad = deg2rad(geom_mean_long);
+  const double eot_rad =
+      var_y * std::sin(2.0 * l_rad) - 2.0 * eccent * std::sin(m_rad) +
+      4.0 * eccent * var_y * std::sin(m_rad) * std::cos(2.0 * l_rad) -
+      0.5 * var_y * var_y * std::sin(4.0 * l_rad) -
+      1.25 * eccent * eccent * std::sin(2.0 * m_rad);
+  const double eot_minutes = 4.0 * rad2deg(eot_rad);
+
+  return {decl, eot_minutes};
+}
+}  // namespace
+
+double julian_date(TimePoint t) noexcept {
+  // Unix epoch = JD 2440587.5.
+  return 2440587.5 + static_cast<double>(t) / static_cast<double>(kSecondsPerDay);
+}
+
+double solar_declination_deg(TimePoint t) noexcept {
+  return noaa_angles(julian_date(t)).declination_deg;
+}
+
+double equation_of_time_minutes(TimePoint t) noexcept {
+  return noaa_angles(julian_date(t)).eot_minutes;
+}
+
+double true_solar_time_hours(TimePoint t, const Site& site) noexcept {
+  const SolarAngles a = noaa_angles(julian_date(t));
+  std::int64_t sec_of_day = t % kSecondsPerDay;
+  if (sec_of_day < 0) sec_of_day += kSecondsPerDay;
+  const double utc_minutes = static_cast<double>(sec_of_day) / 60.0;
+  // True solar time = UTC clock + equation of time + longitude correction.
+  double tst_minutes =
+      utc_minutes + a.eot_minutes + 4.0 * site.longitude_deg;
+  tst_minutes = std::fmod(tst_minutes, 1440.0);
+  if (tst_minutes < 0.0) tst_minutes += 1440.0;
+  return tst_minutes / 60.0;
+}
+
+double solar_elevation_deg(TimePoint t, const Site& site) noexcept {
+  const SolarAngles a = noaa_angles(julian_date(t));
+  const double tst_hours = true_solar_time_hours(t, site);
+  // Hour angle: 0 at solar noon, +/-180 at solar midnight.
+  const double hour_angle_deg = tst_hours * 15.0 - 180.0;
+
+  const double lat = deg2rad(site.latitude_deg);
+  const double decl = deg2rad(a.declination_deg);
+  const double ha = deg2rad(hour_angle_deg);
+
+  const double cos_zenith = std::sin(lat) * std::sin(decl) +
+                            std::cos(lat) * std::cos(decl) * std::cos(ha);
+  const double zenith = std::acos(std::clamp(cos_zenith, -1.0, 1.0));
+  return 90.0 - rad2deg(zenith);
+}
+
+bool is_daytime(TimePoint t, const Site& site) noexcept {
+  return solar_elevation_deg(t, site) > 0.0;
+}
+
+}  // namespace unp::env

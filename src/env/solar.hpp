@@ -1,0 +1,45 @@
+// Solar geometry over the machine's site.
+//
+// Section III-E of the paper correlates multi-bit error frequency with the
+// position of the sun in the sky (noon peak, day/night factor of ~2) and
+// attributes the effect to atmospheric neutron showers.  The fault engine
+// therefore needs the sun's elevation for any campaign timestamp.
+//
+// Implementation: the NOAA Solar Position Algorithm (the spreadsheet-grade
+// approximation, accurate to well under a degree over 2015-2016), computed
+// from the Julian date in UTC.
+#pragma once
+
+#include "common/civil_time.hpp"
+
+namespace unp::env {
+
+/// Geographic site of the prototype (Section II-A: Barcelona, ~100 m a.s.l.).
+struct Site {
+  double latitude_deg = 41.3851;
+  double longitude_deg = 2.1734;  ///< east positive
+  double altitude_m = 100.0;
+};
+
+constexpr Site kBarcelona{};
+
+/// Julian date (days) of a UTC instant.
+[[nodiscard]] double julian_date(TimePoint t) noexcept;
+
+/// Solar declination (degrees) at a UTC instant.
+[[nodiscard]] double solar_declination_deg(TimePoint t) noexcept;
+
+/// Equation of time (minutes) at a UTC instant.
+[[nodiscard]] double equation_of_time_minutes(TimePoint t) noexcept;
+
+/// Solar elevation angle in degrees above the horizon (negative at night)
+/// at UTC instant `t` for the given site.
+[[nodiscard]] double solar_elevation_deg(TimePoint t, const Site& site = kBarcelona) noexcept;
+
+/// True solar time in hours [0, 24) — solar noon is exactly 12.0.
+[[nodiscard]] double true_solar_time_hours(TimePoint t, const Site& site = kBarcelona) noexcept;
+
+/// True when the sun is above the horizon at `t`.
+[[nodiscard]] bool is_daytime(TimePoint t, const Site& site = kBarcelona) noexcept;
+
+}  // namespace unp::env

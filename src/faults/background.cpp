@@ -1,0 +1,32 @@
+#include "faults/background.hpp"
+
+namespace unp::faults {
+
+void BackgroundTransientGenerator::generate(
+    const std::vector<NodeContext>& nodes, std::uint64_t seed,
+    std::vector<FaultEvent>& out) const {
+  for (const auto& ctx : nodes) {
+    if (ctx.plan == nullptr || ctx.scanned_hours <= 0.0) continue;
+    RngStream rng(seed, /*stream_id=*/0xB6D0,
+                  static_cast<std::uint64_t>(cluster::node_index(ctx.node)));
+    double rate = config_.rate_per_scanned_hour;
+    if (cluster::Topology::is_overheating_slot(ctx.node)) {
+      rate *= config_.overheat_rate_multiplier;
+    }
+    const std::uint64_t count = rng.poisson(rate * ctx.scanned_hours);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      TimePoint when = 0;
+      if (!random_scanned_time(*ctx.plan, rng, when)) break;
+      FaultEvent ev;
+      ev.time = when;
+      ev.node = ctx.node;
+      ev.mechanism = Mechanism::kBackgroundTransient;
+      ev.persistence = Persistence::kTransient;
+      const Word mask = Word{1} << rng.uniform_u64(32);
+      ev.words.push_back({random_word_index(rng), leak_.make_corruption(mask, rng)});
+      out.push_back(std::move(ev));
+    }
+  }
+}
+
+}  // namespace unp::faults

@@ -1,0 +1,41 @@
+// Background transient single-bit upsets.
+//
+// The quiet baseline of the fleet: across every node other than the
+// pathological few, the whole 13-month study saw fewer than 30 independent
+// errors (Section III-H), i.e. on the order of 5e-6 faults per scanned
+// node-hour.  Events are one-word, one-bit, overwhelmingly discharge
+// (1 -> 0), with no time-of-day structure.
+#pragma once
+
+#include "dram/cell_model.hpp"
+#include "faults/generator.hpp"
+
+namespace unp::faults {
+
+class BackgroundTransientGenerator final : public FaultGenerator {
+ public:
+  struct Config {
+    /// Poisson rate of upsets per scanned hour per node.
+    double rate_per_scanned_hour = 3.5e-6;
+    /// Rate multiplier for the overheating SoC-12 slots while they ran:
+    /// heat-stressed silicon upsets more readily, producing Fig 7's small
+    /// tail of errors logged above 60 degC.
+    double overheat_rate_multiplier = 120.0;
+    dram::CellLeakModel::Config leak{};
+  };
+
+  BackgroundTransientGenerator() : BackgroundTransientGenerator(Config{}) {}
+  explicit BackgroundTransientGenerator(const Config& config)
+      : config_(config), leak_(config.leak) {}
+
+  void generate(const std::vector<NodeContext>& nodes, std::uint64_t seed,
+                std::vector<FaultEvent>& out) const override;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  dram::CellLeakModel leak_;
+};
+
+}  // namespace unp::faults

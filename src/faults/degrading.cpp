@@ -1,0 +1,139 @@
+#include "faults/degrading.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/require.hpp"
+#include "dram/address_map.hpp"
+
+namespace unp::faults {
+
+double DegradingComponentGenerator::rate_at(TimePoint t) const noexcept {
+  if (t < config_.onset) return 0.0;
+  const double days =
+      static_cast<double>(t - config_.onset) / kSecondsPerDay;
+  const double rate = config_.initial_rate_per_scanned_hour *
+                      std::exp(days / config_.ramp_tau_days);
+  return std::min(rate, config_.max_rate_per_scanned_hour);
+}
+
+void DegradingComponentGenerator::generate(const std::vector<NodeContext>& nodes,
+                                           std::uint64_t seed,
+                                           std::vector<FaultEvent>& out) const {
+  auto find_ctx = [&](cluster::NodeId id) -> const NodeContext* {
+    for (const auto& n : nodes) {
+      if (n.node == id) return &n;
+    }
+    return nullptr;
+  };
+
+  // The failing component lives in one slot until the (optional) swap, then
+  // continues degrading in its new host.
+  struct Phase {
+    const NodeContext* ctx;
+    TimePoint from;
+    TimePoint to;
+  };
+  constexpr TimePoint kForever = std::numeric_limits<TimePoint>::max();
+  std::vector<Phase> phases;
+  if (const NodeContext* ctx = find_ctx(config_.node); ctx != nullptr) {
+    phases.push_back({ctx, 0,
+                      config_.swap_date != 0 ? config_.swap_date : kForever});
+  }
+  if (config_.swap_date != 0) {
+    if (const NodeContext* ctx = find_ctx(config_.swap_to); ctx != nullptr) {
+      phases.push_back({ctx, config_.swap_date, kForever});
+    }
+  }
+  if (phases.empty()) return;
+
+  RngStream rng(seed, /*stream_id=*/0xDE64,
+                static_cast<std::uint64_t>(cluster::node_index(config_.node)));
+
+  // Fixed corruption-pattern pool: property of the *component*, shared
+  // across hosts.  Distinct single-bit masks, mostly discharge.
+  std::vector<dram::WordCorruption> patterns;
+  patterns.reserve(static_cast<std::size_t>(config_.pattern_pool));
+  {
+    Word used = 0;
+    while (static_cast<int>(patterns.size()) < std::min(config_.pattern_pool, 32)) {
+      const auto bit = static_cast<int>(rng.uniform_u64(32));
+      const Word mask = Word{1} << bit;
+      if (used & mask) continue;
+      used |= mask;
+      if (rng.bernoulli(config_.charge_pattern_fraction)) {
+        patterns.push_back(dram::WordCorruption{mask, mask});  // reads 1
+      } else {
+        patterns.push_back(dram::CellLeakModel::all_discharge(mask));
+      }
+    }
+  }
+
+  for (const Phase& phase : phases) {
+    // Address pool is host-local: a different slot maps the component into
+    // a fresh region of the node's address space.
+    std::vector<std::uint64_t> address_pool;
+    auto draw_word = [&](RngStream& r) -> std::uint64_t {
+      if (address_pool.empty() || r.bernoulli(config_.p_new_address)) {
+        address_pool.push_back(random_word_index(r));
+        return address_pool.back();
+      }
+      return address_pool[r.uniform_u64(address_pool.size())];
+    };
+
+    // Walk each scan session in one-hour slices; Poisson bursts per slice
+    // at the ramping rate.
+    for (const auto& session : phase.ctx->plan->sessions) {
+      const TimePoint lo = std::max(session.window.start, phase.from);
+      const TimePoint hi = std::min(session.window.end, phase.to);
+      for (TimePoint slice = lo; slice < hi; slice += kSecondsPerHour) {
+        const TimePoint slice_end =
+            std::min<TimePoint>(slice + kSecondsPerHour, hi);
+        const double hours =
+            static_cast<double>(slice_end - slice) / kSecondsPerHour;
+        const TimePoint mid = slice + (slice_end - slice) / 2;
+        const std::uint64_t bursts = rng.poisson(rate_at(mid) * hours);
+
+        for (std::uint64_t b = 0; b < bursts; ++b) {
+          FaultEvent ev;
+          ev.time = slice + static_cast<TimePoint>(rng.uniform_u64(
+                                static_cast<std::uint64_t>(slice_end - slice)));
+          ev.node = phase.ctx->node;
+          ev.mechanism = Mechanism::kDegradingComponent;
+          ev.persistence = Persistence::kTransient;
+
+          std::uint64_t words = std::min<std::uint64_t>(
+              1 + rng.poisson(config_.mean_extra_words),
+              static_cast<std::uint64_t>(config_.max_words));
+          if (rng.bernoulli(config_.p_mega_burst)) {
+            words = static_cast<std::uint64_t>(config_.mega_min_words) +
+                    rng.uniform_u64(static_cast<std::uint64_t>(
+                        config_.max_words - config_.mega_min_words + 1));
+          }
+          if (words >= 2 && rng.bernoulli(config_.p_row_aligned_burst)) {
+            // Physically aligned burst: one (rank, bank, row), distinct
+            // columns.  The column field is the low bits of the word index,
+            // so the aligned words stay inside the scan buffer.
+            static const dram::AddressMap map{dram::default_geometry()};
+            dram::WordLocation loc = map.decode(draw_word(rng));
+            for (std::uint64_t w = 0; w < words; ++w) {
+              loc.column = static_cast<std::uint32_t>(
+                  rng.uniform_u64(map.geometry().columns));
+              ev.words.push_back({map.encode(loc),
+                                  patterns[rng.uniform_u64(patterns.size())]});
+            }
+          } else {
+            for (std::uint64_t w = 0; w < words; ++w) {
+              ev.words.push_back(
+                  {draw_word(rng), patterns[rng.uniform_u64(patterns.size())]});
+            }
+          }
+          out.push_back(std::move(ev));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace unp::faults

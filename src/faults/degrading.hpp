@@ -1,0 +1,80 @@
+// The degrading-component fault of node 02-04.
+//
+// Section III-H: one node began to fail in August 2015 and worsened to more
+// than a thousand memory errors per day by November, corrupting over 11,000
+// distinct addresses with ~30 recurring corruption patterns, almost all
+// single-bit 1->0 flips.  The randomness of the affected locations suggests
+// the corruption happened outside the DRAM array itself (a failing
+// component, loose DIMM connection or capacitive noise).
+//
+// Model: corruption *bursts* arrive at an exponentially ramping rate from
+// an onset date; each burst simultaneously corrupts several words (this is
+// the dominant source of the paper's >26,000 same-instant corruptions, up
+// to 36 bits across different words).  Words are drawn from a growing
+// address pool (new address with probability `p_new_address`, otherwise a
+// re-strike of a previous one) and flip patterns from a fixed per-node pool
+// of single-bit discharge masks.
+#pragma once
+
+#include "dram/cell_model.hpp"
+#include "faults/generator.hpp"
+
+namespace unp::faults {
+
+class DegradingComponentGenerator final : public FaultGenerator {
+ public:
+  struct Config {
+    cluster::NodeId node{2, 4};
+    TimePoint onset = from_civil_utc({2015, 8, 10, 0, 0, 0});
+    /// Burst rate per scanned hour at onset.
+    double initial_rate_per_scanned_hour = 1.6;
+    /// e-folding time of the degradation ramp, days.
+    double ramp_tau_days = 20.0;
+    /// Rate ceiling (bursts per scanned hour).
+    double max_rate_per_scanned_hour = 400.0;
+    /// Words per burst: 1 + Poisson(mean_extra), capped at `max_words`.
+    double mean_extra_words = 0.25;
+    int max_words = 36;
+    /// Rare wide bursts (the paper's one-off 36-bit event): probability a
+    /// burst corrupts `mega_min_words`..`max_words` words instead.
+    double p_mega_burst = 0.00025;
+    int mega_min_words = 25;
+    /// Probability a burst word strikes a never-seen address.
+    double p_new_address = 0.22;
+    /// Probability a multi-word burst is physically row-aligned: its words
+    /// share one (rank, bank, row) and differ only in column - the
+    /// proximity/alignment the paper suspects behind simultaneous
+    /// corruptions (Section III-C), scattered across logical addresses by
+    /// the controller's interleaving.
+    double p_row_aligned_burst = 0.55;
+    /// Size of the fixed corruption-pattern pool (distinct single bits).
+    int pattern_pool = 30;
+    /// Fraction of pool patterns whose cell gains charge (reads 1) rather
+    /// than leaking; keeps the global 1->0 share near the paper's ~90%.
+    double charge_pattern_fraction = 0.10;
+    /// Component-swap experiment (the paper's future work: "swap some
+    /// components from the most faulty nodes with some healthy nodes").
+    /// When swap_date != 0, the failing component moves to `swap_to` at
+    /// that instant: bursts before the swap strike `node`, bursts after it
+    /// strike `swap_to` (same ramp clock, fresh address space).  If errors
+    /// follow the swap, the component - not the slot - is the root cause.
+    TimePoint swap_date = 0;
+    cluster::NodeId swap_to{0, 1};
+  };
+
+  DegradingComponentGenerator() : DegradingComponentGenerator(Config{}) {}
+  explicit DegradingComponentGenerator(const Config& config) : config_(config) {}
+
+  void generate(const std::vector<NodeContext>& nodes, std::uint64_t seed,
+                std::vector<FaultEvent>& out) const override;
+
+  /// Burst rate (per scanned hour) at time `t`.
+  [[nodiscard]] double rate_at(TimePoint t) const noexcept;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace unp::faults

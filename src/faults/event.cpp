@@ -1,0 +1,36 @@
+#include "faults/event.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace unp::faults {
+
+const char* to_string(Mechanism mechanism) noexcept {
+  switch (mechanism) {
+    case Mechanism::kBackgroundTransient: return "background-transient";
+    case Mechanism::kNeutronEvent: return "neutron-event";
+    case Mechanism::kWeakBit: return "weak-bit";
+    case Mechanism::kDegradingComponent: return "degrading-component";
+    case Mechanism::kPathologicalStuck: return "pathological-stuck";
+    case Mechanism::kIsolatedSdc: return "isolated-sdc";
+  }
+  return "unknown";
+}
+
+int FaultEvent::affected_bits() const noexcept {
+  int bits = 0;
+  for (const auto& w : words) {
+    bits += std::popcount(w.corruption.affected_mask);
+  }
+  return bits;
+}
+
+void sort_events(std::vector<FaultEvent>& events) {
+  std::sort(events.begin(), events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return cluster::node_index(a.node) < cluster::node_index(b.node);
+            });
+}
+
+}  // namespace unp::faults

@@ -1,0 +1,77 @@
+// Fault taxonomy of the study.
+//
+// Every observation in the paper is attributed to one of six physical
+// mechanisms; the simulator implements one generator per mechanism:
+//
+//   kBackgroundTransient  rare isolated single-bit upsets anywhere in the
+//                         fleet (the "<30 errors over all other nodes").
+//   kNeutronEvent         cosmic-ray neutron strikes, modulated by the
+//                         sun's elevation; produce single-bit hits,
+//                         multi-bit word corruptions (Table I) and
+//                         multi-word simultaneous showers (Section III-C).
+//   kWeakBit              a manufacturing-weak cell that intermittently
+//                         leaks charge; thousands of identical single-bit
+//                         errors on one node (nodes 04-05 and 58-02).
+//   kDegradingComponent   a progressively failing component corrupting
+//                         thousands of addresses in bursts (node 02-04).
+//   kPathologicalStuck    a wholesale-stuck region re-logged every pass;
+//                         the >98%-of-raw-logs node removed from the study.
+//   kIsolatedSdc          the seven >3-bit corruptions that appeared on
+//                         otherwise silent nodes (Section III-D).
+//
+// A FaultEvent is one root cause manifesting at one instant; it may corrupt
+// several words at once (the per-node "simultaneous" corruptions).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/topology.hpp"
+#include "common/civil_time.hpp"
+#include "dram/cell_model.hpp"
+
+namespace unp::faults {
+
+enum class Mechanism : std::uint8_t {
+  kBackgroundTransient,
+  kNeutronEvent,
+  kWeakBit,
+  kDegradingComponent,
+  kPathologicalStuck,
+  kIsolatedSdc,
+};
+
+[[nodiscard]] const char* to_string(Mechanism mechanism) noexcept;
+
+enum class Persistence : std::uint8_t {
+  kTransient,  ///< one-shot upset; repaired by the scanner's next write
+  kStuck       ///< cells override writes until `active_until`
+};
+
+/// Corruption of one word within an event.
+struct WordFault {
+  std::uint64_t word_index = 0;  ///< logical word in the node's scan space
+  dram::WordCorruption corruption;
+
+  friend bool operator==(const WordFault&, const WordFault&) = default;
+};
+
+/// One root cause striking at one instant.
+struct FaultEvent {
+  TimePoint time = 0;
+  cluster::NodeId node;
+  Mechanism mechanism = Mechanism::kBackgroundTransient;
+  Persistence persistence = Persistence::kTransient;
+  /// For kStuck: the fault heals/stops at this time (campaign end for
+  /// permanent faults).  Ignored for kTransient.
+  TimePoint active_until = 0;
+  std::vector<WordFault> words;  ///< at least one
+
+  /// Total cells affected across all words.
+  [[nodiscard]] int affected_bits() const noexcept;
+};
+
+/// Order events by (time, node) for deterministic processing.
+void sort_events(std::vector<FaultEvent>& events);
+
+}  // namespace unp::faults

@@ -1,0 +1,30 @@
+#include "faults/generator.hpp"
+
+#include "common/require.hpp"
+
+namespace unp::faults {
+
+std::uint64_t random_word_index(RngStream& rng) {
+  return rng.uniform_u64(cluster::kScannableBytes / sizeof(Word));
+}
+
+bool random_scanned_time(const sched::ScanPlan& plan, RngStream& rng,
+                         TimePoint& out) {
+  std::int64_t total = 0;
+  for (const auto& s : plan.sessions) total += s.window.seconds();
+  if (total <= 0) return false;
+
+  auto offset =
+      static_cast<std::int64_t>(rng.uniform_u64(static_cast<std::uint64_t>(total)));
+  for (const auto& s : plan.sessions) {
+    if (offset < s.window.seconds()) {
+      out = s.window.start + offset;
+      return true;
+    }
+    offset -= s.window.seconds();
+  }
+  UNP_ENSURE(!"unreachable: offset exceeded total session time");
+  return false;
+}
+
+}  // namespace unp::faults

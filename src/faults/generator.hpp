@@ -1,0 +1,54 @@
+// Generator interface shared by all fault mechanisms.
+//
+// Generators see the *scan plans*: since the study can only observe faults
+// while the scanner holds the memory, event rates are expressed per scanned
+// hour and events are placed inside scan sessions.  (Faults striking memory
+// owned by a running job were invisible to the study by construction -
+// that asymmetry is the paper's core motivation, and the simulator
+// reproduces the observable half of reality.)
+//
+// Determinism: generate() must derive all randomness from streams keyed by
+// (seed, generator tag, node index) so campaigns are reproducible and
+// node-parallel generation is order-independent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/topology.hpp"
+#include "common/rng.hpp"
+#include "faults/event.hpp"
+#include "sched/scan_plan.hpp"
+
+namespace unp::faults {
+
+/// Per-node inputs available to generators.
+struct NodeContext {
+  cluster::NodeId node;
+  const sched::ScanPlan* plan = nullptr;
+  double scanned_hours = 0.0;
+  /// True when this node sits next to the overheating SoC-12 column
+  /// (soc 11 or 13) - used by the isolated-SDC placement per Section III-D.
+  bool near_overheating_slot = false;
+};
+
+class FaultGenerator {
+ public:
+  virtual ~FaultGenerator() = default;
+
+  /// Append this mechanism's events for the whole fleet.
+  virtual void generate(const std::vector<NodeContext>& nodes,
+                        std::uint64_t seed,
+                        std::vector<FaultEvent>& out) const = 0;
+};
+
+/// Uniform draw of a word index within the scannable space.
+[[nodiscard]] std::uint64_t random_word_index(RngStream& rng);
+
+/// Draw a fault time uniformly within the scanned time of `plan`
+/// (proportional to session lengths).  Returns false if the plan has no
+/// sessions.
+[[nodiscard]] bool random_scanned_time(const sched::ScanPlan& plan,
+                                       RngStream& rng, TimePoint& out);
+
+}  // namespace unp::faults

@@ -1,0 +1,122 @@
+#include "faults/isolated_sdc.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace unp::faults {
+
+namespace {
+
+/// Find a placement inside one of `plan`'s alternating-pattern sessions on
+/// (or near) the target local day, at an instant whose *next* check pass
+/// expects 0xFFFFFFFF so the full discharge mask is observable.  Physical
+/// strikes do not care about pattern phase, but these seven events are
+/// defined by having been observed at full width, so placement honours
+/// observability.  Returns false if the node never scans near the target.
+bool place_observable(const sched::ScanPlan& plan, TimePoint target,
+                      TimePoint& out) {
+  const sched::ScanSession* best = nullptr;
+  std::int64_t best_distance = 0;
+  for (const auto& s : plan.sessions) {
+    if (s.pattern != scanner::PatternKind::kAlternating) continue;
+    if (s.iterations() < 4) continue;
+    std::int64_t distance = 0;
+    if (target < s.window.start) {
+      distance = s.window.start - target;
+    } else if (target >= s.window.end) {
+      distance = target - (s.window.end - 1);
+    }
+    if (best == nullptr || distance < best_distance) {
+      best = &s;
+      best_distance = distance;
+    }
+  }
+  if (best == nullptr) return false;
+
+  // Inside the chosen session, pick the pass closest to the target whose
+  // write value is 0xFFFFFFFF (odd pass index for the alternating pattern);
+  // the fault lands mid-pass and is checked against that write.
+  const TimePoint clamped = std::clamp(target, best->window.start,
+                                       best->window.end - 1);
+  std::uint64_t pass = static_cast<std::uint64_t>(
+                           (clamped - best->window.start) / best->pass_period_s);
+  if (pass % 2 == 0) ++pass;  // odd passes write 0xFFFFFFFF
+  if (pass + 1 >= best->iterations() && pass >= 2) pass -= 2;
+  out = best->window.start +
+        static_cast<TimePoint>(pass) * best->pass_period_s +
+        best->pass_period_s / 2;
+  return best->window.contains(out);
+}
+
+}  // namespace
+
+void IsolatedSdcGenerator::generate(const std::vector<NodeContext>& nodes,
+                                    std::uint64_t seed,
+                                    std::vector<FaultEvent>& out) const {
+  UNP_REQUIRE(config_.bit_counts.size() == config_.target_days.size());
+  RngStream rng(seed, /*stream_id=*/0x5DCA);
+
+  auto is_avoided = [&](cluster::NodeId id) {
+    return std::find(config_.avoid_nodes.begin(), config_.avoid_nodes.end(),
+                     id) != config_.avoid_nodes.end();
+  };
+
+  // Host selection: `near_overheating` hosts adjacent to the SoC-12 column,
+  // the rest anywhere quiet.  Deterministic scan order + random skip keeps
+  // the choice seed-dependent but stable.
+  std::vector<const NodeContext*> hosts;
+  auto pick_hosts = [&](bool need_near, int count) {
+    std::vector<const NodeContext*> candidates;
+    for (const auto& n : nodes) {
+      if (n.plan == nullptr || n.scanned_hours < 1000.0) continue;
+      if (is_avoided(n.node)) continue;
+      if (n.near_overheating_slot != need_near) continue;
+      if (std::find(hosts.begin(), hosts.end(), &n) != hosts.end()) continue;
+      candidates.push_back(&n);
+    }
+    for (int c = 0; c < count && !candidates.empty(); ++c) {
+      const std::size_t idx = rng.uniform_u64(candidates.size());
+      hosts.push_back(candidates[idx]);
+      candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+  };
+  pick_hosts(true, std::min(config_.near_overheating, config_.distinct_nodes));
+  pick_hosts(false, config_.distinct_nodes - static_cast<int>(hosts.size()));
+  if (hosts.empty()) return;
+
+  for (std::size_t e = 0; e < config_.bit_counts.size(); ++e) {
+    const int bits = config_.bit_counts[e];
+    UNP_REQUIRE(bits > 3 && bits <= 32);
+    // The first hosts carry one event each; the overflow all lands on the
+    // last host (Section III-D: four of the errors struck nodes that had
+    // only that one error; the remainder share a node).
+    const NodeContext* host = hosts[std::min(e, hosts.size() - 1)];
+
+    TimePoint target = from_civil_utc(config_.target_days[e]) +
+                       static_cast<TimePoint>(rng.uniform_u64(kSecondsPerDay));
+    TimePoint when = 0;
+    if (!place_observable(*host->plan, target, when)) continue;
+
+    Word mask;
+    const int start = static_cast<int>(rng.uniform_u64(
+        static_cast<std::uint64_t>(33 - bits)));
+    if (rng.bernoulli(config_.consecutive_fraction)) {
+      mask = ((bits == 32) ? ~Word{0} : ((Word{1} << bits) - 1))
+             << start;
+    } else {
+      mask = config_.scrambler.contiguous_upset(start, bits);
+    }
+
+    FaultEvent ev;
+    ev.time = when;
+    ev.node = host->node;
+    ev.mechanism = Mechanism::kIsolatedSdc;
+    ev.persistence = Persistence::kTransient;
+    ev.words.push_back(
+        {random_word_index(rng), dram::CellLeakModel::all_discharge(mask)});
+    out.push_back(std::move(ev));
+  }
+}
+
+}  // namespace unp::faults

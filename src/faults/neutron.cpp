@@ -1,0 +1,189 @@
+#include "faults/neutron.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace unp::faults {
+
+namespace {
+
+/// Start position for a flip cluster, biased toward the low half of the
+/// word (Section III-C: "the majority of the multiple bit corruptions occur
+/// in the least significant bits").
+int biased_low_start(RngStream& rng) {
+  return static_cast<int>(rng.bernoulli(0.7) ? rng.uniform_u64(16)
+                                             : 16 + rng.uniform_u64(14));
+}
+
+/// Pick the index of a weighted node (by scanned hours).  Returns npos when
+/// no node has scan time.
+std::size_t pick_weighted_node(const std::vector<NodeContext>& nodes,
+                               RngStream& rng) {
+  double total = 0.0;
+  for (const auto& n : nodes) total += n.scanned_hours;
+  if (total <= 0.0) return static_cast<std::size_t>(-1);
+  double target = rng.uniform() * total;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    target -= nodes[i].scanned_hours;
+    if (target < 0.0) return i;
+  }
+  return nodes.size() - 1;
+}
+
+const NodeContext* find_node(const std::vector<NodeContext>& nodes,
+                             cluster::NodeId id) {
+  for (const auto& n : nodes) {
+    if (n.node == id) return &n;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Word NeutronEventGenerator::draw_multibit_mask(int bits, RngStream& rng) const {
+  UNP_REQUIRE(bits >= 2 && bits <= 32);
+  const int start = biased_low_start(rng);
+  if (rng.bernoulli(config_.consecutive_fraction)) {
+    // Logically consecutive run (bus/latch side upset).
+    Word mask = 0;
+    for (int i = 0; i < bits; ++i) mask |= Word{1} << ((start + i) % 32);
+    return mask;
+  }
+  // Physically contiguous cell cluster, seen through the layout scrambler.
+  return config_.scrambler.contiguous_upset(start, bits);
+}
+
+bool NeutronEventGenerator::sample_flux_time(const sched::ScanPlan& plan,
+                                             RngStream& rng,
+                                             TimePoint& out) const {
+  const double flux_max =
+      config_.flux.altitude_factor() * (1.0 + config_.flux.config().solar_amplitude);
+  // Thinning: uniform candidate over scanned time, accepted proportionally
+  // to the relative flux.  The acceptance rate is bounded below by
+  // 1/(1+amplitude), so the retry loop terminates quickly in practice;
+  // the iteration cap keeps pathological configs from spinning.
+  for (int attempt = 0; attempt < 4096; ++attempt) {
+    TimePoint candidate = 0;
+    if (!random_scanned_time(plan, rng, candidate)) return false;
+    if (rng.uniform() * flux_max <= config_.flux.flux(candidate)) {
+      out = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+void NeutronEventGenerator::generate(const std::vector<NodeContext>& nodes,
+                                     std::uint64_t seed,
+                                     std::vector<FaultEvent>& out) const {
+  RngStream rng(seed, /*stream_id=*/0x4E07);
+
+  // --- Susceptible repeat sites: fixed (node, word, corruption) tuples. ---
+  struct RepeatSite {
+    const NodeContext* node = nullptr;
+    std::uint64_t word = 0;
+    dram::WordCorruption corruption;
+  };
+  std::vector<RepeatSite> sites;
+  if (!config_.repeat_site_nodes.empty()) {
+    for (int s = 0; s < config_.repeat_sites; ++s) {
+      const cluster::NodeId host =
+          config_.repeat_site_nodes[static_cast<std::size_t>(s) %
+                                    config_.repeat_site_nodes.size()];
+      const NodeContext* ctx = find_node(nodes, host);
+      if (ctx == nullptr || ctx->scanned_hours <= 0.0) continue;
+      RepeatSite site;
+      site.node = ctx;
+      site.word = random_word_index(rng);
+      const int bits = 2;  // susceptible pairs: the repeated Table I rows are doubles
+      // A susceptible pair upsets identically on every strike: discharge.
+      site.corruption =
+          dram::CellLeakModel::all_discharge(draw_multibit_mask(bits, rng));
+      sites.push_back(site);
+    }
+  }
+
+  // --- Multi-bit strike events. ---
+  const std::uint64_t multibit_events = rng.poisson(config_.multibit_events_fleet);
+  for (std::uint64_t e = 0; e < multibit_events; ++e) {
+    const bool on_site = !sites.empty() && rng.bernoulli(config_.repeat_site_fraction);
+
+    const NodeContext* ctx = nullptr;
+    FaultEvent ev;
+    if (on_site) {
+      const auto& site = sites[rng.uniform_u64(sites.size())];
+      ctx = site.node;
+      ev.words.push_back({site.word, site.corruption});
+    } else {
+      const std::size_t idx = pick_weighted_node(nodes, rng);
+      if (idx == static_cast<std::size_t>(-1)) break;
+      ctx = &nodes[idx];
+      const int bits = rng.bernoulli(config_.p_three_bits) ? 3 : 2;
+      ev.words.push_back({random_word_index(rng),
+                          leak_.make_corruption(draw_multibit_mask(bits, rng), rng)});
+    }
+
+    bool placed = false;
+    for (int attempt = 0; attempt < 64 && !placed; ++attempt) {
+      if (!sample_flux_time(*ctx->plan, rng, ev.time)) break;
+      if (!on_site || config_.site_ramp_tau_days <= 0.0) {
+        placed = true;
+        break;
+      }
+      // Degradation ramp of the susceptible sites: acceptance 1 at the
+      // reference date, falling e-fold per tau going back in time.
+      const double days_before =
+          static_cast<double>(config_.site_ramp_reference - ev.time) /
+          kSecondsPerDay;
+      const double accept =
+          days_before <= 0.0 ? 1.0
+                             : std::exp(-days_before / config_.site_ramp_tau_days);
+      placed = rng.bernoulli(accept);
+    }
+    if (!placed) continue;
+    ev.node = ctx->node;
+    ev.mechanism = Mechanism::kNeutronEvent;
+    ev.persistence = Persistence::kTransient;
+
+    // Accompanying corruption elsewhere in the same node's memory.
+    if (rng.bernoulli(config_.p_accompanied)) {
+      const std::uint64_t extra = 1 + rng.poisson(config_.accompany_extra_mean);
+      for (std::uint64_t i = 0; i < extra; ++i) {
+        const Word mask = Word{1} << rng.uniform_u64(32);
+        ev.words.push_back(
+            {random_word_index(rng), leak_.make_corruption(mask, rng)});
+      }
+      if (rng.bernoulli(config_.p_double_double)) {
+        ev.words.push_back(
+            {random_word_index(rng),
+             leak_.make_corruption(draw_multibit_mask(2, rng), rng)});
+      }
+    }
+    out.push_back(std::move(ev));
+  }
+
+  // --- Independent all-single-bit showers. ---
+  const std::uint64_t shower_events =
+      rng.poisson(config_.single_shower_events_fleet);
+  for (std::uint64_t e = 0; e < shower_events; ++e) {
+    const std::size_t idx = pick_weighted_node(nodes, rng);
+    if (idx == static_cast<std::size_t>(-1)) break;
+    const NodeContext& ctx = nodes[idx];
+    FaultEvent ev;
+    if (!sample_flux_time(*ctx.plan, rng, ev.time)) continue;
+    ev.node = ctx.node;
+    ev.mechanism = Mechanism::kNeutronEvent;
+    ev.persistence = Persistence::kTransient;
+    const std::uint64_t words =
+        std::min<std::uint64_t>(2 + rng.poisson(config_.shower_words_mean), 36);
+    for (std::uint64_t w = 0; w < words; ++w) {
+      const Word mask = Word{1} << rng.uniform_u64(32);
+      ev.words.push_back({random_word_index(rng), leak_.make_corruption(mask, rng)});
+    }
+    out.push_back(std::move(ev));
+  }
+}
+
+}  // namespace unp::faults

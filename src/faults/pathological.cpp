@@ -1,0 +1,49 @@
+#include "faults/pathological.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/require.hpp"
+
+namespace unp::faults {
+
+void PathologicalNodeGenerator::generate(const std::vector<NodeContext>& nodes,
+                                         std::uint64_t seed,
+                                         std::vector<FaultEvent>& out) const {
+  UNP_REQUIRE(config_.removal >= config_.onset);
+  const NodeContext* ctx = nullptr;
+  for (const auto& n : nodes) {
+    if (n.node == config_.node) {
+      ctx = &n;
+      break;
+    }
+  }
+  if (ctx == nullptr) return;
+
+  RngStream rng(seed, /*stream_id=*/0xBAD0,
+                static_cast<std::uint64_t>(cluster::node_index(config_.node)));
+
+  for (int a = 0; a < config_.stuck_addresses; ++a) {
+    FaultEvent ev;
+    // Addresses fail over the first day of the breakdown, not all in the
+    // same second (the component died over hours, not instantaneously).
+    ev.time = config_.onset +
+              static_cast<TimePoint>(rng.uniform_u64(kSecondsPerDay));
+    ev.node = config_.node;
+    ev.mechanism = Mechanism::kPathologicalStuck;
+    ev.persistence = Persistence::kStuck;
+    ev.active_until = config_.removal;
+
+    const auto bits = static_cast<int>(
+        std::min<std::uint64_t>(1 + rng.poisson(config_.mean_extra_bits), 8));
+    Word mask = 0;
+    while (std::popcount(mask) < bits) {
+      mask |= Word{1} << rng.uniform_u64(32);
+    }
+    ev.words.push_back(
+        {random_word_index(rng), dram::CellLeakModel::all_discharge(mask)});
+    out.push_back(std::move(ev));
+  }
+}
+
+}  // namespace unp::faults

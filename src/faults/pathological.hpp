@@ -1,0 +1,47 @@
+// The pathological node: >98% of all raw error logs.
+//
+// Section III-B: one faulty node produced the overwhelming majority of the
+// >25 million raw ERROR lines - "a classic case of a node that gets
+// replaced in production systems" - and was removed from both the scheduler
+// pool and the characterization.  The mechanism is a wholesale-stuck memory
+// region: every scan pass re-logs every stuck address, so raw volume scales
+// as (stuck addresses) x (passes) until the node is pulled.
+//
+// The generator emits one kStuck FaultEvent per stuck address at the onset
+// date; the campaign driver caps the node's availability at the removal
+// date (it left the scheduler pool), and the analysis pipeline's
+// pathological-node filter (Section II-C) must rediscover and drop it.
+#pragma once
+
+#include "dram/cell_model.hpp"
+#include "faults/generator.hpp"
+
+namespace unp::faults {
+
+class PathologicalNodeGenerator final : public FaultGenerator {
+ public:
+  struct Config {
+    cluster::NodeId node{21, 7};
+    TimePoint onset = from_civil_utc({2015, 3, 5, 0, 0, 0});
+    /// The admins pull the node from the pool here; stuck faults persist
+    /// but nothing scans them afterwards.
+    TimePoint removal = from_civil_utc({2015, 6, 20, 0, 0, 0});
+    /// Number of wholesale-stuck word addresses.
+    int stuck_addresses = 1300;
+    /// Affected cells per stuck word: 1 + Poisson(mean_extra_bits), max 8.
+    double mean_extra_bits = 0.6;
+  };
+
+  PathologicalNodeGenerator() : PathologicalNodeGenerator(Config{}) {}
+  explicit PathologicalNodeGenerator(const Config& config) : config_(config) {}
+
+  void generate(const std::vector<NodeContext>& nodes, std::uint64_t seed,
+                std::vector<FaultEvent>& out) const override;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace unp::faults

@@ -1,0 +1,43 @@
+#include "faults/suite.hpp"
+
+namespace unp::faults {
+
+FaultModelSuite::FaultModelSuite(const Config& config)
+    : config_(config),
+      background_(config.background),
+      neutron_(config.neutron),
+      weak_bits_(config.weak_bits),
+      degrading_(config.degrading),
+      pathological_(config.pathological),
+      isolated_sdc_(config.isolated_sdc) {}
+
+std::vector<FaultEvent> FaultModelSuite::generate(
+    const std::vector<NodeContext>& nodes, std::uint64_t seed) const {
+  std::vector<FaultEvent> events;
+
+  // The isolated-SDC events are *defined* by landing on nodes that stay
+  // otherwise error-free for the whole study (Section III-D), so their
+  // hosts are chosen first and masked out of the random-placement
+  // generators' node weighting.
+  std::vector<FaultEvent> isolated;
+  if (config_.enable_isolated_sdc) {
+    isolated_sdc_.generate(nodes, seed, isolated);
+  }
+  std::vector<NodeContext> weighted = nodes;
+  for (const auto& ev : isolated) {
+    for (auto& ctx : weighted) {
+      if (ctx.node == ev.node) ctx.scanned_hours = 0.0;
+    }
+  }
+
+  if (config_.enable_background) background_.generate(weighted, seed, events);
+  if (config_.enable_neutron) neutron_.generate(weighted, seed, events);
+  if (config_.enable_weak_bits) weak_bits_.generate(nodes, seed, events);
+  if (config_.enable_degrading) degrading_.generate(nodes, seed, events);
+  if (config_.enable_pathological) pathological_.generate(nodes, seed, events);
+  events.insert(events.end(), isolated.begin(), isolated.end());
+  sort_events(events);
+  return events;
+}
+
+}  // namespace unp::faults

@@ -1,0 +1,53 @@
+// The complete fault model: all six mechanisms with the calibrated defaults
+// that reproduce the paper's campaign, plus per-mechanism switches for the
+// ablation experiments.
+#pragma once
+
+#include "faults/background.hpp"
+#include "faults/degrading.hpp"
+#include "faults/generator.hpp"
+#include "faults/isolated_sdc.hpp"
+#include "faults/neutron.hpp"
+#include "faults/pathological.hpp"
+#include "faults/weak_bit.hpp"
+
+namespace unp::faults {
+
+class FaultModelSuite {
+ public:
+  struct Config {
+    BackgroundTransientGenerator::Config background{};
+    NeutronEventGenerator::Config neutron{};
+    WeakBitGenerator::Config weak_bits = WeakBitGenerator::default_config();
+    DegradingComponentGenerator::Config degrading{};
+    PathologicalNodeGenerator::Config pathological{};
+    IsolatedSdcGenerator::Config isolated_sdc{};
+
+    bool enable_background = true;
+    bool enable_neutron = true;
+    bool enable_weak_bits = true;
+    bool enable_degrading = true;
+    bool enable_pathological = true;
+    bool enable_isolated_sdc = true;
+  };
+
+  FaultModelSuite() : FaultModelSuite(Config{}) {}
+  explicit FaultModelSuite(const Config& config);
+
+  /// All fault events for the fleet, sorted by (time, node).
+  [[nodiscard]] std::vector<FaultEvent> generate(
+      const std::vector<NodeContext>& nodes, std::uint64_t seed) const;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  BackgroundTransientGenerator background_;
+  NeutronEventGenerator neutron_;
+  WeakBitGenerator weak_bits_;
+  DegradingComponentGenerator degrading_;
+  PathologicalNodeGenerator pathological_;
+  IsolatedSdcGenerator isolated_sdc_;
+};
+
+}  // namespace unp::faults

@@ -1,0 +1,128 @@
+#include "faults/weak_bit.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace unp::faults {
+
+WeakBitGenerator::Config WeakBitGenerator::default_config() {
+  Config config;
+  WeakBitSpec a;
+  a.node = cluster::NodeId{4, 5};
+  a.bit = 9;
+  a.activity_start = from_civil_utc({2015, 8, 1, 0, 0, 0});
+  a.activity_end = from_civil_utc({2016, 1, 1, 0, 0, 0});
+  config.specs.push_back(a);
+
+  WeakBitSpec b;
+  b.node = cluster::NodeId{58, 2};
+  b.bit = 21;
+  b.activity_start = from_civil_utc({2015, 9, 15, 0, 0, 0});
+  b.activity_end = from_civil_utc({2016, 2, 20, 0, 0, 0});
+  config.specs.push_back(b);
+  return config;
+}
+
+WeakBitGenerator::Config WeakBitGenerator::physical_config(
+    const std::vector<cluster::NodeId>& fleet,
+    const dram::RetentionModel& retention,
+    const env::TemperatureModel& temperature, const CampaignWindow& window,
+    std::uint64_t seed) {
+  Config config;
+  RngStream rng(seed, /*stream_id=*/0x7EA7);
+  for (const cluster::NodeId node : fleet) {
+    // Idle-scan temperature of this node (room mid-band + its idle delta).
+    const double idle_c =
+        0.5 * (temperature.config().room_min_c + temperature.config().room_max_c) +
+        temperature.node_idle_delta_c(
+            static_cast<std::uint32_t>(cluster::node_index(node)));
+    const double expected =
+        retention.expected_weak_bits(cluster::kScannableBytes, idle_c);
+    const std::uint64_t weak_cells = rng.poisson(expected);
+    for (std::uint64_t w = 0; w < weak_cells; ++w) {
+      WeakBitSpec spec;
+      spec.node = node;
+      spec.bit = static_cast<int>(rng.uniform_u64(32));
+      // VRT episodes cluster inside a multi-month active season whose
+      // placement is the cell's own (state transitions are temperature- and
+      // stress-driven and look random at campaign scale).
+      const std::int64_t span = window.duration_seconds();
+      const TimePoint start =
+          window.start +
+          static_cast<TimePoint>(rng.uniform_u64(static_cast<std::uint64_t>(span / 2)));
+      spec.activity_start = start;
+      spec.activity_end = std::min<TimePoint>(
+          window.end,
+          start + static_cast<TimePoint>(rng.uniform_u64(
+                      static_cast<std::uint64_t>(span / 2))) +
+              30 * kSecondsPerDay);
+      config.specs.push_back(spec);
+    }
+  }
+  return config;
+}
+
+void WeakBitGenerator::generate(const std::vector<NodeContext>& nodes,
+                                std::uint64_t seed,
+                                std::vector<FaultEvent>& out) const {
+  for (const auto& spec : config_.specs) {
+    UNP_REQUIRE(spec.bit >= 0 && spec.bit < 32);
+    UNP_REQUIRE(spec.activity_end >= spec.activity_start);
+
+    const NodeContext* ctx = nullptr;
+    for (const auto& n : nodes) {
+      if (n.node == spec.node) {
+        ctx = &n;
+        break;
+      }
+    }
+    if (ctx == nullptr || ctx->plan == nullptr) continue;
+
+    RngStream rng(seed, /*stream_id=*/0x3EAB,
+                  static_cast<std::uint64_t>(cluster::node_index(spec.node)));
+
+    // The weak cell's word: one fixed location for the node's lifetime.
+    const std::uint64_t word = random_word_index(rng);
+    const auto corruption =
+        dram::CellLeakModel::all_discharge(Word{1} << spec.bit);
+
+    // Episode arrivals across the activity window.
+    const double window_days =
+        static_cast<double>(spec.activity_end - spec.activity_start) /
+        kSecondsPerDay;
+    const std::uint64_t episodes = rng.poisson(spec.episodes_per_day * window_days);
+
+    for (std::uint64_t e = 0; e < episodes; ++e) {
+      const TimePoint ep_start =
+          spec.activity_start +
+          static_cast<TimePoint>(rng.uniform_u64(static_cast<std::uint64_t>(
+              spec.activity_end - spec.activity_start)));
+      const double dur_h = rng.uniform(spec.episode_min_h, spec.episode_max_h);
+      const TimePoint ep_end =
+          ep_start + static_cast<TimePoint>(dur_h * kSecondsPerHour);
+
+      // Leak events within (episode window intersect scan sessions).
+      for (const auto& session : ctx->plan->sessions) {
+        const TimePoint s = std::max(session.window.start, ep_start);
+        const TimePoint t_end = std::min(session.window.end, ep_end);
+        if (t_end <= s) continue;
+        const double hours = static_cast<double>(t_end - s) / kSecondsPerHour;
+        const std::uint64_t leaks =
+            rng.poisson(spec.leak_rate_per_scanned_hour * hours);
+        for (std::uint64_t l = 0; l < leaks; ++l) {
+          FaultEvent ev;
+          ev.time = s + static_cast<TimePoint>(
+                            rng.uniform_u64(static_cast<std::uint64_t>(t_end - s)));
+          ev.node = spec.node;
+          ev.mechanism = Mechanism::kWeakBit;
+          ev.persistence = Persistence::kTransient;
+          ev.words.push_back({word, corruption});
+          out.push_back(std::move(ev));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace unp::faults

@@ -1,0 +1,74 @@
+// Weak-bit intermittent faults.
+//
+// Section III-H: two of the three loudest nodes (04-05 and 58-02) produced
+// thousands of errors in which "the corrupted bit was the same in 100% of
+// the cases" - a manufacturing-weak cell that escaped burn-in and leaks
+// charge episodically.  Episodes cluster in time: they are what drives the
+// study's 77 degraded-mode days and the whole quarantine analysis
+// (Table II).
+//
+// Model per weak bit: within a seasonal activity window, leak *episodes*
+// arrive as a Poisson process; during an episode the cell misreads at a
+// fixed rate per scanned hour.  Every emitted event is a one-shot
+// discharge of the same (word, bit).
+#pragma once
+
+#include <vector>
+
+#include "dram/cell_model.hpp"
+#include "dram/retention.hpp"
+#include "env/temperature.hpp"
+#include "faults/generator.hpp"
+
+namespace unp::faults {
+
+struct WeakBitSpec {
+  cluster::NodeId node;
+  /// Fixed flipped bit position (0..31).
+  int bit = 0;
+  /// Seasonal window in which episodes can occur.
+  TimePoint activity_start = 0;
+  TimePoint activity_end = 0;
+  /// Episode arrivals per day inside the activity window.
+  double episodes_per_day = 0.095;
+  /// Episode duration (uniform hours).
+  double episode_min_h = 24.0;
+  double episode_max_h = 84.0;
+  /// Misread rate per scanned hour while an episode is active.
+  double leak_rate_per_scanned_hour = 14.0;
+};
+
+class WeakBitGenerator final : public FaultGenerator {
+ public:
+  struct Config {
+    std::vector<WeakBitSpec> specs;
+  };
+
+  /// Default: the paper's two weak-bit nodes with autumn/winter activity.
+  [[nodiscard]] static Config default_config();
+
+  /// Physically derived configuration: instead of naming the weak-bit
+  /// nodes, sample them from the VRT retention model - each node draws
+  /// Poisson(expected observable weak cells at its idle temperature) weak
+  /// bits, each receiving a random multi-month activity window.  With the
+  /// calibrated retention defaults a 923-node fleet comes out with a
+  /// handful of weak-bit nodes: the study's observation made emergent.
+  [[nodiscard]] static Config physical_config(
+      const std::vector<cluster::NodeId>& fleet,
+      const dram::RetentionModel& retention,
+      const env::TemperatureModel& temperature, const CampaignWindow& window,
+      std::uint64_t seed);
+
+  WeakBitGenerator() : WeakBitGenerator(default_config()) {}
+  explicit WeakBitGenerator(Config config) : config_(std::move(config)) {}
+
+  void generate(const std::vector<NodeContext>& nodes, std::uint64_t seed,
+                std::vector<FaultEvent>& out) const override;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace unp::faults

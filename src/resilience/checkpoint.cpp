@@ -1,0 +1,160 @@
+#include "resilience/checkpoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace unp::resilience {
+
+double young_interval_hours(double checkpoint_cost_hours, double mtbf_hours) {
+  UNP_REQUIRE(checkpoint_cost_hours > 0.0);
+  UNP_REQUIRE(mtbf_hours > 0.0);
+  return std::sqrt(2.0 * checkpoint_cost_hours * mtbf_hours);
+}
+
+double waste_fraction(double interval_hours, double checkpoint_cost_hours,
+                      double mtbf_hours) {
+  UNP_REQUIRE(interval_hours > 0.0);
+  UNP_REQUIRE(mtbf_hours > 0.0);
+  const double waste =
+      checkpoint_cost_hours / interval_hours + interval_hours / (2.0 * mtbf_hours);
+  return std::min(waste, 1.0);  // beyond 1 the job makes no progress at all
+}
+
+CheckpointComparison compare_checkpoint_policies(
+    const analysis::RegimeResult& regime, double checkpoint_cost_hours) {
+  CheckpointComparison cmp;
+  cmp.checkpoint_cost_hours = checkpoint_cost_hours;
+
+  const double normal_mtbf =
+      regime.normal_mtbf_hours > 0.0 ? regime.normal_mtbf_hours : 1e6;
+  const double degraded_mtbf =
+      regime.degraded_mtbf_hours > 0.0 ? regime.degraded_mtbf_hours : normal_mtbf;
+
+  // Blended MTBF a regime-blind operator would measure.
+  const std::uint64_t total_errors = regime.normal_errors + regime.degraded_errors;
+  const std::uint64_t total_days = regime.normal_days + regime.degraded_days;
+  const double blended_mtbf =
+      total_errors > 0
+          ? static_cast<double>(total_days) * 24.0 / static_cast<double>(total_errors)
+          : normal_mtbf;
+
+  cmp.static_interval_hours =
+      young_interval_hours(checkpoint_cost_hours, blended_mtbf);
+  cmp.normal_interval_hours =
+      young_interval_hours(checkpoint_cost_hours, normal_mtbf);
+  cmp.degraded_interval_hours =
+      young_interval_hours(checkpoint_cost_hours, degraded_mtbf);
+
+  double static_waste = 0.0;
+  double adaptive_waste = 0.0;
+  for (std::size_t d = 0; d < regime.degraded.size(); ++d) {
+    const double mtbf = regime.degraded[d] ? degraded_mtbf : normal_mtbf;
+    static_waste += waste_fraction(cmp.static_interval_hours,
+                                   checkpoint_cost_hours, mtbf);
+    const double interval = regime.degraded[d] ? cmp.degraded_interval_hours
+                                               : cmp.normal_interval_hours;
+    adaptive_waste += waste_fraction(interval, checkpoint_cost_hours, mtbf);
+  }
+  const auto days = static_cast<double>(regime.degraded.size());
+  if (days > 0.0) {
+    cmp.static_waste_fraction = static_waste / days;
+    cmp.adaptive_waste_fraction = adaptive_waste / days;
+  }
+  return cmp;
+}
+
+TraceJobOutcome simulate_checkpoint_trace(
+    const std::vector<TimePoint>& fault_times, const TraceJobConfig& config,
+    const std::function<double(TimePoint)>& interval_at) {
+  UNP_REQUIRE(config.work_hours > 0.0);
+  UNP_REQUIRE(std::is_sorted(fault_times.begin(), fault_times.end()));
+
+  TraceJobOutcome outcome;
+  TimePoint now = config.start;
+  std::size_t next_fault = static_cast<std::size_t>(
+      std::lower_bound(fault_times.begin(), fault_times.end(), now) -
+      fault_times.begin());
+
+  // Cap against policy bugs making no forward progress: a segment always
+  // completes at least a second of work.
+  while (outcome.work_hours < config.work_hours) {
+    const double interval_h = interval_at(now);
+    UNP_REQUIRE(interval_h > 0.0);
+    const double remaining_h = config.work_hours - outcome.work_hours;
+    const double segment_h = std::min(interval_h, remaining_h);
+    const auto segment_s = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(segment_h * kSecondsPerHour));
+    const auto checkpoint_s = static_cast<std::int64_t>(
+        config.checkpoint_cost_h * kSecondsPerHour);
+
+    // A fault during (work + checkpoint write) kills the segment.
+    const TimePoint segment_end = now + segment_s + checkpoint_s;
+    if (next_fault < fault_times.size() && fault_times[next_fault] < segment_end) {
+      const TimePoint fault = fault_times[next_fault];
+      ++next_fault;
+      ++outcome.failures;
+      const double elapsed_h =
+          static_cast<double>(fault - now) / kSecondsPerHour;
+      outcome.lost_hours += std::min(elapsed_h, segment_h);
+      const auto restart_s = static_cast<std::int64_t>(
+          config.restart_cost_h * kSecondsPerHour);
+      now = fault + restart_s;
+      outcome.restart_hours += config.restart_cost_h;
+      // Skip co-located faults landing during the restart itself.
+      while (next_fault < fault_times.size() && fault_times[next_fault] < now) {
+        ++next_fault;
+      }
+      continue;
+    }
+
+    outcome.work_hours += segment_h;
+    outcome.checkpoint_hours += config.checkpoint_cost_h;
+    now = segment_end;
+  }
+  outcome.wall_hours =
+      static_cast<double>(now - config.start) / kSecondsPerHour;
+  return outcome;
+}
+
+TracePolicyComparison compare_checkpoint_traces(
+    const std::vector<TimePoint>& fault_times,
+    const analysis::RegimeResult& regime, const CampaignWindow& window,
+    const TraceJobConfig& config) {
+  TracePolicyComparison cmp;
+
+  const double normal_mtbf =
+      regime.normal_mtbf_hours > 0.0 ? regime.normal_mtbf_hours : 1e6;
+  const double degraded_mtbf =
+      regime.degraded_mtbf_hours > 0.0 ? regime.degraded_mtbf_hours : normal_mtbf;
+  const std::uint64_t total_errors = regime.normal_errors + regime.degraded_errors;
+  const std::uint64_t total_days = regime.normal_days + regime.degraded_days;
+  const double blended_mtbf =
+      total_errors > 0 ? static_cast<double>(total_days) * 24.0 /
+                             static_cast<double>(total_errors)
+                       : normal_mtbf;
+
+  cmp.static_interval_hours =
+      young_interval_hours(config.checkpoint_cost_h, blended_mtbf);
+  cmp.normal_interval_hours =
+      young_interval_hours(config.checkpoint_cost_h, normal_mtbf);
+  cmp.degraded_interval_hours =
+      young_interval_hours(config.checkpoint_cost_h, degraded_mtbf);
+
+  cmp.static_policy = simulate_checkpoint_trace(
+      fault_times, config,
+      [&](TimePoint) { return cmp.static_interval_hours; });
+
+  cmp.adaptive_policy = simulate_checkpoint_trace(
+      fault_times, config, [&](TimePoint t) {
+        const std::int64_t day = window.day_of_campaign(t);
+        const bool degraded =
+            day >= 0 && static_cast<std::size_t>(day) < regime.degraded.size() &&
+            regime.degraded[static_cast<std::size_t>(day)];
+        return degraded ? cmp.degraded_interval_hours : cmp.normal_interval_hours;
+      });
+  return cmp;
+}
+
+}  // namespace unp::resilience

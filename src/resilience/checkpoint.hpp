@@ -1,0 +1,100 @@
+// Checkpoint-interval adaptation (Sections III-I / IV).
+//
+// The paper's argument: once degraded periods are recognized (MTBF 167 h
+// normal vs 0.39 h degraded), a job should shorten its checkpoint interval
+// while the system misbehaves.  This module provides the classic Young/Daly
+// machinery plus an evaluator comparing a static interval against a
+// regime-adaptive one over the campaign's day classification.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "analysis/regime.hpp"
+
+namespace unp::resilience {
+
+/// Young's optimal checkpoint interval: sqrt(2 * C * MTBF).
+[[nodiscard]] double young_interval_hours(double checkpoint_cost_hours,
+                                          double mtbf_hours);
+
+/// Expected overhead fraction of running with interval tau under MTBF M and
+/// checkpoint cost C: first-order waste = C/tau + tau/(2*M).
+[[nodiscard]] double waste_fraction(double interval_hours,
+                                    double checkpoint_cost_hours,
+                                    double mtbf_hours);
+
+struct CheckpointComparison {
+  double checkpoint_cost_hours = 0.0;
+  double static_interval_hours = 0.0;    ///< tuned to the blended MTBF
+  double static_waste_fraction = 0.0;    ///< time lost with the static policy
+  double adaptive_waste_fraction = 0.0;  ///< per-regime optimal intervals
+  double normal_interval_hours = 0.0;
+  double degraded_interval_hours = 0.0;
+
+  [[nodiscard]] double improvement() const noexcept {
+    return static_waste_fraction > 0.0
+               ? 1.0 - adaptive_waste_fraction / static_waste_fraction
+               : 0.0;
+  }
+};
+
+/// Evaluate static vs regime-adaptive checkpointing over a classified
+/// campaign.  Waste fractions are day-weighted averages of the first-order
+/// model under each day's regime MTBF.
+[[nodiscard]] CheckpointComparison compare_checkpoint_policies(
+    const analysis::RegimeResult& regime, double checkpoint_cost_hours = 0.1);
+
+// --- Trace-driven checkpoint/restart simulation ---------------------------
+//
+// The first-order model above assumes exponential failures; the campaign's
+// faults are anything but (bursty, regime-switching).  This simulator runs
+// a long job against the *actual* fault timestamps: work proceeds in
+// checkpoint intervals, a fault mid-segment discards the segment's work and
+// costs a restart, and the interval policy may consult the current time
+// (e.g. to shrink during a degraded day).
+
+struct TraceJobConfig {
+  double checkpoint_cost_h = 10.0 / 60.0;
+  double restart_cost_h = 5.0 / 60.0;
+  /// Useful work the job must complete, hours.
+  double work_hours = 2000.0;
+  TimePoint start = 0;  ///< job launch time
+};
+
+struct TraceJobOutcome {
+  double wall_hours = 0.0;
+  double work_hours = 0.0;
+  double lost_hours = 0.0;        ///< discarded partial segments
+  double checkpoint_hours = 0.0;  ///< time spent writing checkpoints
+  double restart_hours = 0.0;
+  std::uint64_t failures = 0;
+
+  [[nodiscard]] double efficiency() const noexcept {
+    return wall_hours > 0.0 ? work_hours / wall_hours : 0.0;
+  }
+};
+
+/// Run the job against sorted fault timestamps (faults hitting the job's
+/// nodes).  `interval_at(t)` supplies the interval; it must return > 0.
+/// Faults outside the trace horizon simply never occur.
+[[nodiscard]] TraceJobOutcome simulate_checkpoint_trace(
+    const std::vector<TimePoint>& fault_times, const TraceJobConfig& config,
+    const std::function<double(TimePoint)>& interval_at);
+
+/// Convenience: static Young interval vs regime-adaptive intervals over a
+/// day classification, both run against the same fault trace.
+struct TracePolicyComparison {
+  TraceJobOutcome static_policy;
+  TraceJobOutcome adaptive_policy;
+  double static_interval_hours = 0.0;
+  double normal_interval_hours = 0.0;
+  double degraded_interval_hours = 0.0;
+};
+
+[[nodiscard]] TracePolicyComparison compare_checkpoint_traces(
+    const std::vector<TimePoint>& fault_times,
+    const analysis::RegimeResult& regime, const CampaignWindow& window,
+    const TraceJobConfig& config);
+
+}  // namespace unp::resilience

@@ -1,0 +1,44 @@
+#include "resilience/ecc_whatif.hpp"
+
+#include <cstdlib>
+
+namespace unp::resilience {
+
+EccWhatIf ecc_what_if(const std::vector<analysis::FaultRecord>& faults) {
+  EccWhatIf result;
+  for (const auto& f : faults) {
+    result.parity.add(ecc::parity_outcome(f.expected, f.actual));
+    result.secded.add(ecc::secded_outcome(f.expected, f.actual));
+    result.chipkill.add(ecc::chipkill_outcome(f.expected, f.actual));
+    const int bits = f.flipped_bits();
+    if (bits >= 2) ++result.multibit_faults;
+    if (bits == 2) ++result.double_bit_faults;
+    if (bits > 2) ++result.beyond_secded_guarantee;
+  }
+  return result;
+}
+
+std::vector<IsolationReport> sdc_isolation_report(
+    const std::vector<analysis::FaultRecord>& faults, int min_bits,
+    std::int64_t window_s) {
+  std::vector<IsolationReport> reports;
+  for (const auto& f : faults) {
+    if (f.flipped_bits() < min_bits) continue;
+    IsolationReport report;
+    report.fault = f;
+    for (const auto& other : faults) {
+      if (&other == &f) continue;
+      if (other.node == f.node) {
+        ++report.same_node_other_faults;
+        if (other.flipped_bits() < min_bits) ++report.same_node_small_faults;
+      }
+      if (std::llabs(other.first_seen - f.first_seen) <= window_s) {
+        ++report.same_time_other_faults;
+      }
+    }
+    reports.push_back(report);
+  }
+  return reports;
+}
+
+}  // namespace unp::resilience

@@ -1,0 +1,83 @@
+#include "resilience/page_retirement.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace unp::resilience {
+
+namespace {
+
+struct NodeState {
+  std::unordered_map<std::uint64_t, std::uint64_t> page_faults;
+  std::unordered_set<std::uint64_t> retired;
+};
+
+}  // namespace
+
+PageRetirementOutcome simulate_page_retirement(
+    const std::vector<analysis::FaultRecord>& faults,
+    const PageRetirementConfig& config) {
+  PageRetirementOutcome outcome;
+  std::unordered_map<int, NodeState> states;
+
+  for (const auto& f : faults) {
+    ++outcome.total_faults;
+    NodeState& ns = states[cluster::node_index(f.node)];
+    const std::uint64_t page = f.virtual_address / config.page_bytes;
+
+    if (ns.retired.contains(page)) {
+      ++outcome.avoided_faults;
+      continue;
+    }
+    const std::uint64_t count = ++ns.page_faults[page];
+    if (count >= config.faults_to_retire &&
+        (config.max_pages_per_node == 0 ||
+         ns.retired.size() < config.max_pages_per_node)) {
+      ns.retired.insert(page);
+      ++outcome.pages_retired;
+    }
+  }
+  for (const auto& [node, ns] : states) {
+    if (!ns.retired.empty()) ++outcome.nodes_with_retirements;
+  }
+  return outcome;
+}
+
+std::vector<NodeRetirementRow> page_retirement_by_node(
+    const std::vector<analysis::FaultRecord>& faults,
+    const PageRetirementConfig& config, std::size_t max_rows) {
+  std::unordered_map<int, NodeState> states;
+  std::unordered_map<int, NodeRetirementRow> rows;
+
+  for (const auto& f : faults) {
+    const int idx = cluster::node_index(f.node);
+    NodeState& ns = states[idx];
+    NodeRetirementRow& row = rows[idx];
+    row.node = f.node;
+    ++row.faults;
+    const std::uint64_t page = f.virtual_address / config.page_bytes;
+    if (ns.retired.contains(page)) {
+      ++row.avoided;
+      continue;
+    }
+    if (++ns.page_faults[page] >= config.faults_to_retire &&
+        (config.max_pages_per_node == 0 ||
+         ns.retired.size() < config.max_pages_per_node)) {
+      ns.retired.insert(page);
+      ++row.pages_retired;
+    }
+  }
+
+  std::vector<NodeRetirementRow> out;
+  out.reserve(rows.size());
+  for (const auto& [idx, row] : rows) out.push_back(row);
+  std::sort(out.begin(), out.end(),
+            [](const NodeRetirementRow& a, const NodeRetirementRow& b) {
+              return a.faults > b.faults;
+            });
+  if (out.size() > max_rows) out.resize(max_rows);
+  return out;
+}
+
+}  // namespace unp::resilience

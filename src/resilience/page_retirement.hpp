@@ -1,0 +1,57 @@
+// Page-retirement policy evaluation (Section IV).
+//
+// The OS can stop using a physical page after it shows faults; this fixes
+// recurring weak bits but - as the paper concludes - cannot help when
+// corruption keeps landing on fresh addresses (the degrading component) or
+// strikes many regions at once.  The evaluator replays the fault stream,
+// retires a page after `faults_to_retire` observed faults, and reports how
+// many subsequent faults the retirement would have absorbed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/extraction.hpp"
+
+namespace unp::resilience {
+
+struct PageRetirementConfig {
+  std::uint64_t page_bytes = 4096;
+  /// Faults observed on a page before it is retired.
+  std::uint64_t faults_to_retire = 1;
+  /// Retired-page budget per node (0 = unlimited).
+  std::uint64_t max_pages_per_node = 0;
+};
+
+struct PageRetirementOutcome {
+  std::uint64_t total_faults = 0;
+  std::uint64_t avoided_faults = 0;   ///< would have hit a retired page
+  std::uint64_t pages_retired = 0;
+  std::uint64_t nodes_with_retirements = 0;
+
+  [[nodiscard]] double avoided_fraction() const noexcept {
+    return total_faults > 0 ? static_cast<double>(avoided_faults) /
+                                  static_cast<double>(total_faults)
+                            : 0.0;
+  }
+};
+
+[[nodiscard]] PageRetirementOutcome simulate_page_retirement(
+    const std::vector<analysis::FaultRecord>& faults,
+    const PageRetirementConfig& config = PageRetirementConfig{});
+
+/// Per-node breakdown (the paper's point: retirement works for the weak-bit
+/// nodes, not for the degrading one).
+struct NodeRetirementRow {
+  cluster::NodeId node;
+  std::uint64_t faults = 0;
+  std::uint64_t avoided = 0;
+  std::uint64_t pages_retired = 0;
+};
+
+[[nodiscard]] std::vector<NodeRetirementRow> page_retirement_by_node(
+    const std::vector<analysis::FaultRecord>& faults,
+    const PageRetirementConfig& config = PageRetirementConfig{},
+    std::size_t max_rows = 10);
+
+}  // namespace unp::resilience

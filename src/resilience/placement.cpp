@@ -1,0 +1,140 @@
+#include "resilience/placement.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace unp::resilience {
+
+namespace {
+
+/// Per-node sorted fault timestamps for interval queries.
+struct FaultIndex {
+  std::vector<std::vector<TimePoint>> by_node;
+
+  explicit FaultIndex(const std::vector<analysis::FaultRecord>& faults)
+      : by_node(static_cast<std::size_t>(cluster::kStudyNodeSlots)) {
+    for (const auto& f : faults) {
+      by_node[static_cast<std::size_t>(cluster::node_index(f.node))].push_back(
+          f.first_seen);
+    }
+    for (auto& v : by_node) std::sort(v.begin(), v.end());
+  }
+
+  [[nodiscard]] bool any_in(int node, TimePoint lo, TimePoint hi) const {
+    const auto& v = by_node[static_cast<std::size_t>(node)];
+    const auto it = std::lower_bound(v.begin(), v.end(), lo);
+    return it != v.end() && *it < hi;
+  }
+
+  [[nodiscard]] std::size_t count_before(int node, TimePoint t) const {
+    const auto& v = by_node[static_cast<std::size_t>(node)];
+    return static_cast<std::size_t>(
+        std::lower_bound(v.begin(), v.end(), t) - v.begin());
+  }
+};
+
+struct Job {
+  TimePoint start;
+  TimePoint end;
+  int nodes;
+};
+
+}  // namespace
+
+PlacementComparison compare_placements(
+    const std::vector<analysis::FaultRecord>& faults,
+    const CampaignWindow& window,
+    const std::vector<cluster::NodeId>& monitored_nodes, const JobMix& mix,
+    std::uint64_t seed) {
+  UNP_REQUIRE(!monitored_nodes.empty());
+  UNP_REQUIRE(mix.nodes_min >= 1 && mix.nodes_max >= mix.nodes_min);
+  UNP_REQUIRE(static_cast<std::size_t>(mix.nodes_max) <= monitored_nodes.size());
+
+  const FaultIndex index(faults);
+
+  // One job stream, replayed under both policies.
+  std::vector<Job> jobs;
+  {
+    RngStream rng(seed, /*stream_id=*/0x10B5);
+    const double total_days =
+        static_cast<double>(window.duration_seconds()) / kSecondsPerDay;
+    const std::uint64_t count = rng.poisson(mix.arrivals_per_day * total_days);
+    jobs.reserve(count);
+    for (std::uint64_t j = 0; j < count; ++j) {
+      Job job;
+      job.start = window.start + static_cast<TimePoint>(rng.uniform_u64(
+                                     static_cast<std::uint64_t>(
+                                         window.duration_seconds())));
+      const double dur_h = rng.exponential(1.0 / mix.mean_duration_h);
+      job.end = std::min<TimePoint>(
+          window.end, job.start + static_cast<TimePoint>(dur_h * kSecondsPerHour));
+      job.nodes = static_cast<int>(
+          rng.uniform_int(mix.nodes_min, mix.nodes_max));
+      jobs.push_back(job);
+    }
+    std::sort(jobs.begin(), jobs.end(),
+              [](const Job& a, const Job& b) { return a.start < b.start; });
+  }
+
+  auto run_policy = [&](PlacementPolicy policy) {
+    PlacementOutcome outcome;
+    outcome.policy = policy;
+    RngStream rng(seed, /*stream_id=*/0x10B6);  // same draws for both runs
+
+    for (const Job& job : jobs) {
+      // Choose the job's nodes.
+      std::vector<int> chosen;
+      chosen.reserve(static_cast<std::size_t>(job.nodes));
+      if (policy == PlacementPolicy::kRandom) {
+        // Floyd-style distinct sampling.
+        std::vector<int> pool;
+        while (static_cast<int>(chosen.size()) < job.nodes) {
+          const auto pick = static_cast<std::size_t>(
+              rng.uniform_u64(monitored_nodes.size()));
+          const int node = cluster::node_index(monitored_nodes[pick]);
+          if (std::find(chosen.begin(), chosen.end(), node) == chosen.end()) {
+            chosen.push_back(node);
+          }
+        }
+      } else {
+        // History-aware: order by (errors observed before job start, node),
+        // take the quietest; burn the same number of RNG draws as the
+        // random policy would not - determinism per policy is what matters.
+        std::vector<std::pair<std::size_t, int>> ranked;
+        ranked.reserve(monitored_nodes.size());
+        for (const auto& n : monitored_nodes) {
+          const int idx = cluster::node_index(n);
+          ranked.emplace_back(index.count_before(idx, job.start), idx);
+        }
+        std::nth_element(ranked.begin(),
+                         ranked.begin() + job.nodes - 1, ranked.end());
+        std::sort(ranked.begin(), ranked.begin() + job.nodes);
+        for (int k = 0; k < job.nodes; ++k) chosen.push_back(ranked[static_cast<std::size_t>(k)].second);
+      }
+
+      ++outcome.jobs;
+      bool failed = false;
+      for (const int node : chosen) {
+        if (index.any_in(node, job.start, job.end)) {
+          failed = true;
+          break;
+        }
+      }
+      if (failed) {
+        ++outcome.failed_jobs;
+        outcome.node_hours_lost +=
+            static_cast<double>(job.nodes) *
+            static_cast<double>(job.end - job.start) / kSecondsPerHour;
+      }
+    }
+    return outcome;
+  };
+
+  PlacementComparison cmp;
+  cmp.random = run_policy(PlacementPolicy::kRandom);
+  cmp.history_aware = run_policy(PlacementPolicy::kHistoryAware);
+  return cmp;
+}
+
+}  // namespace unp::resilience

@@ -1,0 +1,61 @@
+#include "resilience/prediction.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/require.hpp"
+
+namespace unp::resilience {
+
+PredictionEvaluation evaluate_predictor(
+    const std::vector<analysis::FaultRecord>& faults,
+    const CampaignWindow& window, const PredictorConfig& config) {
+  UNP_REQUIRE(config.history_days >= 1);
+
+  const auto days = static_cast<std::size_t>(window.duration_days()) + 2;
+
+  // Per-node daily error counts, only for nodes that erred at all.
+  std::unordered_map<int, std::vector<std::uint64_t>> daily;
+  for (const auto& f : faults) {
+    if (std::find(config.excluded_nodes.begin(), config.excluded_nodes.end(),
+                  f.node) != config.excluded_nodes.end()) {
+      continue;
+    }
+    const std::int64_t day = window.day_of_campaign(f.first_seen);
+    if (day < 0 || static_cast<std::size_t>(day) >= days) continue;
+    auto& series = daily[cluster::node_index(f.node)];
+    if (series.empty()) series.assign(days, 0);
+    ++series[static_cast<std::size_t>(day)];
+  }
+
+  PredictionEvaluation eval;
+  for (const auto& [node, series] : daily) {
+    std::uint64_t window_sum = 0;
+    for (std::size_t d = 0; d < days; ++d) {
+      // Prediction for day d from the preceding history window.
+      const bool flagged = d > 0 && window_sum > config.trigger_errors;
+      const bool bad = series[d] > config.bad_day_threshold;
+
+      if (flagged && bad) ++eval.true_positives;
+      if (flagged && !bad) ++eval.false_positives;
+      if (!flagged && bad) ++eval.false_negatives;
+      if (!flagged && !bad) ++eval.true_negatives;
+      if (flagged) {
+        ++eval.flagged_node_days;
+        eval.forewarned_errors += series[d];
+      }
+      eval.total_errors += series[d];
+
+      // Slide the window: add today, drop the day that falls out so that
+      // at the next iteration window_sum covers exactly the last
+      // `history_days` days.
+      window_sum += series[d];
+      if (d >= static_cast<std::size_t>(config.history_days)) {
+        window_sum -= series[d - static_cast<std::size_t>(config.history_days)];
+      }
+    }
+  }
+  return eval;
+}
+
+}  // namespace unp::resilience

@@ -1,0 +1,71 @@
+// Spatio-temporal failure prediction (Section III-I's proposal).
+//
+// "When the system starts to experience several failures in a short period
+// of time, it is relatively simple to foresee future failures using the
+// spatio-temporal analysis above."  This module makes that sentence
+// falsifiable: a sliding-window predictor flags a node-day as *at risk*
+// when the node's recent error history crosses a threshold, and the
+// evaluator scores those one-day-ahead predictions against what actually
+// happened — precision, recall, and the fraction of errors that fell on
+// forewarned node-days (the errors a scheduler could have routed around).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/extraction.hpp"
+
+namespace unp::resilience {
+
+struct PredictorConfig {
+  /// Error history window, days.
+  int history_days = 3;
+  /// Flag tomorrow when the window holds strictly more errors than this.
+  std::uint64_t trigger_errors = 3;
+  /// Ground truth: a node-day is "bad" with more errors than this (the
+  /// regime threshold).
+  std::uint64_t bad_day_threshold = 3;
+  /// Nodes excluded up front (permanent failures).
+  std::vector<cluster::NodeId> excluded_nodes;
+};
+
+struct PredictionEvaluation {
+  // Node-day confusion matrix (counted only over nodes that erred at least
+  // once during the campaign; all-quiet nodes would drown the true-negative
+  // cell without informing the metric).
+  std::uint64_t true_positives = 0;
+  std::uint64_t false_positives = 0;
+  std::uint64_t false_negatives = 0;
+  std::uint64_t true_negatives = 0;
+
+  /// Errors landing on node-days that were flagged in advance.
+  std::uint64_t forewarned_errors = 0;
+  std::uint64_t total_errors = 0;
+  /// Node-days flagged (the cost: capacity a scheduler would divert).
+  std::uint64_t flagged_node_days = 0;
+
+  [[nodiscard]] double precision() const noexcept {
+    const std::uint64_t p = true_positives + false_positives;
+    return p ? static_cast<double>(true_positives) / static_cast<double>(p) : 0.0;
+  }
+  [[nodiscard]] double recall() const noexcept {
+    const std::uint64_t a = true_positives + false_negatives;
+    return a ? static_cast<double>(true_positives) / static_cast<double>(a) : 0.0;
+  }
+  [[nodiscard]] double f1() const noexcept {
+    const double p = precision(), r = recall();
+    return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+  }
+  [[nodiscard]] double forewarned_fraction() const noexcept {
+    return total_errors ? static_cast<double>(forewarned_errors) /
+                              static_cast<double>(total_errors)
+                        : 0.0;
+  }
+};
+
+/// Score one-day-ahead at-risk predictions over the fault stream.
+[[nodiscard]] PredictionEvaluation evaluate_predictor(
+    const std::vector<analysis::FaultRecord>& faults,
+    const CampaignWindow& window, const PredictorConfig& config);
+
+}  // namespace unp::resilience

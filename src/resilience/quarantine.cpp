@@ -1,0 +1,88 @@
+#include "resilience/quarantine.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace unp::resilience {
+
+QuarantineOutcome simulate_quarantine(
+    const std::vector<analysis::FaultRecord>& faults,
+    const CampaignWindow& window, const QuarantineConfig& config,
+    int fleet_nodes) {
+  UNP_REQUIRE(config.period_days >= 0);
+  UNP_REQUIRE(fleet_nodes > 0);
+
+  QuarantineOutcome outcome;
+  outcome.period_days = config.period_days;
+
+  struct NodeState {
+    TimePoint quarantined_until = 0;
+    std::int64_t counting_day = -1;
+    std::uint64_t errors_today = 0;
+  };
+  std::vector<NodeState> state(static_cast<std::size_t>(cluster::kStudyNodeSlots));
+
+  // Faults arrive time-ordered (the extraction sorts them).
+  for (const auto& f : faults) {
+    if (std::find(config.excluded_nodes.begin(), config.excluded_nodes.end(),
+                  f.node) != config.excluded_nodes.end()) {
+      continue;
+    }
+    NodeState& ns = state[static_cast<std::size_t>(cluster::node_index(f.node))];
+
+    if (config.period_days > 0 && f.first_seen < ns.quarantined_until) {
+      ++outcome.suppressed_errors;
+      continue;
+    }
+
+    const std::int64_t day = window.day_of_campaign(f.first_seen);
+    if (day != ns.counting_day) {
+      ns.counting_day = day;
+      ns.errors_today = 0;
+    }
+    ++ns.errors_today;
+    ++outcome.counted_errors;
+
+    if (config.period_days > 0 && ns.errors_today > config.trigger_threshold) {
+      const TimePoint until = std::min(
+          window.end,
+          f.first_seen + static_cast<TimePoint>(config.period_days) *
+                             kSecondsPerDay);
+      outcome.node_days_quarantined +=
+          static_cast<double>(until - f.first_seen) / kSecondsPerDay;
+      ns.quarantined_until = until;
+      ++outcome.quarantine_entries;
+    }
+  }
+
+  const double campaign_hours =
+      static_cast<double>(window.duration_seconds()) / kSecondsPerHour;
+  if (outcome.counted_errors > 0) {
+    outcome.system_mtbf_hours =
+        campaign_hours / static_cast<double>(outcome.counted_errors);
+  } else {
+    outcome.system_mtbf_hours = campaign_hours;
+  }
+  outcome.availability_loss =
+      outcome.node_days_quarantined /
+      (static_cast<double>(fleet_nodes) *
+       static_cast<double>(window.duration_days()));
+  return outcome;
+}
+
+std::vector<QuarantineOutcome> quarantine_sweep(
+    const std::vector<analysis::FaultRecord>& faults,
+    const CampaignWindow& window, const std::vector<int>& periods,
+    const QuarantineConfig& base, int fleet_nodes) {
+  std::vector<QuarantineOutcome> out;
+  out.reserve(periods.size());
+  for (int period : periods) {
+    QuarantineConfig config = base;
+    config.period_days = period;
+    out.push_back(simulate_quarantine(faults, window, config, fleet_nodes));
+  }
+  return out;
+}
+
+}  // namespace unp::resilience

@@ -1,0 +1,55 @@
+// Quarantine policy simulator (Section IV, Table II).
+//
+// Proposal: as soon as a node behaves abnormally (more errors in a day than
+// the normal-regime threshold), pull it from the scheduler pool for a fixed
+// quarantine period.  Errors the node would have produced while quarantined
+// never reach users.  Table II sweeps the period from 0 (no quarantine) to
+// 30 days and reports surviving errors, node-days lost, and the resulting
+// system MTBF (campaign hours / surviving errors).
+//
+// Like the paper, the permanently failing node is excluded up front - a
+// production system replaces such hardware rather than cycling it through
+// quarantine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/extraction.hpp"
+
+namespace unp::resilience {
+
+struct QuarantineConfig {
+  /// Quarantine length; 0 disables the policy.
+  int period_days = 0;
+  /// A day with more errors than this triggers quarantine (same threshold
+  /// as the regime classification).
+  std::uint64_t trigger_threshold = 3;
+  /// Nodes excluded entirely (permanent failures).
+  std::vector<cluster::NodeId> excluded_nodes;
+};
+
+struct QuarantineOutcome {
+  int period_days = 0;
+  std::uint64_t counted_errors = 0;     ///< errors that reached users
+  std::uint64_t suppressed_errors = 0;  ///< absorbed by quarantine
+  std::uint64_t quarantine_entries = 0; ///< times any node entered quarantine
+  double node_days_quarantined = 0.0;
+  double system_mtbf_hours = 0.0;
+  /// Node-availability loss over the whole campaign.
+  double availability_loss = 0.0;
+};
+
+/// Replay the fault stream under the policy.
+[[nodiscard]] QuarantineOutcome simulate_quarantine(
+    const std::vector<analysis::FaultRecord>& faults,
+    const CampaignWindow& window, const QuarantineConfig& config,
+    int fleet_nodes = 945);
+
+/// Table II: one outcome per requested period.
+[[nodiscard]] std::vector<QuarantineOutcome> quarantine_sweep(
+    const std::vector<analysis::FaultRecord>& faults,
+    const CampaignWindow& window, const std::vector<int>& periods,
+    const QuarantineConfig& base = QuarantineConfig{}, int fleet_nodes = 945);
+
+}  // namespace unp::resilience

@@ -1,0 +1,65 @@
+// Memory-scrubbing analysis.
+//
+// A SECDED-protected machine only stays safe if single-bit faults are
+// *scrubbed* (read-corrected-rewritten) before a second fault lands in the
+// same ECC word and turns a correctable error into an uncorrectable one.
+// The study's scanner is, in effect, an aggressive scrubber - every pass
+// rewrites the whole buffer - which is why it could count faults one at a
+// time.  This module answers the design question the paper's data raises:
+// given the observed fault processes, how fast must production scrubbing be?
+//
+// Two estimators:
+//  - an analytic Poisson model (uniform faults): P(second hit in the same
+//    72-bit word within one scrub period);
+//  - a trace-driven replay: walk the observed faults of each node and count
+//    how many would have accumulated (same ECC word, within the period)
+//    under a given scrub interval - which captures the *clustered* reality
+//    (weak bits re-leaking, degrading-component re-strikes) that breaks the
+//    uniform model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/extraction.hpp"
+
+namespace unp::resilience {
+
+struct ScrubbingConfig {
+  /// Scrub period: every word is cleaned at least this often.
+  double scrub_interval_h = 24.0;
+  /// ECC word granularity in bytes (72,64 code protects 8 data bytes).
+  std::uint64_t ecc_word_bytes = 8;
+};
+
+/// Analytic accumulation estimate under uniform random faults.
+/// `fault_rate_per_node_hour` is the single-bit fault rate of one node;
+/// `node_bytes` its protected capacity.  Returns expected uncorrectable
+/// accumulations per node-year.
+[[nodiscard]] double analytic_accumulation_per_node_year(
+    double fault_rate_per_node_hour, std::uint64_t node_bytes,
+    const ScrubbingConfig& config);
+
+struct ScrubbingOutcome {
+  double scrub_interval_h = 0.0;
+  std::uint64_t faults_considered = 0;
+  /// Pairs of faults hitting the same ECC word within one scrub period -
+  /// each would surface as an uncorrectable error on a SECDED machine.
+  std::uint64_t accumulations = 0;
+  /// Accumulations involving two *different* bit positions (true double-bit
+  /// words; same-bit re-leaks would re-correct, not accumulate).
+  std::uint64_t distinct_bit_accumulations = 0;
+};
+
+/// Replay the observed fault trace under a scrub interval.
+[[nodiscard]] ScrubbingOutcome replay_scrubbing(
+    const std::vector<analysis::FaultRecord>& faults,
+    const ScrubbingConfig& config);
+
+/// Sweep several intervals over the same trace.
+[[nodiscard]] std::vector<ScrubbingOutcome> scrubbing_sweep(
+    const std::vector<analysis::FaultRecord>& faults,
+    const std::vector<double>& intervals_h,
+    std::uint64_t ecc_word_bytes = 8);
+
+}  // namespace unp::resilience

@@ -1,0 +1,18 @@
+#include "scanner/alloc_policy.hpp"
+
+#include "common/require.hpp"
+
+namespace unp::scanner {
+
+std::uint64_t negotiate_allocation(
+    const AllocPolicy& policy,
+    const std::function<bool(std::uint64_t)>& try_alloc) {
+  UNP_REQUIRE(policy.step_bytes > 0);
+  for (std::uint64_t bytes = policy.target_bytes; bytes > 0;
+       bytes = bytes > policy.step_bytes ? bytes - policy.step_bytes : 0) {
+    if (try_alloc(bytes)) return bytes;
+  }
+  return 0;
+}
+
+}  // namespace unp::scanner

@@ -1,0 +1,23 @@
+// Allocation back-off policy of the scanning tool (Section II-B): try to
+// allocate 3 GB (the most an application can get on a node); on failure,
+// shrink the request by 10 MB and retry, down to zero.  A zero result means
+// the attempt failed entirely and an ALLOCFAIL record is due.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace unp::scanner {
+
+struct AllocPolicy {
+  std::uint64_t target_bytes = 3ULL << 30;  ///< 3 GB
+  std::uint64_t step_bytes = 10ULL << 20;   ///< 10 MB
+};
+
+/// Negotiate an allocation size.  `try_alloc(bytes)` attempts one allocation
+/// and reports success.  Returns the size that succeeded, or 0 when every
+/// size down to the step granularity failed.
+[[nodiscard]] std::uint64_t negotiate_allocation(
+    const AllocPolicy& policy, const std::function<bool(std::uint64_t)>& try_alloc);
+
+}  // namespace unp::scanner

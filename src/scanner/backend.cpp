@@ -1,0 +1,2 @@
+// Interface-only translation unit (keeps one vtable anchor for the ABI).
+#include "scanner/backend.hpp"

@@ -1,0 +1,38 @@
+// Memory backend abstraction for the scanner.
+//
+// The scanner's inner loop is "check every word against the previous write,
+// then store the next value".  The backend supplies that operation over
+// either real resident memory (RealMemoryBackend - the deployable tool) or
+// a virtual 3 GB word space with injected corruptions (SimulatedMemoryBackend
+// - the campaign substrate).  Both honour identical semantics so the same
+// MemoryScanner drives either.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/bitops.hpp"
+
+namespace unp::scanner {
+
+/// Mismatch callback: (word index, actual stored value).
+using MismatchFn = std::function<void(std::uint64_t, Word)>;
+
+class MemoryBackend {
+ public:
+  virtual ~MemoryBackend() = default;
+
+  /// Number of 32-bit words under scan.
+  [[nodiscard]] virtual std::uint64_t word_count() const noexcept = 0;
+
+  /// Store `value` in every word (iteration 0 / session start).
+  virtual void fill(Word value) = 0;
+
+  /// For every word: report a mismatch if the stored value differs from
+  /// `expected`, then store `next`.  Mismatches are reported in ascending
+  /// word order regardless of internal parallelism.
+  virtual void verify_and_write(Word expected, Word next,
+                                const MismatchFn& report) = 0;
+};
+
+}  // namespace unp::scanner

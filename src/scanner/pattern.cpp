@@ -1,0 +1,13 @@
+#include "scanner/pattern.hpp"
+
+namespace unp::scanner {
+
+const char* to_string(PatternKind kind) noexcept {
+  switch (kind) {
+    case PatternKind::kAlternating: return "alternating";
+    case PatternKind::kCounter: return "counter";
+  }
+  return "unknown";
+}
+
+}  // namespace unp::scanner

@@ -1,0 +1,53 @@
+// Write patterns of the memory scanning tool (Section II-B).
+//
+// Alternating: iteration 0 writes 0x00000000 everywhere; each following
+// iteration checks the previous value and writes its complement
+// (0xFFFFFFFF, 0x00000000, ...).  This stresses every bit position equally
+// and is what most of the study used.
+//
+// Counter: starts at 0x00000001 and increments the written value by one
+// every iteration (the secondary strategy the authors tested); it explains
+// the small expected values of several Table I rows.
+//
+// At iteration i >= 1 the scanner checks the value written at iteration
+// i-1; `expected_at(i)` therefore returns the i-1 write value, and
+// `written_at(i)` the value stored during iteration i.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitops.hpp"
+#include "common/require.hpp"
+
+namespace unp::scanner {
+
+enum class PatternKind : std::uint8_t { kAlternating, kCounter };
+
+[[nodiscard]] const char* to_string(PatternKind kind) noexcept;
+
+class Pattern {
+ public:
+  explicit Pattern(PatternKind kind) noexcept : kind_(kind) {}
+
+  [[nodiscard]] PatternKind kind() const noexcept { return kind_; }
+
+  /// Value written to every word during iteration `i` (i >= 0).
+  [[nodiscard]] Word written_at(std::uint64_t i) const noexcept {
+    if (kind_ == PatternKind::kAlternating) {
+      return (i % 2 == 0) ? Word{0x00000000} : Word{0xFFFFFFFF};
+    }
+    // Counter: 0x00000001 at iteration 0, +1 per iteration (wraps).
+    return static_cast<Word>(1 + i);
+  }
+
+  /// Value the check at iteration `i` expects (i >= 1): the previous write.
+  [[nodiscard]] Word expected_at(std::uint64_t i) const {
+    UNP_REQUIRE(i >= 1);
+    return written_at(i - 1);
+  }
+
+ private:
+  PatternKind kind_;
+};
+
+}  // namespace unp::scanner

@@ -1,0 +1,68 @@
+#include "scanner/real_backend.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace unp::scanner {
+
+RealMemoryBackend::RealMemoryBackend(std::uint64_t bytes, std::size_t threads)
+    : words_(static_cast<std::size_t>(bytes / sizeof(Word)), 0) {
+  UNP_REQUIRE(bytes >= sizeof(Word));
+  UNP_REQUIRE(threads >= 1);
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+void RealMemoryBackend::fill(Word value) {
+  std::fill(words_.begin(), words_.end(), value);
+}
+
+void RealMemoryBackend::verify_and_write(Word expected, Word next,
+                                         const MismatchFn& report) {
+  struct Mismatch {
+    std::uint64_t index;
+    Word actual;
+  };
+
+  const std::size_t n = words_.size();
+  const std::size_t lanes = pool_ ? pool_->thread_count() : 1;
+  const std::size_t chunk = (n + lanes - 1) / lanes;
+
+  std::vector<std::vector<Mismatch>> found(lanes);
+
+  auto scan_range = [&](std::size_t lane) {
+    const std::size_t begin = lane * chunk;
+    const std::size_t end = std::min(begin + chunk, n);
+    Word* data = words_.data();
+    for (std::size_t i = begin; i < end; ++i) {
+      const Word actual = data[i];
+      if (actual != expected) {
+        found[lane].push_back({static_cast<std::uint64_t>(i), actual});
+      }
+      data[i] = next;
+    }
+  };
+
+  if (pool_) {
+    pool_->parallel_for(lanes, scan_range);
+  } else {
+    scan_range(0);
+  }
+
+  // Ranges are contiguous and ascending, so lane order == address order.
+  for (const auto& lane_hits : found) {
+    for (const auto& m : lane_hits) report(m.index, m.actual);
+  }
+}
+
+void RealMemoryBackend::poke(std::uint64_t word_index, Word value) {
+  UNP_REQUIRE(word_index < words_.size());
+  words_[static_cast<std::size_t>(word_index)] = value;
+}
+
+Word RealMemoryBackend::peek(std::uint64_t word_index) const {
+  UNP_REQUIRE(word_index < words_.size());
+  return words_[static_cast<std::size_t>(word_index)];
+}
+
+}  // namespace unp::scanner

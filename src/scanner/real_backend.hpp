@@ -1,0 +1,46 @@
+// Resident-memory backend: the deployable half of the scanning tool.
+//
+// Owns a real allocation and implements the fused check-and-flip pass, split
+// across a thread pool in contiguous ranges.  Mismatch reports are buffered
+// per range and merged in address order, so output is deterministic no
+// matter how many threads run the pass.
+//
+// On a healthy ECC machine this backend should never report a mismatch;
+// running it for long enough on an unprotected machine is precisely the
+// paper's experiment.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "scanner/backend.hpp"
+
+namespace unp::scanner {
+
+class RealMemoryBackend final : public MemoryBackend {
+ public:
+  /// Allocates `bytes` (rounded down to whole words).  `threads` sizes the
+  /// internal pool; 1 disables parallelism.
+  RealMemoryBackend(std::uint64_t bytes, std::size_t threads = 1);
+
+  [[nodiscard]] std::uint64_t word_count() const noexcept override {
+    return words_.size();
+  }
+  void fill(Word value) override;
+  void verify_and_write(Word expected, Word next,
+                        const MismatchFn& report) override;
+
+  /// Deliberately corrupt a word (fault-injection hook for tests/examples).
+  void poke(std::uint64_t word_index, Word value);
+
+  /// Direct read access (tests).
+  [[nodiscard]] Word peek(std::uint64_t word_index) const;
+
+ private:
+  std::vector<Word> words_;
+  std::unique_ptr<ThreadPool> pool_;  ///< null when threads == 1
+};
+
+}  // namespace unp::scanner

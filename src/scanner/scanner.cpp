@@ -1,0 +1,80 @@
+#include "scanner/scanner.hpp"
+
+#include <chrono>
+
+#include "common/require.hpp"
+
+namespace unp::scanner {
+
+TimePoint SystemClock::now() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+MemoryScanner::MemoryScanner(MemoryBackend& backend, LogSink& sink,
+                             Clock& clock, TemperatureProbe& probe,
+                             const Config& config)
+    : backend_(&backend),
+      sink_(&sink),
+      clock_(&clock),
+      probe_(&probe),
+      config_(config),
+      pattern_(config.pattern) {
+  if (config_.allocated_bytes == 0) {
+    config_.allocated_bytes = backend.word_count() * sizeof(Word);
+  }
+}
+
+void MemoryScanner::start() {
+  UNP_REQUIRE(!started_);
+  backend_->fill(pattern_.written_at(0));
+  iteration_ = 0;
+  sink_->on_start({clock_->now(), config_.node, config_.allocated_bytes,
+                   probe_->read_c()});
+  started_ = true;
+}
+
+bool MemoryScanner::step() {
+  UNP_REQUIRE(started_);
+  ++iteration_;
+  const Word expected = pattern_.expected_at(iteration_);
+  const Word next = pattern_.written_at(iteration_);
+
+  // Capture per-iteration context once: the original tool stamps every log
+  // of a pass with the same second-granular timestamp and sensor reading.
+  const TimePoint now = clock_->now();
+  const double temperature = probe_->read_c();
+
+  backend_->verify_and_write(
+      expected, next, [&](std::uint64_t word_index, Word actual) {
+        telemetry::ErrorRecord record;
+        record.time = now;
+        record.node = config_.node;
+        record.virtual_address = word_index * sizeof(Word);
+        record.expected = expected;
+        record.actual = actual;
+        record.temperature_c = temperature;
+        // The tool logged the physical page backing the virtual address;
+        // the simulation uses an identity page table over the buffer.
+        record.physical_page = record.virtual_address >> 12;
+        sink_->on_error(record);
+        ++errors_;
+      });
+
+  return !stop_.load(std::memory_order_relaxed);
+}
+
+void MemoryScanner::run(std::uint64_t max_iterations) {
+  for (std::uint64_t i = 0; i < max_iterations; ++i) {
+    if (!step()) return;
+  }
+}
+
+void MemoryScanner::finish() {
+  UNP_REQUIRE(started_);
+  sink_->on_end({clock_->now(), config_.node, probe_->read_c()});
+  started_ = false;
+}
+
+}  // namespace unp::scanner

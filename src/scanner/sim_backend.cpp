@@ -1,0 +1,71 @@
+#include "scanner/sim_backend.hpp"
+
+#include "common/require.hpp"
+
+namespace unp::scanner {
+
+SimulatedMemoryBackend::SimulatedMemoryBackend(std::uint64_t word_count)
+    : word_count_(word_count) {
+  UNP_REQUIRE(word_count >= 1);
+}
+
+void SimulatedMemoryBackend::fill(Word value) {
+  last_written_ = value;
+  deviations_.clear();
+  // Stuck cells override the fill like they override any write.
+  for (const auto& [word, corruption] : stuck_) {
+    const Word stored = corruption.apply(value);
+    if (stored != value) deviations_[word] = stored;
+  }
+}
+
+void SimulatedMemoryBackend::verify_and_write(Word expected, Word next,
+                                              const MismatchFn& report) {
+  // Report deviated words (ascending order is the map's natural order).
+  for (const auto& [word, stored] : deviations_) {
+    if (stored != expected) report(word, stored);
+  }
+  // The write repairs every transient deviation; stuck cells re-assert.
+  last_written_ = next;
+  deviations_.clear();
+  for (const auto& [word, corruption] : stuck_) {
+    const Word stored = corruption.apply(next);
+    if (stored != next) deviations_[word] = stored;
+  }
+}
+
+void SimulatedMemoryBackend::inject_transient(
+    std::uint64_t word, const dram::WordCorruption& corruption) {
+  UNP_REQUIRE(word < word_count_);
+  const Word current = load(word);
+  const Word upset = corruption.apply(current);
+  if (upset != last_written_) {
+    deviations_[word] = upset;
+  } else {
+    deviations_.erase(word);
+  }
+}
+
+void SimulatedMemoryBackend::inject_stuck(std::uint64_t word,
+                                          const dram::WordCorruption& corruption) {
+  UNP_REQUIRE(word < word_count_);
+  stuck_[word] = corruption;
+  const Word stored = corruption.apply(load(word));
+  if (stored != last_written_) {
+    deviations_[word] = stored;
+  } else {
+    deviations_.erase(word);
+  }
+}
+
+void SimulatedMemoryBackend::clear_stuck(std::uint64_t word) {
+  stuck_.erase(word);
+}
+
+Word SimulatedMemoryBackend::load(std::uint64_t word) const {
+  UNP_REQUIRE(word < word_count_);
+  const auto it = deviations_.find(word);
+  return it != deviations_.end() ? it->second : last_written_;
+}
+
+}  // namespace unp::scanner

@@ -1,0 +1,64 @@
+// Virtual-memory backend with fault injection: the campaign substrate.
+//
+// Models a (possibly huge) word space without materializing it.  The store
+// is assumed to hold whatever was last written except where a deviation is
+// registered:
+//
+//   - inject_transient(): a one-shot upset; the affected cells of the word
+//     take their stuck value *once*.  The next write repairs them (this is
+//     how a particle strike behaves under the scanner's rewrite loop).
+//   - inject_stuck(): a persistent fault; the affected cells override every
+//     subsequent write until clear_stuck().
+//
+// verify_and_write() then visits only the deviated words - O(faults), not
+// O(memory) - while remaining observationally identical to a real backend
+// of the same size (tested against RealMemoryBackend on small spaces).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "dram/cell_model.hpp"
+#include "scanner/backend.hpp"
+
+namespace unp::scanner {
+
+class SimulatedMemoryBackend final : public MemoryBackend {
+ public:
+  explicit SimulatedMemoryBackend(std::uint64_t word_count);
+
+  [[nodiscard]] std::uint64_t word_count() const noexcept override {
+    return word_count_;
+  }
+  void fill(Word value) override;
+  void verify_and_write(Word expected, Word next,
+                        const MismatchFn& report) override;
+
+  /// One-shot upset of `word`: its stored value becomes
+  /// corruption.apply(current stored value).
+  void inject_transient(std::uint64_t word, const dram::WordCorruption& corruption);
+
+  /// Persistent fault: `word`'s affected cells override every write.
+  void inject_stuck(std::uint64_t word, const dram::WordCorruption& corruption);
+
+  /// Remove a persistent fault (cells heal; stored value stays as-is until
+  /// the next write).
+  void clear_stuck(std::uint64_t word);
+
+  /// Stored value of `word` right now (tests).
+  [[nodiscard]] Word load(std::uint64_t word) const;
+
+  [[nodiscard]] std::size_t stuck_fault_count() const noexcept {
+    return stuck_.size();
+  }
+
+ private:
+  std::uint64_t word_count_;
+  Word last_written_ = 0;
+  /// Words whose stored value deviates from last_written_.
+  std::map<std::uint64_t, Word> deviations_;
+  /// Persistent cell faults.
+  std::map<std::uint64_t, dram::WordCorruption> stuck_;
+};
+
+}  // namespace unp::scanner

@@ -1,0 +1,73 @@
+#include "sched/planner.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace unp::sched {
+
+ScanPlan ScanPlanner::plan(cluster::NodeId node,
+                           const cluster::AvailabilityTimeline& availability) const {
+  UNP_REQUIRE(config_.mean_busy_hours > 0.0);
+  RngStream rng(config_.seed, /*stream_id=*/0x5CED,
+                static_cast<std::uint64_t>(cluster::node_index(node)));
+
+  ScanPlan out;
+  for (const auto& up : availability.intervals()) {
+    TimePoint t = up.start;
+    // Nodes alternate busy/idle; start each powered interval in a random
+    // phase so session boundaries do not align across nodes.
+    bool busy = rng.bernoulli(0.5);
+    while (t < up.end) {
+      const double util =
+          std::clamp(config_.calendar.utilization(t), 0.02, 0.98);
+      if (busy) {
+        const double busy_h = rng.exponential(1.0 / config_.mean_busy_hours);
+        t += static_cast<TimePoint>(busy_h * kSecondsPerHour) + 1;
+        busy = false;
+        continue;
+      }
+      // Idle period: mean chosen so the busy/idle duty cycle matches the
+      // calendar's utilization at this instant.
+      const double mean_idle_h =
+          config_.mean_busy_hours * (1.0 - util) / util;
+      const double idle_h = rng.exponential(1.0 / mean_idle_h);
+      const TimePoint idle_end =
+          std::min<TimePoint>(t + static_cast<TimePoint>(idle_h * kSecondsPerHour),
+                              up.end);
+
+      if (idle_end - t >= config_.min_session_seconds) {
+        if (rng.bernoulli(config_.alloc_fail_probability)) {
+          out.failures.push_back({t});
+        } else {
+          ScanSession s;
+          s.window = {t, idle_end};
+          s.pattern = rng.bernoulli(config_.counter_fraction)
+                          ? scanner::PatternKind::kCounter
+                          : scanner::PatternKind::kAlternating;
+          std::uint64_t bytes = cluster::kScannableBytes;
+          if (!rng.bernoulli(config_.full_alloc_probability)) {
+            const auto steps = static_cast<std::uint64_t>(rng.uniform_int(
+                1, std::max(1, config_.max_backoff_steps)));
+            bytes -= steps * (10ULL << 20);
+          }
+          s.allocated_bytes = bytes;
+          // Pass time scales with the allocation actually scanned.
+          s.pass_period_s = std::max<std::int64_t>(
+              1, static_cast<std::int64_t>(
+                     static_cast<double>(config_.base_pass_seconds) *
+                     static_cast<double>(bytes) /
+                     static_cast<double>(cluster::kScannableBytes)));
+          s.end_lost = rng.bernoulli(config_.end_lost_probability);
+          out.sessions.push_back(s);
+        }
+      }
+      t = idle_end + 1;
+      busy = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace unp::sched

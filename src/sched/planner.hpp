@@ -1,0 +1,57 @@
+// The scheduler simulation that produces each node's ScanPlan.
+//
+// The planner walks a node's availability timeline alternating job (busy)
+// and idle (scanning) periods.  Both are exponentially distributed; the
+// idle mean is tied to the academic calendar's utilization so that a
+// vacation day (utilization 0.3) yields long scanner runs and a term-time
+// day yields short ones - that calendar signature is what Fig 9 plots.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/availability.hpp"
+#include "cluster/topology.hpp"
+#include "env/calendar.hpp"
+#include "sched/scan_plan.hpp"
+
+namespace unp::sched {
+
+class ScanPlanner {
+ public:
+  struct Config {
+    env::AcademicCalendar calendar{};
+    /// Mean duration of one job (busy period), hours.
+    double mean_busy_hours = 6.0;
+    /// Fraction of sessions using the counter pattern instead of the
+    /// alternating pattern ("most of the study" used alternating).
+    double counter_fraction = 0.15;
+    /// Probability the full 3 GB allocation succeeds at session start.
+    double full_alloc_probability = 0.85;
+    /// Max 10 MB back-off steps when the full allocation fails.
+    int max_backoff_steps = 40;
+    /// Probability an idle window yields no session at all (allocation
+    /// exhausted; ALLOCFAIL logged).
+    double alloc_fail_probability = 0.002;
+    /// Probability a session's END record is lost to a hard reboot.
+    double end_lost_probability = 0.002;
+    /// Seconds for one full pass over a 3 GB allocation.
+    std::int64_t base_pass_seconds = 75;
+    /// Idle windows shorter than this never start the scanner.
+    std::int64_t min_session_seconds = 300;
+    std::uint64_t seed = 42;
+  };
+
+  ScanPlanner() : ScanPlanner(Config{}) {}
+  explicit ScanPlanner(const Config& config) : config_(config) {}
+
+  /// Deterministic plan for one node (keyed by seed + node index).
+  [[nodiscard]] ScanPlan plan(cluster::NodeId node,
+                              const cluster::AvailabilityTimeline& availability) const;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace unp::sched

@@ -1,0 +1,34 @@
+#include "sched/scan_plan.hpp"
+
+#include <algorithm>
+
+namespace unp::sched {
+
+double ScanPlan::scanned_hours() const noexcept {
+  double hours = 0.0;
+  for (const auto& s : sessions) {
+    if (!s.end_lost) hours += s.hours();  // conservative accounting
+  }
+  return hours;
+}
+
+double ScanPlan::terabyte_hours() const noexcept {
+  constexpr double kBytesPerTb = 1099511627776.0;
+  double tbh = 0.0;
+  for (const auto& s : sessions) {
+    if (!s.end_lost) {
+      tbh += s.hours() * static_cast<double>(s.allocated_bytes) / kBytesPerTb;
+    }
+  }
+  return tbh;
+}
+
+const ScanSession* ScanPlan::session_at(TimePoint t) const noexcept {
+  auto it = std::upper_bound(
+      sessions.begin(), sessions.end(), t,
+      [](TimePoint value, const ScanSession& s) { return value < s.window.end; });
+  if (it != sessions.end() && it->window.contains(t)) return &*it;
+  return nullptr;
+}
+
+}  // namespace unp::sched

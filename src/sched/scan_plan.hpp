@@ -1,0 +1,59 @@
+// Scan sessions: when, how, and with how much memory a node ran the scanner.
+//
+// The original deployment wired the scanner to the job scheduler: the
+// epilogue script of a finishing job starts the scanner, the prologue of the
+// next job SIGTERMs it (Section II-B).  A ScanSession is one such idle
+// window, together with the properties decided at its start:
+//
+//   - the negotiated allocation (3 GB, less if earlier jobs leaked, zero if
+//     allocation failed entirely -> ALLOCFAIL, no session);
+//   - the write pattern (most sessions alternating, some counter);
+//   - the duration of one full check-and-flip pass over the allocation;
+//   - whether the END record was lost to a hard reboot (the paper's
+//     "START followed by another START" case, accounted as zero hours).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/availability.hpp"
+#include "scanner/pattern.hpp"
+
+namespace unp::sched {
+
+struct ScanSession {
+  cluster::Interval window;
+  scanner::PatternKind pattern = scanner::PatternKind::kAlternating;
+  std::uint64_t allocated_bytes = 0;
+  std::int64_t pass_period_s = 75;
+  bool end_lost = false;
+
+  [[nodiscard]] double hours() const noexcept {
+    return static_cast<double>(window.seconds()) / kSecondsPerHour;
+  }
+  /// Iterations completed inside the window.
+  [[nodiscard]] std::uint64_t iterations() const noexcept {
+    return pass_period_s > 0
+               ? static_cast<std::uint64_t>(window.seconds() / pass_period_s)
+               : 0;
+  }
+};
+
+/// A failed allocation attempt (no scanning happened).
+struct AllocFailure {
+  TimePoint time = 0;
+};
+
+/// Everything the scheduler decided for one node over the campaign.
+struct ScanPlan {
+  std::vector<ScanSession> sessions;   ///< time-ordered, non-overlapping
+  std::vector<AllocFailure> failures;  ///< time-ordered
+
+  [[nodiscard]] double scanned_hours() const noexcept;
+  [[nodiscard]] double terabyte_hours() const noexcept;
+
+  /// First session containing `t`, or nullptr.
+  [[nodiscard]] const ScanSession* session_at(TimePoint t) const noexcept;
+};
+
+}  // namespace unp::sched

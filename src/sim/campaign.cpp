@@ -1,0 +1,132 @@
+#include "sim/campaign.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/require.hpp"
+#include "common/thread_pool.hpp"
+
+namespace unp::sim {
+
+double CampaignResult::total_scanned_hours() const noexcept {
+  double total = 0.0;
+  for (const auto& a : accounting) total += a.scanned_hours;
+  return total;
+}
+
+double CampaignResult::total_terabyte_hours() const noexcept {
+  double total = 0.0;
+  for (const auto& a : accounting) total += a.terabyte_hours;
+  return total;
+}
+
+namespace {
+
+cluster::AvailabilityModel::Config wire_outages(const CampaignConfig& config) {
+  cluster::AvailabilityModel::Config avail = config.availability;
+  avail.window = config.window;
+  if (!config.wire_special_outages) return avail;
+
+  // The degrading node went unmonitored from late November except a short
+  // December re-test (Section III-H explains Fig 12's silent stretches).
+  const cluster::NodeId degrading = config.faults.degrading.node;
+  avail.extra_outages.push_back(
+      {degrading,
+       {from_civil_utc({2015, 11, 26, 12, 0, 0}),
+        from_civil_utc({2015, 12, 12, 9, 0, 0})}});
+  avail.extra_outages.push_back(
+      {degrading,
+       {from_civil_utc({2015, 12, 14, 21, 0, 0}), config.window.end}});
+
+  // The pathological node left the scheduler pool at its removal date.
+  avail.extra_outages.push_back(
+      {config.faults.pathological.node,
+       {config.faults.pathological.removal, config.window.end}});
+  return avail;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignConfig& config, std::size_t threads) {
+  UNP_REQUIRE(threads >= 1);
+
+  cluster::Topology::Config topo_config = config.topology;
+  topo_config.seed = mix64(config.seed, 0x70B0);
+  CampaignResult result{cluster::Topology(topo_config),
+                        telemetry::CampaignArchive(config.window),
+                        {},
+                        {}};
+
+  const cluster::AvailabilityModel availability(wire_outages(config));
+  sched::ScanPlanner::Config planner_config = config.planner;
+  planner_config.seed = mix64(config.seed, 0x51A2);
+  const sched::ScanPlanner planner(planner_config);
+
+  const auto& nodes = result.topology.monitored_nodes();
+  const std::size_t n = nodes.size();
+
+  // Phase 1: per-node scan plans (parallel, order-independent).
+  std::vector<sched::ScanPlan> plans(n);
+  auto build_plan = [&](std::size_t i) {
+    plans[i] = planner.plan(nodes[i], availability.build(nodes[i]));
+  };
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  if (pool) {
+    pool->parallel_for(n, build_plan);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) build_plan(i);
+  }
+
+  // Phase 2: fleet-wide fault generation (sequential; fleet-level streams).
+  std::vector<faults::NodeContext> contexts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    contexts[i].node = nodes[i];
+    contexts[i].plan = &plans[i];
+    contexts[i].scanned_hours = plans[i].scanned_hours();
+    contexts[i].near_overheating_slot =
+        nodes[i].soc == cluster::kOverheatingSoc - 1 ||
+        nodes[i].soc == cluster::kOverheatingSoc + 1;
+  }
+  const faults::FaultModelSuite suite(config.faults);
+  result.ground_truth = suite.generate(contexts, mix64(config.seed, 0xFA17));
+
+  // Partition events per node.
+  std::vector<std::vector<faults::FaultEvent>> per_node(
+      static_cast<std::size_t>(cluster::kStudyNodeSlots));
+  for (const auto& ev : result.ground_truth) {
+    per_node[static_cast<std::size_t>(cluster::node_index(ev.node))].push_back(ev);
+  }
+
+  // Phase 3: per-node session simulation (parallel, order-independent).
+  const std::uint64_t session_seed = mix64(config.seed, 0x5E55);
+  std::vector<telemetry::NodeLog> logs(n);
+  auto simulate = [&](std::size_t i) {
+    const bool overheating = cluster::Topology::is_overheating_slot(nodes[i]);
+    logs[i] = simulate_node(
+        config.session, nodes[i], plans[i],
+        per_node[static_cast<std::size_t>(cluster::node_index(nodes[i]))],
+        overheating, session_seed);
+  };
+  if (pool) {
+    pool->parallel_for(n, simulate);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) simulate(i);
+  }
+
+  // Assemble.
+  result.accounting.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.archive.log(nodes[i]) = std::move(logs[i]);
+    result.accounting[i] = {nodes[i], plans[i].scanned_hours(),
+                            plans[i].terabyte_hours(), plans[i].sessions.size()};
+  }
+  return result;
+}
+
+const CampaignResult& default_campaign() {
+  static const CampaignResult result = run_campaign(CampaignConfig{}, 1);
+  return result;
+}
+
+}  // namespace unp::sim

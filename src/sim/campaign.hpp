@@ -1,0 +1,65 @@
+// Whole-campaign driver: wires topology, availability, the scheduler, the
+// fault model and the session simulator into the 13-month monitoring
+// campaign, producing the telemetry archive every analysis consumes.
+//
+// Determinism: every stochastic component derives its stream from the one
+// campaign seed; node timelines are independent, so the per-node work can
+// be executed on any number of threads with bit-identical results.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/availability.hpp"
+#include "cluster/topology.hpp"
+#include "faults/suite.hpp"
+#include "sched/planner.hpp"
+#include "sim/session_sim.hpp"
+#include "telemetry/archive.hpp"
+
+namespace unp::sim {
+
+struct CampaignConfig {
+  std::uint64_t seed = 42;
+  CampaignWindow window{};
+  cluster::Topology::Config topology{};
+  cluster::AvailabilityModel::Config availability{};
+  sched::ScanPlanner::Config planner{};
+  faults::FaultModelSuite::Config faults{};
+  SessionSimConfig session{};
+
+  /// Auto-append the study's administrative outages to the availability
+  /// config: the degrading node's unmonitored December stretches (the
+  /// "errors stop abruptly" artefact of Fig 12) and the pathological node's
+  /// removal from the scheduler pool.
+  bool wire_special_outages = true;
+};
+
+/// Per-node accounting next to the raw archive.
+struct NodeAccounting {
+  cluster::NodeId node;
+  double scanned_hours = 0.0;
+  double terabyte_hours = 0.0;
+  std::size_t sessions = 0;
+};
+
+struct CampaignResult {
+  cluster::Topology topology;
+  telemetry::CampaignArchive archive;
+  /// Ground-truth fault events (sorted), for truth-vs-observation studies.
+  std::vector<faults::FaultEvent> ground_truth;
+  std::vector<NodeAccounting> accounting;  ///< one entry per monitored node
+
+  [[nodiscard]] double total_scanned_hours() const noexcept;
+  [[nodiscard]] double total_terabyte_hours() const noexcept;
+};
+
+/// Run the campaign.  `threads` > 1 parallelizes per-node planning and
+/// session simulation (results identical to the sequential run).
+[[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config,
+                                          std::size_t threads = 1);
+
+/// The calibrated default campaign (seed 42) used by every bench binary.
+[[nodiscard]] const CampaignResult& default_campaign();
+
+}  // namespace unp::sim

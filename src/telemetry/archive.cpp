@@ -1,0 +1,82 @@
+#include "telemetry/archive.hpp"
+
+#include <algorithm>
+
+namespace unp::telemetry {
+
+std::uint64_t NodeLog::raw_error_count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& run : error_runs_) total += run.count;
+  return total;
+}
+
+double NodeLog::monitored_hours() const noexcept {
+  // Pair each START with the first END after it.  A START superseded by
+  // another START before any END (hard reboot) contributes zero, per the
+  // paper's conservative accounting.
+  double hours = 0.0;
+  std::size_t e = 0;
+  for (std::size_t s = 0; s < starts_.size(); ++s) {
+    while (e < ends_.size() && ends_[e].time < starts_[s].time) ++e;
+    const TimePoint next_start =
+        s + 1 < starts_.size() ? starts_[s + 1].time : 0;
+    if (e < ends_.size() &&
+        (s + 1 >= starts_.size() || ends_[e].time <= next_start)) {
+      hours += static_cast<double>(ends_[e].time - starts_[s].time) /
+               kSecondsPerHour;
+      ++e;
+    }
+    // else: reboot case - no matching END before the next START.
+  }
+  return hours;
+}
+
+double NodeLog::terabyte_hours() const noexcept {
+  constexpr double kBytesPerTb = 1099511627776.0;  // 2^40
+  double tbh = 0.0;
+  std::size_t e = 0;
+  for (std::size_t s = 0; s < starts_.size(); ++s) {
+    while (e < ends_.size() && ends_[e].time < starts_[s].time) ++e;
+    const TimePoint next_start =
+        s + 1 < starts_.size() ? starts_[s + 1].time : 0;
+    if (e < ends_.size() &&
+        (s + 1 >= starts_.size() || ends_[e].time <= next_start)) {
+      const double hours =
+          static_cast<double>(ends_[e].time - starts_[s].time) / kSecondsPerHour;
+      tbh += hours * static_cast<double>(starts_[s].allocated_bytes) / kBytesPerTb;
+      ++e;
+    }
+  }
+  return tbh;
+}
+
+void NodeLog::sort_by_time() {
+  auto by_time = [](const auto& a, const auto& b) { return a.time < b.time; };
+  std::sort(starts_.begin(), starts_.end(), by_time);
+  std::sort(ends_.begin(), ends_.end(), by_time);
+  std::sort(alloc_fails_.begin(), alloc_fails_.end(), by_time);
+  std::sort(error_runs_.begin(), error_runs_.end(),
+            [](const ErrorRun& a, const ErrorRun& b) {
+              return a.first.time < b.first.time;
+            });
+}
+
+std::uint64_t CampaignArchive::total_raw_errors() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& log : logs_) total += log.raw_error_count();
+  return total;
+}
+
+double CampaignArchive::total_monitored_hours() const noexcept {
+  double total = 0.0;
+  for (const auto& log : logs_) total += log.monitored_hours();
+  return total;
+}
+
+double CampaignArchive::total_terabyte_hours() const noexcept {
+  double total = 0.0;
+  for (const auto& log : logs_) total += log.terabyte_hours();
+  return total;
+}
+
+}  // namespace unp::telemetry

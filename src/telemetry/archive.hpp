@@ -1,0 +1,87 @@
+// Per-node log files and the campaign-wide archive.
+//
+// The original tool kept one log file per node; analyses then merged them.
+// NodeLog collects a node's records in time order; CampaignArchive owns one
+// NodeLog per study node plus campaign-level metadata, and is the single
+// input to the whole analysis pipeline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/topology.hpp"
+#include "common/civil_time.hpp"
+#include "telemetry/record.hpp"
+
+namespace unp::telemetry {
+
+/// Time-ordered log of a single node.
+class NodeLog {
+ public:
+  void add_start(const StartRecord& r) { starts_.push_back(r); }
+  void add_end(const EndRecord& r) { ends_.push_back(r); }
+  void add_alloc_fail(const AllocFailRecord& r) { alloc_fails_.push_back(r); }
+  void add_error_run(const ErrorRun& r) { error_runs_.push_back(r); }
+  void add_error(const ErrorRecord& r) { error_runs_.push_back(ErrorRun{r, 0, 1}); }
+
+  [[nodiscard]] const std::vector<StartRecord>& starts() const noexcept { return starts_; }
+  [[nodiscard]] const std::vector<EndRecord>& ends() const noexcept { return ends_; }
+  [[nodiscard]] const std::vector<AllocFailRecord>& alloc_fails() const noexcept {
+    return alloc_fails_;
+  }
+  [[nodiscard]] const std::vector<ErrorRun>& error_runs() const noexcept {
+    return error_runs_;
+  }
+
+  /// Total number of raw ERROR log lines represented (runs expanded).
+  [[nodiscard]] std::uint64_t raw_error_count() const noexcept;
+
+  /// Scanning hours implied by START/END pairing.  Follows the paper's
+  /// conservative rule: a START followed by another START (hard reboot, END
+  /// lost) contributes zero hours.
+  [[nodiscard]] double monitored_hours() const noexcept;
+
+  /// Terabyte-hours scanned, weighting each complete session by its
+  /// allocation size.  Same conservative pairing rule as monitored_hours.
+  [[nodiscard]] double terabyte_hours() const noexcept;
+
+  /// Sort all record vectors by time (builders normally append in order).
+  void sort_by_time();
+
+ private:
+  std::vector<StartRecord> starts_;
+  std::vector<EndRecord> ends_;
+  std::vector<AllocFailRecord> alloc_fails_;
+  std::vector<ErrorRun> error_runs_;
+};
+
+/// The whole campaign's telemetry, indexed by node.
+class CampaignArchive {
+ public:
+  explicit CampaignArchive(CampaignWindow window = CampaignWindow{})
+      : window_(window), logs_(static_cast<std::size_t>(cluster::kStudyNodeSlots)) {}
+
+  [[nodiscard]] NodeLog& log(cluster::NodeId id) {
+    return logs_[static_cast<std::size_t>(cluster::node_index(id))];
+  }
+  [[nodiscard]] const NodeLog& log(cluster::NodeId id) const {
+    return logs_[static_cast<std::size_t>(cluster::node_index(id))];
+  }
+
+  [[nodiscard]] const CampaignWindow& window() const noexcept { return window_; }
+
+  /// Sum of raw ERROR lines across all nodes.
+  [[nodiscard]] std::uint64_t total_raw_errors() const noexcept;
+
+  /// Sum of monitored node-hours across all nodes.
+  [[nodiscard]] double total_monitored_hours() const noexcept;
+
+  /// Sum of terabyte-hours across all nodes.
+  [[nodiscard]] double total_terabyte_hours() const noexcept;
+
+ private:
+  CampaignWindow window_;
+  std::vector<NodeLog> logs_;
+};
+
+}  // namespace unp::telemetry

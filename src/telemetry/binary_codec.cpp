@@ -1,0 +1,255 @@
+#include "telemetry/binary_codec.hpp"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+
+#include "common/require.hpp"
+
+namespace unp::telemetry {
+
+namespace {
+
+constexpr char kMagic[4] = {'U', 'N', 'P', 'A'};
+constexpr std::uint8_t kVersion = 1;
+
+void put_f64(std::string& out, double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof bits);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((bits >> (8 * i)) & 0xFF));
+  }
+}
+
+double get_f64(const std::string& in, std::size_t& pos) {
+  UNP_REQUIRE(pos + 8 <= in.size());
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(static_cast<unsigned char>(
+                in[pos + static_cast<std::size_t>(i)]))
+            << (8 * i);
+  }
+  pos += 8;
+  double value;
+  std::memcpy(&value, &bits, sizeof value);
+  return value;
+}
+
+void put_temp(std::string& out, double celsius) {
+  if (!has_temperature(celsius)) {
+    out.push_back('\0');
+    return;
+  }
+  out.push_back('\1');
+  put_f64(out, celsius);
+}
+
+double get_temp(const std::string& in, std::size_t& pos) {
+  UNP_REQUIRE(pos < in.size());
+  const char flag = in[pos++];
+  UNP_REQUIRE(flag == 0 || flag == 1);
+  return flag == 0 ? kNoTemperature : get_f64(in, pos);
+}
+
+/// Delta-encoded timestamp writer/reader per section.
+struct TimeDelta {
+  TimePoint previous = 0;
+
+  void put(std::string& out, TimePoint t) {
+    put_varint(out, zigzag_encode(t - previous));
+    previous = t;
+  }
+  TimePoint get(const std::string& in, std::size_t& pos) {
+    previous += zigzag_decode(get_varint(in, pos));
+    return previous;
+  }
+};
+
+}  // namespace
+
+void put_varint(std::string& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+std::uint64_t get_varint(const std::string& in, std::size_t& pos) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (;;) {
+    UNP_REQUIRE(pos < in.size());
+    UNP_REQUIRE(shift < 64);
+    const auto byte = static_cast<unsigned char>(in[pos++]);
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+std::string encode_node_log(const NodeLog& log) {
+  std::string out;
+
+  {  // STARTs
+    put_varint(out, log.starts().size());
+    TimeDelta td;
+    for (const auto& r : log.starts()) {
+      td.put(out, r.time);
+      put_varint(out, r.allocated_bytes);
+      put_temp(out, r.temperature_c);
+    }
+  }
+  {  // ENDs
+    put_varint(out, log.ends().size());
+    TimeDelta td;
+    for (const auto& r : log.ends()) {
+      td.put(out, r.time);
+      put_temp(out, r.temperature_c);
+    }
+  }
+  {  // ALLOCFAILs
+    put_varint(out, log.alloc_fails().size());
+    TimeDelta td;
+    for (const auto& r : log.alloc_fails()) td.put(out, r.time);
+  }
+  {  // ERROR runs
+    put_varint(out, log.error_runs().size());
+    TimeDelta td;
+    for (const auto& run : log.error_runs()) {
+      td.put(out, run.first.time);
+      put_varint(out, run.first.virtual_address);
+      put_varint(out, run.first.expected);
+      put_varint(out, run.first.actual);
+      put_temp(out, run.first.temperature_c);
+      put_varint(out, run.first.physical_page);
+      put_varint(out, static_cast<std::uint64_t>(run.period_s));
+      put_varint(out, run.count);
+    }
+  }
+  return out;
+}
+
+NodeLog decode_node_log(const std::string& bytes, std::size_t& pos,
+                        cluster::NodeId node) {
+  NodeLog log;
+  {
+    const std::uint64_t n = get_varint(bytes, pos);
+    TimeDelta td;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      StartRecord r;
+      r.time = td.get(bytes, pos);
+      r.node = node;
+      r.allocated_bytes = get_varint(bytes, pos);
+      r.temperature_c = get_temp(bytes, pos);
+      log.add_start(r);
+    }
+  }
+  {
+    const std::uint64_t n = get_varint(bytes, pos);
+    TimeDelta td;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      EndRecord r;
+      r.time = td.get(bytes, pos);
+      r.node = node;
+      r.temperature_c = get_temp(bytes, pos);
+      log.add_end(r);
+    }
+  }
+  {
+    const std::uint64_t n = get_varint(bytes, pos);
+    TimeDelta td;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      log.add_alloc_fail({td.get(bytes, pos), node});
+    }
+  }
+  {
+    const std::uint64_t n = get_varint(bytes, pos);
+    TimeDelta td;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ErrorRun run;
+      run.first.time = td.get(bytes, pos);
+      run.first.node = node;
+      run.first.virtual_address = get_varint(bytes, pos);
+      run.first.expected = static_cast<Word>(get_varint(bytes, pos));
+      run.first.actual = static_cast<Word>(get_varint(bytes, pos));
+      run.first.temperature_c = get_temp(bytes, pos);
+      run.first.physical_page = get_varint(bytes, pos);
+      run.period_s = static_cast<std::int64_t>(get_varint(bytes, pos));
+      run.count = get_varint(bytes, pos);
+      UNP_REQUIRE(run.count >= 1);
+      log.add_error_run(run);
+    }
+  }
+  return log;
+}
+
+std::string encode_archive(const CampaignArchive& archive) {
+  std::string out(kMagic, sizeof kMagic);
+  out.push_back(static_cast<char>(kVersion));
+  put_varint(out, zigzag_encode(archive.window().start));
+  put_varint(out, zigzag_encode(archive.window().end));
+
+  // Only non-empty node logs are stored.
+  std::vector<int> nodes;
+  for (int i = 0; i < cluster::kStudyNodeSlots; ++i) {
+    const NodeLog& log = archive.log(cluster::node_from_index(i));
+    if (!log.starts().empty() || !log.ends().empty() ||
+        !log.alloc_fails().empty() || !log.error_runs().empty()) {
+      nodes.push_back(i);
+    }
+  }
+  put_varint(out, nodes.size());
+  for (const int i : nodes) {
+    put_varint(out, static_cast<std::uint64_t>(i));
+    const std::string body = encode_node_log(archive.log(cluster::node_from_index(i)));
+    put_varint(out, body.size());
+    out += body;
+  }
+  return out;
+}
+
+CampaignArchive decode_archive(const std::string& bytes) {
+  UNP_REQUIRE(bytes.size() > 5);
+  UNP_REQUIRE(std::memcmp(bytes.data(), kMagic, sizeof kMagic) == 0);
+  UNP_REQUIRE(static_cast<std::uint8_t>(bytes[4]) == kVersion);
+
+  std::size_t pos = 5;
+  CampaignWindow window;
+  window.start = zigzag_decode(get_varint(bytes, pos));
+  window.end = zigzag_decode(get_varint(bytes, pos));
+  CampaignArchive archive(window);
+
+  const std::uint64_t nodes = get_varint(bytes, pos);
+  for (std::uint64_t n = 0; n < nodes; ++n) {
+    const std::uint64_t index = get_varint(bytes, pos);
+    UNP_REQUIRE(index < static_cast<std::uint64_t>(cluster::kStudyNodeSlots));
+    const std::uint64_t size = get_varint(bytes, pos);
+    UNP_REQUIRE(pos + size <= bytes.size());
+    std::size_t body_pos = pos;
+    const cluster::NodeId node = cluster::node_from_index(static_cast<int>(index));
+    archive.log(node) = decode_node_log(bytes, body_pos, node);
+    UNP_REQUIRE(body_pos == pos + size);
+    pos += size;
+  }
+  UNP_REQUIRE(pos == bytes.size());
+  return archive;
+}
+
+void save_archive(const CampaignArchive& archive, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  UNP_REQUIRE(os.good());
+  const std::string bytes = encode_archive(archive);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  UNP_REQUIRE(os.good());
+}
+
+CampaignArchive load_archive(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  UNP_REQUIRE(is.good());
+  std::string bytes((std::istreambuf_iterator<char>(is)),
+                    std::istreambuf_iterator<char>());
+  return decode_archive(bytes);
+}
+
+}  // namespace unp::telemetry

@@ -1,0 +1,63 @@
+// Compact binary serialization of telemetry.
+//
+// The text codec is the human-facing format; a 13-month campaign archive
+// serialized as text runs to hundreds of MB.  The binary codec stores the
+// same records with varint + delta encoding (timestamps are monotone within
+// a record class, addresses cluster) so whole-campaign archives round-trip
+// through a few MB and load in milliseconds.
+//
+// Format (little-endian, varint = LEB128):
+//
+//   file   := magic "UNPA" u8 version payload
+//   payload:= varint node_count { varint node_index node_log } *
+//   node_log := section(START) section(END) section(ALLOCFAIL) section(RUNS)
+//   section := varint count { record } *
+//
+// Timestamps are delta-encoded within each section; temperatures are raw
+// f64 bits (kNoTemperature encodes the missing reading, as in the structs).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/archive.hpp"
+
+namespace unp::telemetry {
+
+/// Append a LEB128 varint to `out` (exposed for tests).
+void put_varint(std::string& out, std::uint64_t value);
+
+/// Read a LEB128 varint; throws ContractViolation on truncation/overflow.
+[[nodiscard]] std::uint64_t get_varint(const std::string& in, std::size_t& pos);
+
+/// ZigZag signed mapping (for timestamp deltas which may regress across
+/// merged sources).
+[[nodiscard]] constexpr std::uint64_t zigzag_encode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+[[nodiscard]] constexpr std::int64_t zigzag_decode(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+/// Serialize one node log (without the node index framing).
+[[nodiscard]] std::string encode_node_log(const NodeLog& log);
+
+/// Inverse of encode_node_log.
+[[nodiscard]] NodeLog decode_node_log(const std::string& bytes, std::size_t& pos,
+                                      cluster::NodeId node);
+
+/// Serialize a whole campaign archive.
+[[nodiscard]] std::string encode_archive(const CampaignArchive& archive);
+
+/// Parse an encoded archive; throws ContractViolation on malformed input.
+[[nodiscard]] CampaignArchive decode_archive(const std::string& bytes);
+
+/// Convenience file I/O (binary mode).  Throws ContractViolation on I/O or
+/// format errors.
+void save_archive(const CampaignArchive& archive, const std::string& path);
+[[nodiscard]] CampaignArchive load_archive(const std::string& path);
+
+}  // namespace unp::telemetry

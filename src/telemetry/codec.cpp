@@ -1,0 +1,176 @@
+#include "telemetry/codec.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace unp::telemetry {
+
+namespace {
+
+std::string temp_field(double celsius) {
+  if (!has_temperature(celsius)) return "";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, " temp=%.1f", celsius);
+  return buf;
+}
+
+std::string error_fields(const ErrorRecord& r) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                " vaddr=0x%012" PRIx64 " expected=0x%08x actual=0x%08x",
+                r.virtual_address, r.expected, r.actual);
+  std::string out = buf;
+  out += temp_field(r.temperature_c);
+  std::snprintf(buf, sizeof buf, " page=0x%09" PRIx64, r.physical_page);
+  out += buf;
+  return out;
+}
+
+/// Split "key=value" tokens after the kind and timestamp.
+struct FieldMap {
+  // Small fixed scan; logs have <= 7 fields.
+  std::vector<std::pair<std::string, std::string>> kv;
+
+  [[nodiscard]] const std::string* find(const std::string& key) const {
+    for (const auto& [k, v] : kv) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const std::string& require(const std::string& key) const {
+    const std::string* v = find(key);
+    UNP_REQUIRE(v != nullptr);
+    return *v;
+  }
+};
+
+std::uint64_t parse_hex(const std::string& text) {
+  std::uint64_t value = 0;
+  UNP_REQUIRE(std::sscanf(text.c_str(), "%" SCNx64, &value) == 1);
+  return value;
+}
+
+std::uint64_t parse_u64(const std::string& text) {
+  std::uint64_t value = 0;
+  UNP_REQUIRE(std::sscanf(text.c_str(), "%" SCNu64, &value) == 1);
+  return value;
+}
+
+double parse_double(const std::string& text) {
+  double value = 0.0;
+  UNP_REQUIRE(std::sscanf(text.c_str(), "%lf", &value) == 1);
+  return value;
+}
+
+}  // namespace
+
+std::string serialize(const StartRecord& r) {
+  std::string out = "START " + format_iso8601(r.time) +
+                    " host=" + cluster::node_name(r.node) +
+                    " bytes=" + std::to_string(r.allocated_bytes);
+  out += temp_field(r.temperature_c);
+  return out;
+}
+
+std::string serialize(const EndRecord& r) {
+  std::string out = "END " + format_iso8601(r.time) +
+                    " host=" + cluster::node_name(r.node);
+  out += temp_field(r.temperature_c);
+  return out;
+}
+
+std::string serialize(const AllocFailRecord& r) {
+  return "ALLOCFAIL " + format_iso8601(r.time) +
+         " host=" + cluster::node_name(r.node);
+}
+
+std::string serialize(const ErrorRecord& r) {
+  return "ERROR " + format_iso8601(r.time) +
+         " host=" + cluster::node_name(r.node) + error_fields(r);
+}
+
+std::string serialize(const ErrorRun& r) {
+  return "ERRRUN " + format_iso8601(r.first.time) +
+         " host=" + cluster::node_name(r.first.node) + error_fields(r.first) +
+         " period=" + std::to_string(r.period_s) +
+         " count=" + std::to_string(r.count);
+}
+
+void write_node_log(std::ostream& os, const NodeLog& log) {
+  for (const auto& r : log.starts()) os << serialize(r) << '\n';
+  for (const auto& r : log.ends()) os << serialize(r) << '\n';
+  for (const auto& r : log.alloc_fails()) os << serialize(r) << '\n';
+  for (const auto& r : log.error_runs()) {
+    if (r.count == 1) {
+      os << serialize(r.first) << '\n';
+    } else {
+      os << serialize(r) << '\n';
+    }
+  }
+}
+
+bool parse_line(const std::string& line, NodeLog& log) {
+  if (line.empty() || line[0] == '#') return false;
+
+  std::istringstream iss(line);
+  std::string kind, timestamp;
+  UNP_REQUIRE(static_cast<bool>(iss >> kind >> timestamp));
+  const TimePoint time = parse_iso8601(timestamp);
+
+  FieldMap fields;
+  std::string token;
+  while (iss >> token) {
+    const std::size_t eq = token.find('=');
+    UNP_REQUIRE(eq != std::string::npos && eq > 0);
+    fields.kv.emplace_back(token.substr(0, eq), token.substr(eq + 1));
+  }
+
+  const cluster::NodeId node = cluster::parse_node_name(fields.require("host"));
+  const std::string* temp = fields.find("temp");
+  const double temperature = temp ? parse_double(*temp) : kNoTemperature;
+
+  if (kind == "START") {
+    log.add_start({time, node, parse_u64(fields.require("bytes")), temperature});
+  } else if (kind == "END") {
+    log.add_end({time, node, temperature});
+  } else if (kind == "ALLOCFAIL") {
+    log.add_alloc_fail({time, node});
+  } else if (kind == "ERROR" || kind == "ERRRUN") {
+    ErrorRecord r;
+    r.time = time;
+    r.node = node;
+    r.virtual_address = parse_hex(fields.require("vaddr"));
+    r.expected = static_cast<Word>(parse_hex(fields.require("expected")));
+    r.actual = static_cast<Word>(parse_hex(fields.require("actual")));
+    r.temperature_c = temperature;
+    r.physical_page = parse_hex(fields.require("page"));
+    if (kind == "ERROR") {
+      log.add_error(r);
+    } else {
+      ErrorRun run;
+      run.first = r;
+      run.period_s = static_cast<std::int64_t>(parse_u64(fields.require("period")));
+      run.count = parse_u64(fields.require("count"));
+      UNP_REQUIRE(run.count >= 1);
+      log.add_error_run(run);
+    }
+  } else {
+    UNP_REQUIRE(!"unknown record kind");
+  }
+  return true;
+}
+
+NodeLog read_node_log(std::istream& is) {
+  NodeLog log;
+  std::string line;
+  while (std::getline(is, line)) parse_line(line, log);
+  log.sort_by_time();
+  return log;
+}
+
+}  // namespace unp::telemetry

@@ -1,0 +1,16 @@
+#include "telemetry/record.hpp"
+
+namespace unp::telemetry {
+
+std::vector<ErrorRecord> ErrorRun::expand() const {
+  std::vector<ErrorRecord> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ErrorRecord r = first;
+    r.time = first.time + period_s * static_cast<std::int64_t>(i);
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace unp::telemetry

@@ -1,0 +1,109 @@
+#include "analysis/alignment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace unp::analysis {
+namespace {
+
+const dram::AddressMap& map() {
+  static const dram::AddressMap m(dram::default_geometry());
+  return m;
+}
+
+FaultRecord fault_at_word(std::uint64_t word, TimePoint t = 1000) {
+  FaultRecord f;
+  f.node = {1, 1};
+  f.first_seen = t;
+  f.last_seen = t;
+  f.virtual_address = word * sizeof(Word);
+  f.expected = 0xFFFFFFFFu;
+  f.actual = 0xFFFFFFFEu;
+  return f;
+}
+
+std::uint64_t word_at(int rank, int bank, std::uint32_t row, std::uint32_t col) {
+  return map().encode({0, rank, bank, row, col});
+}
+
+SimultaneousGroup make_group(const std::vector<FaultRecord>& faults) {
+  SimultaneousGroup g;
+  g.node = {1, 1};
+  g.time = 1000;
+  for (const auto& f : faults) g.members.push_back(&f);
+  return g;
+}
+
+TEST(Alignment, SameRowGroup) {
+  const std::vector<FaultRecord> faults{
+      fault_at_word(word_at(0, 3, 100, 5)),
+      fault_at_word(word_at(0, 3, 100, 900)),
+      fault_at_word(word_at(0, 3, 100, 17))};
+  EXPECT_EQ(classify_geometry(make_group(faults), map()),
+            GroupGeometry::kSameRow);
+}
+
+TEST(Alignment, SameColumnGroup) {
+  const std::vector<FaultRecord> faults{
+      fault_at_word(word_at(1, 2, 100, 7)),
+      fault_at_word(word_at(1, 2, 4000, 7))};
+  EXPECT_EQ(classify_geometry(make_group(faults), map()),
+            GroupGeometry::kSameColumn);
+}
+
+TEST(Alignment, SameBankGroup) {
+  const std::vector<FaultRecord> faults{
+      fault_at_word(word_at(1, 2, 100, 7)),
+      fault_at_word(word_at(1, 2, 4000, 9))};
+  EXPECT_EQ(classify_geometry(make_group(faults), map()),
+            GroupGeometry::kSameBank);
+}
+
+TEST(Alignment, ScatteredGroup) {
+  const std::vector<FaultRecord> faults{
+      fault_at_word(word_at(0, 1, 100, 7)),
+      fault_at_word(word_at(1, 5, 4000, 9))};
+  EXPECT_EQ(classify_geometry(make_group(faults), map()),
+            GroupGeometry::kScattered);
+}
+
+TEST(Alignment, StatsAndAlignedPair) {
+  // One all-row group, one scattered group that still hides a row pair,
+  // one genuinely scattered group, plus a singleton (ignored).
+  std::vector<FaultRecord> row_g{fault_at_word(word_at(0, 3, 50, 1)),
+                                 fault_at_word(word_at(0, 3, 50, 2))};
+  std::vector<FaultRecord> hidden{fault_at_word(word_at(0, 4, 60, 1)),
+                                  fault_at_word(word_at(0, 4, 60, 9)),
+                                  fault_at_word(word_at(1, 7, 999, 3))};
+  std::vector<FaultRecord> scattered{fault_at_word(word_at(0, 1, 10, 1)),
+                                     fault_at_word(word_at(1, 2, 20, 2))};
+  std::vector<FaultRecord> singleton{fault_at_word(word_at(0, 0, 0, 0))};
+
+  std::vector<SimultaneousGroup> groups{
+      make_group(row_g), make_group(hidden), make_group(scattered),
+      make_group(singleton)};
+  const AlignmentStats stats = physical_alignment_stats(groups, map());
+  EXPECT_EQ(stats.groups_examined, 3u);
+  EXPECT_EQ(stats.same_row, 1u);
+  EXPECT_EQ(stats.scattered, 2u);
+  EXPECT_EQ(stats.with_aligned_pair, 2u);  // row_g and hidden
+  EXPECT_NEAR(stats.aligned_fraction(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(Alignment, LogicalSpread) {
+  std::vector<FaultRecord> faults{fault_at_word(0), fault_at_word(1 << 20)};
+  std::vector<SimultaneousGroup> groups{make_group(faults)};
+  const LogicalSpread spread = logical_spread(groups);
+  EXPECT_DOUBLE_EQ(spread.mean_span_bytes, static_cast<double>(4ULL << 20));
+  EXPECT_EQ(spread.max_span_bytes, 4ULL << 20);
+}
+
+TEST(Alignment, EmptyInputs) {
+  const AlignmentStats stats = physical_alignment_stats({}, map());
+  EXPECT_EQ(stats.groups_examined, 0u);
+  EXPECT_DOUBLE_EQ(stats.aligned_fraction(), 0.0);
+  const LogicalSpread spread = logical_spread({});
+  EXPECT_DOUBLE_EQ(spread.mean_span_bytes, 0.0);
+}
+
+}  // namespace
+}  // namespace unp::analysis

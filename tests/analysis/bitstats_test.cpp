@@ -1,0 +1,112 @@
+#include "analysis/bitstats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace unp::analysis {
+namespace {
+
+FaultRecord fault(Word expected, Word actual, cluster::NodeId node = {1, 1},
+                  std::uint64_t vaddr = 0, TimePoint t = 0) {
+  FaultRecord f;
+  f.node = node;
+  f.first_seen = t;
+  f.last_seen = t;
+  f.virtual_address = vaddr;
+  f.expected = expected;
+  f.actual = actual;
+  return f;
+}
+
+TEST(Patterns, CensusCountsOccurrences) {
+  std::vector<FaultRecord> faults{
+      fault(0xFFFFFFFFu, 0xFFFF7BFFu), fault(0xFFFFFFFFu, 0xFFFF7BFFu),
+      fault(0xFFFFFFFFu, 0xFFFFF3FFu), fault(0xFFFFFFFFu, 0xFFFFFFFEu)};
+  const auto patterns = multibit_patterns(faults);
+  ASSERT_EQ(patterns.size(), 2u);  // single-bit faults excluded
+  // Sorted by (bits, occurrences): both are 2-bit; 0xFFFFF3FF occurs once.
+  EXPECT_EQ(patterns[0].corrupted, 0xFFFFF3FFu);
+  EXPECT_EQ(patterns[0].occurrences, 1u);
+  EXPECT_TRUE(patterns[0].consecutive);  // bits 10, 11
+  EXPECT_EQ(patterns[1].corrupted, 0xFFFF7BFFu);
+  EXPECT_EQ(patterns[1].occurrences, 2u);
+  EXPECT_FALSE(patterns[1].consecutive);  // bits 10, 15
+}
+
+TEST(Patterns, TableOrdering) {
+  std::vector<FaultRecord> faults{
+      fault(0xFFFFFFFFu, 0xFFFFFF00u),   // 8 bits
+      fault(0xFFFFFFFFu, 0xFFFF7BFFu),   // 2 bits
+      fault(0x00000058u, 0xE6006358u)};  // 9 bits (Table I's widest)
+  const auto patterns = multibit_patterns(faults);
+  ASSERT_EQ(patterns.size(), 3u);
+  EXPECT_EQ(patterns[0].bits, 2);
+  EXPECT_EQ(patterns[1].bits, 8);
+  EXPECT_EQ(patterns[2].bits, 9);
+}
+
+TEST(Direction, CountsPerBit) {
+  std::vector<FaultRecord> faults{
+      fault(0xFFFFFFFFu, 0xFFFF7BFFu),   // two 1->0
+      fault(0x000003C1u, 0x000003C2u)};  // one 1->0, one 0->1 (Table I row)
+  const DirectionStats stats = direction_stats(faults);
+  EXPECT_EQ(stats.one_to_zero, 3u);
+  EXPECT_EQ(stats.zero_to_one, 1u);
+  EXPECT_DOUBLE_EQ(stats.one_to_zero_fraction(), 0.75);
+}
+
+TEST(Direction, EmptyPopulation) {
+  EXPECT_DOUBLE_EQ(direction_stats({}).one_to_zero_fraction(), 0.0);
+}
+
+TEST(Adjacency, StatsOverMixedPopulation) {
+  std::vector<FaultRecord> faults{
+      fault(0xFFFFFFFFu, 0xFFFFFFFEu),  // single-bit: excluded
+      fault(0xFFFFFFFFu, 0xFFFFF3FFu),  // bits 10-11: consecutive, gap 1
+      fault(0xFFFFFFFFu, 0xFFFF7BFFu),  // bits 10,15: gap 5
+      fault(0xFFFFFFFFu, 0xFFFFEEFFu)}; // bits 8,12: gap 4
+  const AdjacencyStats stats = adjacency_stats(faults);
+  EXPECT_EQ(stats.multibit_faults, 3u);
+  EXPECT_EQ(stats.consecutive, 1u);
+  EXPECT_EQ(stats.non_adjacent, 2u);
+  EXPECT_NEAR(stats.mean_distance, (1.0 + 5.0 + 4.0) / 3.0, 1e-12);
+  EXPECT_EQ(stats.max_distance, 5);
+  EXPECT_EQ(stats.low_half_majority, 3u);  // all masks in bits 0..15
+}
+
+TEST(NodeProfile, WeakBitSignature) {
+  // The 04-05 / 58-02 signature: many faults, one address, one fixed bit.
+  std::vector<FaultRecord> faults;
+  for (int i = 0; i < 100; ++i) {
+    faults.push_back(fault(0xFFFFFFFFu, 0xFFFFFDFFu, {4, 5}, 4096,
+                           1000 + i * 1000));
+  }
+  faults.push_back(fault(0xFFFFFFFFu, 0xFFFFFFFEu, {9, 9}, 64, 5));
+  const NodePatternProfile profile = node_pattern_profile(faults, {4, 5});
+  EXPECT_EQ(profile.faults, 100u);
+  EXPECT_EQ(profile.distinct_addresses, 1u);
+  EXPECT_EQ(profile.distinct_patterns, 1u);
+  EXPECT_TRUE(profile.single_fixed_bit);
+}
+
+TEST(NodeProfile, DegradingSignature) {
+  // Many addresses, a pool of patterns, not single-fixed-bit.
+  std::vector<FaultRecord> faults;
+  for (int i = 0; i < 60; ++i) {
+    faults.push_back(fault(0xFFFFFFFFu, 0xFFFFFFFFu ^ (1u << (i % 5)), {2, 4},
+                           static_cast<std::uint64_t>(i) * 64, 1000 + i));
+  }
+  const NodePatternProfile profile = node_pattern_profile(faults, {2, 4});
+  EXPECT_EQ(profile.faults, 60u);
+  EXPECT_EQ(profile.distinct_addresses, 60u);
+  EXPECT_EQ(profile.distinct_patterns, 5u);
+  EXPECT_FALSE(profile.single_fixed_bit);
+}
+
+TEST(NodeProfile, AbsentNodeIsEmpty) {
+  const NodePatternProfile profile = node_pattern_profile({}, {1, 1});
+  EXPECT_EQ(profile.faults, 0u);
+  EXPECT_FALSE(profile.single_fixed_bit);
+}
+
+}  // namespace
+}  // namespace unp::analysis

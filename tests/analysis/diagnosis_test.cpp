@@ -1,0 +1,91 @@
+#include "analysis/diagnosis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace unp::analysis {
+namespace {
+
+FaultRecord fault(cluster::NodeId node, TimePoint t, std::uint64_t vaddr,
+                  Word flip = 0x1u, std::uint64_t raw = 1) {
+  FaultRecord f;
+  f.node = node;
+  f.first_seen = t;
+  f.last_seen = t;
+  f.virtual_address = vaddr;
+  f.expected = 0xFFFFFFFFu;
+  f.actual = 0xFFFFFFFFu ^ flip;
+  f.raw_logs = raw;
+  return f;
+}
+
+TEST(Diagnosis, HealthyNode) {
+  const NodeDiagnosis d = diagnose_node({}, {1, 1});
+  EXPECT_EQ(d.condition, NodeCondition::kHealthy);
+  EXPECT_STREQ(d.recommendation(), "none");
+}
+
+TEST(Diagnosis, SporadicNode) {
+  std::vector<FaultRecord> faults;
+  for (int i = 0; i < 3; ++i) {
+    faults.push_back(fault({1, 1}, i * 1000000, static_cast<std::uint64_t>(i) * 4096));
+  }
+  const NodeDiagnosis d = diagnose_node(faults, {1, 1});
+  EXPECT_EQ(d.condition, NodeCondition::kSporadic);
+}
+
+TEST(Diagnosis, WeakCellSignature) {
+  // Thousands of faults, one address, one pattern, one raw log each.
+  std::vector<FaultRecord> faults;
+  for (int i = 0; i < 2000; ++i) {
+    faults.push_back(fault({4, 5}, i * 3600, 4096, 0x200u));
+  }
+  const NodeDiagnosis d = diagnose_node(faults, {4, 5});
+  EXPECT_EQ(d.condition, NodeCondition::kWeakCell);
+  EXPECT_EQ(d.distinct_addresses, 1u);
+  EXPECT_EQ(d.distinct_patterns, 1u);
+  EXPECT_STREQ(d.recommendation(), "retire the affected page");
+}
+
+TEST(Diagnosis, StuckRegionSignature) {
+  // A few addresses re-logged every iteration: huge raw/fault ratio.
+  std::vector<FaultRecord> faults;
+  for (int a = 0; a < 20; ++a) {
+    faults.push_back(fault({21, 7}, a, static_cast<std::uint64_t>(a) * 4096,
+                           0x1u, 50000));
+  }
+  const NodeDiagnosis d = diagnose_node(faults, {21, 7});
+  EXPECT_EQ(d.condition, NodeCondition::kStuckRegion);
+  EXPECT_STREQ(d.recommendation(), "replace the DIMM");
+}
+
+TEST(Diagnosis, ComponentFailureSignature) {
+  // Many faults over many addresses with many patterns, transient each.
+  std::vector<FaultRecord> faults;
+  for (int i = 0; i < 5000; ++i) {
+    faults.push_back(fault({2, 4}, i * 600,
+                           static_cast<std::uint64_t>(i % 1700) * 64,
+                           1u << (i % 28)));
+  }
+  const NodeDiagnosis d = diagnose_node(faults, {2, 4});
+  EXPECT_EQ(d.condition, NodeCondition::kComponentFailure);
+  EXPECT_GT(d.distinct_addresses, 1000u);
+}
+
+TEST(Diagnosis, FleetOrderedLoudestFirst) {
+  std::vector<FaultRecord> faults;
+  for (int i = 0; i < 100; ++i) faults.push_back(fault({2, 4}, i, 64));
+  faults.push_back(fault({9, 9}, 5, 4096));
+  const auto fleet = diagnose_fleet(faults);
+  ASSERT_EQ(fleet.size(), 2u);
+  EXPECT_EQ(fleet[0].node, (cluster::NodeId{2, 4}));
+  EXPECT_EQ(fleet[0].faults, 100u);
+  EXPECT_EQ(fleet[1].condition, NodeCondition::kSporadic);
+}
+
+TEST(Diagnosis, Names) {
+  EXPECT_STREQ(to_string(NodeCondition::kWeakCell), "weak-cell");
+  EXPECT_STREQ(to_string(NodeCondition::kComponentFailure), "component-failure");
+}
+
+}  // namespace
+}  // namespace unp::analysis

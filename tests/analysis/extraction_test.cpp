@@ -1,0 +1,151 @@
+#include "analysis/extraction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace unp::analysis {
+namespace {
+
+telemetry::ErrorRecord make_error(TimePoint t, std::uint64_t vaddr,
+                                  Word expected = 0xFFFFFFFFu,
+                                  Word actual = 0xFFFFFFFEu) {
+  telemetry::ErrorRecord r;
+  r.time = t;
+  r.node = {3, 3};
+  r.virtual_address = vaddr;
+  r.expected = expected;
+  r.actual = actual;
+  return r;
+}
+
+TEST(Collapse, SingleLogIsOneFault) {
+  telemetry::NodeLog log;
+  log.add_error(make_error(1000, 64));
+  const auto faults = collapse_node_log({3, 3}, log, 300);
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].raw_logs, 1u);
+  EXPECT_EQ(faults[0].first_seen, 1000);
+  EXPECT_EQ(faults[0].flipped_bits(), 1);
+}
+
+TEST(Collapse, RunCollapsesToOneFault) {
+  // The paper: thousands of consecutive iterations -> one memory error.
+  telemetry::NodeLog log;
+  log.add_error_run({make_error(1000, 64), 150, 5000});
+  const auto faults = collapse_node_log({3, 3}, log, 300);
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].raw_logs, 5000u);
+  EXPECT_EQ(faults[0].first_seen, 1000);
+  EXPECT_EQ(faults[0].last_seen, 1000 + 150 * 4999);
+}
+
+TEST(Collapse, NearbyLogsSameAddressMerge) {
+  telemetry::NodeLog log;
+  log.add_error(make_error(1000, 64));
+  log.add_error(make_error(1200, 64));  // 200 s later, within the window
+  const auto faults = collapse_node_log({3, 3}, log, 300);
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].raw_logs, 2u);
+}
+
+TEST(Collapse, DistantLogsSameAddressStaySeparate) {
+  // A clean stretch longer than the window: the weak bit leaked twice.
+  telemetry::NodeLog log;
+  log.add_error(make_error(1000, 64));
+  log.add_error(make_error(10000, 64));
+  const auto faults = collapse_node_log({3, 3}, log, 300);
+  EXPECT_EQ(faults.size(), 2u);
+}
+
+TEST(Collapse, DifferentAddressesNeverMerge) {
+  telemetry::NodeLog log;
+  log.add_error(make_error(1000, 64));
+  log.add_error(make_error(1001, 128));
+  const auto faults = collapse_node_log({3, 3}, log, 300);
+  EXPECT_EQ(faults.size(), 2u);
+}
+
+TEST(Collapse, ChainOfRunsMerges) {
+  // Two-phase stuck fault: interleaved runs at the same address fuse.
+  telemetry::NodeLog log;
+  log.add_error_run({make_error(1000, 64, 0xFFFFFFFFu, 0xFFFFFFFEu), 200, 10});
+  log.add_error_run({make_error(1100, 64, 0x00000000u, 0x00000002u), 200, 10});
+  const auto faults = collapse_node_log({3, 3}, log, 300);
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].raw_logs, 20u);
+  // Representative context is the first observation.
+  EXPECT_EQ(faults[0].expected, 0xFFFFFFFFu);
+}
+
+TEST(Collapse, OutputSortedByTime) {
+  telemetry::NodeLog log;
+  log.add_error(make_error(5000, 64));
+  log.add_error(make_error(1000, 128));
+  log.add_error(make_error(3000, 256));
+  const auto faults = collapse_node_log({3, 3}, log, 300);
+  ASSERT_EQ(faults.size(), 3u);
+  EXPECT_LT(faults[0].first_seen, faults[1].first_seen);
+  EXPECT_LT(faults[1].first_seen, faults[2].first_seen);
+}
+
+TEST(Collapse, SplitInvariance) {
+  // Property: representing the same raw stream as one run or as many
+  // adjacent runs must extract identical faults.
+  telemetry::NodeLog one;
+  one.add_error_run({make_error(1000, 64), 100, 30});
+  telemetry::NodeLog split;
+  split.add_error_run({make_error(1000, 64), 100, 10});
+  split.add_error_run({make_error(2000, 64), 100, 10});
+  split.add_error_run({make_error(3000, 64), 100, 10});
+  const auto a = collapse_node_log({3, 3}, one, 300);
+  const auto b = collapse_node_log({3, 3}, split, 300);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0].raw_logs, b[0].raw_logs);
+  EXPECT_EQ(a[0].first_seen, b[0].first_seen);
+  EXPECT_EQ(a[0].last_seen, b[0].last_seen);
+}
+
+TEST(Extract, PathologicalNodeFiltered) {
+  telemetry::CampaignArchive archive;
+  // A node drowning the campaign in raw logs...
+  telemetry::ErrorRecord bad = make_error(1000, 64);
+  bad.node = {9, 9};
+  archive.log({9, 9}).add_error_run({bad, 150, 2000000});
+  // ...and a normal node with two real faults.
+  telemetry::ErrorRecord ok = make_error(2000, 64);
+  ok.node = {1, 1};
+  archive.log({1, 1}).add_error(ok);
+  ok.time = 100000;
+  archive.log({1, 1}).add_error(ok);
+
+  const ExtractionResult result = extract_faults(archive);
+  ASSERT_EQ(result.removed_nodes.size(), 1u);
+  EXPECT_EQ(result.removed_nodes[0], (cluster::NodeId{9, 9}));
+  EXPECT_GT(result.removed_fraction(), 0.99);
+  EXPECT_EQ(result.faults.size(), 2u);
+  EXPECT_EQ(result.total_raw_logs, 2000002u);
+  EXPECT_EQ(result.removed_raw_logs, 2000000u);
+}
+
+TEST(Extract, SmallNoisyNodeKept) {
+  // Below the absolute threshold a node is loud but not pathological.
+  telemetry::CampaignArchive archive;
+  telemetry::ErrorRecord r = make_error(1000, 64);
+  r.node = {9, 9};
+  archive.log({9, 9}).add_error_run({r, 150, 5000});
+  const ExtractionResult result = extract_faults(archive);
+  EXPECT_TRUE(result.removed_nodes.empty());
+  EXPECT_EQ(result.faults.size(), 1u);
+}
+
+TEST(Extract, FaultRecordDerivedFields) {
+  FaultRecord f;
+  f.expected = 0xFFFFFFFFu;
+  f.actual = 0xFFFF7BFFu;
+  EXPECT_EQ(f.flip_mask(), 0x00008400u);
+  EXPECT_EQ(f.flipped_bits(), 2);
+  EXPECT_TRUE(f.is_multibit());
+}
+
+}  // namespace
+}  // namespace unp::analysis

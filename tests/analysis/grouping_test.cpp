@@ -1,0 +1,110 @@
+#include "analysis/grouping.hpp"
+
+#include <gtest/gtest.h>
+
+namespace unp::analysis {
+namespace {
+
+FaultRecord fault(cluster::NodeId node, TimePoint t, std::uint64_t vaddr,
+                  Word expected = 0xFFFFFFFFu, Word actual = 0xFFFFFFFEu) {
+  FaultRecord f;
+  f.node = node;
+  f.first_seen = t;
+  f.last_seen = t;
+  f.virtual_address = vaddr;
+  f.expected = expected;
+  f.actual = actual;
+  return f;
+}
+
+TEST(Grouping, SameNodeSameInstantGroups) {
+  std::vector<FaultRecord> faults{
+      fault({1, 1}, 1000, 0), fault({1, 1}, 1000, 64), fault({1, 1}, 2000, 0)};
+  const auto groups = group_simultaneous(faults);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].members.size(), 2u);
+  EXPECT_TRUE(groups[0].is_simultaneous());
+  EXPECT_FALSE(groups[1].is_simultaneous());
+}
+
+TEST(Grouping, DifferentNodesNeverGroup) {
+  std::vector<FaultRecord> faults{fault({1, 1}, 1000, 0),
+                                  fault({2, 2}, 1000, 0)};
+  const auto groups = group_simultaneous(faults);
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(Grouping, GroupBitTotals) {
+  std::vector<FaultRecord> faults{
+      fault({1, 1}, 1000, 0, 0xFFFFFFFFu, 0xFFFF7BFFu),   // 2 bits
+      fault({1, 1}, 1000, 64, 0xFFFFFFFFu, 0xFFFFFFFEu)}; // 1 bit
+  const auto groups = group_simultaneous(faults);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].total_bits(), 3);
+  EXPECT_EQ(groups[0].max_word_bits(), 2);
+}
+
+TEST(Grouping, ViewpointsConserveTotalFaults) {
+  // Fig 4's invariant: "keeping the total number of corruptions constant".
+  std::vector<FaultRecord> faults;
+  for (int i = 0; i < 10; ++i) {
+    faults.push_back(
+        fault({1, 1}, 1000 + (i / 3) * 100, static_cast<std::uint64_t>(i) * 64));
+  }
+  const auto groups = group_simultaneous(faults);
+  const MultibitViewpoints v = count_viewpoints(groups);
+  std::uint64_t word_weighted = 0, node_weighted = 0;
+  for (int bits = 1; bits <= MultibitViewpoints::kMaxBits; ++bits) {
+    word_weighted += v.per_word[bits] * static_cast<std::uint64_t>(bits);
+    node_weighted += v.per_node[bits] * static_cast<std::uint64_t>(bits);
+  }
+  EXPECT_EQ(word_weighted, node_weighted);
+  EXPECT_EQ(word_weighted, 10u);  // all single-bit words
+}
+
+TEST(Grouping, PerNodeMovesSinglesToMultis) {
+  // Three single-bit words at one instant: per-word 3x 1-bit, per-node 1x 3-bit.
+  std::vector<FaultRecord> faults{fault({1, 1}, 1000, 0),
+                                  fault({1, 1}, 1000, 64),
+                                  fault({1, 1}, 1000, 128)};
+  const MultibitViewpoints v = count_viewpoints(group_simultaneous(faults));
+  EXPECT_EQ(v.per_word[1], 3u);
+  EXPECT_EQ(v.per_node[1], 0u);
+  EXPECT_EQ(v.per_node[3], 1u);
+}
+
+TEST(CoOccurrence, ClassifiesGroups) {
+  std::vector<FaultRecord> faults;
+  // Group A: double + single (node 1, t=100).
+  faults.push_back(fault({1, 1}, 100, 0, 0xFFFFFFFFu, 0xFFFF7BFFu));
+  faults.push_back(fault({1, 1}, 100, 64));
+  // Group B: triple + single (node 2, t=200).
+  faults.push_back(fault({2, 2}, 200, 0, 0xFFFFFFFFu, 0xFFFF73FFu));  // 3 bits
+  faults.push_back(fault({2, 2}, 200, 64));
+  // Group C: double + double (node 3, t=300).
+  faults.push_back(fault({3, 3}, 300, 0, 0xFFFFFFFFu, 0xFFFF7BFFu));
+  faults.push_back(fault({3, 3}, 300, 64, 0xFFFFFFFFu, 0xFFFFF3FFu));
+  // Group D: all singles (node 4, t=400).
+  faults.push_back(fault({4, 4}, 400, 0));
+  faults.push_back(fault({4, 4}, 400, 64));
+  faults.push_back(fault({4, 4}, 400, 128));
+  // Singleton (node 5).
+  faults.push_back(fault({5, 5}, 500, 0));
+
+  const CoOccurrence co = count_co_occurrence(group_simultaneous(faults));
+  EXPECT_EQ(co.double_plus_single, 1u);
+  EXPECT_EQ(co.triple_plus_single, 1u);
+  EXPECT_EQ(co.double_plus_double, 1u);
+  EXPECT_EQ(co.multi_single_groups, 1u);
+  EXPECT_EQ(co.simultaneous_corruptions, 9u);  // everything except the singleton
+  EXPECT_EQ(co.max_bits_one_instant, 4u);      // group C: 2 + 2
+}
+
+TEST(CoOccurrence, EmptyInput) {
+  const CoOccurrence co = count_co_occurrence({});
+  EXPECT_EQ(co.simultaneous_corruptions, 0u);
+  EXPECT_EQ(co.max_bits_one_instant, 0u);
+}
+
+}  // namespace
+}  // namespace unp::analysis

@@ -1,0 +1,80 @@
+#include "analysis/interarrival.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace unp::analysis {
+namespace {
+
+FaultRecord fault(cluster::NodeId node, TimePoint t) {
+  FaultRecord f;
+  f.node = node;
+  f.first_seen = t;
+  f.last_seen = t;
+  f.expected = 0xFFFFFFFFu;
+  f.actual = 0xFFFFFFFEu;
+  return f;
+}
+
+TEST(InterArrival, RegularGapsHaveZeroCv) {
+  std::vector<FaultRecord> faults;
+  for (int i = 0; i < 100; ++i) faults.push_back(fault({1, 1}, 1000 + i * 600));
+  const InterArrivalStats stats = interarrival_stats(faults);
+  EXPECT_EQ(stats.gaps, 99u);
+  EXPECT_DOUBLE_EQ(stats.mean_s, 600.0);
+  EXPECT_DOUBLE_EQ(stats.median_s, 600.0);
+  EXPECT_NEAR(stats.cv, 0.0, 1e-9);
+  EXPECT_NEAR(stats.burstiness(), -1.0, 1e-9);  // sub-Poisson regularity
+  EXPECT_DOUBLE_EQ(stats.within_minute, 0.0);
+  EXPECT_DOUBLE_EQ(stats.within_hour, 1.0);
+}
+
+TEST(InterArrival, BurstsInflateCv) {
+  // Ten bursts of 20 errors a second apart, bursts a week apart.
+  std::vector<FaultRecord> faults;
+  for (int burst = 0; burst < 10; ++burst) {
+    const TimePoint base = burst * 7 * kSecondsPerDay;
+    for (int i = 0; i < 20; ++i) faults.push_back(fault({1, 1}, base + i));
+  }
+  const InterArrivalStats stats = interarrival_stats(faults);
+  EXPECT_GT(stats.cv, 3.0);
+  EXPECT_GT(stats.burstiness(), 0.5);
+  EXPECT_GT(stats.within_minute, 0.9);
+  EXPECT_DOUBLE_EQ(stats.median_s, 1.0);
+}
+
+TEST(InterArrival, ExclusionRemovesNode) {
+  std::vector<FaultRecord> faults{fault({1, 1}, 0), fault({2, 4}, 100),
+                                  fault({1, 1}, 200)};
+  const InterArrivalStats all = interarrival_stats(faults);
+  const InterArrivalStats filtered = interarrival_stats(faults, {{2, 4}});
+  EXPECT_EQ(all.gaps, 2u);
+  EXPECT_EQ(filtered.gaps, 1u);
+  EXPECT_DOUBLE_EQ(filtered.mean_s, 200.0);
+}
+
+TEST(InterArrival, UnsortedInputHandled) {
+  std::vector<FaultRecord> faults{fault({1, 1}, 500), fault({1, 1}, 100),
+                                  fault({1, 1}, 300)};
+  const InterArrivalStats stats = interarrival_stats(faults);
+  EXPECT_DOUBLE_EQ(stats.mean_s, 200.0);
+}
+
+TEST(InterArrival, DegenerateInputs) {
+  EXPECT_EQ(interarrival_stats({}).gaps, 0u);
+  EXPECT_EQ(interarrival_stats({fault({1, 1}, 5)}).gaps, 0u);
+}
+
+TEST(InterArrival, PoissonReferenceHasUnitCv) {
+  const InterArrivalStats stats =
+      poisson_reference(50000, 365 * kSecondsPerDay, 3);
+  EXPECT_EQ(stats.gaps, 49999u);
+  EXPECT_NEAR(stats.cv, 1.0, 0.05);
+  EXPECT_NEAR(stats.burstiness(), 0.0, 0.05);
+  // Exponential: median = mean * ln 2.
+  EXPECT_NEAR(stats.median_s / stats.mean_s, std::log(2.0), 0.05);
+}
+
+}  // namespace
+}  // namespace unp::analysis

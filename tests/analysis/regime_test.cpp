@@ -1,0 +1,91 @@
+#include "analysis/regime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace unp::analysis {
+namespace {
+
+FaultRecord fault(cluster::NodeId node, TimePoint t) {
+  FaultRecord f;
+  f.node = node;
+  f.first_seen = t;
+  f.last_seen = t;
+  f.expected = 0xFFFFFFFFu;
+  f.actual = 0xFFFFFFFEu;
+  return f;
+}
+
+std::vector<FaultRecord> day_burst(cluster::NodeId node, const CampaignWindow& w,
+                                   int day, int count) {
+  std::vector<FaultRecord> out;
+  for (int i = 0; i < count; ++i) {
+    out.push_back(fault(node, w.start + day * kSecondsPerDay + 3600 + i * 60));
+  }
+  return out;
+}
+
+TEST(Regime, ThresholdSplitsDays) {
+  const CampaignWindow w;
+  std::vector<FaultRecord> faults;
+  auto add = [&](std::vector<FaultRecord> v) {
+    faults.insert(faults.end(), v.begin(), v.end());
+  };
+  add(day_burst({1, 1}, w, 10, 3));   // exactly at threshold: normal
+  add(day_burst({1, 1}, w, 20, 4));   // above: degraded
+  add(day_burst({1, 1}, w, 30, 50));  // burst day
+
+  const RegimeResult r = classify_regime(faults, w, RegimeConfig{});
+  EXPECT_FALSE(r.degraded[10]);
+  EXPECT_TRUE(r.degraded[20]);
+  EXPECT_TRUE(r.degraded[30]);
+  EXPECT_EQ(r.degraded_days, 2u);
+  EXPECT_EQ(r.normal_errors, 3u);
+  EXPECT_EQ(r.degraded_errors, 54u);
+}
+
+TEST(Regime, MtbfComputation) {
+  const CampaignWindow w;
+  std::vector<FaultRecord> faults = day_burst({1, 1}, w, 5, 48);
+  const RegimeResult r = classify_regime(faults, w, RegimeConfig{});
+  // One degraded day with 48 errors: MTBF = 24h/48 = 0.5h.
+  EXPECT_DOUBLE_EQ(r.degraded_mtbf_hours, 0.5);
+  EXPECT_DOUBLE_EQ(r.normal_mtbf_hours, 0.0);  // zero normal errors
+  EXPECT_NEAR(r.degraded_fraction(),
+              1.0 / static_cast<double>(r.normal_days + r.degraded_days), 1e-9);
+}
+
+TEST(Regime, ExclusionRemovesNode) {
+  const CampaignWindow w;
+  std::vector<FaultRecord> faults = day_burst({2, 4}, w, 5, 100);
+  auto extra = day_burst({1, 1}, w, 5, 2);
+  faults.insert(faults.end(), extra.begin(), extra.end());
+
+  RegimeConfig config;
+  config.excluded_nodes.push_back({2, 4});
+  const RegimeResult r = classify_regime(faults, w, config);
+  EXPECT_EQ(r.errors_per_day[5], 2u);
+  EXPECT_FALSE(r.degraded[5]);
+}
+
+TEST(Regime, AutoExclusionPicksLoudest) {
+  const CampaignWindow w;
+  std::vector<FaultRecord> faults = day_burst({2, 4}, w, 5, 100);
+  auto extra = day_burst({7, 7}, w, 6, 10);
+  faults.insert(faults.end(), extra.begin(), extra.end());
+
+  const AutoRegime result = classify_regime_excluding_loudest(faults, w);
+  ASSERT_TRUE(result.excluded.has_value());
+  EXPECT_EQ(*result.excluded, (cluster::NodeId{2, 4}));
+  EXPECT_EQ(result.regime.degraded_errors, 10u);
+}
+
+TEST(Regime, EmptyFaultsAllNormal) {
+  const CampaignWindow w;
+  const AutoRegime result = classify_regime_excluding_loudest({}, w);
+  EXPECT_FALSE(result.excluded.has_value());
+  EXPECT_EQ(result.regime.degraded_days, 0u);
+  EXPECT_EQ(result.regime.normal_errors, 0u);
+}
+
+}  // namespace
+}  // namespace unp::analysis

@@ -1,0 +1,153 @@
+#include "cluster/availability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace unp::cluster {
+namespace {
+
+TEST(Timeline, RejectsOverlapsAndEmpties) {
+  EXPECT_THROW(AvailabilityTimeline({{10, 10}}), ContractViolation);
+  EXPECT_THROW(AvailabilityTimeline({{10, 20}, {15, 30}}), ContractViolation);
+  EXPECT_NO_THROW(AvailabilityTimeline({{10, 20}, {20, 30}}));
+}
+
+TEST(Timeline, IsAvailable) {
+  const AvailabilityTimeline t({{10, 20}, {30, 40}});
+  EXPECT_FALSE(t.is_available(9));
+  EXPECT_TRUE(t.is_available(10));
+  EXPECT_TRUE(t.is_available(19));
+  EXPECT_FALSE(t.is_available(20));
+  EXPECT_FALSE(t.is_available(25));
+  EXPECT_TRUE(t.is_available(35));
+  EXPECT_FALSE(t.is_available(40));
+}
+
+TEST(Timeline, TotalSeconds) {
+  const AvailabilityTimeline t({{0, 100}, {200, 250}});
+  EXPECT_EQ(t.total_seconds(), 150);
+  EXPECT_NEAR(t.total_hours(), 150.0 / 3600.0, 1e-12);
+}
+
+TEST(Timeline, SubtractMiddleSplits) {
+  AvailabilityTimeline t({{0, 100}});
+  t.subtract({40, 60});
+  ASSERT_EQ(t.intervals().size(), 2u);
+  EXPECT_EQ(t.intervals()[0], (Interval{0, 40}));
+  EXPECT_EQ(t.intervals()[1], (Interval{60, 100}));
+}
+
+TEST(Timeline, SubtractEdgesAndBeyond) {
+  AvailabilityTimeline t({{10, 20}, {30, 40}});
+  t.subtract({0, 12});   // clips the head
+  t.subtract({38, 99});  // clips the tail
+  t.subtract({50, 60});  // outside: no-op
+  t.subtract({5, 3});    // empty cut: no-op
+  ASSERT_EQ(t.intervals().size(), 2u);
+  EXPECT_EQ(t.intervals()[0], (Interval{12, 20}));
+  EXPECT_EQ(t.intervals()[1], (Interval{30, 38}));
+}
+
+TEST(Timeline, SubtractWholeInterval) {
+  AvailabilityTimeline t({{10, 20}, {30, 40}});
+  t.subtract({10, 20});
+  ASSERT_EQ(t.intervals().size(), 1u);
+  EXPECT_EQ(t.intervals()[0], (Interval{30, 40}));
+}
+
+TEST(Timeline, Clip) {
+  const AvailabilityTimeline t({{0, 100}, {200, 300}});
+  const auto clipped = t.clip({50, 250});
+  ASSERT_EQ(clipped.size(), 2u);
+  EXPECT_EQ(clipped[0], (Interval{50, 100}));
+  EXPECT_EQ(clipped[1], (Interval{200, 250}));
+}
+
+TEST(Timeline, SubtractPropertyTotalNeverGrows) {
+  RngStream rng(77);
+  AvailabilityTimeline t({{0, 1000000}});
+  std::int64_t previous = t.total_seconds();
+  for (int i = 0; i < 200; ++i) {
+    const auto start = static_cast<TimePoint>(rng.uniform_u64(1000000));
+    const auto len = static_cast<std::int64_t>(rng.uniform_u64(5000));
+    t.subtract({start, start + len});
+    const std::int64_t now = t.total_seconds();
+    EXPECT_LE(now, previous);
+    EXPECT_GE(now, previous - len);
+    previous = now;
+    // Invariant: sorted, disjoint, non-empty.
+    for (std::size_t k = 0; k < t.intervals().size(); ++k) {
+      EXPECT_LT(t.intervals()[k].start, t.intervals()[k].end);
+      if (k > 0) {
+        EXPECT_GE(t.intervals()[k].start, t.intervals()[k - 1].end);
+      }
+    }
+  }
+}
+
+TEST(Model, FullWindowForOrdinaryNode) {
+  AvailabilityModel::Config config;
+  config.maintenance_gaps_mean = 0.0;
+  const AvailabilityModel model(config);
+  const AvailabilityTimeline t = model.build({20, 5});
+  EXPECT_EQ(t.total_seconds(), config.window.duration_seconds());
+}
+
+TEST(Model, OverheatingSlotLosesSecondHalf) {
+  AvailabilityModel::Config config;
+  config.maintenance_gaps_mean = 0.0;
+  const AvailabilityModel model(config);
+  const AvailabilityTimeline t = model.build({20, kOverheatingSoc});
+  EXPECT_LT(t.total_seconds(), config.window.duration_seconds() / 2);
+  EXPECT_FALSE(t.is_available(from_civil_utc({2015, 8, 1, 0, 0, 0})));
+  EXPECT_TRUE(t.is_available(from_civil_utc({2015, 3, 1, 0, 0, 0})));
+  // The October re-test window is powered.
+  EXPECT_TRUE(t.is_available(from_civil_utc({2015, 10, 7, 12, 0, 0})));
+}
+
+TEST(Model, FailedBladeShutsDown) {
+  AvailabilityModel::Config config;
+  config.maintenance_gaps_mean = 0.0;
+  const AvailabilityModel model(config);
+  const AvailabilityTimeline t = model.build({config.failed_blade, 3});
+  EXPECT_TRUE(t.is_available(from_civil_utc({2015, 4, 1, 0, 0, 0})));
+  EXPECT_FALSE(t.is_available(from_civil_utc({2015, 7, 1, 0, 0, 0})));
+}
+
+TEST(Model, ExtraOutagesApplied) {
+  AvailabilityModel::Config config;
+  config.maintenance_gaps_mean = 0.0;
+  const Interval outage{from_civil_utc({2015, 11, 26, 0, 0, 0}),
+                        from_civil_utc({2015, 12, 12, 0, 0, 0})};
+  config.extra_outages.push_back({NodeId{2, 4}, outage});
+  const AvailabilityModel model(config);
+  EXPECT_FALSE(model.build({2, 4}).is_available(
+      from_civil_utc({2015, 12, 1, 0, 0, 0})));
+  EXPECT_TRUE(model.build({2, 5}).is_available(
+      from_civil_utc({2015, 12, 1, 0, 0, 0})));
+}
+
+TEST(Model, MaintenanceGapsReduceUptime) {
+  const AvailabilityModel model;  // default: ~3 gaps/node
+  double reduced = 0;
+  int nodes = 0;
+  for (int blade = 10; blade < 20; ++blade) {
+    const AvailabilityTimeline t = model.build({blade, 5});
+    reduced += static_cast<double>(t.total_seconds());
+    ++nodes;
+  }
+  const auto full =
+      static_cast<double>(AvailabilityModel::Config{}.window.duration_seconds());
+  EXPECT_LT(reduced / nodes, full);
+  EXPECT_GT(reduced / nodes, full * 0.9);  // gaps are days, not months
+}
+
+TEST(Model, DeterministicPerNode) {
+  const AvailabilityModel model;
+  EXPECT_EQ(model.build({7, 7}).intervals(), model.build({7, 7}).intervals());
+}
+
+}  // namespace
+}  // namespace unp::cluster

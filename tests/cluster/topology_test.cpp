@@ -1,0 +1,108 @@
+#include "cluster/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+
+namespace unp::cluster {
+namespace {
+
+TEST(Topology, GeometryConstants) {
+  EXPECT_EQ(kTotalBlades, 72);
+  EXPECT_EQ(kTotalNodes, 1080);
+  EXPECT_EQ(kStudyBlades, 63);
+  EXPECT_EQ(kStudyNodeSlots, 945);
+  EXPECT_EQ(kNodeMemoryBytes, 4ULL << 30);
+  EXPECT_EQ(kScannableBytes, 3ULL << 30);
+}
+
+TEST(Topology, NodeIndexRoundTrip) {
+  for (int i = 0; i < kStudyNodeSlots; ++i) {
+    EXPECT_EQ(node_index(node_from_index(i)), i);
+  }
+}
+
+TEST(Topology, NodeNameFormat) {
+  EXPECT_EQ(node_name({2, 4}), "02-04");
+  EXPECT_EQ(node_name({58, 2}), "58-02");
+  EXPECT_EQ(parse_node_name("02-04"), (NodeId{2, 4}));
+  EXPECT_EQ(parse_node_name("62-14"), (NodeId{62, 14}));
+}
+
+TEST(Topology, ParseRejectsOutOfRange) {
+  EXPECT_THROW((void)parse_node_name("63-00"), ContractViolation);
+  EXPECT_THROW((void)parse_node_name("00-15"), ContractViolation);
+  EXPECT_THROW((void)parse_node_name("junk"), ContractViolation);
+}
+
+TEST(Topology, MonitoredPopulationIs923) {
+  const Topology topo;
+  EXPECT_EQ(topo.monitored_count(), 923);  // 945 - 9 login - 13 dead
+}
+
+TEST(Topology, LoginNodesAreFirstSocOfFirstBlades) {
+  const Topology topo;
+  for (int blade = 0; blade < 9; ++blade) {
+    EXPECT_EQ(topo.role({blade, 0}), NodeRole::kLogin);
+  }
+  EXPECT_EQ(topo.role({9, 0}), NodeRole::kCompute);
+}
+
+TEST(Topology, DeadNodeCountMatchesConfig) {
+  const Topology topo;
+  int dead = 0;
+  for (int i = 0; i < kStudyNodeSlots; ++i) {
+    if (topo.role(node_from_index(i)) == NodeRole::kDeadOnArrival) ++dead;
+  }
+  EXPECT_EQ(dead, 13);
+}
+
+TEST(Topology, DeterministicAcrossInstances) {
+  const Topology a, b;
+  for (int i = 0; i < kStudyNodeSlots; ++i) {
+    EXPECT_EQ(a.role(node_from_index(i)), b.role(node_from_index(i)));
+  }
+}
+
+TEST(Topology, DifferentSeedMovesDeadNodes) {
+  Topology::Config config;
+  config.seed = 1234;
+  const Topology a, b(config);
+  bool moved = false;
+  for (int i = 0; i < kStudyNodeSlots; ++i) {
+    moved |= a.role(node_from_index(i)) != b.role(node_from_index(i));
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(Topology, OverheatingColumn) {
+  EXPECT_TRUE(Topology::is_overheating_slot({10, 12}));
+  EXPECT_FALSE(Topology::is_overheating_slot({10, 11}));
+}
+
+TEST(Topology, ChassisAndRack) {
+  EXPECT_EQ(Topology::chassis_of({0, 0}), 0);
+  EXPECT_EQ(Topology::chassis_of({8, 0}), 0);
+  EXPECT_EQ(Topology::chassis_of({9, 0}), 1);
+  EXPECT_EQ(Topology::rack_of({0, 0}), 0);
+  EXPECT_EQ(Topology::rack_of({35, 0}), 0);
+  EXPECT_EQ(Topology::rack_of({36, 0}), 1);
+}
+
+TEST(Topology, MonitoredListSortedAndConsistent) {
+  const Topology topo;
+  const auto& nodes = topo.monitored_nodes();
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_LT(node_index(nodes[i - 1]), node_index(nodes[i]));
+  }
+  for (const auto& n : nodes) EXPECT_TRUE(topo.is_monitored(n));
+}
+
+TEST(Topology, RoleNames) {
+  EXPECT_STREQ(to_string(NodeRole::kCompute), "compute");
+  EXPECT_STREQ(to_string(NodeRole::kLogin), "login");
+  EXPECT_STREQ(to_string(NodeRole::kDeadOnArrival), "dead");
+}
+
+}  // namespace
+}  // namespace unp::cluster

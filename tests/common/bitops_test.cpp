@@ -1,0 +1,69 @@
+#include "common/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace unp {
+namespace {
+
+TEST(BitOps, SetBitPositions) {
+  EXPECT_TRUE(set_bit_positions(0).empty());
+  EXPECT_EQ(set_bit_positions(0b1), (std::vector<int>{0}));
+  EXPECT_EQ(set_bit_positions(0b1010'0001), (std::vector<int>{0, 5, 7}));
+  EXPECT_EQ(set_bit_positions(0x80000000u), (std::vector<int>{31}));
+}
+
+TEST(BitOps, FlippedBitCount) {
+  EXPECT_EQ(flipped_bit_count(0xFFFFFFFFu, 0xFFFFFFFFu), 0);
+  EXPECT_EQ(flipped_bit_count(0xFFFFFFFFu, 0xFFFF7BFFu), 2);  // Table I row
+  EXPECT_EQ(flipped_bit_count(0x00000058u, 0xE6006358u), 9);  // 9-bit SDC row
+}
+
+TEST(BitOps, DirectionMasks) {
+  // 0xffffffff -> 0xffffeeff: bits 8 and 12 lost charge.
+  EXPECT_EQ(one_to_zero_mask(0xFFFFFFFFu, 0xFFFFEEFFu), 0x00001100u);
+  EXPECT_EQ(zero_to_one_mask(0xFFFFFFFFu, 0xFFFFEEFFu), 0u);
+  // 0x000003c1 -> 0x000003c2: bit 0 lost, bit 1 gained (Table I).
+  EXPECT_EQ(one_to_zero_mask(0x000003C1u, 0x000003C2u), 0x1u);
+  EXPECT_EQ(zero_to_one_mask(0x000003C1u, 0x000003C2u), 0x2u);
+}
+
+TEST(BitOps, AdjacencySingleAndRuns) {
+  EXPECT_TRUE(flipped_bits_adjacent(0));
+  EXPECT_TRUE(flipped_bits_adjacent(0b1));
+  EXPECT_TRUE(flipped_bits_adjacent(0b11));
+  EXPECT_TRUE(flipped_bits_adjacent(0b1110000));
+  EXPECT_TRUE(flipped_bits_adjacent(0xFFFFFFFFu));
+  EXPECT_FALSE(flipped_bits_adjacent(0b101));
+  EXPECT_FALSE(flipped_bits_adjacent(0x00001100u));
+}
+
+TEST(BitOps, TableIAdjacencyRows) {
+  // 0xfffff3ff: bits 10, 11 -> consecutive.
+  EXPECT_TRUE(flipped_bits_adjacent(0xFFFFFFFFu ^ 0xFFFFF3FFu));
+  // 0xffff7bff: bits 10, 15 -> not consecutive.
+  EXPECT_FALSE(flipped_bits_adjacent(0xFFFFFFFFu ^ 0xFFFF7BFFu));
+}
+
+TEST(BitOps, Gaps) {
+  EXPECT_TRUE(flipped_bit_gaps(0b1).empty());
+  EXPECT_EQ(flipped_bit_gaps(0b101), (std::vector<int>{2}));
+  EXPECT_EQ(flipped_bit_gaps(0b1001001), (std::vector<int>{3, 3}));
+}
+
+TEST(BitOps, MaxGapBetweenFlippedBits) {
+  EXPECT_EQ(max_gap_between_flipped_bits(0b11), 0);
+  EXPECT_EQ(max_gap_between_flipped_bits(0b101), 1);
+  // Bits 0 and 12: 11 clean bits between - the paper's maximum.
+  EXPECT_EQ(max_gap_between_flipped_bits((1u << 0) | (1u << 12)), 11);
+}
+
+TEST(BitOps, MeanDistance) {
+  EXPECT_DOUBLE_EQ(mean_distance_between_flipped_bits(0b1), 0.0);
+  EXPECT_DOUBLE_EQ(mean_distance_between_flipped_bits(0b1001), 3.0);
+  EXPECT_DOUBLE_EQ(mean_distance_between_flipped_bits(0b1001001), 3.0);
+  EXPECT_DOUBLE_EQ(mean_distance_between_flipped_bits(0b10001 | (1u << 10)),
+                   5.0);  // gaps 4 and 6
+}
+
+}  // namespace
+}  // namespace unp

@@ -1,0 +1,79 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace unp {
+namespace {
+
+TEST(Histogram1D, BinPlacement) {
+  Histogram1D h(0.0, 10.0, 10);
+  h.add(0.0);
+  h.add(0.5);
+  h.add(9.99);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram1D, UnderOverflow) {
+  Histogram1D h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(10.0);  // hi edge is exclusive
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram1D, Weights) {
+  Histogram1D h(0.0, 4.0, 4);
+  h.add(1.5, 10);
+  EXPECT_EQ(h.count(1), 10u);
+}
+
+TEST(Histogram1D, BinGeometry) {
+  Histogram1D h(20.0, 80.0, 30);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 20.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 21.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(29), 78.0);
+}
+
+TEST(Histogram1D, Merge) {
+  Histogram1D a(0.0, 10.0, 10), b(0.0, 10.0, 10);
+  a.add(1.0);
+  b.add(1.5);
+  b.add(20.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(1), 2u);
+  EXPECT_EQ(a.overflow(), 1u);
+}
+
+TEST(Histogram1D, MergeRejectsMismatch) {
+  Histogram1D a(0.0, 10.0, 10), b(0.0, 10.0, 5);
+  EXPECT_THROW(a.merge(b), ContractViolation);
+}
+
+TEST(Histogram1D, InvalidConstruction) {
+  EXPECT_THROW(Histogram1D(0.0, 10.0, 0), ContractViolation);
+  EXPECT_THROW(Histogram1D(10.0, 0.0, 5), ContractViolation);
+}
+
+TEST(Grid2D, Basics) {
+  Grid2D g(3, 4, 1.0);
+  EXPECT_EQ(g.rows(), 3u);
+  EXPECT_EQ(g.cols(), 4u);
+  EXPECT_DOUBLE_EQ(g.sum(), 12.0);
+  g.at(2, 3) = 5.0;
+  EXPECT_DOUBLE_EQ(g.at(2, 3), 5.0);
+  EXPECT_DOUBLE_EQ(g.max_value(), 5.0);
+}
+
+TEST(Grid2D, BoundsChecked) {
+  Grid2D g(2, 2);
+  EXPECT_THROW((void)g.at(2, 0), ContractViolation);
+  EXPECT_THROW((void)g.at(0, 2), ContractViolation);
+}
+
+}  // namespace
+}  // namespace unp

@@ -1,0 +1,92 @@
+// Statistical quality checks of the RNG layer: chi-square uniformity over
+// bins and bits.  These guard against silent bias regressions in the local
+// xoshiro/distribution implementations every stochastic result rests on.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace unp {
+namespace {
+
+/// Chi-square statistic for observed counts vs a uniform expectation.
+double chi_square_uniform(const std::vector<std::uint64_t>& counts,
+                          double expected_per_bin) {
+  double chi = 0.0;
+  for (const std::uint64_t c : counts) {
+    const double d = static_cast<double>(c) - expected_per_bin;
+    chi += d * d / expected_per_bin;
+  }
+  return chi;
+}
+
+class RngChiSquare : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngChiSquare, UniformDoubleBins) {
+  RngStream rng(GetParam());
+  constexpr int kBins = 100;
+  constexpr int kN = 200000;
+  std::vector<std::uint64_t> counts(kBins, 0);
+  for (int i = 0; i < kN; ++i) {
+    ++counts[static_cast<std::size_t>(rng.uniform() * kBins)];
+  }
+  // 99 dof: the 0.999 quantile is ~148.2; failures at several seeds would
+  // indicate real bias rather than bad luck.
+  EXPECT_LT(chi_square_uniform(counts, kN / static_cast<double>(kBins)), 148.2);
+}
+
+TEST_P(RngChiSquare, BoundedIntegerBins) {
+  RngStream rng(GetParam());
+  constexpr std::uint64_t kBins = 37;  // non-power-of-two exercises Lemire
+  constexpr int kN = 200000;
+  std::vector<std::uint64_t> counts(kBins, 0);
+  for (int i = 0; i < kN; ++i) ++counts[rng.uniform_u64(kBins)];
+  // 36 dof: 0.999 quantile ~67.98.
+  EXPECT_LT(chi_square_uniform(counts, kN / static_cast<double>(kBins)), 68.0);
+}
+
+TEST_P(RngChiSquare, EveryOutputBitBalanced) {
+  RngStream rng(GetParam());
+  constexpr int kN = 100000;
+  std::array<std::uint64_t, 64> ones{};
+  for (int i = 0; i < kN; ++i) {
+    std::uint64_t v = rng.next_u64();
+    for (int b = 0; b < 64; ++b) {
+      ones[static_cast<std::size_t>(b)] += (v >> b) & 1;
+    }
+  }
+  // Each bit ~ Binomial(kN, 0.5): 5 sigma band.
+  const double sigma = std::sqrt(kN * 0.25);
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(static_cast<double>(ones[static_cast<std::size_t>(b)]),
+                kN / 2.0, 5.0 * sigma)
+        << "bit " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngChiSquare,
+                         ::testing::Values(1, 42, 987654321, 0xDEADBEEF));
+
+TEST(RngIndependence, LaggedCorrelationNearZero) {
+  RngStream rng(7);
+  constexpr int kN = 100000;
+  double prev = rng.uniform();
+  double sum_xy = 0.0, sum_x = 0.0, sum_x2 = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = prev;
+    const double y = rng.uniform();
+    sum_xy += x * y;
+    sum_x += x;
+    sum_x2 += x * x;
+    prev = y;
+  }
+  const double mean = sum_x / kN;
+  const double var = sum_x2 / kN - mean * mean;
+  const double cov = sum_xy / kN - mean * mean;
+  EXPECT_LT(std::abs(cov / var), 0.02);
+}
+
+}  // namespace
+}  // namespace unp

@@ -1,0 +1,172 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+namespace unp {
+namespace {
+
+TEST(Splitmix64, KnownSequence) {
+  // Reference values for seed 0 (from the public-domain reference code).
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64(state), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(splitmix64(state), 0x06c45d188009454fULL);
+}
+
+TEST(Mix64, OrderSensitive) {
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+  EXPECT_NE(mix64(0, 0), 0u);
+}
+
+TEST(Mix64, Deterministic) {
+  EXPECT_EQ(mix64(42, 7), mix64(42, 7));
+}
+
+TEST(Xoshiro256, ReproducibleAcrossInstances) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LE(same, 1);
+}
+
+TEST(Xoshiro256, JumpDecorrelates) {
+  Xoshiro256 a(9), b(9);
+  b.jump();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LE(same, 1);
+}
+
+TEST(RngStream, StreamsAreIndependentOfConsumptionOrder) {
+  // Drawing from one stream must not affect a sibling stream.
+  RngStream a1(42, 1), b1(42, 2);
+  const std::uint64_t a_first = a1.next_u64();
+  const std::uint64_t b_first = b1.next_u64();
+
+  RngStream b2(42, 2);
+  for (int i = 0; i < 50; ++i) (void)RngStream(42, 1).next_u64();
+  EXPECT_EQ(b2.next_u64(), b_first);
+  RngStream a2(42, 1);
+  EXPECT_EQ(a2.next_u64(), a_first);
+}
+
+TEST(RngStream, UniformInUnitInterval) {
+  RngStream rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngStream, UniformU64RespectsBound) {
+  RngStream rng(11);
+  for (std::uint64_t n : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.uniform_u64(n), n);
+  }
+}
+
+TEST(RngStream, UniformU64CoversSmallRange) {
+  RngStream rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.uniform_u64(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngStream, UniformIntInclusiveBounds) {
+  RngStream rng(17);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngStream, ExponentialMeanMatchesRate) {
+  RngStream rng(19);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / kN, 0.25, 0.01);
+}
+
+TEST(RngStream, PoissonSmallMean) {
+  RngStream rng(23);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.poisson(2.5));
+  EXPECT_NEAR(sum / kN, 2.5, 0.05);
+}
+
+TEST(RngStream, PoissonLargeMeanUsesPtrs) {
+  RngStream rng(29);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const auto v = static_cast<double>(rng.poisson(100.0));
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 100.0, 0.5);
+  EXPECT_NEAR(var, 100.0, 5.0);  // Poisson: variance == mean
+}
+
+TEST(RngStream, PoissonZeroMean) {
+  RngStream rng(31);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(RngStream, NormalMoments) {
+  RngStream rng(37);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal(5.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kN;
+  EXPECT_NEAR(mean, 5.0, 0.03);
+  EXPECT_NEAR(std::sqrt(sq / kN - mean * mean), 2.0, 0.03);
+}
+
+TEST(RngStream, BernoulliFrequency) {
+  RngStream rng(41);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(RngStream, WeightedIndexFollowsWeights) {
+  RngStream rng(43);
+  const std::array<double, 3> weights{1.0, 2.0, 7.0};
+  std::array<int, 3> counts{};
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[rng.weighted_index(weights.data(), weights.size())];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(kN), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kN), 0.2, 0.015);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kN), 0.7, 0.015);
+}
+
+}  // namespace
+}  // namespace unp

@@ -1,0 +1,149 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace unp {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RngStream rng(5);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(IncompleteBeta, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, SymmetricHalf) {
+  // I_{0.5}(a, a) = 0.5 for any a.
+  EXPECT_NEAR(incomplete_beta(2.0, 2.0, 0.5), 0.5, 1e-10);
+  EXPECT_NEAR(incomplete_beta(7.5, 7.5, 0.5), 0.5, 1e-10);
+}
+
+TEST(IncompleteBeta, UniformCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.37, 0.8}) {
+    EXPECT_NEAR(incomplete_beta(1.0, 1.0, x), x, 1e-10);
+  }
+}
+
+TEST(StudentT, TwoSidedKnownValues) {
+  // t = 0 -> p = 1.
+  EXPECT_NEAR(student_t_two_sided_p(0.0, 10.0), 1.0, 1e-12);
+  // Large |t| -> p ~ 0.
+  EXPECT_LT(student_t_two_sided_p(50.0, 10.0), 1e-10);
+  // t distribution with 1 dof (Cauchy): P(|T| > 1) = 0.5.
+  EXPECT_NEAR(student_t_two_sided_p(1.0, 1.0), 0.5, 1e-9);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 4, 6, 8, 10};
+  const PearsonResult r = pearson(x, y);
+  EXPECT_NEAR(r.r, 1.0, 1e-12);
+  EXPECT_NEAR(r.p_value, 0.0, 1e-9);
+}
+
+TEST(Pearson, PerfectAntiCorrelation) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y).r, -1.0, 1e-12);
+}
+
+TEST(Pearson, IndependentSeriesNearZero) {
+  RngStream rng(99);
+  std::vector<double> x(2000), y(2000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal();
+    y[i] = rng.normal();
+  }
+  const PearsonResult r = pearson(x, y);
+  EXPECT_LT(std::abs(r.r), 0.06);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(Pearson, ConstantSeriesIsZero) {
+  const std::vector<double> x{3, 3, 3, 3};
+  const std::vector<double> y{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(pearson(x, y).r, 0.0);
+}
+
+TEST(Pearson, MatchesPaperScaleExample) {
+  // A weak anti-correlation with n ~ 400 days should produce a small
+  // p-value, mirroring the paper's r = -0.18, p = 0.0002 situation.
+  RngStream rng(7);
+  std::vector<double> x(420), y(420);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal(10.0, 2.0);
+    y[i] = -0.2 * x[i] + rng.normal(0.0, 2.0);
+  }
+  const PearsonResult r = pearson(x, y);
+  EXPECT_LT(r.r, -0.1);
+  EXPECT_LT(r.p_value, 0.01);
+}
+
+TEST(Pearson, SizeMismatchThrows) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{1, 2};
+  EXPECT_THROW((void)pearson(x, y), ContractViolation);
+}
+
+TEST(OrderStats, MeanMedianPercentile) {
+  const std::vector<double> xs{5, 1, 9, 3, 7};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 5.0);
+  EXPECT_DOUBLE_EQ(median_of(xs), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 100.0), 9.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 50.0), 5.0);
+}
+
+TEST(OrderStats, EvenMedian) {
+  const std::vector<double> xs{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(median_of(xs), 2.5);
+}
+
+TEST(OrderStats, EmptyInputs) {
+  const std::vector<double> none;
+  EXPECT_DOUBLE_EQ(mean_of(none), 0.0);
+  EXPECT_DOUBLE_EQ(median_of(none), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_of(none, 50.0), 0.0);
+}
+
+}  // namespace
+}  // namespace unp

@@ -1,0 +1,79 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace unp {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"a", "long-header"});
+  t.add_row({"xxx", "1"});
+  const std::string out = t.render();
+  // Header, rule, one row.
+  EXPECT_NE(out.find("a    long-header"), std::string::npos);
+  EXPECT_NE(out.find("xxx  1"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TextTable, RowArityChecked) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(RenderBars, ScalesToMax) {
+  const std::string out =
+      render_bars({{"x", 10.0}, {"y", 5.0}}, /*width=*/10);
+  // x gets the full 10 hashes, y five.
+  EXPECT_NE(out.find("##########"), std::string::npos);
+  EXPECT_NE(out.find("#####  5"), std::string::npos);
+}
+
+TEST(RenderBars, AllZeros) {
+  const std::string out = render_bars({{"x", 0.0}}, 10);
+  EXPECT_NE(out.find("x  "), std::string::npos);
+  EXPECT_EQ(out.find('#'), std::string::npos);
+}
+
+TEST(RenderHeatmap, ZeroIsBlankAndMaxIsDense) {
+  Grid2D g(1, 3);
+  g.at(0, 1) = 1.0;
+  g.at(0, 2) = 100.0;
+  const std::string out = render_heatmap(g);
+  ASSERT_GE(out.size(), 4u);
+  EXPECT_EQ(out[0], ' ');   // zero cell
+  EXPECT_EQ(out[3], '\n');
+  EXPECT_EQ(out[2], '@');   // max cell
+  EXPECT_NE(out[1], ' ');   // nonzero cell is visible
+}
+
+TEST(RenderHeatmap, LogScaleCompresses) {
+  Grid2D g(1, 2);
+  g.at(0, 0) = 100.0;
+  g.at(0, 1) = 10000.0;
+  const std::string lin = render_heatmap(g, false);
+  const std::string log = render_heatmap(g, true);
+  // Linear: the small value collapses to the lowest ramp level; log keeps
+  // it several levels up.
+  EXPECT_LT(lin[0], log[0]);
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+TEST(Format, CountGroupsThousands) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(25000000), "25,000,000");
+  EXPECT_EQ(format_count(12135), "12,135");
+}
+
+TEST(Format, Hex32) {
+  EXPECT_EQ(format_hex32(0xFFFF7BFFu), "0xffff7bff");
+  EXPECT_EQ(format_hex32(0), "0x00000000");
+}
+
+}  // namespace
+}  // namespace unp

@@ -1,0 +1,116 @@
+#include "dram/address_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace unp::dram {
+namespace {
+
+TEST(Geometry, DefaultIsFourGigabytes) {
+  const Geometry g = default_geometry();
+  EXPECT_EQ(g.total_bytes(), 4ULL << 30);
+  EXPECT_EQ(g.total_words(), 1ULL << 30);
+  EXPECT_EQ(g.words_per_row(), 1024u);
+  EXPECT_EQ(g.words_per_bank(), 1024ULL * 65536);
+}
+
+TEST(AddressMap, Log2Exact) {
+  EXPECT_EQ(log2_exact(1), 0);
+  EXPECT_EQ(log2_exact(1024), 10);
+  EXPECT_THROW((void)log2_exact(0), ContractViolation);
+  EXPECT_THROW((void)log2_exact(3), ContractViolation);
+}
+
+TEST(AddressMap, RoundTripProperty) {
+  const AddressMap map(default_geometry());
+  RngStream rng(31);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t word = rng.uniform_u64(map.geometry().total_words());
+    const WordLocation loc = map.decode(word);
+    EXPECT_EQ(map.encode(loc), word);
+    EXPECT_LT(loc.column, map.geometry().columns);
+    EXPECT_LT(loc.row, map.geometry().rows);
+    EXPECT_LT(loc.bank, map.geometry().banks);
+    EXPECT_LT(loc.rank, map.geometry().ranks);
+  }
+}
+
+TEST(AddressMap, ConsecutiveWordsShareRow) {
+  const AddressMap map(default_geometry());
+  const WordLocation a = map.decode(100);
+  const WordLocation b = map.decode(101);
+  EXPECT_EQ(a.row, b.row);
+  EXPECT_EQ(a.bank, b.bank);
+  EXPECT_EQ(a.column + 1, b.column);
+}
+
+TEST(AddressMap, BankXorInterleavingSpreadsRows) {
+  // Words at the same column of neighbouring rows must land in different
+  // banks (the XOR fold).
+  const AddressMap map(default_geometry());
+  WordLocation loc = map.decode(0);
+  WordLocation next = loc;
+  next.row = loc.row + 1;
+  const std::uint64_t same_col_next_row = map.encode(next);
+  EXPECT_EQ(map.decode(same_col_next_row).bank, next.bank);
+  EXPECT_NE(map.decode(same_col_next_row ^ 0).bank ^ loc.bank, -1);
+  // The stored index differs in more than the row bits alone.
+  EXPECT_NE(same_col_next_row,
+            0 + (std::uint64_t{1} << 14));  // row stride without interleave
+}
+
+TEST(AddressMap, RowNeighborsCoverWholeRow) {
+  const AddressMap map(default_geometry());
+  const std::uint64_t word = 123456789;
+  const auto neighbors = map.row_neighbors(word);
+  EXPECT_EQ(neighbors.size(), map.geometry().columns);
+  const WordLocation base = map.decode(word);
+  std::set<std::uint32_t> columns;
+  for (const std::uint64_t n : neighbors) {
+    const WordLocation loc = map.decode(n);
+    EXPECT_EQ(loc.row, base.row);
+    EXPECT_EQ(loc.bank, base.bank);
+    EXPECT_EQ(loc.rank, base.rank);
+    columns.insert(loc.column);
+  }
+  EXPECT_EQ(columns.size(), map.geometry().columns);
+}
+
+TEST(AddressMap, ColumnNeighborsWalkRows) {
+  const AddressMap map(default_geometry());
+  const std::uint64_t word = 424242;
+  const auto neighbors = map.column_neighbors(word, 16);
+  EXPECT_EQ(neighbors.size(), 16u);
+  const WordLocation base = map.decode(word);
+  for (std::size_t i = 0; i < neighbors.size(); ++i) {
+    const WordLocation loc = map.decode(neighbors[i]);
+    EXPECT_EQ(loc.column, base.column);
+    EXPECT_EQ(loc.bank, base.bank);
+    EXPECT_EQ(loc.row, base.row + i);
+  }
+}
+
+TEST(AddressMap, PhysicalNeighborsScatterLogically) {
+  // The paper's observation: same-bank/aligned cells map to distant logical
+  // addresses.  Same-column words 1 row apart must be >= a full row apart
+  // logically.
+  const AddressMap map(default_geometry());
+  const auto neighbors = map.column_neighbors(5000, 2);
+  ASSERT_EQ(neighbors.size(), 2u);
+  const auto distance = neighbors[1] > neighbors[0]
+                            ? neighbors[1] - neighbors[0]
+                            : neighbors[0] - neighbors[1];
+  EXPECT_GE(distance, map.geometry().words_per_row());
+}
+
+TEST(AddressMap, DecodeRejectsOutOfRange) {
+  const AddressMap map(default_geometry());
+  EXPECT_THROW((void)map.decode(map.geometry().total_words()), ContractViolation);
+}
+
+}  // namespace
+}  // namespace unp::dram

@@ -1,0 +1,72 @@
+#include "dram/cell_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+namespace unp::dram {
+namespace {
+
+TEST(WordCorruption, ApplyOverridesAffectedCellsOnly) {
+  const WordCorruption c{0x000000FFu, 0x000000A5u};
+  EXPECT_EQ(c.apply(0xFFFFFFFFu), 0xFFFFFFA5u);
+  EXPECT_EQ(c.apply(0x00000000u), 0x000000A5u);
+  EXPECT_EQ(c.apply(0x12345600u), 0x123456A5u);
+}
+
+TEST(WordCorruption, VisibilityDependsOnExpected) {
+  // An all-discharge fault is invisible while zeros are stored.
+  const WordCorruption c = CellLeakModel::all_discharge(0x00001100u);
+  EXPECT_FALSE(c.visible(0x00000000u));
+  EXPECT_TRUE(c.visible(0xFFFFFFFFu));
+  EXPECT_EQ(c.visible_mask(0xFFFFFFFFu), 0x00001100u);
+  // Visible only partially when just one affected cell held a 1.
+  EXPECT_EQ(c.visible_mask(0x00001000u), 0x00001000u);
+}
+
+TEST(WordCorruption, ChargeGainVisibleInZeroPhase) {
+  const WordCorruption c{0x1u, 0x1u};  // cell reads 1
+  EXPECT_TRUE(c.visible(0x00000000u));
+  EXPECT_FALSE(c.visible(0xFFFFFFFFu));
+}
+
+TEST(CellLeakModel, MakeCorruptionCoversMask) {
+  CellLeakModel model;
+  RngStream rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const Word mask = 0x0F0F0F0Fu;
+    const WordCorruption c = model.make_corruption(mask, rng);
+    EXPECT_EQ(c.affected_mask, mask);
+    EXPECT_EQ(c.stuck_value & ~mask, 0u);  // stuck bits only inside the mask
+  }
+}
+
+TEST(CellLeakModel, DischargeFractionNearNinetyPercent) {
+  CellLeakModel model;  // default 0.90
+  RngStream rng(7);
+  int discharge = 0, total = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const WordCorruption c = model.make_corruption(0xFFFFFFFFu, rng);
+    discharge += 32 - std::popcount(c.stuck_value);
+    total += 32;
+  }
+  EXPECT_NEAR(static_cast<double>(discharge) / total, 0.90, 0.01);
+}
+
+TEST(CellLeakModel, AllDischargeReadsZero) {
+  const WordCorruption c = CellLeakModel::all_discharge(0xFFFF0000u);
+  EXPECT_EQ(c.apply(0xFFFFFFFFu), 0x0000FFFFu);
+  EXPECT_EQ(std::popcount(c.visible_mask(0xFFFFFFFFu)), 16);
+}
+
+TEST(CellLeakModel, ConfigurableDirection) {
+  CellLeakModel::Config config;
+  config.discharge_probability = 0.0;  // every cell gains charge
+  CellLeakModel model(config);
+  RngStream rng(9);
+  const WordCorruption c = model.make_corruption(0x000000FFu, rng);
+  EXPECT_EQ(c.stuck_value, 0x000000FFu);
+}
+
+}  // namespace
+}  // namespace unp::dram

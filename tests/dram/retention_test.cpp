@@ -1,0 +1,88 @@
+#include "dram/retention.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace unp::dram {
+namespace {
+
+TEST(Retention, TemperatureFactorHalvesPerStep) {
+  const RetentionModel model;
+  const double ref = model.config().reference_c;
+  EXPECT_DOUBLE_EQ(model.temperature_factor(ref), 1.0);
+  EXPECT_NEAR(model.temperature_factor(ref + 10.0), 0.5, 1e-12);
+  EXPECT_NEAR(model.temperature_factor(ref - 10.0), 2.0, 1e-12);
+  EXPECT_NEAR(model.temperature_factor(ref + 20.0), 0.25, 1e-12);
+}
+
+TEST(Retention, HealthyCellsNeverLeakAtNominalTemperature) {
+  const RetentionModel model;
+  RngStream rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    const double retention = model.sample_retention_s(rng);
+    EXPECT_FALSE(model.leaks_at(retention, 35.0));
+    EXPECT_FALSE(model.leaks_at(retention, 45.0));
+  }
+}
+
+TEST(Retention, SampledRetentionIsLognormalAroundMedian) {
+  const RetentionModel model;
+  RngStream rng(7);
+  int below = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    below += model.sample_retention_s(rng) < model.config().median_retention_s;
+  }
+  EXPECT_NEAR(static_cast<double>(below) / kN, 0.5, 0.02);
+}
+
+TEST(Retention, CriticalTemperatureInvertsLeakage) {
+  const RetentionModel model;
+  for (double retention : {0.5, 2.0, 10.0}) {
+    const double critical = model.critical_temperature_c(retention);
+    EXPECT_FALSE(model.leaks_at(retention, critical - 1.0));
+    EXPECT_TRUE(model.leaks_at(retention, critical + 1.0));
+  }
+}
+
+TEST(Retention, HotterCellsLeakSooner) {
+  const RetentionModel model;
+  // A marginal cell: retention 0.1 s at reference.
+  EXPECT_FALSE(model.leaks_at(0.1, 45.0));
+  EXPECT_TRUE(model.leaks_at(0.1, 60.0));
+}
+
+TEST(Retention, ExpectedWeakBitsMatchesFleetObservation) {
+  // The calibration anchor: a 4 GB node at idle-scanning temperature should
+  // carry ~0.005 observable weak bits, i.e. a few per 923-node fleet -
+  // the study saw two (nodes 04-05 and 58-02).
+  const RetentionModel model;
+  const double per_node = model.expected_weak_bits(4ULL << 30, 35.0);
+  const double fleet = per_node * 923.0;
+  EXPECT_GT(fleet, 0.3);
+  EXPECT_LT(fleet, 40.0);
+}
+
+TEST(Retention, WeakBitsExplodeWithHeat) {
+  // The counterfactual the paper could not run: on the overheating column
+  // (>60 degC) weak bits would be pervasive, consistent with its suspicion
+  // that heat damage seeded the isolated SDC events.
+  const RetentionModel model;
+  const double cool = model.expected_weak_bits(4ULL << 30, 35.0);
+  const double hot = model.expected_weak_bits(4ULL << 30, 65.0);
+  EXPECT_GT(hot, 1000.0 * cool);
+}
+
+TEST(Retention, ExpectedWeakBitsMonotoneInTemperature) {
+  const RetentionModel model;
+  double previous = 0.0;
+  for (double t = 20.0; t <= 90.0; t += 5.0) {
+    const double expected = model.expected_weak_bits(4ULL << 30, t);
+    EXPECT_GE(expected, previous);
+    previous = expected;
+  }
+}
+
+}  // namespace
+}  // namespace unp::dram

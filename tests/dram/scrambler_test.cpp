@@ -1,0 +1,95 @@
+#include "dram/scrambler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+
+namespace unp::dram {
+namespace {
+
+class ScramblerBijection : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScramblerBijection, PermutationIsBijective) {
+  const int which = GetParam();
+  const BitScrambler s = which == 0   ? BitScrambler::identity()
+                         : which == 1 ? BitScrambler::stride3()
+                                      : BitScrambler::from_seed(
+                                            static_cast<std::uint64_t>(which));
+  std::set<int> logicals;
+  for (int p = 0; p < 32; ++p) {
+    const int l = s.to_logical(p);
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 32);
+    logicals.insert(l);
+    EXPECT_EQ(s.to_physical(l), p);
+  }
+  EXPECT_EQ(logicals.size(), 32u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ScramblerBijection,
+                         ::testing::Values(0, 1, 2, 3, 17, 99, 12345));
+
+TEST(Scrambler, IdentityIsIdentity) {
+  const BitScrambler s = BitScrambler::identity();
+  for (int p = 0; p < 32; ++p) EXPECT_EQ(s.to_logical(p), p);
+  EXPECT_EQ(s.logical_mask(0xDEADBEEFu), 0xDEADBEEFu);
+}
+
+TEST(Scrambler, MaskRoundTrip) {
+  const BitScrambler s = BitScrambler::stride3();
+  for (Word mask : {Word{0x1}, Word{0xFF}, Word{0x80000001}, Word{0xDEADBEEF}}) {
+    EXPECT_EQ(s.physical_mask(s.logical_mask(mask)), mask);
+    EXPECT_EQ(std::popcount(s.logical_mask(mask)), std::popcount(mask));
+  }
+}
+
+TEST(Scrambler, Stride3AdjacentLinesLandThreeApart) {
+  const BitScrambler s = BitScrambler::stride3();
+  int distance3 = 0, distance13 = 0;
+  for (int p = 0; p < 31; ++p) {
+    if (p == 15) continue;  // half boundary: lines in different lanes
+    const int d = std::abs(s.to_logical(p + 1) - s.to_logical(p));
+    if (d == 3) ++distance3;
+    if (d == 13) ++distance13;
+    EXPECT_TRUE(d == 3 || d == 13) << "pair " << p;
+  }
+  EXPECT_GT(distance3, distance13);  // mean distance ~3
+}
+
+TEST(Scrambler, ContiguousUpsetNonAdjacent) {
+  // The paper's key layout effect: a contiguous physical upset produces a
+  // non-adjacent logical flip mask.
+  const BitScrambler s = BitScrambler::stride3();
+  int non_adjacent = 0;
+  for (int start = 0; start < 32; ++start) {
+    const Word mask = s.contiguous_upset(start, 2);
+    EXPECT_EQ(std::popcount(mask), 2);
+    if (!flipped_bits_adjacent(mask)) ++non_adjacent;
+  }
+  EXPECT_GT(non_adjacent, 24);  // the large majority
+}
+
+TEST(Scrambler, ContiguousUpsetIdentityIsAdjacent) {
+  const BitScrambler s = BitScrambler::identity();
+  for (int start = 0; start < 30; ++start) {
+    EXPECT_TRUE(flipped_bits_adjacent(s.contiguous_upset(start, 3)));
+  }
+}
+
+TEST(Scrambler, ContiguousUpsetWrapsAt32) {
+  const BitScrambler s = BitScrambler::identity();
+  const Word mask = s.contiguous_upset(31, 2);
+  EXPECT_EQ(mask, (Word{1} << 31) | Word{1});
+}
+
+TEST(Scrambler, SeededPermutationsDiffer) {
+  const BitScrambler a = BitScrambler::from_seed(1);
+  const BitScrambler b = BitScrambler::from_seed(2);
+  bool differ = false;
+  for (int p = 0; p < 32; ++p) differ |= a.to_logical(p) != b.to_logical(p);
+  EXPECT_TRUE(differ);
+}
+
+}  // namespace
+}  // namespace unp::dram

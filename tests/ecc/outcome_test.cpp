@@ -1,0 +1,122 @@
+#include "ecc/outcome.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ecc/chipkill.hpp"
+
+namespace unp::ecc {
+namespace {
+
+TEST(Chipkill, SymbolCounting) {
+  EXPECT_EQ(ChipkillModel::symbols_touched(0), 0);
+  EXPECT_EQ(ChipkillModel::symbols_touched(0xFULL), 1);
+  EXPECT_EQ(ChipkillModel::symbols_touched(0x11ULL), 2);  // bits 0 and 4
+  EXPECT_EQ(ChipkillModel::symbols_touched(0xF0F0ULL), 2);
+  EXPECT_EQ(ChipkillModel::symbols_touched(~0ULL), 16);
+}
+
+TEST(Chipkill, Classification) {
+  EXPECT_EQ(ChipkillModel::classify(0), ChipkillModel::Outcome::kClean);
+  EXPECT_EQ(ChipkillModel::classify(0x3ULL), ChipkillModel::Outcome::kCorrected);
+  EXPECT_EQ(ChipkillModel::classify(0xFULL), ChipkillModel::Outcome::kCorrected);
+  EXPECT_EQ(ChipkillModel::classify(0x18ULL), ChipkillModel::Outcome::kDetected);
+  EXPECT_EQ(ChipkillModel::classify(0x111ULL),
+            ChipkillModel::Outcome::kUndetected);
+}
+
+TEST(Outcome, SecdedSingleBitCorrected) {
+  for (int bit = 0; bit < 32; ++bit) {
+    EXPECT_EQ(secded_outcome(0xFFFFFFFFu, 0xFFFFFFFFu ^ (1u << bit)),
+              EccOutcome::kCorrected);
+  }
+}
+
+TEST(Outcome, SecdedDoubleBitDetected) {
+  // The paper's claim: every double-bit word error is detected by SECDED.
+  RngStream rng(11);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Word expected = rng.bernoulli(0.5) ? 0xFFFFFFFFu : 0x00000000u;
+    const int a = static_cast<int>(rng.uniform_u64(32));
+    int b = a;
+    while (b == a) b = static_cast<int>(rng.uniform_u64(32));
+    const Word observed = expected ^ (1u << a) ^ (1u << b);
+    EXPECT_EQ(secded_outcome(expected, observed), EccOutcome::kDetected);
+  }
+}
+
+TEST(Outcome, SecdedWideFaultsCanBeSilent) {
+  // >2-bit faults are beyond the guarantee: at least some of Table I's
+  // wide patterns decode as miscorrection or pass undetected.
+  RngStream rng(13);
+  int silent = 0, detected = 0;
+  for (int trial = 0; trial < 5000; ++trial) {
+    Word mask = 0;
+    while (std::popcount(mask) < 4) mask |= 1u << rng.uniform_u64(32);
+    const EccOutcome outcome = secded_outcome(0xFFFFFFFFu, 0xFFFFFFFFu ^ mask);
+    EXPECT_NE(outcome, EccOutcome::kNoError);
+    EXPECT_NE(outcome, EccOutcome::kCorrected);  // correction would be wrong...
+    if (is_silent(outcome)) ++silent;
+    if (outcome == EccOutcome::kDetected) ++detected;
+  }
+  EXPECT_GT(silent, 0);
+  EXPECT_GT(detected, 0);
+}
+
+TEST(Outcome, ParityDetectsOddMissesEven) {
+  EXPECT_EQ(parity_outcome(0xFFFFFFFFu, 0xFFFFFFFFu), EccOutcome::kNoError);
+  EXPECT_EQ(parity_outcome(0xFFFFFFFFu, 0xFFFFFFFEu), EccOutcome::kDetected);
+  EXPECT_EQ(parity_outcome(0xFFFFFFFFu, 0xFFFF7BFFu), EccOutcome::kUndetected);
+  EXPECT_EQ(parity_outcome(0xFFFFFFFFu, 0xFFFF73FFu), EccOutcome::kDetected);
+  // Table I's 4-bit row: silent under parity.
+  EXPECT_EQ(parity_outcome(0xFFFFFFFFu, 0xFC3FFFFFu), EccOutcome::kUndetected);
+}
+
+TEST(Outcome, NoErrorCase) {
+  EXPECT_EQ(secded_outcome(0x1234u, 0x1234u), EccOutcome::kNoError);
+  EXPECT_EQ(chipkill_outcome(0x1234u, 0x1234u), EccOutcome::kNoError);
+}
+
+TEST(Outcome, ChipkillCorrectsInSymbolClusters) {
+  // A 4-bit flip inside one aligned nibble: SECDED cannot guarantee it,
+  // chipkill repairs it - the related-work reliability gap.
+  const Word expected = 0xFFFFFFFFu;
+  const Word observed = expected ^ 0x000000F0u;
+  EXPECT_EQ(chipkill_outcome(expected, observed), EccOutcome::kCorrected);
+  EXPECT_NE(secded_outcome(expected, observed), EccOutcome::kCorrected);
+}
+
+TEST(Outcome, ChipkillDetectsTwoSymbols) {
+  EXPECT_EQ(chipkill_outcome(0xFFFFFFFFu, 0xFFFFFFFFu ^ 0x00000101u),
+            EccOutcome::kDetected);
+}
+
+TEST(Outcome, IsSilentPredicate) {
+  EXPECT_TRUE(is_silent(EccOutcome::kUndetected));
+  EXPECT_TRUE(is_silent(EccOutcome::kMiscorrected));
+  EXPECT_FALSE(is_silent(EccOutcome::kDetected));
+  EXPECT_FALSE(is_silent(EccOutcome::kCorrected));
+  EXPECT_FALSE(is_silent(EccOutcome::kNoError));
+}
+
+TEST(Outcome, CountsAccumulate) {
+  OutcomeCounts counts;
+  counts.add(EccOutcome::kCorrected);
+  counts.add(EccOutcome::kCorrected);
+  counts.add(EccOutcome::kDetected);
+  counts.add(EccOutcome::kUndetected);
+  counts.add(EccOutcome::kMiscorrected);
+  counts.add(EccOutcome::kNoError);
+  EXPECT_EQ(counts.corrected, 2u);
+  EXPECT_EQ(counts.detected, 1u);
+  EXPECT_EQ(counts.total(), 6u);
+  EXPECT_EQ(counts.silent(), 2u);
+}
+
+TEST(Outcome, ToStringNames) {
+  EXPECT_STREQ(to_string(EccOutcome::kCorrected), "corrected");
+  EXPECT_STREQ(to_string(EccOutcome::kUndetected), "undetected");
+}
+
+}  // namespace
+}  // namespace unp::ecc

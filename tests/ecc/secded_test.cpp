@@ -1,0 +1,130 @@
+#include "ecc/secded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace unp::ecc {
+namespace {
+
+TEST(Secded, ColumnsAreDistinctOddWeight) {
+  const Secded7264& code = Secded7264::instance();
+  std::set<std::uint8_t> seen;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint8_t col = code.data_column(i);
+    EXPECT_EQ(std::popcount(static_cast<unsigned>(col)) % 2, 1);
+    EXPECT_NE(std::popcount(static_cast<unsigned>(col)), 1)
+        << "unit columns are reserved for check bits";
+    EXPECT_TRUE(seen.insert(col).second) << "duplicate column " << int{col};
+  }
+}
+
+TEST(Secded, EncodeIsLinear) {
+  const Secded7264& code = Secded7264::instance();
+  RngStream rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t a = rng.next_u64();
+    const std::uint64_t b = rng.next_u64();
+    EXPECT_EQ(code.encode(a ^ b),
+              static_cast<std::uint8_t>(code.encode(a) ^ code.encode(b)));
+  }
+  EXPECT_EQ(code.encode(0), 0);
+}
+
+TEST(Secded, CleanWordDecodesClean) {
+  const Secded7264& code = Secded7264::instance();
+  RngStream rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t data = rng.next_u64();
+    const auto res = code.decode(data, code.encode(data));
+    EXPECT_EQ(res.action, Secded7264::Action::kClean);
+    EXPECT_EQ(res.data, data);
+  }
+}
+
+TEST(Secded, EverySingleDataBitErrorCorrected) {
+  const Secded7264& code = Secded7264::instance();
+  const std::uint64_t data = 0x0123456789ABCDEFULL;
+  const std::uint8_t check = code.encode(data);
+  for (int bit = 0; bit < 64; ++bit) {
+    const auto res = code.decode(data ^ (1ULL << bit), check);
+    EXPECT_EQ(res.action, Secded7264::Action::kCorrectedData);
+    EXPECT_EQ(res.corrected_bit, bit);
+    EXPECT_EQ(res.data, data);
+  }
+}
+
+TEST(Secded, EverySingleCheckBitErrorFlagged) {
+  const Secded7264& code = Secded7264::instance();
+  const std::uint64_t data = 0xFEDCBA9876543210ULL;
+  const std::uint8_t check = code.encode(data);
+  for (int bit = 0; bit < 8; ++bit) {
+    const auto res =
+        code.decode(data, static_cast<std::uint8_t>(check ^ (1u << bit)));
+    EXPECT_EQ(res.action, Secded7264::Action::kCorrectedCheck);
+    EXPECT_EQ(res.data, data);
+  }
+}
+
+TEST(Secded, EveryDoubleDataBitErrorDetected) {
+  // Exhaustive over all C(64,2) = 2016 data-bit pairs: SECDED's guarantee.
+  const Secded7264& code = Secded7264::instance();
+  const std::uint64_t data = 0xA5A5A5A55A5A5A5AULL;
+  const std::uint8_t check = code.encode(data);
+  for (int i = 0; i < 64; ++i) {
+    for (int j = i + 1; j < 64; ++j) {
+      const std::uint64_t corrupted = data ^ (1ULL << i) ^ (1ULL << j);
+      const auto res = code.decode(corrupted, check);
+      EXPECT_EQ(res.action, Secded7264::Action::kDetected)
+          << "bits " << i << "," << j;
+    }
+  }
+}
+
+TEST(Secded, DataPlusCheckDoubleErrorDetected) {
+  const Secded7264& code = Secded7264::instance();
+  const std::uint64_t data = 0x1122334455667788ULL;
+  const std::uint8_t check = code.encode(data);
+  for (int i = 0; i < 64; ++i) {
+    for (int c = 0; c < 8; ++c) {
+      const auto res = code.decode(data ^ (1ULL << i),
+                                   static_cast<std::uint8_t>(check ^ (1u << c)));
+      EXPECT_EQ(res.action, Secded7264::Action::kDetected);
+    }
+  }
+}
+
+TEST(Secded, TripleErrorsNeverDecodeClean) {
+  const Secded7264& code = Secded7264::instance();
+  RngStream rng(7);
+  int miscorrected = 0, detected = 0;
+  for (int trial = 0; trial < 20000; ++trial) {
+    const std::uint64_t data = rng.next_u64();
+    const std::uint8_t check = code.encode(data);
+    std::uint64_t corrupted = data;
+    int placed = 0;
+    while (placed < 3) {
+      const std::uint64_t bit = 1ULL << rng.uniform_u64(64);
+      if ((corrupted ^ data) & bit) continue;
+      corrupted ^= bit;
+      ++placed;
+    }
+    const auto res = code.decode(corrupted, check);
+    EXPECT_NE(res.action, Secded7264::Action::kClean);
+    if (res.action == Secded7264::Action::kDetected) {
+      ++detected;
+    } else {
+      ++miscorrected;
+      EXPECT_NE(res.data, data);  // a "correction" that is wrong
+    }
+  }
+  // Odd-weight syndromes of triples alias columns often: both outcomes occur.
+  EXPECT_GT(miscorrected, 0);
+  EXPECT_GT(detected, 0);
+}
+
+}  // namespace
+}  // namespace unp::ecc

@@ -1,0 +1,73 @@
+#include "env/calendar.hpp"
+
+#include <gtest/gtest.h>
+
+namespace unp::env {
+namespace {
+
+double month_mean_utilization(const AcademicCalendar& cal, int year, int month) {
+  double sum = 0.0;
+  int n = 0;
+  const TimePoint start = from_civil_utc({year, month, 1, 12, 0, 0});
+  for (int d = 0; d < 28; ++d) {
+    sum += cal.utilization(start + d * kSecondsPerDay);
+    ++n;
+  }
+  return sum / n;
+}
+
+TEST(Calendar, VacationMonthsIdle) {
+  const AcademicCalendar cal;
+  const double august = month_mean_utilization(cal, 2015, 8);
+  const double may = month_mean_utilization(cal, 2015, 5);
+  const double december = month_mean_utilization(cal, 2015, 12);
+  EXPECT_LT(august, 0.45);
+  EXPECT_LT(december, 0.45);
+  EXPECT_GT(may, 0.55);
+  EXPECT_GT(may, august + 0.2);
+}
+
+TEST(Calendar, WeekendsQuieter) {
+  const AcademicCalendar cal;
+  double weekday = 0.0, weekend = 0.0;
+  int wd = 0, we = 0;
+  const TimePoint start = from_civil_utc({2015, 5, 1, 12, 0, 0});
+  for (int d = 0; d < 28; ++d) {
+    const TimePoint t = start + d * kSecondsPerDay;
+    const int dow = weekday_from_days(BarcelonaClock::local_day_index(t));
+    if (dow == 0 || dow == 6) {
+      weekend += cal.utilization(t);
+      ++we;
+    } else {
+      weekday += cal.utilization(t);
+      ++wd;
+    }
+  }
+  EXPECT_LT(weekend / we, weekday / wd);
+}
+
+TEST(Calendar, Bounded) {
+  const AcademicCalendar cal;
+  for (int d = 0; d < 400; ++d) {
+    const double u = cal.utilization(
+        from_civil_utc({2015, 2, 1, 6, 0, 0}) + d * kSecondsPerDay);
+    EXPECT_GE(u, 0.02);
+    EXPECT_LE(u, 0.98);
+  }
+}
+
+TEST(Calendar, DeterministicPerDay) {
+  const AcademicCalendar cal;
+  const TimePoint t = from_civil_utc({2015, 3, 10, 9, 0, 0});
+  EXPECT_DOUBLE_EQ(cal.utilization(t), cal.utilization(t + 3600));
+  EXPECT_DOUBLE_EQ(cal.utilization(t), cal.utilization(t));
+}
+
+TEST(Calendar, IdleFractionComplements) {
+  const AcademicCalendar cal;
+  const TimePoint t = from_civil_utc({2015, 3, 10, 9, 0, 0});
+  EXPECT_DOUBLE_EQ(cal.utilization(t) + cal.idle_fraction(t), 1.0);
+}
+
+}  // namespace
+}  // namespace unp::env

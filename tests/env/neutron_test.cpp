@@ -1,0 +1,82 @@
+#include "env/neutron.hpp"
+
+#include <gtest/gtest.h>
+
+namespace unp::env {
+namespace {
+
+TEST(Neutron, NightFluxIsAltitudeBaseline) {
+  const NeutronFluxModel model;
+  const TimePoint night = from_civil_utc({2015, 6, 15, 1, 0, 0});
+  EXPECT_DOUBLE_EQ(model.flux(night), model.altitude_factor());
+}
+
+TEST(Neutron, AltitudeFactorNearOneAtBarcelona) {
+  const NeutronFluxModel model;
+  EXPECT_GT(model.altitude_factor(), 1.0);
+  EXPECT_LT(model.altitude_factor(), 1.1);  // 100 m is nearly sea level
+}
+
+TEST(Neutron, AltitudeScalingExponential) {
+  NeutronFluxModel::Config high;
+  high.site.altitude_m = 1900.0;  // one e-fold
+  const NeutronFluxModel model(high);
+  EXPECT_NEAR(model.altitude_factor(), 2.718, 0.01);
+}
+
+TEST(Neutron, NoonAboveNight) {
+  const NeutronFluxModel model;
+  const double noon = model.flux(from_civil_utc({2015, 6, 15, 12, 0, 0}));
+  const double night = model.flux(from_civil_utc({2015, 6, 15, 0, 30, 0}));
+  EXPECT_GT(noon, 2.5 * night);
+}
+
+TEST(Neutron, FluxBounded) {
+  const NeutronFluxModel model;
+  const double cap =
+      model.altitude_factor() * (1.0 + model.config().solar_amplitude);
+  for (int h = 0; h < 24; ++h) {
+    const double f = model.flux(from_civil_utc({2015, 8, 3, h, 0, 0}));
+    EXPECT_GE(f, model.altitude_factor());
+    EXPECT_LE(f, cap);
+  }
+}
+
+TEST(Neutron, ZeroAmplitudeIsFlat) {
+  NeutronFluxModel::Config config;
+  config.solar_amplitude = 0.0;
+  const NeutronFluxModel model(config);
+  const double a = model.flux(from_civil_utc({2015, 6, 15, 12, 0, 0}));
+  const double b = model.flux(from_civil_utc({2015, 6, 15, 3, 0, 0}));
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Neutron, MeanFluxBetweenExtremes) {
+  const NeutronFluxModel model;
+  const TimePoint day = from_civil_utc({2015, 6, 15, 0, 0, 0});
+  const double mean = model.mean_flux_over_day(day);
+  EXPECT_GT(mean, model.altitude_factor());
+  EXPECT_LT(mean, model.flux(from_civil_utc({2015, 6, 15, 12, 0, 0})));
+}
+
+TEST(Neutron, IntegratedDayNightRatioNearTwo) {
+  // The property Fig 6 rests on: events thinned by this flux come out with
+  // a day(07-18h local) to night ratio of roughly 2 over the year.
+  const NeutronFluxModel model;
+  double day = 0.0, night = 0.0;
+  for (int doy = 0; doy < 365; doy += 7) {
+    const TimePoint base =
+        from_civil_utc({2015, 2, 1, 0, 0, 0}) + doy * kSecondsPerDay;
+    for (int m = 0; m < 24 * 60; m += 15) {
+      const TimePoint t = base + m * 60;
+      const double h = BarcelonaClock::local_hour(t);
+      (h >= 7.0 && h < 19.0 ? day : night) += model.flux(t);
+    }
+  }
+  const double ratio = day / night;
+  EXPECT_GT(ratio, 1.6);
+  EXPECT_LT(ratio, 2.6);
+}
+
+}  // namespace
+}  // namespace unp::env

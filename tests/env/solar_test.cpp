@@ -1,0 +1,106 @@
+#include "env/solar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace unp::env {
+namespace {
+
+TEST(Solar, JulianDateOfEpoch) {
+  EXPECT_DOUBLE_EQ(julian_date(0), 2440587.5);
+  EXPECT_DOUBLE_EQ(julian_date(kSecondsPerDay / 2), 2440588.0);
+}
+
+TEST(Solar, DeclinationWithinEarthTilt) {
+  for (int month = 1; month <= 12; ++month) {
+    const TimePoint t = from_civil_utc({2015, month, 15, 12, 0, 0});
+    const double decl = solar_declination_deg(t);
+    EXPECT_GE(decl, -23.6);
+    EXPECT_LE(decl, 23.6);
+  }
+}
+
+TEST(Solar, DeclinationSeasons) {
+  // Positive near the June solstice, negative near December.
+  EXPECT_GT(solar_declination_deg(from_civil_utc({2015, 6, 21, 12, 0, 0})), 23.0);
+  EXPECT_LT(solar_declination_deg(from_civil_utc({2015, 12, 21, 12, 0, 0})), -23.0);
+  // Near zero at the equinoxes.
+  EXPECT_NEAR(solar_declination_deg(from_civil_utc({2015, 3, 20, 12, 0, 0})), 0.0, 1.0);
+}
+
+TEST(Solar, EquationOfTimeBounded) {
+  for (int day = 0; day < 365; day += 5) {
+    const TimePoint t =
+        from_civil_utc({2015, 1, 1, 12, 0, 0}) + day * kSecondsPerDay;
+    const double eot = equation_of_time_minutes(t);
+    EXPECT_GE(eot, -15.0);
+    EXPECT_LE(eot, 17.5);
+  }
+}
+
+TEST(Solar, NoonHighDeepNightLow) {
+  // Barcelona mid-June: high sun at 12 UTC (~13-14 h local solar).
+  const TimePoint noon = from_civil_utc({2015, 6, 15, 12, 0, 0});
+  EXPECT_GT(solar_elevation_deg(noon), 60.0);
+  const TimePoint midnight = from_civil_utc({2015, 6, 15, 0, 0, 0});
+  EXPECT_LT(solar_elevation_deg(midnight), -20.0);
+}
+
+TEST(Solar, WinterNoonLowerThanSummerNoon) {
+  const double summer =
+      solar_elevation_deg(from_civil_utc({2015, 6, 21, 12, 0, 0}));
+  const double winter =
+      solar_elevation_deg(from_civil_utc({2015, 12, 21, 12, 0, 0}));
+  EXPECT_GT(summer, winter + 40.0);
+  EXPECT_GT(winter, 15.0);  // Barcelona winter noon is still well up
+}
+
+TEST(Solar, ElevationPeaksNearTrueSolarNoon) {
+  // Scan one day in 10-minute steps; the max must fall where the true solar
+  // time is close to 12h.
+  const TimePoint base = from_civil_utc({2015, 7, 1, 0, 0, 0});
+  double best_elev = -90.0;
+  TimePoint best_t = base;
+  for (int step = 0; step < 24 * 6; ++step) {
+    const TimePoint t = base + step * 600;
+    const double e = solar_elevation_deg(t);
+    if (e > best_elev) {
+      best_elev = e;
+      best_t = t;
+    }
+  }
+  EXPECT_NEAR(true_solar_time_hours(best_t), 12.0, 0.25);
+}
+
+TEST(Solar, TrueSolarTimeWraps) {
+  for (int h = 0; h < 24; ++h) {
+    const double tst =
+        true_solar_time_hours(from_civil_utc({2015, 4, 10, h, 0, 0}));
+    EXPECT_GE(tst, 0.0);
+    EXPECT_LT(tst, 24.0);
+  }
+}
+
+TEST(Solar, DaytimePredicate) {
+  EXPECT_TRUE(is_daytime(from_civil_utc({2015, 6, 15, 12, 0, 0})));
+  EXPECT_FALSE(is_daytime(from_civil_utc({2015, 6, 15, 1, 0, 0})));
+}
+
+TEST(Solar, DayLengthSummerLongerThanWinter) {
+  auto daylight_hours = [](int month, int day) {
+    int count = 0;
+    const TimePoint base = from_civil_utc({2015, month, day, 0, 0, 0});
+    for (int m = 0; m < 24 * 60; m += 10) {
+      if (is_daytime(base + m * 60)) ++count;
+    }
+    return count / 6.0;
+  };
+  const double june = daylight_hours(6, 21);
+  const double december = daylight_hours(12, 21);
+  EXPECT_NEAR(june, 15.1, 0.7);     // Barcelona summer solstice ~15h04
+  EXPECT_NEAR(december, 9.2, 0.7);  // winter solstice ~9h12
+}
+
+}  // namespace
+}  // namespace unp::env

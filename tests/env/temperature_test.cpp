@@ -1,0 +1,64 @@
+#include "env/temperature.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace unp::env {
+namespace {
+
+TEST(Temperature, RoomStaysInBand) {
+  const TemperatureModel model;
+  for (int h = 0; h < 48; ++h) {
+    const double room =
+        model.room_c(from_civil_utc({2015, 5, 1, 0, 0, 0}) + h * kSecondsPerHour);
+    EXPECT_GE(room, model.config().room_min_c);
+    EXPECT_LE(room, model.config().room_max_c);
+  }
+}
+
+TEST(Temperature, IdleDeltaDeterministicPerNode) {
+  const TemperatureModel model;
+  EXPECT_DOUBLE_EQ(model.node_idle_delta_c(17), model.node_idle_delta_c(17));
+  // Different nodes spread.
+  bool any_different = false;
+  for (std::uint32_t n = 1; n < 20; ++n) {
+    any_different |= model.node_idle_delta_c(n) != model.node_idle_delta_c(0);
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Temperature, IdleDeltaFloor) {
+  const TemperatureModel model;
+  for (std::uint32_t n = 0; n < 500; ++n) {
+    EXPECT_GE(model.node_idle_delta_c(n), 4.0);
+  }
+}
+
+TEST(Temperature, NominalNodesScanAround30To40) {
+  // Fig 7's premise: an idle scanning node reads ~30-40 degC.
+  const TemperatureModel model;
+  RngStream rng(1);
+  RunningStats stats;
+  for (int i = 0; i < 2000; ++i) {
+    stats.add(model.sample_node_c(
+        from_civil_utc({2015, 5, 1, 0, 0, 0}) + i * 977,
+        static_cast<std::uint32_t>(i % 900), false, rng));
+  }
+  EXPECT_GT(stats.mean(), 28.0);
+  EXPECT_LT(stats.mean(), 40.0);
+}
+
+TEST(Temperature, OverheatingSlotsExceedSixty) {
+  const TemperatureModel model;
+  RngStream rng(2);
+  RunningStats stats;
+  for (int i = 0; i < 500; ++i) {
+    stats.add(model.sample_node_c(from_civil_utc({2015, 5, 1, 12, 0, 0}),
+                                  12, true, rng));
+  }
+  EXPECT_GT(stats.mean(), 55.0);  // the >60 degC tail of Fig 7
+}
+
+}  // namespace
+}  // namespace unp::env

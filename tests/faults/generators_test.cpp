@@ -1,0 +1,438 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <set>
+
+#include "faults/suite.hpp"
+
+namespace unp::faults {
+namespace {
+
+/// Synthetic plan: daily 12 h alternating-pattern sessions over the window.
+sched::ScanPlan make_plan(TimePoint start, TimePoint end,
+                          scanner::PatternKind pattern =
+                              scanner::PatternKind::kAlternating) {
+  sched::ScanPlan plan;
+  for (TimePoint day = start; day < end; day += kSecondsPerDay) {
+    sched::ScanSession s;
+    s.window = {day, std::min(day + 12 * kSecondsPerHour, end)};
+    s.pattern = pattern;
+    s.allocated_bytes = cluster::kScannableBytes;
+    s.pass_period_s = 75;
+    plan.sessions.push_back(s);
+  }
+  return plan;
+}
+
+std::vector<NodeContext> make_fleet(const sched::ScanPlan& plan,
+                                    int nodes = 40) {
+  std::vector<NodeContext> fleet;
+  for (int i = 0; i < nodes; ++i) {
+    NodeContext ctx;
+    ctx.node = cluster::node_from_index(i * 16 + 1);
+    ctx.plan = &plan;
+    ctx.scanned_hours = plan.scanned_hours();
+    ctx.near_overheating_slot =
+        ctx.node.soc == cluster::kOverheatingSoc - 1 ||
+        ctx.node.soc == cluster::kOverheatingSoc + 1;
+    fleet.push_back(ctx);
+  }
+  return fleet;
+}
+
+const CampaignWindow kWindow;
+
+TEST(Background, RateScalesWithScannedHours) {
+  const sched::ScanPlan plan = make_plan(kWindow.start, kWindow.end);
+  const auto fleet = make_fleet(plan, 100);
+  BackgroundTransientGenerator::Config config;
+  config.rate_per_scanned_hour = 1e-3;   // high rate for statistics
+  config.overheat_rate_multiplier = 1.0; // uniform fleet for this check
+  const BackgroundTransientGenerator gen(config);
+  std::vector<FaultEvent> events;
+  gen.generate(fleet, 1, events);
+  const double expected =
+      1e-3 * plan.scanned_hours() * static_cast<double>(fleet.size());
+  EXPECT_NEAR(static_cast<double>(events.size()), expected,
+              4.0 * std::sqrt(expected));
+  for (const auto& ev : events) {
+    EXPECT_EQ(ev.mechanism, Mechanism::kBackgroundTransient);
+    EXPECT_EQ(ev.persistence, Persistence::kTransient);
+    ASSERT_EQ(ev.words.size(), 1u);
+    EXPECT_EQ(std::popcount(ev.words[0].corruption.affected_mask), 1);
+    EXPECT_NE(plan.session_at(ev.time), nullptr) << "event outside sessions";
+  }
+}
+
+TEST(Background, Deterministic) {
+  const sched::ScanPlan plan = make_plan(kWindow.start, kWindow.end);
+  const auto fleet = make_fleet(plan, 10);
+  BackgroundTransientGenerator::Config config;
+  config.rate_per_scanned_hour = 1e-4;
+  const BackgroundTransientGenerator gen(config);
+  std::vector<FaultEvent> a, b;
+  gen.generate(fleet, 7, a);
+  gen.generate(fleet, 7, b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].words[0].word_index, b[i].words[0].word_index);
+  }
+}
+
+TEST(Neutron, EventsFollowDaylight) {
+  const sched::ScanPlan plan = make_plan(kWindow.start, kWindow.end);
+  const auto fleet = make_fleet(plan, 50);
+  NeutronEventGenerator::Config config;
+  config.multibit_events_fleet = 4000.0;  // statistics
+  config.repeat_site_fraction = 0.0;
+  config.single_shower_events_fleet = 0.0;
+  const NeutronEventGenerator gen(config);
+  std::vector<FaultEvent> events;
+  gen.generate(fleet, 3, events);
+  ASSERT_GT(events.size(), 2000u);
+  std::uint64_t day = 0, night = 0;
+  for (const auto& ev : events) {
+    const double h = BarcelonaClock::local_hour(ev.time);
+    (h >= 7.0 && h < 19.0 ? day : night)++;
+  }
+  // Sessions only cover the first 12h UTC of each day, so compare rates.
+  EXPECT_GT(day, night);
+}
+
+TEST(Neutron, MasksAreMultibit) {
+  const sched::ScanPlan plan = make_plan(kWindow.start, kWindow.end);
+  const auto fleet = make_fleet(plan, 20);
+  NeutronEventGenerator::Config config;
+  config.multibit_events_fleet = 500.0;
+  config.repeat_site_fraction = 0.0;
+  config.p_accompanied = 0.0;
+  config.single_shower_events_fleet = 0.0;
+  const NeutronEventGenerator gen(config);
+  std::vector<FaultEvent> events;
+  gen.generate(fleet, 5, events);
+  for (const auto& ev : events) {
+    ASSERT_EQ(ev.words.size(), 1u);
+    EXPECT_GE(std::popcount(ev.words[0].corruption.affected_mask), 2);
+    EXPECT_LE(std::popcount(ev.words[0].corruption.affected_mask), 3);
+  }
+}
+
+TEST(Neutron, RepeatSitesProduceIdenticalCorruptions) {
+  const sched::ScanPlan plan = make_plan(kWindow.start, kWindow.end);
+  auto fleet = make_fleet(plan, 20);
+  NeutronEventGenerator::Config config;
+  config.multibit_events_fleet = 300.0;
+  config.repeat_site_fraction = 1.0;
+  config.repeat_sites = 1;
+  config.repeat_site_nodes = {fleet[3].node};
+  config.p_accompanied = 0.0;
+  config.single_shower_events_fleet = 0.0;
+  const NeutronEventGenerator gen(config);
+  std::vector<FaultEvent> events;
+  gen.generate(fleet, 9, events);
+  ASSERT_GT(events.size(), 100u);
+  std::set<std::pair<std::uint64_t, Word>> distinct;
+  for (const auto& ev : events) {
+    EXPECT_EQ(ev.node, fleet[3].node);
+    distinct.insert({ev.words[0].word_index,
+                     ev.words[0].corruption.affected_mask});
+  }
+  EXPECT_EQ(distinct.size(), 1u);  // one site, one fixed pattern
+}
+
+TEST(Neutron, AccompanimentAddsSingleBitWords) {
+  const sched::ScanPlan plan = make_plan(kWindow.start, kWindow.end);
+  const auto fleet = make_fleet(plan, 20);
+  NeutronEventGenerator::Config config;
+  config.multibit_events_fleet = 400.0;
+  config.repeat_site_fraction = 0.0;
+  config.p_accompanied = 1.0;
+  config.p_double_double = 0.0;
+  config.single_shower_events_fleet = 0.0;
+  const NeutronEventGenerator gen(config);
+  std::vector<FaultEvent> events;
+  gen.generate(fleet, 11, events);
+  for (const auto& ev : events) {
+    ASSERT_GE(ev.words.size(), 2u);
+    for (std::size_t w = 1; w < ev.words.size(); ++w) {
+      EXPECT_EQ(std::popcount(ev.words[w].corruption.affected_mask), 1);
+    }
+  }
+}
+
+TEST(WeakBit, AllEventsHitTheSameBit) {
+  const sched::ScanPlan plan = make_plan(kWindow.start, kWindow.end);
+  auto fleet = make_fleet(plan, 20);
+  WeakBitGenerator::Config config;
+  WeakBitSpec spec;
+  spec.node = fleet[5].node;
+  spec.bit = 21;
+  spec.activity_start = from_civil_utc({2015, 9, 1, 0, 0, 0});
+  spec.activity_end = from_civil_utc({2015, 12, 1, 0, 0, 0});
+  spec.episodes_per_day = 0.3;
+  spec.leak_rate_per_scanned_hour = 5.0;
+  config.specs.push_back(spec);
+  const WeakBitGenerator gen(config);
+  std::vector<FaultEvent> events;
+  gen.generate(fleet, 13, events);
+  ASSERT_GT(events.size(), 100u);
+  std::set<std::uint64_t> words;
+  for (const auto& ev : events) {
+    EXPECT_EQ(ev.node, spec.node);
+    EXPECT_EQ(ev.mechanism, Mechanism::kWeakBit);
+    ASSERT_EQ(ev.words.size(), 1u);
+    EXPECT_EQ(ev.words[0].corruption.affected_mask, Word{1} << 21);
+    EXPECT_EQ(ev.words[0].corruption.stuck_value, 0u);  // discharge
+    words.insert(ev.words[0].word_index);
+    EXPECT_GE(ev.time, spec.activity_start);
+  }
+  EXPECT_EQ(words.size(), 1u);  // one weak cell
+}
+
+TEST(WeakBit, QuietOutsideActivityWindow) {
+  const sched::ScanPlan plan = make_plan(kWindow.start, kWindow.end);
+  auto fleet = make_fleet(plan, 20);
+  WeakBitGenerator::Config config;
+  WeakBitSpec spec;
+  spec.node = fleet[5].node;
+  spec.activity_start = from_civil_utc({2015, 9, 1, 0, 0, 0});
+  spec.activity_end = from_civil_utc({2015, 10, 1, 0, 0, 0});
+  spec.episodes_per_day = 0.5;
+  config.specs.push_back(spec);
+  const WeakBitGenerator gen(config);
+  std::vector<FaultEvent> events;
+  gen.generate(fleet, 17, events);
+  const TimePoint slack = 4 * kSecondsPerDay;  // episodes can straddle the end
+  for (const auto& ev : events) {
+    EXPECT_GE(ev.time, spec.activity_start);
+    EXPECT_LE(ev.time, spec.activity_end + slack);
+  }
+}
+
+TEST(Degrading, RateRampsExponentially) {
+  const DegradingComponentGenerator gen;
+  const TimePoint onset = gen.config().onset;
+  EXPECT_DOUBLE_EQ(gen.rate_at(onset - 1), 0.0);
+  const double r0 = gen.rate_at(onset);
+  const auto tau_days =
+      static_cast<std::int64_t>(gen.config().ramp_tau_days);
+  const double r_tau = gen.rate_at(onset + tau_days * kSecondsPerDay);
+  EXPECT_NEAR(r_tau / r0, 2.718, 0.01);  // one e-fold per tau
+  // The ceiling binds eventually.
+  EXPECT_DOUBLE_EQ(gen.rate_at(onset + 1000 * kSecondsPerDay),
+                   gen.config().max_rate_per_scanned_hour);
+}
+
+TEST(Degrading, BurstsOnlyAfterOnsetOnConfiguredNode) {
+  const sched::ScanPlan plan = make_plan(kWindow.start, kWindow.end);
+  auto fleet = make_fleet(plan, 20);
+  DegradingComponentGenerator::Config config;
+  config.node = fleet[2].node;
+  const DegradingComponentGenerator gen(config);
+  std::vector<FaultEvent> events;
+  gen.generate(fleet, 19, events);
+  ASSERT_GT(events.size(), 1000u);
+  std::set<std::uint64_t> addresses;
+  for (const auto& ev : events) {
+    EXPECT_EQ(ev.node, config.node);
+    EXPECT_GE(ev.time, config.onset);
+    for (const auto& w : ev.words) addresses.insert(w.word_index);
+  }
+  // The address pool keeps growing into the thousands (Section III-H).
+  EXPECT_GT(addresses.size(), 1000u);
+}
+
+TEST(Degrading, PatternPoolBounded) {
+  const sched::ScanPlan plan = make_plan(kWindow.start, kWindow.end);
+  auto fleet = make_fleet(plan, 20);
+  DegradingComponentGenerator::Config config;
+  config.node = fleet[2].node;
+  const DegradingComponentGenerator gen(config);
+  std::vector<FaultEvent> events;
+  gen.generate(fleet, 23, events);
+  std::set<std::pair<Word, Word>> patterns;
+  for (const auto& ev : events) {
+    for (const auto& w : ev.words) {
+      patterns.insert({w.corruption.affected_mask, w.corruption.stuck_value});
+    }
+  }
+  EXPECT_LE(patterns.size(),
+            static_cast<std::size_t>(config.pattern_pool));
+  EXPECT_GE(patterns.size(), 20u);
+}
+
+TEST(Degrading, ComponentSwapMovesErrors) {
+  const sched::ScanPlan plan = make_plan(kWindow.start, kWindow.end);
+  auto fleet = make_fleet(plan, 20);
+  DegradingComponentGenerator::Config config;
+  config.node = fleet[2].node;
+  config.swap_to = fleet[9].node;
+  config.swap_date = from_civil_utc({2015, 10, 1, 0, 0, 0});
+  const DegradingComponentGenerator gen(config);
+  std::vector<FaultEvent> events;
+  gen.generate(fleet, 43, events);
+  ASSERT_GT(events.size(), 500u);
+  for (const auto& ev : events) {
+    if (ev.time < config.swap_date) {
+      EXPECT_EQ(ev.node, config.node);
+    } else {
+      EXPECT_EQ(ev.node, config.swap_to);
+    }
+  }
+  // Both hosts must actually appear (the swap happened mid-ramp).
+  std::size_t before = 0;
+  for (const auto& ev : events) before += ev.time < config.swap_date;
+  EXPECT_GT(before, 0u);
+  EXPECT_LT(before, events.size());
+}
+
+TEST(Degrading, SwapDisabledKeepsSingleHost) {
+  const sched::ScanPlan plan = make_plan(kWindow.start, kWindow.end);
+  auto fleet = make_fleet(plan, 20);
+  DegradingComponentGenerator::Config config;
+  config.node = fleet[2].node;
+  const DegradingComponentGenerator gen(config);
+  std::vector<FaultEvent> events;
+  gen.generate(fleet, 43, events);
+  for (const auto& ev : events) EXPECT_EQ(ev.node, config.node);
+}
+
+TEST(Pathological, StuckEventsMatchConfig) {
+  const sched::ScanPlan plan = make_plan(kWindow.start, kWindow.end);
+  auto fleet = make_fleet(plan, 20);
+  PathologicalNodeGenerator::Config config;
+  config.node = fleet[1].node;
+  config.stuck_addresses = 50;
+  const PathologicalNodeGenerator gen(config);
+  std::vector<FaultEvent> events;
+  gen.generate(fleet, 29, events);
+  ASSERT_EQ(events.size(), 50u);
+  for (const auto& ev : events) {
+    EXPECT_EQ(ev.node, config.node);
+    EXPECT_EQ(ev.persistence, Persistence::kStuck);
+    EXPECT_EQ(ev.active_until, config.removal);
+    EXPECT_GE(ev.time, config.onset);
+    EXPECT_LT(ev.time, config.onset + kSecondsPerDay);
+  }
+}
+
+TEST(IsolatedSdc, ExactBitCountsOnDistinctQuietNodes) {
+  const sched::ScanPlan plan = make_plan(kWindow.start, kWindow.end);
+  auto fleet = make_fleet(plan, 60);
+  IsolatedSdcGenerator::Config config;
+  config.avoid_nodes = {fleet[0].node};
+  const IsolatedSdcGenerator gen(config);
+  std::vector<FaultEvent> events;
+  gen.generate(fleet, 31, events);
+  ASSERT_EQ(events.size(), 7u);
+  std::multiset<int> bits;
+  std::set<int> nodes;
+  for (const auto& ev : events) {
+    ASSERT_EQ(ev.words.size(), 1u);
+    bits.insert(std::popcount(ev.words[0].corruption.affected_mask));
+    nodes.insert(cluster::node_index(ev.node));
+    EXPECT_EQ(ev.words[0].corruption.stuck_value, 0u);  // all-discharge
+    EXPECT_NE(cluster::node_index(ev.node),
+              cluster::node_index(fleet[0].node));
+  }
+  EXPECT_EQ(bits, (std::multiset<int>{4, 4, 4, 5, 6, 8, 9}));
+  EXPECT_EQ(nodes.size(), 5u);
+}
+
+TEST(WeakBit, PhysicalConfigMatchesFleetIncidence) {
+  // Emergent incidence: sampling 30 fleets from the retention model should
+  // give a few weak bits per 923-node fleet on average - the study saw 2.
+  const dram::RetentionModel retention;
+  const env::TemperatureModel temperature;
+  const CampaignWindow window;
+  std::vector<cluster::NodeId> fleet;
+  for (int i = 0; i < cluster::kStudyNodeSlots; ++i) {
+    fleet.push_back(cluster::node_from_index(i));
+  }
+  double total = 0.0;
+  std::uint64_t max_specs = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const WeakBitGenerator::Config config = WeakBitGenerator::physical_config(
+        fleet, retention, temperature, window, seed);
+    total += static_cast<double>(config.specs.size());
+    max_specs = std::max<std::uint64_t>(max_specs, config.specs.size());
+    for (const auto& spec : config.specs) {
+      EXPECT_GE(spec.activity_start, window.start);
+      EXPECT_LE(spec.activity_end, window.end);
+      EXPECT_LT(spec.activity_start, spec.activity_end);
+      EXPECT_GE(spec.bit, 0);
+      EXPECT_LT(spec.bit, 32);
+    }
+  }
+  const double mean = total / 30.0;
+  EXPECT_GT(mean, 0.5);    // weak bits do occur
+  EXPECT_LT(mean, 40.0);   // ...but remain rare per fleet
+  EXPECT_GT(max_specs, 0u);
+}
+
+TEST(WeakBit, PhysicalConfigDeterministicPerSeed) {
+  const dram::RetentionModel retention;
+  const env::TemperatureModel temperature;
+  const CampaignWindow window;
+  std::vector<cluster::NodeId> fleet;
+  for (int i = 0; i < 300; ++i) fleet.push_back(cluster::node_from_index(i * 3));
+  const auto a = WeakBitGenerator::physical_config(fleet, retention,
+                                                   temperature, window, 5);
+  const auto b = WeakBitGenerator::physical_config(fleet, retention,
+                                                   temperature, window, 5);
+  ASSERT_EQ(a.specs.size(), b.specs.size());
+  for (std::size_t i = 0; i < a.specs.size(); ++i) {
+    EXPECT_EQ(cluster::node_index(a.specs[i].node),
+              cluster::node_index(b.specs[i].node));
+    EXPECT_EQ(a.specs[i].bit, b.specs[i].bit);
+  }
+}
+
+TEST(Suite, TogglesSuppressMechanisms) {
+  const sched::ScanPlan plan = make_plan(kWindow.start, kWindow.end);
+  auto fleet = make_fleet(plan, 60);
+  FaultModelSuite::Config config;
+  config.enable_background = false;
+  config.enable_neutron = false;
+  config.enable_weak_bits = false;
+  config.enable_degrading = false;
+  config.enable_pathological = false;
+  // Only isolated SDC remains (its default hosts may miss this tiny fleet,
+  // so route it at real nodes).
+  config.isolated_sdc.avoid_nodes.clear();
+  const FaultModelSuite suite(config);
+  const auto events = suite.generate(fleet, 37);
+  for (const auto& ev : events) {
+    EXPECT_EQ(ev.mechanism, Mechanism::kIsolatedSdc);
+  }
+}
+
+TEST(Suite, OutputSortedByTime) {
+  const sched::ScanPlan plan = make_plan(kWindow.start, kWindow.end);
+  auto fleet = make_fleet(plan, 60);
+  FaultModelSuite::Config config;
+  config.degrading.node = fleet[2].node;
+  config.pathological.node = fleet[1].node;
+  config.weak_bits.specs[0].node = fleet[5].node;
+  config.weak_bits.specs[1].node = fleet[6].node;
+  config.neutron.repeat_site_nodes = {fleet[2].node};
+  const FaultModelSuite suite(config);
+  const auto events = suite.generate(fleet, 41);
+  ASSERT_GT(events.size(), 100u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].time, events[i].time);
+  }
+}
+
+TEST(Event, AffectedBitsSumsWords) {
+  FaultEvent ev;
+  ev.words.push_back({0, dram::CellLeakModel::all_discharge(0x3u)});
+  ev.words.push_back({1, dram::CellLeakModel::all_discharge(0x10u)});
+  EXPECT_EQ(ev.affected_bits(), 3);
+}
+
+}  // namespace
+}  // namespace unp::faults

@@ -1,0 +1,156 @@
+#include "resilience/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "resilience/checkpoint.hpp"
+
+namespace unp::resilience {
+namespace {
+
+using analysis::FaultRecord;
+
+FaultRecord fault(cluster::NodeId node, TimePoint t) {
+  FaultRecord f;
+  f.node = node;
+  f.first_seen = t;
+  f.last_seen = t;
+  f.expected = 0xFFFFFFFFu;
+  f.actual = 0xFFFFFFFEu;
+  return f;
+}
+
+std::vector<cluster::NodeId> small_fleet(int n) {
+  std::vector<cluster::NodeId> fleet;
+  for (int i = 0; i < n; ++i) fleet.push_back(cluster::node_from_index(i * 3 + 1));
+  return fleet;
+}
+
+TEST(Placement, NoFaultsNoFailures) {
+  const CampaignWindow w;
+  const auto fleet = small_fleet(100);
+  const PlacementComparison cmp = compare_placements({}, w, fleet);
+  EXPECT_GT(cmp.random.jobs, 1000u);
+  EXPECT_EQ(cmp.random.failed_jobs, 0u);
+  EXPECT_EQ(cmp.history_aware.failed_jobs, 0u);
+  EXPECT_EQ(cmp.random.jobs, cmp.history_aware.jobs);  // same job stream
+}
+
+TEST(Placement, HistoryAwareAvoidsLoudNodes) {
+  // Two chronically loud nodes erring daily: random placement keeps landing
+  // jobs on them; history-aware steers away after the first day.
+  const CampaignWindow w;
+  const auto fleet = small_fleet(120);
+  std::vector<FaultRecord> faults;
+  for (int d = 0; d < static_cast<int>(w.duration_days()); ++d) {
+    for (int k = 0; k < 5; ++k) {
+      faults.push_back(fault(fleet[3], w.start + d * kSecondsPerDay + k * 3000));
+      faults.push_back(fault(fleet[77], w.start + d * kSecondsPerDay + k * 2900));
+    }
+  }
+  JobMix mix;
+  mix.nodes_min = 16;
+  mix.nodes_max = 32;
+  const PlacementComparison cmp = compare_placements(faults, w, fleet, mix);
+  EXPECT_GT(cmp.random.failure_rate(), 0.1);
+  EXPECT_LT(cmp.history_aware.failure_rate(), 0.02);
+  EXPECT_GT(cmp.improvement(), 5.0);
+  EXPECT_GT(cmp.random.node_hours_lost, cmp.history_aware.node_hours_lost);
+}
+
+TEST(Placement, UniformFaultsGiveNoEdge) {
+  // Errors spread evenly over the fleet: history carries no signal, both
+  // policies should fail at comparable rates.
+  const CampaignWindow w;
+  const auto fleet = small_fleet(100);
+  std::vector<FaultRecord> faults;
+  RngStream rng(9);
+  for (int i = 0; i < 400; ++i) {
+    const auto& node = fleet[rng.uniform_u64(fleet.size())];
+    faults.push_back(fault(node, w.start + static_cast<TimePoint>(rng.uniform_u64(
+                                     static_cast<std::uint64_t>(
+                                         w.duration_seconds())))));
+  }
+  const PlacementComparison cmp = compare_placements(faults, w, fleet);
+  EXPECT_GT(cmp.random.failed_jobs, 0u);
+  EXPECT_GT(cmp.history_aware.failed_jobs, 0u);
+  // No more than a 4x separation either way.
+  const double a = cmp.random.failure_rate();
+  const double b = cmp.history_aware.failure_rate();
+  EXPECT_LT(std::max(a, b) / std::max(1e-9, std::min(a, b)), 4.0);
+}
+
+TEST(Placement, Deterministic) {
+  const CampaignWindow w;
+  const auto fleet = small_fleet(80);
+  std::vector<FaultRecord> faults{fault(fleet[0], w.start + 1000)};
+  const PlacementComparison a = compare_placements(faults, w, fleet, JobMix{}, 7);
+  const PlacementComparison b = compare_placements(faults, w, fleet, JobMix{}, 7);
+  EXPECT_EQ(a.random.failed_jobs, b.random.failed_jobs);
+  EXPECT_EQ(a.history_aware.failed_jobs, b.history_aware.failed_jobs);
+}
+
+TEST(TraceCheckpoint, NoFaultsPureOverhead) {
+  TraceJobConfig config;
+  config.work_hours = 100.0;
+  config.checkpoint_cost_h = 0.25;
+  const TraceJobOutcome outcome = simulate_checkpoint_trace(
+      {}, config, [](TimePoint) { return 10.0; });
+  EXPECT_EQ(outcome.failures, 0u);
+  EXPECT_DOUBLE_EQ(outcome.work_hours, 100.0);
+  // 10 segments of 10h + 10 checkpoints of 0.25h.
+  EXPECT_NEAR(outcome.wall_hours, 102.5, 0.01);
+  EXPECT_NEAR(outcome.efficiency(), 100.0 / 102.5, 1e-6);
+}
+
+TEST(TraceCheckpoint, FaultCostsPartialSegment) {
+  TraceJobConfig config;
+  config.work_hours = 10.0;
+  config.checkpoint_cost_h = 0.0;
+  config.restart_cost_h = 1.0;
+  config.start = 0;
+  // One fault 5.5 h in: loses 0.5 h of the second 5 h segment.
+  const std::vector<TimePoint> faults{
+      static_cast<TimePoint>(5.5 * kSecondsPerHour)};
+  const TraceJobOutcome outcome = simulate_checkpoint_trace(
+      faults, config, [](TimePoint) { return 5.0; });
+  EXPECT_EQ(outcome.failures, 1u);
+  EXPECT_NEAR(outcome.lost_hours, 0.5, 0.01);
+  EXPECT_NEAR(outcome.restart_hours, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(outcome.work_hours, 10.0);
+  // 5 work + fault at 5.5 + 1 restart -> resume at 6.5, then 5 more work.
+  EXPECT_NEAR(outcome.wall_hours, 11.5, 0.01);
+}
+
+TEST(TraceCheckpoint, BurstyTraceFavorsAdaptivePolicy) {
+  // Faults every 20 min during 'degraded' days, nothing otherwise.
+  const CampaignWindow w;
+  analysis::RegimeResult regime;
+  const auto days = static_cast<std::size_t>(w.duration_days()) + 2;
+  regime.degraded.assign(days, false);
+  std::vector<TimePoint> trace;
+  for (int d = 20; d < 300; d += 10) {
+    regime.degraded[static_cast<std::size_t>(d)] = true;
+    for (int k = 0; k < 72; ++k) {
+      trace.push_back(w.start + d * kSecondsPerDay + k * 1200);
+    }
+  }
+  regime.normal_days = days - 28;
+  regime.degraded_days = 28;
+  regime.normal_errors = 0;
+  regime.degraded_errors = 28 * 72;
+  regime.normal_mtbf_hours = 2000.0;
+  regime.degraded_mtbf_hours = 24.0 / 72.0;
+
+  TraceJobConfig config;
+  config.work_hours = 3000.0;
+  config.start = w.start;
+  const TracePolicyComparison cmp =
+      compare_checkpoint_traces(trace, regime, w, config);
+  EXPECT_GT(cmp.normal_interval_hours, cmp.degraded_interval_hours * 10.0);
+  EXPECT_GT(cmp.adaptive_policy.efficiency(), cmp.static_policy.efficiency());
+  EXPECT_DOUBLE_EQ(cmp.adaptive_policy.work_hours, 3000.0);
+  EXPECT_DOUBLE_EQ(cmp.static_policy.work_hours, 3000.0);
+}
+
+}  // namespace
+}  // namespace unp::resilience

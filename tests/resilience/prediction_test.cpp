@@ -1,0 +1,114 @@
+#include "resilience/prediction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace unp::resilience {
+namespace {
+
+using analysis::FaultRecord;
+
+FaultRecord fault(cluster::NodeId node, TimePoint t) {
+  FaultRecord f;
+  f.node = node;
+  f.first_seen = t;
+  f.last_seen = t;
+  f.expected = 0xFFFFFFFFu;
+  f.actual = 0xFFFFFFFEu;
+  return f;
+}
+
+void add_day(std::vector<FaultRecord>& faults, cluster::NodeId node,
+             const CampaignWindow& w, int day, int count) {
+  for (int i = 0; i < count; ++i) {
+    faults.push_back(fault(node, w.start + day * kSecondsPerDay + 3600 + i * 60));
+  }
+}
+
+TEST(Prediction, SustainedBurstIsPredicted) {
+  // Errors on days 10..14: days 11..15 carry a warning (window 3, trigger 3);
+  // days 11..14 are bad -> 4 TP, day 15 quiet -> 1 FP, day 10 unforeseen.
+  const CampaignWindow w;
+  std::vector<FaultRecord> faults;
+  for (int d = 10; d <= 14; ++d) add_day(faults, {1, 1}, w, d, 10);
+
+  const PredictionEvaluation eval =
+      evaluate_predictor(faults, w, PredictorConfig{});
+  EXPECT_EQ(eval.true_positives, 4u);
+  EXPECT_EQ(eval.false_negatives, 1u);  // day 10, the burst's first day
+  EXPECT_EQ(eval.false_positives, 3u);  // the 3-day window's trailing warnings
+  EXPECT_NEAR(eval.recall(), 0.8, 1e-9);
+  EXPECT_DOUBLE_EQ(eval.forewarned_fraction(), 0.8);
+}
+
+TEST(Prediction, IsolatedErrorsNeverFlagged) {
+  const CampaignWindow w;
+  std::vector<FaultRecord> faults;
+  add_day(faults, {1, 1}, w, 10, 1);
+  add_day(faults, {1, 1}, w, 100, 1);
+  const PredictionEvaluation eval =
+      evaluate_predictor(faults, w, PredictorConfig{});
+  EXPECT_EQ(eval.true_positives, 0u);
+  EXPECT_EQ(eval.false_positives, 0u);
+  EXPECT_EQ(eval.flagged_node_days, 0u);
+}
+
+TEST(Prediction, ExclusionRemovesNode) {
+  const CampaignWindow w;
+  std::vector<FaultRecord> faults;
+  for (int d = 10; d <= 20; ++d) add_day(faults, {2, 4}, w, d, 50);
+  PredictorConfig config;
+  config.excluded_nodes.push_back({2, 4});
+  const PredictionEvaluation eval = evaluate_predictor(faults, w, config);
+  EXPECT_EQ(eval.total_errors, 0u);
+  EXPECT_EQ(eval.true_positives, 0u);
+}
+
+TEST(Prediction, LongerWindowExtendsWarnings) {
+  const CampaignWindow w;
+  std::vector<FaultRecord> faults;
+  add_day(faults, {1, 1}, w, 10, 10);
+  add_day(faults, {1, 1}, w, 13, 10);  // 3-day gap
+
+  PredictorConfig short_window;
+  short_window.history_days = 1;
+  PredictorConfig long_window;
+  long_window.history_days = 5;
+  const PredictionEvaluation a = evaluate_predictor(faults, w, short_window);
+  const PredictionEvaluation b = evaluate_predictor(faults, w, long_window);
+  // The long window still remembers day 10 when day 13 arrives.
+  EXPECT_EQ(a.true_positives, 0u);
+  EXPECT_EQ(b.true_positives, 1u);
+  EXPECT_GT(b.flagged_node_days, a.flagged_node_days);
+}
+
+TEST(Prediction, MetricsDegenerateCases) {
+  PredictionEvaluation empty;
+  EXPECT_DOUBLE_EQ(empty.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.f1(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.forewarned_fraction(), 0.0);
+
+  PredictionEvaluation perfect;
+  perfect.true_positives = 10;
+  EXPECT_DOUBLE_EQ(perfect.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(perfect.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(perfect.f1(), 1.0);
+}
+
+TEST(Prediction, WeakBitSignatureScoresWell) {
+  // Multi-day episodes every ~10 days: after the first day of each episode
+  // the predictor should be right most of the time.
+  const CampaignWindow w;
+  std::vector<FaultRecord> faults;
+  for (int episode = 0; episode < 10; ++episode) {
+    const int start = 20 + episode * 12;
+    for (int d = 0; d < 3; ++d) add_day(faults, {4, 5}, w, start + d, 30);
+  }
+  const PredictionEvaluation eval =
+      evaluate_predictor(faults, w, PredictorConfig{});
+  EXPECT_GT(eval.recall(), 0.6);
+  EXPECT_GT(eval.forewarned_fraction(), 0.6);
+}
+
+}  // namespace
+}  // namespace unp::resilience

@@ -1,0 +1,107 @@
+#include "resilience/scrubbing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+
+namespace unp::resilience {
+namespace {
+
+using analysis::FaultRecord;
+
+FaultRecord fault(cluster::NodeId node, TimePoint t, std::uint64_t vaddr,
+                  Word flip = 0x1u) {
+  FaultRecord f;
+  f.node = node;
+  f.first_seen = t;
+  f.last_seen = t;
+  f.virtual_address = vaddr;
+  f.expected = 0xFFFFFFFFu;
+  f.actual = 0xFFFFFFFFu ^ flip;
+  return f;
+}
+
+TEST(Scrubbing, AnalyticScalesWithIntervalSquaredOverPeriods) {
+  ScrubbingConfig daily;
+  daily.scrub_interval_h = 24.0;
+  ScrubbingConfig hourly;
+  hourly.scrub_interval_h = 1.0;
+  const double rate = 1e-3;
+  const std::uint64_t bytes = 4ULL << 30;
+  const double a = analytic_accumulation_per_node_year(rate, bytes, daily);
+  const double b = analytic_accumulation_per_node_year(rate, bytes, hourly);
+  // lambda^2/(2W) per period x periods/year => linear in the interval.
+  EXPECT_NEAR(a / b, 24.0, 1e-6);
+  EXPECT_GT(a, 0.0);
+}
+
+TEST(Scrubbing, AnalyticZeroRate) {
+  EXPECT_DOUBLE_EQ(
+      analytic_accumulation_per_node_year(0.0, 4ULL << 30, ScrubbingConfig{}),
+      0.0);
+}
+
+TEST(Scrubbing, ReplayDetectsSameWordPairWithinPeriod) {
+  // Two different bits of the same 8-byte ECC word, 2 h apart.
+  std::vector<FaultRecord> faults{
+      fault({1, 1}, 1000, 4096, 0x1u),
+      fault({1, 1}, 1000 + 2 * kSecondsPerHour, 4100, 0x2u)};
+  ScrubbingConfig config;
+  config.scrub_interval_h = 24.0;
+  const ScrubbingOutcome outcome = replay_scrubbing(faults, config);
+  EXPECT_EQ(outcome.accumulations, 1u);
+  EXPECT_EQ(outcome.distinct_bit_accumulations, 1u);
+}
+
+TEST(Scrubbing, ReplayIgnoresPairsBeyondPeriod) {
+  std::vector<FaultRecord> faults{
+      fault({1, 1}, 1000, 4096),
+      fault({1, 1}, 1000 + 48 * kSecondsPerHour, 4100, 0x2u)};
+  ScrubbingConfig config;
+  config.scrub_interval_h = 24.0;
+  EXPECT_EQ(replay_scrubbing(faults, config).accumulations, 0u);
+}
+
+TEST(Scrubbing, SameBitReleakIsNotUncorrectable) {
+  // The weak-bit signature: identical flip twice - re-corrected, not
+  // accumulated as a double.
+  std::vector<FaultRecord> faults{
+      fault({4, 5}, 1000, 4096, 0x200u),
+      fault({4, 5}, 2000, 4096, 0x200u)};
+  ScrubbingConfig config;
+  const ScrubbingOutcome outcome = replay_scrubbing(faults, config);
+  EXPECT_EQ(outcome.accumulations, 1u);
+  EXPECT_EQ(outcome.distinct_bit_accumulations, 0u);
+}
+
+TEST(Scrubbing, DifferentWordsOrNodesNeverPair) {
+  std::vector<FaultRecord> faults{
+      fault({1, 1}, 1000, 0),
+      fault({1, 1}, 1001, 8),      // next ECC word
+      fault({2, 2}, 1002, 0)};     // other node, same address
+  const ScrubbingOutcome outcome = replay_scrubbing(faults, ScrubbingConfig{});
+  EXPECT_EQ(outcome.accumulations, 0u);
+}
+
+TEST(Scrubbing, SweepMonotoneInInterval) {
+  // Longer scrub intervals can only accumulate more pairs.
+  std::vector<FaultRecord> faults;
+  for (int i = 0; i < 50; ++i) {
+    faults.push_back(fault({1, 1}, 1000 + i * 10 * kSecondsPerHour, 4096,
+                           (i % 2) ? 0x1u : 0x2u));
+  }
+  const auto sweep = scrubbing_sweep(faults, {1.0, 12.0, 48.0, 400.0});
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GE(sweep[i].accumulations, sweep[i - 1].accumulations);
+  }
+  EXPECT_EQ(sweep.back().accumulations, 49u);  // every consecutive pair
+}
+
+TEST(Scrubbing, InvalidConfigThrows) {
+  ScrubbingConfig bad;
+  bad.scrub_interval_h = 0.0;
+  EXPECT_THROW((void)replay_scrubbing({}, bad), ContractViolation);
+}
+
+}  // namespace
+}  // namespace unp::resilience

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "scanner/pattern.hpp"
+#include "scanner/real_backend.hpp"
+#include "scanner/sim_backend.hpp"
+
+namespace unp::scanner {
+namespace {
+
+using Mismatch = std::pair<std::uint64_t, Word>;
+
+std::vector<Mismatch> collect(MemoryBackend& backend, Word expected, Word next) {
+  std::vector<Mismatch> out;
+  backend.verify_and_write(expected, next, [&](std::uint64_t w, Word actual) {
+    out.emplace_back(w, actual);
+  });
+  return out;
+}
+
+TEST(RealBackend, CleanPassReportsNothing) {
+  RealMemoryBackend backend(1 << 16);
+  backend.fill(0x00000000u);
+  EXPECT_TRUE(collect(backend, 0x00000000u, 0xFFFFFFFFu).empty());
+  EXPECT_TRUE(collect(backend, 0xFFFFFFFFu, 0x00000000u).empty());
+}
+
+TEST(RealBackend, PokeIsDetectedOnceThenRepaired) {
+  RealMemoryBackend backend(1 << 16);
+  backend.fill(0xFFFFFFFFu);
+  backend.poke(100, 0xFFFF7BFFu);
+  const auto first = collect(backend, 0xFFFFFFFFu, 0x00000000u);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0], (Mismatch{100, 0xFFFF7BFFu}));
+  // The pass rewrote the word: the next check is clean.
+  EXPECT_TRUE(collect(backend, 0x00000000u, 0xFFFFFFFFu).empty());
+  EXPECT_EQ(backend.peek(100), 0xFFFFFFFFu);
+}
+
+TEST(RealBackend, MismatchesReportedInAddressOrder) {
+  RealMemoryBackend backend(1 << 16);
+  backend.fill(0u);
+  backend.poke(500, 1u);
+  backend.poke(10, 2u);
+  backend.poke(9000, 3u);
+  const auto hits = collect(backend, 0u, 0u);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].first, 10u);
+  EXPECT_EQ(hits[1].first, 500u);
+  EXPECT_EQ(hits[2].first, 9000u);
+}
+
+class RealBackendThreads : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RealBackendThreads, ParallelPassMatchesSequential) {
+  const std::size_t threads = GetParam();
+  RealMemoryBackend seq(1 << 18, 1);
+  RealMemoryBackend par(1 << 18, threads);
+  seq.fill(0xFFFFFFFFu);
+  par.fill(0xFFFFFFFFu);
+  RngStream rng(42);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t w = rng.uniform_u64(seq.word_count());
+    const auto v = static_cast<Word>(rng.next_u64());
+    seq.poke(w, v);
+    par.poke(w, v);
+  }
+  EXPECT_EQ(collect(seq, 0xFFFFFFFFu, 0u), collect(par, 0xFFFFFFFFu, 0u));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, RealBackendThreads,
+                         ::testing::Values(2, 3, 4, 8));
+
+TEST(SimBackend, TransientVisibleOnceThenHealed) {
+  SimulatedMemoryBackend backend(1ULL << 30);
+  backend.fill(0xFFFFFFFFu);
+  backend.inject_transient(12345, dram::CellLeakModel::all_discharge(0x10u));
+  const auto hits = collect(backend, 0xFFFFFFFFu, 0x00000000u);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], (Mismatch{12345, 0xFFFFFFEFu}));
+  EXPECT_TRUE(collect(backend, 0x00000000u, 0xFFFFFFFFu).empty());
+}
+
+TEST(SimBackend, TransientDischargeInvisibleOverZeros) {
+  SimulatedMemoryBackend backend(1000);
+  backend.fill(0x00000000u);
+  backend.inject_transient(7, dram::CellLeakModel::all_discharge(0xFFu));
+  EXPECT_TRUE(collect(backend, 0x00000000u, 0xFFFFFFFFu).empty());
+}
+
+TEST(SimBackend, StuckReassertsEveryVisiblePhase) {
+  SimulatedMemoryBackend backend(1000);
+  backend.fill(0x00000000u);
+  backend.inject_stuck(3, dram::CellLeakModel::all_discharge(0x1u));
+  // Alternating passes: stuck-at-0 is visible whenever 0xFFFFFFFF expected.
+  EXPECT_TRUE(collect(backend, 0x00000000u, 0xFFFFFFFFu).empty());
+  auto hits = collect(backend, 0xFFFFFFFFu, 0x00000000u);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], (Mismatch{3, 0xFFFFFFFEu}));
+  EXPECT_TRUE(collect(backend, 0x00000000u, 0xFFFFFFFFu).empty());
+  hits = collect(backend, 0xFFFFFFFFu, 0x00000000u);
+  EXPECT_EQ(hits.size(), 1u);
+  // After healing, the next write repairs the cell.
+  backend.clear_stuck(3);
+  EXPECT_EQ(backend.stuck_fault_count(), 0u);
+  (void)collect(backend, 0x00000000u, 0xFFFFFFFFu);
+  EXPECT_TRUE(collect(backend, 0xFFFFFFFFu, 0x00000000u).empty());
+}
+
+TEST(SimBackend, LoadSeesThroughInjections) {
+  SimulatedMemoryBackend backend(100);
+  backend.fill(0xFFFFFFFFu);
+  EXPECT_EQ(backend.load(5), 0xFFFFFFFFu);
+  backend.inject_transient(5, dram::CellLeakModel::all_discharge(0xF0u));
+  EXPECT_EQ(backend.load(5), 0xFFFFFF0Fu);
+}
+
+class BackendEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BackendEquivalence, SimMatchesRealUnderRandomFaultSchedule) {
+  // Property: over any random schedule of transient faults and passes, the
+  // sparse simulated backend reports exactly what a real buffer would.
+  const std::uint64_t seed = GetParam();
+  RngStream rng(seed);
+  constexpr std::uint64_t kWords = 4096;
+  RealMemoryBackend real(kWords * sizeof(Word), 1);
+  SimulatedMemoryBackend sim(kWords);
+  Pattern pattern(rng.bernoulli(0.5) ? PatternKind::kAlternating
+                                     : PatternKind::kCounter);
+  real.fill(pattern.written_at(0));
+  sim.fill(pattern.written_at(0));
+
+  for (std::uint64_t iter = 1; iter < 60; ++iter) {
+    // Inject a few transient faults before the pass.
+    const std::uint64_t faults = rng.uniform_u64(4);
+    for (std::uint64_t f = 0; f < faults; ++f) {
+      const std::uint64_t w = rng.uniform_u64(kWords);
+      Word mask = 0;
+      const std::uint64_t bits = 1 + rng.uniform_u64(3);
+      for (std::uint64_t b = 0; b < bits; ++b) mask |= 1u << rng.uniform_u64(32);
+      dram::WordCorruption corruption{
+          mask, rng.bernoulli(0.9) ? Word{0} : mask};
+      // Real backend: apply to the stored value directly.
+      real.poke(w, corruption.apply(real.peek(w)));
+      sim.inject_transient(w, corruption);
+    }
+    const Word expected = pattern.expected_at(iter);
+    const Word next = pattern.written_at(iter);
+    EXPECT_EQ(collect(real, expected, next), collect(sim, expected, next))
+        << "iteration " << iter << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackendEquivalence,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace unp::scanner

@@ -1,0 +1,52 @@
+#include "scanner/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+
+namespace unp::scanner {
+namespace {
+
+TEST(Pattern, AlternatingSequence) {
+  const Pattern p(PatternKind::kAlternating);
+  EXPECT_EQ(p.written_at(0), 0x00000000u);
+  EXPECT_EQ(p.written_at(1), 0xFFFFFFFFu);
+  EXPECT_EQ(p.written_at(2), 0x00000000u);
+  EXPECT_EQ(p.written_at(1000001), 0xFFFFFFFFu);
+}
+
+TEST(Pattern, AlternatingExpectedLagsWritten) {
+  const Pattern p(PatternKind::kAlternating);
+  for (std::uint64_t i = 1; i < 10; ++i) {
+    EXPECT_EQ(p.expected_at(i), p.written_at(i - 1));
+    EXPECT_EQ(p.expected_at(i) ^ p.written_at(i), 0xFFFFFFFFu);
+  }
+}
+
+TEST(Pattern, CounterStartsAtOneAndIncrements) {
+  // Section II-B: "we start with 0x00000001 and then keep increasing by 1".
+  const Pattern p(PatternKind::kCounter);
+  EXPECT_EQ(p.written_at(0), 0x00000001u);
+  EXPECT_EQ(p.written_at(1), 0x00000002u);
+  EXPECT_EQ(p.written_at(0x16ba), 0x000016bbu);  // a Table I expected value
+  EXPECT_EQ(p.expected_at(0x16bb), 0x000016bbu);
+}
+
+TEST(Pattern, CounterWraps) {
+  const Pattern p(PatternKind::kCounter);
+  EXPECT_EQ(p.written_at(0xFFFFFFFFull), 0x00000000u);
+  EXPECT_EQ(p.written_at(0x100000000ull), 0x00000001u);
+}
+
+TEST(Pattern, ExpectedAtZeroIsInvalid) {
+  const Pattern p(PatternKind::kAlternating);
+  EXPECT_THROW((void)p.expected_at(0), ContractViolation);
+}
+
+TEST(Pattern, KindNames) {
+  EXPECT_STREQ(to_string(PatternKind::kAlternating), "alternating");
+  EXPECT_STREQ(to_string(PatternKind::kCounter), "counter");
+}
+
+}  // namespace
+}  // namespace unp::scanner

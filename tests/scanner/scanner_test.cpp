@@ -1,0 +1,156 @@
+#include "scanner/scanner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "scanner/alloc_policy.hpp"
+#include "scanner/real_backend.hpp"
+#include "scanner/sim_backend.hpp"
+
+namespace unp::scanner {
+namespace {
+
+struct Fixture {
+  RealMemoryBackend backend{1 << 16};
+  telemetry::NodeLog log;
+  NodeLogSink sink{log};
+  ManualClock clock{from_civil_utc({2015, 5, 1, 10, 0, 0})};
+  FixedProbe probe{34.5};
+  MemoryScanner scanner{backend, sink, clock, probe,
+                        {cluster::NodeId{7, 3}, PatternKind::kAlternating, 0}};
+};
+
+TEST(Scanner, StartLogsStartRecord) {
+  Fixture f;
+  f.scanner.start();
+  ASSERT_EQ(f.log.starts().size(), 1u);
+  const auto& start = f.log.starts()[0];
+  EXPECT_EQ(start.node, (cluster::NodeId{7, 3}));
+  EXPECT_EQ(start.allocated_bytes, (1u << 16));
+  EXPECT_DOUBLE_EQ(start.temperature_c, 34.5);
+  EXPECT_EQ(start.time, f.clock.now());
+}
+
+TEST(Scanner, CleanStepsLogNoErrors) {
+  Fixture f;
+  f.scanner.start();
+  for (int i = 0; i < 10; ++i) {
+    f.clock.advance(60);
+    EXPECT_TRUE(f.scanner.step());
+  }
+  EXPECT_EQ(f.scanner.iterations(), 10u);
+  EXPECT_EQ(f.scanner.errors_logged(), 0u);
+  EXPECT_TRUE(f.log.error_runs().empty());
+}
+
+TEST(Scanner, CorruptionProducesFullErrorRecord) {
+  Fixture f;
+  f.scanner.start();
+  f.clock.advance(60);
+  f.scanner.step();  // now 0xFFFFFFFF is stored
+  f.backend.poke(321, 0xFFFF7BFFu);
+  f.clock.advance(60);
+  f.scanner.step();
+  ASSERT_EQ(f.log.error_runs().size(), 1u);
+  const auto& err = f.log.error_runs()[0].first;
+  EXPECT_EQ(err.virtual_address, 321u * 4);
+  EXPECT_EQ(err.expected, 0xFFFFFFFFu);
+  EXPECT_EQ(err.actual, 0xFFFF7BFFu);
+  EXPECT_EQ(err.physical_page, (321u * 4) >> 12);
+  EXPECT_DOUBLE_EQ(err.temperature_c, 34.5);
+  EXPECT_EQ(err.time, f.clock.now());
+  EXPECT_EQ(err.flipped_bits(), 2);
+}
+
+TEST(Scanner, RequestStopEndsRun) {
+  Fixture f;
+  f.scanner.start();
+  f.scanner.request_stop();
+  f.scanner.run(1000000);
+  EXPECT_EQ(f.scanner.iterations(), 1u);  // the in-flight step completes
+}
+
+TEST(Scanner, FinishLogsEnd) {
+  Fixture f;
+  f.scanner.start();
+  f.scanner.run(5);
+  f.clock.advance(500);
+  f.scanner.finish();
+  ASSERT_EQ(f.log.ends().size(), 1u);
+  EXPECT_EQ(f.log.ends()[0].time, f.clock.now());
+  // finish() closes the session; a second finish is a contract violation.
+  EXPECT_THROW(f.scanner.finish(), ContractViolation);
+}
+
+TEST(Scanner, StepBeforeStartIsInvalid) {
+  Fixture f;
+  EXPECT_THROW((void)f.scanner.step(), ContractViolation);
+}
+
+TEST(Scanner, CounterPatternChecksPreviousValue) {
+  RealMemoryBackend backend(1 << 12);
+  telemetry::NodeLog log;
+  NodeLogSink sink(log);
+  ManualClock clock;
+  FixedProbe probe;
+  MemoryScanner scanner(backend, sink, clock, probe,
+                        {cluster::NodeId{1, 1}, PatternKind::kCounter, 0});
+  scanner.start();
+  scanner.run(10);  // stored value is now 11 (0x0B)
+  backend.poke(5, 0x0000000Au);  // one increment behind
+  scanner.step();
+  ASSERT_EQ(log.error_runs().size(), 1u);
+  EXPECT_EQ(log.error_runs()[0].first.expected, 0x0000000Bu);
+  EXPECT_EQ(log.error_runs()[0].first.actual, 0x0000000Au);
+}
+
+TEST(Scanner, WorksOverSimulatedBackend) {
+  SimulatedMemoryBackend backend(1ULL << 28);
+  telemetry::NodeLog log;
+  NodeLogSink sink(log);
+  ManualClock clock;
+  FixedProbe probe(telemetry::kNoTemperature);
+  MemoryScanner scanner(backend, sink, clock, probe,
+                        {cluster::NodeId{0, 1}, PatternKind::kAlternating, 0});
+  scanner.start();
+  scanner.step();  // stores 0xFFFFFFFF
+  backend.inject_transient(99, dram::CellLeakModel::all_discharge(0x00000300u));
+  scanner.step();
+  EXPECT_EQ(scanner.errors_logged(), 1u);
+  EXPECT_EQ(log.error_runs()[0].first.actual, 0xFFFFFCFFu);
+  // No sensor: record carries the sentinel.
+  EXPECT_FALSE(telemetry::has_temperature(log.error_runs()[0].first.temperature_c));
+}
+
+TEST(AllocPolicy, FullAllocationFirstTry) {
+  const AllocPolicy policy;
+  const std::uint64_t got = negotiate_allocation(
+      policy, [](std::uint64_t) { return true; });
+  EXPECT_EQ(got, policy.target_bytes);
+}
+
+TEST(AllocPolicy, BacksOffInTenMegabyteSteps) {
+  const AllocPolicy policy;
+  std::vector<std::uint64_t> attempts;
+  const std::uint64_t got = negotiate_allocation(policy, [&](std::uint64_t b) {
+    attempts.push_back(b);
+    return b <= policy.target_bytes - 3 * policy.step_bytes;
+  });
+  EXPECT_EQ(got, policy.target_bytes - 3 * policy.step_bytes);
+  ASSERT_EQ(attempts.size(), 4u);
+  EXPECT_EQ(attempts[0] - attempts[1], policy.step_bytes);
+}
+
+TEST(AllocPolicy, TotalFailureReturnsZero) {
+  const AllocPolicy policy{.target_bytes = 50 << 20, .step_bytes = 10 << 20};
+  int attempts = 0;
+  const std::uint64_t got = negotiate_allocation(policy, [&](std::uint64_t) {
+    ++attempts;
+    return false;
+  });
+  EXPECT_EQ(got, 0u);
+  EXPECT_EQ(attempts, 5);
+}
+
+}  // namespace
+}  // namespace unp::scanner

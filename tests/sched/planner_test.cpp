@@ -1,0 +1,164 @@
+#include "sched/planner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace unp::sched {
+namespace {
+
+cluster::AvailabilityTimeline full_window() {
+  const CampaignWindow w;
+  return cluster::AvailabilityTimeline({{w.start, w.end}});
+}
+
+TEST(Planner, SessionsWithinAvailabilityAndOrdered) {
+  const ScanPlanner planner;
+  const ScanPlan plan = planner.plan({10, 4}, full_window());
+  ASSERT_FALSE(plan.sessions.empty());
+  const CampaignWindow w;
+  TimePoint previous_end = w.start;
+  for (const auto& s : plan.sessions) {
+    EXPECT_GE(s.window.start, previous_end);
+    EXPECT_GT(s.window.end, s.window.start);
+    EXPECT_LE(s.window.end, w.end);
+    previous_end = s.window.end;
+  }
+}
+
+TEST(Planner, SessionsRespectOutages) {
+  const ScanPlanner planner;
+  const CampaignWindow w;
+  const TimePoint gap_start = from_civil_utc({2015, 6, 1, 0, 0, 0});
+  const TimePoint gap_end = from_civil_utc({2015, 7, 1, 0, 0, 0});
+  cluster::AvailabilityTimeline timeline({{w.start, w.end}});
+  timeline.subtract({gap_start, gap_end});
+  const ScanPlan plan = planner.plan({10, 4}, timeline);
+  for (const auto& s : plan.sessions) {
+    EXPECT_TRUE(s.window.end <= gap_start || s.window.start >= gap_end);
+  }
+}
+
+TEST(Planner, DeterministicPerNode) {
+  const ScanPlanner planner;
+  const ScanPlan a = planner.plan({3, 7}, full_window());
+  const ScanPlan b = planner.plan({3, 7}, full_window());
+  ASSERT_EQ(a.sessions.size(), b.sessions.size());
+  for (std::size_t i = 0; i < a.sessions.size(); ++i) {
+    EXPECT_EQ(a.sessions[i].window, b.sessions[i].window);
+    EXPECT_EQ(a.sessions[i].pattern, b.sessions[i].pattern);
+    EXPECT_EQ(a.sessions[i].allocated_bytes, b.sessions[i].allocated_bytes);
+  }
+}
+
+TEST(Planner, DifferentNodesDiffer) {
+  const ScanPlanner planner;
+  const ScanPlan a = planner.plan({3, 7}, full_window());
+  const ScanPlan b = planner.plan({3, 8}, full_window());
+  EXPECT_NE(a.sessions.size(), 0u);
+  EXPECT_TRUE(a.sessions.size() != b.sessions.size() ||
+              a.sessions[0].window.start != b.sessions[0].window.start);
+}
+
+TEST(Planner, ScannedHoursNearIdleFraction) {
+  // Over the whole campaign the idle duty cycle averages roughly one half;
+  // a node should scan ~40-60% of the wall-clock.
+  const ScanPlanner planner;
+  const ScanPlan plan = planner.plan({10, 4}, full_window());
+  const double wall_hours =
+      static_cast<double>(CampaignWindow{}.duration_seconds()) / kSecondsPerHour;
+  EXPECT_GT(plan.scanned_hours(), 0.30 * wall_hours);
+  EXPECT_LT(plan.scanned_hours(), 0.70 * wall_hours);
+}
+
+TEST(Planner, AugustScansMoreThanMay) {
+  const ScanPlanner planner;
+  double august = 0.0, may = 0.0;
+  for (int blade = 10; blade < 25; ++blade) {
+    const ScanPlan plan = planner.plan({blade, 4}, full_window());
+    for (const auto& s : plan.sessions) {
+      const int month = to_civil_utc(s.window.start).month;
+      const double h = s.hours();
+      if (month == 8) august += h;
+      if (month == 5) may += h;
+    }
+  }
+  EXPECT_GT(august, may * 1.3);  // vacations leave nodes idle (Fig 9)
+}
+
+TEST(Planner, MostSessionsAlternatingPattern) {
+  const ScanPlanner planner;
+  int alternating = 0, counter = 0;
+  for (int blade = 0; blade < 10; ++blade) {
+    const ScanPlan plan = planner.plan({blade, 2}, full_window());
+    for (const auto& s : plan.sessions) {
+      (s.pattern == scanner::PatternKind::kAlternating ? alternating : counter)++;
+    }
+  }
+  EXPECT_GT(alternating, 3 * counter);  // "most of the study" (Section II-B)
+  EXPECT_GT(counter, 0);
+}
+
+TEST(Planner, AllocationsAreThreeGiBOrBackedOff) {
+  const ScanPlanner planner;
+  const ScanPlan plan = planner.plan({20, 6}, full_window());
+  int full = 0, reduced = 0;
+  for (const auto& s : plan.sessions) {
+    EXPECT_GT(s.allocated_bytes, 0u);
+    EXPECT_LE(s.allocated_bytes, cluster::kScannableBytes);
+    EXPECT_EQ((cluster::kScannableBytes - s.allocated_bytes) % (10ULL << 20), 0u)
+        << "back-off must be whole 10 MB steps";
+    (s.allocated_bytes == cluster::kScannableBytes ? full : reduced)++;
+  }
+  EXPECT_GT(full, reduced);  // the full allocation usually succeeds
+}
+
+TEST(Planner, PassPeriodScalesWithAllocation) {
+  const ScanPlanner planner;
+  const ScanPlan plan = planner.plan({20, 6}, full_window());
+  for (const auto& s : plan.sessions) {
+    const auto expected = static_cast<std::int64_t>(
+        static_cast<double>(planner.config().base_pass_seconds) *
+        static_cast<double>(s.allocated_bytes) /
+        static_cast<double>(cluster::kScannableBytes));
+    EXPECT_NEAR(static_cast<double>(s.pass_period_s),
+                static_cast<double>(std::max<std::int64_t>(1, expected)), 1.0);
+  }
+}
+
+TEST(Planner, SessionIterationsMatchWindow) {
+  ScanSession s;
+  s.window = {0, 1000};
+  s.pass_period_s = 75;
+  EXPECT_EQ(s.iterations(), 13u);
+  EXPECT_NEAR(s.hours(), 1000.0 / 3600.0, 1e-12);
+}
+
+TEST(Planner, SessionAtLookup) {
+  ScanPlan plan;
+  plan.sessions.push_back({{100, 200}, scanner::PatternKind::kAlternating,
+                           1000, 75, false});
+  plan.sessions.push_back({{300, 400}, scanner::PatternKind::kAlternating,
+                           1000, 75, false});
+  EXPECT_EQ(plan.session_at(150), &plan.sessions[0]);
+  EXPECT_EQ(plan.session_at(250), nullptr);
+  EXPECT_EQ(plan.session_at(300), &plan.sessions[1]);
+  EXPECT_EQ(plan.session_at(400), nullptr);
+}
+
+TEST(Planner, EndLostSessionsExcludedFromHours) {
+  ScanPlan plan;
+  plan.sessions.push_back({{0, 3600}, scanner::PatternKind::kAlternating,
+                           3ULL << 30, 75, false});
+  plan.sessions.push_back({{7200, 10800}, scanner::PatternKind::kAlternating,
+                           3ULL << 30, 75, true});  // END lost
+  EXPECT_DOUBLE_EQ(plan.scanned_hours(), 1.0);
+}
+
+TEST(Planner, EmptyAvailabilityYieldsEmptyPlan) {
+  const ScanPlanner planner;
+  const ScanPlan plan = planner.plan({1, 1}, cluster::AvailabilityTimeline{});
+  EXPECT_TRUE(plan.sessions.empty());
+  EXPECT_DOUBLE_EQ(plan.scanned_hours(), 0.0);
+}
+
+}  // namespace
+}  // namespace unp::sched

@@ -1,0 +1,117 @@
+#include "sim/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/extraction.hpp"
+
+namespace unp::sim {
+namespace {
+
+CampaignConfig short_config(std::uint64_t seed = 5) {
+  CampaignConfig config;
+  config.seed = seed;
+  config.window.start = from_civil_utc({2015, 9, 1, 0, 0, 0});
+  config.window.end = from_civil_utc({2015, 9, 15, 0, 0, 0});
+  return config;
+}
+
+TEST(Campaign, DeterministicAcrossRuns) {
+  const CampaignResult a = run_campaign(short_config());
+  const CampaignResult b = run_campaign(short_config());
+  EXPECT_EQ(a.ground_truth.size(), b.ground_truth.size());
+  EXPECT_DOUBLE_EQ(a.total_scanned_hours(), b.total_scanned_hours());
+  EXPECT_EQ(a.archive.total_raw_errors(), b.archive.total_raw_errors());
+}
+
+TEST(Campaign, DeterministicAcrossThreadCounts) {
+  const CampaignResult a = run_campaign(short_config(), 1);
+  const CampaignResult b = run_campaign(short_config(), 4);
+  EXPECT_EQ(a.archive.total_raw_errors(), b.archive.total_raw_errors());
+  EXPECT_DOUBLE_EQ(a.total_terabyte_hours(), b.total_terabyte_hours());
+  ASSERT_EQ(a.ground_truth.size(), b.ground_truth.size());
+  for (std::size_t i = 0; i < a.ground_truth.size(); ++i) {
+    EXPECT_EQ(a.ground_truth[i].time, b.ground_truth[i].time);
+    EXPECT_EQ(cluster::node_index(a.ground_truth[i].node),
+              cluster::node_index(b.ground_truth[i].node));
+  }
+}
+
+TEST(Campaign, SeedChangesOutcome) {
+  const CampaignResult a = run_campaign(short_config(1));
+  const CampaignResult b = run_campaign(short_config(2));
+  EXPECT_NE(a.archive.total_raw_errors(), b.archive.total_raw_errors());
+}
+
+TEST(Campaign, AccountingCoversMonitoredFleet) {
+  const CampaignResult result = run_campaign(short_config());
+  EXPECT_EQ(result.accounting.size(), 923u);
+  double hours = 0.0;
+  for (const auto& acc : result.accounting) {
+    EXPECT_GE(acc.scanned_hours, 0.0);
+    hours += acc.scanned_hours;
+  }
+  EXPECT_NEAR(hours, result.total_scanned_hours(), 1e-6);
+  EXPECT_GT(hours, 0.0);
+}
+
+TEST(Campaign, ArchiveAgreesWithAccounting) {
+  // Hours derived from the telemetry (START/END pairs) must track the
+  // planner's ground-truth hours (up to lost-END sessions).
+  const CampaignResult result = run_campaign(short_config());
+  const double archive_hours = result.archive.total_monitored_hours();
+  EXPECT_NEAR(archive_hours, result.total_scanned_hours(),
+              0.02 * result.total_scanned_hours());
+}
+
+TEST(Campaign, LoginAndDeadNodesNeverLog) {
+  const CampaignResult result = run_campaign(short_config());
+  for (int i = 0; i < cluster::kStudyNodeSlots; ++i) {
+    const cluster::NodeId node = cluster::node_from_index(i);
+    if (!result.topology.is_monitored(node)) {
+      EXPECT_EQ(result.archive.log(node).starts().size(), 0u);
+      EXPECT_EQ(result.archive.log(node).raw_error_count(), 0u);
+    }
+  }
+}
+
+TEST(Campaign, GroundTruthSortedAndOnMonitoredNodes) {
+  const CampaignResult result = run_campaign(short_config());
+  for (std::size_t i = 0; i < result.ground_truth.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LE(result.ground_truth[i - 1].time, result.ground_truth[i].time);
+    }
+    EXPECT_TRUE(result.topology.is_monitored(result.ground_truth[i].node));
+  }
+}
+
+TEST(Campaign, SpecialOutagesSilenceDegradingNodeInDecember) {
+  CampaignConfig config;  // full campaign needed for the December window
+  config.seed = 3;
+  const CampaignResult result = run_campaign(config);
+  const cluster::NodeId degrading = config.faults.degrading.node;
+  const auto& log = result.archive.log(degrading);
+  int december_sessions = 0;
+  for (const auto& start : log.starts()) {
+    const CivilDateTime c = to_civil_utc(start.time);
+    if (c.year == 2015 && c.month == 12) ++december_sessions;
+    // No session may begin inside the unmonitored stretch.
+    EXPECT_FALSE(start.time >= from_civil_utc({2015, 11, 26, 12, 0, 0}) &&
+                 start.time < from_civil_utc({2015, 12, 12, 9, 0, 0}))
+        << format_iso8601(start.time);
+  }
+  EXPECT_GT(december_sessions, 0);  // the short re-test window
+}
+
+TEST(Campaign, PathologicalNodeStopsAtRemoval) {
+  CampaignConfig config;
+  config.seed = 3;
+  const CampaignResult result = run_campaign(config);
+  const auto& log = result.archive.log(config.faults.pathological.node);
+  for (const auto& start : log.starts()) {
+    EXPECT_LT(start.time, config.faults.pathological.removal);
+  }
+  EXPECT_GT(log.raw_error_count(), 1000000u);
+}
+
+}  // namespace
+}  // namespace unp::sim

@@ -1,0 +1,247 @@
+#include "sim/session_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace unp::sim {
+namespace {
+
+using faults::FaultEvent;
+using faults::Mechanism;
+using faults::Persistence;
+
+const TimePoint kT0 = from_civil_utc({2015, 5, 1, 0, 0, 0});
+
+sched::ScanPlan one_session(TimePoint start, std::int64_t seconds,
+                            scanner::PatternKind pattern =
+                                scanner::PatternKind::kAlternating,
+                            std::int64_t period = 100) {
+  sched::ScanPlan plan;
+  sched::ScanSession s;
+  s.window = {start, start + seconds};
+  s.pattern = pattern;
+  s.allocated_bytes = cluster::kScannableBytes;
+  s.pass_period_s = period;
+  plan.sessions.push_back(s);
+  return plan;
+}
+
+FaultEvent transient_at(TimePoint t, std::uint64_t word, Word mask,
+                        Word stuck = 0) {
+  FaultEvent ev;
+  ev.time = t;
+  ev.node = {4, 4};
+  ev.mechanism = Mechanism::kBackgroundTransient;
+  ev.persistence = Persistence::kTransient;
+  ev.words.push_back({word, dram::WordCorruption{mask, stuck}});
+  return ev;
+}
+
+SessionSimConfig config_with_sensors_always_on() {
+  SessionSimConfig config;
+  config.sensors_online = 0;
+  return config;
+}
+
+TEST(SessionSim, StartAndEndRecords) {
+  const auto plan = one_session(kT0, 1000);
+  const auto log = simulate_node(SessionSimConfig{}, {4, 4}, plan, {}, false, 1);
+  ASSERT_EQ(log.starts().size(), 1u);
+  ASSERT_EQ(log.ends().size(), 1u);
+  EXPECT_EQ(log.starts()[0].time, kT0);
+  EXPECT_EQ(log.ends()[0].time, kT0 + 1000);
+  EXPECT_EQ(log.starts()[0].allocated_bytes, cluster::kScannableBytes);
+}
+
+TEST(SessionSim, EndLostOmitsEnd) {
+  auto plan = one_session(kT0, 1000);
+  plan.sessions[0].end_lost = true;
+  const auto log = simulate_node(SessionSimConfig{}, {4, 4}, plan, {}, false, 1);
+  EXPECT_EQ(log.starts().size(), 1u);
+  EXPECT_TRUE(log.ends().empty());
+}
+
+TEST(SessionSim, AllocFailuresLogged) {
+  auto plan = one_session(kT0, 1000);
+  plan.failures.push_back({kT0 + 5000});
+  const auto log = simulate_node(SessionSimConfig{}, {4, 4}, plan, {}, false, 1);
+  ASSERT_EQ(log.alloc_fails().size(), 1u);
+  EXPECT_EQ(log.alloc_fails()[0].time, kT0 + 5000);
+}
+
+TEST(SessionSim, DischargeDetectedAtNextCheckOfVisiblePhase) {
+  // Fault at t0+150 corrupts the value written at iteration 1 (0xFFFFFFFF,
+  // stored during [100, 200)); the check at t0+200 sees it.
+  const auto plan = one_session(kT0, 1000);
+  const auto ev = transient_at(kT0 + 150, 42, 0x00000011u);
+  const auto log =
+      simulate_node(SessionSimConfig{}, {4, 4}, plan, {ev}, false, 1);
+  ASSERT_EQ(log.error_runs().size(), 1u);
+  const auto& err = log.error_runs()[0].first;
+  EXPECT_EQ(err.time, kT0 + 200);
+  EXPECT_EQ(err.expected, 0xFFFFFFFFu);
+  EXPECT_EQ(err.actual, 0xFFFFFFEEu);
+  EXPECT_EQ(err.virtual_address, 42u * 4);
+}
+
+TEST(SessionSim, DischargeDuringZeroPhaseInvisible) {
+  // Fault at t0+50: iteration 0 wrote 0x00000000; discharging cells that
+  // hold 0 changes nothing, and the next write repairs them silently.
+  const auto plan = one_session(kT0, 1000);
+  const auto ev = transient_at(kT0 + 50, 42, 0x00000011u);
+  const auto log =
+      simulate_node(SessionSimConfig{}, {4, 4}, plan, {ev}, false, 1);
+  EXPECT_TRUE(log.error_runs().empty());
+}
+
+TEST(SessionSim, ChargeGainVisibleInZeroPhase) {
+  const auto plan = one_session(kT0, 1000);
+  const auto ev = transient_at(kT0 + 50, 42, 0x1u, 0x1u);
+  const auto log =
+      simulate_node(SessionSimConfig{}, {4, 4}, plan, {ev}, false, 1);
+  ASSERT_EQ(log.error_runs().size(), 1u);
+  EXPECT_EQ(log.error_runs()[0].first.expected, 0x00000000u);
+  EXPECT_EQ(log.error_runs()[0].first.actual, 0x00000001u);
+  EXPECT_EQ(log.error_runs()[0].first.time, kT0 + 100);
+}
+
+TEST(SessionSim, EventAfterLastCheckIsMissed) {
+  const auto plan = one_session(kT0, 1000);  // checks at +100..+900
+  const auto ev = transient_at(kT0 + 950, 42, 0xFFu);
+  const auto log =
+      simulate_node(SessionSimConfig{}, {4, 4}, plan, {ev}, false, 1);
+  EXPECT_TRUE(log.error_runs().empty());
+}
+
+TEST(SessionSim, EventOutsideSessionsIsMissed) {
+  const auto plan = one_session(kT0, 1000);
+  const auto ev = transient_at(kT0 + 100000, 42, 0xFFu);
+  const auto log =
+      simulate_node(SessionSimConfig{}, {4, 4}, plan, {ev}, false, 1);
+  EXPECT_TRUE(log.error_runs().empty());
+}
+
+TEST(SessionSim, MultiWordEventSharesTimestamp) {
+  const auto plan = one_session(kT0, 1000);
+  FaultEvent ev = transient_at(kT0 + 150, 10, 0x1u);
+  ev.words.push_back({20, dram::WordCorruption{0x2u, 0}});
+  ev.words.push_back({30, dram::WordCorruption{0x4u, 0}});
+  const auto log =
+      simulate_node(SessionSimConfig{}, {4, 4}, plan, {ev}, false, 1);
+  ASSERT_EQ(log.error_runs().size(), 3u);
+  for (const auto& run : log.error_runs()) {
+    EXPECT_EQ(run.first.time, kT0 + 200);  // the simultaneity signature
+  }
+}
+
+TEST(SessionSim, StuckFaultProducesRunEveryOtherCheck) {
+  // Session of 2000 s, checks at +100..+1900 (19 checks).  A stuck-at-0
+  // cell from the session start is visible at even checks (expect
+  // 0xFFFFFFFF): 200, 400, ..., 1800 -> 9 logs, period 200.
+  const auto plan = one_session(kT0, 2000);
+  FaultEvent ev;
+  ev.time = kT0;
+  ev.node = {4, 4};
+  ev.persistence = Persistence::kStuck;
+  ev.active_until = kT0 + 100000;
+  ev.words.push_back({7, dram::CellLeakModel::all_discharge(0x1u)});
+  const auto log =
+      simulate_node(SessionSimConfig{}, {4, 4}, plan, {ev}, false, 1);
+  ASSERT_EQ(log.error_runs().size(), 1u);
+  const auto& run = log.error_runs()[0];
+  EXPECT_EQ(run.first.time, kT0 + 200);
+  EXPECT_EQ(run.period_s, 200);
+  EXPECT_EQ(run.count, 9u);
+  EXPECT_EQ(run.first.expected, 0xFFFFFFFFu);
+  EXPECT_EQ(run.first.actual, 0xFFFFFFFEu);
+}
+
+TEST(SessionSim, StuckMixedDirectionsYieldTwoPhaseRuns) {
+  // One cell stuck at 0 and one stuck at 1 in the same word: both phases
+  // are corrupted, so two interleaved runs appear.
+  const auto plan = one_session(kT0, 2000);
+  FaultEvent ev;
+  ev.time = kT0;
+  ev.node = {4, 4};
+  ev.persistence = Persistence::kStuck;
+  ev.active_until = kT0 + 100000;
+  ev.words.push_back({7, dram::WordCorruption{0x3u, 0x2u}});
+  const auto log =
+      simulate_node(SessionSimConfig{}, {4, 4}, plan, {ev}, false, 1);
+  ASSERT_EQ(log.error_runs().size(), 2u);
+  std::uint64_t total = 0;
+  for (const auto& run : log.error_runs()) total += run.count;
+  EXPECT_EQ(total, 19u);  // every check reports something
+}
+
+TEST(SessionSim, StuckFaultEndsAtActiveUntil) {
+  const auto plan = one_session(kT0, 2000);
+  FaultEvent ev;
+  ev.time = kT0;
+  ev.node = {4, 4};
+  ev.persistence = Persistence::kStuck;
+  ev.active_until = kT0 + 500;  // heals mid-session
+  ev.words.push_back({7, dram::CellLeakModel::all_discharge(0x1u)});
+  const auto log =
+      simulate_node(SessionSimConfig{}, {4, 4}, plan, {ev}, false, 1);
+  ASSERT_EQ(log.error_runs().size(), 1u);
+  EXPECT_EQ(log.error_runs()[0].count, 2u);  // checks at 200 and 400 only
+}
+
+TEST(SessionSim, StuckFaultSpansSessions) {
+  sched::ScanPlan plan = one_session(kT0, 1000);
+  plan.sessions.push_back(plan.sessions[0]);
+  plan.sessions[1].window = {kT0 + 5000, kT0 + 6000};
+  FaultEvent ev;
+  ev.time = kT0;
+  ev.node = {4, 4};
+  ev.persistence = Persistence::kStuck;
+  ev.active_until = kT0 + 100000;
+  ev.words.push_back({7, dram::CellLeakModel::all_discharge(0x1u)});
+  const auto log =
+      simulate_node(SessionSimConfig{}, {4, 4}, plan, {ev}, false, 1);
+  EXPECT_EQ(log.error_runs().size(), 2u);  // one run per session
+}
+
+TEST(SessionSim, CounterSessionDetectsCollidingValues) {
+  // Counter pattern with exact per-check evaluation: a stuck-at-0 low bit
+  // collides with every odd counter value.
+  const auto plan =
+      one_session(kT0, 1000, scanner::PatternKind::kCounter);
+  FaultEvent ev;
+  ev.time = kT0;
+  ev.node = {4, 4};
+  ev.persistence = Persistence::kStuck;
+  ev.active_until = kT0 + 100000;
+  ev.words.push_back({7, dram::CellLeakModel::all_discharge(0x1u)});
+  const auto log =
+      simulate_node(SessionSimConfig{}, {4, 4}, plan, {ev}, false, 1);
+  // Checks i=1..9 expect counter values 1..9; odd values 1,3,5,7,9 collide.
+  ASSERT_EQ(log.error_runs().size(), 5u);
+  EXPECT_EQ(log.error_runs()[0].first.expected, 0x1u);
+  EXPECT_EQ(log.error_runs()[0].first.actual, 0x0u);
+}
+
+TEST(SessionSim, TemperatureOnlyAfterSensorsOnline) {
+  SessionSimConfig config;  // sensors online April 2015
+  const TimePoint before = from_civil_utc({2015, 3, 1, 0, 0, 0});
+  const TimePoint after = from_civil_utc({2015, 6, 1, 0, 0, 0});
+  const auto plan_before = one_session(before, 1000);
+  const auto plan_after = one_session(after, 1000);
+  const auto log_before =
+      simulate_node(config, {4, 4}, plan_before, {}, false, 1);
+  const auto log_after = simulate_node(config, {4, 4}, plan_after, {}, false, 1);
+  EXPECT_FALSE(telemetry::has_temperature(log_before.starts()[0].temperature_c));
+  EXPECT_TRUE(telemetry::has_temperature(log_after.starts()[0].temperature_c));
+}
+
+TEST(SessionSim, OverheatingNodesRunHot) {
+  const auto config = config_with_sensors_always_on();
+  const auto plan = one_session(kT0, 1000);
+  const auto hot = simulate_node(config, {4, 12}, plan, {}, true, 1);
+  const auto cool = simulate_node(config, {4, 4}, plan, {}, false, 1);
+  EXPECT_GT(hot.starts()[0].temperature_c,
+            cool.starts()[0].temperature_c + 15.0);
+}
+
+}  // namespace
+}  // namespace unp::sim

@@ -1,0 +1,166 @@
+#include "telemetry/binary_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace unp::telemetry {
+namespace {
+
+TEST(Varint, RoundTripKnownValues) {
+  for (std::uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 300ULL, 16383ULL,
+                          16384ULL, ~0ULL, 1ULL << 63}) {
+    std::string buf;
+    put_varint(buf, v);
+    std::size_t pos = 0;
+    EXPECT_EQ(get_varint(buf, pos), v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(Varint, Compactness) {
+  std::string buf;
+  put_varint(buf, 0);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  put_varint(buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  put_varint(buf, 128);
+  EXPECT_EQ(buf.size(), 2u);
+}
+
+TEST(Varint, TruncationThrows) {
+  std::string buf;
+  put_varint(buf, 1ULL << 40);
+  buf.pop_back();
+  std::size_t pos = 0;
+  EXPECT_THROW((void)get_varint(buf, pos), ContractViolation);
+}
+
+TEST(Varint, RoundTripRandom) {
+  RngStream rng(3);
+  std::string buf;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.next_u64() >> rng.uniform_u64(64);
+    values.push_back(v);
+    put_varint(buf, v);
+  }
+  std::size_t pos = 0;
+  for (const std::uint64_t v : values) EXPECT_EQ(get_varint(buf, pos), v);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(ZigZag, RoundTrip) {
+  for (std::int64_t v :
+       std::initializer_list<std::int64_t>{
+           0, 1, -1, 1234567, -1234567,
+           std::numeric_limits<std::int64_t>::max(),
+           std::numeric_limits<std::int64_t>::min()}) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  }
+  // Small magnitudes map to small codes (the point of zigzag).
+  EXPECT_LE(zigzag_encode(-1), 2u);
+  EXPECT_LE(zigzag_encode(1), 2u);
+}
+
+NodeLog sample_log(cluster::NodeId node) {
+  NodeLog log;
+  log.add_start({from_civil_utc({2015, 3, 1, 1, 0, 0}), node, 3ULL << 30, 31.5});
+  log.add_start({from_civil_utc({2015, 3, 2, 1, 0, 0}), node, 3ULL << 30,
+                 kNoTemperature});
+  log.add_end({from_civil_utc({2015, 3, 1, 9, 30, 0}), node, 32.25});
+  log.add_alloc_fail({from_civil_utc({2015, 3, 2, 4, 0, 0}), node});
+  ErrorRecord err;
+  err.time = from_civil_utc({2015, 3, 1, 2, 0, 0});
+  err.node = node;
+  err.virtual_address = 0x12345678;
+  err.expected = 0xFFFFFFFFu;
+  err.actual = 0xFFFF7BFFu;
+  err.temperature_c = 34.125;
+  err.physical_page = 0x12345;
+  log.add_error(err);
+  err.time += 12345;
+  log.add_error_run({err, 150, 42});
+  return log;
+}
+
+TEST(BinaryCodec, NodeLogRoundTripExact) {
+  const NodeLog original = sample_log({7, 3});
+  const std::string bytes = encode_node_log(original);
+  std::size_t pos = 0;
+  const NodeLog parsed = decode_node_log(bytes, pos, {7, 3});
+  EXPECT_EQ(pos, bytes.size());
+  EXPECT_EQ(parsed.starts(), original.starts());
+  EXPECT_EQ(parsed.ends(), original.ends());
+  EXPECT_EQ(parsed.alloc_fails(), original.alloc_fails());
+  EXPECT_EQ(parsed.error_runs(), original.error_runs());
+}
+
+TEST(BinaryCodec, ArchiveRoundTrip) {
+  CampaignArchive archive;
+  archive.log({7, 3}) = sample_log({7, 3});
+  archive.log({62, 14}) = sample_log({62, 14});
+  const std::string bytes = encode_archive(archive);
+  const CampaignArchive parsed = decode_archive(bytes);
+  EXPECT_EQ(parsed.window().start, archive.window().start);
+  EXPECT_EQ(parsed.log({7, 3}).error_runs(), archive.log({7, 3}).error_runs());
+  EXPECT_EQ(parsed.log({62, 14}).starts(), archive.log({62, 14}).starts());
+  EXPECT_EQ(parsed.log({0, 0}).starts().size(), 0u);
+  EXPECT_EQ(parsed.total_raw_errors(), archive.total_raw_errors());
+}
+
+TEST(BinaryCodec, RejectsCorruptHeader) {
+  CampaignArchive archive;
+  archive.log({1, 1}) = sample_log({1, 1});
+  std::string bytes = encode_archive(archive);
+  std::string bad = bytes;
+  bad[0] = 'X';
+  EXPECT_THROW((void)decode_archive(bad), ContractViolation);
+  bad = bytes;
+  bad[4] = 99;  // unknown version
+  EXPECT_THROW((void)decode_archive(bad), ContractViolation);
+  bad = bytes.substr(0, bytes.size() - 3);  // truncated
+  EXPECT_THROW((void)decode_archive(bad), ContractViolation);
+}
+
+TEST(BinaryCodec, FileSaveLoad) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "unp_archive_test.bin").string();
+  CampaignArchive archive;
+  archive.log({5, 5}) = sample_log({5, 5});
+  save_archive(archive, path);
+  const CampaignArchive loaded = load_archive(path);
+  EXPECT_EQ(loaded.log({5, 5}).error_runs(), archive.log({5, 5}).error_runs());
+  std::filesystem::remove(path);
+}
+
+TEST(BinaryCodec, MissingFileThrows) {
+  EXPECT_THROW((void)load_archive("/nonexistent/unp.bin"), ContractViolation);
+}
+
+TEST(BinaryCodec, DeltaEncodingIsCompact) {
+  // 1000 error records one pass apart should cost only a few bytes each.
+  NodeLog log;
+  ErrorRecord err;
+  err.node = {1, 1};
+  err.expected = 0xFFFFFFFFu;
+  err.actual = 0xFFFFFFFEu;
+  err.temperature_c = kNoTemperature;
+  for (int i = 0; i < 1000; ++i) {
+    err.time = 1000000 + i * 75;
+    err.virtual_address = 4096;
+    log.add_error(err);
+  }
+  const std::string bytes = encode_node_log(log);
+  EXPECT_LT(bytes.size(), 1000u * 24u);
+}
+
+}  // namespace
+}  // namespace unp::telemetry

@@ -1,0 +1,120 @@
+// Robustness of the log parsers against malformed input: every line either
+// parses, is ignored, or throws ContractViolation - never crashes, loops,
+// or silently corrupts.  Mutations are seeded random edits of valid lines
+// plus unstructured garbage, for both the text and the binary codec.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "telemetry/binary_codec.hpp"
+#include "telemetry/codec.hpp"
+
+namespace unp::telemetry {
+namespace {
+
+const char* kValidLines[] = {
+    "START 2015-02-01T00:12:03 host=07-03 bytes=3221225472 temp=33.4",
+    "END 2015-02-01T06:00:00 host=07-03 temp=33.9",
+    "ALLOCFAIL 2015-02-02T10:00:00 host=07-03",
+    "ERROR 2015-11-03T07:08:09 host=02-04 vaddr=0x000012345678 "
+    "expected=0xffffffff actual=0xffff7bff temp=34.1 page=0x000012345",
+    "ERRRUN 2015-11-03T07:08:09 host=02-04 vaddr=0x000012345678 "
+    "expected=0xffffffff actual=0xffff7bff temp=34.1 page=0x000012345 "
+    "period=150 count=12000",
+};
+
+class TextCodecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TextCodecFuzz, MutatedLinesNeverCrash) {
+  RngStream rng(GetParam());
+  for (int trial = 0; trial < 4000; ++trial) {
+    std::string line = kValidLines[rng.uniform_u64(std::size(kValidLines))];
+    const auto edits = 1 + rng.uniform_u64(6);
+    for (std::uint64_t e = 0; e < edits; ++e) {
+      if (line.empty()) break;
+      const std::size_t pos = rng.uniform_u64(line.size());
+      switch (rng.uniform_u64(3)) {
+        case 0:  // replace with random byte
+          line[pos] = static_cast<char>(rng.uniform_u64(256));
+          break;
+        case 1:  // delete
+          line.erase(pos, 1);
+          break;
+        default:  // duplicate a chunk
+          line.insert(pos, line.substr(pos, rng.uniform_u64(8)));
+          break;
+      }
+    }
+    NodeLog log;
+    try {
+      (void)parse_line(line, log);
+    } catch (const ContractViolation&) {
+      // Rejection is a valid outcome; anything else would fail the test.
+    }
+  }
+}
+
+TEST_P(TextCodecFuzz, PureGarbageNeverCrashes) {
+  RngStream rng(GetParam() + 1000);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string line;
+    const auto len = rng.uniform_u64(120);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      line.push_back(static_cast<char>(1 + rng.uniform_u64(255)));
+    }
+    NodeLog log;
+    try {
+      (void)parse_line(line, log);
+    } catch (const ContractViolation&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TextCodecFuzz, ::testing::Values(1, 2, 3));
+
+class BinaryCodecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BinaryCodecFuzz, MutatedArchivesNeverCrash) {
+  // Build a small valid archive, then hammer it with random mutations.
+  CampaignArchive archive;
+  ErrorRecord err;
+  err.node = {3, 3};
+  err.time = from_civil_utc({2015, 5, 1, 0, 0, 0});
+  err.expected = 0xFFFFFFFFu;
+  err.actual = 0xFFFFFFFEu;
+  archive.log({3, 3}).add_error(err);
+  archive.log({3, 3}).add_start({err.time - 100, {3, 3}, 1 << 20, 30.0});
+  const std::string valid = encode_archive(archive);
+
+  RngStream rng(GetParam());
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string bytes = valid;
+    const auto edits = 1 + rng.uniform_u64(8);
+    for (std::uint64_t e = 0; e < edits; ++e) {
+      switch (rng.uniform_u64(3)) {
+        case 0:
+          bytes[rng.uniform_u64(bytes.size())] =
+              static_cast<char>(rng.uniform_u64(256));
+          break;
+        case 1:
+          bytes.resize(rng.uniform_u64(bytes.size()) + 1);
+          break;
+        default:
+          bytes.push_back(static_cast<char>(rng.uniform_u64(256)));
+          break;
+      }
+    }
+    try {
+      (void)decode_archive(bytes);
+    } catch (const ContractViolation&) {
+      // Expected for corrupt input.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinaryCodecFuzz, ::testing::Values(7, 8, 9));
+
+}  // namespace
+}  // namespace unp::telemetry

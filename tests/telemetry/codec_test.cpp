@@ -1,0 +1,110 @@
+#include "telemetry/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace unp::telemetry {
+namespace {
+
+TEST(Codec, SerializeStart) {
+  const StartRecord r{from_civil_utc({2015, 2, 1, 0, 12, 3}),
+                      cluster::NodeId{7, 3}, 3221225472ULL, 33.4};
+  EXPECT_EQ(serialize(r),
+            "START 2015-02-01T00:12:03 host=07-03 bytes=3221225472 temp=33.4");
+}
+
+TEST(Codec, SerializeStartWithoutTemperature) {
+  const StartRecord r{from_civil_utc({2015, 2, 1, 0, 0, 0}),
+                      cluster::NodeId{0, 1}, 100, kNoTemperature};
+  EXPECT_EQ(serialize(r), "START 2015-02-01T00:00:00 host=00-01 bytes=100");
+}
+
+TEST(Codec, SerializeError) {
+  ErrorRecord r;
+  r.time = from_civil_utc({2015, 11, 3, 7, 8, 9});
+  r.node = {2, 4};
+  r.virtual_address = 0x12345678;
+  r.expected = 0xFFFFFFFFu;
+  r.actual = 0xFFFF7BFFu;
+  r.temperature_c = 34.1;
+  r.physical_page = 0x12345;
+  EXPECT_EQ(serialize(r),
+            "ERROR 2015-11-03T07:08:09 host=02-04 vaddr=0x000012345678 "
+            "expected=0xffffffff actual=0xffff7bff temp=34.1 page=0x000012345");
+}
+
+TEST(Codec, RoundTripAllKinds) {
+  NodeLog original;
+  original.add_start({from_civil_utc({2015, 3, 1, 1, 0, 0}),
+                      {5, 5}, 3ULL << 30, 31.0});
+  original.add_end({from_civil_utc({2015, 3, 1, 9, 30, 0}), {5, 5}, 32.5});
+  original.add_alloc_fail({from_civil_utc({2015, 3, 2, 4, 0, 0}), {5, 5}});
+  ErrorRecord err;
+  err.time = from_civil_utc({2015, 3, 1, 2, 0, 0});
+  err.node = {5, 5};
+  err.virtual_address = 4096;
+  err.expected = 0xFFFFFFFFu;
+  err.actual = 0xFFFFFFFEu;
+  err.temperature_c = kNoTemperature;
+  err.physical_page = 1;
+  original.add_error(err);
+  ErrorRun run{err, 150, 12000};
+  run.first.time = from_civil_utc({2015, 3, 1, 3, 0, 0});
+  original.add_error_run(run);
+
+  std::ostringstream os;
+  write_node_log(os, original);
+  std::istringstream is(os.str());
+  const NodeLog parsed = read_node_log(is);
+
+  EXPECT_EQ(parsed.starts(), original.starts());
+  EXPECT_EQ(parsed.ends(), original.ends());
+  EXPECT_EQ(parsed.alloc_fails(), original.alloc_fails());
+  ASSERT_EQ(parsed.error_runs().size(), 2u);
+  EXPECT_EQ(parsed.raw_error_count(), original.raw_error_count());
+  // read_node_log sorts by time: the single error (02:00) precedes the run.
+  EXPECT_EQ(parsed.error_runs()[0].count, 1u);
+  EXPECT_EQ(parsed.error_runs()[1].count, 12000u);
+  EXPECT_EQ(parsed.error_runs()[1].period_s, 150);
+}
+
+TEST(Codec, IgnoresCommentsAndBlankLines) {
+  NodeLog log;
+  EXPECT_FALSE(parse_line("", log));
+  EXPECT_FALSE(parse_line("# a comment", log));
+  EXPECT_TRUE(parse_line("ALLOCFAIL 2015-02-01T00:00:00 host=00-01", log));
+  EXPECT_EQ(log.alloc_fails().size(), 1u);
+}
+
+TEST(Codec, RejectsMalformedLines) {
+  NodeLog log;
+  EXPECT_THROW((void)parse_line("BOGUS 2015-02-01T00:00:00 host=00-01", log),
+               ContractViolation);
+  EXPECT_THROW((void)parse_line("START notadate host=00-01 bytes=1", log),
+               ContractViolation);
+  EXPECT_THROW((void)parse_line("START 2015-02-01T00:00:00 bytes=1", log),
+               ContractViolation);  // missing host
+  EXPECT_THROW(
+      (void)parse_line("ERROR 2015-02-01T00:00:00 host=00-01 vaddr=0x0", log),
+      ContractViolation);  // missing fields
+}
+
+TEST(Codec, ErrorRunExpandMatchesFields) {
+  ErrorRecord first;
+  first.time = 1000;
+  first.node = {1, 2};
+  first.virtual_address = 64;
+  const ErrorRun run{first, 150, 4};
+  const auto expanded = run.expand();
+  ASSERT_EQ(expanded.size(), 4u);
+  EXPECT_EQ(expanded[0].time, 1000);
+  EXPECT_EQ(expanded[3].time, 1450);
+  EXPECT_EQ(run.last_time(), 1450);
+  for (const auto& r : expanded) EXPECT_EQ(r.virtual_address, 64u);
+}
+
+}  // namespace
+}  // namespace unp::telemetry

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_dedup"
+  "../bench/bench_ablation_dedup.pdb"
+  "CMakeFiles/bench_ablation_dedup.dir/ablation_dedup.cpp.o"
+  "CMakeFiles/bench_ablation_dedup.dir/ablation_dedup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_diurnal"
+  "../bench/bench_ablation_diurnal.pdb"
+  "CMakeFiles/bench_ablation_diurnal.dir/ablation_diurnal.cpp.o"
+  "CMakeFiles/bench_ablation_diurnal.dir/ablation_diurnal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_diurnal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

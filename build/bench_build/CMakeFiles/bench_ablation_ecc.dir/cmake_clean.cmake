@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_ecc"
+  "../bench/bench_ablation_ecc.pdb"
+  "CMakeFiles/bench_ablation_ecc.dir/ablation_ecc.cpp.o"
+  "CMakeFiles/bench_ablation_ecc.dir/ablation_ecc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_scrambling"
+  "../bench/bench_ablation_scrambling.pdb"
+  "CMakeFiles/bench_ablation_scrambling.dir/ablation_scrambling.cpp.o"
+  "CMakeFiles/bench_ablation_scrambling.dir/ablation_scrambling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scrambling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ecc_characterization"
+  "../bench/bench_ecc_characterization.pdb"
+  "CMakeFiles/bench_ecc_characterization.dir/ecc_characterization.cpp.o"
+  "CMakeFiles/bench_ecc_characterization.dir/ecc_characterization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ecc_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

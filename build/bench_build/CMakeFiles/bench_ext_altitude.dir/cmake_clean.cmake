@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_altitude"
+  "../bench/bench_ext_altitude.pdb"
+  "CMakeFiles/bench_ext_altitude.dir/ext_altitude.cpp.o"
+  "CMakeFiles/bench_ext_altitude.dir/ext_altitude.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_altitude.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

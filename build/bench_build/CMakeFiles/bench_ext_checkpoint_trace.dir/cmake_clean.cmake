@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_checkpoint_trace"
+  "../bench/bench_ext_checkpoint_trace.pdb"
+  "CMakeFiles/bench_ext_checkpoint_trace.dir/ext_checkpoint_trace.cpp.o"
+  "CMakeFiles/bench_ext_checkpoint_trace.dir/ext_checkpoint_trace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_checkpoint_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_component_swap"
+  "../bench/bench_ext_component_swap.pdb"
+  "CMakeFiles/bench_ext_component_swap.dir/ext_component_swap.cpp.o"
+  "CMakeFiles/bench_ext_component_swap.dir/ext_component_swap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_component_swap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_diagnosis"
+  "../bench/bench_ext_diagnosis.pdb"
+  "CMakeFiles/bench_ext_diagnosis.dir/ext_diagnosis.cpp.o"
+  "CMakeFiles/bench_ext_diagnosis.dir/ext_diagnosis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

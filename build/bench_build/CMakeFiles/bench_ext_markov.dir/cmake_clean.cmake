@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_markov"
+  "../bench/bench_ext_markov.pdb"
+  "CMakeFiles/bench_ext_markov.dir/ext_markov.cpp.o"
+  "CMakeFiles/bench_ext_markov.dir/ext_markov.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

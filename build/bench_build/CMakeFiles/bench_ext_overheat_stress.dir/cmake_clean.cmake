@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_overheat_stress"
+  "../bench/bench_ext_overheat_stress.pdb"
+  "CMakeFiles/bench_ext_overheat_stress.dir/ext_overheat_stress.cpp.o"
+  "CMakeFiles/bench_ext_overheat_stress.dir/ext_overheat_stress.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_overheat_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

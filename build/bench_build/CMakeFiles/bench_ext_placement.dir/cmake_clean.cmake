@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_placement"
+  "../bench/bench_ext_placement.pdb"
+  "CMakeFiles/bench_ext_placement.dir/ext_placement.cpp.o"
+  "CMakeFiles/bench_ext_placement.dir/ext_placement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

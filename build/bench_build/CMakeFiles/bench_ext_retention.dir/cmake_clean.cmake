@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_retention"
+  "../bench/bench_ext_retention.pdb"
+  "CMakeFiles/bench_ext_retention.dir/ext_retention.cpp.o"
+  "CMakeFiles/bench_ext_retention.dir/ext_retention.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

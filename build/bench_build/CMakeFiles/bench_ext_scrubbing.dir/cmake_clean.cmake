@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_scrubbing"
+  "../bench/bench_ext_scrubbing.pdb"
+  "CMakeFiles/bench_ext_scrubbing.dir/ext_scrubbing.cpp.o"
+  "CMakeFiles/bench_ext_scrubbing.dir/ext_scrubbing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_scrubbing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

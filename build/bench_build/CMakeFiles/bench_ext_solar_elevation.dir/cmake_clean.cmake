@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_solar_elevation"
+  "../bench/bench_ext_solar_elevation.pdb"
+  "CMakeFiles/bench_ext_solar_elevation.dir/ext_solar_elevation.cpp.o"
+  "CMakeFiles/bench_ext_solar_elevation.dir/ext_solar_elevation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_solar_elevation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_temporal"
+  "../bench/bench_ext_temporal.pdb"
+  "CMakeFiles/bench_ext_temporal.dir/ext_temporal.cpp.o"
+  "CMakeFiles/bench_ext_temporal.dir/ext_temporal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

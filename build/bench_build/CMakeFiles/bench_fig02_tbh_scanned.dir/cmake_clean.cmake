@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig02_tbh_scanned"
+  "../bench/bench_fig02_tbh_scanned.pdb"
+  "CMakeFiles/bench_fig02_tbh_scanned.dir/fig02_tbh_scanned.cpp.o"
+  "CMakeFiles/bench_fig02_tbh_scanned.dir/fig02_tbh_scanned.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_tbh_scanned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_errors_per_node"
+  "../bench/bench_fig03_errors_per_node.pdb"
+  "CMakeFiles/bench_fig03_errors_per_node.dir/fig03_errors_per_node.cpp.o"
+  "CMakeFiles/bench_fig03_errors_per_node.dir/fig03_errors_per_node.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_errors_per_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_simultaneous"
+  "../bench/bench_fig04_simultaneous.pdb"
+  "CMakeFiles/bench_fig04_simultaneous.dir/fig04_simultaneous.cpp.o"
+  "CMakeFiles/bench_fig04_simultaneous.dir/fig04_simultaneous.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_simultaneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

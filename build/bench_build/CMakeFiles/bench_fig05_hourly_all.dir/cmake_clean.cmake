@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_hourly_all"
+  "../bench/bench_fig05_hourly_all.pdb"
+  "CMakeFiles/bench_fig05_hourly_all.dir/fig05_hourly_all.cpp.o"
+  "CMakeFiles/bench_fig05_hourly_all.dir/fig05_hourly_all.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_hourly_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

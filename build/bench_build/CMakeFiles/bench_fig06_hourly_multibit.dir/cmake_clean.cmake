@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_hourly_multibit"
+  "../bench/bench_fig06_hourly_multibit.pdb"
+  "CMakeFiles/bench_fig06_hourly_multibit.dir/fig06_hourly_multibit.cpp.o"
+  "CMakeFiles/bench_fig06_hourly_multibit.dir/fig06_hourly_multibit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_hourly_multibit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

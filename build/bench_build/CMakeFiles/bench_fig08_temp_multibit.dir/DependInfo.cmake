@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig08_temp_multibit.cpp" "bench_build/CMakeFiles/bench_fig08_temp_multibit.dir/fig08_temp_multibit.cpp.o" "gcc" "bench_build/CMakeFiles/bench_fig08_temp_multibit.dir/fig08_temp_multibit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_build/CMakeFiles/unp_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/unp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/unp_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/unp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/unp_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/scanner/CMakeFiles/unp_scanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/resilience/CMakeFiles/unp_resilience.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/unp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/unp_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/unp_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/unp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/unp_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/unp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

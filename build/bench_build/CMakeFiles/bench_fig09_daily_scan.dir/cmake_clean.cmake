@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_daily_scan"
+  "../bench/bench_fig09_daily_scan.pdb"
+  "CMakeFiles/bench_fig09_daily_scan.dir/fig09_daily_scan.cpp.o"
+  "CMakeFiles/bench_fig09_daily_scan.dir/fig09_daily_scan.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_daily_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

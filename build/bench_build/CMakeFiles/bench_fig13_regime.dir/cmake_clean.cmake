@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_regime"
+  "../bench/bench_fig13_regime.pdb"
+  "CMakeFiles/bench_fig13_regime.dir/fig13_regime.cpp.o"
+  "CMakeFiles/bench_fig13_regime.dir/fig13_regime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_regime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_headline_stats"
+  "../bench/bench_headline_stats.pdb"
+  "CMakeFiles/bench_headline_stats.dir/headline_stats.cpp.o"
+  "CMakeFiles/bench_headline_stats.dir/headline_stats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_headline_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

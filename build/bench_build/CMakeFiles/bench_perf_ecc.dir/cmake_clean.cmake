@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_ecc"
+  "../bench/bench_perf_ecc.pdb"
+  "CMakeFiles/bench_perf_ecc.dir/perf_ecc.cpp.o"
+  "CMakeFiles/bench_perf_ecc.dir/perf_ecc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_scanner"
+  "../bench/bench_perf_scanner.pdb"
+  "CMakeFiles/bench_perf_scanner.dir/perf_scanner.cpp.o"
+  "CMakeFiles/bench_perf_scanner.dir/perf_scanner.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sdc_isolation"
+  "../bench/bench_sdc_isolation.pdb"
+  "CMakeFiles/bench_sdc_isolation.dir/sdc_isolation.cpp.o"
+  "CMakeFiles/bench_sdc_isolation.dir/sdc_isolation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sdc_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab1_multibit_patterns"
+  "../bench/bench_tab1_multibit_patterns.pdb"
+  "CMakeFiles/bench_tab1_multibit_patterns.dir/tab1_multibit_patterns.cpp.o"
+  "CMakeFiles/bench_tab1_multibit_patterns.dir/tab1_multibit_patterns.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_multibit_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab2_quarantine"
+  "../bench/bench_tab2_quarantine.pdb"
+  "CMakeFiles/bench_tab2_quarantine.dir/tab2_quarantine.cpp.o"
+  "CMakeFiles/bench_tab2_quarantine.dir/tab2_quarantine.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_quarantine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unp_bench_util.dir/util/campaign_cache.cpp.o"
+  "CMakeFiles/unp_bench_util.dir/util/campaign_cache.cpp.o.d"
+  "libunp_bench_util.a"
+  "libunp_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unp_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_logs.dir/analyze_logs.cpp.o"
+  "CMakeFiles/analyze_logs.dir/analyze_logs.cpp.o.d"
+  "analyze_logs"
+  "analyze_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

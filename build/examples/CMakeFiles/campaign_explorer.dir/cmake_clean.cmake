@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_explorer.dir/campaign_explorer.cpp.o"
+  "CMakeFiles/campaign_explorer.dir/campaign_explorer.cpp.o.d"
+  "campaign_explorer"
+  "campaign_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

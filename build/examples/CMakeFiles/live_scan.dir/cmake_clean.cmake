@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_scan.dir/live_scan.cpp.o"
+  "CMakeFiles/live_scan.dir/live_scan.cpp.o.d"
+  "live_scan"
+  "live_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quarantine_tuning.dir/quarantine_tuning.cpp.o"
+  "CMakeFiles/quarantine_tuning.dir/quarantine_tuning.cpp.o.d"
+  "quarantine_tuning"
+  "quarantine_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quarantine_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

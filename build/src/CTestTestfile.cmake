@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("env")
+subdirs("cluster")
+subdirs("dram")
+subdirs("ecc")
+subdirs("faults")
+subdirs("sched")
+subdirs("scanner")
+subdirs("telemetry")
+subdirs("sim")
+subdirs("analysis")
+subdirs("resilience")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/alignment.cpp" "src/analysis/CMakeFiles/unp_analysis.dir/alignment.cpp.o" "gcc" "src/analysis/CMakeFiles/unp_analysis.dir/alignment.cpp.o.d"
+  "/root/repo/src/analysis/bitstats.cpp" "src/analysis/CMakeFiles/unp_analysis.dir/bitstats.cpp.o" "gcc" "src/analysis/CMakeFiles/unp_analysis.dir/bitstats.cpp.o.d"
+  "/root/repo/src/analysis/diagnosis.cpp" "src/analysis/CMakeFiles/unp_analysis.dir/diagnosis.cpp.o" "gcc" "src/analysis/CMakeFiles/unp_analysis.dir/diagnosis.cpp.o.d"
+  "/root/repo/src/analysis/export.cpp" "src/analysis/CMakeFiles/unp_analysis.dir/export.cpp.o" "gcc" "src/analysis/CMakeFiles/unp_analysis.dir/export.cpp.o.d"
+  "/root/repo/src/analysis/extraction.cpp" "src/analysis/CMakeFiles/unp_analysis.dir/extraction.cpp.o" "gcc" "src/analysis/CMakeFiles/unp_analysis.dir/extraction.cpp.o.d"
+  "/root/repo/src/analysis/grouping.cpp" "src/analysis/CMakeFiles/unp_analysis.dir/grouping.cpp.o" "gcc" "src/analysis/CMakeFiles/unp_analysis.dir/grouping.cpp.o.d"
+  "/root/repo/src/analysis/interarrival.cpp" "src/analysis/CMakeFiles/unp_analysis.dir/interarrival.cpp.o" "gcc" "src/analysis/CMakeFiles/unp_analysis.dir/interarrival.cpp.o.d"
+  "/root/repo/src/analysis/markov.cpp" "src/analysis/CMakeFiles/unp_analysis.dir/markov.cpp.o" "gcc" "src/analysis/CMakeFiles/unp_analysis.dir/markov.cpp.o.d"
+  "/root/repo/src/analysis/metrics.cpp" "src/analysis/CMakeFiles/unp_analysis.dir/metrics.cpp.o" "gcc" "src/analysis/CMakeFiles/unp_analysis.dir/metrics.cpp.o.d"
+  "/root/repo/src/analysis/regime.cpp" "src/analysis/CMakeFiles/unp_analysis.dir/regime.cpp.o" "gcc" "src/analysis/CMakeFiles/unp_analysis.dir/regime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/unp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/unp_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/unp_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/unp_ecc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

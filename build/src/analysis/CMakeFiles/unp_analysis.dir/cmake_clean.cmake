@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unp_analysis.dir/alignment.cpp.o"
+  "CMakeFiles/unp_analysis.dir/alignment.cpp.o.d"
+  "CMakeFiles/unp_analysis.dir/bitstats.cpp.o"
+  "CMakeFiles/unp_analysis.dir/bitstats.cpp.o.d"
+  "CMakeFiles/unp_analysis.dir/diagnosis.cpp.o"
+  "CMakeFiles/unp_analysis.dir/diagnosis.cpp.o.d"
+  "CMakeFiles/unp_analysis.dir/export.cpp.o"
+  "CMakeFiles/unp_analysis.dir/export.cpp.o.d"
+  "CMakeFiles/unp_analysis.dir/extraction.cpp.o"
+  "CMakeFiles/unp_analysis.dir/extraction.cpp.o.d"
+  "CMakeFiles/unp_analysis.dir/grouping.cpp.o"
+  "CMakeFiles/unp_analysis.dir/grouping.cpp.o.d"
+  "CMakeFiles/unp_analysis.dir/interarrival.cpp.o"
+  "CMakeFiles/unp_analysis.dir/interarrival.cpp.o.d"
+  "CMakeFiles/unp_analysis.dir/markov.cpp.o"
+  "CMakeFiles/unp_analysis.dir/markov.cpp.o.d"
+  "CMakeFiles/unp_analysis.dir/metrics.cpp.o"
+  "CMakeFiles/unp_analysis.dir/metrics.cpp.o.d"
+  "CMakeFiles/unp_analysis.dir/regime.cpp.o"
+  "CMakeFiles/unp_analysis.dir/regime.cpp.o.d"
+  "libunp_analysis.a"
+  "libunp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unp_cluster.dir/availability.cpp.o"
+  "CMakeFiles/unp_cluster.dir/availability.cpp.o.d"
+  "CMakeFiles/unp_cluster.dir/topology.cpp.o"
+  "CMakeFiles/unp_cluster.dir/topology.cpp.o.d"
+  "libunp_cluster.a"
+  "libunp_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

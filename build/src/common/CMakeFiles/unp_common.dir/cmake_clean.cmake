@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unp_common.dir/civil_time.cpp.o"
+  "CMakeFiles/unp_common.dir/civil_time.cpp.o.d"
+  "CMakeFiles/unp_common.dir/histogram.cpp.o"
+  "CMakeFiles/unp_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/unp_common.dir/rng.cpp.o"
+  "CMakeFiles/unp_common.dir/rng.cpp.o.d"
+  "CMakeFiles/unp_common.dir/stats.cpp.o"
+  "CMakeFiles/unp_common.dir/stats.cpp.o.d"
+  "CMakeFiles/unp_common.dir/table.cpp.o"
+  "CMakeFiles/unp_common.dir/table.cpp.o.d"
+  "CMakeFiles/unp_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/unp_common.dir/thread_pool.cpp.o.d"
+  "libunp_common.a"
+  "libunp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/address_map.cpp" "src/dram/CMakeFiles/unp_dram.dir/address_map.cpp.o" "gcc" "src/dram/CMakeFiles/unp_dram.dir/address_map.cpp.o.d"
+  "/root/repo/src/dram/cell_model.cpp" "src/dram/CMakeFiles/unp_dram.dir/cell_model.cpp.o" "gcc" "src/dram/CMakeFiles/unp_dram.dir/cell_model.cpp.o.d"
+  "/root/repo/src/dram/geometry.cpp" "src/dram/CMakeFiles/unp_dram.dir/geometry.cpp.o" "gcc" "src/dram/CMakeFiles/unp_dram.dir/geometry.cpp.o.d"
+  "/root/repo/src/dram/retention.cpp" "src/dram/CMakeFiles/unp_dram.dir/retention.cpp.o" "gcc" "src/dram/CMakeFiles/unp_dram.dir/retention.cpp.o.d"
+  "/root/repo/src/dram/scrambler.cpp" "src/dram/CMakeFiles/unp_dram.dir/scrambler.cpp.o" "gcc" "src/dram/CMakeFiles/unp_dram.dir/scrambler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

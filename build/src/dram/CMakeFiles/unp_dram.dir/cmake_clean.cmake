@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unp_dram.dir/address_map.cpp.o"
+  "CMakeFiles/unp_dram.dir/address_map.cpp.o.d"
+  "CMakeFiles/unp_dram.dir/cell_model.cpp.o"
+  "CMakeFiles/unp_dram.dir/cell_model.cpp.o.d"
+  "CMakeFiles/unp_dram.dir/geometry.cpp.o"
+  "CMakeFiles/unp_dram.dir/geometry.cpp.o.d"
+  "CMakeFiles/unp_dram.dir/retention.cpp.o"
+  "CMakeFiles/unp_dram.dir/retention.cpp.o.d"
+  "CMakeFiles/unp_dram.dir/scrambler.cpp.o"
+  "CMakeFiles/unp_dram.dir/scrambler.cpp.o.d"
+  "libunp_dram.a"
+  "libunp_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unp_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unp_ecc.dir/chipkill.cpp.o"
+  "CMakeFiles/unp_ecc.dir/chipkill.cpp.o.d"
+  "CMakeFiles/unp_ecc.dir/outcome.cpp.o"
+  "CMakeFiles/unp_ecc.dir/outcome.cpp.o.d"
+  "CMakeFiles/unp_ecc.dir/secded.cpp.o"
+  "CMakeFiles/unp_ecc.dir/secded.cpp.o.d"
+  "libunp_ecc.a"
+  "libunp_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unp_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/env/calendar.cpp" "src/env/CMakeFiles/unp_env.dir/calendar.cpp.o" "gcc" "src/env/CMakeFiles/unp_env.dir/calendar.cpp.o.d"
+  "/root/repo/src/env/neutron.cpp" "src/env/CMakeFiles/unp_env.dir/neutron.cpp.o" "gcc" "src/env/CMakeFiles/unp_env.dir/neutron.cpp.o.d"
+  "/root/repo/src/env/solar.cpp" "src/env/CMakeFiles/unp_env.dir/solar.cpp.o" "gcc" "src/env/CMakeFiles/unp_env.dir/solar.cpp.o.d"
+  "/root/repo/src/env/temperature.cpp" "src/env/CMakeFiles/unp_env.dir/temperature.cpp.o" "gcc" "src/env/CMakeFiles/unp_env.dir/temperature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unp_env.dir/calendar.cpp.o"
+  "CMakeFiles/unp_env.dir/calendar.cpp.o.d"
+  "CMakeFiles/unp_env.dir/neutron.cpp.o"
+  "CMakeFiles/unp_env.dir/neutron.cpp.o.d"
+  "CMakeFiles/unp_env.dir/solar.cpp.o"
+  "CMakeFiles/unp_env.dir/solar.cpp.o.d"
+  "CMakeFiles/unp_env.dir/temperature.cpp.o"
+  "CMakeFiles/unp_env.dir/temperature.cpp.o.d"
+  "libunp_env.a"
+  "libunp_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unp_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libunp_env.a"
+)

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faults/background.cpp" "src/faults/CMakeFiles/unp_faults.dir/background.cpp.o" "gcc" "src/faults/CMakeFiles/unp_faults.dir/background.cpp.o.d"
+  "/root/repo/src/faults/degrading.cpp" "src/faults/CMakeFiles/unp_faults.dir/degrading.cpp.o" "gcc" "src/faults/CMakeFiles/unp_faults.dir/degrading.cpp.o.d"
+  "/root/repo/src/faults/event.cpp" "src/faults/CMakeFiles/unp_faults.dir/event.cpp.o" "gcc" "src/faults/CMakeFiles/unp_faults.dir/event.cpp.o.d"
+  "/root/repo/src/faults/generator.cpp" "src/faults/CMakeFiles/unp_faults.dir/generator.cpp.o" "gcc" "src/faults/CMakeFiles/unp_faults.dir/generator.cpp.o.d"
+  "/root/repo/src/faults/isolated_sdc.cpp" "src/faults/CMakeFiles/unp_faults.dir/isolated_sdc.cpp.o" "gcc" "src/faults/CMakeFiles/unp_faults.dir/isolated_sdc.cpp.o.d"
+  "/root/repo/src/faults/neutron.cpp" "src/faults/CMakeFiles/unp_faults.dir/neutron.cpp.o" "gcc" "src/faults/CMakeFiles/unp_faults.dir/neutron.cpp.o.d"
+  "/root/repo/src/faults/pathological.cpp" "src/faults/CMakeFiles/unp_faults.dir/pathological.cpp.o" "gcc" "src/faults/CMakeFiles/unp_faults.dir/pathological.cpp.o.d"
+  "/root/repo/src/faults/suite.cpp" "src/faults/CMakeFiles/unp_faults.dir/suite.cpp.o" "gcc" "src/faults/CMakeFiles/unp_faults.dir/suite.cpp.o.d"
+  "/root/repo/src/faults/weak_bit.cpp" "src/faults/CMakeFiles/unp_faults.dir/weak_bit.cpp.o" "gcc" "src/faults/CMakeFiles/unp_faults.dir/weak_bit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/unp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/unp_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/unp_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/unp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/scanner/CMakeFiles/unp_scanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/unp_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unp_faults.dir/background.cpp.o"
+  "CMakeFiles/unp_faults.dir/background.cpp.o.d"
+  "CMakeFiles/unp_faults.dir/degrading.cpp.o"
+  "CMakeFiles/unp_faults.dir/degrading.cpp.o.d"
+  "CMakeFiles/unp_faults.dir/event.cpp.o"
+  "CMakeFiles/unp_faults.dir/event.cpp.o.d"
+  "CMakeFiles/unp_faults.dir/generator.cpp.o"
+  "CMakeFiles/unp_faults.dir/generator.cpp.o.d"
+  "CMakeFiles/unp_faults.dir/isolated_sdc.cpp.o"
+  "CMakeFiles/unp_faults.dir/isolated_sdc.cpp.o.d"
+  "CMakeFiles/unp_faults.dir/neutron.cpp.o"
+  "CMakeFiles/unp_faults.dir/neutron.cpp.o.d"
+  "CMakeFiles/unp_faults.dir/pathological.cpp.o"
+  "CMakeFiles/unp_faults.dir/pathological.cpp.o.d"
+  "CMakeFiles/unp_faults.dir/suite.cpp.o"
+  "CMakeFiles/unp_faults.dir/suite.cpp.o.d"
+  "CMakeFiles/unp_faults.dir/weak_bit.cpp.o"
+  "CMakeFiles/unp_faults.dir/weak_bit.cpp.o.d"
+  "libunp_faults.a"
+  "libunp_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unp_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resilience/checkpoint.cpp" "src/resilience/CMakeFiles/unp_resilience.dir/checkpoint.cpp.o" "gcc" "src/resilience/CMakeFiles/unp_resilience.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/resilience/ecc_whatif.cpp" "src/resilience/CMakeFiles/unp_resilience.dir/ecc_whatif.cpp.o" "gcc" "src/resilience/CMakeFiles/unp_resilience.dir/ecc_whatif.cpp.o.d"
+  "/root/repo/src/resilience/page_retirement.cpp" "src/resilience/CMakeFiles/unp_resilience.dir/page_retirement.cpp.o" "gcc" "src/resilience/CMakeFiles/unp_resilience.dir/page_retirement.cpp.o.d"
+  "/root/repo/src/resilience/placement.cpp" "src/resilience/CMakeFiles/unp_resilience.dir/placement.cpp.o" "gcc" "src/resilience/CMakeFiles/unp_resilience.dir/placement.cpp.o.d"
+  "/root/repo/src/resilience/prediction.cpp" "src/resilience/CMakeFiles/unp_resilience.dir/prediction.cpp.o" "gcc" "src/resilience/CMakeFiles/unp_resilience.dir/prediction.cpp.o.d"
+  "/root/repo/src/resilience/quarantine.cpp" "src/resilience/CMakeFiles/unp_resilience.dir/quarantine.cpp.o" "gcc" "src/resilience/CMakeFiles/unp_resilience.dir/quarantine.cpp.o.d"
+  "/root/repo/src/resilience/scrubbing.cpp" "src/resilience/CMakeFiles/unp_resilience.dir/scrubbing.cpp.o" "gcc" "src/resilience/CMakeFiles/unp_resilience.dir/scrubbing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/unp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/unp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/unp_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/unp_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/unp_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unp_resilience.dir/checkpoint.cpp.o"
+  "CMakeFiles/unp_resilience.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/unp_resilience.dir/ecc_whatif.cpp.o"
+  "CMakeFiles/unp_resilience.dir/ecc_whatif.cpp.o.d"
+  "CMakeFiles/unp_resilience.dir/page_retirement.cpp.o"
+  "CMakeFiles/unp_resilience.dir/page_retirement.cpp.o.d"
+  "CMakeFiles/unp_resilience.dir/placement.cpp.o"
+  "CMakeFiles/unp_resilience.dir/placement.cpp.o.d"
+  "CMakeFiles/unp_resilience.dir/prediction.cpp.o"
+  "CMakeFiles/unp_resilience.dir/prediction.cpp.o.d"
+  "CMakeFiles/unp_resilience.dir/quarantine.cpp.o"
+  "CMakeFiles/unp_resilience.dir/quarantine.cpp.o.d"
+  "CMakeFiles/unp_resilience.dir/scrubbing.cpp.o"
+  "CMakeFiles/unp_resilience.dir/scrubbing.cpp.o.d"
+  "libunp_resilience.a"
+  "libunp_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unp_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

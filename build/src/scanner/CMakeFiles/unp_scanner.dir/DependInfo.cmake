@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scanner/alloc_policy.cpp" "src/scanner/CMakeFiles/unp_scanner.dir/alloc_policy.cpp.o" "gcc" "src/scanner/CMakeFiles/unp_scanner.dir/alloc_policy.cpp.o.d"
+  "/root/repo/src/scanner/backend.cpp" "src/scanner/CMakeFiles/unp_scanner.dir/backend.cpp.o" "gcc" "src/scanner/CMakeFiles/unp_scanner.dir/backend.cpp.o.d"
+  "/root/repo/src/scanner/pattern.cpp" "src/scanner/CMakeFiles/unp_scanner.dir/pattern.cpp.o" "gcc" "src/scanner/CMakeFiles/unp_scanner.dir/pattern.cpp.o.d"
+  "/root/repo/src/scanner/real_backend.cpp" "src/scanner/CMakeFiles/unp_scanner.dir/real_backend.cpp.o" "gcc" "src/scanner/CMakeFiles/unp_scanner.dir/real_backend.cpp.o.d"
+  "/root/repo/src/scanner/scanner.cpp" "src/scanner/CMakeFiles/unp_scanner.dir/scanner.cpp.o" "gcc" "src/scanner/CMakeFiles/unp_scanner.dir/scanner.cpp.o.d"
+  "/root/repo/src/scanner/sim_backend.cpp" "src/scanner/CMakeFiles/unp_scanner.dir/sim_backend.cpp.o" "gcc" "src/scanner/CMakeFiles/unp_scanner.dir/sim_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/unp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/unp_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/unp_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unp_scanner.dir/alloc_policy.cpp.o"
+  "CMakeFiles/unp_scanner.dir/alloc_policy.cpp.o.d"
+  "CMakeFiles/unp_scanner.dir/backend.cpp.o"
+  "CMakeFiles/unp_scanner.dir/backend.cpp.o.d"
+  "CMakeFiles/unp_scanner.dir/pattern.cpp.o"
+  "CMakeFiles/unp_scanner.dir/pattern.cpp.o.d"
+  "CMakeFiles/unp_scanner.dir/real_backend.cpp.o"
+  "CMakeFiles/unp_scanner.dir/real_backend.cpp.o.d"
+  "CMakeFiles/unp_scanner.dir/scanner.cpp.o"
+  "CMakeFiles/unp_scanner.dir/scanner.cpp.o.d"
+  "CMakeFiles/unp_scanner.dir/sim_backend.cpp.o"
+  "CMakeFiles/unp_scanner.dir/sim_backend.cpp.o.d"
+  "libunp_scanner.a"
+  "libunp_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unp_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unp_sched.dir/planner.cpp.o"
+  "CMakeFiles/unp_sched.dir/planner.cpp.o.d"
+  "CMakeFiles/unp_sched.dir/scan_plan.cpp.o"
+  "CMakeFiles/unp_sched.dir/scan_plan.cpp.o.d"
+  "libunp_sched.a"
+  "libunp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unp_sim.dir/campaign.cpp.o"
+  "CMakeFiles/unp_sim.dir/campaign.cpp.o.d"
+  "CMakeFiles/unp_sim.dir/session_sim.cpp.o"
+  "CMakeFiles/unp_sim.dir/session_sim.cpp.o.d"
+  "libunp_sim.a"
+  "libunp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

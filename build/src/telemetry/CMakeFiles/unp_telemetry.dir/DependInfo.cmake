@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/archive.cpp" "src/telemetry/CMakeFiles/unp_telemetry.dir/archive.cpp.o" "gcc" "src/telemetry/CMakeFiles/unp_telemetry.dir/archive.cpp.o.d"
+  "/root/repo/src/telemetry/binary_codec.cpp" "src/telemetry/CMakeFiles/unp_telemetry.dir/binary_codec.cpp.o" "gcc" "src/telemetry/CMakeFiles/unp_telemetry.dir/binary_codec.cpp.o.d"
+  "/root/repo/src/telemetry/codec.cpp" "src/telemetry/CMakeFiles/unp_telemetry.dir/codec.cpp.o" "gcc" "src/telemetry/CMakeFiles/unp_telemetry.dir/codec.cpp.o.d"
+  "/root/repo/src/telemetry/record.cpp" "src/telemetry/CMakeFiles/unp_telemetry.dir/record.cpp.o" "gcc" "src/telemetry/CMakeFiles/unp_telemetry.dir/record.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/unp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/unp_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

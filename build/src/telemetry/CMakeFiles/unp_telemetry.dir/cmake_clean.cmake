@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unp_telemetry.dir/archive.cpp.o"
+  "CMakeFiles/unp_telemetry.dir/archive.cpp.o.d"
+  "CMakeFiles/unp_telemetry.dir/binary_codec.cpp.o"
+  "CMakeFiles/unp_telemetry.dir/binary_codec.cpp.o.d"
+  "CMakeFiles/unp_telemetry.dir/codec.cpp.o"
+  "CMakeFiles/unp_telemetry.dir/codec.cpp.o.d"
+  "CMakeFiles/unp_telemetry.dir/record.cpp.o"
+  "CMakeFiles/unp_telemetry.dir/record.cpp.o.d"
+  "libunp_telemetry.a"
+  "libunp_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unp_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

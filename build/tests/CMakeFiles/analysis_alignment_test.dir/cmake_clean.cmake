@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_alignment_test.dir/analysis/alignment_test.cpp.o"
+  "CMakeFiles/analysis_alignment_test.dir/analysis/alignment_test.cpp.o.d"
+  "analysis_alignment_test"
+  "analysis_alignment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_alignment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

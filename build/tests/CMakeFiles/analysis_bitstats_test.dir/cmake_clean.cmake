@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_bitstats_test.dir/analysis/bitstats_test.cpp.o"
+  "CMakeFiles/analysis_bitstats_test.dir/analysis/bitstats_test.cpp.o.d"
+  "analysis_bitstats_test"
+  "analysis_bitstats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_bitstats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

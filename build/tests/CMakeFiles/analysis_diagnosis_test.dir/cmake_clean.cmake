@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_diagnosis_test.dir/analysis/diagnosis_test.cpp.o"
+  "CMakeFiles/analysis_diagnosis_test.dir/analysis/diagnosis_test.cpp.o.d"
+  "analysis_diagnosis_test"
+  "analysis_diagnosis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_diagnosis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_extraction_test.dir/analysis/extraction_test.cpp.o"
+  "CMakeFiles/analysis_extraction_test.dir/analysis/extraction_test.cpp.o.d"
+  "analysis_extraction_test"
+  "analysis_extraction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_extraction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_grouping_test.dir/analysis/grouping_test.cpp.o"
+  "CMakeFiles/analysis_grouping_test.dir/analysis/grouping_test.cpp.o.d"
+  "analysis_grouping_test"
+  "analysis_grouping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_grouping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_interarrival_test.dir/analysis/interarrival_test.cpp.o"
+  "CMakeFiles/analysis_interarrival_test.dir/analysis/interarrival_test.cpp.o.d"
+  "analysis_interarrival_test"
+  "analysis_interarrival_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_interarrival_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

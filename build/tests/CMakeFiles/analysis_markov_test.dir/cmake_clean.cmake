@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_markov_test.dir/analysis/markov_test.cpp.o"
+  "CMakeFiles/analysis_markov_test.dir/analysis/markov_test.cpp.o.d"
+  "analysis_markov_test"
+  "analysis_markov_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_markov_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

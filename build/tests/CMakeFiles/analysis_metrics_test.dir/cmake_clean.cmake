@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_metrics_test.dir/analysis/metrics_test.cpp.o"
+  "CMakeFiles/analysis_metrics_test.dir/analysis/metrics_test.cpp.o.d"
+  "analysis_metrics_test"
+  "analysis_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

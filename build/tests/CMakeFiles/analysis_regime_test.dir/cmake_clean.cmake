@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_regime_test.dir/analysis/regime_test.cpp.o"
+  "CMakeFiles/analysis_regime_test.dir/analysis/regime_test.cpp.o.d"
+  "analysis_regime_test"
+  "analysis_regime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_regime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

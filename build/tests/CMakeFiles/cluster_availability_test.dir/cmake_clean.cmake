@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_availability_test.dir/cluster/availability_test.cpp.o"
+  "CMakeFiles/cluster_availability_test.dir/cluster/availability_test.cpp.o.d"
+  "cluster_availability_test"
+  "cluster_availability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_availability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

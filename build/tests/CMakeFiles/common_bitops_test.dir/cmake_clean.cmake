@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_bitops_test.dir/common/bitops_test.cpp.o"
+  "CMakeFiles/common_bitops_test.dir/common/bitops_test.cpp.o.d"
+  "common_bitops_test"
+  "common_bitops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_bitops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_address_map_test.dir/dram/address_map_test.cpp.o"
+  "CMakeFiles/dram_address_map_test.dir/dram/address_map_test.cpp.o.d"
+  "dram_address_map_test"
+  "dram_address_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_address_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

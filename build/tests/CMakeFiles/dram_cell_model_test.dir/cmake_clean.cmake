@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_cell_model_test.dir/dram/cell_model_test.cpp.o"
+  "CMakeFiles/dram_cell_model_test.dir/dram/cell_model_test.cpp.o.d"
+  "dram_cell_model_test"
+  "dram_cell_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_cell_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

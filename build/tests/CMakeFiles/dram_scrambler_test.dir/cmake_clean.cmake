@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_scrambler_test.dir/dram/scrambler_test.cpp.o"
+  "CMakeFiles/dram_scrambler_test.dir/dram/scrambler_test.cpp.o.d"
+  "dram_scrambler_test"
+  "dram_scrambler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_scrambler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

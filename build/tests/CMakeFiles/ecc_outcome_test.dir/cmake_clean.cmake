@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_outcome_test.dir/ecc/outcome_test.cpp.o"
+  "CMakeFiles/ecc_outcome_test.dir/ecc/outcome_test.cpp.o.d"
+  "ecc_outcome_test"
+  "ecc_outcome_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_outcome_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/env_calendar_test.dir/env/calendar_test.cpp.o"
+  "CMakeFiles/env_calendar_test.dir/env/calendar_test.cpp.o.d"
+  "env_calendar_test"
+  "env_calendar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/env_calendar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/env_neutron_test.dir/env/neutron_test.cpp.o"
+  "CMakeFiles/env_neutron_test.dir/env/neutron_test.cpp.o.d"
+  "env_neutron_test"
+  "env_neutron_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/env_neutron_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/env_solar_test.dir/env/solar_test.cpp.o"
+  "CMakeFiles/env_solar_test.dir/env/solar_test.cpp.o.d"
+  "env_solar_test"
+  "env_solar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/env_solar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

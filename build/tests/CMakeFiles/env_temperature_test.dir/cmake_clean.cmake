@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/env_temperature_test.dir/env/temperature_test.cpp.o"
+  "CMakeFiles/env_temperature_test.dir/env/temperature_test.cpp.o.d"
+  "env_temperature_test"
+  "env_temperature_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/env_temperature_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

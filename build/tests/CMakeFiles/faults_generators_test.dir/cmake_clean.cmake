@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faults_generators_test.dir/faults/generators_test.cpp.o"
+  "CMakeFiles/faults_generators_test.dir/faults/generators_test.cpp.o.d"
+  "faults_generators_test"
+  "faults_generators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faults_generators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

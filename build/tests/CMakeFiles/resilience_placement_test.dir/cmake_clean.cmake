@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_placement_test.dir/resilience/placement_test.cpp.o"
+  "CMakeFiles/resilience_placement_test.dir/resilience/placement_test.cpp.o.d"
+  "resilience_placement_test"
+  "resilience_placement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_placement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_policies_test.dir/resilience/policies_test.cpp.o"
+  "CMakeFiles/resilience_policies_test.dir/resilience/policies_test.cpp.o.d"
+  "resilience_policies_test"
+  "resilience_policies_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_prediction_test.dir/resilience/prediction_test.cpp.o"
+  "CMakeFiles/resilience_prediction_test.dir/resilience/prediction_test.cpp.o.d"
+  "resilience_prediction_test"
+  "resilience_prediction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_prediction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_quarantine_test.dir/resilience/quarantine_test.cpp.o"
+  "CMakeFiles/resilience_quarantine_test.dir/resilience/quarantine_test.cpp.o.d"
+  "resilience_quarantine_test"
+  "resilience_quarantine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_quarantine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience_scrubbing_test.dir/resilience/scrubbing_test.cpp.o"
+  "CMakeFiles/resilience_scrubbing_test.dir/resilience/scrubbing_test.cpp.o.d"
+  "resilience_scrubbing_test"
+  "resilience_scrubbing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience_scrubbing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanner_backend_test.dir/scanner/backend_test.cpp.o"
+  "CMakeFiles/scanner_backend_test.dir/scanner/backend_test.cpp.o.d"
+  "scanner_backend_test"
+  "scanner_backend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanner_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanner_pattern_test.dir/scanner/pattern_test.cpp.o"
+  "CMakeFiles/scanner_pattern_test.dir/scanner/pattern_test.cpp.o.d"
+  "scanner_pattern_test"
+  "scanner_pattern_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanner_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

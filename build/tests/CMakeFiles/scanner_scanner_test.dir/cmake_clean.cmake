@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanner_scanner_test.dir/scanner/scanner_test.cpp.o"
+  "CMakeFiles/scanner_scanner_test.dir/scanner/scanner_test.cpp.o.d"
+  "scanner_scanner_test"
+  "scanner_scanner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanner_scanner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

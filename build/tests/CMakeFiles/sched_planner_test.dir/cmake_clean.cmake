@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_planner_test.dir/sched/planner_test.cpp.o"
+  "CMakeFiles/sched_planner_test.dir/sched/planner_test.cpp.o.d"
+  "sched_planner_test"
+  "sched_planner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

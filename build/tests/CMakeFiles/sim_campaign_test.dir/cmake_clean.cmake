@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_campaign_test.dir/sim/campaign_test.cpp.o"
+  "CMakeFiles/sim_campaign_test.dir/sim/campaign_test.cpp.o.d"
+  "sim_campaign_test"
+  "sim_campaign_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_campaign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_session_equivalence_test.dir/sim/session_equivalence_test.cpp.o"
+  "CMakeFiles/sim_session_equivalence_test.dir/sim/session_equivalence_test.cpp.o.d"
+  "sim_session_equivalence_test"
+  "sim_session_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_session_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_archive_test.dir/telemetry/archive_test.cpp.o"
+  "CMakeFiles/telemetry_archive_test.dir/telemetry/archive_test.cpp.o.d"
+  "telemetry_archive_test"
+  "telemetry_archive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_archive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_binary_codec_test.dir/telemetry/binary_codec_test.cpp.o"
+  "CMakeFiles/telemetry_binary_codec_test.dir/telemetry/binary_codec_test.cpp.o.d"
+  "telemetry_binary_codec_test"
+  "telemetry_binary_codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_binary_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

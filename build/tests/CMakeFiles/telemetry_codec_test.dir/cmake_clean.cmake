@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_codec_test.dir/telemetry/codec_test.cpp.o"
+  "CMakeFiles/telemetry_codec_test.dir/telemetry/codec_test.cpp.o.d"
+  "telemetry_codec_test"
+  "telemetry_codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

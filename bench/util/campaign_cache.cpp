@@ -1,15 +1,309 @@
 #include "util/campaign_cache.hpp"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <memory>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "telemetry/archive_io.hpp"
+#include "telemetry/binary_codec.hpp"
 
 namespace unp::bench {
 
+namespace {
+
+constexpr char kCacheMagic[4] = {'U', 'N', 'P', 'C'};
+constexpr std::uint8_t kCacheVersion = 1;
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+std::uint64_t cache_fingerprint(const sim::CampaignConfig& config) {
+  std::uint64_t h = mix64(config.seed, kCacheVersion);
+  h = mix64(h, static_cast<std::uint64_t>(config.window.start));
+  h = mix64(h, static_cast<std::uint64_t>(config.window.end));
+  h = mix64(h, static_cast<std::uint64_t>(cluster::kStudyNodeSlots));
+  return h;
+}
+
+bool cache_disabled() {
+  const char* flag = std::getenv("UNP_CAMPAIGN_CACHE");
+  return flag != nullptr &&
+         (std::strcmp(flag, "0") == 0 || std::strcmp(flag, "off") == 0);
+}
+
+std::string cache_path_for(std::uint64_t fingerprint) {
+  std::filesystem::path dir;
+  if (const char* override_dir = std::getenv("UNP_CACHE_DIR")) {
+    dir = override_dir;
+  } else {
+    std::error_code ec;
+    dir = std::filesystem::temp_directory_path(ec);
+    if (ec) return {};
+  }
+  char name[64];
+  std::snprintf(name, sizeof name, "unp_campaign_%016llx.unpc",
+                static_cast<unsigned long long>(fingerprint));
+  return (dir / name).string();
+}
+
+// --- ground truth / accounting sections ---------------------------------
+
+void encode_ground_truth(std::string& out,
+                         const std::vector<faults::FaultEvent>& events) {
+  telemetry::put_varint(out, events.size());
+  TimePoint previous = 0;
+  for (const auto& ev : events) {
+    telemetry::put_varint(out, telemetry::zigzag_encode(ev.time - previous));
+    previous = ev.time;
+    telemetry::put_varint(out,
+                          static_cast<std::uint64_t>(cluster::node_index(ev.node)));
+    out.push_back(static_cast<char>(ev.mechanism));
+    out.push_back(static_cast<char>(ev.persistence));
+    telemetry::put_varint(out,
+                          telemetry::zigzag_encode(ev.active_until - ev.time));
+    telemetry::put_varint(out, ev.words.size());
+    for (const auto& wf : ev.words) {
+      telemetry::put_varint(out, wf.word_index);
+      telemetry::put_varint(out, wf.corruption.affected_mask);
+      telemetry::put_varint(out, wf.corruption.stuck_value);
+    }
+  }
+}
+
+std::vector<faults::FaultEvent> decode_ground_truth(const std::string& in,
+                                                    std::size_t& pos) {
+  const std::uint64_t count = telemetry::get_varint(in, pos);
+  std::vector<faults::FaultEvent> events;
+  events.reserve(count);
+  TimePoint previous = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    faults::FaultEvent ev;
+    previous += telemetry::zigzag_decode(telemetry::get_varint(in, pos));
+    ev.time = previous;
+    const std::uint64_t index = telemetry::get_varint(in, pos);
+    UNP_REQUIRE(index < static_cast<std::uint64_t>(cluster::kStudyNodeSlots));
+    ev.node = cluster::node_from_index(static_cast<int>(index));
+    UNP_REQUIRE(pos + 2 <= in.size());
+    const auto mechanism = static_cast<std::uint8_t>(in[pos++]);
+    UNP_REQUIRE(mechanism <= static_cast<std::uint8_t>(faults::Mechanism::kIsolatedSdc));
+    ev.mechanism = static_cast<faults::Mechanism>(mechanism);
+    const auto persistence = static_cast<std::uint8_t>(in[pos++]);
+    UNP_REQUIRE(persistence <= static_cast<std::uint8_t>(faults::Persistence::kStuck));
+    ev.persistence = static_cast<faults::Persistence>(persistence);
+    ev.active_until =
+        ev.time + telemetry::zigzag_decode(telemetry::get_varint(in, pos));
+    const std::uint64_t words = telemetry::get_varint(in, pos);
+    UNP_REQUIRE(words >= 1);
+    ev.words.reserve(words);
+    for (std::uint64_t w = 0; w < words; ++w) {
+      faults::WordFault wf;
+      wf.word_index = telemetry::get_varint(in, pos);
+      wf.corruption.affected_mask =
+          static_cast<Word>(telemetry::get_varint(in, pos));
+      wf.corruption.stuck_value =
+          static_cast<Word>(telemetry::get_varint(in, pos));
+      ev.words.push_back(wf);
+    }
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+void encode_accounting(std::string& out,
+                       const std::vector<sim::NodeAccounting>& accounting) {
+  telemetry::put_varint(out, accounting.size());
+  for (const auto& a : accounting) {
+    telemetry::put_varint(out,
+                          static_cast<std::uint64_t>(cluster::node_index(a.node)));
+    telemetry::put_f64(out, a.scanned_hours);
+    telemetry::put_f64(out, a.terabyte_hours);
+    telemetry::put_varint(out, a.sessions);
+  }
+}
+
+std::vector<sim::NodeAccounting> decode_accounting(const std::string& in,
+                                                   std::size_t& pos) {
+  const std::uint64_t count = telemetry::get_varint(in, pos);
+  std::vector<sim::NodeAccounting> accounting;
+  accounting.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    sim::NodeAccounting a;
+    const std::uint64_t index = telemetry::get_varint(in, pos);
+    UNP_REQUIRE(index < static_cast<std::uint64_t>(cluster::kStudyNodeSlots));
+    a.node = cluster::node_from_index(static_cast<int>(index));
+    a.scanned_hours = telemetry::get_f64(in, pos);
+    a.terabyte_hours = telemetry::get_f64(in, pos);
+    a.sessions = telemetry::get_varint(in, pos);
+    accounting.push_back(a);
+  }
+  return accounting;
+}
+
+// --- load / store -------------------------------------------------------
+
+/// Reload `result` (archive + ground truth + accounting) from the cache
+/// file; the topology is rebuilt deterministically from the config.  Any
+/// format violation reports failure and falls back to simulation.
+bool load_cached_campaign(const std::string& path,
+                          const sim::CampaignConfig& config,
+                          sim::CampaignResult& result) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return false;
+  try {
+    char magic[4];
+    is.read(magic, sizeof magic);
+    UNP_REQUIRE(is.gcount() == sizeof magic);
+    UNP_REQUIRE(std::memcmp(magic, kCacheMagic, sizeof magic) == 0);
+    const int version = is.get();
+    UNP_REQUIRE(version == kCacheVersion);
+    std::uint64_t fingerprint = 0;
+    for (int i = 0; i < 8; ++i) {
+      const int c = is.get();
+      UNP_REQUIRE(c != std::char_traits<char>::eof());
+      fingerprint |= static_cast<std::uint64_t>(c) << (8 * i);
+    }
+    UNP_REQUIRE(fingerprint == cache_fingerprint(config));
+
+    // Move each decoded NodeLog straight into the archive rather than
+    // replaying it record-by-record through the sink interface; on the
+    // full campaign that halves reload time.
+    telemetry::ArchiveReader reader(is);
+    result.archive.begin_campaign(reader.window());
+    cluster::NodeId node{};
+    telemetry::NodeLog log;
+    while (reader.next(node, log)) result.archive.log(node) = std::move(log);
+
+    const std::string rest((std::istreambuf_iterator<char>(is)),
+                           std::istreambuf_iterator<char>());
+    std::size_t pos = 0;
+    result.ground_truth = decode_ground_truth(rest, pos);
+    result.accounting = decode_accounting(rest, pos);
+    UNP_REQUIRE(pos == rest.size());
+  } catch (const ContractViolation&) {
+    result = sim::CampaignResult{sim::campaign_topology(config),
+                                 telemetry::CampaignArchive(config.window),
+                                 {},
+                                 {}};
+    return false;
+  }
+  result.topology = sim::campaign_topology(config);
+  return true;
+}
+
+/// Simulate the campaign (multithreaded), spilling the record stream into
+/// the cache file while the archive materializes in-process, then append
+/// the ground-truth and accounting sections.  Cache write failures degrade
+/// to a plain in-memory run.
+void simulate_campaign(const std::string& path, const sim::CampaignConfig& config,
+                       sim::CampaignResult& result) {
+  const std::string tmp = path.empty() ? "" : path + ".tmp";
+  std::ofstream os;
+  std::unique_ptr<telemetry::ArchiveWriter> writer;
+  if (!tmp.empty()) {
+    os.open(tmp, std::ios::binary | std::ios::trunc);
+    if (os.good()) {
+      os.write(kCacheMagic, sizeof kCacheMagic);
+      os.put(static_cast<char>(kCacheVersion));
+      const std::uint64_t fingerprint = cache_fingerprint(config);
+      for (int i = 0; i < 8; ++i) {
+        os.put(static_cast<char>((fingerprint >> (8 * i)) & 0xFF));
+      }
+      writer = std::make_unique<telemetry::ArchiveWriter>(os);
+    }
+  }
+
+  std::vector<telemetry::RecordSink*> sinks{&result.archive};
+  if (writer) sinks.push_back(writer.get());
+  sim::CampaignSummary summary = sim::run_campaign_streaming(
+      config, sinks, sim::default_campaign_threads());
+  result.topology = std::move(summary.topology);
+  result.ground_truth = std::move(summary.ground_truth);
+  result.accounting = std::move(summary.accounting);
+
+  if (writer && os.good()) {
+    std::string sections;
+    encode_ground_truth(sections, result.ground_truth);
+    encode_accounting(sections, result.accounting);
+    os.write(sections.data(), static_cast<std::streamsize>(sections.size()));
+    os.close();
+    if (os.good()) {
+      std::error_code ec;
+      std::filesystem::rename(tmp, path, ec);
+      if (ec) std::filesystem::remove(tmp, ec);
+    }
+  } else if (!tmp.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+  }
+}
+
+}  // namespace
+
+std::string default_cache_path() {
+  if (cache_disabled()) return {};
+  return cache_path_for(cache_fingerprint(sim::CampaignConfig{}));
+}
+
+void invalidate_default_cache() {
+  const std::string path = default_cache_path();
+  if (path.empty()) return;
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+bool reload_default_campaign(sim::CampaignResult& out) {
+  const std::string path = default_cache_path();
+  if (path.empty()) return false;
+  const sim::CampaignConfig config{};
+  out = sim::CampaignResult{sim::campaign_topology(config),
+                            telemetry::CampaignArchive(config.window),
+                            {},
+                            {}};
+  return load_cached_campaign(path, config, out);
+}
+
 const CampaignData& default_data() {
   static const CampaignData data = [] {
+    const sim::CampaignConfig config{};
+    // Static so `campaign` pointers stay valid for the process lifetime.
+    static sim::CampaignResult campaign{sim::campaign_topology(config),
+                                        telemetry::CampaignArchive(config.window),
+                                        {},
+                                        {}};
     CampaignData d;
-    d.campaign = &sim::default_campaign();
-    d.extraction = analysis::extract_faults(d.campaign->archive);
+    d.stats.cache_path = default_cache_path();
+
+    const auto acquire_start = Clock::now();
+    if (!d.stats.cache_path.empty() &&
+        load_cached_campaign(d.stats.cache_path, config, campaign)) {
+      d.stats.from_cache = true;
+    } else {
+      simulate_campaign(d.stats.cache_path, config, campaign);
+    }
+    d.stats.acquire_ms = ms_since(acquire_start);
+    d.campaign = &campaign;
+
+    const auto extract_start = Clock::now();
+    d.extraction = analysis::extract_faults(campaign.archive);
+    d.stats.extract_ms = ms_since(extract_start);
+
+    const auto group_start = Clock::now();
     d.groups = analysis::group_simultaneous(d.extraction.faults);
+    d.stats.group_ms = ms_since(group_start);
+
+    d.stats.raw_records = d.extraction.total_raw_logs;
+    d.stats.faults = d.extraction.faults.size();
+    d.stats.groups = d.groups.size();
     return d;
   }();
   return data;

@@ -1,9 +1,26 @@
-// Shared bench scaffolding: every figure/table binary replays the same
+// Shared bench scaffolding: every figure/table binary consumes the same
 // calibrated campaign (seed 42) and extraction, then prints its own view.
-// The helpers here run that pipeline once per process and expose the
-// pieces, plus small printing utilities shared across benches.
+//
+// The campaign is acquired through an on-disk cache: the first bench process
+// simulates it (multithreaded) while spilling the record stream plus ground
+// truth and accounting to a cache file; every later process — i.e. the other
+// ~35 bench binaries of a full experiment sweep — reloads that file in
+// milliseconds instead of re-simulating seconds of fleet timeline.
+//
+// Cache file (binary, varint/f64 encodings from telemetry/binary_codec):
+//
+//   file := magic "UNPC" u8 version u64 fingerprint
+//           <archive stream, telemetry/archive_io format>
+//           ground_truth_section accounting_section
+//
+// The fingerprint digests the campaign seed, window and the codec versions;
+// a mismatch (changed config or format) invalidates the file and triggers a
+// fresh simulate-and-rewrite.  Location: $UNP_CACHE_DIR (default: the system
+// temp dir) / unp_campaign_<fingerprint>.unpc;  UNP_CAMPAIGN_CACHE=off
+// disables the cache entirely.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "analysis/extraction.hpp"
@@ -12,14 +29,41 @@
 
 namespace unp::bench {
 
+/// Wall-clock + volume instrumentation of the shared pipeline stages,
+/// reported by bench_perf_pipeline.
+struct PipelineStats {
+  bool from_cache = false;   ///< archive reloaded from disk vs simulated
+  std::string cache_path;    ///< file used (empty when caching is disabled)
+  double acquire_ms = 0.0;   ///< campaign acquisition (reload or simulate+spill)
+  double extract_ms = 0.0;   ///< fault extraction
+  double group_ms = 0.0;     ///< simultaneity grouping
+  std::uint64_t raw_records = 0;  ///< raw ERROR lines entering extraction
+  std::uint64_t faults = 0;       ///< independent faults extracted
+  std::uint64_t groups = 0;       ///< simultaneous groups
+};
+
 struct CampaignData {
   const sim::CampaignResult* campaign = nullptr;
   analysis::ExtractionResult extraction;
   std::vector<analysis::SimultaneousGroup> groups;  ///< over extraction.faults
+  PipelineStats stats;
 };
 
-/// The default campaign + extraction pipeline, computed once per process.
+/// The default campaign + extraction pipeline, computed once per process
+/// (cache-reloaded when a valid cache file exists, else simulated and
+/// spilled for the next process).
 [[nodiscard]] const CampaignData& default_data();
+
+/// Cache file the default campaign maps to ("" when caching is disabled).
+[[nodiscard]] std::string default_cache_path();
+
+/// Delete the default campaign's cache file if present (tooling/tests).
+void invalidate_default_cache();
+
+/// Reload the default campaign from its cache file into `out`.  Returns
+/// false when caching is disabled or the file is missing/stale/corrupt.
+/// Exposed so bench_perf_pipeline can measure the reload path in isolation.
+bool reload_default_campaign(sim::CampaignResult& out);
 
 /// Standard bench header: experiment id, paper reference, and the shape the
 /// paper reports (so every bench output is self-describing).

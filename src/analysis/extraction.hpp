@@ -45,6 +45,8 @@ struct FaultRecord {
     return flipped_bit_count(expected, actual);
   }
   [[nodiscard]] bool is_multibit() const noexcept { return flipped_bits() >= 2; }
+
+  friend bool operator==(const FaultRecord&, const FaultRecord&) = default;
 };
 
 struct ExtractionConfig {

@@ -1,0 +1,86 @@
+#include "analysis/streaming_extractor.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+#include "telemetry/archive.hpp"
+
+namespace unp::analysis {
+
+StreamingExtractor::StreamingExtractor(ExtractionConfig config)
+    : config_(config),
+      pending_(static_cast<std::size_t>(cluster::kStudyNodeSlots)),
+      collapsed_(static_cast<std::size_t>(cluster::kStudyNodeSlots)),
+      raw_per_node_(static_cast<std::size_t>(cluster::kStudyNodeSlots), 0) {}
+
+void StreamingExtractor::on_start(const telemetry::StartRecord&) { ++sessions_; }
+
+void StreamingExtractor::on_end(const telemetry::EndRecord&) {}
+
+void StreamingExtractor::on_alloc_fail(const telemetry::AllocFailRecord&) {}
+
+void StreamingExtractor::on_error_run(const telemetry::ErrorRun& r) {
+  UNP_REQUIRE(!finished_);
+  const auto index =
+      static_cast<std::size_t>(cluster::node_index(r.first.node));
+  pending_[index].add_error_run(r);
+  raw_per_node_[index] += r.count;
+  raw_total_ += r.count;
+}
+
+void StreamingExtractor::end_node(cluster::NodeId node) {
+  collapse_pending(static_cast<std::size_t>(cluster::node_index(node)));
+}
+
+void StreamingExtractor::collapse_pending(std::size_t index) {
+  telemetry::NodeLog& log = pending_[index];
+  if (log.error_runs().empty()) return;
+  auto faults = collapse_node_log(cluster::node_from_index(static_cast<int>(index)),
+                                  log, config_.merge_window_s);
+  auto& bucket = collapsed_[index];
+  bucket.insert(bucket.end(), faults.begin(), faults.end());
+  log = telemetry::NodeLog{};  // free the raw runs mid-stream
+}
+
+ExtractionResult StreamingExtractor::finish() {
+  UNP_REQUIRE(!finished_);
+  finished_ = true;
+
+  // Collapse anything streamed without an end_node frame (e.g. ad-hoc use).
+  for (std::size_t i = 0; i < pending_.size(); ++i) collapse_pending(i);
+
+  // Mirror extract_faults exactly: node-index order, campaign-wide
+  // pathological filter, then the global deterministic sort.
+  ExtractionResult result;
+  result.total_raw_logs = raw_total_;
+  for (std::size_t i = 0; i < collapsed_.size(); ++i) {
+    const std::uint64_t raw = raw_per_node_[i];
+    if (raw == 0) continue;
+
+    const bool pathological =
+        raw >= config_.pathological_min_raw &&
+        static_cast<double>(raw) >
+            config_.pathological_raw_fraction *
+                static_cast<double>(result.total_raw_logs);
+    if (pathological) {
+      result.removed_nodes.push_back(
+          cluster::node_from_index(static_cast<int>(i)));
+      result.removed_raw_logs += raw;
+      continue;
+    }
+    result.faults.insert(result.faults.end(), collapsed_[i].begin(),
+                         collapsed_[i].end());
+  }
+
+  std::sort(result.faults.begin(), result.faults.end(),
+            [](const FaultRecord& a, const FaultRecord& b) {
+              if (a.first_seen != b.first_seen) return a.first_seen < b.first_seen;
+              const int na = cluster::node_index(a.node);
+              const int nb = cluster::node_index(b.node);
+              if (na != nb) return na < nb;
+              return a.virtual_address < b.virtual_address;
+            });
+  return result;
+}
+
+}  // namespace unp::analysis

@@ -1,0 +1,63 @@
+// Single-pass streaming fault extraction.
+//
+// extract_faults() needs the whole CampaignArchive materialized; this sink
+// performs the same §II-C methodology incrementally while the records are
+// being produced (by sim::run_campaign) or replayed (by ArchiveReader), so
+// analyses can run without the raw archive ever being resident:
+//
+//   - START/END/ALLOC-FAIL records pass through with only counters updated;
+//   - ERROR runs buffer per node (runs, not expanded raw lines, so the
+//     working set stays at archive-codec scale);
+//   - when a node's frame closes, its runs collapse to independent faults
+//     via the exact collapse_node_log used by the batch path — the raw runs
+//     are freed right there, mid-stream;
+//   - finish() applies the pathological-node filter (which requires the
+//     campaign-wide raw total, hence it cannot happen earlier) and the final
+//     deterministic sort.
+//
+// The result is bit-identical to extract_faults on the same stream, which
+// tests/analysis/streaming_extractor_test.cpp asserts over a full campaign.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/extraction.hpp"
+#include "telemetry/sink.hpp"
+
+namespace unp::analysis {
+
+class StreamingExtractor final : public telemetry::RecordSink {
+ public:
+  explicit StreamingExtractor(ExtractionConfig config = ExtractionConfig{});
+
+  // RecordSink.
+  void on_start(const telemetry::StartRecord& r) override;
+  void on_end(const telemetry::EndRecord& r) override;
+  void on_alloc_fail(const telemetry::AllocFailRecord& r) override;
+  void on_error_run(const telemetry::ErrorRun& r) override;
+  void end_node(cluster::NodeId node) override;
+
+  /// Apply the pathological filter and final sort; the extractor is spent
+  /// afterwards.  Call once after the stream completes.
+  [[nodiscard]] ExtractionResult finish();
+
+  /// Records seen so far (raw ERROR lines counted with runs expanded).
+  [[nodiscard]] std::uint64_t raw_errors_seen() const noexcept { return raw_total_; }
+  [[nodiscard]] std::uint64_t sessions_seen() const noexcept { return sessions_; }
+
+ private:
+  void collapse_pending(std::size_t index);
+
+  ExtractionConfig config_;
+  /// Buffered error runs of nodes whose frame is still open.
+  std::vector<telemetry::NodeLog> pending_;
+  /// Collapsed per-node faults awaiting the campaign-wide filter.
+  std::vector<std::vector<FaultRecord>> collapsed_;
+  std::vector<std::uint64_t> raw_per_node_;
+  std::uint64_t raw_total_ = 0;
+  std::uint64_t sessions_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace unp::analysis

@@ -2,22 +2,43 @@
 
 #include <algorithm>
 #include <memory>
+#include <thread>
 
 #include "common/require.hpp"
 #include "common/thread_pool.hpp"
 
 namespace unp::sim {
 
-double CampaignResult::total_scanned_hours() const noexcept {
+namespace {
+
+double sum_scanned_hours(const std::vector<NodeAccounting>& accounting) {
   double total = 0.0;
   for (const auto& a : accounting) total += a.scanned_hours;
   return total;
 }
 
-double CampaignResult::total_terabyte_hours() const noexcept {
+double sum_terabyte_hours(const std::vector<NodeAccounting>& accounting) {
   double total = 0.0;
   for (const auto& a : accounting) total += a.terabyte_hours;
   return total;
+}
+
+}  // namespace
+
+double CampaignSummary::total_scanned_hours() const noexcept {
+  return sum_scanned_hours(accounting);
+}
+
+double CampaignSummary::total_terabyte_hours() const noexcept {
+  return sum_terabyte_hours(accounting);
+}
+
+double CampaignResult::total_scanned_hours() const noexcept {
+  return sum_scanned_hours(accounting);
+}
+
+double CampaignResult::total_terabyte_hours() const noexcept {
+  return sum_terabyte_hours(accounting);
 }
 
 namespace {
@@ -47,22 +68,25 @@ cluster::AvailabilityModel::Config wire_outages(const CampaignConfig& config) {
 
 }  // namespace
 
-CampaignResult run_campaign(const CampaignConfig& config, std::size_t threads) {
-  UNP_REQUIRE(threads >= 1);
-
+cluster::Topology campaign_topology(const CampaignConfig& config) {
   cluster::Topology::Config topo_config = config.topology;
   topo_config.seed = mix64(config.seed, 0x70B0);
-  CampaignResult result{cluster::Topology(topo_config),
-                        telemetry::CampaignArchive(config.window),
-                        {},
-                        {}};
+  return cluster::Topology(topo_config);
+}
+
+CampaignSummary run_campaign_streaming(
+    const CampaignConfig& config,
+    const std::vector<telemetry::RecordSink*>& sinks, std::size_t threads) {
+  UNP_REQUIRE(threads >= 1);
+
+  CampaignSummary summary{campaign_topology(config), {}, {}};
 
   const cluster::AvailabilityModel availability(wire_outages(config));
   sched::ScanPlanner::Config planner_config = config.planner;
   planner_config.seed = mix64(config.seed, 0x51A2);
   const sched::ScanPlanner planner(planner_config);
 
-  const auto& nodes = result.topology.monitored_nodes();
+  const auto& nodes = summary.topology.monitored_nodes();
   const std::size_t n = nodes.size();
 
   // Phase 1: per-node scan plans (parallel, order-independent).
@@ -89,43 +113,81 @@ CampaignResult run_campaign(const CampaignConfig& config, std::size_t threads) {
         nodes[i].soc == cluster::kOverheatingSoc + 1;
   }
   const faults::FaultModelSuite suite(config.faults);
-  result.ground_truth = suite.generate(contexts, mix64(config.seed, 0xFA17));
+  summary.ground_truth = suite.generate(contexts, mix64(config.seed, 0xFA17));
 
   // Partition events per node.
   std::vector<std::vector<faults::FaultEvent>> per_node(
       static_cast<std::size_t>(cluster::kStudyNodeSlots));
-  for (const auto& ev : result.ground_truth) {
+  for (const auto& ev : summary.ground_truth) {
     per_node[static_cast<std::size_t>(cluster::node_index(ev.node))].push_back(ev);
   }
 
-  // Phase 3: per-node session simulation (parallel, order-independent).
+  // Phase 3: per-node session simulation, streamed out block by block.
+  // Workers fill a block of node logs in parallel; the block is then emitted
+  // to every sink in ascending node order and freed, so at most one block of
+  // logs is resident at a time and the stream is identical for any thread
+  // count (monitored_nodes() is already index-sorted).
+  for (auto* sink : sinks) sink->begin_campaign(config.window);
+
   const std::uint64_t session_seed = mix64(config.seed, 0x5E55);
-  std::vector<telemetry::NodeLog> logs(n);
-  auto simulate = [&](std::size_t i) {
-    const bool overheating = cluster::Topology::is_overheating_slot(nodes[i]);
-    logs[i] = simulate_node(
-        config.session, nodes[i], plans[i],
-        per_node[static_cast<std::size_t>(cluster::node_index(nodes[i]))],
-        overheating, session_seed);
-  };
-  if (pool) {
-    pool->parallel_for(n, simulate);
-  } else {
-    for (std::size_t i = 0; i < n; ++i) simulate(i);
+  const std::size_t block = std::max<std::size_t>(threads * 8, 32);
+  std::vector<telemetry::NodeLog> logs;
+  summary.accounting.resize(n);
+  for (std::size_t base = 0; base < n; base += block) {
+    const std::size_t count = std::min(block, n - base);
+    logs.assign(count, telemetry::NodeLog{});
+    auto simulate = [&](std::size_t i) {
+      const cluster::NodeId node = nodes[base + i];
+      const bool overheating = cluster::Topology::is_overheating_slot(node);
+      logs[i] = simulate_node(
+          config.session, node, plans[base + i],
+          per_node[static_cast<std::size_t>(cluster::node_index(node))],
+          overheating, session_seed);
+    };
+    if (pool) {
+      pool->parallel_for(count, simulate);
+    } else {
+      for (std::size_t i = 0; i < count; ++i) simulate(i);
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      const cluster::NodeId node = nodes[base + i];
+      for (auto* sink : sinks) {
+        sink->begin_node(node);
+        telemetry::replay_node_log(logs[i], *sink);
+        sink->end_node(node);
+      }
+      logs[i] = telemetry::NodeLog{};
+      summary.accounting[base + i] = {node, plans[base + i].scanned_hours(),
+                                      plans[base + i].terabyte_hours(),
+                                      plans[base + i].sessions.size()};
+    }
   }
 
-  // Assemble.
-  result.accounting.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    result.archive.log(nodes[i]) = std::move(logs[i]);
-    result.accounting[i] = {nodes[i], plans[i].scanned_hours(),
-                            plans[i].terabyte_hours(), plans[i].sessions.size()};
-  }
+  for (auto* sink : sinks) sink->end_campaign();
+  return summary;
+}
+
+CampaignResult run_campaign(const CampaignConfig& config, std::size_t threads) {
+  CampaignResult result{cluster::Topology(cluster::Topology::Config{}),
+                        telemetry::CampaignArchive(config.window),
+                        {},
+                        {}};
+  CampaignSummary summary =
+      run_campaign_streaming(config, {&result.archive}, threads);
+  result.topology = std::move(summary.topology);
+  result.ground_truth = std::move(summary.ground_truth);
+  result.accounting = std::move(summary.accounting);
   return result;
 }
 
+std::size_t default_campaign_threads() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
 const CampaignResult& default_campaign() {
-  static const CampaignResult result = run_campaign(CampaignConfig{}, 1);
+  static const CampaignResult result =
+      run_campaign(CampaignConfig{}, default_campaign_threads());
   return result;
 }
 

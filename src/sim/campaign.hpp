@@ -1,10 +1,13 @@
 // Whole-campaign driver: wires topology, availability, the scheduler, the
 // fault model and the session simulator into the 13-month monitoring
-// campaign, producing the telemetry archive every analysis consumes.
+// campaign, streaming the telemetry every analysis consumes.
 //
 // Determinism: every stochastic component derives its stream from the one
 // campaign seed; node timelines are independent, so the per-node work can
-// be executed on any number of threads with bit-identical results.
+// be executed on any number of threads with bit-identical results.  The
+// record stream is emitted to sinks in ascending node-index order no matter
+// the thread count, so downstream consumers (archive, disk spill, streaming
+// extraction) observe one canonical stream per seed.
 #pragma once
 
 #include <cstddef>
@@ -16,6 +19,7 @@
 #include "sched/planner.hpp"
 #include "sim/session_sim.hpp"
 #include "telemetry/archive.hpp"
+#include "telemetry/sink.hpp"
 
 namespace unp::sim {
 
@@ -43,6 +47,20 @@ struct NodeAccounting {
   std::size_t sessions = 0;
 };
 
+/// Everything the campaign produces besides the record stream itself:
+/// the concrete topology, the ground-truth fault events and the per-node
+/// accounting.  This is what a streaming run returns — the records went to
+/// the sinks and are not resident here.
+struct CampaignSummary {
+  cluster::Topology topology;
+  /// Ground-truth fault events (sorted), for truth-vs-observation studies.
+  std::vector<faults::FaultEvent> ground_truth;
+  std::vector<NodeAccounting> accounting;  ///< one entry per monitored node
+
+  [[nodiscard]] double total_scanned_hours() const noexcept;
+  [[nodiscard]] double total_terabyte_hours() const noexcept;
+};
+
 struct CampaignResult {
   cluster::Topology topology;
   telemetry::CampaignArchive archive;
@@ -54,12 +72,30 @@ struct CampaignResult {
   [[nodiscard]] double total_terabyte_hours() const noexcept;
 };
 
-/// Run the campaign.  `threads` > 1 parallelizes per-node planning and
-/// session simulation (results identical to the sequential run).
+/// The topology the campaign instantiates for `config` (deterministic; lets
+/// consumers of a spilled record stream rebuild the fleet without rerunning
+/// the simulation).
+[[nodiscard]] cluster::Topology campaign_topology(const CampaignConfig& config);
+
+/// Stream the campaign through `sinks`.  Per-node records are pushed with
+/// full framing (begin_campaign .. end_campaign, nodes ascending by index)
+/// as soon as each node block completes; only a bounded block of node logs
+/// is ever resident.  `threads` > 1 parallelizes planning and session
+/// simulation; the emitted stream is bit-identical for any thread count.
+CampaignSummary run_campaign_streaming(
+    const CampaignConfig& config,
+    const std::vector<telemetry::RecordSink*>& sinks, std::size_t threads = 1);
+
+/// Run the campaign and materialize the archive (the CampaignArchive sink
+/// fed by run_campaign_streaming).
 [[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config,
                                           std::size_t threads = 1);
 
+/// Thread count used for the default campaign: every hardware thread.
+[[nodiscard]] std::size_t default_campaign_threads() noexcept;
+
 /// The calibrated default campaign (seed 42) used by every bench binary.
+/// Simulated multithreaded on first use (identical to a 1-thread run).
 [[nodiscard]] const CampaignResult& default_campaign();
 
 }  // namespace unp::sim

@@ -51,14 +51,17 @@ double NodeLog::terabyte_hours() const noexcept {
 }
 
 void NodeLog::sort_by_time() {
+  // Stable so records sharing a timestamp (several addresses caught in one
+  // scan pass) keep their stored order; parsing a serialized log must not
+  // permute ties.
   auto by_time = [](const auto& a, const auto& b) { return a.time < b.time; };
-  std::sort(starts_.begin(), starts_.end(), by_time);
-  std::sort(ends_.begin(), ends_.end(), by_time);
-  std::sort(alloc_fails_.begin(), alloc_fails_.end(), by_time);
-  std::sort(error_runs_.begin(), error_runs_.end(),
-            [](const ErrorRun& a, const ErrorRun& b) {
-              return a.first.time < b.first.time;
-            });
+  std::stable_sort(starts_.begin(), starts_.end(), by_time);
+  std::stable_sort(ends_.begin(), ends_.end(), by_time);
+  std::stable_sort(alloc_fails_.begin(), alloc_fails_.end(), by_time);
+  std::stable_sort(error_runs_.begin(), error_runs_.end(),
+                   [](const ErrorRun& a, const ErrorRun& b) {
+                     return a.first.time < b.first.time;
+                   });
 }
 
 std::uint64_t CampaignArchive::total_raw_errors() const noexcept {

@@ -12,6 +12,7 @@
 #include "cluster/topology.hpp"
 #include "common/civil_time.hpp"
 #include "telemetry/record.hpp"
+#include "telemetry/sink.hpp"
 
 namespace unp::telemetry {
 
@@ -23,6 +24,12 @@ class NodeLog {
   void add_alloc_fail(const AllocFailRecord& r) { alloc_fails_.push_back(r); }
   void add_error_run(const ErrorRun& r) { error_runs_.push_back(r); }
   void add_error(const ErrorRecord& r) { error_runs_.push_back(ErrorRun{r, 0, 1}); }
+
+  // Capacity hints for decoders that know record counts up front.
+  void reserve_starts(std::size_t n) { starts_.reserve(starts_.size() + n); }
+  void reserve_ends(std::size_t n) { ends_.reserve(ends_.size() + n); }
+  void reserve_alloc_fails(std::size_t n) { alloc_fails_.reserve(alloc_fails_.size() + n); }
+  void reserve_error_runs(std::size_t n) { error_runs_.reserve(error_runs_.size() + n); }
 
   [[nodiscard]] const std::vector<StartRecord>& starts() const noexcept { return starts_; }
   [[nodiscard]] const std::vector<EndRecord>& ends() const noexcept { return ends_; }
@@ -55,11 +62,23 @@ class NodeLog {
   std::vector<ErrorRun> error_runs_;
 };
 
-/// The whole campaign's telemetry, indexed by node.
-class CampaignArchive {
+/// The whole campaign's telemetry, indexed by node.  Also a RecordSink: a
+/// producer can stream straight into the archive (records route to the log
+/// of the node they carry), making "materialize everything" just one sink
+/// choice among several.
+class CampaignArchive final : public RecordSink {
  public:
   explicit CampaignArchive(CampaignWindow window = CampaignWindow{})
       : window_(window), logs_(static_cast<std::size_t>(cluster::kStudyNodeSlots)) {}
+
+  // RecordSink: adopt the producer's window, append records by node.
+  void begin_campaign(const CampaignWindow& window) override { window_ = window; }
+  void on_start(const StartRecord& r) override { log(r.node).add_start(r); }
+  void on_end(const EndRecord& r) override { log(r.node).add_end(r); }
+  void on_alloc_fail(const AllocFailRecord& r) override {
+    log(r.node).add_alloc_fail(r);
+  }
+  void on_error_run(const ErrorRun& r) override { log(r.first.node).add_error_run(r); }
 
   [[nodiscard]] NodeLog& log(cluster::NodeId id) {
     return logs_[static_cast<std::size_t>(cluster::node_index(id))];

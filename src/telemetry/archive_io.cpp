@@ -1,0 +1,185 @@
+#include "telemetry/archive_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/require.hpp"
+#include "telemetry/binary_codec.hpp"
+
+namespace unp::telemetry {
+
+namespace {
+
+constexpr char kStreamMagic[4] = {'U', 'N', 'P', 'S'};
+constexpr std::uint8_t kStreamVersion = 1;
+/// Node-index sentinel opening the end frame (no valid node carries it).
+constexpr std::uint64_t kEndFrame =
+    static_cast<std::uint64_t>(cluster::kStudyNodeSlots);
+
+void write_varint(std::ostream& os, std::uint64_t value) {
+  std::string buf;
+  put_varint(buf, value);
+  os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  UNP_REQUIRE(os.good());
+}
+
+std::uint64_t read_varint(std::istream& is) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (;;) {
+    const int c = is.get();
+    UNP_REQUIRE(c != std::char_traits<char>::eof());
+    UNP_REQUIRE(shift < 64);
+    value |= static_cast<std::uint64_t>(c & 0x7F) << shift;
+    if ((c & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+std::string read_exact(std::istream& is, std::uint64_t size) {
+  std::string body(size, '\0');
+  is.read(body.data(), static_cast<std::streamsize>(size));
+  UNP_REQUIRE(static_cast<std::uint64_t>(is.gcount()) == size);
+  return body;
+}
+
+}  // namespace
+
+ArchiveWriter::ArchiveWriter(std::ostream& os) : os_(&os) {}
+
+void ArchiveWriter::begin_campaign(const CampaignWindow& window) {
+  UNP_REQUIRE(!header_written_);
+  os_->write(kStreamMagic, sizeof kStreamMagic);
+  os_->put(static_cast<char>(kStreamVersion));
+  write_varint(*os_, zigzag_encode(window.start));
+  write_varint(*os_, zigzag_encode(window.end));
+  UNP_REQUIRE(os_->good());
+  header_written_ = true;
+}
+
+void ArchiveWriter::begin_node(cluster::NodeId node) {
+  UNP_REQUIRE(header_written_ && !finished_ && !node_open_);
+  (void)node;
+  pending_ = NodeLog{};
+  node_open_ = true;
+}
+
+void ArchiveWriter::on_start(const StartRecord& r) {
+  UNP_REQUIRE(node_open_);
+  pending_.add_start(r);
+}
+
+void ArchiveWriter::on_end(const EndRecord& r) {
+  UNP_REQUIRE(node_open_);
+  pending_.add_end(r);
+}
+
+void ArchiveWriter::on_alloc_fail(const AllocFailRecord& r) {
+  UNP_REQUIRE(node_open_);
+  pending_.add_alloc_fail(r);
+}
+
+void ArchiveWriter::on_error_run(const ErrorRun& r) {
+  UNP_REQUIRE(node_open_);
+  pending_.add_error_run(r);
+}
+
+void ArchiveWriter::end_node(cluster::NodeId node) {
+  UNP_REQUIRE(node_open_);
+  node_open_ = false;
+  // Empty frames are elided, mirroring encode_archive's non-empty-only rule.
+  if (pending_.starts().empty() && pending_.ends().empty() &&
+      pending_.alloc_fails().empty() && pending_.error_runs().empty()) {
+    return;
+  }
+  write_varint(*os_, static_cast<std::uint64_t>(cluster::node_index(node)));
+  const std::string body = encode_node_log(pending_);
+  write_varint(*os_, body.size());
+  os_->write(body.data(), static_cast<std::streamsize>(body.size()));
+  UNP_REQUIRE(os_->good());
+  pending_ = NodeLog{};
+  ++frames_;
+}
+
+void ArchiveWriter::finish() {
+  if (finished_) return;
+  UNP_REQUIRE(header_written_ && !node_open_);
+  write_varint(*os_, kEndFrame);
+  write_varint(*os_, frames_);
+  os_->flush();
+  UNP_REQUIRE(os_->good());
+  finished_ = true;
+}
+
+ArchiveReader::ArchiveReader(std::istream& is) : is_(&is) {
+  const std::string magic = read_exact(is, sizeof kStreamMagic);
+  UNP_REQUIRE(std::memcmp(magic.data(), kStreamMagic, sizeof kStreamMagic) == 0);
+  const int version = is.get();
+  UNP_REQUIRE(version == kStreamVersion);
+  window_.start = zigzag_decode(read_varint(is));
+  window_.end = zigzag_decode(read_varint(is));
+}
+
+bool ArchiveReader::next(cluster::NodeId& node, NodeLog& log) {
+  if (done_) return false;
+  const std::uint64_t index = read_varint(*is_);
+  if (index == kEndFrame) {
+    const std::uint64_t declared = read_varint(*is_);
+    UNP_REQUIRE(declared == frames_);
+    done_ = true;
+    return false;
+  }
+  UNP_REQUIRE(index < kEndFrame);
+  node = cluster::node_from_index(static_cast<int>(index));
+  const std::uint64_t size = read_varint(*is_);
+  const std::string body = read_exact(*is_, size);
+  std::size_t pos = 0;
+  log = decode_node_log(body, pos, node);
+  UNP_REQUIRE(pos == body.size());
+  ++frames_;
+  return true;
+}
+
+void ArchiveReader::drain(RecordSink& sink) {
+  sink.begin_campaign(window_);
+  cluster::NodeId node;
+  NodeLog log;
+  while (next(node, log)) {
+    sink.begin_node(node);
+    replay_node_log(log, sink);
+    sink.end_node(node);
+  }
+  sink.end_campaign();
+}
+
+void save_archive_stream(const CampaignArchive& archive, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  UNP_REQUIRE(os.good());
+  ArchiveWriter writer(os);
+  writer.begin_campaign(archive.window());
+  for (int i = 0; i < cluster::kStudyNodeSlots; ++i) {
+    const cluster::NodeId node = cluster::node_from_index(i);
+    writer.begin_node(node);
+    replay_node_log(archive.log(node), writer);
+    writer.end_node(node);
+  }
+  writer.finish();
+  UNP_REQUIRE(os.good());
+}
+
+CampaignArchive load_archive_stream(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  UNP_REQUIRE(is.good());
+  ArchiveReader reader(is);
+  CampaignArchive archive(reader.window());
+  // Decoded logs are moved in whole; replaying record-by-record through the
+  // sink interface would double the work.
+  cluster::NodeId node{};
+  NodeLog log;
+  while (reader.next(node, log)) archive.log(node) = std::move(log);
+  return archive;
+}
+
+}  // namespace unp::telemetry

@@ -1,5 +1,6 @@
 #include "telemetry/binary_codec.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <fstream>
@@ -12,28 +13,6 @@ namespace {
 
 constexpr char kMagic[4] = {'U', 'N', 'P', 'A'};
 constexpr std::uint8_t kVersion = 1;
-
-void put_f64(std::string& out, double value) {
-  std::uint64_t bits;
-  std::memcpy(&bits, &value, sizeof bits);
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<char>((bits >> (8 * i)) & 0xFF));
-  }
-}
-
-double get_f64(const std::string& in, std::size_t& pos) {
-  UNP_REQUIRE(pos + 8 <= in.size());
-  std::uint64_t bits = 0;
-  for (int i = 0; i < 8; ++i) {
-    bits |= static_cast<std::uint64_t>(static_cast<unsigned char>(
-                in[pos + static_cast<std::size_t>(i)]))
-            << (8 * i);
-  }
-  pos += 8;
-  double value;
-  std::memcpy(&value, &bits, sizeof value);
-  return value;
-}
 
 void put_temp(std::string& out, double celsius) {
   if (!has_temperature(celsius)) {
@@ -73,6 +52,28 @@ void put_varint(std::string& out, std::uint64_t value) {
     value >>= 7;
   }
   out.push_back(static_cast<char>(value));
+}
+
+void put_f64(std::string& out, double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof bits);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((bits >> (8 * i)) & 0xFF));
+  }
+}
+
+double get_f64(const std::string& in, std::size_t& pos) {
+  UNP_REQUIRE(pos + 8 <= in.size());
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(static_cast<unsigned char>(
+                in[pos + static_cast<std::size_t>(i)]))
+            << (8 * i);
+  }
+  pos += 8;
+  double value;
+  std::memcpy(&value, &bits, sizeof value);
+  return value;
 }
 
 std::uint64_t get_varint(const std::string& in, std::size_t& pos) {
@@ -133,8 +134,15 @@ std::string encode_node_log(const NodeLog& log) {
 NodeLog decode_node_log(const std::string& bytes, std::size_t& pos,
                         cluster::NodeId node) {
   NodeLog log;
+  // Capacity hint, clamped so a corrupt count cannot force a huge
+  // allocation: every record costs at least one encoded byte.
+  const auto clamp = [&](std::uint64_t n) {
+    return static_cast<std::size_t>(
+        std::min<std::uint64_t>(n, bytes.size() - pos));
+  };
   {
     const std::uint64_t n = get_varint(bytes, pos);
+    log.reserve_starts(clamp(n));
     TimeDelta td;
     for (std::uint64_t i = 0; i < n; ++i) {
       StartRecord r;
@@ -147,6 +155,7 @@ NodeLog decode_node_log(const std::string& bytes, std::size_t& pos,
   }
   {
     const std::uint64_t n = get_varint(bytes, pos);
+    log.reserve_ends(clamp(n));
     TimeDelta td;
     for (std::uint64_t i = 0; i < n; ++i) {
       EndRecord r;
@@ -158,6 +167,7 @@ NodeLog decode_node_log(const std::string& bytes, std::size_t& pos,
   }
   {
     const std::uint64_t n = get_varint(bytes, pos);
+    log.reserve_alloc_fails(clamp(n));
     TimeDelta td;
     for (std::uint64_t i = 0; i < n; ++i) {
       log.add_alloc_fail({td.get(bytes, pos), node});
@@ -165,6 +175,7 @@ NodeLog decode_node_log(const std::string& bytes, std::size_t& pos,
   }
   {
     const std::uint64_t n = get_varint(bytes, pos);
+    log.reserve_error_runs(clamp(n));
     TimeDelta td;
     for (std::uint64_t i = 0; i < n; ++i) {
       ErrorRun run;

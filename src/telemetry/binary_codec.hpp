@@ -32,6 +32,11 @@ void put_varint(std::string& out, std::uint64_t value);
 /// Read a LEB128 varint; throws ContractViolation on truncation/overflow.
 [[nodiscard]] std::uint64_t get_varint(const std::string& in, std::size_t& pos);
 
+/// Raw little-endian f64 bits (used by derived formats such as the bench
+/// campaign cache that need to serialize doubles exactly).
+void put_f64(std::string& out, double value);
+[[nodiscard]] double get_f64(const std::string& in, std::size_t& pos);
+
 /// ZigZag signed mapping (for timestamp deltas which may regress across
 /// merged sources).
 [[nodiscard]] constexpr std::uint64_t zigzag_encode(std::int64_t v) noexcept {

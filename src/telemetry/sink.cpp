@@ -1,0 +1,14 @@
+#include "telemetry/sink.hpp"
+
+#include "telemetry/archive.hpp"
+
+namespace unp::telemetry {
+
+void replay_node_log(const NodeLog& log, RecordSink& sink) {
+  for (const auto& r : log.starts()) sink.on_start(r);
+  for (const auto& r : log.ends()) sink.on_end(r);
+  for (const auto& r : log.alloc_fails()) sink.on_alloc_fail(r);
+  for (const auto& r : log.error_runs()) sink.on_error_run(r);
+}
+
+}  // namespace unp::telemetry

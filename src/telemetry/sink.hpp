@@ -1,0 +1,89 @@
+// Streaming record consumers.
+//
+// The campaign is inherently a stream: 923 node timelines, each producing
+// START/END/ALLOC-FAIL/ERROR records in time order, flowing into whatever
+// wants them — the in-memory CampaignArchive, an on-disk spill file, or an
+// incremental analysis.  RecordSink is that consumer interface; producers
+// (sim::run_campaign, ArchiveReader) push records through it node by node
+// so no stage needs the whole 13-month archive resident.
+//
+// Protocol (per producer pass):
+//
+//   begin_campaign(window)
+//   for each node in ascending node_index order:
+//     begin_node(id)
+//     on_start* on_end* on_alloc_fail* on_error_run*   (each class in time order)
+//     end_node(id)
+//   end_campaign()
+//
+// Producers guarantee deterministic ordering: nodes ascend by index and each
+// record class is emitted in time order, so any sink sees a bit-reproducible
+// stream for a given campaign seed regardless of producer thread count.
+#pragma once
+
+#include "common/civil_time.hpp"
+#include "telemetry/record.hpp"
+
+namespace unp::telemetry {
+
+class NodeLog;
+
+/// Consumer of a campaign record stream.
+class RecordSink {
+ public:
+  virtual ~RecordSink() = default;
+
+  /// Stream framing; default no-ops so simple sinks only handle records.
+  virtual void begin_campaign(const CampaignWindow& /*window*/) {}
+  virtual void begin_node(cluster::NodeId /*node*/) {}
+  virtual void end_node(cluster::NodeId /*node*/) {}
+  virtual void end_campaign() {}
+
+  virtual void on_start(const StartRecord& r) = 0;
+  virtual void on_end(const EndRecord& r) = 0;
+  virtual void on_alloc_fail(const AllocFailRecord& r) = 0;
+  virtual void on_error_run(const ErrorRun& r) = 0;
+};
+
+/// Broadcast one stream to several sinks (archive + spill file + extractor
+/// in a single producer pass).  Does not own the sinks.
+class FanOutSink final : public RecordSink {
+ public:
+  FanOutSink() = default;
+  void add(RecordSink& sink) { sinks_.push_back(&sink); }
+
+  void begin_campaign(const CampaignWindow& window) override {
+    for (auto* s : sinks_) s->begin_campaign(window);
+  }
+  void begin_node(cluster::NodeId node) override {
+    for (auto* s : sinks_) s->begin_node(node);
+  }
+  void end_node(cluster::NodeId node) override {
+    for (auto* s : sinks_) s->end_node(node);
+  }
+  void end_campaign() override {
+    for (auto* s : sinks_) s->end_campaign();
+  }
+  void on_start(const StartRecord& r) override {
+    for (auto* s : sinks_) s->on_start(r);
+  }
+  void on_end(const EndRecord& r) override {
+    for (auto* s : sinks_) s->on_end(r);
+  }
+  void on_alloc_fail(const AllocFailRecord& r) override {
+    for (auto* s : sinks_) s->on_alloc_fail(r);
+  }
+  void on_error_run(const ErrorRun& r) override {
+    for (auto* s : sinks_) s->on_error_run(r);
+  }
+
+ private:
+  std::vector<RecordSink*> sinks_;
+};
+
+/// Push every record of `log` through `sink` in the canonical class order
+/// (starts, ends, alloc-fails, error runs; each in stored order).  Does NOT
+/// emit begin_node/end_node — the caller owns the framing.
+void replay_node_log(const NodeLog& log, RecordSink& sink);
+
+}  // namespace unp::telemetry

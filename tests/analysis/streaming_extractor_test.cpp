@@ -1,0 +1,95 @@
+// StreamingExtractor must be bit-identical to the batch extract_faults -
+// the property that licenses running analyses without a resident archive.
+#include "analysis/streaming_extractor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/extraction.hpp"
+#include "sim/campaign.hpp"
+#include "telemetry/sink.hpp"
+
+namespace unp::analysis {
+namespace {
+
+void stream_archive(const telemetry::CampaignArchive& archive,
+                    telemetry::RecordSink& sink) {
+  sink.begin_campaign(archive.window());
+  for (int i = 0; i < cluster::kStudyNodeSlots; ++i) {
+    const cluster::NodeId node = cluster::node_from_index(i);
+    sink.begin_node(node);
+    telemetry::replay_node_log(archive.log(node), sink);
+    sink.end_node(node);
+  }
+  sink.end_campaign();
+}
+
+void expect_identical(const ExtractionResult& streamed,
+                      const ExtractionResult& batch) {
+  EXPECT_EQ(streamed.total_raw_logs, batch.total_raw_logs);
+  EXPECT_EQ(streamed.removed_raw_logs, batch.removed_raw_logs);
+  ASSERT_EQ(streamed.removed_nodes.size(), batch.removed_nodes.size());
+  for (std::size_t i = 0; i < batch.removed_nodes.size(); ++i) {
+    EXPECT_EQ(streamed.removed_nodes[i], batch.removed_nodes[i]);
+  }
+  ASSERT_EQ(streamed.faults.size(), batch.faults.size());
+  for (std::size_t i = 0; i < batch.faults.size(); ++i) {
+    ASSERT_EQ(streamed.faults[i], batch.faults[i]) << "fault " << i;
+  }
+}
+
+// The acceptance property: bit-identical output on the full seed-42
+// default campaign, pathological node filter included.
+TEST(StreamingExtractor, BitIdenticalToBatchOnDefaultCampaign) {
+  const sim::CampaignResult& campaign = sim::default_campaign();
+  const ExtractionResult batch = extract_faults(campaign.archive);
+
+  StreamingExtractor extractor;
+  stream_archive(campaign.archive, extractor);
+  const ExtractionResult streamed = extractor.finish();
+
+  EXPECT_FALSE(batch.removed_nodes.empty());  // the filter actually fired
+  EXPECT_GT(batch.faults.size(), 10000u);
+  expect_identical(streamed, batch);
+}
+
+// Same property fed directly from the simulator's sink emission (no
+// archive replay in between), alongside an archive sink, on a short
+// campaign with a non-default extraction config.
+TEST(StreamingExtractor, MatchesBatchWhenFedByCampaignStream) {
+  sim::CampaignConfig config;
+  config.seed = 9;
+  config.window.start = from_civil_utc({2015, 9, 1, 0, 0, 0});
+  config.window.end = from_civil_utc({2015, 9, 21, 0, 0, 0});
+
+  ExtractionConfig extraction_config;
+  extraction_config.merge_window_s = 120;
+
+  telemetry::CampaignArchive archive;
+  StreamingExtractor extractor(extraction_config);
+  (void)sim::run_campaign_streaming(config, {&archive, &extractor}, 2);
+
+  expect_identical(extractor.finish(), extract_faults(archive, extraction_config));
+}
+
+TEST(StreamingExtractor, CountsSessionsAndRawErrors) {
+  const sim::CampaignResult& campaign = sim::default_campaign();
+  StreamingExtractor extractor;
+  stream_archive(campaign.archive, extractor);
+  EXPECT_EQ(extractor.raw_errors_seen(), campaign.archive.total_raw_errors());
+  std::uint64_t starts = 0;
+  for (int i = 0; i < cluster::kStudyNodeSlots; ++i) {
+    starts += campaign.archive.log(cluster::node_from_index(i)).starts().size();
+  }
+  EXPECT_EQ(extractor.sessions_seen(), starts);
+}
+
+TEST(StreamingExtractor, EmptyStreamYieldsEmptyResult) {
+  StreamingExtractor extractor;
+  const ExtractionResult result = extractor.finish();
+  EXPECT_TRUE(result.faults.empty());
+  EXPECT_TRUE(result.removed_nodes.empty());
+  EXPECT_EQ(result.total_raw_logs, 0u);
+}
+
+}  // namespace
+}  // namespace unp::analysis

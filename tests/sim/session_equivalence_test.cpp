@@ -1,7 +1,12 @@
-// Property test: the analytic session simulator (sim/session_sim) must
-// produce exactly the ERROR stream that the real MemoryScanner would when
-// driven pass-by-pass over a fault-injected backend.  This is the test that
-// licenses replacing 10^17 word operations with the analytic model.
+// Property tests for the simulation's equivalence guarantees:
+//
+//   1. the analytic session simulator (sim/session_sim) must produce exactly
+//      the ERROR stream that the real MemoryScanner would when driven
+//      pass-by-pass over a fault-injected backend - the test that licenses
+//      replacing 10^17 word operations with the analytic model;
+//   2. the campaign driver must produce byte-identical archives and
+//      accounting for any thread count - the test that licenses running
+//      default_campaign() on all hardware threads.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -10,7 +15,9 @@
 #include "common/rng.hpp"
 #include "scanner/scanner.hpp"
 #include "scanner/sim_backend.hpp"
+#include "sim/campaign.hpp"
 #include "sim/session_sim.hpp"
+#include "telemetry/binary_codec.hpp"
 
 namespace unp::sim {
 namespace {
@@ -133,6 +140,44 @@ TEST_P(SessionEquivalence, ScannerAndAnalyticModelAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SessionEquivalence,
                          ::testing::Range<std::uint64_t>(1, 25));
+
+// Campaign-level determinism: thread counts {1, 2, 8} must produce
+// byte-identical archives (compared through the canonical binary encoding)
+// and identical accounting, including the block-streamed sink emission.
+TEST(CampaignThreadEquivalence, ArchivesAndAccountingAreByteIdentical) {
+  CampaignConfig config;
+  config.seed = 7;
+  config.window.start = from_civil_utc({2015, 9, 1, 0, 0, 0});
+  config.window.end = from_civil_utc({2015, 9, 22, 0, 0, 0});
+
+  const CampaignResult reference = run_campaign(config, 1);
+  const std::string reference_bytes =
+      telemetry::encode_archive(reference.archive);
+  EXPECT_GT(reference.archive.total_raw_errors(), 0u);
+
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const CampaignResult other = run_campaign(config, threads);
+    EXPECT_EQ(telemetry::encode_archive(other.archive), reference_bytes)
+        << threads << " threads";
+
+    ASSERT_EQ(other.accounting.size(), reference.accounting.size());
+    for (std::size_t i = 0; i < reference.accounting.size(); ++i) {
+      const NodeAccounting& a = reference.accounting[i];
+      const NodeAccounting& b = other.accounting[i];
+      ASSERT_EQ(a.node, b.node);
+      ASSERT_EQ(a.scanned_hours, b.scanned_hours);  // bitwise, not NEAR
+      ASSERT_EQ(a.terabyte_hours, b.terabyte_hours);
+      ASSERT_EQ(a.sessions, b.sessions);
+    }
+
+    ASSERT_EQ(other.ground_truth.size(), reference.ground_truth.size());
+    for (std::size_t i = 0; i < reference.ground_truth.size(); ++i) {
+      ASSERT_EQ(other.ground_truth[i].time, reference.ground_truth[i].time);
+      ASSERT_EQ(other.ground_truth[i].node, reference.ground_truth[i].node);
+      ASSERT_EQ(other.ground_truth[i].words, reference.ground_truth[i].words);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace unp::sim

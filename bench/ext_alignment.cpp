@@ -7,54 +7,16 @@
 // (rank, bank, row, column) coordinates and classified: the degrading
 // component's bursts should come out row-aligned, while neutron showers
 // (genuinely independent strikes) stay scattered.
-#include <cstdio>
-
 #include "analysis/alignment.hpp"
-#include "common/table.hpp"
 #include "dram/address_map.hpp"
 #include "util/campaign_cache.hpp"
+#include "util/figures.hpp"
 
 int main() {
   using namespace unp;
-  bench::print_header(
-      "Extension - physical alignment of simultaneous corruptions",
-      "multi-word groups project onto shared rows; the controller's "
-      "interleaving scatters them across logical addresses");
-
   const bench::CampaignData& data = bench::default_data();
   const dram::AddressMap map(dram::default_geometry());
-
-  const analysis::AlignmentStats stats =
-      analysis::physical_alignment_stats(data.groups, map);
-
-  TextTable table({"Geometry", "Groups", "Share"});
-  auto add = [&](const char* name, std::uint64_t count) {
-    table.add_row({name, format_count(count),
-                   format_fixed(100.0 * static_cast<double>(count) /
-                                    static_cast<double>(stats.groups_examined),
-                                1) + "%"});
-  };
-  add("same row (rank+bank+row)", stats.same_row);
-  add("same column (rank+bank+col)", stats.same_column);
-  add("same bank, mixed row/col", stats.same_bank);
-  add("scattered across banks", stats.scattered);
-  add("contains a same-row pair", stats.with_aligned_pair);
-  std::printf("multi-word simultaneous groups: %s\n\n%s\n",
-              format_count(stats.groups_examined).c_str(),
-              table.render().c_str());
-
-  const analysis::LogicalSpread spread = analysis::logical_spread(data.groups);
-  std::printf("mean logical span inside a group : %.1f MB\n",
-              spread.mean_span_bytes / (1 << 20));
-  std::printf("max logical span inside a group  : %.1f MB\n",
-              static_cast<double>(spread.max_span_bytes) / (1 << 20));
-  std::printf(
-      "\n(%.1f%% of groups are entirely one row; %.1f%% contain a same-row "
-      "pair - random rows essentially never collide, so each pair marks a "
-      "physically aligned burst.  The cells are close; their logical "
-      "addresses sit megabytes apart: the paper's suspicion, now measured.)\n",
-      100.0 * stats.aligned_fraction(),
-      100.0 * static_cast<double>(stats.with_aligned_pair) /
-          static_cast<double>(stats.groups_examined));
+  bench::print_ext_alignment(analysis::physical_alignment_stats(data.groups, map),
+                             analysis::logical_spread(data.groups));
   return 0;
 }

@@ -26,7 +26,7 @@ int main() {
 
   // Ground truth: dominant mechanism per node from the simulator.
   std::map<int, std::map<faults::Mechanism, std::uint64_t>> truth;
-  for (const auto& ev : data.campaign->ground_truth) {
+  for (const auto& ev : data.campaign->summary.ground_truth) {
     ++truth[cluster::node_index(ev.node)][ev.mechanism];
   }
   auto dominant_mechanism = [&](cluster::NodeId node) -> const char* {

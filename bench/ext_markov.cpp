@@ -5,21 +5,15 @@
 // lengths (how long a degraded stretch lasts once entered - the quarantine
 // period question) and a generative model whose synthetic campaigns can be
 // used for capacity planning.
-#include <cstdio>
+#include <vector>
 
 #include "analysis/markov.hpp"
-#include "common/stats.hpp"
 #include "analysis/regime.hpp"
-#include "common/table.hpp"
 #include "util/campaign_cache.hpp"
+#include "util/figures.hpp"
 
 int main() {
   using namespace unp;
-  bench::print_header(
-      "Extension - Markov dynamics of the regime sequence (Fig 13)",
-      "degraded spells last days, not weeks; the fitted chain reproduces "
-      "the empirical spell structure");
-
   const bench::CampaignData& data = bench::default_data();
   const CampaignWindow& window = data.campaign->archive.window();
   const analysis::AutoRegime regimes = analysis::classify_regime_excluding_loudest(
@@ -30,43 +24,8 @@ int main() {
                          regimes.regime.degraded.begin() +
                              static_cast<std::ptrdiff_t>(window.duration_days()));
 
-  const analysis::MarkovRegimeModel model = analysis::fit_markov_regime(days);
-  const analysis::SpellStats stats = analysis::spell_stats(days);
-
-  std::printf("P(stay normal)        : %.3f\n", model.p_stay_normal);
-  std::printf("P(stay degraded)      : %.3f\n", model.p_stay_degraded);
-  std::printf("stationary degraded   : %.1f%% (empirical %.1f%%)\n",
-              100.0 * model.stationary_degraded(),
-              100.0 * regimes.regime.degraded_fraction());
-
-  TextTable table({"Quantity", "Markov fit", "Empirical"});
-  table.add_row({"mean normal spell (days)",
-                 format_fixed(model.mean_normal_spell_days(), 1),
-                 format_fixed(stats.mean_normal_spell, 1)});
-  table.add_row({"mean degraded spell (days)",
-                 format_fixed(model.mean_degraded_spell_days(), 1),
-                 format_fixed(stats.mean_degraded_spell, 1)});
-  table.add_row({"degraded spells", "-", format_count(stats.degraded_spells)});
-  table.add_row({"longest degraded spell", "-",
-                 format_count(stats.longest_degraded_spell) + " days"});
-  std::printf("\n%s\n", table.render().c_str());
-
-  // Generative check: synthetic campaigns from the fitted chain.
-  RngStream rng(99);
-  RunningStats synthetic;
-  for (int trial = 0; trial < 200; ++trial) {
-    const std::vector<bool> sim = model.simulate(days.size(), rng);
-    std::size_t degraded = 0;
-    for (const bool d : sim) degraded += d;
-    synthetic.add(100.0 * static_cast<double>(degraded) /
-                  static_cast<double>(sim.size()));
-  }
-  std::printf("synthetic campaigns   : degraded %.1f%% +/- %.1f%% "
-              "(200 samples from the fitted chain)\n",
-              synthetic.mean(), synthetic.stddev());
-  std::printf("\n(mean degraded spell ~%.0f days: once a node misbehaves, "
-              "expect days of trouble - the empirical footing for multi-day "
-              "quarantine periods in Table II)\n",
-              stats.mean_degraded_spell);
+  bench::print_ext_markov(days, analysis::fit_markov_regime(days),
+                          analysis::spell_stats(days),
+                          regimes.regime.degraded_fraction());
   return 0;
 }

@@ -19,7 +19,7 @@ int main() {
 
   const bench::CampaignData& data = bench::default_data();
   const CampaignWindow& window = data.campaign->archive.window();
-  const auto& fleet = data.campaign->topology.monitored_nodes();
+  const auto& fleet = data.campaign->summary.topology.monitored_nodes();
 
   TextTable table({"Job size (nodes)", "Policy", "Jobs", "Killed", "Kill rate",
                    "Node-hours lost"});

@@ -4,21 +4,15 @@
 // inter-arrival distribution nails it: the campaign's error gaps are
 // massively over-dispersed against the Poisson null with the same event
 // count - the statistical license for lazy checkpointing and quarantine.
-#include <cmath>
-#include <cstdio>
+#include <vector>
 
 #include "analysis/interarrival.hpp"
 #include "analysis/regime.hpp"
-#include "common/table.hpp"
 #include "util/campaign_cache.hpp"
+#include "util/figures.hpp"
 
 int main() {
   using namespace unp;
-  bench::print_header(
-      "Extension - inter-arrival structure of the error process",
-      "cv >> 1 (Poisson would be 1): errors arrive in bursts separated by "
-      "long silences");
-
   const bench::CampaignData& data = bench::default_data();
   const CampaignWindow& window = data.campaign->archive.window();
   const analysis::AutoRegime regimes = analysis::classify_regime_excluding_loudest(
@@ -31,34 +25,6 @@ int main() {
   const analysis::InterArrivalStats null_model = analysis::poisson_reference(
       observed.gaps + 1, window.duration_seconds(), 17);
 
-  TextTable table({"Quantity", "Campaign", "Poisson null"});
-  auto fmt_s = [](double seconds) {
-    if (seconds < 120.0) return format_fixed(seconds, 1) + " s";
-    if (seconds < 7200.0) return format_fixed(seconds / 60.0, 1) + " min";
-    return format_fixed(seconds / 3600.0, 1) + " h";
-  };
-  table.add_row({"gaps", format_count(observed.gaps),
-                 format_count(null_model.gaps)});
-  table.add_row({"mean gap", fmt_s(observed.mean_s), fmt_s(null_model.mean_s)});
-  table.add_row({"median gap", fmt_s(observed.median_s),
-                 fmt_s(null_model.median_s)});
-  table.add_row({"coefficient of variation", format_fixed(observed.cv, 2),
-                 format_fixed(null_model.cv, 2)});
-  table.add_row({"burstiness index", format_fixed(observed.burstiness(), 3),
-                 format_fixed(null_model.burstiness(), 3)});
-  table.add_row({"gaps <= 1 min",
-                 format_fixed(100.0 * observed.within_minute, 1) + "%",
-                 format_fixed(100.0 * null_model.within_minute, 1) + "%"});
-  table.add_row({"gaps <= 1 h",
-                 format_fixed(100.0 * observed.within_hour, 1) + "%",
-                 format_fixed(100.0 * null_model.within_hour, 1) + "%"});
-  std::printf("%s\n", table.render().c_str());
-
-  std::printf("(median gap of %s against a mean of %s: most errors chase a "
-              "predecessor within minutes while the mean is dragged out by "
-              "week-long silences - the Section III-I clustering, in one "
-              "number: cv %.1f vs Poisson 1.0)\n",
-              fmt_s(observed.median_s).c_str(), fmt_s(observed.mean_s).c_str(),
-              observed.cv);
+  bench::print_ext_temporal(observed, null_model);
   return 0;
 }

@@ -3,37 +3,13 @@
 // Paper shape: most nodes ~5000 h; SoC-0 of the first blades blank (login
 // nodes); the SoC-12 column starved (overheating shutdown); blade 33 cut
 // short; a few dead nodes blank.
-#include <cstdio>
-
 #include "analysis/metrics.hpp"
-#include "common/table.hpp"
 #include "util/campaign_cache.hpp"
+#include "util/figures.hpp"
 
 int main() {
   using namespace unp;
-  bench::print_header(
-      "Fig 1 - hours each node was scanned",
-      "most nodes ~5000 h; login SoC-0 blank on first blades; SoC-12 column "
-      "starved; blade 33 truncated");
-
   const bench::CampaignData& data = bench::default_data();
-  const Grid2D grid = analysis::hours_scanned_grid(data.campaign->archive);
-
-  std::printf("rows = blades 0..%zu, cols = SoCs 0..%zu; max = %.0f h\n\n",
-              grid.rows() - 1, grid.cols() - 1, grid.max_value());
-  std::printf("%s\n", render_heatmap(grid).c_str());
-
-  // Column means expose the SoC-12 starvation; a few reference columns.
-  RunningStats all;
-  RunningStats soc12;
-  for (std::size_t b = 0; b < grid.rows(); ++b) {
-    for (std::size_t s = 0; s < grid.cols(); ++s) {
-      if (grid.at(b, s) <= 0.0) continue;
-      (s == 12 ? soc12 : all).add(grid.at(b, s));
-    }
-  }
-  std::printf("mean hours, SoCs != 12 : %.0f\n", all.mean());
-  std::printf("mean hours, SoC 12     : %.0f (overheating column)\n",
-              soc12.mean());
+  bench::print_fig01(analysis::hours_scanned_grid(data.campaign->archive));
   return 0;
 }

@@ -3,43 +3,14 @@
 // Paper shape: strongly correlated with Fig 1; most nodes ~15 TB-h;
 // homogeneous distribution with a few marked differences from variable
 // allocation sizes.
-#include <cstdio>
-#include <vector>
-
 #include "analysis/metrics.hpp"
-#include "common/stats.hpp"
-#include "common/table.hpp"
 #include "util/campaign_cache.hpp"
+#include "util/figures.hpp"
 
 int main() {
   using namespace unp;
-  bench::print_header(
-      "Fig 2 - terabyte-hours scanned per node",
-      "mirrors Fig 1; most nodes ~15 TB-h; total 12,135 TB-h");
-
   const bench::CampaignData& data = bench::default_data();
-  const Grid2D hours = analysis::hours_scanned_grid(data.campaign->archive);
-  const Grid2D tbh = analysis::terabyte_hours_grid(data.campaign->archive);
-
-  std::printf("rows = blades, cols = SoCs; max = %.1f TB-h; total = %.0f TB-h\n\n",
-              tbh.max_value(), tbh.sum());
-  std::printf("%s\n", render_heatmap(tbh).c_str());
-
-  // Correlation with Fig 1 across scanned nodes.
-  std::vector<double> x, y;
-  RunningStats per_node;
-  for (std::size_t b = 0; b < tbh.rows(); ++b) {
-    for (std::size_t s = 0; s < tbh.cols(); ++s) {
-      if (hours.at(b, s) <= 0.0) continue;
-      x.push_back(hours.at(b, s));
-      y.push_back(tbh.at(b, s));
-      per_node.add(tbh.at(b, s));
-    }
-  }
-  const PearsonResult corr = pearson(x, y);
-  std::printf("median TB-h per scanned node : %.1f\n",
-              median_of(std::span<const double>(y)));
-  std::printf("corr(hours, TB-h)            : r = %.3f (paper: strong)\n",
-              corr.r);
+  bench::print_fig02(analysis::hours_scanned_grid(data.campaign->archive),
+                     analysis::terabyte_hours_grid(data.campaign->archive));
   return 0;
 }

@@ -3,47 +3,13 @@
 // Paper shape: most nodes error-free; most faulty nodes show exactly one
 // error; a handful show thousands - orders of magnitude beyond the spread
 // in scan time.
-#include <cstdio>
-
 #include "analysis/metrics.hpp"
-#include "common/table.hpp"
 #include "util/campaign_cache.hpp"
+#include "util/figures.hpp"
 
 int main() {
   using namespace unp;
-  bench::print_header(
-      "Fig 3 - independent memory errors per node (log scale)",
-      "most nodes zero; single-error nodes dominate the faulty set; a few "
-      "nodes carry thousands");
-
   const bench::CampaignData& data = bench::default_data();
-  const Grid2D grid = analysis::errors_grid(data.extraction.faults);
-
-  std::printf("rows = blades, cols = SoCs; max = %.0f errors (log ramp)\n\n",
-              grid.max_value());
-  std::printf("%s\n", render_heatmap(grid, /*log_scale=*/true).c_str());
-
-  int zero = 0, one = 0, two_to_ten = 0, more = 0, thousands = 0;
-  for (std::size_t b = 0; b < grid.rows(); ++b) {
-    for (std::size_t s = 0; s < grid.cols(); ++s) {
-      const double v = grid.at(b, s);
-      if (v == 0.0) {
-        ++zero;
-      } else if (v == 1.0) {
-        ++one;
-      } else if (v <= 10.0) {
-        ++two_to_ten;
-      } else if (v < 1000.0) {
-        ++more;
-      } else {
-        ++thousands;
-      }
-    }
-  }
-  std::printf("nodes with zero errors   : %d\n", zero);
-  std::printf("nodes with one error     : %d\n", one);
-  std::printf("nodes with 2-10 errors   : %d\n", two_to_ten);
-  std::printf("nodes with 11-999 errors : %d\n", more);
-  std::printf("nodes with >=1000 errors : %d\n", thousands);
+  bench::print_fig03(analysis::errors_grid(data.extraction.faults));
   return 0;
 }

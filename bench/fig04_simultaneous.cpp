@@ -6,54 +6,14 @@
 // errors co-occur and become node-level multi-bit events); per-node
 // single-bit counts are consequently *lower* than per-word single-bit
 // counts; the total corruption count is conserved.
-#include <cstdio>
-
 #include "analysis/grouping.hpp"
-#include "common/table.hpp"
 #include "util/campaign_cache.hpp"
+#include "util/figures.hpp"
 
 int main() {
   using namespace unp;
-  bench::print_header(
-      "Fig 4 - per-word vs per-node multi-bit accounting",
-      "per-node multi-bit >> per-word multi-bit; per-node single-bit < "
-      "per-word single-bit; >26,000 simultaneous corruptions; bursts up to "
-      "36 bits; 44 double+single, 2 triple+single, 1 double+double");
-
   const bench::CampaignData& data = bench::default_data();
-  const analysis::MultibitViewpoints v = analysis::count_viewpoints(data.groups);
-
-  TextTable table({"Bits", "Per memory word", "Per node"});
-  for (int bits = 1; bits <= analysis::MultibitViewpoints::kMaxBits; ++bits) {
-    if (v.per_word[bits] == 0 && v.per_node[bits] == 0) continue;
-    table.add_row({std::to_string(bits), format_count(v.per_word[bits]),
-                   format_count(v.per_node[bits])});
-  }
-  std::printf("%s\n", table.render().c_str());
-
-  std::uint64_t word_single = v.per_word[1], node_single = v.per_node[1];
-  std::uint64_t word_multi = 0, node_multi = 0;
-  for (int bits = 2; bits <= analysis::MultibitViewpoints::kMaxBits; ++bits) {
-    word_multi += v.per_word[bits];
-    node_multi += v.per_node[bits];
-  }
-  std::printf("single-bit  per word / per node : %s / %s\n",
-              format_count(word_single).c_str(), format_count(node_single).c_str());
-  std::printf("multi-bit   per word / per node : %s / %s\n",
-              format_count(word_multi).c_str(), format_count(node_multi).c_str());
-
-  const analysis::CoOccurrence co = analysis::count_co_occurrence(data.groups);
-  std::printf("\nsimultaneous corruptions        : %s (paper: >26,000)\n",
-              format_count(co.simultaneous_corruptions).c_str());
-  std::printf("multi-single-bit groups         : %s (paper: >99.9%% of them)\n",
-              format_count(co.multi_single_groups).c_str());
-  std::printf("double + single co-occurrences  : %s (paper: 44)\n",
-              format_count(co.double_plus_single).c_str());
-  std::printf("triple + single co-occurrences  : %s (paper: 2)\n",
-              format_count(co.triple_plus_single).c_str());
-  std::printf("multi + multi co-occurrences    : %s (paper: 1)\n",
-              format_count(co.double_plus_double).c_str());
-  std::printf("widest burst                    : %s bits (paper: 36)\n",
-              format_count(co.max_bits_one_instant).c_str());
+  bench::print_fig04(analysis::count_viewpoints(data.groups),
+                     analysis::count_co_occurrence(data.groups));
   return 0;
 }

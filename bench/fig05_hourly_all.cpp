@@ -2,49 +2,13 @@
 //
 // Paper shape: single-bit errors dominate and are spread homogeneously
 // across the day - no hour stands out when all corruptions are counted.
-#include <cstdio>
-
 #include "analysis/metrics.hpp"
-#include "common/table.hpp"
 #include "util/campaign_cache.hpp"
+#include "util/figures.hpp"
 
 int main() {
   using namespace unp;
-  bench::print_header(
-      "Fig 5 - errors per hour of day, by corrupted bits",
-      "single-bit dominates every hour; overall distribution homogeneous "
-      "across the day");
-
   const bench::CampaignData& data = bench::default_data();
-  const analysis::HourOfDayProfile profile =
-      analysis::hour_of_day_profile(data.extraction.faults);
-
-  TextTable table({"Hour", "1", "2", "3", "4", "5", "6+", "Total"});
-  for (int h = 0; h < 24; ++h) {
-    std::vector<std::string> row{std::to_string(h)};
-    for (int c = 0; c < analysis::kBitClasses; ++c) {
-      row.push_back(std::to_string(
-          profile.counts[static_cast<std::size_t>(h)][static_cast<std::size_t>(c)]));
-    }
-    row.push_back(format_count(profile.total(h)));
-    table.add_row(std::move(row));
-  }
-  std::printf("%s\n", table.render().c_str());
-
-  std::vector<BarEntry> bars;
-  for (int h = 0; h < 24; ++h) {
-    bars.push_back({(h < 10 ? "0" : "") + std::to_string(h) + "h",
-                    static_cast<double>(profile.total(h))});
-  }
-  std::printf("%s\n", render_bars(bars, 50).c_str());
-
-  // Homogeneity check: max/min hourly totals stay within a small factor.
-  std::uint64_t lo = profile.total(0), hi = profile.total(0);
-  for (int h = 1; h < 24; ++h) {
-    lo = std::min(lo, profile.total(h));
-    hi = std::max(hi, profile.total(h));
-  }
-  std::printf("hourly total spread (max/min) : %.2f (paper: homogeneous)\n",
-              lo > 0 ? static_cast<double>(hi) / static_cast<double>(lo) : 0.0);
+  bench::print_fig05(analysis::hour_of_day_profile(data.extraction.faults));
   return 0;
 }

@@ -3,45 +3,13 @@
 // Paper shape: bell-shaped with its peak at noon; errors between 07:00 and
 // 18:00 are roughly double the night-time count - the sun-position
 // correlation that points at atmospheric neutrons.
-#include <cstdio>
-
 #include "analysis/metrics.hpp"
-#include "common/table.hpp"
 #include "util/campaign_cache.hpp"
+#include "util/figures.hpp"
 
 int main() {
   using namespace unp;
-  bench::print_header(
-      "Fig 6 - multi-bit errors per hour of day",
-      "bell shape peaking at noon; day (07-18h) ~2x night");
-
   const bench::CampaignData& data = bench::default_data();
-  const analysis::HourOfDayProfile profile =
-      analysis::hour_of_day_profile(data.extraction.faults);
-
-  std::vector<BarEntry> bars;
-  for (int h = 0; h < 24; ++h) {
-    bars.push_back({(h < 10 ? "0" : "") + std::to_string(h) + "h",
-                    static_cast<double>(profile.multibit(h))});
-  }
-  std::printf("%s\n", render_bars(bars, 50).c_str());
-
-  // With only ~85 events the raw histogram is noisy; locate the bell's top
-  // with a 3-hour sliding window, as one would read the figure.
-  int peak_hour = 0;
-  std::uint64_t peak = 0;
-  for (int h = 0; h < 24; ++h) {
-    const std::uint64_t window = profile.multibit((h + 23) % 24) +
-                                 profile.multibit(h) +
-                                 profile.multibit((h + 1) % 24);
-    if (window > peak) {
-      peak = window;
-      peak_hour = h;
-    }
-  }
-  std::printf("day/night multi-bit ratio : %.2f (paper: ~2)\n",
-              profile.day_night_ratio_multibit());
-  std::printf("peak (3h window centre)   : %d:00 local (paper: noon)\n",
-              peak_hour);
+  bench::print_fig06(analysis::hour_of_day_profile(data.extraction.faults));
   return 0;
 }

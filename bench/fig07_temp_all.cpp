@@ -4,59 +4,13 @@
 // not stress the CPU); a small tail of errors above 60 degC from the
 // overheating slots; no correlation between heat and error rate overall.
 // Records from before April 2015 carry no reading.
-#include <cstdio>
-
 #include "analysis/metrics.hpp"
-#include "common/table.hpp"
 #include "util/campaign_cache.hpp"
+#include "util/figures.hpp"
 
 int main() {
   using namespace unp;
-  bench::print_header(
-      "Fig 7 - errors vs node temperature, by corrupted bits",
-      "bulk at 30-40 degC; small >60 degC tail; no high-temperature "
-      "correlation");
-
   const bench::CampaignData& data = bench::default_data();
-  const analysis::TemperatureProfile profile =
-      analysis::temperature_profile(data.extraction.faults);
-
-  TextTable table({"Temp bin", "1", "2", "3", "4", "5", "6+"});
-  for (std::size_t bin = 0; bin < analysis::TemperatureProfile::kBins; ++bin) {
-    std::uint64_t row_total = 0;
-    std::vector<std::string> row{
-        format_fixed(profile.by_class[0].bin_lo(bin), 0) + "-" +
-        format_fixed(profile.by_class[0].bin_lo(bin) + 2.0, 0) + "C"};
-    for (int c = 0; c < analysis::kBitClasses; ++c) {
-      const std::uint64_t v =
-          profile.by_class[static_cast<std::size_t>(c)].count(bin);
-      row.push_back(std::to_string(v));
-      row_total += v;
-    }
-    if (row_total > 0) table.add_row(std::move(row));
-  }
-  std::printf("%s\n", table.render().c_str());
-
-  std::uint64_t in_band = 0, hot = 0, total = 0;
-  for (int c = 0; c < analysis::kBitClasses; ++c) {
-    const auto& h = profile.by_class[static_cast<std::size_t>(c)];
-    for (std::size_t bin = 0; bin < h.bins(); ++bin) {
-      const double lo = h.bin_lo(bin);
-      total += h.count(bin);
-      if (lo >= 30.0 && lo < 40.0) in_band += h.count(bin);
-      if (lo >= 60.0) hot += h.count(bin);
-    }
-    total += h.underflow() + h.overflow();
-    hot += h.overflow();
-  }
-  std::printf("errors with a reading        : %s\n", format_count(total).c_str());
-  std::printf("errors without (pre-April)   : %s\n",
-              format_count(profile.without_reading).c_str());
-  std::printf("fraction in 30-40 degC       : %.1f%% (paper: most)\n",
-              total ? 100.0 * static_cast<double>(in_band) /
-                          static_cast<double>(total)
-                    : 0.0);
-  std::printf("errors above 60 degC         : %s (paper: small set)\n",
-              format_count(hot).c_str());
+  bench::print_fig07(analysis::temperature_profile(data.extraction.faults));
   return 0;
 }

@@ -2,42 +2,13 @@
 //
 // Paper shape: every multi-bit corruption with a reading sits at nominal
 // temperature - no high-temperature correlation for multi-bit errors.
-#include <cstdio>
-
 #include "analysis/metrics.hpp"
-#include "common/table.hpp"
 #include "util/campaign_cache.hpp"
+#include "util/figures.hpp"
 
 int main() {
   using namespace unp;
-  bench::print_header(
-      "Fig 8 - multi-bit errors vs node temperature",
-      "all multi-bit errors (with a reading) at nominal temperatures");
-
   const bench::CampaignData& data = bench::default_data();
-  const analysis::TemperatureProfile profile =
-      analysis::temperature_profile(data.extraction.faults);
-
-  std::vector<BarEntry> bars;
-  double hottest = 0.0;
-  std::uint64_t total = 0;
-  for (std::size_t bin = 0; bin < analysis::TemperatureProfile::kBins; ++bin) {
-    std::uint64_t multibit = 0;
-    for (int c = 1; c < analysis::kBitClasses; ++c) {
-      multibit += profile.by_class[static_cast<std::size_t>(c)].count(bin);
-    }
-    if (multibit == 0) continue;
-    const double lo = profile.by_class[1].bin_lo(bin);
-    bars.push_back({format_fixed(lo, 0) + "-" + format_fixed(lo + 2.0, 0) + "C",
-                    static_cast<double>(multibit)});
-    hottest = lo + 2.0;
-    total += multibit;
-  }
-  std::printf("%s\n", render_bars(bars, 50).c_str());
-  std::printf("multi-bit errors with a reading : %s\n",
-              format_count(total).c_str());
-  std::printf("hottest multi-bit observation   : <%.0f degC (paper: nominal "
-              "range only)\n",
-              hottest);
+  bench::print_fig08(analysis::temperature_profile(data.extraction.faults));
   return 0;
 }

@@ -2,65 +2,17 @@
 //
 // Paper shape: intense scanning through August, September and December
 // (academic vacations leave nodes idle); lower levels April-July.
-#include <cstdio>
+#include <vector>
 
 #include "analysis/metrics.hpp"
-#include "common/table.hpp"
 #include "util/campaign_cache.hpp"
+#include "util/figures.hpp"
 
 int main() {
   using namespace unp;
-  bench::print_header(
-      "Fig 9 - terabyte-hours scanned per day",
-      "peaks in Aug/Sep/Dec (vacations), trough Apr-Jul (term time)");
-
   const bench::CampaignData& data = bench::default_data();
   const std::vector<double> series =
       analysis::daily_terabyte_hours(data.campaign->archive);
-  const CampaignWindow& window = data.campaign->archive.window();
-
-  // Monthly aggregation for a readable shape; daily values summarized.
-  struct Month {
-    int year, month;
-    double tbh = 0.0;
-    int days = 0;
-  };
-  std::vector<Month> months;
-  for (std::size_t d = 0; d < series.size(); ++d) {
-    const CivilDateTime c = to_civil_utc(
-        window.start + static_cast<TimePoint>(d) * kSecondsPerDay);
-    if (months.empty() || months.back().month != c.month ||
-        months.back().year != c.year) {
-      months.push_back({c.year, c.month, 0.0, 0});
-    }
-    months.back().tbh += series[d];
-    ++months.back().days;
-  }
-
-  std::vector<BarEntry> bars;
-  for (const auto& m : months) {
-    if (m.days < 5) continue;  // trailing partial bucket
-    char label[16];
-    std::snprintf(label, sizeof label, "%04d-%02d", m.year, m.month);
-    bars.push_back({label, m.tbh / m.days});
-  }
-  std::printf("mean TB-h scanned per day, by month:\n%s\n",
-              render_bars(bars, 50).c_str());
-
-  double summer = 0.0, term = 0.0;
-  int summer_n = 0, term_n = 0;
-  for (const auto& m : months) {
-    if (m.month == 8 || m.month == 9 || m.month == 12) {
-      summer += m.tbh;
-      summer_n += m.days;
-    } else if (m.month >= 4 && m.month <= 7) {
-      term += m.tbh;
-      term_n += m.days;
-    }
-  }
-  std::printf("vacation vs term-time daily scan ratio : %.2f (paper: >1)\n",
-              (term_n && summer_n)
-                  ? (summer / summer_n) / (term / term_n)
-                  : 0.0);
+  bench::print_fig09(series, data.campaign->archive.window());
   return 0;
 }

@@ -4,54 +4,17 @@
 // Paper shape: more errors September-December than the first half of the
 // year; Pearson(scanned TB-h, errors) = -0.17966 with p = 0.0002 - a low
 // anti-correlation proving the methodology does not drive the error count.
-#include <cstdio>
-
 #include "analysis/metrics.hpp"
-#include "common/table.hpp"
 #include "util/campaign_cache.hpp"
+#include "util/figures.hpp"
 
 int main() {
   using namespace unp;
-  bench::print_header(
-      "Fig 10 - errors per day (and scan-vs-error correlation)",
-      "errors concentrate Sep-Dec; Pearson r ~ -0.18, p ~ 2e-4: scanning "
-      "volume does not drive error counts");
-
   const bench::CampaignData& data = bench::default_data();
   const CampaignWindow& window = data.campaign->archive.window();
-  const auto series = analysis::daily_errors(data.extraction.faults, window);
-
-  // Monthly totals keep the printout readable.
-  struct Month {
-    int year, month;
-    std::uint64_t errors = 0;
-  };
-  std::vector<Month> months;
-  for (std::size_t d = 0; d < series.size(); ++d) {
-    const CivilDateTime c = to_civil_utc(
-        window.start + static_cast<TimePoint>(d) * kSecondsPerDay);
-    if (months.empty() || months.back().month != c.month ||
-        months.back().year != c.year) {
-      months.push_back({c.year, c.month, 0});
-    }
-    for (int k = 0; k < analysis::kBitClasses; ++k) {
-      months.back().errors += series[d][static_cast<std::size_t>(k)];
-    }
-  }
-  std::vector<BarEntry> bars;
-  for (const auto& m : months) {
-    char label[16];
-    std::snprintf(label, sizeof label, "%04d-%02d", m.year, m.month);
-    bars.push_back({label, static_cast<double>(m.errors)});
-  }
-  std::printf("errors per month:\n%s\n", render_bars(bars, 50).c_str());
-
-  const PearsonResult corr = analysis::scan_error_correlation(
-      data.campaign->archive, data.extraction.faults);
-  std::printf("Pearson(daily TB-h, daily errors) : r = %.5f (paper: -0.17966)\n",
-              corr.r);
-  std::printf("p-value                           : %.4g (paper: 0.0002)\n",
-              corr.p_value);
-  std::printf("n (days)                          : %zu\n", corr.n);
+  bench::print_fig10(analysis::daily_errors(data.extraction.faults, window),
+                     analysis::scan_error_correlation(data.campaign->archive,
+                                                      data.extraction.faults),
+                     window);
   return 0;
 }

@@ -4,61 +4,12 @@
 // in November 2015 coinciding with high single-bit rates; two days (one in
 // March, one in May) each carry two undetectable (>3-bit) errors separated
 // by hours.
-#include <cstdio>
-#include <map>
-
-#include "analysis/metrics.hpp"
-#include "common/table.hpp"
 #include "util/campaign_cache.hpp"
+#include "util/figures.hpp"
 
 int main() {
   using namespace unp;
-  bench::print_header(
-      "Fig 11 - multi-bit errors per day",
-      "rare all year; November burst correlated with single-bit surge; two "
-      "same-day undetectable pairs (March, May), hours apart");
-
   const bench::CampaignData& data = bench::default_data();
-  const CampaignWindow& window = data.campaign->archive.window();
-
-  TextTable table({"Date", "Multi-bit errors", "of which >3 bits"});
-  std::map<std::int64_t, std::pair<int, int>> days;  // day -> (multibit, sdc)
-  std::map<std::int64_t, std::vector<TimePoint>> sdc_times;
-  for (const auto& f : data.extraction.faults) {
-    const int bits = f.flipped_bits();
-    if (bits < 2) continue;
-    const std::int64_t day = window.day_of_campaign(f.first_seen);
-    ++days[day].first;
-    if (bits > 3) {
-      ++days[day].second;
-      sdc_times[day].push_back(f.first_seen);
-    }
-  }
-  int november = 0;
-  for (const auto& [day, counts] : days) {
-    const TimePoint t = window.start + day * kSecondsPerDay;
-    const CivilDateTime c = to_civil_utc(t);
-    char date[16];
-    std::snprintf(date, sizeof date, "%04d-%02d-%02d", c.year, c.month, c.day);
-    table.add_row({date, std::to_string(counts.first),
-                   std::to_string(counts.second)});
-    if (c.year == 2015 && c.month == 11) november += counts.first;
-  }
-  std::printf("%s\n", table.render().c_str());
-  std::printf("days with any multi-bit error : %zu (paper: a few dozen)\n",
-              days.size());
-  std::printf("multi-bit errors in Nov 2015  : %d (paper: unusually high)\n",
-              november);
-
-  for (const auto& [day, times] : sdc_times) {
-    if (times.size() < 2) continue;
-    const double hours_apart =
-        static_cast<double>(times.back() - times.front()) / kSecondsPerHour;
-    const CivilDateTime c =
-        to_civil_utc(window.start + day * kSecondsPerDay);
-    std::printf("same-day undetectable pair    : %04d-%02d, %.1f h apart "
-                "(paper: March & May pairs, hours apart)\n",
-                c.year, c.month, hours_apart);
-  }
+  bench::print_fig11(data.extraction.faults, data.campaign->archive.window());
   return 0;
 }

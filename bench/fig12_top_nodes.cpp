@@ -5,77 +5,24 @@
 // two more nodes contribute thousands of errors each with a single fixed
 // corrupted bit (weak bits); every other node combined stays negligible -
 // >99.9% of errors in <1% of the nodes.
-#include <cstdio>
+#include <vector>
 
 #include "analysis/bitstats.hpp"
 #include "analysis/metrics.hpp"
-#include "common/table.hpp"
 #include "util/campaign_cache.hpp"
+#include "util/figures.hpp"
 
 int main() {
   using namespace unp;
-  bench::print_header(
-      "Fig 12 - errors per day: top-3 nodes vs the rest",
-      "one degrading node >50k; two weak-bit nodes with one fixed bit each; "
-      "rest negligible; >99.9% of errors in <1% of nodes");
-
   const bench::CampaignData& data = bench::default_data();
   const CampaignWindow& window = data.campaign->archive.window();
   const analysis::TopNodeSeries top =
       analysis::top_node_series(data.extraction.faults, window);
-
-  std::uint64_t total = top.rest_total;
-  for (const auto t : top.node_totals) total += t;
-
-  TextTable table({"Node", "Faults", "Share", "Distinct addrs", "Distinct patterns",
-                   "Single fixed bit"});
-  for (std::size_t k = 0; k < top.nodes.size(); ++k) {
-    const analysis::NodePatternProfile profile =
-        analysis::node_pattern_profile(data.extraction.faults, top.nodes[k]);
-    table.add_row(
-        {cluster::node_name(top.nodes[k]), format_count(top.node_totals[k]),
-         format_fixed(100.0 * static_cast<double>(top.node_totals[k]) /
-                          static_cast<double>(total),
-                      2) + "%",
-         format_count(profile.distinct_addresses),
-         format_count(profile.distinct_patterns),
-         profile.single_fixed_bit ? "Yes" : "No"});
+  std::vector<analysis::NodePatternProfile> profiles;
+  for (const auto& node : top.nodes) {
+    profiles.push_back(
+        analysis::node_pattern_profile(data.extraction.faults, node));
   }
-  table.add_row({"all others", format_count(top.rest_total),
-                 format_fixed(100.0 * static_cast<double>(top.rest_total) /
-                                  static_cast<double>(total),
-                              2) + "%",
-                 "-", "-", "-"});
-  std::printf("%s\n", table.render().c_str());
-
-  // Peak daily rate of the loudest node and its monthly trajectory.
-  if (!top.per_day.empty()) {
-    std::uint64_t peak = 0;
-    for (const auto v : top.per_day[0]) peak = std::max(peak, v);
-    std::printf("loudest node peak rate  : %s errors/day (paper: >1000 by "
-                "November)\n",
-                format_count(peak).c_str());
-
-    std::printf("loudest node by month   :\n");
-    std::vector<BarEntry> bars;
-    std::uint64_t month_total = 0;
-    int cur_month = -1, cur_year = 0;
-    for (std::size_t d = 0; d < top.per_day[0].size(); ++d) {
-      const CivilDateTime c = to_civil_utc(
-          window.start + static_cast<TimePoint>(d) * kSecondsPerDay);
-      if (c.month != cur_month) {
-        if (cur_month >= 0) {
-          char label[16];
-          std::snprintf(label, sizeof label, "%04d-%02d", cur_year, cur_month);
-          bars.push_back({label, static_cast<double>(month_total)});
-        }
-        cur_month = c.month;
-        cur_year = c.year;
-        month_total = 0;
-      }
-      month_total += top.per_day[0][d];
-    }
-    std::printf("%s\n", render_bars(bars, 50).c_str());
-  }
+  bench::print_fig12(top, profiles, window);
   return 0;
 }

@@ -3,62 +3,17 @@
 // Paper shape (permanent-failure node excluded): 77 degraded days (18.1%)
 // vs 348 normal days; ~50 errors over the normal days -> MTBF 167 h; almost
 // 5000 errors over degraded days -> MTBF 0.39 h.
-#include <cstdio>
-
 #include "analysis/regime.hpp"
-#include "common/table.hpp"
 #include "util/campaign_cache.hpp"
+#include "util/figures.hpp"
 
 int main() {
   using namespace unp;
-  bench::print_header(
-      "Fig 13 - normal vs degraded days (Section III-I)",
-      "77 degraded days (18.1%) vs 348 normal; MTBF 167 h normal vs 0.39 h "
-      "degraded; loudest (permanent) node excluded first");
-
   const bench::CampaignData& data = bench::default_data();
   const CampaignWindow& window = data.campaign->archive.window();
-  const analysis::AutoRegime result =
-      analysis::classify_regime_excluding_loudest(data.extraction.faults, window);
-
-  if (result.excluded) {
-    std::printf("excluded permanent-failure node : %s\n\n",
-                cluster::node_name(*result.excluded).c_str());
-  }
-
-  // Calendar strip: one character per day ('.' normal, '#' degraded),
-  // wrapped by month.
-  std::printf("campaign calendar (.=normal  #=degraded):\n");
-  int cur_month = -1;
-  std::string line;
-  for (std::size_t d = 0; d < result.regime.degraded.size(); ++d) {
-    const TimePoint t = window.start + static_cast<TimePoint>(d) * kSecondsPerDay;
-    if (t >= window.end) break;
-    const CivilDateTime c = to_civil_utc(t);
-    if (c.month != cur_month) {
-      if (!line.empty()) std::printf("%s\n", line.c_str());
-      char label[16];
-      std::snprintf(label, sizeof label, "%04d-%02d ", c.year, c.month);
-      line = label;
-      cur_month = c.month;
-    }
-    line += result.regime.degraded[d] ? '#' : '.';
-  }
-  if (!line.empty()) std::printf("%s\n", line.c_str());
-
-  const analysis::RegimeResult& regime = result.regime;
-  std::printf("\nnormal days     : %llu\n",
-              static_cast<unsigned long long>(regime.normal_days));
-  std::printf("degraded days   : %llu (%.1f%%; paper: 77 = 18.1%%)\n",
-              static_cast<unsigned long long>(regime.degraded_days),
-              100.0 * regime.degraded_fraction());
-  std::printf("normal errors   : %llu (paper: ~50)\n",
-              static_cast<unsigned long long>(regime.normal_errors));
-  std::printf("degraded errors : %llu (paper: ~5000)\n",
-              static_cast<unsigned long long>(regime.degraded_errors));
-  std::printf("normal MTBF     : %.0f h (paper: 167 h)\n",
-              regime.normal_mtbf_hours);
-  std::printf("degraded MTBF   : %.2f h (paper: 0.39 h)\n",
-              regime.degraded_mtbf_hours);
+  bench::print_fig13(
+      analysis::classify_regime_excluding_loudest(data.extraction.faults,
+                                                  window),
+      window);
   return 0;
 }

@@ -3,41 +3,15 @@
 // Paper targets: >25M raw logs, >98% from one removed node, >55,000
 // independent errors, ~4.2M node-hours, 12,135 TB-h, 923 monitored nodes,
 // a node error every ~41 h / a cluster error every ~10 min.
-#include <cstdio>
-
 #include "analysis/metrics.hpp"
 #include "util/campaign_cache.hpp"
+#include "util/figures.hpp"
 
 int main() {
   using namespace unp;
-  bench::print_header(
-      "Headline statistics (Section III-B)",
-      ">25M raw logs; >98% from one removed node; >55k independent errors; "
-      "4.2M node-hours; 12,135 TB-h; 923 nodes; node MTBF ~41h; cluster "
-      "error every ~10 min");
-
   const bench::CampaignData& data = bench::default_data();
   const analysis::HeadlineStats stats =
       analysis::headline_stats(data.campaign->archive, data.extraction);
-
-  std::printf("monitored nodes                : %d\n", stats.monitored_nodes);
-  std::printf("raw ERROR logs                 : %llu\n",
-              static_cast<unsigned long long>(stats.raw_logs));
-  std::printf("removed (pathological) nodes   : %zu\n",
-              data.extraction.removed_nodes.size());
-  for (const auto& n : data.extraction.removed_nodes) {
-    std::printf("  removed node                 : %s\n",
-                cluster::node_name(n).c_str());
-  }
-  std::printf("raw-log fraction removed       : %.2f%%\n",
-              100.0 * stats.removed_fraction);
-  std::printf("independent memory errors      : %llu\n",
-              static_cast<unsigned long long>(stats.independent_faults));
-  std::printf("monitored node-hours           : %.0f\n",
-              stats.monitored_node_hours);
-  std::printf("terabyte-hours scanned         : %.0f\n", stats.terabyte_hours);
-  std::printf("node MTBF (hours per error)    : %.1f\n", stats.node_mtbf_hours);
-  std::printf("cluster error interval (min)   : %.1f\n",
-              stats.cluster_mtbe_minutes);
+  bench::print_headline(stats, data.extraction);
   return 0;
 }

@@ -1,0 +1,288 @@
+// Performance: one-pass unp_report vs one process per figure.
+//
+// The pre-unp_report workflow ran 18 binaries, each paying a warm-cache
+// campaign acquisition plus a batch extraction (and, for some, the
+// simultaneity grouping) before computing one figure.  This bench emulates
+// both workflows in-process against the same warm cache:
+//
+//   N-process  - for each of the 18 sections: reload the cached campaign,
+//                run batch extraction (+ grouping where the section needs
+//                it), compute the section's products;
+//   one-pass   - replay the cached record stream once through
+//                ScanProfileSink + StreamingExtractor, then fan every
+//                fault-level analyzer out on the thread pool.
+//
+// Process spawn/teardown and dynamic-loader costs are NOT charged to the
+// N-process side, so the reported speedup is a lower bound on the real one.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "analysis/alignment.hpp"
+#include "analysis/bitstats.hpp"
+#include "analysis/extraction.hpp"
+#include "analysis/fault_sink.hpp"
+#include "analysis/grouping.hpp"
+#include "analysis/interarrival.hpp"
+#include "analysis/markov.hpp"
+#include "analysis/metrics.hpp"
+#include "analysis/regime.hpp"
+#include "analysis/streaming_extractor.hpp"
+#include "common/thread_pool.hpp"
+#include "dram/address_map.hpp"
+#include "sim/campaign.hpp"
+#include "util/campaign_cache.hpp"
+
+namespace {
+
+using namespace unp;
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Figure-product computation of one per-figure binary, minus the printing.
+// `sink` is a black hole that keeps the optimizer honest.
+volatile double g_sink = 0.0;
+void consume(double v) { g_sink = g_sink + v; }
+
+struct SectionJob {
+  const char* name;
+  bool needs_groups;
+  void (*compute)(const sim::CampaignResult&, const analysis::ExtractionResult&,
+                  const std::vector<analysis::SimultaneousGroup>&);
+};
+
+const SectionJob kSections[] = {
+    {"headline", false,
+     [](const sim::CampaignResult& c, const analysis::ExtractionResult& e,
+        const std::vector<analysis::SimultaneousGroup>&) {
+       consume(analysis::headline_stats(c.archive, e).node_mtbf_hours);
+     }},
+    {"fig01", false,
+     [](const sim::CampaignResult& c, const analysis::ExtractionResult&,
+        const std::vector<analysis::SimultaneousGroup>&) {
+       consume(analysis::hours_scanned_grid(c.archive).sum());
+     }},
+    {"fig02", false,
+     [](const sim::CampaignResult& c, const analysis::ExtractionResult&,
+        const std::vector<analysis::SimultaneousGroup>&) {
+       consume(analysis::hours_scanned_grid(c.archive).sum() +
+               analysis::terabyte_hours_grid(c.archive).sum());
+     }},
+    {"fig03", false,
+     [](const sim::CampaignResult&, const analysis::ExtractionResult& e,
+        const std::vector<analysis::SimultaneousGroup>&) {
+       consume(analysis::errors_grid(e.faults).sum());
+     }},
+    {"tab1", false,
+     [](const sim::CampaignResult&, const analysis::ExtractionResult& e,
+        const std::vector<analysis::SimultaneousGroup>&) {
+       consume(static_cast<double>(analysis::multibit_patterns(e.faults).size()));
+       consume(analysis::adjacency_stats(e.faults).mean_distance);
+       consume(analysis::direction_stats(e.faults).one_to_zero_fraction());
+     }},
+    {"fig04", true,
+     [](const sim::CampaignResult&, const analysis::ExtractionResult&,
+        const std::vector<analysis::SimultaneousGroup>& groups) {
+       consume(static_cast<double>(
+           analysis::count_viewpoints(groups).per_node[2]));
+       consume(static_cast<double>(
+           analysis::count_co_occurrence(groups).simultaneous_corruptions));
+     }},
+    {"fig05", false,
+     [](const sim::CampaignResult&, const analysis::ExtractionResult& e,
+        const std::vector<analysis::SimultaneousGroup>&) {
+       consume(static_cast<double>(analysis::hour_of_day_profile(e.faults).total(12)));
+     }},
+    {"fig06", false,
+     [](const sim::CampaignResult&, const analysis::ExtractionResult& e,
+        const std::vector<analysis::SimultaneousGroup>&) {
+       consume(analysis::hour_of_day_profile(e.faults).day_night_ratio_multibit());
+     }},
+    {"fig07", false,
+     [](const sim::CampaignResult&, const analysis::ExtractionResult& e,
+        const std::vector<analysis::SimultaneousGroup>&) {
+       consume(static_cast<double>(
+           analysis::temperature_profile(e.faults).without_reading));
+     }},
+    {"fig08", false,
+     [](const sim::CampaignResult&, const analysis::ExtractionResult& e,
+        const std::vector<analysis::SimultaneousGroup>&) {
+       consume(static_cast<double>(
+           analysis::temperature_profile(e.faults).without_reading));
+     }},
+    {"fig09", false,
+     [](const sim::CampaignResult& c, const analysis::ExtractionResult&,
+        const std::vector<analysis::SimultaneousGroup>&) {
+       const auto series = analysis::daily_terabyte_hours(c.archive);
+       consume(series.empty() ? 0.0 : series.front());
+     }},
+    {"fig10", false,
+     [](const sim::CampaignResult& c, const analysis::ExtractionResult& e,
+        const std::vector<analysis::SimultaneousGroup>&) {
+       consume(analysis::scan_error_correlation(c.archive, e.faults).r);
+     }},
+    {"fig11", false,
+     [](const sim::CampaignResult&, const analysis::ExtractionResult& e,
+        const std::vector<analysis::SimultaneousGroup>&) {
+       std::uint64_t multibit = 0;
+       for (const auto& f : e.faults) multibit += f.flipped_bits() >= 2;
+       consume(static_cast<double>(multibit));
+     }},
+    {"fig12", false,
+     [](const sim::CampaignResult& c, const analysis::ExtractionResult& e,
+        const std::vector<analysis::SimultaneousGroup>&) {
+       const analysis::TopNodeSeries top =
+           analysis::top_node_series(e.faults, c.archive.window());
+       for (const auto& node : top.nodes)
+         consume(static_cast<double>(
+             analysis::node_pattern_profile(e.faults, node).faults));
+     }},
+    {"fig13", false,
+     [](const sim::CampaignResult& c, const analysis::ExtractionResult& e,
+        const std::vector<analysis::SimultaneousGroup>&) {
+       consume(analysis::classify_regime_excluding_loudest(e.faults,
+                                                           c.archive.window())
+                   .regime.normal_mtbf_hours);
+     }},
+    {"ext_temporal", false,
+     [](const sim::CampaignResult& c, const analysis::ExtractionResult& e,
+        const std::vector<analysis::SimultaneousGroup>&) {
+       const analysis::AutoRegime regimes =
+           analysis::classify_regime_excluding_loudest(e.faults,
+                                                       c.archive.window());
+       std::vector<cluster::NodeId> excluded;
+       if (regimes.excluded) excluded.push_back(*regimes.excluded);
+       const analysis::InterArrivalStats observed =
+           analysis::interarrival_stats(e.faults, excluded);
+       consume(analysis::poisson_reference(observed.gaps + 1,
+                                           c.archive.window().duration_seconds(),
+                                           17)
+                   .cv);
+     }},
+    {"ext_markov", false,
+     [](const sim::CampaignResult& c, const analysis::ExtractionResult& e,
+        const std::vector<analysis::SimultaneousGroup>&) {
+       const analysis::AutoRegime regimes =
+           analysis::classify_regime_excluding_loudest(e.faults,
+                                                       c.archive.window());
+       const std::vector<bool> days(
+           regimes.regime.degraded.begin(),
+           regimes.regime.degraded.begin() +
+               static_cast<std::ptrdiff_t>(c.archive.window().duration_days()));
+       consume(analysis::fit_markov_regime(days).stationary_degraded());
+       consume(analysis::spell_stats(days).mean_degraded_spell);
+     }},
+    {"ext_alignment", true,
+     [](const sim::CampaignResult&, const analysis::ExtractionResult&,
+        const std::vector<analysis::SimultaneousGroup>& groups) {
+       const dram::AddressMap map(dram::default_geometry());
+       consume(analysis::physical_alignment_stats(groups, map).aligned_fraction());
+       consume(analysis::logical_spread(groups).mean_span_bytes);
+     }},
+};
+
+}  // namespace
+
+int main() {
+  using namespace unp;
+  bench::print_header(
+      "perf_report - one-pass report vs one process per figure",
+      "18 sections; one-pass streaming >= 3x faster than 18 warm-cache "
+      "process startups");
+
+  // Warm the cache so both workflows measure the steady state.
+  (void)bench::default_data();
+  if (bench::default_cache_path().empty()) {
+    std::printf("campaign cache disabled (UNP_CAMPAIGN_CACHE=off); the\n"
+                "N-process emulation needs the cache - nothing to compare.\n");
+    return 0;
+  }
+
+  // --- Workflow A: one process per section (emulated in-process). --------
+  const std::size_t n_sections = std::size(kSections);
+  double per_process_total = 0.0;
+  std::printf("%-14s %12s\n", "section", "process ms");
+  for (const SectionJob& job : kSections) {
+    const auto start = std::chrono::steady_clock::now();
+    sim::CampaignResult campaign;
+    if (!bench::reload_default_campaign(campaign)) {
+      std::printf("cache reload failed; aborting comparison\n");
+      return 1;
+    }
+    const analysis::ExtractionResult extraction =
+        analysis::extract_faults(campaign.archive);
+    std::vector<analysis::SimultaneousGroup> groups;
+    if (job.needs_groups) groups = analysis::group_simultaneous(extraction.faults);
+    job.compute(campaign, extraction, groups);
+    const double ms = ms_since(start);
+    per_process_total += ms;
+    std::printf("%-14s %12.1f\n", job.name, ms);
+  }
+
+  // --- Workflow B: the unp_report one-pass engine. ------------------------
+  const std::size_t threads = sim::default_campaign_threads();
+  const auto one_pass_start = std::chrono::steady_clock::now();
+
+  analysis::ScanProfileSink scan;
+  analysis::StreamingExtractor extractor;
+  bench::stream_campaign(sim::CampaignConfig{}, analysis::ExtractionConfig{},
+                         {&scan, &extractor}, threads);
+  const analysis::ExtractionResult extraction = extractor.finish();
+
+  analysis::ErrorsGridAnalyzer errors_grid;
+  analysis::MultibitPatternAnalyzer patterns;
+  analysis::AdjacencyAnalyzer adjacency;
+  analysis::DirectionAnalyzer direction;
+  analysis::SimultaneousGroupAnalyzer grouping;
+  analysis::HourOfDayAnalyzer hourly;
+  analysis::TemperatureAnalyzer temperature;
+  analysis::DailyErrorsAnalyzer daily;
+  analysis::TopNodeAnalyzer top_nodes;
+  analysis::NodePatternCensus node_patterns;
+  analysis::RegimeAnalyzer regime;
+  analysis::InterArrivalAnalyzer interarrival;
+  analysis::RegimeDynamicsAnalyzer dynamics;
+  const dram::AddressMap address_map(dram::default_geometry());
+  analysis::AlignmentAnalyzer alignment(address_map);
+  std::vector<analysis::FaultSink*> sinks = {
+      &errors_grid, &patterns,      &adjacency, &direction,    &grouping,
+      &hourly,      &temperature,   &daily,     &top_nodes,    &node_patterns,
+      &regime,      &interarrival,  &dynamics,  &alignment};
+  ThreadPool pool(threads);
+  analysis::run_fault_sinks(extraction.faults, {scan.window()}, sinks, &pool);
+
+  // Post-pass products the sections derive from the analyzers.
+  consume(analysis::headline_stats(scan.total_monitored_hours(),
+                                   scan.total_terabyte_hours(),
+                                   scan.monitored_nodes(), scan.window(),
+                                   extraction)
+              .node_mtbf_hours);
+  consume(static_cast<double>(
+      analysis::count_viewpoints(grouping.groups()).per_node[2]));
+  consume(analysis::scan_error_correlation(scan.daily_terabyte_hours(),
+                                           daily.series())
+              .r);
+  for (const auto& node : top_nodes.series().nodes)
+    consume(static_cast<double>(node_patterns.profile(node).faults));
+  consume(analysis::poisson_reference(interarrival.stats().gaps + 1,
+                                      scan.window().duration_seconds(), 17)
+              .cv);
+  const double one_pass_ms = ms_since(one_pass_start);
+
+  std::printf("%-14s %12s\n", "", "------------");
+  std::printf("%-14s %12.1f  (%zu warm-cache process startups)\n",
+              "N-process", per_process_total, n_sections);
+  std::printf("%-14s %12.1f  (1 stream replay + %zu-thread fan-out)\n",
+              "one-pass", one_pass_ms, threads);
+  if (one_pass_ms > 0.0) {
+    const double speedup = per_process_total / one_pass_ms;
+    std::printf("%-14s %12.2fx %s\n", "speedup", speedup,
+                speedup >= 3.0 ? "(>= 3x target met)" : "(below 3x target)");
+  }
+  return 0;
+}

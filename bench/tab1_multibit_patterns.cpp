@@ -4,61 +4,15 @@
 // two bits (up to 9); repeated patterns with occurrences up to 36; majority
 // non-consecutive; mean distance between corrupted bits ~3, max 11; ~90% of
 // bits flip 1->0; multi-bit corruption concentrated in the low bits.
-#include <cstdio>
-
 #include "analysis/bitstats.hpp"
-#include "common/table.hpp"
 #include "util/campaign_cache.hpp"
+#include "util/figures.hpp"
 
 int main() {
   using namespace unp;
-  bench::print_header(
-      "Table I - multi-bit corruption census",
-      "85 multi-bit (76 double, 9 wider, max 9 bits); repeats up to 36x; "
-      "mostly non-consecutive; mean bit distance ~3, max 11; ~90% 1->0");
-
   const bench::CampaignData& data = bench::default_data();
-  const auto patterns = analysis::multibit_patterns(data.extraction.faults);
-
-  TextTable table({"Bits", "Expected", "Corrupted", "Occurrences", "Consecutive"});
-  std::uint64_t total = 0, doubles = 0, wider = 0;
-  int max_bits = 0;
-  for (const auto& p : patterns) {
-    table.add_row({std::to_string(p.bits), format_hex32(p.expected),
-                   format_hex32(p.corrupted), std::to_string(p.occurrences),
-                   p.consecutive ? "Yes" : "No"});
-    total += p.occurrences;
-    if (p.bits == 2) doubles += p.occurrences;
-    if (p.bits > 2) wider += p.occurrences;
-    max_bits = p.bits > max_bits ? p.bits : max_bits;
-  }
-  std::printf("%s\n", table.render().c_str());
-
-  std::printf("multi-bit faults              : %llu (paper: 85)\n",
-              static_cast<unsigned long long>(total));
-  std::printf("  double-bit                  : %llu (paper: 76)\n",
-              static_cast<unsigned long long>(doubles));
-  std::printf("  more than 2 bits            : %llu (paper: 9)\n",
-              static_cast<unsigned long long>(wider));
-  std::printf("  widest corruption           : %d bits (paper: 9)\n", max_bits);
-
-  const analysis::AdjacencyStats adj =
-      analysis::adjacency_stats(data.extraction.faults);
-  std::printf("non-adjacent / consecutive    : %llu / %llu (paper: majority "
-              "non-adjacent)\n",
-              static_cast<unsigned long long>(adj.non_adjacent),
-              static_cast<unsigned long long>(adj.consecutive));
-  std::printf("mean distance between bits    : %.1f (paper: ~3)\n",
-              adj.mean_distance);
-  std::printf("max distance between bits     : %d (paper: 11)\n",
-              adj.max_distance);
-  std::printf("low-half-dominated faults     : %llu of %llu\n",
-              static_cast<unsigned long long>(adj.low_half_majority),
-              static_cast<unsigned long long>(adj.multibit_faults));
-
-  const analysis::DirectionStats dir =
-      analysis::direction_stats(data.extraction.faults);
-  std::printf("bits flipped 1->0             : %.1f%% (paper: ~90%%)\n",
-              100.0 * dir.one_to_zero_fraction());
+  bench::print_tab1(analysis::multibit_patterns(data.extraction.faults),
+                    analysis::adjacency_stats(data.extraction.faults),
+                    analysis::direction_stats(data.extraction.faults));
   return 0;
 }

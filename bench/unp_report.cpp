@@ -1,0 +1,318 @@
+// Unified figure driver: every paper figure/table from ONE pass.
+//
+// The per-figure binaries each pay a full campaign acquisition (cache reload
+// or simulation) plus a batch extraction before printing one section.  This
+// driver acquires the record stream once (ScanProfileSink + StreamingExtractor
+// riding the same replay), fans the fault-level analyzers out on the thread
+// pool, and prints any requested subset of sections through the same
+// bench::print_* renderers the individual binaries use - so each section is
+// byte-identical to its standalone binary's stdout.
+//
+// Report sections go to stdout; the observability footer (per-stage and
+// per-analyzer wall clock) goes to stderr so section output stays clean.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/alignment.hpp"
+#include "analysis/bitstats.hpp"
+#include "analysis/fault_sink.hpp"
+#include "analysis/grouping.hpp"
+#include "analysis/interarrival.hpp"
+#include "analysis/markov.hpp"
+#include "analysis/metrics.hpp"
+#include "analysis/regime.hpp"
+#include "analysis/streaming_extractor.hpp"
+#include "common/thread_pool.hpp"
+#include "dram/address_map.hpp"
+#include "sim/campaign.hpp"
+#include "util/campaign_cache.hpp"
+#include "util/figures.hpp"
+
+namespace {
+
+using namespace unp;
+
+enum Section : int {
+  kHeadline = 0,
+  kFig01,
+  kFig02,
+  kFig03,
+  kTab1,
+  kFig04,
+  kFig05,
+  kFig06,
+  kFig07,
+  kFig08,
+  kFig09,
+  kFig10,
+  kFig11,
+  kFig12,
+  kFig13,
+  kExtTemporal,
+  kExtMarkov,
+  kExtAlignment,
+  kSectionCount
+};
+
+struct Options {
+  bool want[kSectionCount] = {};
+  std::uint64_t seed = 42;
+  std::size_t threads = sim::default_campaign_threads();
+  analysis::ExtractionConfig extraction;
+};
+
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: unp_report [options]\n"
+               "  --all              print every section (default when none "
+               "requested)\n"
+               "  --headline         Section III-B headline statistics\n"
+               "  --fig N            figure N (1-13); repeatable\n"
+               "  --tab1             Table I multi-bit census\n"
+               "  --ext NAME         extension: temporal | markov | alignment; "
+               "repeatable\n"
+               "  --seed S           campaign seed (default 42)\n"
+               "  --threads T        worker threads (default: hardware "
+               "concurrency)\n"
+               "  --cache-dir DIR    campaign cache directory (sets "
+               "UNP_CACHE_DIR)\n"
+               "  --merge-window S   fault merge window in seconds (default "
+               "%lld)\n",
+               static_cast<long long>(analysis::ExtractionConfig{}.merge_window_s));
+}
+
+constexpr Section kFigSections[] = {kFig01, kFig02, kFig03, kFig04, kFig05,
+                                    kFig06, kFig07, kFig08, kFig09, kFig10,
+                                    kFig11, kFig12, kFig13};
+
+bool parse_args(int argc, char** argv, Options& opts) {
+  bool any_section = false;
+  auto next_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "unp_report: %s needs a value\n", flag);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--all") == 0) {
+      for (int s = 0; s < kSectionCount; ++s) opts.want[s] = true;
+      any_section = true;
+    } else if (std::strcmp(arg, "--headline") == 0) {
+      opts.want[kHeadline] = true;
+      any_section = true;
+    } else if (std::strcmp(arg, "--tab1") == 0) {
+      opts.want[kTab1] = true;
+      any_section = true;
+    } else if (std::strcmp(arg, "--fig") == 0) {
+      const char* v = next_value(i, "--fig");
+      if (!v) return false;
+      const long n = std::strtol(v, nullptr, 10);
+      if (n < 1 || n > 13) {
+        std::fprintf(stderr, "unp_report: --fig expects 1..13, got '%s'\n", v);
+        return false;
+      }
+      opts.want[kFigSections[n - 1]] = true;
+      any_section = true;
+    } else if (std::strcmp(arg, "--ext") == 0) {
+      const char* v = next_value(i, "--ext");
+      if (!v) return false;
+      if (std::strcmp(v, "temporal") == 0) {
+        opts.want[kExtTemporal] = true;
+      } else if (std::strcmp(v, "markov") == 0) {
+        opts.want[kExtMarkov] = true;
+      } else if (std::strcmp(v, "alignment") == 0) {
+        opts.want[kExtAlignment] = true;
+      } else {
+        std::fprintf(stderr,
+                     "unp_report: --ext expects temporal|markov|alignment, "
+                     "got '%s'\n",
+                     v);
+        return false;
+      }
+      any_section = true;
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      const char* v = next_value(i, "--seed");
+      if (!v) return false;
+      opts.seed = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      const char* v = next_value(i, "--threads");
+      if (!v) return false;
+      const long n = std::strtol(v, nullptr, 10);
+      if (n < 1) {
+        std::fprintf(stderr, "unp_report: --threads expects >= 1\n");
+        return false;
+      }
+      opts.threads = static_cast<std::size_t>(n);
+    } else if (std::strcmp(arg, "--cache-dir") == 0) {
+      const char* v = next_value(i, "--cache-dir");
+      if (!v) return false;
+      setenv("UNP_CACHE_DIR", v, 1);
+    } else if (std::strcmp(arg, "--merge-window") == 0) {
+      const char* v = next_value(i, "--merge-window");
+      if (!v) return false;
+      opts.extraction.merge_window_s = std::strtoll(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      usage(stdout);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unp_report: unknown option '%s'\n", arg);
+      usage(stderr);
+      return false;
+    }
+  }
+  if (!any_section)
+    for (int s = 0; s < kSectionCount; ++s) opts.want[s] = true;
+  return true;
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, opts)) return 2;
+  const auto want = [&](Section s) { return opts.want[s]; };
+
+  sim::CampaignConfig config;
+  config.seed = opts.seed;
+
+  // --- Pass 1: one record stream feeds scan totals AND fault extraction. ---
+  analysis::ScanProfileSink scan;
+  analysis::StreamingExtractor extractor(opts.extraction);
+  const bench::StreamStats acquire = bench::stream_campaign(
+      config, opts.extraction, {&scan, &extractor}, opts.threads);
+
+  const auto t_extract = std::chrono::steady_clock::now();
+  const analysis::ExtractionResult extraction = extractor.finish();
+  const double finish_ms = ms_since(t_extract);
+  const CampaignWindow& window = scan.window();
+
+  // --- Pass 2: fan the fault-level analyzers out on the pool. -------------
+  analysis::ErrorsGridAnalyzer errors_grid;
+  analysis::MultibitPatternAnalyzer patterns;
+  analysis::AdjacencyAnalyzer adjacency;
+  analysis::DirectionAnalyzer direction;
+  analysis::SimultaneousGroupAnalyzer grouping;
+  analysis::HourOfDayAnalyzer hourly;
+  analysis::TemperatureAnalyzer temperature;
+  analysis::DailyErrorsAnalyzer daily;
+  analysis::TopNodeAnalyzer top_nodes;
+  analysis::NodePatternCensus node_patterns;
+  analysis::RegimeAnalyzer regime;
+  analysis::InterArrivalAnalyzer interarrival;
+  analysis::RegimeDynamicsAnalyzer dynamics;
+  const dram::AddressMap address_map(dram::default_geometry());
+  analysis::AlignmentAnalyzer alignment(address_map);
+
+  struct Registered {
+    const char* label;
+    analysis::FaultSink* sink;
+  };
+  std::vector<Registered> registered;
+  auto add_sink = [&](bool needed, const char* label, analysis::FaultSink* s) {
+    if (needed) registered.push_back({label, s});
+  };
+  add_sink(want(kFig03), "errors-grid", &errors_grid);
+  add_sink(want(kTab1), "multibit-patterns", &patterns);
+  add_sink(want(kTab1), "adjacency", &adjacency);
+  add_sink(want(kTab1), "direction", &direction);
+  add_sink(want(kFig04), "grouping", &grouping);
+  add_sink(want(kFig05) || want(kFig06), "hour-of-day", &hourly);
+  add_sink(want(kFig07) || want(kFig08), "temperature", &temperature);
+  add_sink(want(kFig10), "daily-errors", &daily);
+  add_sink(want(kFig12), "top-nodes", &top_nodes);
+  add_sink(want(kFig12), "node-patterns", &node_patterns);
+  add_sink(want(kFig13), "regime", &regime);
+  add_sink(want(kExtTemporal), "interarrival", &interarrival);
+  add_sink(want(kExtMarkov), "regime-dynamics", &dynamics);
+  add_sink(want(kExtAlignment), "alignment", &alignment);
+
+  std::vector<analysis::FaultSink*> sinks;
+  for (const auto& r : registered) sinks.push_back(r.sink);
+
+  std::unique_ptr<ThreadPool> pool;
+  if (opts.threads > 1 && sinks.size() > 1)
+    pool = std::make_unique<ThreadPool>(opts.threads);
+  const auto t_fanout = std::chrono::steady_clock::now();
+  const std::vector<analysis::FaultSinkTiming> timings = analysis::run_fault_sinks(
+      extraction.faults, {window}, sinks, pool.get());
+  const double fanout_ms = ms_since(t_fanout);
+
+  // --- Render the requested sections in canonical report order. -----------
+  if (want(kHeadline)) {
+    bench::print_headline(
+        analysis::headline_stats(scan.total_monitored_hours(),
+                                 scan.total_terabyte_hours(),
+                                 scan.monitored_nodes(), window, extraction),
+        extraction);
+  }
+  if (want(kFig01)) bench::print_fig01(scan.hours_grid());
+  if (want(kFig02))
+    bench::print_fig02(scan.hours_grid(), scan.terabyte_hours_grid());
+  if (want(kFig03)) bench::print_fig03(errors_grid.grid());
+  if (want(kTab1))
+    bench::print_tab1(patterns.patterns(), adjacency.stats(), direction.stats());
+  if (want(kFig04)) {
+    bench::print_fig04(analysis::count_viewpoints(grouping.groups()),
+                       analysis::count_co_occurrence(grouping.groups()));
+  }
+  if (want(kFig05)) bench::print_fig05(hourly.profile());
+  if (want(kFig06)) bench::print_fig06(hourly.profile());
+  if (want(kFig07)) bench::print_fig07(temperature.profile());
+  if (want(kFig08)) bench::print_fig08(temperature.profile());
+  if (want(kFig09)) bench::print_fig09(scan.daily_terabyte_hours(), window);
+  if (want(kFig10)) {
+    bench::print_fig10(daily.series(),
+                       analysis::scan_error_correlation(
+                           scan.daily_terabyte_hours(), daily.series()),
+                       window);
+  }
+  if (want(kFig11)) bench::print_fig11(extraction.faults, window);
+  if (want(kFig12)) {
+    std::vector<analysis::NodePatternProfile> profiles;
+    for (const auto& node : top_nodes.series().nodes)
+      profiles.push_back(node_patterns.profile(node));
+    bench::print_fig12(top_nodes.series(), profiles, window);
+  }
+  if (want(kFig13)) bench::print_fig13(regime.result(), window);
+  if (want(kExtTemporal)) {
+    bench::print_ext_temporal(
+        interarrival.stats(),
+        analysis::poisson_reference(interarrival.stats().gaps + 1,
+                                    window.duration_seconds(), 17));
+  }
+  if (want(kExtMarkov)) {
+    bench::print_ext_markov(dynamics.days(), dynamics.model(), dynamics.spells(),
+                            dynamics.regime().regime.degraded_fraction());
+  }
+  if (want(kExtAlignment))
+    bench::print_ext_alignment(alignment.stats(), alignment.spread());
+
+  // --- Observability footer (stderr keeps section stdout byte-clean). -----
+  std::fprintf(stderr, "\n== unp_report: one-pass timings ==\n");
+  std::fprintf(stderr, "record stream (%s)%s : %9.1f ms\n",
+               acquire.from_cache ? "cache replay" : "simulate+spill",
+               acquire.from_cache ? "  " : "", acquire.acquire_ms);
+  std::fprintf(stderr, "extraction finish (filter+sort) : %9.1f ms  (%llu faults)\n",
+               finish_ms,
+               static_cast<unsigned long long>(extraction.faults.size()));
+  std::fprintf(stderr, "analyzer fan-out (%zu sinks, %zu thr) : %7.1f ms\n",
+               sinks.size(), opts.threads, fanout_ms);
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    std::fprintf(stderr, "  %-22s : %9.2f ms\n", registered[i].label,
+                 timings[i].milliseconds);
+  }
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "util/campaign_cache.hpp"
 
+#include <bit>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -7,7 +8,9 @@
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <map>
 #include <memory>
+#include <mutex>
 
 #include "common/require.hpp"
 #include "common/rng.hpp"
@@ -19,7 +22,7 @@ namespace unp::bench {
 namespace {
 
 constexpr char kCacheMagic[4] = {'U', 'N', 'P', 'C'};
-constexpr std::uint8_t kCacheVersion = 1;
+constexpr std::uint8_t kCacheVersion = 2;
 
 using Clock = std::chrono::steady_clock;
 
@@ -27,12 +30,10 @@ double ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
 }
 
-std::uint64_t cache_fingerprint(const sim::CampaignConfig& config) {
-  std::uint64_t h = mix64(config.seed, kCacheVersion);
-  h = mix64(h, static_cast<std::uint64_t>(config.window.start));
-  h = mix64(h, static_cast<std::uint64_t>(config.window.end));
-  h = mix64(h, static_cast<std::uint64_t>(cluster::kStudyNodeSlots));
-  return h;
+/// The one default campaign configuration every bench shares.
+const sim::CampaignConfig& default_config() {
+  static const sim::CampaignConfig config{};
+  return config;
 }
 
 bool cache_disabled() {
@@ -54,6 +55,33 @@ std::string cache_path_for(std::uint64_t fingerprint) {
   std::snprintf(name, sizeof name, "unp_campaign_%016llx.unpc",
                 static_cast<unsigned long long>(fingerprint));
   return (dir / name).string();
+}
+
+// --- file header --------------------------------------------------------
+
+void write_cache_header(std::ostream& os, std::uint64_t fingerprint) {
+  os.write(kCacheMagic, sizeof kCacheMagic);
+  os.put(static_cast<char>(kCacheVersion));
+  for (int i = 0; i < 8; ++i) {
+    os.put(static_cast<char>((fingerprint >> (8 * i)) & 0xFF));
+  }
+}
+
+/// Validates magic/version/fingerprint; ContractViolation on mismatch.
+void read_cache_header(std::istream& is, std::uint64_t expected) {
+  char magic[4];
+  is.read(magic, sizeof magic);
+  UNP_REQUIRE(is.gcount() == sizeof magic);
+  UNP_REQUIRE(std::memcmp(magic, kCacheMagic, sizeof magic) == 0);
+  const int version = is.get();
+  UNP_REQUIRE(version == kCacheVersion);
+  std::uint64_t fingerprint = 0;
+  for (int i = 0; i < 8; ++i) {
+    const int c = is.get();
+    UNP_REQUIRE(c != std::char_traits<char>::eof());
+    fingerprint |= static_cast<std::uint64_t>(c) << (8 * i);
+  }
+  UNP_REQUIRE(fingerprint == expected);
 }
 
 // --- ground truth / accounting sections ---------------------------------
@@ -151,28 +179,23 @@ std::vector<sim::NodeAccounting> decode_accounting(const std::string& in,
 
 // --- load / store -------------------------------------------------------
 
+sim::CampaignResult empty_campaign(const sim::CampaignConfig& config) {
+  return sim::CampaignResult{
+      sim::CampaignSummary{sim::campaign_topology(config), {}, {}},
+      telemetry::CampaignArchive(config.window)};
+}
+
 /// Reload `result` (archive + ground truth + accounting) from the cache
 /// file; the topology is rebuilt deterministically from the config.  Any
 /// format violation reports failure and falls back to simulation.
 bool load_cached_campaign(const std::string& path,
                           const sim::CampaignConfig& config,
+                          std::uint64_t fingerprint,
                           sim::CampaignResult& result) {
   std::ifstream is(path, std::ios::binary);
   if (!is.good()) return false;
   try {
-    char magic[4];
-    is.read(magic, sizeof magic);
-    UNP_REQUIRE(is.gcount() == sizeof magic);
-    UNP_REQUIRE(std::memcmp(magic, kCacheMagic, sizeof magic) == 0);
-    const int version = is.get();
-    UNP_REQUIRE(version == kCacheVersion);
-    std::uint64_t fingerprint = 0;
-    for (int i = 0; i < 8; ++i) {
-      const int c = is.get();
-      UNP_REQUIRE(c != std::char_traits<char>::eof());
-      fingerprint |= static_cast<std::uint64_t>(c) << (8 * i);
-    }
-    UNP_REQUIRE(fingerprint == cache_fingerprint(config));
+    read_cache_header(is, fingerprint);
 
     // Move each decoded NodeLog straight into the archive rather than
     // replaying it record-by-record through the sink interface; on the
@@ -186,54 +209,70 @@ bool load_cached_campaign(const std::string& path,
     const std::string rest((std::istreambuf_iterator<char>(is)),
                            std::istreambuf_iterator<char>());
     std::size_t pos = 0;
-    result.ground_truth = decode_ground_truth(rest, pos);
-    result.accounting = decode_accounting(rest, pos);
+    result.summary.ground_truth = decode_ground_truth(rest, pos);
+    result.summary.accounting = decode_accounting(rest, pos);
     UNP_REQUIRE(pos == rest.size());
   } catch (const ContractViolation&) {
-    result = sim::CampaignResult{sim::campaign_topology(config),
-                                 telemetry::CampaignArchive(config.window),
-                                 {},
-                                 {}};
+    result = empty_campaign(config);
     return false;
   }
-  result.topology = sim::campaign_topology(config);
+  result.summary.topology = sim::campaign_topology(config);
   return true;
 }
 
-/// Simulate the campaign (multithreaded), spilling the record stream into
-/// the cache file while the archive materializes in-process, then append
-/// the ground-truth and accounting sections.  Cache write failures degrade
-/// to a plain in-memory run.
-void simulate_campaign(const std::string& path, const sim::CampaignConfig& config,
-                       sim::CampaignResult& result) {
+/// Replay the cached record stream through `sink` with full framing,
+/// without materializing an archive.  Returns false (after possibly having
+/// pushed a partial stream — sinks must reset in begin_campaign) when the
+/// file is missing, stale or torn.
+bool replay_cached_stream(const std::string& path, std::uint64_t fingerprint,
+                          telemetry::RecordSink& sink) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return false;
+  try {
+    read_cache_header(is, fingerprint);
+    telemetry::ArchiveReader reader(is);
+    sink.begin_campaign(reader.window());
+    cluster::NodeId node{};
+    telemetry::NodeLog log;
+    while (reader.next(node, log)) {
+      sink.begin_node(node);
+      telemetry::replay_node_log(log, sink);
+      sink.end_node(node);
+    }
+    sink.end_campaign();
+  } catch (const ContractViolation&) {
+    return false;
+  }
+  return true;
+}
+
+/// Simulate the campaign on `threads` threads, streaming the records to
+/// `sinks` while spilling the stream plus the ground-truth and accounting
+/// sections into the cache file.  Cache write failures degrade to a plain
+/// streaming run.
+sim::CampaignSummary simulate_and_spill(
+    const std::string& path, std::uint64_t fingerprint,
+    const sim::CampaignConfig& config,
+    std::vector<telemetry::RecordSink*> sinks, std::size_t threads) {
   const std::string tmp = path.empty() ? "" : path + ".tmp";
   std::ofstream os;
   std::unique_ptr<telemetry::ArchiveWriter> writer;
   if (!tmp.empty()) {
     os.open(tmp, std::ios::binary | std::ios::trunc);
     if (os.good()) {
-      os.write(kCacheMagic, sizeof kCacheMagic);
-      os.put(static_cast<char>(kCacheVersion));
-      const std::uint64_t fingerprint = cache_fingerprint(config);
-      for (int i = 0; i < 8; ++i) {
-        os.put(static_cast<char>((fingerprint >> (8 * i)) & 0xFF));
-      }
+      write_cache_header(os, fingerprint);
       writer = std::make_unique<telemetry::ArchiveWriter>(os);
     }
   }
-
-  std::vector<telemetry::RecordSink*> sinks{&result.archive};
   if (writer) sinks.push_back(writer.get());
-  sim::CampaignSummary summary = sim::run_campaign_streaming(
-      config, sinks, sim::default_campaign_threads());
-  result.topology = std::move(summary.topology);
-  result.ground_truth = std::move(summary.ground_truth);
-  result.accounting = std::move(summary.accounting);
+
+  sim::CampaignSummary summary =
+      sim::run_campaign_streaming(config, sinks, threads);
 
   if (writer && os.good()) {
     std::string sections;
-    encode_ground_truth(sections, result.ground_truth);
-    encode_accounting(sections, result.accounting);
+    encode_ground_truth(sections, summary.ground_truth);
+    encode_accounting(sections, summary.accounting);
     os.write(sections.data(), static_cast<std::streamsize>(sections.size()));
     os.close();
     if (os.good()) {
@@ -245,13 +284,86 @@ void simulate_campaign(const std::string& path, const sim::CampaignConfig& confi
     std::error_code ec;
     std::filesystem::remove(tmp, ec);
   }
+  return summary;
+}
+
+/// A pipeline the registry owns: the campaign lives next to the data so
+/// `data.campaign` stays valid for the process lifetime.
+struct PipelineEntry {
+  sim::CampaignResult campaign;
+  CampaignData data;
+};
+
+std::unique_ptr<PipelineEntry> build_pipeline(
+    const sim::CampaignConfig& config,
+    const analysis::ExtractionConfig& extraction, std::uint64_t fingerprint) {
+  auto entry = std::make_unique<PipelineEntry>(
+      PipelineEntry{empty_campaign(config), {}});
+  sim::CampaignResult& campaign = entry->campaign;
+  CampaignData& d = entry->data;
+  if (!cache_disabled()) d.stats.cache_path = cache_path_for(fingerprint);
+
+  const auto acquire_start = Clock::now();
+  if (!d.stats.cache_path.empty() &&
+      load_cached_campaign(d.stats.cache_path, config, fingerprint, campaign)) {
+    d.stats.from_cache = true;
+  } else {
+    campaign.summary = simulate_and_spill(d.stats.cache_path, fingerprint,
+                                          config, {&campaign.archive},
+                                          sim::default_campaign_threads());
+  }
+  d.stats.acquire_ms = ms_since(acquire_start);
+  d.campaign = &campaign;
+
+  const auto extract_start = Clock::now();
+  d.extraction = analysis::extract_faults(campaign.archive, extraction);
+  d.stats.extract_ms = ms_since(extract_start);
+
+  const auto group_start = Clock::now();
+  d.groups = analysis::group_simultaneous(d.extraction.faults);
+  d.stats.group_ms = ms_since(group_start);
+
+  d.stats.raw_records = d.extraction.total_raw_logs;
+  d.stats.faults = d.extraction.faults.size();
+  d.stats.groups = d.groups.size();
+  return entry;
 }
 
 }  // namespace
 
+std::uint64_t campaign_fingerprint(const sim::CampaignConfig& config,
+                                   const analysis::ExtractionConfig& extraction) {
+  std::uint64_t h = mix64(config.seed, kCacheVersion);
+  h = mix64(h, static_cast<std::uint64_t>(config.window.start));
+  h = mix64(h, static_cast<std::uint64_t>(config.window.end));
+  h = mix64(h, static_cast<std::uint64_t>(cluster::kStudyNodeSlots));
+  // Extraction parameters participate so products computed under a
+  // non-default configuration never pair with a defaults-keyed entry.
+  h = mix64(h, static_cast<std::uint64_t>(extraction.merge_window_s));
+  h = mix64(h, extraction.pathological_min_raw);
+  h = mix64(h, std::bit_cast<std::uint64_t>(extraction.pathological_raw_fraction));
+  return h;
+}
+
+const CampaignData& default_data() {
+  return default_data(analysis::ExtractionConfig{});
+}
+
+const CampaignData& default_data(const analysis::ExtractionConfig& extraction) {
+  static std::mutex mutex;
+  static std::map<std::uint64_t, std::unique_ptr<PipelineEntry>> registry;
+  const sim::CampaignConfig& config = default_config();
+  const std::uint64_t fingerprint = campaign_fingerprint(config, extraction);
+  const std::lock_guard<std::mutex> lock(mutex);
+  std::unique_ptr<PipelineEntry>& slot = registry[fingerprint];
+  if (!slot) slot = build_pipeline(config, extraction, fingerprint);
+  return slot->data;
+}
+
 std::string default_cache_path() {
   if (cache_disabled()) return {};
-  return cache_path_for(cache_fingerprint(sim::CampaignConfig{}));
+  return cache_path_for(
+      campaign_fingerprint(default_config(), analysis::ExtractionConfig{}));
 }
 
 void invalidate_default_cache() {
@@ -264,49 +376,32 @@ void invalidate_default_cache() {
 bool reload_default_campaign(sim::CampaignResult& out) {
   const std::string path = default_cache_path();
   if (path.empty()) return false;
-  const sim::CampaignConfig config{};
-  out = sim::CampaignResult{sim::campaign_topology(config),
-                            telemetry::CampaignArchive(config.window),
-                            {},
-                            {}};
-  return load_cached_campaign(path, config, out);
+  const sim::CampaignConfig& config = default_config();
+  out = empty_campaign(config);
+  return load_cached_campaign(
+      path, config,
+      campaign_fingerprint(config, analysis::ExtractionConfig{}), out);
 }
 
-const CampaignData& default_data() {
-  static const CampaignData data = [] {
-    const sim::CampaignConfig config{};
-    // Static so `campaign` pointers stay valid for the process lifetime.
-    static sim::CampaignResult campaign{sim::campaign_topology(config),
-                                        telemetry::CampaignArchive(config.window),
-                                        {},
-                                        {}};
-    CampaignData d;
-    d.stats.cache_path = default_cache_path();
+StreamStats stream_campaign(const sim::CampaignConfig& config,
+                            const analysis::ExtractionConfig& extraction,
+                            const std::vector<telemetry::RecordSink*>& sinks,
+                            std::size_t threads) {
+  StreamStats stats;
+  const std::uint64_t fingerprint = campaign_fingerprint(config, extraction);
+  if (!cache_disabled()) stats.cache_path = cache_path_for(fingerprint);
 
-    const auto acquire_start = Clock::now();
-    if (!d.stats.cache_path.empty() &&
-        load_cached_campaign(d.stats.cache_path, config, campaign)) {
-      d.stats.from_cache = true;
-    } else {
-      simulate_campaign(d.stats.cache_path, config, campaign);
-    }
-    d.stats.acquire_ms = ms_since(acquire_start);
-    d.campaign = &campaign;
-
-    const auto extract_start = Clock::now();
-    d.extraction = analysis::extract_faults(campaign.archive);
-    d.stats.extract_ms = ms_since(extract_start);
-
-    const auto group_start = Clock::now();
-    d.groups = analysis::group_simultaneous(d.extraction.faults);
-    d.stats.group_ms = ms_since(group_start);
-
-    d.stats.raw_records = d.extraction.total_raw_logs;
-    d.stats.faults = d.extraction.faults.size();
-    d.stats.groups = d.groups.size();
-    return d;
-  }();
-  return data;
+  const auto start = Clock::now();
+  telemetry::FanOutSink fan;
+  for (auto* sink : sinks) fan.add(*sink);
+  if (!stats.cache_path.empty() &&
+      replay_cached_stream(stats.cache_path, fingerprint, fan)) {
+    stats.from_cache = true;
+  } else {
+    simulate_and_spill(stats.cache_path, fingerprint, config, sinks, threads);
+  }
+  stats.acquire_ms = ms_since(start);
+  return stats;
 }
 
 void print_header(const std::string& experiment, const std::string& paper_shape) {

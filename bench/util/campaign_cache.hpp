@@ -13,11 +13,14 @@
 //           <archive stream, telemetry/archive_io format>
 //           ground_truth_section accounting_section
 //
-// The fingerprint digests the campaign seed, window and the codec versions;
-// a mismatch (changed config or format) invalidates the file and triggers a
-// fresh simulate-and-rewrite.  Location: $UNP_CACHE_DIR (default: the system
-// temp dir) / unp_campaign_<fingerprint>.unpc;  UNP_CAMPAIGN_CACHE=off
-// disables the cache entirely.
+// The fingerprint digests the campaign seed, window, topology size, the
+// codec versions AND the extraction configuration, so an analysis run with
+// a non-default merge window can never silently pair with pipeline products
+// cached under the default parameters.  A mismatch (changed config or
+// format) invalidates the file and triggers a fresh simulate-and-rewrite.
+// Location: $UNP_CACHE_DIR (default: the system temp dir) /
+// unp_campaign_<fingerprint>.unpc;  UNP_CAMPAIGN_CACHE=off disables the
+// cache entirely.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +29,7 @@
 #include "analysis/extraction.hpp"
 #include "analysis/grouping.hpp"
 #include "sim/campaign.hpp"
+#include "telemetry/sink.hpp"
 
 namespace unp::bench {
 
@@ -49,10 +53,19 @@ struct CampaignData {
   PipelineStats stats;
 };
 
+/// Digest of everything that determines the shared pipeline's products:
+/// campaign seed / window / topology size, codec version, and the full
+/// ExtractionConfig (merge window + pathological-filter parameters).
+[[nodiscard]] std::uint64_t campaign_fingerprint(
+    const sim::CampaignConfig& config,
+    const analysis::ExtractionConfig& extraction);
+
 /// The default campaign + extraction pipeline, computed once per process
-/// (cache-reloaded when a valid cache file exists, else simulated and
-/// spilled for the next process).
+/// per extraction configuration (cache-reloaded when a valid cache file
+/// exists, else simulated and spilled for the next process).
 [[nodiscard]] const CampaignData& default_data();
+[[nodiscard]] const CampaignData& default_data(
+    const analysis::ExtractionConfig& extraction);
 
 /// Cache file the default campaign maps to ("" when caching is disabled).
 [[nodiscard]] std::string default_cache_path();
@@ -62,8 +75,27 @@ void invalidate_default_cache();
 
 /// Reload the default campaign from its cache file into `out`.  Returns
 /// false when caching is disabled or the file is missing/stale/corrupt.
-/// Exposed so bench_perf_pipeline can measure the reload path in isolation.
+/// Exposed so the perf benches can measure the reload path in isolation.
 bool reload_default_campaign(sim::CampaignResult& out);
+
+/// Instrumentation of a one-pass streaming acquisition.
+struct StreamStats {
+  bool from_cache = false;   ///< record stream replayed from disk
+  std::string cache_path;    ///< file used (empty when caching is disabled)
+  double acquire_ms = 0.0;   ///< full pass: reload or simulate+spill
+};
+
+/// One-pass acquisition: push the campaign's canonical record stream for
+/// `config` through `sinks`, replaying the on-disk cache entry when a valid
+/// one exists and otherwise simulating on `threads` threads while spilling
+/// a fresh entry.  Either way every sink observes the identical stream with
+/// full framing.  Sinks must (re)initialize their state in begin_campaign —
+/// on a torn cache file the acquisition falls back to simulation, which
+/// re-opens the stream.
+StreamStats stream_campaign(const sim::CampaignConfig& config,
+                            const analysis::ExtractionConfig& extraction,
+                            const std::vector<telemetry::RecordSink*>& sinks,
+                            std::size_t threads);
 
 /// Standard bench header: experiment id, paper reference, and the shape the
 /// paper reports (so every bench output is self-describing).

@@ -1,0 +1,98 @@
+// Shared renderers for every paper figure/table the bench suite prints.
+//
+// Each renderer takes finished analysis products and writes one complete,
+// self-describing report section (header included) to stdout.  Both front
+// ends call these with equal values, so their output is byte-identical by
+// construction:
+//
+//   - the per-figure binaries (bench_fig01.., bench_tab1.., bench_ext_..)
+//     compute their products with the batch entry points;
+//   - unp_report computes all products in one streaming pass and prints any
+//     requested subset.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/alignment.hpp"
+#include "analysis/bitstats.hpp"
+#include "analysis/extraction.hpp"
+#include "analysis/grouping.hpp"
+#include "analysis/interarrival.hpp"
+#include "analysis/markov.hpp"
+#include "analysis/metrics.hpp"
+#include "analysis/regime.hpp"
+#include "common/histogram.hpp"
+#include "common/stats.hpp"
+
+namespace unp::bench {
+
+/// Section III-B headline statistics.
+void print_headline(const analysis::HeadlineStats& stats,
+                    const analysis::ExtractionResult& extraction);
+
+/// Fig 1: hours each node was scanned.
+void print_fig01(const Grid2D& hours);
+
+/// Fig 2: terabyte-hours per node (needs Fig 1's grid for the correlation).
+void print_fig02(const Grid2D& hours, const Grid2D& tbh);
+
+/// Fig 3: independent errors per node.
+void print_fig03(const Grid2D& errors);
+
+/// Table I: multi-bit corruption census.
+void print_tab1(const std::vector<analysis::MultibitPattern>& patterns,
+                const analysis::AdjacencyStats& adj,
+                const analysis::DirectionStats& dir);
+
+/// Fig 4: per-word vs per-node accounting of the same corruptions.
+void print_fig04(const analysis::MultibitViewpoints& viewpoints,
+                 const analysis::CoOccurrence& co);
+
+/// Fig 5: errors per hour of day, by bit class.
+void print_fig05(const analysis::HourOfDayProfile& profile);
+
+/// Fig 6: multi-bit errors per hour of day.
+void print_fig06(const analysis::HourOfDayProfile& profile);
+
+/// Fig 7: errors vs node temperature, by bit class.
+void print_fig07(const analysis::TemperatureProfile& profile);
+
+/// Fig 8: multi-bit errors vs node temperature.
+void print_fig08(const analysis::TemperatureProfile& profile);
+
+/// Fig 9: terabyte-hours scanned per day.
+void print_fig09(std::span<const double> daily_tbh,
+                 const CampaignWindow& window);
+
+/// Fig 10: errors per day + the Section III-G scan-vs-error correlation.
+void print_fig10(const analysis::DailyErrorSeries& series,
+                 const PearsonResult& corr, const CampaignWindow& window);
+
+/// Fig 11: multi-bit errors per day (walks the fault list directly).
+void print_fig11(analysis::FaultView faults, const CampaignWindow& window);
+
+/// Fig 12: top-3 nodes vs the rest; `profiles` pairs with `top.nodes`.
+void print_fig12(const analysis::TopNodeSeries& top,
+                 const std::vector<analysis::NodePatternProfile>& profiles,
+                 const CampaignWindow& window);
+
+/// Fig 13 + Section III-I: normal vs degraded days.
+void print_fig13(const analysis::AutoRegime& result,
+                 const CampaignWindow& window);
+
+/// Extension: inter-arrival structure vs the Poisson null.
+void print_ext_temporal(const analysis::InterArrivalStats& observed,
+                        const analysis::InterArrivalStats& null_model);
+
+/// Extension: Markov dynamics of the regime sequence.
+void print_ext_markov(const std::vector<bool>& days,
+                      const analysis::MarkovRegimeModel& model,
+                      const analysis::SpellStats& stats,
+                      double empirical_degraded_fraction);
+
+/// Extension: physical alignment of simultaneous corruptions.
+void print_ext_alignment(const analysis::AlignmentStats& stats,
+                         const analysis::LogicalSpread& spread);
+
+}  // namespace unp::bench

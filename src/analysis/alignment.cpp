@@ -93,4 +93,20 @@ LogicalSpread logical_spread(const std::vector<SimultaneousGroup>& groups) {
   return spread;
 }
 
+void AlignmentAnalyzer::begin_faults(const FaultStreamContext& ctx) {
+  grouping_.begin_faults(ctx);
+  stats_ = AlignmentStats{};
+  spread_ = LogicalSpread{};
+}
+
+void AlignmentAnalyzer::on_fault(const FaultRecord& fault) {
+  grouping_.on_fault(fault);
+}
+
+void AlignmentAnalyzer::end_faults() {
+  grouping_.end_faults();
+  stats_ = physical_alignment_stats(grouping_.groups(), *map_);
+  spread_ = logical_spread(grouping_.groups());
+}
+
 }  // namespace unp::analysis

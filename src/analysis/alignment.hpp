@@ -66,4 +66,27 @@ struct LogicalSpread {
 [[nodiscard]] LogicalSpread logical_spread(
     const std::vector<SimultaneousGroup>& groups);
 
+// --- Streaming analyzer ---------------------------------------------------
+
+/// Physical alignment incrementally: groups the stream with a
+/// SimultaneousGroupAnalyzer, then classifies every multi-word group under
+/// the given address map at end_faults.  The map must outlive the analyzer.
+class AlignmentAnalyzer final : public FaultSink {
+ public:
+  explicit AlignmentAnalyzer(const dram::AddressMap& map) : map_(&map) {}
+
+  void begin_faults(const FaultStreamContext& ctx) override;
+  void on_fault(const FaultRecord& fault) override;
+  void end_faults() override;
+
+  [[nodiscard]] const AlignmentStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const LogicalSpread& spread() const noexcept { return spread_; }
+
+ private:
+  const dram::AddressMap* map_;
+  SimultaneousGroupAnalyzer grouping_;
+  AlignmentStats stats_;
+  LogicalSpread spread_;
+};
+
 }  // namespace unp::analysis

@@ -1,94 +1,135 @@
 #include "analysis/bitstats.hpp"
 
 #include <algorithm>
-#include <map>
-#include <set>
 
 namespace unp::analysis {
 
-std::vector<MultibitPattern> multibit_patterns(
-    const std::vector<FaultRecord>& faults) {
-  std::map<std::pair<Word, Word>, std::uint64_t> census;
-  for (const auto& f : faults) {
-    if (f.is_multibit()) ++census[{f.expected, f.actual}];
-  }
-  std::vector<MultibitPattern> out;
-  out.reserve(census.size());
-  for (const auto& [key, count] : census) {
+namespace {
+
+template <typename Analyzer>
+Analyzer drive(FaultView faults) {
+  Analyzer analyzer;
+  analyzer.begin_faults({});
+  for (const auto& f : faults) analyzer.on_fault(f);
+  analyzer.end_faults();
+  return analyzer;
+}
+
+}  // namespace
+
+std::vector<MultibitPattern> multibit_patterns(FaultView faults) {
+  return drive<MultibitPatternAnalyzer>(faults).patterns();
+}
+
+DirectionStats direction_stats(FaultView faults) {
+  return drive<DirectionAnalyzer>(faults).stats();
+}
+
+AdjacencyStats adjacency_stats(FaultView faults) {
+  return drive<AdjacencyAnalyzer>(faults).stats();
+}
+
+NodePatternProfile node_pattern_profile(FaultView faults,
+                                        cluster::NodeId node) {
+  return drive<NodePatternCensus>(faults).profile(node);
+}
+
+void MultibitPatternAnalyzer::begin_faults(const FaultStreamContext& /*ctx*/) {
+  census_.clear();
+  patterns_.clear();
+}
+
+void MultibitPatternAnalyzer::on_fault(const FaultRecord& fault) {
+  if (fault.is_multibit()) ++census_[{fault.expected, fault.actual}];
+}
+
+void MultibitPatternAnalyzer::end_faults() {
+  patterns_.clear();
+  patterns_.reserve(census_.size());
+  for (const auto& [key, count] : census_) {
     MultibitPattern p;
     p.expected = key.first;
     p.corrupted = key.second;
     p.bits = flipped_bit_count(p.expected, p.corrupted);
     p.occurrences = count;
     p.consecutive = flipped_bits_adjacent(p.expected ^ p.corrupted);
-    out.push_back(p);
+    patterns_.push_back(p);
   }
-  std::sort(out.begin(), out.end(),
+  std::sort(patterns_.begin(), patterns_.end(),
             [](const MultibitPattern& a, const MultibitPattern& b) {
               if (a.bits != b.bits) return a.bits < b.bits;
               if (a.occurrences != b.occurrences)
                 return a.occurrences < b.occurrences;
               return a.corrupted < b.corrupted;
             });
-  return out;
 }
 
-DirectionStats direction_stats(const std::vector<FaultRecord>& faults) {
-  DirectionStats s;
-  for (const auto& f : faults) {
-    s.one_to_zero += static_cast<std::uint64_t>(
-        std::popcount(one_to_zero_mask(f.expected, f.actual)));
-    s.zero_to_one += static_cast<std::uint64_t>(
-        std::popcount(zero_to_one_mask(f.expected, f.actual)));
-  }
-  return s;
+void DirectionAnalyzer::begin_faults(const FaultStreamContext& /*ctx*/) {
+  stats_ = DirectionStats{};
 }
 
-AdjacencyStats adjacency_stats(const std::vector<FaultRecord>& faults) {
-  AdjacencyStats s;
-  double distance_sum = 0.0;
-  std::uint64_t distance_count = 0;
-  for (const auto& f : faults) {
-    if (!f.is_multibit()) continue;
-    ++s.multibit_faults;
-    const Word mask = f.flip_mask();
-    if (flipped_bits_adjacent(mask)) {
-      ++s.consecutive;
-    } else {
-      ++s.non_adjacent;
-    }
-    for (const int gap : flipped_bit_gaps(mask)) {
-      distance_sum += gap;
-      ++distance_count;
-      s.max_distance = std::max(s.max_distance, gap);
-    }
-    const int low = std::popcount(mask & Word{0x0000FFFF});
-    const int high = std::popcount(mask & Word{0xFFFF0000});
-    if (low > high) ++s.low_half_majority;
-  }
-  if (distance_count > 0) {
-    s.mean_distance = distance_sum / static_cast<double>(distance_count);
-  }
-  return s;
+void DirectionAnalyzer::on_fault(const FaultRecord& fault) {
+  stats_.one_to_zero += static_cast<std::uint64_t>(
+      std::popcount(one_to_zero_mask(fault.expected, fault.actual)));
+  stats_.zero_to_one += static_cast<std::uint64_t>(
+      std::popcount(zero_to_one_mask(fault.expected, fault.actual)));
 }
 
-NodePatternProfile node_pattern_profile(const std::vector<FaultRecord>& faults,
-                                        cluster::NodeId node) {
+void AdjacencyAnalyzer::begin_faults(const FaultStreamContext& /*ctx*/) {
+  stats_ = AdjacencyStats{};
+  distance_sum_ = 0.0;
+  distance_count_ = 0;
+}
+
+void AdjacencyAnalyzer::on_fault(const FaultRecord& fault) {
+  if (!fault.is_multibit()) return;
+  ++stats_.multibit_faults;
+  const Word mask = fault.flip_mask();
+  if (flipped_bits_adjacent(mask)) {
+    ++stats_.consecutive;
+  } else {
+    ++stats_.non_adjacent;
+  }
+  for (const int gap : flipped_bit_gaps(mask)) {
+    distance_sum_ += gap;
+    ++distance_count_;
+    stats_.max_distance = std::max(stats_.max_distance, gap);
+  }
+  const int low = std::popcount(mask & Word{0x0000FFFF});
+  const int high = std::popcount(mask & Word{0xFFFF0000});
+  if (low > high) ++stats_.low_half_majority;
+}
+
+void AdjacencyAnalyzer::end_faults() {
+  if (distance_count_ > 0) {
+    stats_.mean_distance =
+        distance_sum_ / static_cast<double>(distance_count_);
+  }
+}
+
+void NodePatternCensus::begin_faults(const FaultStreamContext& /*ctx*/) {
+  by_node_.clear();
+}
+
+void NodePatternCensus::on_fault(const FaultRecord& fault) {
+  NodeSets& sets = by_node_[cluster::node_index(fault.node)];
+  ++sets.faults;
+  sets.addresses.insert(fault.virtual_address);
+  sets.patterns.insert(
+      {fault.flip_mask(), one_to_zero_mask(fault.expected, fault.actual)});
+  sets.masks.insert(fault.flip_mask());
+}
+
+NodePatternProfile NodePatternCensus::profile(cluster::NodeId node) const {
   NodePatternProfile p;
-  std::set<std::uint64_t> addresses;
-  std::set<std::pair<Word, Word>> patterns;  // (flip mask, 1->0 mask)
-  std::set<Word> masks;
-  for (const auto& f : faults) {
-    if (!(f.node == node)) continue;
-    ++p.faults;
-    addresses.insert(f.virtual_address);
-    patterns.insert({f.flip_mask(), one_to_zero_mask(f.expected, f.actual)});
-    masks.insert(f.flip_mask());
-  }
-  p.distinct_addresses = addresses.size();
-  p.distinct_patterns = patterns.size();
-  p.single_fixed_bit =
-      p.faults > 0 && masks.size() == 1 && std::popcount(*masks.begin()) == 1;
+  const auto it = by_node_.find(cluster::node_index(node));
+  if (it == by_node_.end()) return p;
+  const NodeSets& sets = it->second;
+  p.faults = sets.faults;
+  p.distinct_addresses = sets.addresses.size();
+  p.distinct_patterns = sets.patterns.size();
+  p.single_fixed_bit = p.faults > 0 && sets.masks.size() == 1 &&
+                       std::popcount(*sets.masks.begin()) == 1;
   return p;
 }
 

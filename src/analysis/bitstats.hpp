@@ -6,12 +6,20 @@
 //   - distances between corrupted bits: mean ~3, max 11, majority
 //     non-adjacent;
 //   - position: most multi-bit corruption sits in the low half of the word.
+//
+// Each statistic has a batch entry point over a FaultView and a streaming
+// FaultSink analyzer; the batch functions drive the analyzers, so both paths
+// share one implementation.
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "analysis/extraction.hpp"
+#include "analysis/fault_sink.hpp"
 
 namespace unp::analysis {
 
@@ -22,12 +30,13 @@ struct MultibitPattern {
   Word corrupted = 0;
   std::uint64_t occurrences = 0;
   bool consecutive = false;  ///< flipped bits form one contiguous run
+
+  friend bool operator==(const MultibitPattern&, const MultibitPattern&) = default;
 };
 
 /// The multi-bit pattern census, ordered like Table I (bits asc, then
 /// occurrences asc).
-[[nodiscard]] std::vector<MultibitPattern> multibit_patterns(
-    const std::vector<FaultRecord>& faults);
+[[nodiscard]] std::vector<MultibitPattern> multibit_patterns(FaultView faults);
 
 struct DirectionStats {
   std::uint64_t one_to_zero = 0;
@@ -39,10 +48,12 @@ struct DirectionStats {
                            static_cast<double>(total)
                      : 0.0;
   }
+
+  friend bool operator==(const DirectionStats&, const DirectionStats&) = default;
 };
 
 /// Per-bit flip directions across all faults.
-[[nodiscard]] DirectionStats direction_stats(const std::vector<FaultRecord>& faults);
+[[nodiscard]] DirectionStats direction_stats(FaultView faults);
 
 struct AdjacencyStats {
   std::uint64_t multibit_faults = 0;
@@ -51,10 +62,12 @@ struct AdjacencyStats {
   double mean_distance = 0.0;        ///< mean gap between successive flips
   int max_distance = 0;              ///< max bit-position gap observed
   std::uint64_t low_half_majority = 0;  ///< faults with most flips in bits 0..15
+
+  friend bool operator==(const AdjacencyStats&, const AdjacencyStats&) = default;
 };
 
 /// Adjacency/distance census over the multi-bit faults.
-[[nodiscard]] AdjacencyStats adjacency_stats(const std::vector<FaultRecord>& faults);
+[[nodiscard]] AdjacencyStats adjacency_stats(FaultView faults);
 
 /// Distinct corrupted addresses and distinct flip patterns of one node
 /// (Section III-H characterizes node 02-04 with these).
@@ -63,9 +76,74 @@ struct NodePatternProfile {
   std::uint64_t distinct_addresses = 0;
   std::uint64_t distinct_patterns = 0;  ///< distinct (flip_mask, direction)
   bool single_fixed_bit = false;  ///< all faults flip the identical bit
+
+  friend bool operator==(const NodePatternProfile&, const NodePatternProfile&) = default;
 };
 
-[[nodiscard]] NodePatternProfile node_pattern_profile(
-    const std::vector<FaultRecord>& faults, cluster::NodeId node);
+[[nodiscard]] NodePatternProfile node_pattern_profile(FaultView faults,
+                                                      cluster::NodeId node);
+
+// --- Streaming analyzers --------------------------------------------------
+
+/// Table I incrementally.
+class MultibitPatternAnalyzer final : public FaultSink {
+ public:
+  void begin_faults(const FaultStreamContext& ctx) override;
+  void on_fault(const FaultRecord& fault) override;
+  void end_faults() override;
+  [[nodiscard]] const std::vector<MultibitPattern>& patterns() const noexcept {
+    return patterns_;
+  }
+
+ private:
+  std::map<std::pair<Word, Word>, std::uint64_t> census_;
+  std::vector<MultibitPattern> patterns_;
+};
+
+/// Flip-direction census incrementally.
+class DirectionAnalyzer final : public FaultSink {
+ public:
+  void begin_faults(const FaultStreamContext& ctx) override;
+  void on_fault(const FaultRecord& fault) override;
+  [[nodiscard]] const DirectionStats& stats() const noexcept { return stats_; }
+
+ private:
+  DirectionStats stats_;
+};
+
+/// Adjacency/distance census incrementally.
+class AdjacencyAnalyzer final : public FaultSink {
+ public:
+  void begin_faults(const FaultStreamContext& ctx) override;
+  void on_fault(const FaultRecord& fault) override;
+  void end_faults() override;
+  [[nodiscard]] const AdjacencyStats& stats() const noexcept { return stats_; }
+
+ private:
+  AdjacencyStats stats_;
+  double distance_sum_ = 0.0;
+  std::uint64_t distance_count_ = 0;
+};
+
+/// Per-node pattern profiles incrementally, for every node that faulted.
+/// Fig 12 asks for the profiles of the loudest nodes, which are only known
+/// after the stream ends, so the census keeps all of them (set sizes are
+/// bounded by the fault count).
+class NodePatternCensus final : public FaultSink {
+ public:
+  void begin_faults(const FaultStreamContext& ctx) override;
+  void on_fault(const FaultRecord& fault) override;
+  /// Profile of `node`; default-constructed if the node never faulted.
+  [[nodiscard]] NodePatternProfile profile(cluster::NodeId node) const;
+
+ private:
+  struct NodeSets {
+    std::uint64_t faults = 0;
+    std::set<std::uint64_t> addresses;
+    std::set<std::pair<Word, Word>> patterns;  // (flip mask, 1->0 mask)
+    std::set<Word> masks;
+  };
+  std::map<int, NodeSets> by_node_;  ///< keyed by node_index
+};
 
 }  // namespace unp::analysis

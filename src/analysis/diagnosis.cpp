@@ -29,7 +29,7 @@ const char* NodeDiagnosis::recommendation() const noexcept {
   return "none";
 }
 
-NodeDiagnosis diagnose_node(const std::vector<FaultRecord>& faults,
+NodeDiagnosis diagnose_node(FaultView faults,
                             cluster::NodeId node,
                             const DiagnosisConfig& config) {
   NodeDiagnosis diag;
@@ -82,7 +82,7 @@ NodeDiagnosis diagnose_node(const std::vector<FaultRecord>& faults,
   return diag;
 }
 
-std::vector<NodeDiagnosis> diagnose_fleet(const std::vector<FaultRecord>& faults,
+std::vector<NodeDiagnosis> diagnose_fleet(FaultView faults,
                                           const DiagnosisConfig& config) {
   std::set<int> nodes;
   for (const auto& f : faults) nodes.insert(cluster::node_index(f.node));

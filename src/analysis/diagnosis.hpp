@@ -60,12 +60,11 @@ struct NodeDiagnosis {
 };
 
 /// Diagnose one node from its extracted faults.
-[[nodiscard]] NodeDiagnosis diagnose_node(const std::vector<FaultRecord>& faults,
-                                          cluster::NodeId node,
+[[nodiscard]] NodeDiagnosis diagnose_node(FaultView faults, cluster::NodeId node,
                                           const DiagnosisConfig& config = {});
 
 /// Diagnose every node that shows at least one fault, ordered loudest first.
 [[nodiscard]] std::vector<NodeDiagnosis> diagnose_fleet(
-    const std::vector<FaultRecord>& faults, const DiagnosisConfig& config = {});
+    FaultView faults, const DiagnosisConfig& config = {});
 
 }  // namespace unp::analysis

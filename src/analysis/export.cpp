@@ -77,7 +77,7 @@ std::string csv_temperature_profile(const TemperatureProfile& profile) {
 }
 
 std::string csv_daily(const telemetry::CampaignArchive& archive,
-                      const std::vector<FaultRecord>& faults) {
+                      FaultView faults) {
   const CampaignWindow& window = archive.window();
   const std::vector<double> tbh = daily_terabyte_hours(archive);
   const auto errors = daily_errors(faults, window);
@@ -98,7 +98,7 @@ std::string csv_daily(const telemetry::CampaignArchive& archive,
   return out;
 }
 
-std::string csv_faults(const std::vector<FaultRecord>& faults) {
+std::string csv_faults(FaultView faults) {
   std::string out =
       "node,first_seen,last_seen,raw_logs,vaddr,expected,actual,bits,temp_c\n";
   for (const auto& f : faults) {

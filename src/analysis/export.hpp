@@ -27,11 +27,11 @@ namespace unp::analysis {
 
 /// Daily CSV: "day,date,tbh_scanned,errors,multibit_errors" (Figs 9-11).
 [[nodiscard]] std::string csv_daily(const telemetry::CampaignArchive& archive,
-                                    const std::vector<FaultRecord>& faults);
+                                    FaultView faults);
 
 /// Full fault dump:
 /// "node,first_seen,last_seen,raw_logs,vaddr,expected,actual,bits,temp_c".
-[[nodiscard]] std::string csv_faults(const std::vector<FaultRecord>& faults);
+[[nodiscard]] std::string csv_faults(FaultView faults);
 
 /// Fig 4 CSV: "bits,per_word,per_node".
 [[nodiscard]] std::string csv_viewpoints(const MultibitViewpoints& viewpoints);

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "cluster/topology.hpp"
@@ -48,6 +49,12 @@ struct FaultRecord {
 
   friend bool operator==(const FaultRecord&, const FaultRecord&) = default;
 };
+
+/// Read-only, non-owning view of extracted faults in canonical order
+/// (time, node, address).  Every analysis entry point takes this view so
+/// batch callers (holding a vector) and streaming callers (holding an
+/// extractor's buffer) share one signature.
+using FaultView = std::span<const FaultRecord>;
 
 struct ExtractionConfig {
   /// Remove nodes holding more than this fraction of all raw logs...

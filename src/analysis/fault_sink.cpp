@@ -1,0 +1,31 @@
+#include "analysis/fault_sink.hpp"
+
+#include <chrono>
+
+namespace unp::analysis {
+
+std::vector<FaultSinkTiming> run_fault_sinks(FaultView faults,
+                                             const FaultStreamContext& ctx,
+                                             std::span<FaultSink* const> sinks,
+                                             ThreadPool* pool) {
+  std::vector<FaultSinkTiming> timings(sinks.size());
+  const auto run_one = [&](std::size_t i) {
+    using Clock = std::chrono::steady_clock;
+    const auto t0 = Clock::now();
+    FaultSink* sink = sinks[i];
+    sink->begin_faults(ctx);
+    for (const FaultRecord& fault : faults) sink->on_fault(fault);
+    sink->end_faults();
+    timings[i] = {sink,
+                  std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                      .count()};
+  };
+  if (pool == nullptr || sinks.size() <= 1) {
+    for (std::size_t i = 0; i < sinks.size(); ++i) run_one(i);
+  } else {
+    pool->parallel_for(sinks.size(), run_one);
+  }
+  return timings;
+}
+
+}  // namespace unp::analysis

@@ -1,0 +1,66 @@
+// Fault-level streaming consumers: the analysis analogue of
+// telemetry::RecordSink.
+//
+// StreamingExtractor reduces the raw record stream to the canonical fault
+// vector (sorted by time, node, address).  FaultSink is the consumer
+// interface for that second stream: every figure-level analyzer implements
+// it and accumulates its product incrementally, so the whole analysis layer
+// computes from ONE pass over the campaign records followed by one pass over
+// the extracted faults.
+//
+// Protocol (per pass):
+//
+//   begin_faults(ctx)
+//   on_fault(f)*        (faults in canonical (time, node, address) order)
+//   end_faults()
+//
+// run_fault_sinks fans a set of sinks out on the thread pool.  Each sink
+// gets its own private, full, in-order pass over a stable FaultView — sinks
+// never share mutable state — so the fan-out is embarrassingly parallel and
+// every product is bit-identical for any thread count.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/extraction.hpp"
+#include "common/civil_time.hpp"
+#include "common/thread_pool.hpp"
+
+namespace unp::analysis {
+
+/// Stream-level context handed to every sink before the first fault.
+struct FaultStreamContext {
+  CampaignWindow window;
+};
+
+/// Consumer of an extracted-fault stream.
+class FaultSink {
+ public:
+  virtual ~FaultSink() = default;
+
+  /// Stream framing; default no-op so stateless sinks only handle faults.
+  virtual void begin_faults(const FaultStreamContext& /*ctx*/) {}
+  virtual void end_faults() {}
+
+  virtual void on_fault(const FaultRecord& fault) = 0;
+};
+
+/// Wall-clock cost of one sink's pass, for observability footers.
+struct FaultSinkTiming {
+  FaultSink* sink = nullptr;
+  double milliseconds = 0.0;
+};
+
+/// Stream `faults` through every sink.  With a pool the sinks run
+/// concurrently, one task per sink; without one they run sequentially in the
+/// given order.  `faults` must stay alive and unmoved until the sinks'
+/// products are consumed — sinks may keep pointers into the view
+/// (SimultaneousGroupAnalyzer does).  Returns per-sink timings in `sinks`
+/// order.
+std::vector<FaultSinkTiming> run_fault_sinks(FaultView faults,
+                                             const FaultStreamContext& ctx,
+                                             std::span<FaultSink* const> sinks,
+                                             ThreadPool* pool = nullptr);
+
+}  // namespace unp::analysis

@@ -16,8 +16,7 @@ int SimultaneousGroup::max_word_bits() const noexcept {
   return bits;
 }
 
-std::vector<SimultaneousGroup> group_simultaneous(
-    const std::vector<FaultRecord>& faults) {
+std::vector<SimultaneousGroup> group_simultaneous(FaultView faults) {
   // Order by (node, time) to make groups contiguous.
   std::vector<const FaultRecord*> sorted;
   sorted.reserve(faults.size());
@@ -60,6 +59,35 @@ MultibitViewpoints count_viewpoints(const std::vector<SimultaneousGroup>& groups
     ++v.per_node[clamp_bits(g.total_bits())];
   }
   return v;
+}
+
+void SimultaneousGroupAnalyzer::begin_faults(const FaultStreamContext& /*ctx*/) {
+  by_node_.assign(static_cast<std::size_t>(cluster::kStudyNodeSlots), {});
+  groups_.clear();
+}
+
+void SimultaneousGroupAnalyzer::on_fault(const FaultRecord& fault) {
+  by_node_[static_cast<std::size_t>(cluster::node_index(fault.node))]
+      .push_back(&fault);
+}
+
+void SimultaneousGroupAnalyzer::end_faults() {
+  groups_.clear();
+  for (const auto& bucket : by_node_) {
+    for (const FaultRecord* f : bucket) {
+      if (!groups_.empty() && groups_.back().node == f->node &&
+          groups_.back().time == f->first_seen) {
+        groups_.back().members.push_back(f);
+      } else {
+        SimultaneousGroup g;
+        g.node = f->node;
+        g.time = f->first_seen;
+        g.members.push_back(f);
+        groups_.push_back(std::move(g));
+      }
+    }
+  }
+  by_node_.clear();
 }
 
 CoOccurrence count_co_occurrence(const std::vector<SimultaneousGroup>& groups) {

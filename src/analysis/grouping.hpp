@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "analysis/extraction.hpp"
+#include "analysis/fault_sink.hpp"
 
 namespace unp::analysis {
 
@@ -29,8 +30,7 @@ struct SimultaneousGroup {
 
 /// Group faults by (node, first_seen); includes singleton groups.
 /// Pointers reference `faults`, which must outlive the result.
-[[nodiscard]] std::vector<SimultaneousGroup> group_simultaneous(
-    const std::vector<FaultRecord>& faults);
+[[nodiscard]] std::vector<SimultaneousGroup> group_simultaneous(FaultView faults);
 
 /// Fig 4's two viewpoints: error counts bucketed by flip width 1..32,
 /// counted per memory word and per node-instant.
@@ -56,5 +56,27 @@ struct CoOccurrence {
 
 [[nodiscard]] CoOccurrence count_co_occurrence(
     const std::vector<SimultaneousGroup>& groups);
+
+// --- Streaming analyzer ---------------------------------------------------
+
+/// Simultaneity grouping incrementally.  Faults arrive in canonical
+/// (time, node, address) order; bucketing them per node preserves each
+/// node's (time, address) order, so concatenating the buckets by ascending
+/// node index at end_faults reproduces group_simultaneous' sort exactly.
+/// Group members point into the streamed FaultView, which must outlive the
+/// analyzer's products.
+class SimultaneousGroupAnalyzer final : public FaultSink {
+ public:
+  void begin_faults(const FaultStreamContext& ctx) override;
+  void on_fault(const FaultRecord& fault) override;
+  void end_faults() override;
+  [[nodiscard]] const std::vector<SimultaneousGroup>& groups() const noexcept {
+    return groups_;
+  }
+
+ private:
+  std::vector<std::vector<const FaultRecord*>> by_node_;
+  std::vector<SimultaneousGroup> groups_;
+};
 
 }  // namespace unp::analysis

@@ -40,8 +40,7 @@ InterArrivalStats stats_from_times(std::vector<TimePoint>& times) {
 }  // namespace
 
 InterArrivalStats interarrival_stats(
-    const std::vector<FaultRecord>& faults,
-    const std::vector<cluster::NodeId>& excluded_nodes) {
+    FaultView faults, const std::vector<cluster::NodeId>& excluded_nodes) {
   std::vector<TimePoint> times;
   times.reserve(faults.size());
   for (const auto& f : faults) {
@@ -64,6 +63,38 @@ InterArrivalStats poisson_reference(std::uint64_t events, std::int64_t span_s,
         rng.uniform_u64(static_cast<std::uint64_t>(span_s))));
   }
   return stats_from_times(times);
+}
+
+void InterArrivalAnalyzer::begin_faults(const FaultStreamContext& /*ctx*/) {
+  times_.clear();
+  nodes_.clear();
+  totals_.assign(static_cast<std::size_t>(cluster::kStudyNodeSlots), 0);
+  excluded_.reset();
+  stats_ = InterArrivalStats{};
+}
+
+void InterArrivalAnalyzer::on_fault(const FaultRecord& fault) {
+  times_.push_back(fault.first_seen);
+  nodes_.push_back(cluster::node_index(fault.node));
+  ++totals_[static_cast<std::size_t>(cluster::node_index(fault.node))];
+}
+
+void InterArrivalAnalyzer::end_faults() {
+  if (exclude_loudest_ && !totals_.empty()) {
+    const auto loudest = static_cast<int>(std::distance(
+        totals_.begin(), std::max_element(totals_.begin(), totals_.end())));
+    if (totals_[static_cast<std::size_t>(loudest)] > 0) {
+      excluded_ = cluster::node_from_index(loudest);
+      std::vector<TimePoint> kept;
+      kept.reserve(times_.size());
+      for (std::size_t i = 0; i < times_.size(); ++i) {
+        if (nodes_[i] != loudest) kept.push_back(times_[i]);
+      }
+      stats_ = stats_from_times(kept);
+      return;
+    }
+  }
+  stats_ = stats_from_times(times_);
 }
 
 }  // namespace unp::analysis

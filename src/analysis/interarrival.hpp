@@ -12,9 +12,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "analysis/extraction.hpp"
+#include "analysis/fault_sink.hpp"
 
 namespace unp::analysis {
 
@@ -30,18 +32,48 @@ struct InterArrivalStats {
   [[nodiscard]] double burstiness() const noexcept {
     return (cv + 1.0) > 0.0 ? (cv - 1.0) / (cv + 1.0) : 0.0;
   }
+
+  friend bool operator==(const InterArrivalStats&, const InterArrivalStats&) = default;
 };
 
 /// Inter-arrival statistics of the fault stream (cluster-wide), optionally
 /// excluding nodes (the permanent failure, per Section III-I).
 [[nodiscard]] InterArrivalStats interarrival_stats(
-    const std::vector<FaultRecord>& faults,
-    const std::vector<cluster::NodeId>& excluded_nodes = {});
+    FaultView faults, const std::vector<cluster::NodeId>& excluded_nodes = {});
 
 /// The same statistics for a synthetic Poisson process with an equal number
 /// of events over the same span (the null hypothesis to compare against).
 [[nodiscard]] InterArrivalStats poisson_reference(std::uint64_t events,
                                                   std::int64_t span_s,
                                                   std::uint64_t seed);
+
+// --- Streaming analyzer ---------------------------------------------------
+
+/// Inter-arrival statistics incrementally.  Buffers one TimePoint per fault
+/// and resolves the loudest-node exclusion (Section III-I removes the
+/// permanent failure) at end_faults, with the same tie-break as
+/// classify_regime_excluding_loudest so both analyses drop the same node.
+class InterArrivalAnalyzer final : public FaultSink {
+ public:
+  explicit InterArrivalAnalyzer(bool exclude_loudest = true)
+      : exclude_loudest_(exclude_loudest) {}
+
+  void begin_faults(const FaultStreamContext& ctx) override;
+  void on_fault(const FaultRecord& fault) override;
+  void end_faults() override;
+
+  [[nodiscard]] const InterArrivalStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::optional<cluster::NodeId>& excluded() const noexcept {
+    return excluded_;
+  }
+
+ private:
+  bool exclude_loudest_;
+  std::vector<TimePoint> times_;  ///< per fault, arrival order
+  std::vector<int> nodes_;        ///< node_index per fault, same order
+  std::vector<std::uint64_t> totals_;
+  std::optional<cluster::NodeId> excluded_;
+  InterArrivalStats stats_;
+};
 
 }  // namespace unp::analysis

@@ -56,6 +56,29 @@ MarkovRegimeModel fit_markov_regime(const std::vector<bool>& degraded) {
   return model;
 }
 
+void RegimeDynamicsAnalyzer::begin_faults(const FaultStreamContext& ctx) {
+  window_ = ctx.window;
+  regime_.begin_faults(ctx);
+  days_.clear();
+  model_ = MarkovRegimeModel{};
+  spells_ = SpellStats{};
+}
+
+void RegimeDynamicsAnalyzer::on_fault(const FaultRecord& fault) {
+  regime_.on_fault(fault);
+}
+
+void RegimeDynamicsAnalyzer::end_faults() {
+  regime_.end_faults();
+  const std::vector<bool>& degraded = regime_.result().regime.degraded;
+  const auto whole_days = std::min<std::size_t>(
+      degraded.size(), static_cast<std::size_t>(window_.duration_days()));
+  days_.assign(degraded.begin(),
+               degraded.begin() + static_cast<std::ptrdiff_t>(whole_days));
+  model_ = fit_markov_regime(days_);
+  spells_ = spell_stats(days_);
+}
+
 SpellStats spell_stats(const std::vector<bool>& degraded) {
   SpellStats stats;
   double normal_sum = 0.0, degraded_sum = 0.0;

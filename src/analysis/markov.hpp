@@ -50,4 +50,34 @@ struct SpellStats {
 
 [[nodiscard]] SpellStats spell_stats(const std::vector<bool>& degraded);
 
+// --- Streaming analyzer ---------------------------------------------------
+
+/// Regime dynamics incrementally: runs a RegimeAnalyzer over the stream and
+/// fits the Markov chain + empirical spell statistics at end_faults, on the
+/// day sequence trimmed to whole campaign days (the counting series' +2
+/// slack days would bias the fit).
+class RegimeDynamicsAnalyzer final : public FaultSink {
+ public:
+  explicit RegimeDynamicsAnalyzer(std::uint64_t normal_threshold = 3)
+      : regime_(normal_threshold) {}
+
+  void begin_faults(const FaultStreamContext& ctx) override;
+  void on_fault(const FaultRecord& fault) override;
+  void end_faults() override;
+
+  [[nodiscard]] const AutoRegime& regime() const noexcept {
+    return regime_.result();
+  }
+  [[nodiscard]] const std::vector<bool>& days() const noexcept { return days_; }
+  [[nodiscard]] const MarkovRegimeModel& model() const noexcept { return model_; }
+  [[nodiscard]] const SpellStats& spells() const noexcept { return spells_; }
+
+ private:
+  RegimeAnalyzer regime_;
+  CampaignWindow window_;
+  std::vector<bool> days_;
+  MarkovRegimeModel model_;
+  SpellStats spells_;
+};
+
 }  // namespace unp::analysis

@@ -4,27 +4,16 @@
 
 namespace unp::analysis {
 
-RegimeResult classify_regime(const std::vector<FaultRecord>& faults,
-                             const CampaignWindow& window,
-                             const RegimeConfig& config) {
+RegimeResult classify_daily_counts(std::vector<std::uint64_t> errors_per_day,
+                                   std::uint64_t normal_threshold) {
   RegimeResult result;
-  const auto days = static_cast<std::size_t>(window.duration_days()) + 2;
-  result.errors_per_day.assign(days, 0);
-
-  for (const auto& f : faults) {
-    if (std::find(config.excluded_nodes.begin(), config.excluded_nodes.end(),
-                  f.node) != config.excluded_nodes.end()) {
-      continue;
-    }
-    const std::int64_t day = window.day_of_campaign(f.first_seen);
-    if (day < 0 || static_cast<std::size_t>(day) >= days) continue;
-    ++result.errors_per_day[static_cast<std::size_t>(day)];
-  }
+  const std::size_t days = errors_per_day.size();
+  result.errors_per_day = std::move(errors_per_day);
 
   result.degraded.assign(days, false);
   for (std::size_t d = 0; d < days; ++d) {
     const std::uint64_t errors = result.errors_per_day[d];
-    if (errors > config.normal_threshold) {
+    if (errors > normal_threshold) {
       result.degraded[d] = true;
       ++result.degraded_days;
       result.degraded_errors += errors;
@@ -46,9 +35,28 @@ RegimeResult classify_regime(const std::vector<FaultRecord>& faults,
   return result;
 }
 
-AutoRegime classify_regime_excluding_loudest(
-    const std::vector<FaultRecord>& faults, const CampaignWindow& window,
-    std::uint64_t normal_threshold) {
+RegimeResult classify_regime(FaultView faults, const CampaignWindow& window,
+                             const RegimeConfig& config) {
+  const auto days = static_cast<std::size_t>(window.duration_days()) + 2;
+  std::vector<std::uint64_t> errors_per_day(days, 0);
+
+  for (const auto& f : faults) {
+    if (std::find(config.excluded_nodes.begin(), config.excluded_nodes.end(),
+                  f.node) != config.excluded_nodes.end()) {
+      continue;
+    }
+    const std::int64_t day = window.day_of_campaign(f.first_seen);
+    if (day < 0 || static_cast<std::size_t>(day) >= days) continue;
+    ++errors_per_day[static_cast<std::size_t>(day)];
+  }
+
+  return classify_daily_counts(std::move(errors_per_day),
+                               config.normal_threshold);
+}
+
+AutoRegime classify_regime_excluding_loudest(FaultView faults,
+                                             const CampaignWindow& window,
+                                             std::uint64_t normal_threshold) {
   std::vector<std::uint64_t> totals(
       static_cast<std::size_t>(cluster::kStudyNodeSlots), 0);
   for (const auto& f : faults) {
@@ -66,6 +74,45 @@ AutoRegime classify_regime_excluding_loudest(
   }
   out.regime = classify_regime(faults, window, config);
   return out;
+}
+
+void RegimeAnalyzer::begin_faults(const FaultStreamContext& ctx) {
+  window_ = ctx.window;
+  days_ = static_cast<std::size_t>(window_.duration_days()) + 2;
+  totals_.assign(static_cast<std::size_t>(cluster::kStudyNodeSlots), 0);
+  counts_.assign(static_cast<std::size_t>(cluster::kStudyNodeSlots) * days_, 0);
+  result_ = AutoRegime{};
+}
+
+void RegimeAnalyzer::on_fault(const FaultRecord& fault) {
+  const auto node = static_cast<std::size_t>(cluster::node_index(fault.node));
+  ++totals_[node];
+  const std::int64_t day = window_.day_of_campaign(fault.first_seen);
+  if (day < 0 || static_cast<std::size_t>(day) >= days_) return;
+  ++counts_[node * days_ + static_cast<std::size_t>(day)];
+}
+
+void RegimeAnalyzer::end_faults() {
+  const auto loudest = static_cast<std::size_t>(std::distance(
+      totals_.begin(), std::max_element(totals_.begin(), totals_.end())));
+
+  std::vector<std::uint64_t> errors_per_day(days_, 0);
+  for (std::size_t node = 0;
+       node < static_cast<std::size_t>(cluster::kStudyNodeSlots); ++node) {
+    if (!totals_.empty() && totals_[loudest] > 0 && node == loudest) continue;
+    for (std::size_t d = 0; d < days_; ++d)
+      errors_per_day[d] += counts_[node * days_ + d];
+  }
+
+  result_ = AutoRegime{};
+  if (!totals_.empty() && totals_[loudest] > 0) {
+    result_.excluded = cluster::node_from_index(static_cast<int>(loudest));
+  }
+  result_.regime =
+      classify_daily_counts(std::move(errors_per_day), normal_threshold_);
+
+  totals_.clear();
+  counts_.clear();
 }
 
 }  // namespace unp::analysis

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "analysis/extraction.hpp"
+#include "analysis/fault_sink.hpp"
 
 namespace unp::analysis {
 
@@ -48,8 +49,14 @@ struct RegimeResult {
   }
 };
 
+/// Classify a finished per-day error-count series.  The day-counting front
+/// ends (batch classify_regime, streaming RegimeAnalyzer) both delegate
+/// here, so the regime split and MTBF arithmetic exist once.
+[[nodiscard]] RegimeResult classify_daily_counts(
+    std::vector<std::uint64_t> errors_per_day, std::uint64_t normal_threshold);
+
 /// Classify every campaign day.
-[[nodiscard]] RegimeResult classify_regime(const std::vector<FaultRecord>& faults,
+[[nodiscard]] RegimeResult classify_regime(FaultView faults,
                                            const CampaignWindow& window,
                                            const RegimeConfig& config);
 
@@ -60,7 +67,31 @@ struct AutoRegime {
   std::optional<cluster::NodeId> excluded;
 };
 [[nodiscard]] AutoRegime classify_regime_excluding_loudest(
-    const std::vector<FaultRecord>& faults, const CampaignWindow& window,
+    FaultView faults, const CampaignWindow& window,
     std::uint64_t normal_threshold = 3);
+
+// --- Streaming analyzer ---------------------------------------------------
+
+/// classify_regime_excluding_loudest incrementally: keeps the per-node,
+/// per-day census (the loudest node is only known once the stream ends) and
+/// resolves the exclusion + classification at end_faults.
+class RegimeAnalyzer final : public FaultSink {
+ public:
+  explicit RegimeAnalyzer(std::uint64_t normal_threshold = 3)
+      : normal_threshold_(normal_threshold) {}
+
+  void begin_faults(const FaultStreamContext& ctx) override;
+  void on_fault(const FaultRecord& fault) override;
+  void end_faults() override;
+  [[nodiscard]] const AutoRegime& result() const noexcept { return result_; }
+
+ private:
+  std::uint64_t normal_threshold_;
+  CampaignWindow window_;
+  std::size_t days_ = 0;
+  std::vector<std::uint64_t> totals_;  ///< all faults per node
+  std::vector<std::uint64_t> counts_;  ///< [node * days_ + day], valid days
+  AutoRegime result_;
+};
 
 }  // namespace unp::analysis

@@ -13,6 +13,17 @@ StreamingExtractor::StreamingExtractor(ExtractionConfig config)
       collapsed_(static_cast<std::size_t>(cluster::kStudyNodeSlots)),
       raw_per_node_(static_cast<std::size_t>(cluster::kStudyNodeSlots), 0) {}
 
+void StreamingExtractor::begin_campaign(const CampaignWindow&) {
+  // Reset so a partially-fed extractor (torn cache replay that fell back to
+  // a fresh simulation pass) starts clean when the stream re-opens.
+  pending_.assign(static_cast<std::size_t>(cluster::kStudyNodeSlots), {});
+  collapsed_.assign(static_cast<std::size_t>(cluster::kStudyNodeSlots), {});
+  raw_per_node_.assign(static_cast<std::size_t>(cluster::kStudyNodeSlots), 0);
+  raw_total_ = 0;
+  sessions_ = 0;
+  finished_ = false;
+}
+
 void StreamingExtractor::on_start(const telemetry::StartRecord&) { ++sessions_; }
 
 void StreamingExtractor::on_end(const telemetry::EndRecord&) {}

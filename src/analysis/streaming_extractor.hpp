@@ -32,6 +32,7 @@ class StreamingExtractor final : public telemetry::RecordSink {
   explicit StreamingExtractor(ExtractionConfig config = ExtractionConfig{});
 
   // RecordSink.
+  void begin_campaign(const CampaignWindow& window) override;
   void on_start(const telemetry::StartRecord& r) override;
   void on_end(const telemetry::EndRecord& r) override;
   void on_alloc_fail(const telemetry::AllocFailRecord& r) override;

@@ -9,36 +9,16 @@
 
 namespace unp::sim {
 
-namespace {
-
-double sum_scanned_hours(const std::vector<NodeAccounting>& accounting) {
+double CampaignSummary::total_scanned_hours() const noexcept {
   double total = 0.0;
   for (const auto& a : accounting) total += a.scanned_hours;
   return total;
 }
 
-double sum_terabyte_hours(const std::vector<NodeAccounting>& accounting) {
+double CampaignSummary::total_terabyte_hours() const noexcept {
   double total = 0.0;
   for (const auto& a : accounting) total += a.terabyte_hours;
   return total;
-}
-
-}  // namespace
-
-double CampaignSummary::total_scanned_hours() const noexcept {
-  return sum_scanned_hours(accounting);
-}
-
-double CampaignSummary::total_terabyte_hours() const noexcept {
-  return sum_terabyte_hours(accounting);
-}
-
-double CampaignResult::total_scanned_hours() const noexcept {
-  return sum_scanned_hours(accounting);
-}
-
-double CampaignResult::total_terabyte_hours() const noexcept {
-  return sum_terabyte_hours(accounting);
 }
 
 namespace {
@@ -168,16 +148,9 @@ CampaignSummary run_campaign_streaming(
 }
 
 CampaignResult run_campaign(const CampaignConfig& config, std::size_t threads) {
-  CampaignResult result{cluster::Topology(cluster::Topology::Config{}),
-                        telemetry::CampaignArchive(config.window),
-                        {},
-                        {}};
-  CampaignSummary summary =
-      run_campaign_streaming(config, {&result.archive}, threads);
-  result.topology = std::move(summary.topology);
-  result.ground_truth = std::move(summary.ground_truth);
-  result.accounting = std::move(summary.accounting);
-  return result;
+  telemetry::CampaignArchive archive(config.window);
+  CampaignSummary summary = run_campaign_streaming(config, {&archive}, threads);
+  return CampaignResult{std::move(summary), std::move(archive)};
 }
 
 std::size_t default_campaign_threads() noexcept {

@@ -61,15 +61,19 @@ struct CampaignSummary {
   [[nodiscard]] double total_terabyte_hours() const noexcept;
 };
 
+/// A materialized campaign: the streaming run's summary plus the archive
+/// the CampaignArchive sink collected.  Totals forward to the summary so
+/// the accounting arithmetic exists once.
 struct CampaignResult {
-  cluster::Topology topology;
+  CampaignSummary summary;
   telemetry::CampaignArchive archive;
-  /// Ground-truth fault events (sorted), for truth-vs-observation studies.
-  std::vector<faults::FaultEvent> ground_truth;
-  std::vector<NodeAccounting> accounting;  ///< one entry per monitored node
 
-  [[nodiscard]] double total_scanned_hours() const noexcept;
-  [[nodiscard]] double total_terabyte_hours() const noexcept;
+  [[nodiscard]] double total_scanned_hours() const noexcept {
+    return summary.total_scanned_hours();
+  }
+  [[nodiscard]] double total_terabyte_hours() const noexcept {
+    return summary.total_terabyte_hours();
+  }
 };
 
 /// The topology the campaign instantiates for `config` (deterministic; lets

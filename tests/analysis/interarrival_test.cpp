@@ -63,7 +63,8 @@ TEST(InterArrival, UnsortedInputHandled) {
 
 TEST(InterArrival, DegenerateInputs) {
   EXPECT_EQ(interarrival_stats({}).gaps, 0u);
-  EXPECT_EQ(interarrival_stats({fault({1, 1}, 5)}).gaps, 0u);
+  const std::vector<FaultRecord> single{fault({1, 1}, 5)};
+  EXPECT_EQ(interarrival_stats(single).gaps, 0u);
 }
 
 TEST(InterArrival, PoissonReferenceHasUnitCv) {

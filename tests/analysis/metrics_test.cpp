@@ -54,7 +54,8 @@ TEST(Grids, ErrorsGrid) {
 TEST(HourProfile, BucketsByLocalHour) {
   // 11:30 UTC in June = 13:30 CEST.
   const TimePoint t = from_civil_utc({2015, 6, 10, 11, 30, 0});
-  const HourOfDayProfile profile = hour_of_day_profile({fault({1, 1}, t, 2)});
+  const std::vector<FaultRecord> faults{fault({1, 1}, t, 2)};
+  const HourOfDayProfile profile = hour_of_day_profile(faults);
   EXPECT_EQ(profile.counts[13][1], 1u);
   EXPECT_EQ(profile.total(13), 1u);
   EXPECT_EQ(profile.multibit(13), 1u);

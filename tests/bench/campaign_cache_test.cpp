@@ -1,0 +1,55 @@
+// The campaign cache key must cover everything that shapes the shared
+// pipeline's products: the simulated campaign's identity AND the extraction
+// parameters, so changing e.g. the merge window can never serve stale faults
+// from a cache written under different settings.
+#include "util/campaign_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/extraction.hpp"
+#include "sim/campaign.hpp"
+
+namespace unp::bench {
+namespace {
+
+TEST(CampaignFingerprint, StableForIdenticalInputs) {
+  const sim::CampaignConfig config;
+  const analysis::ExtractionConfig extraction;
+  EXPECT_EQ(campaign_fingerprint(config, extraction),
+            campaign_fingerprint(config, extraction));
+}
+
+TEST(CampaignFingerprint, SensitiveToCampaignSeed) {
+  const analysis::ExtractionConfig extraction;
+  sim::CampaignConfig a;
+  sim::CampaignConfig b;
+  b.seed = a.seed + 1;
+  EXPECT_NE(campaign_fingerprint(a, extraction),
+            campaign_fingerprint(b, extraction));
+}
+
+TEST(CampaignFingerprint, SensitiveToMergeWindow) {
+  const sim::CampaignConfig config;
+  analysis::ExtractionConfig a;
+  analysis::ExtractionConfig b;
+  b.merge_window_s = a.merge_window_s + 60;
+  EXPECT_NE(campaign_fingerprint(config, a), campaign_fingerprint(config, b));
+}
+
+TEST(CampaignFingerprint, SensitiveToPathologicalFilter) {
+  const sim::CampaignConfig config;
+  const analysis::ExtractionConfig base;
+
+  analysis::ExtractionConfig fraction = base;
+  fraction.pathological_raw_fraction = 0.75;
+  EXPECT_NE(campaign_fingerprint(config, base),
+            campaign_fingerprint(config, fraction));
+
+  analysis::ExtractionConfig min_raw = base;
+  min_raw.pathological_min_raw = base.pathological_min_raw / 2;
+  EXPECT_NE(campaign_fingerprint(config, base),
+            campaign_fingerprint(config, min_raw));
+}
+
+}  // namespace
+}  // namespace unp::bench

@@ -147,7 +147,7 @@ TEST(Invariants, FullCampaignThreadParity) {
             campaign().archive.total_raw_errors());
   EXPECT_DOUBLE_EQ(parallel.total_terabyte_hours(),
                    campaign().total_terabyte_hours());
-  EXPECT_EQ(parallel.ground_truth.size(), campaign().ground_truth.size());
+  EXPECT_EQ(parallel.summary.ground_truth.size(), campaign().summary.ground_truth.size());
   const std::string a = telemetry::encode_archive(parallel.archive);
   const std::string b = telemetry::encode_archive(campaign().archive);
   EXPECT_EQ(a, b);  // byte-for-byte identical telemetry

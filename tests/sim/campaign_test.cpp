@@ -18,7 +18,7 @@ CampaignConfig short_config(std::uint64_t seed = 5) {
 TEST(Campaign, DeterministicAcrossRuns) {
   const CampaignResult a = run_campaign(short_config());
   const CampaignResult b = run_campaign(short_config());
-  EXPECT_EQ(a.ground_truth.size(), b.ground_truth.size());
+  EXPECT_EQ(a.summary.ground_truth.size(), b.summary.ground_truth.size());
   EXPECT_DOUBLE_EQ(a.total_scanned_hours(), b.total_scanned_hours());
   EXPECT_EQ(a.archive.total_raw_errors(), b.archive.total_raw_errors());
 }
@@ -28,11 +28,11 @@ TEST(Campaign, DeterministicAcrossThreadCounts) {
   const CampaignResult b = run_campaign(short_config(), 4);
   EXPECT_EQ(a.archive.total_raw_errors(), b.archive.total_raw_errors());
   EXPECT_DOUBLE_EQ(a.total_terabyte_hours(), b.total_terabyte_hours());
-  ASSERT_EQ(a.ground_truth.size(), b.ground_truth.size());
-  for (std::size_t i = 0; i < a.ground_truth.size(); ++i) {
-    EXPECT_EQ(a.ground_truth[i].time, b.ground_truth[i].time);
-    EXPECT_EQ(cluster::node_index(a.ground_truth[i].node),
-              cluster::node_index(b.ground_truth[i].node));
+  ASSERT_EQ(a.summary.ground_truth.size(), b.summary.ground_truth.size());
+  for (std::size_t i = 0; i < a.summary.ground_truth.size(); ++i) {
+    EXPECT_EQ(a.summary.ground_truth[i].time, b.summary.ground_truth[i].time);
+    EXPECT_EQ(cluster::node_index(a.summary.ground_truth[i].node),
+              cluster::node_index(b.summary.ground_truth[i].node));
   }
 }
 
@@ -44,9 +44,9 @@ TEST(Campaign, SeedChangesOutcome) {
 
 TEST(Campaign, AccountingCoversMonitoredFleet) {
   const CampaignResult result = run_campaign(short_config());
-  EXPECT_EQ(result.accounting.size(), 923u);
+  EXPECT_EQ(result.summary.accounting.size(), 923u);
   double hours = 0.0;
-  for (const auto& acc : result.accounting) {
+  for (const auto& acc : result.summary.accounting) {
     EXPECT_GE(acc.scanned_hours, 0.0);
     hours += acc.scanned_hours;
   }
@@ -67,7 +67,7 @@ TEST(Campaign, LoginAndDeadNodesNeverLog) {
   const CampaignResult result = run_campaign(short_config());
   for (int i = 0; i < cluster::kStudyNodeSlots; ++i) {
     const cluster::NodeId node = cluster::node_from_index(i);
-    if (!result.topology.is_monitored(node)) {
+    if (!result.summary.topology.is_monitored(node)) {
       EXPECT_EQ(result.archive.log(node).starts().size(), 0u);
       EXPECT_EQ(result.archive.log(node).raw_error_count(), 0u);
     }
@@ -76,11 +76,11 @@ TEST(Campaign, LoginAndDeadNodesNeverLog) {
 
 TEST(Campaign, GroundTruthSortedAndOnMonitoredNodes) {
   const CampaignResult result = run_campaign(short_config());
-  for (std::size_t i = 0; i < result.ground_truth.size(); ++i) {
+  for (std::size_t i = 0; i < result.summary.ground_truth.size(); ++i) {
     if (i > 0) {
-      EXPECT_LE(result.ground_truth[i - 1].time, result.ground_truth[i].time);
+      EXPECT_LE(result.summary.ground_truth[i - 1].time, result.summary.ground_truth[i].time);
     }
-    EXPECT_TRUE(result.topology.is_monitored(result.ground_truth[i].node));
+    EXPECT_TRUE(result.summary.topology.is_monitored(result.summary.ground_truth[i].node));
   }
 }
 

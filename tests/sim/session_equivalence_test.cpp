@@ -160,21 +160,21 @@ TEST(CampaignThreadEquivalence, ArchivesAndAccountingAreByteIdentical) {
     EXPECT_EQ(telemetry::encode_archive(other.archive), reference_bytes)
         << threads << " threads";
 
-    ASSERT_EQ(other.accounting.size(), reference.accounting.size());
-    for (std::size_t i = 0; i < reference.accounting.size(); ++i) {
-      const NodeAccounting& a = reference.accounting[i];
-      const NodeAccounting& b = other.accounting[i];
+    ASSERT_EQ(other.summary.accounting.size(), reference.summary.accounting.size());
+    for (std::size_t i = 0; i < reference.summary.accounting.size(); ++i) {
+      const NodeAccounting& a = reference.summary.accounting[i];
+      const NodeAccounting& b = other.summary.accounting[i];
       ASSERT_EQ(a.node, b.node);
       ASSERT_EQ(a.scanned_hours, b.scanned_hours);  // bitwise, not NEAR
       ASSERT_EQ(a.terabyte_hours, b.terabyte_hours);
       ASSERT_EQ(a.sessions, b.sessions);
     }
 
-    ASSERT_EQ(other.ground_truth.size(), reference.ground_truth.size());
-    for (std::size_t i = 0; i < reference.ground_truth.size(); ++i) {
-      ASSERT_EQ(other.ground_truth[i].time, reference.ground_truth[i].time);
-      ASSERT_EQ(other.ground_truth[i].node, reference.ground_truth[i].node);
-      ASSERT_EQ(other.ground_truth[i].words, reference.ground_truth[i].words);
+    ASSERT_EQ(other.summary.ground_truth.size(), reference.summary.ground_truth.size());
+    for (std::size_t i = 0; i < reference.summary.ground_truth.size(); ++i) {
+      ASSERT_EQ(other.summary.ground_truth[i].time, reference.summary.ground_truth[i].time);
+      ASSERT_EQ(other.summary.ground_truth[i].node, reference.summary.ground_truth[i].node);
+      ASSERT_EQ(other.summary.ground_truth[i].words, reference.summary.ground_truth[i].words);
     }
   }
 }

@@ -1,0 +1,144 @@
+// Perf gate: shadow-evaluating K policies in ONE campaign pass must beat
+// running K separate single-policy campaigns, and the shadow outcomes must
+// be identical for any worker thread count.
+//
+// Protocol (warm cache so we measure the engine, not the simulator):
+//   1. one throwaway pass primes the campaign cache;
+//   2. A = K sequential passes, one policy each (the naive alternative);
+//   3. B = one pass carrying all K policies;
+//   4. PASS iff A/B >= 2.0x and the K=3 outcomes are field-for-field
+//      bit-identical across {1, 2, 8} threads.
+//
+// Exits non-zero on failure so CI can gate on it.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "policy/builtin.hpp"
+#include "policy/engine.hpp"
+#include "sim/campaign.hpp"
+#include "util/campaign_cache.hpp"
+
+namespace {
+
+using namespace unp;
+
+std::unique_ptr<policy::Policy> make_policy(int which) {
+  switch (which) {
+    case 0: {
+      policy::ThresholdQuarantinePolicy::Config tq;
+      tq.period_days = 30;
+      return std::make_unique<policy::ThresholdQuarantinePolicy>(tq);
+    }
+    case 1:
+      return std::make_unique<policy::PredictiveQuarantinePolicy>();
+    default:
+      return std::make_unique<policy::AdaptiveCheckpointPolicy>();
+  }
+}
+
+policy::EngineResult run_pass(const sim::CampaignConfig& config,
+                              const analysis::ExtractionConfig& extraction,
+                              const std::vector<int>& which,
+                              std::size_t threads, double& elapsed_ms) {
+  policy::PolicyEngine::Config engine_config;
+  engine_config.extraction = extraction;
+  policy::PolicyEngine engine(engine_config);
+  for (const int w : which) engine.add_policy(make_policy(w));
+  const auto t0 = std::chrono::steady_clock::now();
+  const bench::StreamStats stats =
+      bench::stream_campaign(config, extraction, {&engine}, threads);
+  policy::EngineResult result = engine.finish();
+  elapsed_ms = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+  if (!stats.from_cache) {
+    std::fprintf(stderr, "warning: pass ran cold (cache miss) — timing "
+                         "includes simulation\n");
+  }
+  return result;
+}
+
+bool outcomes_equal(const policy::PolicyOutcome& a,
+                    const policy::PolicyOutcome& b) {
+  const auto& qa = a.quarantine;
+  const auto& qb = b.quarantine;
+  return a.policy_name == b.policy_name &&
+         qa.counted_errors == qb.counted_errors &&
+         qa.suppressed_errors == qb.suppressed_errors &&
+         qa.quarantine_entries == qb.quarantine_entries &&
+         qa.quarantined_seconds == qb.quarantined_seconds &&
+         qa.node_days_quarantined == qb.node_days_quarantined &&
+         qa.system_mtbf_hours == qb.system_mtbf_hours &&
+         qa.availability_loss == qb.availability_loss &&
+         a.pages_retired == b.pages_retired &&
+         a.retired_absorbed_errors == b.retired_absorbed_errors &&
+         a.placement_flags == b.placement_flags &&
+         a.interval_changes == b.interval_changes &&
+         a.actions_emitted == b.actions_emitted && a.report == b.report;
+}
+
+}  // namespace
+
+int main() {
+  const sim::CampaignConfig config;
+  const analysis::ExtractionConfig extraction;
+  const std::vector<int> all{0, 1, 2};
+  const std::size_t threads = sim::default_campaign_threads();
+
+  // Warm the cache (timing discarded; this pass may simulate).
+  double warm_ms = 0.0;
+  run_pass(config, extraction, {0}, threads, warm_ms);
+  std::printf("cache warm-up                : %9.1f ms\n", warm_ms);
+
+  // A: K separate single-policy campaigns.
+  double sequential_ms = 0.0;
+  std::vector<policy::PolicyOutcome> sequential;
+  for (const int w : all) {
+    double ms = 0.0;
+    policy::EngineResult r = run_pass(config, extraction, {w}, threads, ms);
+    sequential_ms += ms;
+    sequential.push_back(std::move(r.outcomes.front()));
+  }
+  std::printf("A: 3 single-policy passes    : %9.1f ms\n", sequential_ms);
+
+  // B: one pass, all K policies shadowed.
+  double shadow_ms = 0.0;
+  const policy::EngineResult shadow =
+      run_pass(config, extraction, all, threads, shadow_ms);
+  std::printf("B: 1 three-policy pass       : %9.1f ms\n", shadow_ms);
+
+  const double speedup = shadow_ms > 0.0 ? sequential_ms / shadow_ms : 0.0;
+  std::printf("speedup A/B                  : %9.2fx  (gate: >= 2.0x)\n",
+              speedup);
+
+  bool ok = speedup >= 2.0;
+  if (!ok) std::printf("FAIL: shadow pass not >= 2x faster\n");
+
+  // Shadow outcomes must match the single-policy passes...
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (!outcomes_equal(sequential[i], shadow.outcomes[i])) {
+      std::printf("FAIL: policy %zu differs between shadow and solo pass\n", i);
+      ok = false;
+    }
+  }
+
+  // ...and be invariant across worker thread counts.
+  for (const std::size_t t : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    double ms = 0.0;
+    const policy::EngineResult r = run_pass(config, extraction, all, t, ms);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      if (!outcomes_equal(r.outcomes[i], shadow.outcomes[i])) {
+        std::printf("FAIL: policy %zu differs at threads=%zu\n", i, t);
+        ok = false;
+      }
+    }
+    std::printf("threads=%zu                    : %9.1f ms  (%s)\n", t, ms,
+                ok ? "outcomes identical" : "MISMATCH");
+  }
+
+  std::printf("%s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

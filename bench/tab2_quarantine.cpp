@@ -3,20 +3,16 @@
 // Paper: period 0 -> 4779 errors, MTBF 2.1 h; period 30 d -> 65 errors,
 // 180 node-days quarantined, MTBF 156.9 h; availability loss <0.1%.
 // MTBF improves by nearly three orders of magnitude.
-#include <cstdio>
-
+//
+// Rendering lives in bench::print_tab2, shared with the online policy
+// engine's `unp_policy --sweep` so both paths print byte-identically.
 #include "analysis/regime.hpp"
-#include "common/table.hpp"
 #include "resilience/quarantine.hpp"
 #include "util/campaign_cache.hpp"
+#include "util/figures.hpp"
 
 int main() {
   using namespace unp;
-  bench::print_header(
-      "Table II - quarantine sweep (Section IV)",
-      "0d: 4779 errors / 2.1h MTBF ... 30d: 65 errors / 180 node-days / "
-      "156.9h MTBF; ~3 orders of magnitude for <0.1% availability");
-
   const bench::CampaignData& data = bench::default_data();
   const CampaignWindow& window = data.campaign->archive.window();
 
@@ -29,22 +25,6 @@ int main() {
   const std::vector<int> periods{0, 5, 10, 15, 20, 25, 30};
   const auto sweep = resilience::quarantine_sweep(data.extraction.faults,
                                                   window, periods, base);
-
-  TextTable table({"Quarantine (days)", "Errors", "Node-days in quarantine",
-                   "System MTBF (h)", "Availability loss"});
-  for (const auto& row : sweep) {
-    table.add_row({std::to_string(row.period_days),
-                   format_count(row.counted_errors),
-                   format_fixed(row.node_days_quarantined, 0),
-                   format_fixed(row.system_mtbf_hours, 1),
-                   format_fixed(100.0 * row.availability_loss, 3) + "%"});
-  }
-  std::printf("%s\n", table.render().c_str());
-
-  const double gain =
-      sweep.back().system_mtbf_hours / sweep.front().system_mtbf_hours;
-  std::printf("MTBF gain 0d -> 30d : %.0fx (paper: ~75x, 'almost three orders "
-              "of magnitude' vs per-day rates)\n",
-              gain);
+  bench::print_tab2(sweep);
   return 0;
 }

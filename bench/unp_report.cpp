@@ -90,6 +90,20 @@ constexpr Section kFigSections[] = {kFig01, kFig02, kFig03, kFig04, kFig05,
                                     kFig06, kFig07, kFig08, kFig09, kFig10,
                                     kFig11, kFig12, kFig13};
 
+/// Whole-string signed parse; rejects "1x", "", "0x10" style inputs that
+/// strtol would silently truncate.
+bool parse_long_strict(const char* text, long& out) {
+  char* end = nullptr;
+  out = std::strtol(text, &end, 10);
+  return end != text && *end == '\0';
+}
+
+bool parse_u64_strict(const char* text, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(text, &end, 10);
+  return end != text && *end == '\0';
+}
+
 bool parse_args(int argc, char** argv, Options& opts) {
   bool any_section = false;
   auto next_value = [&](int& i, const char* flag) -> const char* {
@@ -113,8 +127,8 @@ bool parse_args(int argc, char** argv, Options& opts) {
     } else if (std::strcmp(arg, "--fig") == 0) {
       const char* v = next_value(i, "--fig");
       if (!v) return false;
-      const long n = std::strtol(v, nullptr, 10);
-      if (n < 1 || n > 13) {
+      long n = 0;
+      if (!parse_long_strict(v, n) || n < 1 || n > 13) {
         std::fprintf(stderr, "unp_report: --fig expects 1..13, got '%s'\n", v);
         return false;
       }
@@ -140,13 +154,18 @@ bool parse_args(int argc, char** argv, Options& opts) {
     } else if (std::strcmp(arg, "--seed") == 0) {
       const char* v = next_value(i, "--seed");
       if (!v) return false;
-      opts.seed = std::strtoull(v, nullptr, 10);
+      if (!parse_u64_strict(v, opts.seed)) {
+        std::fprintf(stderr, "unp_report: --seed expects an integer, got '%s'\n",
+                     v);
+        return false;
+      }
     } else if (std::strcmp(arg, "--threads") == 0) {
       const char* v = next_value(i, "--threads");
       if (!v) return false;
-      const long n = std::strtol(v, nullptr, 10);
-      if (n < 1) {
-        std::fprintf(stderr, "unp_report: --threads expects >= 1\n");
+      long n = 0;
+      if (!parse_long_strict(v, n) || n < 1) {
+        std::fprintf(stderr, "unp_report: --threads expects >= 1, got '%s'\n",
+                     v);
         return false;
       }
       opts.threads = static_cast<std::size_t>(n);
@@ -157,7 +176,15 @@ bool parse_args(int argc, char** argv, Options& opts) {
     } else if (std::strcmp(arg, "--merge-window") == 0) {
       const char* v = next_value(i, "--merge-window");
       if (!v) return false;
-      opts.extraction.merge_window_s = std::strtoll(v, nullptr, 10);
+      long n = 0;
+      if (!parse_long_strict(v, n) || n < 0) {
+        std::fprintf(stderr,
+                     "unp_report: --merge-window expects seconds >= 0, got "
+                     "'%s'\n",
+                     v);
+        return false;
+      }
+      opts.extraction.merge_window_s = n;
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       usage(stdout);
       std::exit(0);
@@ -302,6 +329,13 @@ int main(int argc, char** argv) {
 
   // --- Observability footer (stderr keeps section stdout byte-clean). -----
   std::fprintf(stderr, "\n== unp_report: one-pass timings ==\n");
+  std::fprintf(stderr, "campaign cache %s  fingerprint %016llx%s%s\n",
+               acquire.cache_path.empty() ? "OFF "
+               : acquire.from_cache      ? "HIT "
+                                         : "MISS",
+               static_cast<unsigned long long>(acquire.fingerprint),
+               acquire.cache_path.empty() ? "" : "  ",
+               acquire.cache_path.c_str());
   std::fprintf(stderr, "record stream (%s)%s : %9.1f ms\n",
                acquire.from_cache ? "cache replay" : "simulate+spill",
                acquire.from_cache ? "  " : "", acquire.acquire_ms);

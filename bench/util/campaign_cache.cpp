@@ -389,6 +389,7 @@ StreamStats stream_campaign(const sim::CampaignConfig& config,
                             std::size_t threads) {
   StreamStats stats;
   const std::uint64_t fingerprint = campaign_fingerprint(config, extraction);
+  stats.fingerprint = fingerprint;
   if (!cache_disabled()) stats.cache_path = cache_path_for(fingerprint);
 
   const auto start = Clock::now();

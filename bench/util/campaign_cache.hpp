@@ -80,9 +80,10 @@ bool reload_default_campaign(sim::CampaignResult& out);
 
 /// Instrumentation of a one-pass streaming acquisition.
 struct StreamStats {
-  bool from_cache = false;   ///< record stream replayed from disk
-  std::string cache_path;    ///< file used (empty when caching is disabled)
-  double acquire_ms = 0.0;   ///< full pass: reload or simulate+spill
+  bool from_cache = false;      ///< record stream replayed from disk
+  std::string cache_path;       ///< file used (empty when caching is disabled)
+  std::uint64_t fingerprint = 0;  ///< cache key of (config, extraction)
+  double acquire_ms = 0.0;      ///< full pass: reload or simulate+spill
 };
 
 /// One-pass acquisition: push the campaign's canonical record stream for

@@ -603,6 +603,32 @@ void print_fig13(const analysis::AutoRegime& result,
               regime.degraded_mtbf_hours);
 }
 
+void print_tab2(const std::vector<resilience::QuarantineOutcome>& sweep) {
+  print_header(
+      "Table II - quarantine sweep (Section IV)",
+      "0d: 4779 errors / 2.1h MTBF ... 30d: 65 errors / 180 node-days / "
+      "156.9h MTBF; ~3 orders of magnitude for <0.1% availability");
+
+  TextTable table({"Quarantine (days)", "Errors", "Node-days in quarantine",
+                   "System MTBF (h)", "Availability loss"});
+  for (const auto& row : sweep) {
+    table.add_row({std::to_string(row.period_days),
+                   format_count(row.counted_errors),
+                   format_fixed(row.node_days_quarantined, 0),
+                   format_fixed(row.system_mtbf_hours, 1),
+                   format_fixed(100.0 * row.availability_loss, 3) + "%"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  if (sweep.size() >= 2 && sweep.front().system_mtbf_hours > 0.0) {
+    const double gain =
+        sweep.back().system_mtbf_hours / sweep.front().system_mtbf_hours;
+    std::printf("MTBF gain 0d -> 30d : %.0fx (paper: ~75x, 'almost three "
+                "orders of magnitude' vs per-day rates)\n",
+                gain);
+  }
+}
+
 void print_ext_temporal(const analysis::InterArrivalStats& observed,
                         const analysis::InterArrivalStats& null_model) {
   print_header(

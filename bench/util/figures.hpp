@@ -24,6 +24,7 @@
 #include "analysis/regime.hpp"
 #include "common/histogram.hpp"
 #include "common/stats.hpp"
+#include "resilience/quarantine.hpp"
 
 namespace unp::bench {
 
@@ -80,6 +81,11 @@ void print_fig12(const analysis::TopNodeSeries& top,
 /// Fig 13 + Section III-I: normal vs degraded days.
 void print_fig13(const analysis::AutoRegime& result,
                  const CampaignWindow& window);
+
+/// Table II: quarantine-period sweep.  Both the batch bench
+/// (bench_tab2_quarantine) and the online policy engine (unp_policy --sweep)
+/// print through this, so equal outcomes render byte-identically.
+void print_tab2(const std::vector<resilience::QuarantineOutcome>& sweep);
 
 /// Extension: inter-arrival structure vs the Poisson null.
 void print_ext_temporal(const analysis::InterArrivalStats& observed,

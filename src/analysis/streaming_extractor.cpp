@@ -46,8 +46,9 @@ void StreamingExtractor::end_node(cluster::NodeId node) {
 void StreamingExtractor::collapse_pending(std::size_t index) {
   telemetry::NodeLog& log = pending_[index];
   if (log.error_runs().empty()) return;
-  auto faults = collapse_node_log(cluster::node_from_index(static_cast<int>(index)),
-                                  log, config_.merge_window_s);
+  const cluster::NodeId node = cluster::node_from_index(static_cast<int>(index));
+  auto faults = collapse_node_log(node, log, config_.merge_window_s);
+  if (observer_) observer_(node, faults);
   auto& bucket = collapsed_[index];
   bucket.insert(bucket.end(), faults.begin(), faults.end());
   log = telemetry::NodeLog{};  // free the raw runs mid-stream

@@ -20,6 +20,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "analysis/extraction.hpp"
@@ -39,6 +41,21 @@ class StreamingExtractor final : public telemetry::RecordSink {
   void on_error_run(const telemetry::ErrorRun& r) override;
   void end_node(cluster::NodeId node) override;
 
+  /// Observer fired once per node, right after that node's buffered error
+  /// runs collapse into independent faults (at end_node, or during finish()
+  /// for nodes streamed without a closing frame).  The span covers the
+  /// node's newly collapsed faults in collapse order and is only valid for
+  /// the duration of the call.  Faults are delivered BEFORE the campaign-
+  /// wide pathological filter — that filter needs the campaign raw total,
+  /// which no online consumer can know mid-stream — so incremental
+  /// consumers (the policy engine) see every node and reconcile against
+  /// finish()'s removed_nodes afterwards.
+  using NodeFaultObserver =
+      std::function<void(cluster::NodeId, std::span<const FaultRecord>)>;
+  void set_node_observer(NodeFaultObserver observer) {
+    observer_ = std::move(observer);
+  }
+
   /// Apply the pathological filter and final sort; the extractor is spent
   /// afterwards.  Call once after the stream completes.
   [[nodiscard]] ExtractionResult finish();
@@ -51,6 +68,7 @@ class StreamingExtractor final : public telemetry::RecordSink {
   void collapse_pending(std::size_t index);
 
   ExtractionConfig config_;
+  NodeFaultObserver observer_;
   /// Buffered error runs of nodes whose frame is still open.
   std::vector<telemetry::NodeLog> pending_;
   /// Collapsed per-node faults awaiting the campaign-wide filter.

@@ -1,0 +1,37 @@
+#include "policy/action.hpp"
+
+#include <cstdio>
+
+namespace unp::policy {
+
+const char* to_string(ActionKind kind) noexcept {
+  switch (kind) {
+    case ActionKind::kQuarantineNode: return "quarantine";
+    case ActionKind::kRetirePage: return "retire-page";
+    case ActionKind::kSetCheckpointInterval: return "set-interval";
+    case ActionKind::kAvoidPlacement: return "avoid-placement";
+  }
+  return "?";
+}
+
+std::string to_string(const Action& action) {
+  char detail[64] = {0};
+  switch (action.kind) {
+    case ActionKind::kQuarantineNode:
+      std::snprintf(detail, sizeof(detail), " for %dd", action.quarantine_days);
+      break;
+    case ActionKind::kRetirePage:
+      std::snprintf(detail, sizeof(detail), " vaddr 0x%llx",
+                    static_cast<unsigned long long>(action.virtual_address));
+      break;
+    case ActionKind::kSetCheckpointInterval:
+      std::snprintf(detail, sizeof(detail), " to %.3fh", action.interval_hours);
+      break;
+    case ActionKind::kAvoidPlacement:
+      break;
+  }
+  return std::string(to_string(action.kind)) + " " + node_name(action.node) +
+         detail + " @ " + format_iso8601(action.time);
+}
+
+}  // namespace unp::policy

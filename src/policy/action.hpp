@@ -1,0 +1,52 @@
+// Actions an online policy may request from the system.
+//
+// A policy never mutates anything itself: it observes the fault stream and
+// emits Actions; the surrounding machinery decides what an action *means*.
+// Inside the shadow engine (engine.hpp) actions update counterfactual
+// per-policy ledgers; inside the closed loop (loop.hpp) quarantines become
+// real scan-plan cuts and page retirements unmap words from the scanner.
+// Keeping the vocabulary tiny and serializable makes per-policy action logs
+// cheap to keep and easy to print.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/topology.hpp"
+#include "common/civil_time.hpp"
+
+namespace unp::policy {
+
+enum class ActionKind : std::uint8_t {
+  /// Pull the node from the scheduler pool for `quarantine_days` starting
+  /// at `time` (clipped to the campaign end by whoever applies it).
+  kQuarantineNode,
+  /// Unmap the page containing `virtual_address` on `node`: the scanner
+  /// stops observing it, so later faults there are absorbed silently.
+  kRetirePage,
+  /// Adapt the fleet checkpoint interval to `interval_hours` from `time` on
+  /// (the regime the policy currently believes it is in).
+  kSetCheckpointInterval,
+  /// Advise the scheduler to avoid placing jobs on `node` (soft signal; no
+  /// capacity is removed).
+  kAvoidPlacement,
+};
+
+[[nodiscard]] const char* to_string(ActionKind kind) noexcept;
+
+struct Action {
+  ActionKind kind = ActionKind::kQuarantineNode;
+  cluster::NodeId node;
+  TimePoint time = 0;
+  int quarantine_days = 0;             ///< kQuarantineNode
+  std::uint64_t virtual_address = 0;   ///< kRetirePage
+  double interval_hours = 0.0;         ///< kSetCheckpointInterval
+
+  friend bool operator==(const Action&, const Action&) = default;
+};
+
+/// "quarantine 12-03 for 30d @ 2015-06-01T04:13:55" style rendering for
+/// action-log dumps.
+[[nodiscard]] std::string to_string(const Action& action);
+
+}  // namespace unp::policy

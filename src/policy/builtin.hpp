@@ -1,0 +1,137 @@
+// The built-in policies: the paper's three operational proposals run as
+// online controllers.
+//
+//   ThresholdQuarantinePolicy   Table II: a day with more errors than the
+//                               normal-regime threshold pulls the node for a
+//                               fixed period.  Online it produces outcomes
+//                               bit-identical to the batch sweep.
+//   PredictiveQuarantinePolicy  Section III-I: when the trailing error
+//                               history crosses a threshold, tomorrow is
+//                               at-risk — quarantine one day ahead and flag
+//                               the node for placement avoidance.
+//   AdaptiveCheckpointPolicy    Sections III-I/IV: keep the per-node day
+//                               census live, emit interval-shrink actions as
+//                               days go degraded, and report the
+//                               static-vs-adaptive Young/Daly comparison
+//                               once the campaign's regimes are final.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "policy/policy.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/prediction.hpp"
+
+namespace unp::policy {
+
+class ThresholdQuarantinePolicy final : public Policy {
+ public:
+  struct Config {
+    int period_days = 30;
+    /// A day with more errors than this triggers quarantine (the regime
+    /// threshold, as in Table II).
+    std::uint64_t trigger_threshold = 3;
+    /// Retire the page of an address after this many faults there
+    /// (0 disables; keep disabled for bit-parity with the batch sweep).
+    std::uint64_t retire_page_repeats = 0;
+  };
+
+  ThresholdQuarantinePolicy() : ThresholdQuarantinePolicy(Config{}) {}
+  explicit ThresholdQuarantinePolicy(Config config) : config_(config) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "threshold-quarantine";
+  }
+  [[nodiscard]] int period_days() const noexcept override {
+    return config_.period_days;
+  }
+  void begin(const PolicyContext& ctx) override;
+  void on_fault(const analysis::FaultRecord& fault, const NodeHealth& health,
+                std::vector<Action>& actions) override;
+  [[nodiscard]] std::string report() const override;
+
+ private:
+  Config config_;
+  /// Fault count per (node, address); only kept when retirement is on.
+  std::map<std::pair<int, std::uint64_t>, std::uint64_t> address_faults_;
+  std::set<std::pair<int, std::uint64_t>> retired_pages_;
+  std::uint64_t triggers_ = 0;
+};
+
+class PredictiveQuarantinePolicy final : public Policy {
+ public:
+  struct Config {
+    /// Window/threshold semantics shared with the batch evaluator.
+    resilience::PredictorConfig predictor{};
+    /// How long a predicted-bad node sits out (the paper's one-day-ahead
+    /// proposal).
+    int quarantine_days = 1;
+  };
+
+  PredictiveQuarantinePolicy() : PredictiveQuarantinePolicy(Config{}) {}
+  explicit PredictiveQuarantinePolicy(Config config) : config_(config) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "predictive-quarantine";
+  }
+  [[nodiscard]] int period_days() const noexcept override {
+    return config_.quarantine_days;
+  }
+  void begin(const PolicyContext& ctx) override;
+  void on_fault(const analysis::FaultRecord& fault, const NodeHealth& health,
+                std::vector<Action>& actions) override;
+  [[nodiscard]] std::string report() const override;
+
+ private:
+  Config config_;
+  /// Trailing per-node error history (only nodes that erred hold a window).
+  std::map<int, resilience::TrailingDayWindow> history_;
+  std::set<int> flagged_;
+  std::uint64_t predictions_ = 0;
+};
+
+class AdaptiveCheckpointPolicy final : public Policy {
+ public:
+  struct Config {
+    double checkpoint_cost_hours = 10.0 / 60.0;
+    std::uint64_t normal_threshold = 3;
+  };
+
+  AdaptiveCheckpointPolicy() : AdaptiveCheckpointPolicy(Config{}) {}
+  explicit AdaptiveCheckpointPolicy(Config config) : config_(config) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "adaptive-checkpoint";
+  }
+  void begin(const PolicyContext& ctx) override;
+  void on_fault(const analysis::FaultRecord& fault, const NodeHealth& health,
+                std::vector<Action>& actions) override;
+  void finish(const FinalizeContext& ctx) override;
+  [[nodiscard]] std::string report() const override;
+
+  /// Final regime classification (valid after finish).  Identical to
+  /// classify_regime_excluding_loudest over the finished extraction when the
+  /// engine resolves the same exclusions.
+  [[nodiscard]] const analysis::RegimeResult& regime() const noexcept {
+    return regime_;
+  }
+  [[nodiscard]] const resilience::CheckpointComparison& comparison()
+      const noexcept {
+    return comparison_;
+  }
+
+ private:
+  Config config_;
+  CampaignWindow window_;
+  std::size_t days_ = 0;
+  /// Per-node, per-day census, exactly as analysis::RegimeAnalyzer keeps it
+  /// (the excluded set is only known at finish).
+  std::vector<std::uint64_t> counts_;  ///< [node * days_ + day]
+  analysis::RegimeResult regime_;
+  resilience::CheckpointComparison comparison_;
+};
+
+}  // namespace unp::policy

@@ -30,10 +30,12 @@ PredictionEvaluation evaluate_predictor(
 
   PredictionEvaluation eval;
   for (const auto& [node, series] : daily) {
-    std::uint64_t window_sum = 0;
+    TrailingDayWindow history(config.history_days);
     for (std::size_t d = 0; d < days; ++d) {
       // Prediction for day d from the preceding history window.
-      const bool flagged = d > 0 && window_sum > config.trigger_errors;
+      const bool flagged =
+          d > 0 &&
+          history.sum_before(static_cast<std::int64_t>(d)) > config.trigger_errors;
       const bool bad = series[d] > config.bad_day_threshold;
 
       if (flagged && bad) ++eval.true_positives;
@@ -46,13 +48,7 @@ PredictionEvaluation evaluate_predictor(
       }
       eval.total_errors += series[d];
 
-      // Slide the window: add today, drop the day that falls out so that
-      // at the next iteration window_sum covers exactly the last
-      // `history_days` days.
-      window_sum += series[d];
-      if (d >= static_cast<std::size_t>(config.history_days)) {
-        window_sum -= series[d - static_cast<std::size_t>(config.history_days)];
-      }
+      history.add(static_cast<std::int64_t>(d), series[d]);
     }
   }
   return eval;

@@ -11,11 +11,53 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <utility>
 #include <vector>
 
 #include "analysis/extraction.hpp"
 
 namespace unp::resilience {
+
+/// Sliding sum of per-day error counts over the last `history_days` days.
+/// The batch evaluator below and the online predictor-driven quarantine
+/// policy (src/policy) share this so the window arithmetic exists once.
+/// Days must be presented in non-decreasing order.
+class TrailingDayWindow {
+ public:
+  explicit TrailingDayWindow(int history_days) : history_days_(history_days) {}
+
+  /// Sum of errors recorded on the `history_days` days strictly before
+  /// `day` — the evidence available when predicting `day` one day ahead.
+  [[nodiscard]] std::uint64_t sum_before(std::int64_t day) {
+    evict(day);
+    std::uint64_t sum = 0;
+    for (const auto& [d, errors] : days_) {
+      if (d < day) sum += errors;
+    }
+    return sum;
+  }
+
+  /// Record `errors` observed on `day`.
+  void add(std::int64_t day, std::uint64_t errors) {
+    evict(day);
+    if (!days_.empty() && days_.back().first == day) {
+      days_.back().second += errors;
+    } else {
+      days_.emplace_back(day, errors);
+    }
+  }
+
+ private:
+  void evict(std::int64_t day) {
+    while (!days_.empty() && days_.front().first < day - history_days_) {
+      days_.pop_front();
+    }
+  }
+
+  int history_days_;
+  std::deque<std::pair<std::int64_t, std::uint64_t>> days_;
+};
 
 struct PredictorConfig {
   /// Error history window, days.

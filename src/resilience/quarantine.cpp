@@ -49,13 +49,14 @@ QuarantineOutcome simulate_quarantine(
           window.end,
           f.first_seen + static_cast<TimePoint>(config.period_days) *
                              kSecondsPerDay);
-      outcome.node_days_quarantined +=
-          static_cast<double>(until - f.first_seen) / kSecondsPerDay;
+      outcome.quarantined_seconds += until - f.first_seen;
       ns.quarantined_until = until;
       ++outcome.quarantine_entries;
     }
   }
 
+  outcome.node_days_quarantined =
+      static_cast<double>(outcome.quarantined_seconds) / kSecondsPerDay;
   const double campaign_hours =
       static_cast<double>(window.duration_seconds()) / kSecondsPerHour;
   if (outcome.counted_errors > 0) {

@@ -34,7 +34,12 @@ struct QuarantineOutcome {
   std::uint64_t counted_errors = 0;     ///< errors that reached users
   std::uint64_t suppressed_errors = 0;  ///< absorbed by quarantine
   std::uint64_t quarantine_entries = 0; ///< times any node entered quarantine
-  double node_days_quarantined = 0.0;
+  /// Total quarantined time, accumulated in exact integer seconds so the
+  /// sum is independent of replay order (the batch simulator walks faults in
+  /// global time order, the online policy engine node by node — both reach
+  /// this same integer, hence bit-identical derived doubles).
+  std::int64_t quarantined_seconds = 0;
+  double node_days_quarantined = 0.0;  ///< quarantined_seconds / 86400
   double system_mtbf_hours = 0.0;
   /// Node-availability loss over the whole campaign.
   double availability_loss = 0.0;

@@ -1,5 +1,7 @@
 #include "scanner/sim_backend.hpp"
 
+#include <algorithm>
+
 #include "common/require.hpp"
 
 namespace unp::scanner {
@@ -23,7 +25,7 @@ void SimulatedMemoryBackend::verify_and_write(Word expected, Word next,
                                               const MismatchFn& report) {
   // Report deviated words (ascending order is the map's natural order).
   for (const auto& [word, stored] : deviations_) {
-    if (stored != expected) report(word, stored);
+    if (stored != expected && !is_masked(word)) report(word, stored);
   }
   // The write repairs every transient deviation; stuck cells re-assert.
   last_written_ = next;
@@ -37,6 +39,7 @@ void SimulatedMemoryBackend::verify_and_write(Word expected, Word next,
 void SimulatedMemoryBackend::inject_transient(
     std::uint64_t word, const dram::WordCorruption& corruption) {
   UNP_REQUIRE(word < word_count_);
+  if (is_masked(word)) return;  // retired page: nothing maps there anymore
   const Word current = load(word);
   const Word upset = corruption.apply(current);
   if (upset != last_written_) {
@@ -49,6 +52,7 @@ void SimulatedMemoryBackend::inject_transient(
 void SimulatedMemoryBackend::inject_stuck(std::uint64_t word,
                                           const dram::WordCorruption& corruption) {
   UNP_REQUIRE(word < word_count_);
+  if (is_masked(word)) return;  // retired page: nothing maps there anymore
   stuck_[word] = corruption;
   const Word stored = corruption.apply(load(word));
   if (stored != last_written_) {
@@ -60,6 +64,41 @@ void SimulatedMemoryBackend::inject_stuck(std::uint64_t word,
 
 void SimulatedMemoryBackend::clear_stuck(std::uint64_t word) {
   stuck_.erase(word);
+}
+
+void SimulatedMemoryBackend::mask_words(std::uint64_t first,
+                                        std::uint64_t count) {
+  UNP_REQUIRE(first < word_count_);
+  if (count == 0) return;
+  std::uint64_t end = first + std::min(count, word_count_ - first);
+  std::uint64_t start = first;
+  // Coalesce with any overlapping or adjacent ranges.
+  auto it = masked_.upper_bound(start);
+  if (it != masked_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) {
+      start = prev->first;
+      end = std::max(end, prev->second);
+      it = prev;
+    }
+  }
+  while (it != masked_.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    it = masked_.erase(it);
+  }
+  masked_[start] = end;
+}
+
+bool SimulatedMemoryBackend::is_masked(std::uint64_t word) const noexcept {
+  auto it = masked_.upper_bound(word);
+  if (it == masked_.begin()) return false;
+  return std::prev(it)->second > word;
+}
+
+std::uint64_t SimulatedMemoryBackend::masked_word_count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [start, end] : masked_) total += end - start;
+  return total;
 }
 
 Word SimulatedMemoryBackend::load(std::uint64_t word) const {

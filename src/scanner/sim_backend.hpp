@@ -45,6 +45,17 @@ class SimulatedMemoryBackend final : public MemoryBackend {
   /// the next write).
   void clear_stuck(std::uint64_t word);
 
+  /// Retire (mask) `count` words starting at `first` — the actuation point
+  /// of the policy engine's retire-page action: the scanner unmaps the page
+  /// from its scan space, so masked words never report mismatches and later
+  /// injections into them are dropped.  Ranges may overlap; they coalesce.
+  void mask_words(std::uint64_t first, std::uint64_t count);
+
+  [[nodiscard]] bool is_masked(std::uint64_t word) const noexcept;
+
+  /// Total words currently masked (overlaps counted once).
+  [[nodiscard]] std::uint64_t masked_word_count() const noexcept;
+
   /// Stored value of `word` right now (tests).
   [[nodiscard]] Word load(std::uint64_t word) const;
 
@@ -59,6 +70,8 @@ class SimulatedMemoryBackend final : public MemoryBackend {
   std::map<std::uint64_t, Word> deviations_;
   /// Persistent cell faults.
   std::map<std::uint64_t, dram::WordCorruption> stuck_;
+  /// Retired word ranges, start -> one-past-end, disjoint and coalesced.
+  std::map<std::uint64_t, std::uint64_t> masked_;
 };
 
 }  // namespace unp::scanner

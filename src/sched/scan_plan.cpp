@@ -23,6 +23,57 @@ double ScanPlan::terabyte_hours() const noexcept {
   return tbh;
 }
 
+PlanCutSummary ScanPlan::subtract_window(const cluster::Interval& cut,
+                                         std::int64_t min_keep_seconds) {
+  PlanCutSummary summary;
+  if (cut.seconds() <= 0) return summary;
+
+  std::vector<ScanSession> kept;
+  kept.reserve(sessions.size() + 1);
+  for (const ScanSession& s : sessions) {
+    if (s.window.end <= cut.start || s.window.start >= cut.end) {
+      kept.push_back(s);
+      continue;
+    }
+    const std::int64_t original = s.window.seconds();
+    std::int64_t remaining = 0;
+    bool clipped = false;
+    // Head piece before the cut (the scanner ran until the SIGTERM).
+    if (s.window.start < cut.start) {
+      ScanSession head = s;
+      head.window.end = cut.start;
+      if (head.window.seconds() >= std::max<std::int64_t>(min_keep_seconds, 1)) {
+        kept.push_back(head);
+        remaining += head.window.seconds();
+        clipped = true;
+      }
+    }
+    // Tail piece after re-admission (a fresh session: the restarted scanner
+    // re-fills its allocation, so pattern/alloc carry over unchanged).
+    if (s.window.end > cut.end) {
+      ScanSession tail = s;
+      tail.window.start = cut.end;
+      if (tail.window.seconds() >= std::max<std::int64_t>(min_keep_seconds, 1)) {
+        kept.push_back(tail);
+        remaining += tail.window.seconds();
+        clipped = true;
+      }
+    }
+    summary.seconds_removed += original - remaining;
+    if (clipped) {
+      ++summary.sessions_truncated;
+    } else {
+      ++summary.sessions_cancelled;
+    }
+  }
+  sessions = std::move(kept);
+
+  std::erase_if(failures, [&](const AllocFailure& f) {
+    return cut.contains(f.time);
+  });
+  return summary;
+}
+
 const ScanSession* ScanPlan::session_at(TimePoint t) const noexcept {
   auto it = std::upper_bound(
       sessions.begin(), sessions.end(), t,

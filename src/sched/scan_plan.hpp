@@ -44,6 +44,13 @@ struct AllocFailure {
   TimePoint time = 0;
 };
 
+/// Accounting of one subtract_window() actuation.
+struct PlanCutSummary {
+  std::size_t sessions_cancelled = 0;  ///< dropped entirely
+  std::size_t sessions_truncated = 0;  ///< clipped at a cut boundary
+  std::int64_t seconds_removed = 0;    ///< scan time taken away
+};
+
 /// Everything the scheduler decided for one node over the campaign.
 struct ScanPlan {
   std::vector<ScanSession> sessions;   ///< time-ordered, non-overlapping
@@ -54,6 +61,16 @@ struct ScanPlan {
 
   /// First session containing `t`, or nullptr.
   [[nodiscard]] const ScanSession* session_at(TimePoint t) const noexcept;
+
+  /// Remove [cut.start, cut.end) from the plan — the actuation a node
+  /// quarantine performs: the scheduler pulls the node, the running scanner
+  /// is SIGTERMed at cut.start (session truncated), and scanning resumes
+  /// with a fresh session at re-admission (session head clipped to
+  /// cut.end).  Clipped remnants shorter than `min_keep_seconds` are
+  /// cancelled outright (the planner would never schedule such a stub).
+  /// Alloc failures inside the cut are dropped with it.
+  PlanCutSummary subtract_window(const cluster::Interval& cut,
+                                 std::int64_t min_keep_seconds = 0);
 };
 
 }  // namespace unp::sched

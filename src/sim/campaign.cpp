@@ -21,9 +21,14 @@ double CampaignSummary::total_terabyte_hours() const noexcept {
   return total;
 }
 
-namespace {
+cluster::Topology campaign_topology(const CampaignConfig& config) {
+  cluster::Topology::Config topo_config = config.topology;
+  topo_config.seed = mix64(config.seed, 0x70B0);
+  return cluster::Topology(topo_config);
+}
 
-cluster::AvailabilityModel::Config wire_outages(const CampaignConfig& config) {
+cluster::AvailabilityModel::Config campaign_availability(
+    const CampaignConfig& config) {
   cluster::AvailabilityModel::Config avail = config.availability;
   avail.window = config.window;
   if (!config.wire_special_outages) return avail;
@@ -46,12 +51,18 @@ cluster::AvailabilityModel::Config wire_outages(const CampaignConfig& config) {
   return avail;
 }
 
-}  // namespace
+sched::ScanPlanner::Config campaign_planner_config(const CampaignConfig& config) {
+  sched::ScanPlanner::Config planner_config = config.planner;
+  planner_config.seed = mix64(config.seed, 0x51A2);
+  return planner_config;
+}
 
-cluster::Topology campaign_topology(const CampaignConfig& config) {
-  cluster::Topology::Config topo_config = config.topology;
-  topo_config.seed = mix64(config.seed, 0x70B0);
-  return cluster::Topology(topo_config);
+std::uint64_t campaign_fault_seed(const CampaignConfig& config) noexcept {
+  return mix64(config.seed, 0xFA17);
+}
+
+std::uint64_t campaign_session_seed(const CampaignConfig& config) noexcept {
+  return mix64(config.seed, 0x5E55);
 }
 
 CampaignSummary run_campaign_streaming(
@@ -61,10 +72,8 @@ CampaignSummary run_campaign_streaming(
 
   CampaignSummary summary{campaign_topology(config), {}, {}};
 
-  const cluster::AvailabilityModel availability(wire_outages(config));
-  sched::ScanPlanner::Config planner_config = config.planner;
-  planner_config.seed = mix64(config.seed, 0x51A2);
-  const sched::ScanPlanner planner(planner_config);
+  const cluster::AvailabilityModel availability(campaign_availability(config));
+  const sched::ScanPlanner planner(campaign_planner_config(config));
 
   const auto& nodes = summary.topology.monitored_nodes();
   const std::size_t n = nodes.size();
@@ -93,7 +102,7 @@ CampaignSummary run_campaign_streaming(
         nodes[i].soc == cluster::kOverheatingSoc + 1;
   }
   const faults::FaultModelSuite suite(config.faults);
-  summary.ground_truth = suite.generate(contexts, mix64(config.seed, 0xFA17));
+  summary.ground_truth = suite.generate(contexts, campaign_fault_seed(config));
 
   // Partition events per node.
   std::vector<std::vector<faults::FaultEvent>> per_node(
@@ -109,7 +118,7 @@ CampaignSummary run_campaign_streaming(
   // count (monitored_nodes() is already index-sorted).
   for (auto* sink : sinks) sink->begin_campaign(config.window);
 
-  const std::uint64_t session_seed = mix64(config.seed, 0x5E55);
+  const std::uint64_t session_seed = campaign_session_seed(config);
   const std::size_t block = std::max<std::size_t>(threads * 8, 32);
   std::vector<telemetry::NodeLog> logs;
   summary.accounting.resize(n);

@@ -81,6 +81,27 @@ struct CampaignResult {
 /// the simulation).
 [[nodiscard]] cluster::Topology campaign_topology(const CampaignConfig& config);
 
+// The exact component wiring run_campaign_streaming uses, exposed so
+// out-of-band drivers (the closed-loop policy runner in src/policy, which
+// must re-simulate individual node timelines under actuated scan plans) can
+// reproduce the open-loop campaign bit-for-bit before layering their cuts.
+
+/// Availability config with window + special administrative outages wired.
+[[nodiscard]] cluster::AvailabilityModel::Config campaign_availability(
+    const CampaignConfig& config);
+
+/// Planner config with the campaign's derived scheduler seed.
+[[nodiscard]] sched::ScanPlanner::Config campaign_planner_config(
+    const CampaignConfig& config);
+
+/// Sub-seed feeding fault generation (FaultModelSuite::generate).
+[[nodiscard]] std::uint64_t campaign_fault_seed(
+    const CampaignConfig& config) noexcept;
+
+/// Sub-seed feeding per-node session simulation (simulate_node).
+[[nodiscard]] std::uint64_t campaign_session_seed(
+    const CampaignConfig& config) noexcept;
+
 /// Stream the campaign through `sinks`.  Per-node records are pushed with
 /// full framing (begin_campaign .. end_campaign, nodes ascending by index)
 /// as soon as each node block completes; only a bounded block of node logs

@@ -19,6 +19,18 @@
 // Producers guarantee deterministic ordering: nodes ascend by index and each
 // record class is emitted in time order, so any sink sees a bit-reproducible
 // stream for a given campaign seed regardless of producer thread count.
+//
+// Two further guarantees matter to stateful consumers (the streaming
+// extractor, the policy engine in src/policy):
+//
+//   - exactly one begin_node/end_node frame per monitored node per pass —
+//     a node's whole timeline arrives contiguously, never interleaved with
+//     another node's, so per-node controller state can be finalized at
+//     end_node();
+//   - the stream is *node-ordered*, not globally time-ordered: records of a
+//     later node may predate records of an earlier one.  Controllers that
+//     need fleet-wide time order (e.g. cross-node day accounting) must
+//     either keep per-node clocks or defer the merge to end_campaign().
 #pragma once
 
 #include "common/civil_time.hpp"

@@ -1,0 +1,67 @@
+// CLI contract of the report/policy drivers: malformed arguments must fail
+// fast with exit code 2 and a usage message, --help must succeed, and no
+// campaign may be simulated on the error path (these run in milliseconds).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <sys/wait.h>
+
+namespace {
+
+int run(const std::string& args_for_binary) {
+  const std::string command = args_for_binary + " >/dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  EXPECT_TRUE(WIFEXITED(status)) << command;
+  return WEXITSTATUS(status);
+}
+
+const std::string kReport = UNP_REPORT_BIN;
+const std::string kPolicy = UNP_POLICY_BIN;
+
+TEST(ReportCli, UnknownFlagExitsTwo) {
+  EXPECT_EQ(run(kReport + " --frobnicate"), 2);
+}
+
+TEST(ReportCli, OutOfRangeFigExitsTwo) {
+  EXPECT_EQ(run(kReport + " --fig 99"), 2);
+  EXPECT_EQ(run(kReport + " --fig 0"), 2);
+}
+
+TEST(ReportCli, MalformedNumberExitsTwo) {
+  EXPECT_EQ(run(kReport + " --fig 1x"), 2);
+  EXPECT_EQ(run(kReport + " --seed banana"), 2);
+  EXPECT_EQ(run(kReport + " --threads 0"), 2);
+}
+
+TEST(ReportCli, MissingValueExitsTwo) {
+  EXPECT_EQ(run(kReport + " --fig"), 2);
+}
+
+TEST(ReportCli, HelpExitsZero) {
+  EXPECT_EQ(run(kReport + " --help"), 0);
+}
+
+TEST(PolicyCli, UnknownFlagExitsTwo) {
+  EXPECT_EQ(run(kPolicy + " --frobnicate"), 2);
+}
+
+TEST(PolicyCli, UnknownPolicyNameExitsTwo) {
+  EXPECT_EQ(run(kPolicy + " --policy bogus"), 2);
+}
+
+TEST(PolicyCli, MalformedNumberExitsTwo) {
+  EXPECT_EQ(run(kPolicy + " --period -3"), 2);
+  EXPECT_EQ(run(kPolicy + " --trigger 3.5"), 2);
+  EXPECT_EQ(run(kPolicy + " --threads 0"), 2);
+}
+
+TEST(PolicyCli, ExclusiveModesExitTwo) {
+  EXPECT_EQ(run(kPolicy + " --sweep --closed-loop"), 2);
+}
+
+TEST(PolicyCli, HelpExitsZero) {
+  EXPECT_EQ(run(kPolicy + " --help"), 0);
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+// The built-in policies' semantics, exercised through the engine on
+// synthetic streams where the expected decisions are computable by hand.
+#include "policy/builtin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "analysis/regime.hpp"
+#include "policy/engine.hpp"
+#include "telemetry/sink.hpp"
+
+namespace unp::policy {
+namespace {
+
+struct RawError {
+  int node_index;
+  TimePoint time;
+  std::uint64_t virtual_address;
+};
+
+void stream_errors(telemetry::RecordSink& sink, const CampaignWindow& window,
+                   const std::vector<RawError>& errors) {
+  sink.begin_campaign(window);
+  for (int index = 0; index < cluster::kStudyNodeSlots; ++index) {
+    const cluster::NodeId node = cluster::node_from_index(index);
+    bool any = false;
+    for (const RawError& e : errors) {
+      if (e.node_index != index) continue;
+      if (!any) sink.begin_node(node);
+      any = true;
+      telemetry::ErrorRun run;
+      run.first.time = e.time;
+      run.first.node = node;
+      run.first.virtual_address = e.virtual_address;
+      run.first.expected = 0xFFFFFFFFu;
+      run.first.actual = 0xFFFFFFFEu;
+      run.count = 1;
+      sink.on_error_run(run);
+    }
+    if (any) sink.end_node(node);
+  }
+  sink.end_campaign();
+}
+
+TimePoint at(const CampaignWindow& w, int day, int i) {
+  return w.start + day * kSecondsPerDay + 3600 + i * 600;
+}
+
+// Five errors on day 2 put the trailing window over the >3 trigger, so the
+// next day's first error arrives on a predicted-at-risk day: the policy
+// flags the node and quarantines it one day ahead.  By day 10 the window
+// has drained and nothing fires.
+TEST(PredictiveQuarantine, FlagsAndQuarantinesAfterBurst) {
+  const CampaignWindow w;
+  std::vector<RawError> errors;
+  for (int i = 0; i < 5; ++i) errors.push_back({10, at(w, 2, i), 0x1000u + static_cast<std::uint64_t>(i) * 0x40u});
+  errors.push_back({10, at(w, 3, 0), 0x8000});
+  errors.push_back({10, at(w, 10, 0), 0x9000});
+
+  PolicyEngine::Config config;
+  config.exclude_loudest = false;
+  PolicyEngine engine(config);
+  engine.add_policy(std::make_unique<PredictiveQuarantinePolicy>());
+  stream_errors(engine, w, errors);
+  const EngineResult result = engine.finish();
+  const PolicyOutcome& outcome = result.outcomes[0];
+
+  EXPECT_EQ(outcome.placement_flags, 1u);
+  EXPECT_EQ(outcome.quarantine.quarantine_entries, 1u);
+  // Day-3 error triggered the one-day quarantine from its own timestamp;
+  // nothing else that day, so nothing was suppressed, and the day-10 error
+  // arrived long after it lapsed.
+  EXPECT_EQ(outcome.quarantine.counted_errors, 7u);
+  EXPECT_EQ(outcome.quarantine.suppressed_errors, 0u);
+  EXPECT_EQ(outcome.quarantine.quarantined_seconds, kSecondsPerDay);
+
+  bool saw_flag = false, saw_quarantine = false;
+  for (const Action& action : engine.actions(0)) {
+    saw_flag |= action.kind == ActionKind::kAvoidPlacement;
+    saw_quarantine |= action.kind == ActionKind::kQuarantineNode;
+  }
+  EXPECT_TRUE(saw_flag);
+  EXPECT_TRUE(saw_quarantine);
+}
+
+// A second error at the same address retires its page; later faults on the
+// page are absorbed by the ledger instead of counted.
+TEST(ThresholdQuarantine, RetiredPageAbsorbsLaterFaults) {
+  const CampaignWindow w;
+  std::vector<RawError> errors;
+  for (int i = 0; i < 5; ++i) errors.push_back({10, at(w, 2, i), 0x5000});
+
+  PolicyEngine::Config config;
+  config.exclude_loudest = false;
+  PolicyEngine engine(config);
+  ThresholdQuarantinePolicy::Config tq;
+  tq.period_days = 0;  // isolate retirement from quarantine
+  tq.retire_page_repeats = 2;
+  engine.add_policy(std::make_unique<ThresholdQuarantinePolicy>(tq));
+  stream_errors(engine, w, errors);
+  const EngineResult result = engine.finish();
+  const PolicyOutcome& outcome = result.outcomes[0];
+
+  EXPECT_EQ(outcome.pages_retired, 1u);
+  EXPECT_EQ(outcome.quarantine.counted_errors, 2u);
+  EXPECT_EQ(outcome.retired_absorbed_errors, 3u);
+  EXPECT_EQ(outcome.quarantine.quarantine_entries, 0u);
+}
+
+// The checkpoint policy's live census, finalized with the engine-resolved
+// exclusions, must reproduce classify_regime_excluding_loudest exactly.
+TEST(AdaptiveCheckpoint, RegimeMatchesBatchClassification) {
+  const CampaignWindow w;
+  std::vector<RawError> errors;
+  for (int day = 10; day < 60; day += 7) {
+    for (int i = 0; i < 9; ++i) {
+      errors.push_back({10, at(w, day, i),
+                        0x1000u + static_cast<std::uint64_t>(errors.size()) * 0x40u});
+    }
+  }
+  for (int i = 0; i < 5; ++i) errors.push_back({25, at(w, 30, i), 0x2000u + static_cast<std::uint64_t>(i) * 0x40u});
+  errors.push_back({40, at(w, 80, 0), 0x3000});
+
+  PolicyEngine engine;  // exclude_loudest defaults on, as the batch path does
+  auto policy = std::make_unique<AdaptiveCheckpointPolicy>();
+  AdaptiveCheckpointPolicy* raw = policy.get();
+  engine.add_policy(std::move(policy));
+  stream_errors(engine, w, errors);
+  const EngineResult result = engine.finish();
+
+  const analysis::AutoRegime batch = analysis::classify_regime_excluding_loudest(
+      result.extraction.faults, w);
+  ASSERT_TRUE(result.loudest.has_value());
+  ASSERT_TRUE(batch.excluded.has_value());
+  EXPECT_EQ(*result.loudest, *batch.excluded);
+  EXPECT_FALSE(result.outcomes[0].report.empty());
+
+  EXPECT_EQ(raw->regime().degraded_days, batch.regime.degraded_days);
+  EXPECT_EQ(raw->regime().normal_days, batch.regime.normal_days);
+  EXPECT_EQ(raw->regime().errors_per_day, batch.regime.errors_per_day);
+  EXPECT_EQ(raw->regime().normal_mtbf_hours, batch.regime.normal_mtbf_hours);
+  EXPECT_EQ(raw->regime().degraded_mtbf_hours, batch.regime.degraded_mtbf_hours);
+}
+
+// Degraded days emit interval-shrink actions online (one per node-day that
+// crosses the threshold).
+TEST(AdaptiveCheckpoint, EmitsIntervalChangeOnDegradedDay) {
+  const CampaignWindow w;
+  std::vector<RawError> errors;
+  for (int i = 0; i < 6; ++i) errors.push_back({10, at(w, 5, i), 0x1000u + static_cast<std::uint64_t>(i) * 0x40u});
+
+  PolicyEngine::Config config;
+  config.exclude_loudest = false;
+  PolicyEngine engine(config);
+  engine.add_policy(std::make_unique<AdaptiveCheckpointPolicy>());
+  stream_errors(engine, w, errors);
+  const EngineResult result = engine.finish();
+  EXPECT_EQ(result.outcomes[0].interval_changes, 1u);
+  bool saw_interval = false;
+  for (const Action& action : engine.actions(0)) {
+    if (action.kind == ActionKind::kSetCheckpointInterval) {
+      saw_interval = true;
+      EXPECT_GT(action.interval_hours, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_interval);
+}
+
+}  // namespace
+}  // namespace unp::policy

@@ -125,6 +125,45 @@ TEST(Quarantine, QuarantineClippedAtCampaignEnd) {
   EXPECT_LT(outcome.node_days_quarantined, 3.0);
 }
 
+TEST(Quarantine, PeriodZeroAccumulatesNoSeconds) {
+  const CampaignWindow w;
+  const auto faults = burst({1, 1}, w, 10, 20);
+  const QuarantineOutcome outcome =
+      simulate_quarantine(faults, w, QuarantineConfig{});
+  EXPECT_EQ(outcome.quarantined_seconds, 0);
+  EXPECT_EQ(outcome.quarantine_entries, 0u);
+  EXPECT_DOUBLE_EQ(outcome.availability_loss, 0.0);
+}
+
+TEST(Quarantine, SingleEventNodeNeverTriggers) {
+  const CampaignWindow w;
+  const auto faults = burst({1, 1}, w, 10, 1);
+  QuarantineConfig config;
+  config.period_days = 30;
+  const QuarantineOutcome outcome = simulate_quarantine(faults, w, config);
+  EXPECT_EQ(outcome.counted_errors, 1u);
+  EXPECT_EQ(outcome.suppressed_errors, 0u);
+  EXPECT_EQ(outcome.quarantine_entries, 0u);
+  EXPECT_EQ(outcome.quarantined_seconds, 0);
+}
+
+TEST(Quarantine, StraddlingWindowEndClipsExactSeconds) {
+  const CampaignWindow w;
+  const int last_day = static_cast<int>(w.duration_days()) - 2;
+  const auto faults = burst({1, 1}, w, last_day, 10);
+  QuarantineConfig config;
+  config.period_days = 30;
+  const QuarantineOutcome outcome = simulate_quarantine(faults, w, config);
+  // The 4th error triggers; its 30-day quarantine is clipped at w.end and
+  // the ledger holds the exact integer remainder.
+  const TimePoint trigger =
+      w.start + last_day * kSecondsPerDay + 3600 + 3 * 600;
+  EXPECT_EQ(outcome.quarantine_entries, 1u);
+  EXPECT_EQ(outcome.quarantined_seconds, w.end - trigger);
+  EXPECT_DOUBLE_EQ(outcome.node_days_quarantined,
+                   static_cast<double>(w.end - trigger) / kSecondsPerDay);
+}
+
 TEST(Quarantine, SweepMonotonicShape) {
   // Table II's qualitative shape: longer quarantine -> fewer (or equal)
   // surviving errors, more node-days, higher MTBF.

@@ -117,6 +117,42 @@ TEST(SimBackend, LoadSeesThroughInjections) {
   EXPECT_EQ(backend.load(5), 0xFFFFFF0Fu);
 }
 
+TEST(SimBackend, MaskedWordsNeverReport) {
+  SimulatedMemoryBackend backend(1000);
+  backend.fill(0xFFFFFFFFu);
+  backend.inject_stuck(100, dram::CellLeakModel::all_discharge(0x1u));
+  backend.inject_stuck(200, dram::CellLeakModel::all_discharge(0x1u));
+  backend.mask_words(90, 20);  // covers word 100, not 200
+  const auto hits = collect(backend, 0xFFFFFFFFu, 0x00000000u);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].first, 200u);
+}
+
+TEST(SimBackend, InjectionsIntoMaskedWordsAreDropped) {
+  SimulatedMemoryBackend backend(1000);
+  backend.fill(0xFFFFFFFFu);
+  backend.mask_words(10, 5);
+  backend.inject_transient(12, dram::CellLeakModel::all_discharge(0xFFu));
+  backend.inject_stuck(13, dram::CellLeakModel::all_discharge(0xFFu));
+  EXPECT_EQ(backend.stuck_fault_count(), 0u);
+  EXPECT_TRUE(collect(backend, 0xFFFFFFFFu, 0x00000000u).empty());
+}
+
+TEST(SimBackend, MaskRangesCoalesceAndClamp) {
+  SimulatedMemoryBackend backend(100);
+  backend.mask_words(10, 10);
+  backend.mask_words(15, 10);  // overlaps the first range
+  backend.mask_words(25, 5);   // adjacent: [10, 30) in total
+  EXPECT_EQ(backend.masked_word_count(), 20u);
+  EXPECT_TRUE(backend.is_masked(10));
+  EXPECT_TRUE(backend.is_masked(29));
+  EXPECT_FALSE(backend.is_masked(9));
+  EXPECT_FALSE(backend.is_masked(30));
+  backend.mask_words(95, 50);  // clipped to the word count
+  EXPECT_EQ(backend.masked_word_count(), 25u);
+  EXPECT_TRUE(backend.is_masked(99));
+}
+
 class BackendEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(BackendEquivalence, SimMatchesRealUnderRandomFaultSchedule) {

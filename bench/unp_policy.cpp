@@ -266,12 +266,7 @@ void print_closed_loop(const policy::ClosedLoopResult& result) {
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  Options opts;
-  if (!parse_args(argc, argv, opts)) return 2;
-
+int run_policy(const Options& opts) {
   sim::CampaignConfig config;
   config.seed = opts.seed;
 
@@ -354,4 +349,19 @@ int main(int argc, char** argv) {
                result.outcomes.size(), finish_ms,
                static_cast<unsigned long long>(result.extraction.faults.size()));
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, opts)) return 2;
+  try {
+    return run_policy(opts);
+  } catch (const ContractViolation& e) {
+    // Corrupt cache input or a violated pipeline contract: report and exit
+    // instead of aborting with an uncaught-exception trace.
+    std::fprintf(stderr, "unp_policy: fatal: %s\n", e.what());
+    return 2;
+  }
 }

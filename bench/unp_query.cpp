@@ -1,0 +1,444 @@
+// Ad-hoc query CLI over the UNPF columnar fault store.
+//
+// Two halves, composable in one invocation:
+//
+//   --build PATH   run the shared campaign pipeline once (cache reload or
+//                  simulate+spill, then streaming extraction) and persist
+//                  faults + scan profile + extraction accounting as a
+//                  columnar store at PATH;
+//   --store PATH   open an existing store (implied by --build).
+//
+// Against the open store, SQL-lite predicate flags select faults
+// (--since/--until epoch-second time range, --node/--blade/--soc location,
+// --class or --min-bits/--max-bits multiplicity) and one action renders
+// them: --count, a row listing (default, bounded by --limit), or any report
+// section (--fig N / --tab1 / --headline / --ext NAME) replayed through the
+// exact renderers unp_report uses — with no predicates the section output is
+// byte-identical to the live pipeline's.
+//
+// Query results go to stdout; --stats adds a scan-observability footer
+// (segments pruned/scanned, rows, wall clock) on stderr.  Exit status: 0 on
+// success, 2 on bad usage or unreadable/corrupt input.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/fault_sink.hpp"
+#include "analysis/metrics.hpp"
+#include "analysis/streaming_extractor.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/campaign.hpp"
+#include "store/builder.hpp"
+#include "store/reader.hpp"
+#include "util/campaign_cache.hpp"
+#include "util/report_sections.hpp"
+
+namespace {
+
+using namespace unp;
+using bench::kSectionCount;
+
+struct Options {
+  std::string build_path;
+  std::string store_path;
+  store::Query query;
+  bool count_only = false;
+  bool no_prune = false;
+  bool stats = false;
+  std::size_t limit = 20;
+  bool want[kSectionCount] = {};
+  bool any_section = false;
+  bool any_query_action = false;  ///< a predicate, --count, --limit or section
+  std::uint64_t seed = 42;
+  std::size_t threads = sim::default_campaign_threads();
+  analysis::ExtractionConfig extraction;
+};
+
+void usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: unp_query (--build PATH | --store PATH) [predicates] [action]\n"
+      "sources:\n"
+      "  --build PATH       distill the campaign into a columnar store at "
+      "PATH\n"
+      "  --store PATH       query an existing store (implied by --build)\n"
+      "predicates (AND-ed):\n"
+      "  --since T          first_seen >= T (epoch seconds)\n"
+      "  --until T          first_seen <  T (epoch seconds)\n"
+      "  --node BB-SS       exact node (e.g. 58-02)\n"
+      "  --blade B          blade 0..62\n"
+      "  --soc S            SoC 0..14\n"
+      "  --class NAME       single | double | few | many | multi\n"
+      "  --min-bits N       flipped bits >= N (1..32)\n"
+      "  --max-bits N       flipped bits <= N (1..32)\n"
+      "actions (default: list matching rows):\n"
+      "  --count            print the match count only\n"
+      "  --limit N          list at most N rows (default 20; 0 = all)\n"
+      "  --headline | --fig N | --tab1 | --ext NAME | --all\n"
+      "                     replay matches through the unp_report renderers\n"
+      "tuning:\n"
+      "  --no-prune         scan every segment (zone-map pruning off)\n"
+      "  --stats            scan observability footer on stderr\n"
+      "  --threads T        worker threads (default: hardware concurrency)\n"
+      "  --seed S           campaign seed for --build (default 42)\n"
+      "  --merge-window S   extraction merge window for --build\n"
+      "  --cache-dir DIR    campaign cache directory for --build\n");
+}
+
+bool parse_long_strict(const char* text, long& out) {
+  char* end = nullptr;
+  out = std::strtol(text, &end, 10);
+  return end != text && *end == '\0';
+}
+
+bool parse_u64_strict(const char* text, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(text, &end, 10);
+  return end != text && *end == '\0';
+}
+
+bool parse_args(int argc, char** argv, Options& opts) {
+  auto next_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "unp_query: %s needs a value\n", flag);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  auto parse_bound = [&](int& i, const char* flag, long lo, long hi,
+                         long& out) -> bool {
+    const char* v = next_value(i, flag);
+    if (!v) return false;
+    long n = 0;
+    if (!parse_long_strict(v, n) || n < lo || n > hi) {
+      std::fprintf(stderr, "unp_query: %s expects %ld..%ld, got '%s'\n", flag,
+                   lo, hi, v);
+      return false;
+    }
+    out = n;
+    return true;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--build") == 0) {
+      const char* v = next_value(i, "--build");
+      if (!v) return false;
+      opts.build_path = v;
+    } else if (std::strcmp(arg, "--store") == 0) {
+      const char* v = next_value(i, "--store");
+      if (!v) return false;
+      opts.store_path = v;
+    } else if (std::strcmp(arg, "--since") == 0 ||
+               std::strcmp(arg, "--until") == 0) {
+      const bool since = std::strcmp(arg, "--since") == 0;
+      const char* v = next_value(i, arg);
+      if (!v) return false;
+      long t = 0;
+      if (!parse_long_strict(v, t)) {
+        std::fprintf(stderr, "unp_query: %s expects epoch seconds, got '%s'\n",
+                     arg, v);
+        return false;
+      }
+      (since ? opts.query.since : opts.query.until) = t;
+      opts.any_query_action = true;
+    } else if (std::strcmp(arg, "--node") == 0) {
+      const char* v = next_value(i, "--node");
+      if (!v) return false;
+      cluster::NodeId node;
+      try {
+        node = cluster::parse_node_name(v);
+      } catch (const ContractViolation&) {
+        std::fprintf(stderr, "unp_query: --node expects BB-SS, got '%s'\n", v);
+        return false;
+      }
+      opts.query.blade = node.blade;
+      opts.query.soc = node.soc;
+      opts.any_query_action = true;
+    } else if (std::strcmp(arg, "--blade") == 0) {
+      long n = 0;
+      if (!parse_bound(i, "--blade", 0, cluster::kStudyBlades - 1, n))
+        return false;
+      opts.query.blade = static_cast<int>(n);
+      opts.any_query_action = true;
+    } else if (std::strcmp(arg, "--soc") == 0) {
+      long n = 0;
+      if (!parse_bound(i, "--soc", 0, cluster::kSocsPerBlade - 1, n))
+        return false;
+      opts.query.soc = static_cast<int>(n);
+      opts.any_query_action = true;
+    } else if (std::strcmp(arg, "--class") == 0) {
+      const char* v = next_value(i, "--class");
+      if (!v) return false;
+      if (std::strcmp(v, "single") == 0) {
+        opts.query.min_bits = 1;
+        opts.query.max_bits = 1;
+      } else if (std::strcmp(v, "double") == 0) {
+        opts.query.min_bits = 2;
+        opts.query.max_bits = 2;
+      } else if (std::strcmp(v, "few") == 0) {
+        opts.query.min_bits = 3;
+        opts.query.max_bits = 8;
+      } else if (std::strcmp(v, "many") == 0) {
+        opts.query.min_bits = 9;
+        opts.query.max_bits = 32;
+      } else if (std::strcmp(v, "multi") == 0) {
+        opts.query.min_bits = 2;
+        opts.query.max_bits = 32;
+      } else {
+        std::fprintf(stderr,
+                     "unp_query: --class expects "
+                     "single|double|few|many|multi, got '%s'\n",
+                     v);
+        return false;
+      }
+      opts.any_query_action = true;
+    } else if (std::strcmp(arg, "--min-bits") == 0) {
+      long n = 0;
+      if (!parse_bound(i, "--min-bits", 1, 32, n)) return false;
+      opts.query.min_bits = static_cast<int>(n);
+      opts.any_query_action = true;
+    } else if (std::strcmp(arg, "--max-bits") == 0) {
+      long n = 0;
+      if (!parse_bound(i, "--max-bits", 1, 32, n)) return false;
+      opts.query.max_bits = static_cast<int>(n);
+      opts.any_query_action = true;
+    } else if (std::strcmp(arg, "--count") == 0) {
+      opts.count_only = true;
+      opts.any_query_action = true;
+    } else if (std::strcmp(arg, "--limit") == 0) {
+      long n = 0;
+      if (!parse_bound(i, "--limit", 0, 1L << 40, n)) return false;
+      opts.limit = static_cast<std::size_t>(n);
+      opts.any_query_action = true;
+    } else if (std::strcmp(arg, "--no-prune") == 0) {
+      opts.no_prune = true;
+    } else if (std::strcmp(arg, "--stats") == 0) {
+      opts.stats = true;
+    } else if (std::strcmp(arg, "--all") == 0) {
+      for (int s = 0; s < kSectionCount; ++s) opts.want[s] = true;
+      opts.any_section = opts.any_query_action = true;
+    } else if (std::strcmp(arg, "--headline") == 0) {
+      opts.want[bench::kHeadline] = true;
+      opts.any_section = opts.any_query_action = true;
+    } else if (std::strcmp(arg, "--tab1") == 0) {
+      opts.want[bench::kTab1] = true;
+      opts.any_section = opts.any_query_action = true;
+    } else if (std::strcmp(arg, "--fig") == 0) {
+      long n = 0;
+      if (!parse_bound(i, "--fig", 1, 13, n)) return false;
+      opts.want[bench::kFigSections[n - 1]] = true;
+      opts.any_section = opts.any_query_action = true;
+    } else if (std::strcmp(arg, "--ext") == 0) {
+      const char* v = next_value(i, "--ext");
+      if (!v) return false;
+      if (std::strcmp(v, "temporal") == 0) {
+        opts.want[bench::kExtTemporal] = true;
+      } else if (std::strcmp(v, "markov") == 0) {
+        opts.want[bench::kExtMarkov] = true;
+      } else if (std::strcmp(v, "alignment") == 0) {
+        opts.want[bench::kExtAlignment] = true;
+      } else {
+        std::fprintf(stderr,
+                     "unp_query: --ext expects temporal|markov|alignment, got "
+                     "'%s'\n",
+                     v);
+        return false;
+      }
+      opts.any_section = opts.any_query_action = true;
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      long n = 0;
+      if (!parse_bound(i, "--threads", 1, 4096, n)) return false;
+      opts.threads = static_cast<std::size_t>(n);
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      const char* v = next_value(i, "--seed");
+      if (!v) return false;
+      if (!parse_u64_strict(v, opts.seed)) {
+        std::fprintf(stderr, "unp_query: --seed expects an integer, got '%s'\n",
+                     v);
+        return false;
+      }
+    } else if (std::strcmp(arg, "--merge-window") == 0) {
+      long n = 0;
+      if (!parse_bound(i, "--merge-window", 0, 1L << 40, n)) return false;
+      opts.extraction.merge_window_s = n;
+    } else if (std::strcmp(arg, "--cache-dir") == 0) {
+      const char* v = next_value(i, "--cache-dir");
+      if (!v) return false;
+      setenv("UNP_CACHE_DIR", v, 1);
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      usage(stdout);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unp_query: unknown option '%s'\n", arg);
+      usage(stderr);
+      return false;
+    }
+  }
+  if (opts.build_path.empty() && opts.store_path.empty()) {
+    std::fprintf(stderr, "unp_query: need --build PATH or --store PATH\n");
+    usage(stderr);
+    return false;
+  }
+  if (!opts.build_path.empty() && !opts.store_path.empty()) {
+    std::fprintf(stderr,
+                 "unp_query: --build and --store are exclusive (--build "
+                 "queries the store it just wrote)\n");
+    return false;
+  }
+  if (opts.query.min_bits > opts.query.max_bits) {
+    std::fprintf(stderr, "unp_query: --min-bits exceeds --max-bits\n");
+    return false;
+  }
+  return true;
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Run the shared campaign pipeline once and persist it as a store.
+void build_store(const Options& opts) {
+  sim::CampaignConfig config;
+  config.seed = opts.seed;
+  analysis::ScanProfileSink scan;
+  analysis::StreamingExtractor extractor(opts.extraction);
+  const auto t0 = std::chrono::steady_clock::now();
+  const bench::StreamStats acquire = bench::stream_campaign(
+      config, opts.extraction, {&scan, &extractor}, opts.threads);
+  const analysis::ExtractionResult extraction = extractor.finish();
+  store::write_store(opts.build_path, extraction, scan, acquire.fingerprint);
+  std::fprintf(stderr,
+               "unp_query: built %s  (%llu faults, fingerprint %016llx, "
+               "%.1f ms, stream %s)\n",
+               opts.build_path.c_str(),
+               static_cast<unsigned long long>(extraction.faults.size()),
+               static_cast<unsigned long long>(acquire.fingerprint),
+               ms_since(t0), acquire.from_cache ? "cache" : "simulated");
+}
+
+void print_rows(const std::vector<analysis::FaultRecord>& faults,
+                std::size_t limit) {
+  std::printf(
+      "node   first_seen  last_seen   raw_logs  address       expected  "
+      "actual    bits  class       temp_c\n");
+  const std::size_t shown =
+      limit == 0 ? faults.size() : std::min(limit, faults.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    const analysis::FaultRecord& f = faults[i];
+    const int bits = f.flipped_bits();
+    char temp[32];
+    if (f.temperature_c == telemetry::kNoTemperature)
+      std::snprintf(temp, sizeof temp, "-");
+    else
+      std::snprintf(temp, sizeof temp, "%.1f", f.temperature_c);
+    std::printf(
+        "%-6s %-11lld %-11lld %-9llu 0x%010llx  %08x  %08x  %-5d %-11s %s\n",
+        cluster::node_name(f.node).c_str(),
+        static_cast<long long>(f.first_seen),
+        static_cast<long long>(f.last_seen),
+        static_cast<unsigned long long>(f.raw_logs),
+        static_cast<unsigned long long>(f.virtual_address), f.expected,
+        f.actual, bits, store::to_string(store::classify_bits(bits)), temp);
+  }
+  if (shown < faults.size())
+    std::printf("... %zu more row(s); raise --limit to list them\n",
+                faults.size() - shown);
+}
+
+int run_query(const Options& opts) {
+  if (!opts.build_path.empty()) {
+    build_store(opts);
+    // --build alone is a complete command; queries ride along if given.
+    if (!opts.any_query_action) return 0;
+  }
+  const std::string store_path =
+      opts.store_path.empty() ? opts.build_path : opts.store_path;
+
+  const auto t_open = std::chrono::steady_clock::now();
+  const store::StoreReader reader = store::StoreReader::open(store_path);
+  const double open_ms = ms_since(t_open);
+
+  std::unique_ptr<ThreadPool> pool;
+  if (opts.threads > 1) pool = std::make_unique<ThreadPool>(opts.threads);
+  const store::ScanOptions scan_options{pool.get(), !opts.no_prune};
+
+  store::ScanStats stats;
+  const auto t_scan = std::chrono::steady_clock::now();
+
+  if (opts.any_section) {
+    // Replay the selected faults through the exact unp_report renderers.
+    analysis::ExtractionResult extraction;
+    extraction.faults = reader.materialize(opts.query, scan_options, &stats);
+    extraction.removed_nodes = reader.extraction_meta().removed_nodes;
+    extraction.total_raw_logs = reader.extraction_meta().total_raw_logs;
+    extraction.removed_raw_logs = reader.extraction_meta().removed_raw_logs;
+
+    bench::ReportAnalyzers analyzers(opts.want);
+    analysis::run_fault_sinks(extraction.faults, {reader.window()},
+                              analyzers.sinks(), pool.get());
+
+    const store::StoredScanProfile& profile = reader.scan_profile();
+    bench::ReportInputs inputs;
+    inputs.window = reader.window();
+    inputs.hours = &profile.hours;
+    inputs.terabyte_hours = &profile.terabyte_hours;
+    inputs.daily_terabyte_hours = profile.daily_terabyte_hours;
+    inputs.total_hours = profile.total_hours;
+    inputs.total_terabyte_hours = profile.total_terabyte_hours;
+    inputs.monitored_nodes = profile.monitored_nodes;
+    inputs.extraction = &extraction;
+    analyzers.render(inputs);
+  } else if (opts.count_only) {
+    store::Query query = opts.query;
+    query.projection = 0;  // predicate columns only
+    (void)reader.run(query, scan_options, &stats);
+    std::printf("%llu\n", static_cast<unsigned long long>(stats.rows_matched));
+  } else {
+    const std::vector<analysis::FaultRecord> faults =
+        reader.materialize(opts.query, scan_options, &stats);
+    print_rows(faults, opts.limit);
+  }
+  const double scan_ms = ms_since(t_scan);
+
+  if (opts.stats) {
+    std::fprintf(stderr, "\n== unp_query: scan stats ==\n");
+    std::fprintf(stderr, "store      : %s  (fingerprint %016llx, %llu rows, "
+                         "open %.1f ms)\n",
+                 store_path.c_str(),
+                 static_cast<unsigned long long>(reader.fingerprint()),
+                 static_cast<unsigned long long>(reader.rows_total()),
+                 open_ms);
+    std::fprintf(stderr, "predicate  : %s\n", opts.query.describe().c_str());
+    std::fprintf(stderr, "segments   : %zu total, %zu pruned, %zu scanned%s\n",
+                 stats.segments_total, stats.segments_pruned,
+                 stats.segments_scanned,
+                 opts.no_prune ? "  (pruning off)" : "");
+    std::fprintf(stderr, "rows       : %llu scanned, %llu matched\n",
+                 static_cast<unsigned long long>(stats.rows_scanned),
+                 static_cast<unsigned long long>(stats.rows_matched));
+    std::fprintf(stderr, "scan       : %9.1f ms  (%zu threads)\n", scan_ms,
+                 opts.threads);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, opts)) return 2;
+  try {
+    return run_query(opts);
+  } catch (const ContractViolation& e) {
+    // Covers telemetry::DecodeError (corrupt store/cache bytes, with byte
+    // offset) and any violated pipeline contract.
+    std::fprintf(stderr, "unp_query: fatal: %s\n", e.what());
+    return 2;
+  }
+}

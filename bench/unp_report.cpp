@@ -8,8 +8,14 @@
 // bench::print_* renderers the individual binaries use - so each section is
 // byte-identical to its standalone binary's stdout.
 //
+// --store PATH skips simulation and extraction entirely: faults and the scan
+// profile replay out of a prebuilt UNPF columnar store (see unp_query
+// --build), through the same renderers, producing byte-identical sections in
+// a fraction of the time.
+//
 // Report sections go to stdout; the observability footer (per-stage and
 // per-analyzer wall clock) goes to stderr so section output stays clean.
+// Exit status: 0 on success, 2 on bad usage or unreadable/corrupt input.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -18,52 +24,28 @@
 #include <string>
 #include <vector>
 
-#include "analysis/alignment.hpp"
-#include "analysis/bitstats.hpp"
 #include "analysis/fault_sink.hpp"
-#include "analysis/grouping.hpp"
-#include "analysis/interarrival.hpp"
-#include "analysis/markov.hpp"
 #include "analysis/metrics.hpp"
-#include "analysis/regime.hpp"
 #include "analysis/streaming_extractor.hpp"
 #include "common/thread_pool.hpp"
-#include "dram/address_map.hpp"
 #include "sim/campaign.hpp"
+#include "store/reader.hpp"
 #include "util/campaign_cache.hpp"
-#include "util/figures.hpp"
+#include "util/report_sections.hpp"
 
 namespace {
 
 using namespace unp;
-
-enum Section : int {
-  kHeadline = 0,
-  kFig01,
-  kFig02,
-  kFig03,
-  kTab1,
-  kFig04,
-  kFig05,
-  kFig06,
-  kFig07,
-  kFig08,
-  kFig09,
-  kFig10,
-  kFig11,
-  kFig12,
-  kFig13,
-  kExtTemporal,
-  kExtMarkov,
-  kExtAlignment,
-  kSectionCount
-};
+using bench::kSectionCount;
+using bench::Section;
 
 struct Options {
   bool want[kSectionCount] = {};
   std::uint64_t seed = 42;
   std::size_t threads = sim::default_campaign_threads();
   analysis::ExtractionConfig extraction;
+  std::string store_path;  ///< non-empty: replay a UNPF store
+  bool live_flags_used = false;  ///< --seed/--merge-window/--cache-dir seen
 };
 
 void usage(std::FILE* out) {
@@ -76,6 +58,11 @@ void usage(std::FILE* out) {
                "  --tab1             Table I multi-bit census\n"
                "  --ext NAME         extension: temporal | markov | alignment; "
                "repeatable\n"
+               "  --store PATH       replay a prebuilt UNPF fault store "
+               "instead of\n"
+               "                     simulating (excludes --seed, "
+               "--merge-window,\n"
+               "                     --cache-dir; see unp_query --build)\n"
                "  --seed S           campaign seed (default 42)\n"
                "  --threads T        worker threads (default: hardware "
                "concurrency)\n"
@@ -85,10 +72,6 @@ void usage(std::FILE* out) {
                "%lld)\n",
                static_cast<long long>(analysis::ExtractionConfig{}.merge_window_s));
 }
-
-constexpr Section kFigSections[] = {kFig01, kFig02, kFig03, kFig04, kFig05,
-                                    kFig06, kFig07, kFig08, kFig09, kFig10,
-                                    kFig11, kFig12, kFig13};
 
 /// Whole-string signed parse; rejects "1x", "", "0x10" style inputs that
 /// strtol would silently truncate.
@@ -119,10 +102,10 @@ bool parse_args(int argc, char** argv, Options& opts) {
       for (int s = 0; s < kSectionCount; ++s) opts.want[s] = true;
       any_section = true;
     } else if (std::strcmp(arg, "--headline") == 0) {
-      opts.want[kHeadline] = true;
+      opts.want[bench::kHeadline] = true;
       any_section = true;
     } else if (std::strcmp(arg, "--tab1") == 0) {
-      opts.want[kTab1] = true;
+      opts.want[bench::kTab1] = true;
       any_section = true;
     } else if (std::strcmp(arg, "--fig") == 0) {
       const char* v = next_value(i, "--fig");
@@ -132,17 +115,17 @@ bool parse_args(int argc, char** argv, Options& opts) {
         std::fprintf(stderr, "unp_report: --fig expects 1..13, got '%s'\n", v);
         return false;
       }
-      opts.want[kFigSections[n - 1]] = true;
+      opts.want[bench::kFigSections[n - 1]] = true;
       any_section = true;
     } else if (std::strcmp(arg, "--ext") == 0) {
       const char* v = next_value(i, "--ext");
       if (!v) return false;
       if (std::strcmp(v, "temporal") == 0) {
-        opts.want[kExtTemporal] = true;
+        opts.want[bench::kExtTemporal] = true;
       } else if (std::strcmp(v, "markov") == 0) {
-        opts.want[kExtMarkov] = true;
+        opts.want[bench::kExtMarkov] = true;
       } else if (std::strcmp(v, "alignment") == 0) {
-        opts.want[kExtAlignment] = true;
+        opts.want[bench::kExtAlignment] = true;
       } else {
         std::fprintf(stderr,
                      "unp_report: --ext expects temporal|markov|alignment, "
@@ -151,6 +134,10 @@ bool parse_args(int argc, char** argv, Options& opts) {
         return false;
       }
       any_section = true;
+    } else if (std::strcmp(arg, "--store") == 0) {
+      const char* v = next_value(i, "--store");
+      if (!v) return false;
+      opts.store_path = v;
     } else if (std::strcmp(arg, "--seed") == 0) {
       const char* v = next_value(i, "--seed");
       if (!v) return false;
@@ -159,6 +146,7 @@ bool parse_args(int argc, char** argv, Options& opts) {
                      v);
         return false;
       }
+      opts.live_flags_used = true;
     } else if (std::strcmp(arg, "--threads") == 0) {
       const char* v = next_value(i, "--threads");
       if (!v) return false;
@@ -173,6 +161,7 @@ bool parse_args(int argc, char** argv, Options& opts) {
       const char* v = next_value(i, "--cache-dir");
       if (!v) return false;
       setenv("UNP_CACHE_DIR", v, 1);
+      opts.live_flags_used = true;
     } else if (std::strcmp(arg, "--merge-window") == 0) {
       const char* v = next_value(i, "--merge-window");
       if (!v) return false;
@@ -185,6 +174,7 @@ bool parse_args(int argc, char** argv, Options& opts) {
         return false;
       }
       opts.extraction.merge_window_s = n;
+      opts.live_flags_used = true;
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       usage(stdout);
       std::exit(0);
@@ -193,6 +183,13 @@ bool parse_args(int argc, char** argv, Options& opts) {
       usage(stderr);
       return false;
     }
+  }
+  if (!opts.store_path.empty() && opts.live_flags_used) {
+    std::fprintf(stderr,
+                 "unp_report: --store replays a prebuilt store; --seed, "
+                 "--merge-window and --cache-dir configure the live pipeline "
+                 "and cannot apply to it\n");
+    return false;
   }
   if (!any_section)
     for (int s = 0; s < kSectionCount; ++s) opts.want[s] = true;
@@ -205,13 +202,63 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-}  // namespace
+void print_sink_timings(const std::vector<const char*>& labels,
+                        const std::vector<analysis::FaultSinkTiming>& timings) {
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    std::fprintf(stderr, "  %-22s : %9.2f ms\n", labels[i],
+                 timings[i].milliseconds);
+  }
+}
 
-int main(int argc, char** argv) {
-  Options opts;
-  if (!parse_args(argc, argv, opts)) return 2;
-  const auto want = [&](Section s) { return opts.want[s]; };
+/// Store-backed path: faults + scan profile replay from a UNPF store.
+int run_store_report(const Options& opts) {
+  const auto t_open = std::chrono::steady_clock::now();
+  const store::StoreReader reader = store::StoreReader::open(opts.store_path);
+  const double open_ms = ms_since(t_open);
 
+  std::unique_ptr<ThreadPool> pool;
+  if (opts.threads > 1) pool = std::make_unique<ThreadPool>(opts.threads);
+
+  const auto t_scan = std::chrono::steady_clock::now();
+  const analysis::ExtractionResult extraction =
+      reader.extraction_result(pool.get());
+  const double scan_ms = ms_since(t_scan);
+
+  bench::ReportAnalyzers analyzers(opts.want);
+  const auto t_fanout = std::chrono::steady_clock::now();
+  const std::vector<analysis::FaultSinkTiming> timings =
+      analysis::run_fault_sinks(extraction.faults, {reader.window()},
+                                analyzers.sinks(), pool.get());
+  const double fanout_ms = ms_since(t_fanout);
+
+  const store::StoredScanProfile& profile = reader.scan_profile();
+  bench::ReportInputs inputs;
+  inputs.window = reader.window();
+  inputs.hours = &profile.hours;
+  inputs.terabyte_hours = &profile.terabyte_hours;
+  inputs.daily_terabyte_hours = profile.daily_terabyte_hours;
+  inputs.total_hours = profile.total_hours;
+  inputs.total_terabyte_hours = profile.total_terabyte_hours;
+  inputs.monitored_nodes = profile.monitored_nodes;
+  inputs.extraction = &extraction;
+  analyzers.render(inputs);
+
+  std::fprintf(stderr, "\n== unp_report: store-replay timings ==\n");
+  std::fprintf(stderr, "store %s  fingerprint %016llx\n",
+               opts.store_path.c_str(),
+               static_cast<unsigned long long>(reader.fingerprint()));
+  std::fprintf(stderr, "store open (header+directory)   : %9.1f ms\n", open_ms);
+  std::fprintf(stderr,
+               "fault scan (%zu segments)        : %9.1f ms  (%llu faults)\n",
+               reader.zones().size(), scan_ms,
+               static_cast<unsigned long long>(extraction.faults.size()));
+  std::fprintf(stderr, "analyzer fan-out (%zu sinks, %zu thr) : %7.1f ms\n",
+               analyzers.sinks().size(), opts.threads, fanout_ms);
+  print_sink_timings(analyzers.labels(), timings);
+  return 0;
+}
+
+int run_report(const Options& opts) {
   sim::CampaignConfig config;
   config.seed = opts.seed;
 
@@ -227,105 +274,26 @@ int main(int argc, char** argv) {
   const CampaignWindow& window = scan.window();
 
   // --- Pass 2: fan the fault-level analyzers out on the pool. -------------
-  analysis::ErrorsGridAnalyzer errors_grid;
-  analysis::MultibitPatternAnalyzer patterns;
-  analysis::AdjacencyAnalyzer adjacency;
-  analysis::DirectionAnalyzer direction;
-  analysis::SimultaneousGroupAnalyzer grouping;
-  analysis::HourOfDayAnalyzer hourly;
-  analysis::TemperatureAnalyzer temperature;
-  analysis::DailyErrorsAnalyzer daily;
-  analysis::TopNodeAnalyzer top_nodes;
-  analysis::NodePatternCensus node_patterns;
-  analysis::RegimeAnalyzer regime;
-  analysis::InterArrivalAnalyzer interarrival;
-  analysis::RegimeDynamicsAnalyzer dynamics;
-  const dram::AddressMap address_map(dram::default_geometry());
-  analysis::AlignmentAnalyzer alignment(address_map);
-
-  struct Registered {
-    const char* label;
-    analysis::FaultSink* sink;
-  };
-  std::vector<Registered> registered;
-  auto add_sink = [&](bool needed, const char* label, analysis::FaultSink* s) {
-    if (needed) registered.push_back({label, s});
-  };
-  add_sink(want(kFig03), "errors-grid", &errors_grid);
-  add_sink(want(kTab1), "multibit-patterns", &patterns);
-  add_sink(want(kTab1), "adjacency", &adjacency);
-  add_sink(want(kTab1), "direction", &direction);
-  add_sink(want(kFig04), "grouping", &grouping);
-  add_sink(want(kFig05) || want(kFig06), "hour-of-day", &hourly);
-  add_sink(want(kFig07) || want(kFig08), "temperature", &temperature);
-  add_sink(want(kFig10), "daily-errors", &daily);
-  add_sink(want(kFig12), "top-nodes", &top_nodes);
-  add_sink(want(kFig12), "node-patterns", &node_patterns);
-  add_sink(want(kFig13), "regime", &regime);
-  add_sink(want(kExtTemporal), "interarrival", &interarrival);
-  add_sink(want(kExtMarkov), "regime-dynamics", &dynamics);
-  add_sink(want(kExtAlignment), "alignment", &alignment);
-
-  std::vector<analysis::FaultSink*> sinks;
-  for (const auto& r : registered) sinks.push_back(r.sink);
-
+  bench::ReportAnalyzers analyzers(opts.want);
   std::unique_ptr<ThreadPool> pool;
-  if (opts.threads > 1 && sinks.size() > 1)
+  if (opts.threads > 1 && analyzers.sinks().size() > 1)
     pool = std::make_unique<ThreadPool>(opts.threads);
   const auto t_fanout = std::chrono::steady_clock::now();
   const std::vector<analysis::FaultSinkTiming> timings = analysis::run_fault_sinks(
-      extraction.faults, {window}, sinks, pool.get());
+      extraction.faults, {window}, analyzers.sinks(), pool.get());
   const double fanout_ms = ms_since(t_fanout);
 
   // --- Render the requested sections in canonical report order. -----------
-  if (want(kHeadline)) {
-    bench::print_headline(
-        analysis::headline_stats(scan.total_monitored_hours(),
-                                 scan.total_terabyte_hours(),
-                                 scan.monitored_nodes(), window, extraction),
-        extraction);
-  }
-  if (want(kFig01)) bench::print_fig01(scan.hours_grid());
-  if (want(kFig02))
-    bench::print_fig02(scan.hours_grid(), scan.terabyte_hours_grid());
-  if (want(kFig03)) bench::print_fig03(errors_grid.grid());
-  if (want(kTab1))
-    bench::print_tab1(patterns.patterns(), adjacency.stats(), direction.stats());
-  if (want(kFig04)) {
-    bench::print_fig04(analysis::count_viewpoints(grouping.groups()),
-                       analysis::count_co_occurrence(grouping.groups()));
-  }
-  if (want(kFig05)) bench::print_fig05(hourly.profile());
-  if (want(kFig06)) bench::print_fig06(hourly.profile());
-  if (want(kFig07)) bench::print_fig07(temperature.profile());
-  if (want(kFig08)) bench::print_fig08(temperature.profile());
-  if (want(kFig09)) bench::print_fig09(scan.daily_terabyte_hours(), window);
-  if (want(kFig10)) {
-    bench::print_fig10(daily.series(),
-                       analysis::scan_error_correlation(
-                           scan.daily_terabyte_hours(), daily.series()),
-                       window);
-  }
-  if (want(kFig11)) bench::print_fig11(extraction.faults, window);
-  if (want(kFig12)) {
-    std::vector<analysis::NodePatternProfile> profiles;
-    for (const auto& node : top_nodes.series().nodes)
-      profiles.push_back(node_patterns.profile(node));
-    bench::print_fig12(top_nodes.series(), profiles, window);
-  }
-  if (want(kFig13)) bench::print_fig13(regime.result(), window);
-  if (want(kExtTemporal)) {
-    bench::print_ext_temporal(
-        interarrival.stats(),
-        analysis::poisson_reference(interarrival.stats().gaps + 1,
-                                    window.duration_seconds(), 17));
-  }
-  if (want(kExtMarkov)) {
-    bench::print_ext_markov(dynamics.days(), dynamics.model(), dynamics.spells(),
-                            dynamics.regime().regime.degraded_fraction());
-  }
-  if (want(kExtAlignment))
-    bench::print_ext_alignment(alignment.stats(), alignment.spread());
+  bench::ReportInputs inputs;
+  inputs.window = window;
+  inputs.hours = &scan.hours_grid();
+  inputs.terabyte_hours = &scan.terabyte_hours_grid();
+  inputs.daily_terabyte_hours = scan.daily_terabyte_hours();
+  inputs.total_hours = scan.total_monitored_hours();
+  inputs.total_terabyte_hours = scan.total_terabyte_hours();
+  inputs.monitored_nodes = scan.monitored_nodes();
+  inputs.extraction = &extraction;
+  analyzers.render(inputs);
 
   // --- Observability footer (stderr keeps section stdout byte-clean). -----
   std::fprintf(stderr, "\n== unp_report: one-pass timings ==\n");
@@ -343,10 +311,23 @@ int main(int argc, char** argv) {
                finish_ms,
                static_cast<unsigned long long>(extraction.faults.size()));
   std::fprintf(stderr, "analyzer fan-out (%zu sinks, %zu thr) : %7.1f ms\n",
-               sinks.size(), opts.threads, fanout_ms);
-  for (std::size_t i = 0; i < timings.size(); ++i) {
-    std::fprintf(stderr, "  %-22s : %9.2f ms\n", registered[i].label,
-                 timings[i].milliseconds);
-  }
+               analyzers.sinks().size(), opts.threads, fanout_ms);
+  print_sink_timings(analyzers.labels(), timings);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, opts)) return 2;
+  try {
+    return opts.store_path.empty() ? run_report(opts) : run_store_report(opts);
+  } catch (const ContractViolation& e) {
+    // Covers telemetry::DecodeError (corrupt cache/store input) and any
+    // violated pipeline contract: report and exit instead of aborting with
+    // an uncaught-exception trace.
+    std::fprintf(stderr, "unp_report: fatal: %s\n", e.what());
+    return 2;
+  }
 }

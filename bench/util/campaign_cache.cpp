@@ -1,5 +1,7 @@
 #include "util/campaign_cache.hpp"
 
+#include <unistd.h>
+
 #include <bit>
 #include <chrono>
 #include <cstdio>
@@ -254,7 +256,11 @@ sim::CampaignSummary simulate_and_spill(
     const std::string& path, std::uint64_t fingerprint,
     const sim::CampaignConfig& config,
     std::vector<telemetry::RecordSink*> sinks, std::size_t threads) {
-  const std::string tmp = path.empty() ? "" : path + ".tmp";
+  // Temp name is pid-unique: concurrent bench processes racing on the same
+  // cache path each spill a complete private file and rename it into place,
+  // so a reader can never observe a torn UNPC file.
+  const std::string tmp =
+      path.empty() ? "" : path + ".tmp." + std::to_string(::getpid());
   std::ofstream os;
   std::unique_ptr<telemetry::ArchiveWriter> writer;
   if (!tmp.empty()) {

@@ -1,0 +1,246 @@
+#include "store/reader.hpp"
+
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <sstream>
+
+#include "common/bitops.hpp"
+#include "common/require.hpp"
+
+namespace unp::store {
+
+using telemetry::get_varint;
+using telemetry::zigzag_decode;
+
+StoreReader::StoreReader(std::string bytes) : bytes_(std::move(bytes)) {
+  std::size_t pos = 0;
+  if (bytes_.size() < sizeof kStoreMagic + 1 + 8)
+    throw DecodeError("truncated store header", bytes_.size());
+  if (std::memcmp(bytes_.data(), kStoreMagic, sizeof kStoreMagic) != 0)
+    throw DecodeError("bad UNPF magic", 0);
+  pos = sizeof kStoreMagic;
+  const int version = static_cast<unsigned char>(bytes_[pos]);
+  if (version != kStoreVersion)
+    throw DecodeError("unsupported UNPF version " + std::to_string(version),
+                      pos);
+  ++pos;
+  fingerprint_ = 0;
+  for (std::size_t i = 0; i < 8; ++i)
+    fingerprint_ |= static_cast<std::uint64_t>(
+                        static_cast<unsigned char>(bytes_[pos + i]))
+                    << (8 * i);
+  pos += 8;
+  window_.start = zigzag_decode(get_varint(bytes_, pos));
+  window_.end = zigzag_decode(get_varint(bytes_, pos));
+  scan_profile_ = decode_scan_profile(bytes_, pos);
+  extraction_meta_ = decode_extraction_meta(bytes_, pos);
+  const std::uint64_t segment_count = get_varint(bytes_, pos);
+  if (segment_count > bytes_.size())  // each segment occupies >= 1 byte
+    throw DecodeError("segment count out of range", pos);
+  zones_.reserve(static_cast<std::size_t>(segment_count));
+  for (std::uint64_t i = 0; i < segment_count; ++i)
+    zones_.push_back(decode_zone(bytes_, pos));
+  data_offset_ = pos;
+
+  // The data section must be exactly the contiguous concatenation the
+  // directory declares — anything else is a torn or corrupt file.
+  std::uint64_t expected_offset = 0;
+  for (const SegmentZone& zone : zones_) {
+    if (zone.offset != expected_offset)
+      throw DecodeError("zone directory not contiguous", data_offset_);
+    expected_offset += zone.size;
+    rows_total_ += zone.rows;
+  }
+  if (data_offset_ + expected_offset != bytes_.size())
+    throw DecodeError("data section size mismatch (directory declares " +
+                          std::to_string(expected_offset) + " bytes, file has " +
+                          std::to_string(bytes_.size() - data_offset_) + ")",
+                      data_offset_);
+}
+
+StoreReader StoreReader::open(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good())
+    throw ContractViolation("cannot open store file " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  if (!is.good() && !is.eof())
+    throw ContractViolation("cannot read store file " + path);
+  return StoreReader(std::move(buffer).str());
+}
+
+namespace {
+
+/// Append the kept rows of `src` to `dst` (no-op for undecoded columns).
+template <typename T>
+void append_kept(std::vector<T>& dst, const std::vector<T>& src,
+                 const std::vector<std::uint32_t>& keep) {
+  if (src.empty()) return;
+  dst.reserve(dst.size() + keep.size());
+  for (const std::uint32_t row : keep) dst.push_back(src[row]);
+}
+
+template <typename T>
+void append_vector(std::vector<T>& dst, const std::vector<T>& src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+void append_columns(SegmentColumns& dst, const SegmentColumns& src) {
+  append_vector(dst.node_index, src.node_index);
+  append_vector(dst.first_seen, src.first_seen);
+  append_vector(dst.last_seen, src.last_seen);
+  append_vector(dst.raw_logs, src.raw_logs);
+  append_vector(dst.address, src.address);
+  append_vector(dst.expected, src.expected);
+  append_vector(dst.actual, src.actual);
+  append_vector(dst.temperature, src.temperature);
+  append_vector(dst.fault_class, src.fault_class);
+}
+
+}  // namespace
+
+QueryResult StoreReader::run(const Query& query, const Options& options,
+                             ScanStats* stats) const {
+  // Scan columns = what the predicate and projection need; last_seen is
+  // stored as an offset from first_seen, so it drags first_seen in.
+  std::uint32_t scan_columns = query.required_columns();
+  if (scan_columns & kColLastSeen) scan_columns |= kColFirstSeen;
+  const bool need_bits = !query.bits_unconstrained();
+  const bool bits_from_class = need_bits && query.class_range().has_value();
+
+  ScanStats local;
+  local.segments_total = zones_.size();
+  std::vector<std::size_t> chosen;
+  chosen.reserve(zones_.size());
+  for (std::size_t i = 0; i < zones_.size(); ++i) {
+    if (options.prune && !query.may_match(zones_[i])) {
+      ++local.segments_pruned;
+      continue;
+    }
+    chosen.push_back(i);
+  }
+  local.segments_scanned = chosen.size();
+
+  struct SegmentScan {
+    SegmentColumns kept;
+    std::uint64_t rows_scanned = 0;
+    std::uint64_t rows_matched = 0;
+    std::exception_ptr error;
+  };
+  std::vector<SegmentScan> scans(chosen.size());
+
+  const auto scan_one = [&](std::size_t task) {
+    SegmentScan& scan = scans[task];
+    try {
+      const SegmentZone& zone = zones_[chosen[task]];
+      SegmentColumns cols;
+      decode_segment(bytes_,
+                     data_offset_ + static_cast<std::size_t>(zone.offset), zone,
+                     scan_columns, cols);
+      if (!cols.last_seen.empty())
+        for (std::size_t i = 0; i < cols.last_seen.size(); ++i)
+          cols.last_seen[i] += cols.first_seen[i];
+      scan.rows_scanned = zone.rows;
+      std::vector<std::uint32_t> keep;
+      keep.reserve(zone.rows);
+      for (std::uint32_t i = 0; i < zone.rows; ++i) {
+        const std::uint32_t node =
+            cols.node_index.empty() ? 0 : cols.node_index[i];
+        const TimePoint t = cols.first_seen.empty() ? 0 : cols.first_seen[i];
+        int bits = 1;
+        if (need_bits) {
+          bits = bits_from_class
+                     ? representative_bits(
+                           static_cast<FaultClass>(cols.fault_class[i]))
+                     : flipped_bit_count(cols.expected[i], cols.actual[i]);
+        }
+        if (query.matches(node, t, bits)) keep.push_back(i);
+      }
+      scan.rows_matched = keep.size();
+      if (query.projection & kColNode)
+        append_kept(scan.kept.node_index, cols.node_index, keep);
+      if (query.projection & kColFirstSeen)
+        append_kept(scan.kept.first_seen, cols.first_seen, keep);
+      if (query.projection & kColLastSeen)
+        append_kept(scan.kept.last_seen, cols.last_seen, keep);
+      if (query.projection & kColRawLogs)
+        append_kept(scan.kept.raw_logs, cols.raw_logs, keep);
+      if (query.projection & kColAddress)
+        append_kept(scan.kept.address, cols.address, keep);
+      if (query.projection & kColPattern) {
+        append_kept(scan.kept.expected, cols.expected, keep);
+        append_kept(scan.kept.actual, cols.actual, keep);
+      }
+      if (query.projection & kColTemperature)
+        append_kept(scan.kept.temperature, cols.temperature, keep);
+      if (query.projection & kColClass)
+        append_kept(scan.kept.fault_class, cols.fault_class, keep);
+    } catch (...) {
+      scan.error = std::current_exception();
+    }
+  };
+
+  if (options.pool != nullptr && chosen.size() > 1) {
+    options.pool->parallel_for(chosen.size(), scan_one);
+  } else {
+    for (std::size_t task = 0; task < chosen.size(); ++task) scan_one(task);
+  }
+
+  QueryResult result;
+  for (SegmentScan& scan : scans) {
+    if (scan.error) std::rethrow_exception(scan.error);
+    local.rows_scanned += scan.rows_scanned;
+    local.rows_matched += scan.rows_matched;
+    // Directory order = canonical order; concatenation preserves it.
+    append_columns(result.columns, scan.kept);
+  }
+  result.rows = local.rows_matched;
+  if (stats != nullptr) *stats = local;
+  return result;
+}
+
+std::vector<analysis::FaultRecord> StoreReader::materialize(
+    const Query& query, const Options& options, ScanStats* stats) const {
+  Query full = query;
+  full.projection = kColNode | kColFirstSeen | kColLastSeen | kColRawLogs |
+                    kColAddress | kColPattern | kColTemperature;
+  const QueryResult result = run(full, options, stats);
+  std::vector<analysis::FaultRecord> faults;
+  faults.reserve(static_cast<std::size_t>(result.rows));
+  const SegmentColumns& c = result.columns;
+  for (std::size_t i = 0; i < result.rows; ++i) {
+    analysis::FaultRecord f;
+    f.node = cluster::node_from_index(static_cast<int>(c.node_index[i]));
+    f.first_seen = c.first_seen[i];
+    f.last_seen = c.last_seen[i];
+    f.raw_logs = c.raw_logs[i];
+    f.virtual_address = c.address[i];
+    f.expected = c.expected[i];
+    f.actual = c.actual[i];
+    f.temperature_c = c.temperature[i];
+    faults.push_back(f);
+  }
+  return faults;
+}
+
+std::vector<analysis::FaultRecord> StoreReader::replay(
+    const Query& query, std::span<analysis::FaultSink* const> sinks,
+    ThreadPool* pool) const {
+  std::vector<analysis::FaultRecord> faults =
+      materialize(query, Options{pool, true});
+  analysis::run_fault_sinks(faults, {window_}, sinks, pool);
+  return faults;
+}
+
+analysis::ExtractionResult StoreReader::extraction_result(
+    ThreadPool* pool) const {
+  analysis::ExtractionResult result;
+  result.faults = materialize(Query{}, Options{pool, true});
+  result.removed_nodes = extraction_meta_.removed_nodes;
+  result.total_raw_logs = extraction_meta_.total_raw_logs;
+  result.removed_raw_logs = extraction_meta_.removed_raw_logs;
+  return result;
+}
+
+}  // namespace unp::store

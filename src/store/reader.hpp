@@ -1,0 +1,115 @@
+// StoreReader: the query side of the UNPF columnar store.
+//
+// Opening a store parses only the header, the campaign metadata, and the
+// zone directory; segment bodies stay undecoded bytes until a query touches
+// them.  run() plans a scan from a Query (segment pruning via zone maps,
+// column projection via required_columns), fans the surviving segments out
+// on the shared ThreadPool, and concatenates per-segment results in
+// directory order — so query results are bit-identical for any thread count
+// and with pruning on or off.
+//
+// replay() closes the loop with the live pipeline: it materializes matching
+// rows back into canonical FaultRecords and streams them through any set of
+// analysis::FaultSinks, exactly as run_fault_sinks does downstream of
+// StreamingExtractor.  A figure computed from a store replay is therefore
+// byte-identical to the same figure computed live.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/extraction.hpp"
+#include "analysis/fault_sink.hpp"
+#include "common/thread_pool.hpp"
+#include "store/format.hpp"
+#include "store/query.hpp"
+
+namespace unp::store {
+
+/// Observability counters of one scan.
+struct ScanStats {
+  std::size_t segments_total = 0;
+  std::size_t segments_pruned = 0;   ///< skipped via zone maps
+  std::size_t segments_scanned = 0;  ///< decoded and row-filtered
+  std::uint64_t rows_scanned = 0;    ///< rows decoded
+  std::uint64_t rows_matched = 0;    ///< rows passing the predicate
+};
+
+/// Matching rows in directory (= canonical) order, column-major.  Vectors
+/// for unprojected columns are empty; projected ones share one length.
+struct QueryResult {
+  SegmentColumns columns;
+  std::uint64_t rows = 0;
+};
+
+/// How a scan executes (never what it returns — results are identical for
+/// every option combination).
+struct ScanOptions {
+  ThreadPool* pool = nullptr;  ///< nullptr = sequential scan
+  bool prune = true;           ///< false = decode every segment (for the
+                               ///  pruning-equivalence proof in the gate)
+};
+
+class StoreReader {
+ public:
+  using Options = ScanOptions;
+
+  /// Parse a store from memory (takes ownership of the bytes).  Throws
+  /// DecodeError with byte-offset context on corrupt input.
+  explicit StoreReader(std::string bytes);
+
+  /// Read and parse the store file at `path`.
+  [[nodiscard]] static StoreReader open(const std::string& path);
+
+  // --- campaign metadata --------------------------------------------------
+  [[nodiscard]] const CampaignWindow& window() const noexcept { return window_; }
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept { return fingerprint_; }
+  [[nodiscard]] const StoredScanProfile& scan_profile() const noexcept {
+    return scan_profile_;
+  }
+  [[nodiscard]] const StoredExtractionMeta& extraction_meta() const noexcept {
+    return extraction_meta_;
+  }
+  [[nodiscard]] const std::vector<SegmentZone>& zones() const noexcept {
+    return zones_;
+  }
+  [[nodiscard]] std::uint64_t rows_total() const noexcept { return rows_total_; }
+
+  /// Execute `query`: prune segments, decode required columns, filter rows,
+  /// keep projected columns.  Deterministic for any Options.
+  [[nodiscard]] QueryResult run(const Query& query,
+                                const Options& options = Options{},
+                                ScanStats* stats = nullptr) const;
+
+  /// Materialize matching rows as canonical FaultRecords (query.projection
+  /// is ignored; records need every column).
+  [[nodiscard]] std::vector<analysis::FaultRecord> materialize(
+      const Query& query, const Options& options = Options{},
+      ScanStats* stats = nullptr) const;
+
+  /// Materialize and stream through `sinks` exactly like run_fault_sinks
+  /// downstream of the live extractor.  Returns the materialized rows; the
+  /// caller must keep them alive while sink products are consumed (sinks
+  /// may retain pointers into the view).
+  [[nodiscard]] std::vector<analysis::FaultRecord> replay(
+      const Query& query, std::span<analysis::FaultSink* const> sinks,
+      ThreadPool* pool = nullptr) const;
+
+  /// Rebuild the ExtractionResult of the source campaign (all faults plus
+  /// the stored accounting) — the store-backed stand-in for extract_faults.
+  [[nodiscard]] analysis::ExtractionResult extraction_result(
+      ThreadPool* pool = nullptr) const;
+
+ private:
+  std::string bytes_;
+  CampaignWindow window_;
+  std::uint64_t fingerprint_ = 0;
+  StoredScanProfile scan_profile_;
+  StoredExtractionMeta extraction_meta_;
+  std::vector<SegmentZone> zones_;
+  std::size_t data_offset_ = 0;  ///< start of the data section in bytes_
+  std::uint64_t rows_total_ = 0;
+};
+
+}  // namespace unp::store

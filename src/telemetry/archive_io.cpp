@@ -25,13 +25,25 @@ void write_varint(std::ostream& os, std::uint64_t value) {
   UNP_REQUIRE(os.good());
 }
 
+/// Stream offset for decode-error context; 0 when the stream cannot tell
+/// (already failed, or not seekable).
+std::uint64_t stream_offset(std::istream& is) {
+  const std::streamoff off = is.rdstate() ? -1 : std::streamoff(is.tellg());
+  return off < 0 ? 0 : static_cast<std::uint64_t>(off);
+}
+
 std::uint64_t read_varint(std::istream& is) {
+  const std::uint64_t start = stream_offset(is);
   std::uint64_t value = 0;
   int shift = 0;
   for (;;) {
     const int c = is.get();
-    UNP_REQUIRE(c != std::char_traits<char>::eof());
-    UNP_REQUIRE(shift < 64);
+    if (c == std::char_traits<char>::eof())
+      throw DecodeError("truncated varint", start);
+    if (shift >= 64)
+      throw DecodeError("varint overflow (> 10 bytes)", start);
+    if (shift == 63 && (c & 0x7E) != 0)
+      throw DecodeError("varint overflow (bits beyond 64)", start);
     value |= static_cast<std::uint64_t>(c & 0x7F) << shift;
     if ((c & 0x80) == 0) return value;
     shift += 7;
@@ -39,9 +51,13 @@ std::uint64_t read_varint(std::istream& is) {
 }
 
 std::string read_exact(std::istream& is, std::uint64_t size) {
+  const std::uint64_t start = stream_offset(is);
   std::string body(size, '\0');
   is.read(body.data(), static_cast<std::streamsize>(size));
-  UNP_REQUIRE(static_cast<std::uint64_t>(is.gcount()) == size);
+  if (static_cast<std::uint64_t>(is.gcount()) != size)
+    throw DecodeError("truncated block (wanted " + std::to_string(size) +
+                          " bytes, got " + std::to_string(is.gcount()) + ")",
+                      start);
   return body;
 }
 
@@ -115,29 +131,47 @@ void ArchiveWriter::finish() {
 
 ArchiveReader::ArchiveReader(std::istream& is) : is_(&is) {
   const std::string magic = read_exact(is, sizeof kStreamMagic);
-  UNP_REQUIRE(std::memcmp(magic.data(), kStreamMagic, sizeof kStreamMagic) == 0);
+  if (std::memcmp(magic.data(), kStreamMagic, sizeof kStreamMagic) != 0)
+    throw DecodeError("bad UNPS magic", 0);
   const int version = is.get();
-  UNP_REQUIRE(version == kStreamVersion);
+  if (version != kStreamVersion)
+    throw DecodeError("unsupported UNPS version " + std::to_string(version),
+                      sizeof kStreamMagic);
   window_.start = zigzag_decode(read_varint(is));
   window_.end = zigzag_decode(read_varint(is));
 }
 
 bool ArchiveReader::next(cluster::NodeId& node, NodeLog& log) {
   if (done_) return false;
+  const std::uint64_t frame_offset = stream_offset(*is_);
   const std::uint64_t index = read_varint(*is_);
   if (index == kEndFrame) {
     const std::uint64_t declared = read_varint(*is_);
-    UNP_REQUIRE(declared == frames_);
+    if (declared != frames_)
+      throw DecodeError("frame count mismatch (declared " +
+                            std::to_string(declared) + ", read " +
+                            std::to_string(frames_) + ")",
+                        frame_offset);
     done_ = true;
     return false;
   }
-  UNP_REQUIRE(index < kEndFrame);
+  if (index > kEndFrame)
+    throw DecodeError("node index out of range", frame_offset);
   node = cluster::node_from_index(static_cast<int>(index));
   const std::uint64_t size = read_varint(*is_);
+  const std::uint64_t body_offset = stream_offset(*is_);
   const std::string body = read_exact(*is_, size);
   std::size_t pos = 0;
-  log = decode_node_log(body, pos, node);
-  UNP_REQUIRE(pos == body.size());
+  try {
+    log = decode_node_log(body, pos, node);
+  } catch (const DecodeError& e) {
+    // Re-anchor the body-relative offset to the stream position.
+    throw DecodeError("node frame for " + cluster::node_name(node) + ": " +
+                          e.detail(),
+                      body_offset + e.byte_offset());
+  }
+  if (pos != body.size())
+    throw DecodeError("node frame body size mismatch", body_offset + pos);
   ++frames_;
   return true;
 }

@@ -68,14 +68,16 @@ class ArchiveWriter final : public RecordSink {
 class ArchiveReader {
  public:
   /// Parses the stream header from `is` (binary mode, current position).
-  /// Throws ContractViolation on bad magic/version.
+  /// Throws telemetry::DecodeError (a ContractViolation carrying the byte
+  /// offset) on bad magic/version.
   explicit ArchiveReader(std::istream& is);
 
   [[nodiscard]] const CampaignWindow& window() const noexcept { return window_; }
 
   /// Read the next node frame into (node, log).  Returns false once the end
   /// frame is reached (after validating the frame count).  Throws
-  /// ContractViolation on corrupt or truncated input.
+  /// telemetry::DecodeError with byte-offset context on corrupt or
+  /// truncated input.
   [[nodiscard]] bool next(cluster::NodeId& node, NodeLog& log);
 
   /// Push the remaining stream through `sink` with full framing

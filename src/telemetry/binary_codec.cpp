@@ -24,9 +24,10 @@ void put_temp(std::string& out, double celsius) {
 }
 
 double get_temp(const std::string& in, std::size_t& pos) {
-  UNP_REQUIRE(pos < in.size());
+  if (pos >= in.size()) throw DecodeError("truncated temperature flag", pos);
   const char flag = in[pos++];
-  UNP_REQUIRE(flag == 0 || flag == 1);
+  if (flag != 0 && flag != 1)
+    throw DecodeError("bad temperature flag", pos - 1);
   return flag == 0 ? kNoTemperature : get_f64(in, pos);
 }
 
@@ -63,7 +64,7 @@ void put_f64(std::string& out, double value) {
 }
 
 double get_f64(const std::string& in, std::size_t& pos) {
-  UNP_REQUIRE(pos + 8 <= in.size());
+  if (pos + 8 > in.size()) throw DecodeError("truncated f64", pos);
   std::uint64_t bits = 0;
   for (int i = 0; i < 8; ++i) {
     bits |= static_cast<std::uint64_t>(static_cast<unsigned char>(
@@ -80,9 +81,13 @@ std::uint64_t get_varint(const std::string& in, std::size_t& pos) {
   std::uint64_t value = 0;
   int shift = 0;
   for (;;) {
-    UNP_REQUIRE(pos < in.size());
-    UNP_REQUIRE(shift < 64);
+    if (pos >= in.size()) throw DecodeError("truncated varint", pos);
+    if (shift >= 64) throw DecodeError("varint overflow (> 10 bytes)", pos);
     const auto byte = static_cast<unsigned char>(in[pos++]);
+    // The 10th group holds only the top bit of a uint64; higher payload bits
+    // would be shifted out silently, so reject them as overflow.
+    if (shift == 63 && (byte & 0x7E) != 0)
+      throw DecodeError("varint overflow (bits beyond 64)", pos - 1);
     value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
     if ((byte & 0x80) == 0) return value;
     shift += 7;
@@ -188,7 +193,7 @@ NodeLog decode_node_log(const std::string& bytes, std::size_t& pos,
       run.first.physical_page = get_varint(bytes, pos);
       run.period_s = static_cast<std::int64_t>(get_varint(bytes, pos));
       run.count = get_varint(bytes, pos);
-      UNP_REQUIRE(run.count >= 1);
+      if (run.count < 1) throw DecodeError("error run with zero count", pos);
       log.add_error_run(run);
     }
   }
@@ -221,9 +226,11 @@ std::string encode_archive(const CampaignArchive& archive) {
 }
 
 CampaignArchive decode_archive(const std::string& bytes) {
-  UNP_REQUIRE(bytes.size() > 5);
-  UNP_REQUIRE(std::memcmp(bytes.data(), kMagic, sizeof kMagic) == 0);
-  UNP_REQUIRE(static_cast<std::uint8_t>(bytes[4]) == kVersion);
+  if (bytes.size() <= 5) throw DecodeError("truncated archive header", bytes.size());
+  if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0)
+    throw DecodeError("bad UNPA magic", 0);
+  if (static_cast<std::uint8_t>(bytes[4]) != kVersion)
+    throw DecodeError("unsupported UNPA version", 4);
 
   std::size_t pos = 5;
   CampaignWindow window;
@@ -233,17 +240,22 @@ CampaignArchive decode_archive(const std::string& bytes) {
 
   const std::uint64_t nodes = get_varint(bytes, pos);
   for (std::uint64_t n = 0; n < nodes; ++n) {
+    const std::size_t frame_pos = pos;
     const std::uint64_t index = get_varint(bytes, pos);
-    UNP_REQUIRE(index < static_cast<std::uint64_t>(cluster::kStudyNodeSlots));
+    if (index >= static_cast<std::uint64_t>(cluster::kStudyNodeSlots))
+      throw DecodeError("node index out of range", frame_pos);
     const std::uint64_t size = get_varint(bytes, pos);
-    UNP_REQUIRE(pos + size <= bytes.size());
+    if (pos + size > bytes.size())
+      throw DecodeError("truncated node log body", pos);
     std::size_t body_pos = pos;
     const cluster::NodeId node = cluster::node_from_index(static_cast<int>(index));
     archive.log(node) = decode_node_log(bytes, body_pos, node);
-    UNP_REQUIRE(body_pos == pos + size);
+    if (body_pos != pos + size)
+      throw DecodeError("node log body size mismatch", body_pos);
     pos += size;
   }
-  UNP_REQUIRE(pos == bytes.size());
+  if (pos != bytes.size())
+    throw DecodeError("trailing bytes after archive", pos);
   return archive;
 }
 

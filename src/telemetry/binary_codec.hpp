@@ -22,14 +22,37 @@
 #include <string>
 #include <vector>
 
+#include "common/require.hpp"
 #include "telemetry/archive.hpp"
 
 namespace unp::telemetry {
 
+/// Typed decode failure carrying the byte offset where the input stopped
+/// making sense.  Derives from ContractViolation so existing recovery sites
+/// (the bench cache's fall-back-to-simulation path) keep working, while
+/// front ends can report "corrupt input at byte N" instead of a bare
+/// contract trace.  `detail()` is the message without the offset suffix.
+class DecodeError : public ContractViolation {
+ public:
+  DecodeError(const std::string& detail, std::uint64_t byte_offset)
+      : ContractViolation(detail + " at byte " + std::to_string(byte_offset)),
+        detail_(detail),
+        byte_offset_(byte_offset) {}
+
+  [[nodiscard]] const std::string& detail() const noexcept { return detail_; }
+  [[nodiscard]] std::uint64_t byte_offset() const noexcept { return byte_offset_; }
+
+ private:
+  std::string detail_;
+  std::uint64_t byte_offset_;
+};
+
 /// Append a LEB128 varint to `out` (exposed for tests).
 void put_varint(std::string& out, std::uint64_t value);
 
-/// Read a LEB128 varint; throws ContractViolation on truncation/overflow.
+/// Read a LEB128 varint; throws DecodeError on truncation, on an encoding
+/// longer than 10 bytes, and on a 10-byte encoding whose final group carries
+/// bits beyond the 64th (a silent-overflow input no canonical encoder emits).
 [[nodiscard]] std::uint64_t get_varint(const std::string& in, std::size_t& pos);
 
 /// Raw little-endian f64 bits (used by derived formats such as the bench
@@ -57,7 +80,7 @@ void put_f64(std::string& out, double value);
 /// Serialize a whole campaign archive.
 [[nodiscard]] std::string encode_archive(const CampaignArchive& archive);
 
-/// Parse an encoded archive; throws ContractViolation on malformed input.
+/// Parse an encoded archive; throws DecodeError on malformed input.
 [[nodiscard]] CampaignArchive decode_archive(const std::string& bytes);
 
 /// Convenience file I/O (binary mode).  Throws ContractViolation on I/O or

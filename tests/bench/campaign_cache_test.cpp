@@ -6,7 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
 #include "analysis/extraction.hpp"
+#include "common/civil_time.hpp"
 #include "sim/campaign.hpp"
 
 namespace unp::bench {
@@ -49,6 +54,44 @@ TEST(CampaignFingerprint, SensitiveToPathologicalFilter) {
   min_raw.pathological_min_raw = base.pathological_min_raw / 2;
   EXPECT_NE(campaign_fingerprint(config, base),
             campaign_fingerprint(config, min_raw));
+}
+
+// A cache spill must be atomic: the entry materializes under a pid-unique
+// temp name and is renamed into place, so a crashing or concurrent writer
+// can never leave a torn .unpc file (or a stray temp) for readers to trip
+// over.
+TEST(CampaignCacheSpill, AtomicWriteLeavesNoTempFiles) {
+  const std::string dir =
+      ::testing::TempDir() + "unp_cache_atomic_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  ASSERT_EQ(::setenv("UNP_CACHE_DIR", dir.c_str(), 1), 0);
+
+  sim::CampaignConfig config;  // two days keeps the spill-side sim fast
+  config.window = {from_civil_utc({2015, 3, 1, 0, 0, 0}),
+                   from_civil_utc({2015, 3, 3, 0, 0, 0})};
+  const analysis::ExtractionConfig extraction;
+
+  const StreamStats first = stream_campaign(config, extraction, {}, 2);
+  EXPECT_FALSE(first.from_cache);
+  ASSERT_FALSE(first.cache_path.empty());
+  EXPECT_TRUE(std::filesystem::exists(first.cache_path));
+
+  int entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ++entries;
+    EXPECT_EQ(entry.path().string().find(".tmp"), std::string::npos)
+        << entry.path();
+  }
+  EXPECT_EQ(entries, 1);
+
+  const StreamStats second = stream_campaign(config, extraction, {}, 2);
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(second.fingerprint, first.fingerprint);
+  EXPECT_EQ(second.cache_path, first.cache_path);
+
+  ::unsetenv("UNP_CACHE_DIR");
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

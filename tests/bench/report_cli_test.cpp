@@ -3,6 +3,7 @@
 // campaign may be simulated on the error path (these run in milliseconds).
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <sys/wait.h>
@@ -18,6 +19,7 @@ int run(const std::string& args_for_binary) {
 
 const std::string kReport = UNP_REPORT_BIN;
 const std::string kPolicy = UNP_POLICY_BIN;
+const std::string kQuery = UNP_QUERY_BIN;
 
 TEST(ReportCli, UnknownFlagExitsTwo) {
   EXPECT_EQ(run(kReport + " --frobnicate"), 2);
@@ -62,6 +64,67 @@ TEST(PolicyCli, ExclusiveModesExitTwo) {
 
 TEST(PolicyCli, HelpExitsZero) {
   EXPECT_EQ(run(kPolicy + " --help"), 0);
+}
+
+TEST(ReportCli, StoreExcludesLivePipelineFlags) {
+  EXPECT_EQ(run(kReport + " --store x.unpf --seed 5"), 2);
+  EXPECT_EQ(run(kReport + " --store x.unpf --merge-window 60"), 2);
+  EXPECT_EQ(run(kReport + " --store x.unpf --cache-dir /tmp"), 2);
+}
+
+TEST(ReportCli, MissingStoreFileExitsTwo) {
+  EXPECT_EQ(run(kReport + " --store /nonexistent/no.unpf"), 2);
+}
+
+TEST(ReportCli, CorruptStoreFileExitsTwo) {
+  const std::string path = ::testing::TempDir() + "corrupt_report.unpf";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("UNPF this is not a valid store", f);
+  std::fclose(f);
+  EXPECT_EQ(run(kReport + " --store " + path), 2);
+  std::remove(path.c_str());
+}
+
+TEST(QueryCli, UnknownFlagExitsTwo) {
+  EXPECT_EQ(run(kQuery + " --frobnicate"), 2);
+}
+
+TEST(QueryCli, RequiresASource) {
+  EXPECT_EQ(run(kQuery + " --count"), 2);
+  EXPECT_EQ(run(kQuery), 2);
+}
+
+TEST(QueryCli, ExclusiveSourcesExitTwo) {
+  EXPECT_EQ(run(kQuery + " --build a.unpf --store b.unpf"), 2);
+}
+
+TEST(QueryCli, MalformedPredicatesExitTwo) {
+  EXPECT_EQ(run(kQuery + " --store x.unpf --blade 63"), 2);
+  EXPECT_EQ(run(kQuery + " --store x.unpf --soc 15"), 2);
+  EXPECT_EQ(run(kQuery + " --store x.unpf --node banana"), 2);
+  EXPECT_EQ(run(kQuery + " --store x.unpf --class huge"), 2);
+  EXPECT_EQ(run(kQuery + " --store x.unpf --min-bits 0"), 2);
+  EXPECT_EQ(run(kQuery + " --store x.unpf --min-bits 5 --max-bits 2"), 2);
+  EXPECT_EQ(run(kQuery + " --store x.unpf --fig 14"), 2);
+}
+
+TEST(QueryCli, MissingStoreFileExitsTwo) {
+  EXPECT_EQ(run(kQuery + " --store /nonexistent/no.unpf --count"), 2);
+}
+
+TEST(QueryCli, CorruptStoreFileExitsTwo) {
+  const std::string path = ::testing::TempDir() + "corrupt_query.unpf";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not even the right magic", f);
+  std::fclose(f);
+  EXPECT_EQ(run(kQuery + " --store " + path + " --count"), 2);
+  std::remove(path.c_str());
+}
+
+TEST(QueryCli, HelpExitsZero) {
+  EXPECT_EQ(run(kQuery + " --help"), 0);
 }
 
 }  // namespace

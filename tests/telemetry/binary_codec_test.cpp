@@ -43,6 +43,77 @@ TEST(Varint, TruncationThrows) {
   EXPECT_THROW((void)get_varint(buf, pos), ContractViolation);
 }
 
+TEST(Varint, MaxLengthEncodingsRoundTrip) {
+  // The 64-bit ceiling needs all ten LEB128 groups; both extremes of the
+  // ten-byte form must decode exactly.
+  for (const std::uint64_t v : std::initializer_list<std::uint64_t>{
+           std::numeric_limits<std::uint64_t>::max(), 1ULL << 63}) {
+    std::string buf;
+    put_varint(buf, v);
+    EXPECT_EQ(buf.size(), 10u);
+    std::size_t pos = 0;
+    EXPECT_EQ(get_varint(buf, pos), v);
+    EXPECT_EQ(pos, 10u);
+  }
+}
+
+TEST(Varint, RejectsTenthByteBitsBeyond64) {
+  // Nine continuation groups consume 63 bits; any tenth-byte payload bit
+  // other than the lowest would overflow u64 and must be rejected, not
+  // silently wrapped.
+  for (const char last : {'\x02', '\x7e', '\x7f'}) {
+    std::string buf(9, '\x80');
+    buf += last;
+    std::size_t pos = 0;
+    EXPECT_THROW((void)get_varint(buf, pos), DecodeError);
+  }
+  // The same shape with only bit 63 set stays valid.
+  std::string ok(9, '\x80');
+  ok += '\x01';
+  std::size_t pos = 0;
+  EXPECT_EQ(get_varint(ok, pos), 1ULL << 63);
+}
+
+TEST(Varint, RejectsEncodingsLongerThanTenBytes) {
+  std::string buf(10, '\x80');
+  buf += '\x01';
+  std::size_t pos = 0;
+  EXPECT_THROW((void)get_varint(buf, pos), DecodeError);
+}
+
+TEST(Varint, MidVarintTruncationReportsOffset) {
+  std::string buf;
+  put_varint(buf, 5);            // one complete varint...
+  put_varint(buf, 1ULL << 40);   // ...then one cut mid-encoding
+  buf.resize(buf.size() - 2);
+  std::size_t pos = 0;
+  EXPECT_EQ(get_varint(buf, pos), 5u);
+  try {
+    (void)get_varint(buf, pos);
+    FAIL() << "expected DecodeError";
+  } catch (const DecodeError& e) {
+    EXPECT_LE(e.byte_offset(), buf.size());
+    EXPECT_GE(e.byte_offset(), 1u);  // past the first, intact varint
+    EXPECT_FALSE(e.detail().empty());
+  }
+}
+
+TEST(Varint, GroupBoundaryValuesUseExpectedLengths) {
+  // 2^(7k) is the first value needing k+1 bytes; its predecessor fits in k.
+  for (int k = 1; k <= 9; ++k) {
+    const std::uint64_t boundary = 1ULL << (7 * k);
+    for (const std::uint64_t v : {boundary - 1, boundary, boundary + 1}) {
+      std::string buf;
+      put_varint(buf, v);
+      EXPECT_EQ(buf.size(), static_cast<std::size_t>(k) + (v >= boundary))
+          << "value " << v;
+      std::size_t pos = 0;
+      EXPECT_EQ(get_varint(buf, pos), v);
+      EXPECT_EQ(pos, buf.size());
+    }
+  }
+}
+
 TEST(Varint, RoundTripRandom) {
   RngStream rng(3);
   std::string buf;

@@ -103,9 +103,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "allocation failed entirely\n");
     return 1;
   }
-  std::fprintf(stderr, "# scanning %llu MB with %zu threads, pattern=%s\n",
+  std::fprintf(stderr,
+               "# scanning %llu MB with %zu threads, pattern=%s, kernel=%s%s\n",
                static_cast<unsigned long long>(got >> 20), threads,
-               scanner::to_string(pattern));
+               scanner::to_string(pattern), backend->kernel_set().name,
+               backend->uses_nontemporal_stores() ? " (non-temporal stores)"
+                                                  : "");
 
   StdoutSink sink;
   scanner::SystemClock clock;

@@ -1,0 +1,40 @@
+#include "scanner/kernels/interval_set.hpp"
+
+#include <algorithm>
+
+namespace unp::scanner::kernels {
+
+void IntervalSet::insert(std::uint64_t first, std::uint64_t count) {
+  if (count == 0) return;
+  std::uint64_t start = first;
+  std::uint64_t end = first + count;
+  // Coalesce with any overlapping or adjacent ranges.
+  auto it = ranges_.upper_bound(start);
+  if (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) {
+      start = prev->first;
+      end = std::max(end, prev->second);
+      it = prev;
+    }
+  }
+  while (it != ranges_.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    it = ranges_.erase(it);
+  }
+  ranges_[start] = end;
+}
+
+bool IntervalSet::contains(std::uint64_t x) const noexcept {
+  auto it = ranges_.upper_bound(x);
+  if (it == ranges_.begin()) return false;
+  return std::prev(it)->second > x;
+}
+
+std::uint64_t IntervalSet::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& [start, end] : ranges_) sum += end - start;
+  return sum;
+}
+
+}  // namespace unp::scanner::kernels

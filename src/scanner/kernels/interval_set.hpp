@@ -1,0 +1,59 @@
+// Sorted, coalesced set of half-open word-index intervals.
+//
+// This is the page-retirement mask: the policy engine's retire-page action
+// unmaps ranges of the scan space, and both memory backends must skip them
+// during every sweep.  Ranges coalesce on insert, so lookups and the gap
+// walk the masked-sweep kernel does are O(log R) / O(R) in the number of
+// *disjoint* retired ranges, never in words.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace unp::scanner::kernels {
+
+class IntervalSet {
+ public:
+  /// Add [first, first + count); overlapping or adjacent ranges coalesce.
+  void insert(std::uint64_t first, std::uint64_t count);
+
+  /// True when `x` lies inside some interval.
+  [[nodiscard]] bool contains(std::uint64_t x) const noexcept;
+
+  /// Total covered width (overlaps counted once by construction).
+  [[nodiscard]] std::uint64_t total() const noexcept;
+
+  [[nodiscard]] bool empty() const noexcept { return ranges_.empty(); }
+
+  void clear() noexcept { ranges_.clear(); }
+
+  /// The disjoint intervals, start -> one-past-end, ascending.
+  [[nodiscard]] const std::map<std::uint64_t, std::uint64_t>& ranges()
+      const noexcept {
+    return ranges_;
+  }
+
+  /// Invoke fn(gap_begin, gap_end) for every maximal sub-range of
+  /// [begin, end) not covered by any interval, in ascending order.
+  template <typename Fn>
+  void for_each_gap(std::uint64_t begin, std::uint64_t end, Fn&& fn) const {
+    std::uint64_t cursor = begin;
+    // First interval that could overlap [begin, end): the one before
+    // upper_bound(begin) may still cover begin.
+    auto it = ranges_.upper_bound(begin);
+    if (it != ranges_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > begin) cursor = prev->second;
+    }
+    for (; it != ranges_.end() && it->first < end && cursor < end; ++it) {
+      if (it->first > cursor) fn(cursor, it->first);
+      if (it->second > cursor) cursor = it->second;
+    }
+    if (cursor < end) fn(cursor, end);
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> ranges_;
+};
+
+}  // namespace unp::scanner::kernels

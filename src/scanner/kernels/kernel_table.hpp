@@ -1,0 +1,24 @@
+// Internal: the per-ISA kernel set objects.  Each ISA translation unit
+// defines its set behind an architecture guard; the dispatcher links only
+// the ones the target architecture can express (runtime support is still a
+// separate cpuid/HWCAP question answered by is_supported()).
+#pragma once
+
+#include "scanner/kernels/kernels.hpp"
+
+namespace unp::scanner::kernels {
+
+// Accessor functions (not extern const objects): cross-TU data references
+// from a static archive need text relocations under a PIE link, calls don't.
+[[nodiscard]] const Kernels& scalar_kernel_set() noexcept;
+
+#if defined(__x86_64__) || defined(_M_X64)
+[[nodiscard]] const Kernels& sse2_kernel_set() noexcept;
+[[nodiscard]] const Kernels& avx2_kernel_set() noexcept;
+#endif
+
+#if defined(__aarch64__)
+[[nodiscard]] const Kernels& neon_kernel_set() noexcept;
+#endif
+
+}  // namespace unp::scanner::kernels

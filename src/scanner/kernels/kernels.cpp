@@ -1,0 +1,35 @@
+// Generic drivers built on top of a kernel set: the masked sweep and the
+// masked fill.  Retired (masked) words are unmapped from the scan space —
+// the drivers decompose the range into unmasked gaps and hand each gap to
+// the ISA kernel, so masked words are neither read, written, nor reported,
+// and the per-gap ascending reports concatenate into one ascending stream.
+#include "scanner/kernels/kernels.hpp"
+
+namespace unp::scanner::kernels {
+
+void masked_verify_and_write(const Kernels& k, Word* data, std::size_t n,
+                             std::uint64_t base_index, Word expected,
+                             Word next, bool nontemporal,
+                             const IntervalSet& masked,
+                             std::vector<Hit>& out) {
+  masked.for_each_gap(
+      base_index, base_index + n,
+      [&](std::uint64_t gap_begin, std::uint64_t gap_end) {
+        k.verify_and_write(data + (gap_begin - base_index),
+                           static_cast<std::size_t>(gap_end - gap_begin),
+                           gap_begin, expected, next, nontemporal, out);
+      });
+}
+
+void masked_fill(const Kernels& k, Word* data, std::size_t n,
+                 std::uint64_t base_index, Word value, bool nontemporal,
+                 const IntervalSet& masked) {
+  masked.for_each_gap(base_index, base_index + n,
+                      [&](std::uint64_t gap_begin, std::uint64_t gap_end) {
+                        k.fill(data + (gap_begin - base_index),
+                               static_cast<std::size_t>(gap_end - gap_begin),
+                               value, nontemporal);
+                      });
+}
+
+}  // namespace unp::scanner::kernels

@@ -69,36 +69,15 @@ void SimulatedMemoryBackend::clear_stuck(std::uint64_t word) {
 void SimulatedMemoryBackend::mask_words(std::uint64_t first,
                                         std::uint64_t count) {
   UNP_REQUIRE(first < word_count_);
-  if (count == 0) return;
-  std::uint64_t end = first + std::min(count, word_count_ - first);
-  std::uint64_t start = first;
-  // Coalesce with any overlapping or adjacent ranges.
-  auto it = masked_.upper_bound(start);
-  if (it != masked_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->second >= start) {
-      start = prev->first;
-      end = std::max(end, prev->second);
-      it = prev;
-    }
-  }
-  while (it != masked_.end() && it->first <= end) {
-    end = std::max(end, it->second);
-    it = masked_.erase(it);
-  }
-  masked_[start] = end;
+  masked_.insert(first, std::min(count, word_count_ - first));
 }
 
 bool SimulatedMemoryBackend::is_masked(std::uint64_t word) const noexcept {
-  auto it = masked_.upper_bound(word);
-  if (it == masked_.begin()) return false;
-  return std::prev(it)->second > word;
+  return masked_.contains(word);
 }
 
 std::uint64_t SimulatedMemoryBackend::masked_word_count() const noexcept {
-  std::uint64_t total = 0;
-  for (const auto& [start, end] : masked_) total += end - start;
-  return total;
+  return masked_.total();
 }
 
 Word SimulatedMemoryBackend::load(std::uint64_t word) const {

@@ -20,6 +20,7 @@
 
 #include "dram/cell_model.hpp"
 #include "scanner/backend.hpp"
+#include "scanner/kernels/interval_set.hpp"
 
 namespace unp::scanner {
 
@@ -70,8 +71,9 @@ class SimulatedMemoryBackend final : public MemoryBackend {
   std::map<std::uint64_t, Word> deviations_;
   /// Persistent cell faults.
   std::map<std::uint64_t, dram::WordCorruption> stuck_;
-  /// Retired word ranges, start -> one-past-end, disjoint and coalesced.
-  std::map<std::uint64_t, std::uint64_t> masked_;
+  /// Retired word ranges (the page-retirement mask), shared with the kernel
+  /// layer so both backends honour identical masking semantics.
+  kernels::IntervalSet masked_;
 };
 
 }  // namespace unp::scanner

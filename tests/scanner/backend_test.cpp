@@ -73,6 +73,104 @@ TEST_P(RealBackendThreads, ParallelPassMatchesSequential) {
 INSTANTIATE_TEST_SUITE_P(Threads, RealBackendThreads,
                          ::testing::Values(2, 3, 4, 8));
 
+TEST(RealBackend, BorrowedPoolMatchesOwnedPool) {
+  // A caller that already holds a pool (e.g. a campaign driver) can lend it
+  // instead of paying for a second set of workers.
+  ThreadPool pool(3);
+  RealMemoryBackend owned(1 << 18, 3);
+  RealMemoryBackend borrowed(1 << 18, pool);
+  owned.fill(0x00FF00FFu);
+  borrowed.fill(0x00FF00FFu);
+  RngStream rng(7);
+  for (int i = 0; i < 40; ++i) {
+    const std::uint64_t w = rng.uniform_u64(owned.word_count());
+    const auto v = static_cast<Word>(rng.next_u64());
+    owned.poke(w, v);
+    borrowed.poke(w, v);
+  }
+  EXPECT_EQ(collect(owned, 0x00FF00FFu, 0u), collect(borrowed, 0x00FF00FFu, 0u));
+  // A second backend can share the same pool concurrently with the first.
+  RealMemoryBackend second(1 << 16, pool);
+  second.fill(1u);
+  EXPECT_TRUE(collect(second, 1u, 2u).empty());
+}
+
+TEST(RealBackend, ManyThreadsOnTinyBufferStillCoversEveryWord) {
+  // Lane chunks are rounded up to whole cache lines; with 8 workers on 100
+  // words most lanes are empty, and every word must still be swept once.
+  RealMemoryBackend backend(100 * sizeof(Word), 8);
+  backend.fill(0xABCDABCDu);
+  backend.poke(0, 1u);
+  backend.poke(15, 2u);   // last word of the first cache line
+  backend.poke(16, 3u);   // first word of the second
+  backend.poke(99, 4u);   // final word
+  const auto hits = collect(backend, 0xABCDABCDu, 0u);
+  ASSERT_EQ(hits.size(), 4u);
+  EXPECT_EQ(hits[0], (Mismatch{0, 1u}));
+  EXPECT_EQ(hits[1], (Mismatch{15, 2u}));
+  EXPECT_EQ(hits[2], (Mismatch{16, 3u}));
+  EXPECT_EQ(hits[3], (Mismatch{99, 4u}));
+  for (std::uint64_t w = 0; w < backend.word_count(); ++w) {
+    ASSERT_EQ(backend.peek(w), 0u) << "word " << w << " not rewritten";
+  }
+}
+
+TEST(RealBackend, MaskedWordsAreUnmapped) {
+  // Page retirement on the real backend: masked words are neither read,
+  // written, nor reported — and pokes into them are dropped.
+  RealMemoryBackend backend(1000 * sizeof(Word), 2);
+  backend.fill(0xFFFFFFFFu);
+  backend.poke(100, 0x1u);
+  backend.poke(200, 0x2u);
+  backend.mask_words(90, 20);  // covers word 100, not 200
+  auto hits = collect(backend, 0xFFFFFFFFu, 0x00000000u);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], (Mismatch{200, 0x2u}));
+  // The masked word was not rewritten by the pass...
+  EXPECT_EQ(backend.peek(100), 0x1u);
+  // ...nor by fill, and pokes into it are dropped.
+  backend.fill(0x77777777u);
+  EXPECT_EQ(backend.peek(100), 0x1u);
+  EXPECT_EQ(backend.peek(200), 0x77777777u);
+  // Word 95 is masked: the first pass never rewrote it, fill skipped it,
+  // and this poke is dropped — it still holds the original fill value.
+  backend.poke(95, 0xABCDu);
+  EXPECT_EQ(backend.peek(95), 0xFFFFFFFFu);
+  EXPECT_TRUE(backend.is_masked(95));
+  EXPECT_TRUE(collect(backend, 0x77777777u, 0u).empty());
+}
+
+TEST(RealBackend, MaskRangesCoalesceAndClampLikeSim) {
+  RealMemoryBackend backend(100 * sizeof(Word), 1);
+  backend.mask_words(10, 10);
+  backend.mask_words(15, 10);
+  backend.mask_words(25, 5);
+  EXPECT_EQ(backend.masked_word_count(), 20u);
+  EXPECT_TRUE(backend.is_masked(10));
+  EXPECT_TRUE(backend.is_masked(29));
+  EXPECT_FALSE(backend.is_masked(9));
+  EXPECT_FALSE(backend.is_masked(30));
+  backend.mask_words(95, 50);  // clipped to the word count
+  EXPECT_EQ(backend.masked_word_count(), 25u);
+  EXPECT_TRUE(backend.is_masked(99));
+}
+
+TEST(RealBackend, MaskedSimAndRealReportIdentically) {
+  RealMemoryBackend real(512 * sizeof(Word), 2);
+  SimulatedMemoryBackend sim(512);
+  real.fill(0xFFFFFFFFu);
+  sim.fill(0xFFFFFFFFu);
+  for (const std::uint64_t w : {5ull, 60ull, 300ull, 501ull}) {
+    real.poke(w, 0xFFFF0FFFu);
+    sim.inject_transient(w, dram::CellLeakModel::all_discharge(0x0000F000u));
+  }
+  real.mask_words(50, 16);
+  sim.mask_words(50, 16);
+  real.mask_words(500, 12);
+  sim.mask_words(500, 12);
+  EXPECT_EQ(collect(real, 0xFFFFFFFFu, 0u), collect(sim, 0xFFFFFFFFu, 0u));
+}
+
 TEST(SimBackend, TransientVisibleOnceThenHealed) {
   SimulatedMemoryBackend backend(1ULL << 30);
   backend.fill(0xFFFFFFFFu);

@@ -1,0 +1,314 @@
+// Kernel-equivalence suite: every ISA path the CPU supports must be
+// observationally identical to the scalar oracle — same mismatch stream
+// (order and values), same final buffer — for every alignment, every
+// head/tail residue, planted faults exactly on vector and lane boundaries,
+// and the masked sweep against a plain mask loop.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "scanner/kernels/kernels.hpp"
+
+namespace unp::scanner::kernels {
+namespace {
+
+using Hits = std::vector<Hit>;
+
+/// The reference semantics, written as naively as possible.
+void oracle_verify(Word* data, std::size_t n, std::uint64_t base, Word expected,
+                   Word next, Hits& out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (data[i] != expected) out.push_back({base + i, data[i]});
+    data[i] = next;
+  }
+}
+
+struct KernelRun {
+  Hits hits;
+  std::vector<Word> buffer;
+};
+
+KernelRun run_kernel(const Kernels& k, const std::vector<Word>& input,
+               std::size_t offset, std::uint64_t base, Word expected,
+               Word next, bool nontemporal) {
+  std::vector<Word> buf = input;
+  KernelRun r;
+  k.verify_and_write(buf.data() + offset, buf.size() - offset, base, expected,
+                     next, nontemporal, r.hits);
+  r.buffer = std::move(buf);
+  return r;
+}
+
+TEST(KernelDispatch, ToStringParseRoundTrip) {
+  for (const Isa isa : {Isa::kScalar, Isa::kSse2, Isa::kAvx2, Isa::kNeon}) {
+    Isa parsed = Isa::kScalar;
+    ASSERT_TRUE(parse_isa(to_string(isa), parsed));
+    EXPECT_EQ(parsed, isa);
+  }
+  Isa out;
+  EXPECT_FALSE(parse_isa("", out));
+  EXPECT_FALSE(parse_isa("avx512", out));
+  EXPECT_FALSE(parse_isa("Scalar", out));
+}
+
+TEST(KernelDispatch, ScalarAlwaysSupportedAndFirst) {
+  EXPECT_TRUE(is_supported(Isa::kScalar));
+  const auto isas = supported_isas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_EQ(isas.front(), Isa::kScalar);
+  for (const Isa isa : isas) EXPECT_TRUE(is_supported(isa));
+  EXPECT_TRUE(is_supported(best_supported_isa()));
+}
+
+TEST(KernelDispatch, ResolveHonoursSupportedRequest) {
+  for (const Isa isa : supported_isas()) {
+    std::string warning;
+    EXPECT_EQ(resolve_isa(to_string(isa), &warning), isa);
+    EXPECT_TRUE(warning.empty()) << warning;
+  }
+}
+
+TEST(KernelDispatch, ResolveFallsBackWithWarning) {
+  std::string warning;
+  EXPECT_EQ(resolve_isa(nullptr, &warning), best_supported_isa());
+  EXPECT_TRUE(warning.empty());
+  EXPECT_EQ(resolve_isa("", &warning), best_supported_isa());
+  EXPECT_TRUE(warning.empty());
+
+  EXPECT_EQ(resolve_isa("not-an-isa", &warning), best_supported_isa());
+  EXPECT_NE(warning.find("not recognised"), std::string::npos) << warning;
+
+#if defined(__x86_64__)
+  warning.clear();
+  EXPECT_EQ(resolve_isa("neon", &warning), best_supported_isa());
+  EXPECT_NE(warning.find("not supported"), std::string::npos) << warning;
+#endif
+}
+
+TEST(KernelDispatch, ActiveKernelsIsSupported) {
+  const Kernels& k = active_kernels();
+  EXPECT_TRUE(is_supported(k.isa));
+  EXPECT_STREQ(k.name, to_string(k.isa));
+  EXPECT_NE(k.fill, nullptr);
+  EXPECT_NE(k.verify_and_write, nullptr);
+}
+
+class KernelEquivalence : public ::testing::TestWithParam<Isa> {
+ protected:
+  void SetUp() override {
+    if (!is_supported(GetParam())) GTEST_SKIP() << "ISA not supported here";
+  }
+};
+
+TEST_P(KernelEquivalence, RandomizedBuffersMatchScalarOracle) {
+  const Kernels& k = kernels_for(GetParam());
+  RngStream rng(2024);
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t offset = rng.uniform_u64(8);  // break 32-byte alignment
+    const std::size_t n = 1 + rng.uniform_u64(5000);
+    const Word expected = static_cast<Word>(rng.next_u64());
+    const Word next = static_cast<Word>(rng.next_u64());
+    const std::uint64_t base = rng.uniform_u64(1 << 20);
+    const bool nontemporal = rng.bernoulli(0.5);
+
+    std::vector<Word> input(n + offset, expected);
+    const std::uint64_t plants = rng.uniform_u64(12);
+    for (std::uint64_t p = 0; p < plants; ++p) {
+      input[offset + rng.uniform_u64(n)] ^= static_cast<Word>(rng.next_u64());
+    }
+
+    std::vector<Word> want_buf = input;
+    Hits want_hits;
+    oracle_verify(want_buf.data() + offset, n, base, expected, next,
+                  want_hits);
+
+    const KernelRun got = run_kernel(k, input, offset, base, expected, next,
+                               nontemporal);
+    EXPECT_EQ(got.hits, want_hits) << "round " << round << " n=" << n
+                                   << " offset=" << offset;
+    EXPECT_EQ(got.buffer, want_buf) << "round " << round;
+  }
+}
+
+TEST_P(KernelEquivalence, MismatchesAtVectorAndLaneBoundaries) {
+  const Kernels& k = kernels_for(GetParam());
+  // 16 words per kernel block; plant exactly at every boundary a 4/8/16-wide
+  // vector could mis-handle, plus the final words of the tail.
+  const std::size_t n = 256;
+  const std::vector<std::size_t> plants{0,  1,  3,  4,  7,  8,   15,  16,
+                                        17, 31, 32, 63, 64, 127, 128, 240,
+                                        241, 254, 255};
+  for (const std::size_t offset : {std::size_t{0}, std::size_t{1},
+                                   std::size_t{3}, std::size_t{7}}) {
+    std::vector<Word> input(n + offset, 0xAAAAAAAAu);
+    for (const std::size_t p : plants) input[offset + p] = 0x55555555u;
+
+    const KernelRun got =
+        run_kernel(k, input, offset, 1000, 0xAAAAAAAAu, 0x33333333u, false);
+    ASSERT_EQ(got.hits.size(), plants.size()) << "offset " << offset;
+    for (std::size_t i = 0; i < plants.size(); ++i) {
+      EXPECT_EQ(got.hits[i].index, 1000 + plants[i]);
+      EXPECT_EQ(got.hits[i].actual, 0x55555555u);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(got.buffer[offset + i], 0x33333333u) << "word " << i;
+    }
+  }
+}
+
+TEST_P(KernelEquivalence, EveryHeadTailResidue) {
+  const Kernels& k = kernels_for(GetParam());
+  // n mod 16 in {0..15}: the tail loop must cover every residue, and an
+  // all-mismatch buffer forces the slow path everywhere.
+  for (std::size_t residue = 0; residue < 16; ++residue) {
+    const std::size_t n = 64 + residue;
+    for (const std::size_t offset : {std::size_t{0}, std::size_t{5}}) {
+      std::vector<Word> input(n + offset, 0x12345678u);
+      const KernelRun got =
+          run_kernel(k, input, offset, 7, 0x9ABCDEF0u, 0x11111111u, false);
+      ASSERT_EQ(got.hits.size(), n) << "residue " << residue;
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(got.hits[i].index, 7 + i);
+        EXPECT_EQ(got.hits[i].actual, 0x12345678u);
+        EXPECT_EQ(got.buffer[offset + i], 0x11111111u);
+      }
+    }
+  }
+}
+
+TEST_P(KernelEquivalence, FillMatchesScalarForAllResidues) {
+  const Kernels& k = kernels_for(GetParam());
+  for (std::size_t residue = 0; residue < 16; ++residue) {
+    const std::size_t n = 48 + residue;
+    for (const bool nontemporal : {false, true}) {
+      std::vector<Word> buf(n + 3, 0xDEADBEEFu);
+      k.fill(buf.data() + 3, n, 0x0F0F0F0Fu, nontemporal);
+      for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(buf[i], 0xDEADBEEFu);
+      for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(buf[3 + i], 0x0F0F0F0Fu);
+    }
+  }
+}
+
+TEST_P(KernelEquivalence, MaskedSweepMatchesScalarMaskLoop) {
+  const Kernels& k = kernels_for(GetParam());
+  RngStream rng(77);
+  for (int round = 0; round < 25; ++round) {
+    const std::size_t n = 200 + rng.uniform_u64(800);
+    const std::uint64_t base = 100 + rng.uniform_u64(5000);
+    IntervalSet masked;
+    const std::uint64_t ranges = rng.uniform_u64(6);
+    for (std::uint64_t r = 0; r < ranges; ++r) {
+      // Some ranges straddle the window edges or sit entirely outside it.
+      const std::uint64_t start = base + rng.uniform_u64(n + 40) - 20;
+      masked.insert(start, 1 + rng.uniform_u64(60));
+    }
+
+    std::vector<Word> input(n);
+    for (auto& w : input) w = rng.bernoulli(0.2)
+                                   ? static_cast<Word>(rng.next_u64())
+                                   : 0xCAFEBABEu;
+
+    // Reference: the plain per-word mask loop.
+    std::vector<Word> want_buf = input;
+    Hits want_hits;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (masked.contains(base + i)) continue;  // unmapped: untouched
+      if (want_buf[i] != 0xCAFEBABEu) want_hits.push_back({base + i, want_buf[i]});
+      want_buf[i] = 0x0BADF00Du;
+    }
+
+    std::vector<Word> got_buf = input;
+    Hits got_hits;
+    masked_verify_and_write(k, got_buf.data(), n, base, 0xCAFEBABEu,
+                            0x0BADF00Du, false, masked, got_hits);
+    EXPECT_EQ(got_hits, want_hits) << "round " << round;
+    EXPECT_EQ(got_buf, want_buf) << "round " << round;
+
+    // Masked fill over the same decomposition: gaps filled, masks untouched.
+    std::vector<Word> fill_buf = input;
+    masked_fill(k, fill_buf.data(), n, base, 0x77777777u, false, masked);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (masked.contains(base + i)) {
+        EXPECT_EQ(fill_buf[i], input[i]) << "masked word written";
+      } else {
+        EXPECT_EQ(fill_buf[i], 0x77777777u);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIsas, KernelEquivalence,
+                         ::testing::Values(Isa::kScalar, Isa::kSse2,
+                                           Isa::kAvx2, Isa::kNeon),
+                         [](const auto& param_info) {
+                           return std::string(to_string(param_info.param));
+                         });
+
+TEST(IntervalSetTest, CoalescesOverlapsAndAdjacency) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  s.insert(10, 10);
+  s.insert(15, 10);  // overlap
+  s.insert(25, 5);   // adjacent
+  EXPECT_EQ(s.ranges().size(), 1u);
+  EXPECT_EQ(s.total(), 20u);
+  EXPECT_TRUE(s.contains(10));
+  EXPECT_TRUE(s.contains(29));
+  EXPECT_FALSE(s.contains(9));
+  EXPECT_FALSE(s.contains(30));
+  s.insert(50, 0);  // no-op
+  EXPECT_EQ(s.total(), 20u);
+  s.insert(40, 5);
+  EXPECT_EQ(s.ranges().size(), 2u);
+  s.insert(28, 14);  // bridges both
+  EXPECT_EQ(s.ranges().size(), 1u);
+  EXPECT_EQ(s.total(), 35u);
+}
+
+TEST(IntervalSetTest, GapWalkDecomposesExactly) {
+  IntervalSet s;
+  s.insert(10, 5);   // [10, 15)
+  s.insert(20, 10);  // [20, 30)
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> gaps;
+  s.for_each_gap(0, 40, [&](std::uint64_t a, std::uint64_t b) {
+    gaps.emplace_back(a, b);
+  });
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>> want{
+      {0, 10}, {15, 20}, {30, 40}};
+  EXPECT_EQ(gaps, want);
+
+  // Window starting inside a range.
+  gaps.clear();
+  s.for_each_gap(12, 25, [&](std::uint64_t a, std::uint64_t b) {
+    gaps.emplace_back(a, b);
+  });
+  EXPECT_EQ(gaps, (std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+                      {15, 20}}));
+
+  // Fully covered window: no gaps.
+  gaps.clear();
+  s.for_each_gap(21, 29, [&](std::uint64_t a, std::uint64_t b) {
+    gaps.emplace_back(a, b);
+  });
+  EXPECT_TRUE(gaps.empty());
+
+  // Empty set: one gap, the whole window.
+  IntervalSet empty;
+  gaps.clear();
+  empty.for_each_gap(5, 9, [&](std::uint64_t a, std::uint64_t b) {
+    gaps.emplace_back(a, b);
+  });
+  EXPECT_EQ(gaps, (std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+                      {5, 9}}));
+}
+
+TEST(KernelNontemporal, ThresholdIsStableAndPositive) {
+  const std::size_t t = nontemporal_threshold_bytes();
+  EXPECT_GT(t, 0u);
+  EXPECT_EQ(t, nontemporal_threshold_bytes());
+}
+
+}  // namespace
+}  // namespace unp::scanner::kernels

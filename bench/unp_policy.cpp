@@ -32,6 +32,7 @@
 #include "policy/loop.hpp"
 #include "sim/campaign.hpp"
 #include "util/campaign_cache.hpp"
+#include "util/cli_args.hpp"
 #include "util/figures.hpp"
 
 namespace {
@@ -71,26 +72,8 @@ void usage(std::FILE* out) {
       static_cast<long long>(analysis::ExtractionConfig{}.merge_window_s));
 }
 
-bool parse_long_strict(const char* text, long& out) {
-  char* end = nullptr;
-  out = std::strtol(text, &end, 10);
-  return end != text && *end == '\0';
-}
-
-bool parse_u64_strict(const char* text, std::uint64_t& out) {
-  char* end = nullptr;
-  out = std::strtoull(text, &end, 10);
-  return end != text && *end == '\0';
-}
-
 bool parse_args(int argc, char** argv, Options& opts) {
-  auto next_value = [&](int& i, const char* flag) -> const char* {
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "unp_policy: %s needs a value\n", flag);
-      return nullptr;
-    }
-    return argv[++i];
-  };
+  const bench::CliParser cli("unp_policy", argc, argv);
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--sweep") == 0) {
@@ -98,7 +81,7 @@ bool parse_args(int argc, char** argv, Options& opts) {
     } else if (std::strcmp(arg, "--closed-loop") == 0) {
       opts.closed_loop = true;
     } else if (std::strcmp(arg, "--policy") == 0) {
-      const char* v = next_value(i, "--policy");
+      const char* v = cli.next_value(i, "--policy");
       if (!v) return false;
       if (std::strcmp(v, "quarantine") == 0) {
         opts.want_quarantine = true;
@@ -114,56 +97,28 @@ bool parse_args(int argc, char** argv, Options& opts) {
         return false;
       }
     } else if (std::strcmp(arg, "--period") == 0) {
-      const char* v = next_value(i, "--period");
-      if (!v) return false;
       long n = 0;
-      if (!parse_long_strict(v, n) || n < 0) {
-        std::fprintf(stderr, "unp_policy: --period expects days >= 0, got '%s'\n",
-                     v);
+      if (!cli.long_in(i, "--period", 0, bench::CliParser::kNoUpperBound, n))
         return false;
-      }
       opts.period_days = static_cast<int>(n);
     } else if (std::strcmp(arg, "--trigger") == 0) {
-      const char* v = next_value(i, "--trigger");
-      if (!v) return false;
-      if (!parse_u64_strict(v, opts.trigger_threshold)) {
-        std::fprintf(stderr,
-                     "unp_policy: --trigger expects an integer, got '%s'\n", v);
-        return false;
-      }
+      if (!cli.u64(i, "--trigger", opts.trigger_threshold)) return false;
     } else if (std::strcmp(arg, "--seed") == 0) {
-      const char* v = next_value(i, "--seed");
-      if (!v) return false;
-      if (!parse_u64_strict(v, opts.seed)) {
-        std::fprintf(stderr, "unp_policy: --seed expects an integer, got '%s'\n",
-                     v);
-        return false;
-      }
+      if (!cli.u64(i, "--seed", opts.seed)) return false;
     } else if (std::strcmp(arg, "--threads") == 0) {
-      const char* v = next_value(i, "--threads");
-      if (!v) return false;
       long n = 0;
-      if (!parse_long_strict(v, n) || n < 1) {
-        std::fprintf(stderr, "unp_policy: --threads expects >= 1, got '%s'\n",
-                     v);
+      if (!cli.long_in(i, "--threads", 1, bench::CliParser::kNoUpperBound, n))
         return false;
-      }
       opts.threads = static_cast<std::size_t>(n);
     } else if (std::strcmp(arg, "--cache-dir") == 0) {
-      const char* v = next_value(i, "--cache-dir");
+      const char* v = cli.next_value(i, "--cache-dir");
       if (!v) return false;
       setenv("UNP_CACHE_DIR", v, 1);
     } else if (std::strcmp(arg, "--merge-window") == 0) {
-      const char* v = next_value(i, "--merge-window");
-      if (!v) return false;
       long n = 0;
-      if (!parse_long_strict(v, n) || n < 0) {
-        std::fprintf(stderr,
-                     "unp_policy: --merge-window expects seconds >= 0, got "
-                     "'%s'\n",
-                     v);
+      if (!cli.long_in(i, "--merge-window", 0, bench::CliParser::kNoUpperBound,
+                       n))
         return false;
-      }
       opts.extraction.merge_window_s = n;
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       usage(stdout);

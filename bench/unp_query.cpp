@@ -35,6 +35,7 @@
 #include "store/builder.hpp"
 #include "store/reader.hpp"
 #include "util/campaign_cache.hpp"
+#include "util/cli_args.hpp"
 #include "util/report_sections.hpp"
 
 namespace {
@@ -89,64 +90,33 @@ void usage(std::FILE* out) {
       "  --cache-dir DIR    campaign cache directory for --build\n");
 }
 
-bool parse_long_strict(const char* text, long& out) {
-  char* end = nullptr;
-  out = std::strtol(text, &end, 10);
-  return end != text && *end == '\0';
-}
-
-bool parse_u64_strict(const char* text, std::uint64_t& out) {
-  char* end = nullptr;
-  out = std::strtoull(text, &end, 10);
-  return end != text && *end == '\0';
-}
-
 bool parse_args(int argc, char** argv, Options& opts) {
-  auto next_value = [&](int& i, const char* flag) -> const char* {
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "unp_query: %s needs a value\n", flag);
-      return nullptr;
-    }
-    return argv[++i];
-  };
+  const bench::CliParser cli("unp_query", argc, argv);
   auto parse_bound = [&](int& i, const char* flag, long lo, long hi,
                          long& out) -> bool {
-    const char* v = next_value(i, flag);
-    if (!v) return false;
-    long n = 0;
-    if (!parse_long_strict(v, n) || n < lo || n > hi) {
-      std::fprintf(stderr, "unp_query: %s expects %ld..%ld, got '%s'\n", flag,
-                   lo, hi, v);
-      return false;
-    }
-    out = n;
-    return true;
+    return cli.long_in(i, flag, lo, hi, out);
   };
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--build") == 0) {
-      const char* v = next_value(i, "--build");
+      const char* v = cli.next_value(i, "--build");
       if (!v) return false;
       opts.build_path = v;
     } else if (std::strcmp(arg, "--store") == 0) {
-      const char* v = next_value(i, "--store");
+      const char* v = cli.next_value(i, "--store");
       if (!v) return false;
       opts.store_path = v;
     } else if (std::strcmp(arg, "--since") == 0 ||
                std::strcmp(arg, "--until") == 0) {
       const bool since = std::strcmp(arg, "--since") == 0;
-      const char* v = next_value(i, arg);
-      if (!v) return false;
       long t = 0;
-      if (!parse_long_strict(v, t)) {
-        std::fprintf(stderr, "unp_query: %s expects epoch seconds, got '%s'\n",
-                     arg, v);
+      if (!cli.long_in(i, arg, bench::CliParser::kNoLowerBound,
+                       bench::CliParser::kNoUpperBound, t))
         return false;
-      }
       (since ? opts.query.since : opts.query.until) = t;
       opts.any_query_action = true;
     } else if (std::strcmp(arg, "--node") == 0) {
-      const char* v = next_value(i, "--node");
+      const char* v = cli.next_value(i, "--node");
       if (!v) return false;
       cluster::NodeId node;
       try {
@@ -171,7 +141,7 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.query.soc = static_cast<int>(n);
       opts.any_query_action = true;
     } else if (std::strcmp(arg, "--class") == 0) {
-      const char* v = next_value(i, "--class");
+      const char* v = cli.next_value(i, "--class");
       if (!v) return false;
       if (std::strcmp(v, "single") == 0) {
         opts.query.min_bits = 1;
@@ -233,7 +203,7 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.want[bench::kFigSections[n - 1]] = true;
       opts.any_section = opts.any_query_action = true;
     } else if (std::strcmp(arg, "--ext") == 0) {
-      const char* v = next_value(i, "--ext");
+      const char* v = cli.next_value(i, "--ext");
       if (!v) return false;
       if (std::strcmp(v, "temporal") == 0) {
         opts.want[bench::kExtTemporal] = true;
@@ -254,19 +224,13 @@ bool parse_args(int argc, char** argv, Options& opts) {
       if (!parse_bound(i, "--threads", 1, 4096, n)) return false;
       opts.threads = static_cast<std::size_t>(n);
     } else if (std::strcmp(arg, "--seed") == 0) {
-      const char* v = next_value(i, "--seed");
-      if (!v) return false;
-      if (!parse_u64_strict(v, opts.seed)) {
-        std::fprintf(stderr, "unp_query: --seed expects an integer, got '%s'\n",
-                     v);
-        return false;
-      }
+      if (!cli.u64(i, "--seed", opts.seed)) return false;
     } else if (std::strcmp(arg, "--merge-window") == 0) {
       long n = 0;
       if (!parse_bound(i, "--merge-window", 0, 1L << 40, n)) return false;
       opts.extraction.merge_window_s = n;
     } else if (std::strcmp(arg, "--cache-dir") == 0) {
-      const char* v = next_value(i, "--cache-dir");
+      const char* v = cli.next_value(i, "--cache-dir");
       if (!v) return false;
       setenv("UNP_CACHE_DIR", v, 1);
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {

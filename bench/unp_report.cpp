@@ -31,6 +31,7 @@
 #include "sim/campaign.hpp"
 #include "store/reader.hpp"
 #include "util/campaign_cache.hpp"
+#include "util/cli_args.hpp"
 #include "util/report_sections.hpp"
 
 namespace {
@@ -73,29 +74,9 @@ void usage(std::FILE* out) {
                static_cast<long long>(analysis::ExtractionConfig{}.merge_window_s));
 }
 
-/// Whole-string signed parse; rejects "1x", "", "0x10" style inputs that
-/// strtol would silently truncate.
-bool parse_long_strict(const char* text, long& out) {
-  char* end = nullptr;
-  out = std::strtol(text, &end, 10);
-  return end != text && *end == '\0';
-}
-
-bool parse_u64_strict(const char* text, std::uint64_t& out) {
-  char* end = nullptr;
-  out = std::strtoull(text, &end, 10);
-  return end != text && *end == '\0';
-}
-
 bool parse_args(int argc, char** argv, Options& opts) {
   bool any_section = false;
-  auto next_value = [&](int& i, const char* flag) -> const char* {
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "unp_report: %s needs a value\n", flag);
-      return nullptr;
-    }
-    return argv[++i];
-  };
+  const bench::CliParser cli("unp_report", argc, argv);
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--all") == 0) {
@@ -108,17 +89,12 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.want[bench::kTab1] = true;
       any_section = true;
     } else if (std::strcmp(arg, "--fig") == 0) {
-      const char* v = next_value(i, "--fig");
-      if (!v) return false;
       long n = 0;
-      if (!parse_long_strict(v, n) || n < 1 || n > 13) {
-        std::fprintf(stderr, "unp_report: --fig expects 1..13, got '%s'\n", v);
-        return false;
-      }
+      if (!cli.long_in(i, "--fig", 1, 13, n)) return false;
       opts.want[bench::kFigSections[n - 1]] = true;
       any_section = true;
     } else if (std::strcmp(arg, "--ext") == 0) {
-      const char* v = next_value(i, "--ext");
+      const char* v = cli.next_value(i, "--ext");
       if (!v) return false;
       if (std::strcmp(v, "temporal") == 0) {
         opts.want[bench::kExtTemporal] = true;
@@ -135,44 +111,27 @@ bool parse_args(int argc, char** argv, Options& opts) {
       }
       any_section = true;
     } else if (std::strcmp(arg, "--store") == 0) {
-      const char* v = next_value(i, "--store");
+      const char* v = cli.next_value(i, "--store");
       if (!v) return false;
       opts.store_path = v;
     } else if (std::strcmp(arg, "--seed") == 0) {
-      const char* v = next_value(i, "--seed");
-      if (!v) return false;
-      if (!parse_u64_strict(v, opts.seed)) {
-        std::fprintf(stderr, "unp_report: --seed expects an integer, got '%s'\n",
-                     v);
-        return false;
-      }
+      if (!cli.u64(i, "--seed", opts.seed)) return false;
       opts.live_flags_used = true;
     } else if (std::strcmp(arg, "--threads") == 0) {
-      const char* v = next_value(i, "--threads");
-      if (!v) return false;
       long n = 0;
-      if (!parse_long_strict(v, n) || n < 1) {
-        std::fprintf(stderr, "unp_report: --threads expects >= 1, got '%s'\n",
-                     v);
+      if (!cli.long_in(i, "--threads", 1, bench::CliParser::kNoUpperBound, n))
         return false;
-      }
       opts.threads = static_cast<std::size_t>(n);
     } else if (std::strcmp(arg, "--cache-dir") == 0) {
-      const char* v = next_value(i, "--cache-dir");
+      const char* v = cli.next_value(i, "--cache-dir");
       if (!v) return false;
       setenv("UNP_CACHE_DIR", v, 1);
       opts.live_flags_used = true;
     } else if (std::strcmp(arg, "--merge-window") == 0) {
-      const char* v = next_value(i, "--merge-window");
-      if (!v) return false;
       long n = 0;
-      if (!parse_long_strict(v, n) || n < 0) {
-        std::fprintf(stderr,
-                     "unp_report: --merge-window expects seconds >= 0, got "
-                     "'%s'\n",
-                     v);
+      if (!cli.long_in(i, "--merge-window", 0, bench::CliParser::kNoUpperBound,
+                       n))
         return false;
-      }
       opts.extraction.merge_window_s = n;
       opts.live_flags_used = true;
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {

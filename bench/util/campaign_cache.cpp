@@ -351,6 +351,17 @@ std::uint64_t campaign_fingerprint(const sim::CampaignConfig& config,
   return h;
 }
 
+std::uint64_t campaign_fingerprint(const sim::CampaignConfig& config,
+                                   const analysis::ExtractionConfig& extraction,
+                                   const sim::ShardSpec& shard) {
+  std::uint64_t h = campaign_fingerprint(config, extraction);
+  if (shard.is_monolithic()) return h;  // {1, 0} IS the whole campaign
+  h = mix64(h, static_cast<std::uint64_t>(sim::kShardDerivationVersion));
+  h = mix64(h, static_cast<std::uint64_t>(shard.count));
+  h = mix64(h, static_cast<std::uint64_t>(shard.index));
+  return h;
+}
+
 const CampaignData& default_data() {
   return default_data(analysis::ExtractionConfig{});
 }

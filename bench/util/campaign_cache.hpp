@@ -29,6 +29,7 @@
 #include "analysis/extraction.hpp"
 #include "analysis/grouping.hpp"
 #include "sim/campaign.hpp"
+#include "sim/shard.hpp"
 #include "telemetry/sink.hpp"
 
 namespace unp::bench {
@@ -59,6 +60,18 @@ struct CampaignData {
 [[nodiscard]] std::uint64_t campaign_fingerprint(
     const sim::CampaignConfig& config,
     const analysis::ExtractionConfig& extraction);
+
+/// Shard-aware digest: additionally mixes the shard topology (count,
+/// index) and the node-ownership derivation version, so a cached per-shard
+/// product can never pair with a monolithic entry or with a shard cut
+/// under a different partition rule.  The monolithic spec {1, 0} is the
+/// identity — it returns exactly the two-argument fingerprint, which is
+/// also the ensemble id all shards of one campaign stamp into their UNPH
+/// archives.
+[[nodiscard]] std::uint64_t campaign_fingerprint(
+    const sim::CampaignConfig& config,
+    const analysis::ExtractionConfig& extraction,
+    const sim::ShardSpec& shard);
 
 /// The default campaign + extraction pipeline, computed once per process
 /// per extraction configuration (cache-reloaded when a valid cache file

@@ -42,8 +42,7 @@ void ReportAnalyzers::render(const ReportInputs& in) {
   if (want(kTab1))
     print_tab1(patterns_.patterns(), adjacency_.stats(), direction_.stats());
   if (want(kFig04)) {
-    print_fig04(analysis::count_viewpoints(grouping_.groups()),
-                analysis::count_co_occurrence(grouping_.groups()));
+    print_fig04(grouping_.viewpoints(), grouping_.co_occurrence());
   }
   if (want(kFig05)) print_fig05(hourly_.profile());
   if (want(kFig06)) print_fig06(hourly_.profile());

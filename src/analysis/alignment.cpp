@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "analysis/sink_state.hpp"
+
 namespace unp::analysis {
 
 const char* to_string(GroupGeometry geometry) noexcept {
@@ -72,10 +74,17 @@ AlignmentStats physical_alignment_stats(
   return stats;
 }
 
-LogicalSpread logical_spread(const std::vector<SimultaneousGroup>& groups) {
-  LogicalSpread spread;
+namespace {
+
+/// Associative pieces of LogicalSpread: span sum, group count, max span.
+struct SpanPartials {
   double sum = 0.0;
-  std::uint64_t counted = 0;
+  std::uint64_t count = 0;
+  std::uint64_t max = 0;
+};
+
+SpanPartials span_partials(const std::vector<SimultaneousGroup>& groups) {
+  SpanPartials p;
   for (const auto& g : groups) {
     if (g.members.size() < 2) continue;
     std::uint64_t lo = g.members.front()->virtual_address;
@@ -85,11 +94,20 @@ LogicalSpread logical_spread(const std::vector<SimultaneousGroup>& groups) {
       hi = std::max(hi, f->virtual_address);
     }
     const std::uint64_t span = hi - lo;
-    sum += static_cast<double>(span);
-    spread.max_span_bytes = std::max(spread.max_span_bytes, span);
-    ++counted;
+    p.sum += static_cast<double>(span);
+    p.max = std::max(p.max, span);
+    ++p.count;
   }
-  if (counted > 0) spread.mean_span_bytes = sum / static_cast<double>(counted);
+  return p;
+}
+
+}  // namespace
+
+LogicalSpread logical_spread(const std::vector<SimultaneousGroup>& groups) {
+  LogicalSpread spread;
+  const SpanPartials p = span_partials(groups);
+  spread.max_span_bytes = p.max;
+  if (p.count > 0) spread.mean_span_bytes = p.sum / static_cast<double>(p.count);
   return spread;
 }
 
@@ -97,6 +115,10 @@ void AlignmentAnalyzer::begin_faults(const FaultStreamContext& ctx) {
   grouping_.begin_faults(ctx);
   stats_ = AlignmentStats{};
   spread_ = LogicalSpread{};
+  merged_stats_ = AlignmentStats{};
+  merged_span_sum_ = 0.0;
+  merged_span_count_ = 0;
+  merged_max_span_ = 0;
 }
 
 void AlignmentAnalyzer::on_fault(const FaultRecord& fault) {
@@ -106,7 +128,63 @@ void AlignmentAnalyzer::on_fault(const FaultRecord& fault) {
 void AlignmentAnalyzer::end_faults() {
   grouping_.end_faults();
   stats_ = physical_alignment_stats(grouping_.groups(), *map_);
-  spread_ = logical_spread(grouping_.groups());
+  stats_.groups_examined += merged_stats_.groups_examined;
+  stats_.same_row += merged_stats_.same_row;
+  stats_.same_column += merged_stats_.same_column;
+  stats_.same_bank += merged_stats_.same_bank;
+  stats_.scattered += merged_stats_.scattered;
+  stats_.with_aligned_pair += merged_stats_.with_aligned_pair;
+
+  SpanPartials p = span_partials(grouping_.groups());
+  p.sum += merged_span_sum_;
+  p.count += merged_span_count_;
+  p.max = std::max(p.max, merged_max_span_);
+  spread_ = LogicalSpread{};
+  spread_.max_span_bytes = p.max;
+  if (p.count > 0)
+    spread_.mean_span_bytes = p.sum / static_cast<double>(p.count);
+}
+
+std::string AlignmentAnalyzer::serialize_state() const {
+  // Locally streamed groups plus everything already folded in via
+  // merge_state — so re-serializing a merged accumulator round-trips.
+  const auto groups = grouping_.current_groups();
+  AlignmentStats s = physical_alignment_stats(groups, *map_);
+  SpanPartials p = span_partials(groups);
+  s.groups_examined += merged_stats_.groups_examined;
+  s.same_row += merged_stats_.same_row;
+  s.same_column += merged_stats_.same_column;
+  s.same_bank += merged_stats_.same_bank;
+  s.scattered += merged_stats_.scattered;
+  s.with_aligned_pair += merged_stats_.with_aligned_pair;
+  p.sum += merged_span_sum_;
+  p.count += merged_span_count_;
+  p.max = std::max(p.max, merged_max_span_);
+  state::Writer w('L');
+  w.put_u64(s.groups_examined);
+  w.put_u64(s.same_row);
+  w.put_u64(s.same_column);
+  w.put_u64(s.same_bank);
+  w.put_u64(s.scattered);
+  w.put_u64(s.with_aligned_pair);
+  w.put_f64(p.sum);
+  w.put_u64(p.count);
+  w.put_u64(p.max);
+  return std::move(w).take();
+}
+
+void AlignmentAnalyzer::merge_state(const std::string& blob) {
+  state::Reader r(blob, 'L', "AlignmentAnalyzer");
+  merged_stats_.groups_examined += r.get_u64();
+  merged_stats_.same_row += r.get_u64();
+  merged_stats_.same_column += r.get_u64();
+  merged_stats_.same_bank += r.get_u64();
+  merged_stats_.scattered += r.get_u64();
+  merged_stats_.with_aligned_pair += r.get_u64();
+  merged_span_sum_ += r.get_f64();
+  merged_span_count_ += r.get_u64();
+  merged_max_span_ = std::max(merged_max_span_, r.get_u64());
+  r.finish();
 }
 
 }  // namespace unp::analysis

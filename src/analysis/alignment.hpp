@@ -71,6 +71,12 @@ struct LogicalSpread {
 /// Physical alignment incrementally: groups the stream with a
 /// SimultaneousGroupAnalyzer, then classifies every multi-word group under
 /// the given address map at end_faults.  The map must outlive the analyzer.
+///
+/// Shard aggregation: groups never span shards, so AlignmentStats counters
+/// add and the logical-spread partials (span sum, group count, max span)
+/// combine exactly — spans are integers far below 2^53, so the double sum
+/// is order-insensitive.  All shards must classify under the same address
+/// map for the merged stats to be meaningful.
 class AlignmentAnalyzer final : public FaultSink {
  public:
   explicit AlignmentAnalyzer(const dram::AddressMap& map) : map_(&map) {}
@@ -78,6 +84,8 @@ class AlignmentAnalyzer final : public FaultSink {
   void begin_faults(const FaultStreamContext& ctx) override;
   void on_fault(const FaultRecord& fault) override;
   void end_faults() override;
+  [[nodiscard]] std::string serialize_state() const override;
+  void merge_state(const std::string& blob) override;
 
   [[nodiscard]] const AlignmentStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const LogicalSpread& spread() const noexcept { return spread_; }
@@ -87,6 +95,10 @@ class AlignmentAnalyzer final : public FaultSink {
   SimultaneousGroupAnalyzer grouping_;
   AlignmentStats stats_;
   LogicalSpread spread_;
+  AlignmentStats merged_stats_;
+  double merged_span_sum_ = 0.0;
+  std::uint64_t merged_span_count_ = 0;
+  std::uint64_t merged_max_span_ = 0;
 };
 
 }  // namespace unp::analysis

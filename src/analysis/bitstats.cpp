@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "analysis/sink_state.hpp"
+
 namespace unp::analysis {
 
 namespace {
@@ -43,6 +45,28 @@ void MultibitPatternAnalyzer::on_fault(const FaultRecord& fault) {
   if (fault.is_multibit()) ++census_[{fault.expected, fault.actual}];
 }
 
+std::string MultibitPatternAnalyzer::serialize_state() const {
+  state::Writer w('P');
+  w.put_u64(census_.size());
+  for (const auto& [key, count] : census_) {
+    w.put_u64(key.first);
+    w.put_u64(key.second);
+    w.put_u64(count);
+  }
+  return std::move(w).take();
+}
+
+void MultibitPatternAnalyzer::merge_state(const std::string& blob) {
+  state::Reader r(blob, 'P', "MultibitPatternAnalyzer");
+  const std::uint64_t entries = r.get_u64();
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    const auto expected = static_cast<Word>(r.get_u64());
+    const auto actual = static_cast<Word>(r.get_u64());
+    census_[{expected, actual}] += r.get_u64();
+  }
+  r.finish();
+}
+
 void MultibitPatternAnalyzer::end_faults() {
   patterns_.clear();
   patterns_.reserve(census_.size());
@@ -73,6 +97,20 @@ void DirectionAnalyzer::on_fault(const FaultRecord& fault) {
       std::popcount(one_to_zero_mask(fault.expected, fault.actual)));
   stats_.zero_to_one += static_cast<std::uint64_t>(
       std::popcount(zero_to_one_mask(fault.expected, fault.actual)));
+}
+
+std::string DirectionAnalyzer::serialize_state() const {
+  state::Writer w('F');
+  w.put_u64(stats_.one_to_zero);
+  w.put_u64(stats_.zero_to_one);
+  return std::move(w).take();
+}
+
+void DirectionAnalyzer::merge_state(const std::string& blob) {
+  state::Reader r(blob, 'F', "DirectionAnalyzer");
+  stats_.one_to_zero += r.get_u64();
+  stats_.zero_to_one += r.get_u64();
+  r.finish();
 }
 
 void AdjacencyAnalyzer::begin_faults(const FaultStreamContext& /*ctx*/) {
@@ -107,6 +145,33 @@ void AdjacencyAnalyzer::end_faults() {
   }
 }
 
+std::string AdjacencyAnalyzer::serialize_state() const {
+  state::Writer w('A');
+  w.put_u64(stats_.multibit_faults);
+  w.put_u64(stats_.consecutive);
+  w.put_u64(stats_.non_adjacent);
+  w.put_u64(static_cast<std::uint64_t>(stats_.max_distance));
+  w.put_u64(stats_.low_half_majority);
+  // Gap distances are small integers, so this double partial sum is exact
+  // and order-insensitive across shards.
+  w.put_f64(distance_sum_);
+  w.put_u64(distance_count_);
+  return std::move(w).take();
+}
+
+void AdjacencyAnalyzer::merge_state(const std::string& blob) {
+  state::Reader r(blob, 'A', "AdjacencyAnalyzer");
+  stats_.multibit_faults += r.get_u64();
+  stats_.consecutive += r.get_u64();
+  stats_.non_adjacent += r.get_u64();
+  stats_.max_distance =
+      std::max(stats_.max_distance, static_cast<int>(r.get_u64()));
+  stats_.low_half_majority += r.get_u64();
+  distance_sum_ += r.get_f64();
+  distance_count_ += r.get_u64();
+  r.finish();
+}
+
 void NodePatternCensus::begin_faults(const FaultStreamContext& /*ctx*/) {
   by_node_.clear();
 }
@@ -118,6 +183,47 @@ void NodePatternCensus::on_fault(const FaultRecord& fault) {
   sets.patterns.insert(
       {fault.flip_mask(), one_to_zero_mask(fault.expected, fault.actual)});
   sets.masks.insert(fault.flip_mask());
+}
+
+std::string NodePatternCensus::serialize_state() const {
+  state::Writer w('C');
+  w.put_u64(by_node_.size());
+  for (const auto& [node, sets] : by_node_) {
+    w.put_u64(static_cast<std::uint64_t>(node));
+    w.put_u64(sets.faults);
+    w.put_u64(sets.addresses.size());
+    for (const auto addr : sets.addresses) w.put_u64(addr);
+    w.put_u64(sets.patterns.size());
+    for (const auto& [mask, direction] : sets.patterns) {
+      w.put_u64(mask);
+      w.put_u64(direction);
+    }
+    w.put_u64(sets.masks.size());
+    for (const auto mask : sets.masks) w.put_u64(mask);
+  }
+  return std::move(w).take();
+}
+
+void NodePatternCensus::merge_state(const std::string& blob) {
+  state::Reader r(blob, 'C', "NodePatternCensus");
+  const std::uint64_t node_entries = r.get_u64();
+  for (std::uint64_t i = 0; i < node_entries; ++i) {
+    NodeSets& sets = by_node_[static_cast<int>(r.get_u64())];
+    sets.faults += r.get_u64();
+    const std::uint64_t addresses = r.get_u64();
+    for (std::uint64_t a = 0; a < addresses; ++a)
+      sets.addresses.insert(r.get_u64());
+    const std::uint64_t patterns = r.get_u64();
+    for (std::uint64_t p = 0; p < patterns; ++p) {
+      const auto mask = static_cast<Word>(r.get_u64());
+      const auto direction = static_cast<Word>(r.get_u64());
+      sets.patterns.insert({mask, direction});
+    }
+    const std::uint64_t masks = r.get_u64();
+    for (std::uint64_t m = 0; m < masks; ++m)
+      sets.masks.insert(static_cast<Word>(r.get_u64()));
+  }
+  r.finish();
 }
 
 NodePatternProfile NodePatternCensus::profile(cluster::NodeId node) const {

@@ -91,6 +91,8 @@ class MultibitPatternAnalyzer final : public FaultSink {
   void begin_faults(const FaultStreamContext& ctx) override;
   void on_fault(const FaultRecord& fault) override;
   void end_faults() override;
+  [[nodiscard]] std::string serialize_state() const override;
+  void merge_state(const std::string& blob) override;
   [[nodiscard]] const std::vector<MultibitPattern>& patterns() const noexcept {
     return patterns_;
   }
@@ -105,6 +107,8 @@ class DirectionAnalyzer final : public FaultSink {
  public:
   void begin_faults(const FaultStreamContext& ctx) override;
   void on_fault(const FaultRecord& fault) override;
+  [[nodiscard]] std::string serialize_state() const override;
+  void merge_state(const std::string& blob) override;
   [[nodiscard]] const DirectionStats& stats() const noexcept { return stats_; }
 
  private:
@@ -117,6 +121,8 @@ class AdjacencyAnalyzer final : public FaultSink {
   void begin_faults(const FaultStreamContext& ctx) override;
   void on_fault(const FaultRecord& fault) override;
   void end_faults() override;
+  [[nodiscard]] std::string serialize_state() const override;
+  void merge_state(const std::string& blob) override;
   [[nodiscard]] const AdjacencyStats& stats() const noexcept { return stats_; }
 
  private:
@@ -133,6 +139,8 @@ class NodePatternCensus final : public FaultSink {
  public:
   void begin_faults(const FaultStreamContext& ctx) override;
   void on_fault(const FaultRecord& fault) override;
+  [[nodiscard]] std::string serialize_state() const override;
+  void merge_state(const std::string& blob) override;
   /// Profile of `node`; default-constructed if the node never faulted.
   [[nodiscard]] NodePatternProfile profile(cluster::NodeId node) const;
 

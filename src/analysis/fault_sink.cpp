@@ -2,7 +2,17 @@
 
 #include <chrono>
 
+#include "common/require.hpp"
+
 namespace unp::analysis {
+
+std::string FaultSink::serialize_state() const {
+  throw ContractViolation("FaultSink does not support state serialization");
+}
+
+void FaultSink::merge_state(const std::string& /*blob*/) {
+  throw ContractViolation("FaultSink does not support state merging");
+}
 
 std::vector<FaultSinkTiming> run_fault_sinks(FaultView faults,
                                              const FaultStreamContext& ctx,

@@ -44,6 +44,36 @@ class FaultSink {
   virtual void end_faults() {}
 
   virtual void on_fault(const FaultRecord& fault) = 0;
+
+  // --- Hierarchical aggregation (shard fabric) ----------------------------
+  //
+  // A campaign sharded K ways partitions the fault stream by node, so every
+  // analyzer whose accumulator decomposes over nodes can analyze shards
+  // independently and combine partial states into the fleet product without
+  // re-reading a single record:
+  //
+  //   shard i:    sink.begin_faults(ctx); sink.on_fault*;  // shard's faults
+  //               blob[i] = sink.serialize_state();
+  //   aggregate:  total.begin_faults(ctx);
+  //               for each i: total.merge_state(blob[i]);
+  //               total.end_faults();                      // finalize
+  //
+  // Both calls are valid only between begin_faults and end_faults (several
+  // analyzers fold or clear their accumulators at end_faults).  Merging is
+  // associative and order-independent: counters add, censuses union, and
+  // order-sensitive buffers re-interleave on the canonical fault key, so
+  // the aggregate's serialized state is byte-identical to the state of a
+  // monolithic pass over the same faults.  Mixing on_fault and merge_state
+  // on one sink is allowed (locally streamed faults count as one more
+  // partial state).
+
+  /// Capture the mergeable accumulator.  Default: unsupported (throws
+  /// ContractViolation) — sinks opt in explicitly.
+  [[nodiscard]] virtual std::string serialize_state() const;
+
+  /// Fold another instance's serialized accumulator into this one.
+  /// Default: unsupported (throws ContractViolation).
+  virtual void merge_state(const std::string& blob);
 };
 
 /// Wall-clock cost of one sink's pass, for observability footers.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "analysis/sink_state.hpp"
+
 namespace unp::analysis {
 
 int SimultaneousGroup::total_bits() const noexcept {
@@ -64,6 +66,10 @@ MultibitViewpoints count_viewpoints(const std::vector<SimultaneousGroup>& groups
 void SimultaneousGroupAnalyzer::begin_faults(const FaultStreamContext& /*ctx*/) {
   by_node_.assign(static_cast<std::size_t>(cluster::kStudyNodeSlots), {});
   groups_.clear();
+  viewpoints_ = MultibitViewpoints{};
+  co_occurrence_ = CoOccurrence{};
+  merged_viewpoints_ = MultibitViewpoints{};
+  merged_co_occurrence_ = CoOccurrence{};
 }
 
 void SimultaneousGroupAnalyzer::on_fault(const FaultRecord& fault) {
@@ -71,23 +77,90 @@ void SimultaneousGroupAnalyzer::on_fault(const FaultRecord& fault) {
       .push_back(&fault);
 }
 
-void SimultaneousGroupAnalyzer::end_faults() {
-  groups_.clear();
+std::vector<SimultaneousGroup> SimultaneousGroupAnalyzer::current_groups()
+    const {
+  std::vector<SimultaneousGroup> groups;
   for (const auto& bucket : by_node_) {
     for (const FaultRecord* f : bucket) {
-      if (!groups_.empty() && groups_.back().node == f->node &&
-          groups_.back().time == f->first_seen) {
-        groups_.back().members.push_back(f);
+      if (!groups.empty() && groups.back().node == f->node &&
+          groups.back().time == f->first_seen) {
+        groups.back().members.push_back(f);
       } else {
         SimultaneousGroup g;
         g.node = f->node;
         g.time = f->first_seen;
         g.members.push_back(f);
-        groups_.push_back(std::move(g));
+        groups.push_back(std::move(g));
       }
     }
   }
+  return groups;
+}
+
+void SimultaneousGroupAnalyzer::end_faults() {
+  groups_ = current_groups();
   by_node_.clear();
+
+  viewpoints_ = count_viewpoints(groups_);
+  for (int b = 0; b <= MultibitViewpoints::kMaxBits; ++b) {
+    viewpoints_.per_word[b] += merged_viewpoints_.per_word[b];
+    viewpoints_.per_node[b] += merged_viewpoints_.per_node[b];
+  }
+  co_occurrence_ = count_co_occurrence(groups_);
+  co_occurrence_.simultaneous_corruptions +=
+      merged_co_occurrence_.simultaneous_corruptions;
+  co_occurrence_.multi_single_groups += merged_co_occurrence_.multi_single_groups;
+  co_occurrence_.double_plus_single += merged_co_occurrence_.double_plus_single;
+  co_occurrence_.triple_plus_single += merged_co_occurrence_.triple_plus_single;
+  co_occurrence_.double_plus_double += merged_co_occurrence_.double_plus_double;
+  co_occurrence_.max_bits_one_instant =
+      std::max(co_occurrence_.max_bits_one_instant,
+               merged_co_occurrence_.max_bits_one_instant);
+}
+
+std::string SimultaneousGroupAnalyzer::serialize_state() const {
+  // Locally streamed faults plus everything already folded in via
+  // merge_state — so re-serializing a merged accumulator round-trips.
+  const auto groups = current_groups();
+  MultibitViewpoints v = count_viewpoints(groups);
+  CoOccurrence c = count_co_occurrence(groups);
+  for (int b = 0; b <= MultibitViewpoints::kMaxBits; ++b) {
+    v.per_word[b] += merged_viewpoints_.per_word[b];
+    v.per_node[b] += merged_viewpoints_.per_node[b];
+  }
+  c.simultaneous_corruptions += merged_co_occurrence_.simultaneous_corruptions;
+  c.multi_single_groups += merged_co_occurrence_.multi_single_groups;
+  c.double_plus_single += merged_co_occurrence_.double_plus_single;
+  c.triple_plus_single += merged_co_occurrence_.triple_plus_single;
+  c.double_plus_double += merged_co_occurrence_.double_plus_double;
+  c.max_bits_one_instant = std::max(c.max_bits_one_instant,
+                                    merged_co_occurrence_.max_bits_one_instant);
+  state::Writer w('S');
+  for (int b = 0; b <= MultibitViewpoints::kMaxBits; ++b) w.put_u64(v.per_word[b]);
+  for (int b = 0; b <= MultibitViewpoints::kMaxBits; ++b) w.put_u64(v.per_node[b]);
+  w.put_u64(c.simultaneous_corruptions);
+  w.put_u64(c.multi_single_groups);
+  w.put_u64(c.double_plus_single);
+  w.put_u64(c.triple_plus_single);
+  w.put_u64(c.double_plus_double);
+  w.put_u64(c.max_bits_one_instant);
+  return std::move(w).take();
+}
+
+void SimultaneousGroupAnalyzer::merge_state(const std::string& blob) {
+  state::Reader r(blob, 'S', "SimultaneousGroupAnalyzer");
+  for (int b = 0; b <= MultibitViewpoints::kMaxBits; ++b)
+    merged_viewpoints_.per_word[b] += r.get_u64();
+  for (int b = 0; b <= MultibitViewpoints::kMaxBits; ++b)
+    merged_viewpoints_.per_node[b] += r.get_u64();
+  merged_co_occurrence_.simultaneous_corruptions += r.get_u64();
+  merged_co_occurrence_.multi_single_groups += r.get_u64();
+  merged_co_occurrence_.double_plus_single += r.get_u64();
+  merged_co_occurrence_.triple_plus_single += r.get_u64();
+  merged_co_occurrence_.double_plus_double += r.get_u64();
+  merged_co_occurrence_.max_bits_one_instant =
+      std::max(merged_co_occurrence_.max_bits_one_instant, r.get_u64());
+  r.finish();
 }
 
 CoOccurrence count_co_occurrence(const std::vector<SimultaneousGroup>& groups) {

@@ -65,18 +65,45 @@ struct CoOccurrence {
 /// node index at end_faults reproduces group_simultaneous' sort exactly.
 /// Group members point into the streamed FaultView, which must outlive the
 /// analyzer's products.
+///
+/// Shard aggregation: groups hold pointers, which cannot cross process or
+/// blob boundaries, so the serialized state carries the *derived* censuses
+/// instead — Fig 4's MultibitViewpoints and the co-occurrence counters.
+/// Groups never span nodes, nodes never span shards, hence both censuses
+/// decompose additively over shards (max-combining max_bits_one_instant).
+/// After a merge, `groups()` only covers locally streamed faults;
+/// `viewpoints()`/`co_occurrence()` cover everything and are what the
+/// figure renderers read.
 class SimultaneousGroupAnalyzer final : public FaultSink {
  public:
   void begin_faults(const FaultStreamContext& ctx) override;
   void on_fault(const FaultRecord& fault) override;
   void end_faults() override;
+  [[nodiscard]] std::string serialize_state() const override;
+  void merge_state(const std::string& blob) override;
   [[nodiscard]] const std::vector<SimultaneousGroup>& groups() const noexcept {
     return groups_;
   }
+  /// Fig 4 census over local groups + every merged shard state (end_faults).
+  [[nodiscard]] const MultibitViewpoints& viewpoints() const noexcept {
+    return viewpoints_;
+  }
+  /// Co-occurrence census over local + merged states (end_faults).
+  [[nodiscard]] const CoOccurrence& co_occurrence() const noexcept {
+    return co_occurrence_;
+  }
+  /// The groups end_faults would emit for the current buckets, without
+  /// consuming them.  Lets wrapping sinks (AlignmentAnalyzer) derive their
+  /// own shard state before end_faults runs.
+  [[nodiscard]] std::vector<SimultaneousGroup> current_groups() const;
 
  private:
   std::vector<std::vector<const FaultRecord*>> by_node_;
   std::vector<SimultaneousGroup> groups_;
+  MultibitViewpoints viewpoints_;
+  CoOccurrence co_occurrence_;
+  MultibitViewpoints merged_viewpoints_;
+  CoOccurrence merged_co_occurrence_;
 };
 
 }  // namespace unp::analysis

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "analysis/sink_state.hpp"
+#include "common/require.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 
@@ -95,6 +98,48 @@ void InterArrivalAnalyzer::end_faults() {
     }
   }
   stats_ = stats_from_times(times_);
+}
+
+std::string InterArrivalAnalyzer::serialize_state() const {
+  // Canonicalize on (time, node) so the blob depends only on the event
+  // multiset: merged buffers hold partitions back to back, while a
+  // monolithic pass buffers in canonical fault order — sorted, both
+  // serialize to identical bytes.  (For the monolithic buffer the sort is
+  // a no-op; time-ascending deltas also stay small varints.)
+  std::vector<std::pair<TimePoint, int>> events;
+  events.reserve(times_.size());
+  for (std::size_t i = 0; i < times_.size(); ++i)
+    events.emplace_back(times_[i], nodes_[i]);
+  std::sort(events.begin(), events.end());
+
+  state::Writer w('I');
+  w.put_u64(events.size());
+  TimePoint prev = 0;
+  for (const auto& [time, node] : events) {
+    w.put_i64(static_cast<std::int64_t>(time) - static_cast<std::int64_t>(prev));
+    prev = time;
+    w.put_u64(static_cast<std::uint64_t>(node));
+  }
+  return std::move(w).take();
+}
+
+void InterArrivalAnalyzer::merge_state(const std::string& blob) {
+  state::Reader r(blob, 'I', "InterArrivalAnalyzer");
+  const std::uint64_t events = r.get_u64();
+  times_.reserve(times_.size() + events);
+  nodes_.reserve(nodes_.size() + events);
+  TimePoint prev = 0;
+  for (std::uint64_t i = 0; i < events; ++i) {
+    const auto time = static_cast<TimePoint>(
+        static_cast<std::int64_t>(prev) + r.get_i64());
+    prev = time;
+    const int node = static_cast<int>(r.get_u64());
+    UNP_REQUIRE(node >= 0 && node < cluster::kStudyNodeSlots);
+    times_.push_back(time);
+    nodes_.push_back(node);
+    ++totals_[static_cast<std::size_t>(node)];
+  }
+  r.finish();
 }
 
 }  // namespace unp::analysis

@@ -53,6 +53,11 @@ struct InterArrivalStats {
 /// and resolves the loudest-node exclusion (Section III-I removes the
 /// permanent failure) at end_faults, with the same tie-break as
 /// classify_regime_excluding_loudest so both analyses drop the same node.
+///
+/// Shard aggregation: the state is the raw (time, node) event buffer
+/// (delta-encoded).  Merging appends — end_faults sorts the combined times
+/// before computing gaps, so buffer order never affects the result and the
+/// merged statistics equal the monolithic ones bit for bit.
 class InterArrivalAnalyzer final : public FaultSink {
  public:
   explicit InterArrivalAnalyzer(bool exclude_loudest = true)
@@ -61,6 +66,8 @@ class InterArrivalAnalyzer final : public FaultSink {
   void begin_faults(const FaultStreamContext& ctx) override;
   void on_fault(const FaultRecord& fault) override;
   void end_faults() override;
+  [[nodiscard]] std::string serialize_state() const override;
+  void merge_state(const std::string& blob) override;
 
   [[nodiscard]] const InterArrivalStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const std::optional<cluster::NodeId>& excluded() const noexcept {

@@ -64,6 +64,14 @@ class RegimeDynamicsAnalyzer final : public FaultSink {
   void begin_faults(const FaultStreamContext& ctx) override;
   void on_fault(const FaultRecord& fault) override;
   void end_faults() override;
+  /// Shard aggregation delegates to the embedded RegimeAnalyzer: its
+  /// per-(node, day) census is the whole pre-end_faults state here.
+  [[nodiscard]] std::string serialize_state() const override {
+    return regime_.serialize_state();
+  }
+  void merge_state(const std::string& blob) override {
+    regime_.merge_state(blob);
+  }
 
   [[nodiscard]] const AutoRegime& regime() const noexcept {
     return regime_.result();

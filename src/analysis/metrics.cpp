@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/sink_state.hpp"
 #include "common/require.hpp"
 
 namespace unp::analysis {
@@ -280,6 +281,23 @@ void ErrorsGridAnalyzer::on_fault(const FaultRecord& fault) {
            static_cast<std::size_t>(fault.node.soc)) += 1.0;
 }
 
+std::string ErrorsGridAnalyzer::serialize_state() const {
+  // Cells are whole counts held as doubles, so the cell-wise sum below is
+  // exact and shard order cannot perturb it.
+  state::Writer w('G');
+  for (std::size_t r = 0; r < grid_.rows(); ++r)
+    for (std::size_t c = 0; c < grid_.cols(); ++c) w.put_f64(grid_.at(r, c));
+  return std::move(w).take();
+}
+
+void ErrorsGridAnalyzer::merge_state(const std::string& blob) {
+  state::Reader r(blob, 'G', "ErrorsGridAnalyzer");
+  for (std::size_t row = 0; row < grid_.rows(); ++row)
+    for (std::size_t col = 0; col < grid_.cols(); ++col)
+      grid_.at(row, col) += r.get_f64();
+  r.finish();
+}
+
 void HourOfDayAnalyzer::begin_faults(const FaultStreamContext& /*ctx*/) {
   profile_ = HourOfDayProfile{};
 }
@@ -289,6 +307,20 @@ void HourOfDayAnalyzer::on_fault(const FaultRecord& fault) {
       static_cast<std::size_t>(BarcelonaClock::local_hour(fault.first_seen));
   const auto klass = static_cast<std::size_t>(bit_class(fault.flipped_bits()));
   ++profile_.counts[hour][klass];
+}
+
+std::string HourOfDayAnalyzer::serialize_state() const {
+  state::Writer w('H');
+  for (const auto& hour : profile_.counts)
+    for (const auto count : hour) w.put_u64(count);
+  return std::move(w).take();
+}
+
+void HourOfDayAnalyzer::merge_state(const std::string& blob) {
+  state::Reader r(blob, 'H', "HourOfDayAnalyzer");
+  for (auto& hour : profile_.counts)
+    for (auto& count : hour) count += r.get_u64();
+  r.finish();
 }
 
 void TemperatureAnalyzer::begin_faults(const FaultStreamContext& /*ctx*/) {
@@ -304,6 +336,31 @@ void TemperatureAnalyzer::on_fault(const FaultRecord& fault) {
       .add(fault.temperature_c);
 }
 
+std::string TemperatureAnalyzer::serialize_state() const {
+  state::Writer w('T');
+  for (const auto& hist : profile_.by_class) {
+    for (std::size_t b = 0; b < hist.bins(); ++b) w.put_u64(hist.count(b));
+    w.put_u64(hist.underflow());
+    w.put_u64(hist.overflow());
+  }
+  w.put_u64(profile_.without_reading);
+  return std::move(w).take();
+}
+
+void TemperatureAnalyzer::merge_state(const std::string& blob) {
+  state::Reader r(blob, 'T', "TemperatureAnalyzer");
+  for (auto& hist : profile_.by_class) {
+    // Re-add through the bin centers: weight-preserving and exact, without
+    // widening Histogram1D's interface.
+    for (std::size_t b = 0; b < hist.bins(); ++b)
+      hist.add(hist.bin_center(b), r.get_u64());
+    hist.add(TemperatureProfile::kLoC - 1.0, r.get_u64());  // underflow
+    hist.add(TemperatureProfile::kHiC, r.get_u64());        // overflow
+  }
+  profile_.without_reading += r.get_u64();
+  r.finish();
+}
+
 void DailyErrorsAnalyzer::begin_faults(const FaultStreamContext& ctx) {
   window_ = ctx.window;
   series_.assign(series_days(window_),
@@ -315,6 +372,23 @@ void DailyErrorsAnalyzer::on_fault(const FaultRecord& fault) {
   if (day < 0 || static_cast<std::size_t>(day) >= series_.size()) return;
   ++series_[static_cast<std::size_t>(day)]
           [static_cast<std::size_t>(bit_class(fault.flipped_bits()))];
+}
+
+std::string DailyErrorsAnalyzer::serialize_state() const {
+  state::Writer w('D');
+  w.put_u64(series_.size());
+  for (const auto& day : series_)
+    for (const auto count : day) w.put_u64(count);
+  return std::move(w).take();
+}
+
+void DailyErrorsAnalyzer::merge_state(const std::string& blob) {
+  state::Reader r(blob, 'D', "DailyErrorsAnalyzer");
+  const std::uint64_t days = r.get_u64();
+  UNP_REQUIRE(days == series_.size());  // same campaign window on both sides
+  for (auto& day : series_)
+    for (auto& count : day) count += r.get_u64();
+  r.finish();
 }
 
 void TopNodeAnalyzer::begin_faults(const FaultStreamContext& ctx) {
@@ -331,6 +405,23 @@ void TopNodeAnalyzer::on_fault(const FaultRecord& fault) {
   const std::int64_t day = window_.day_of_campaign(fault.first_seen);
   if (day < 0 || static_cast<std::size_t>(day) >= days_) return;
   ++counts_[node * days_ + static_cast<std::size_t>(day)];
+}
+
+std::string TopNodeAnalyzer::serialize_state() const {
+  state::Writer w('N');
+  w.put_u64(days_);
+  for (const auto total : totals_) w.put_u64(total);
+  for (const auto count : counts_) w.put_u64(count);
+  return std::move(w).take();
+}
+
+void TopNodeAnalyzer::merge_state(const std::string& blob) {
+  state::Reader r(blob, 'N', "TopNodeAnalyzer");
+  const std::uint64_t days = r.get_u64();
+  UNP_REQUIRE(days == days_);  // same campaign window on both sides
+  for (auto& total : totals_) total += r.get_u64();
+  for (auto& count : counts_) count += r.get_u64();
+  r.finish();
 }
 
 void TopNodeAnalyzer::end_faults() {

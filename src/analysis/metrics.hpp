@@ -187,6 +187,8 @@ class ErrorsGridAnalyzer final : public FaultSink {
   ErrorsGridAnalyzer();
   void begin_faults(const FaultStreamContext& ctx) override;
   void on_fault(const FaultRecord& fault) override;
+  [[nodiscard]] std::string serialize_state() const override;
+  void merge_state(const std::string& blob) override;
   [[nodiscard]] const Grid2D& grid() const noexcept { return grid_; }
 
  private:
@@ -198,6 +200,8 @@ class HourOfDayAnalyzer final : public FaultSink {
  public:
   void begin_faults(const FaultStreamContext& ctx) override;
   void on_fault(const FaultRecord& fault) override;
+  [[nodiscard]] std::string serialize_state() const override;
+  void merge_state(const std::string& blob) override;
   [[nodiscard]] const HourOfDayProfile& profile() const noexcept { return profile_; }
 
  private:
@@ -209,6 +213,8 @@ class TemperatureAnalyzer final : public FaultSink {
  public:
   void begin_faults(const FaultStreamContext& ctx) override;
   void on_fault(const FaultRecord& fault) override;
+  [[nodiscard]] std::string serialize_state() const override;
+  void merge_state(const std::string& blob) override;
   [[nodiscard]] const TemperatureProfile& profile() const noexcept { return profile_; }
 
  private:
@@ -220,6 +226,8 @@ class DailyErrorsAnalyzer final : public FaultSink {
  public:
   void begin_faults(const FaultStreamContext& ctx) override;
   void on_fault(const FaultRecord& fault) override;
+  [[nodiscard]] std::string serialize_state() const override;
+  void merge_state(const std::string& blob) override;
   [[nodiscard]] const DailyErrorSeries& series() const noexcept { return series_; }
 
  private:
@@ -237,6 +245,8 @@ class TopNodeAnalyzer final : public FaultSink {
   void begin_faults(const FaultStreamContext& ctx) override;
   void on_fault(const FaultRecord& fault) override;
   void end_faults() override;
+  [[nodiscard]] std::string serialize_state() const override;
+  void merge_state(const std::string& blob) override;
   [[nodiscard]] const TopNodeSeries& series() const noexcept { return series_; }
 
  private:

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "analysis/sink_state.hpp"
+#include "common/require.hpp"
+
 namespace unp::analysis {
 
 RegimeResult classify_daily_counts(std::vector<std::uint64_t> errors_per_day,
@@ -113,6 +116,23 @@ void RegimeAnalyzer::end_faults() {
 
   totals_.clear();
   counts_.clear();
+}
+
+std::string RegimeAnalyzer::serialize_state() const {
+  state::Writer w('R');
+  w.put_u64(days_);
+  for (const auto t : totals_) w.put_u64(t);
+  for (const auto c : counts_) w.put_u64(c);
+  return std::move(w).take();
+}
+
+void RegimeAnalyzer::merge_state(const std::string& blob) {
+  state::Reader r(blob, 'R', "RegimeAnalyzer");
+  const std::uint64_t days = r.get_u64();
+  UNP_REQUIRE(days == days_);  // states must cover the same campaign span
+  for (auto& t : totals_) t += r.get_u64();
+  for (auto& c : counts_) c += r.get_u64();
+  r.finish();
 }
 
 }  // namespace unp::analysis

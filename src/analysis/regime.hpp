@@ -75,6 +75,12 @@ struct AutoRegime {
 /// classify_regime_excluding_loudest incrementally: keeps the per-node,
 /// per-day census (the loudest node is only known once the stream ends) and
 /// resolves the exclusion + classification at end_faults.
+///
+/// Shard aggregation: the census is a pure per-(node, day) count table, so
+/// shard states add element-wise; loudest-node exclusion and regime
+/// classification happen only at end_faults over the combined table.  Note
+/// end_faults releases the census, so serialize_state must run before it
+/// (the FaultSink contract already requires this).
 class RegimeAnalyzer final : public FaultSink {
  public:
   explicit RegimeAnalyzer(std::uint64_t normal_threshold = 3)
@@ -83,6 +89,8 @@ class RegimeAnalyzer final : public FaultSink {
   void begin_faults(const FaultStreamContext& ctx) override;
   void on_fault(const FaultRecord& fault) override;
   void end_faults() override;
+  [[nodiscard]] std::string serialize_state() const override;
+  void merge_state(const std::string& blob) override;
   [[nodiscard]] const AutoRegime& result() const noexcept { return result_; }
 
  private:

@@ -1,0 +1,78 @@
+// Serialization helpers for FaultSink state blobs (the shard fabric's
+// hierarchical aggregation, stage three).
+//
+// Every analyzer's mergeable accumulator serializes through these thin
+// wrappers over the telemetry varint codec: a one-byte sink tag (so a blob
+// fed to the wrong sink fails loudly instead of merging garbage), then the
+// sink's fields as varints / zigzag varints / raw f64 bits.  The format is
+// a private contract between serialize_state and merge_state of one sink
+// class — there is no cross-version compatibility promise beyond the tag.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "telemetry/binary_codec.hpp"
+
+namespace unp::analysis::state {
+
+using telemetry::DecodeError;
+
+class Writer {
+ public:
+  explicit Writer(char tag) { out_.push_back(tag); }
+
+  void put_u64(std::uint64_t v) { telemetry::put_varint(out_, v); }
+  void put_i64(std::int64_t v) {
+    telemetry::put_varint(out_, telemetry::zigzag_encode(v));
+  }
+  void put_f64(double v) { telemetry::put_f64(out_, v); }
+
+  [[nodiscard]] std::string take() && { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class Reader {
+ public:
+  /// Binds to `blob` (which must outlive the reader) and validates the tag;
+  /// `sink_name` labels decode failures.
+  Reader(const std::string& blob, char tag, const char* sink_name)
+      : in_(blob), name_(sink_name) {
+    if (in_.empty() || in_[0] != tag)
+      throw DecodeError(std::string(name_) + ": state blob tag mismatch", 0);
+    pos_ = 1;
+  }
+
+  [[nodiscard]] std::uint64_t get_u64() {
+    try {
+      return telemetry::get_varint(in_, pos_);
+    } catch (const DecodeError& e) {
+      throw DecodeError(std::string(name_) + ": " + e.detail(),
+                        e.byte_offset());
+    }
+  }
+  [[nodiscard]] std::int64_t get_i64() {
+    return telemetry::zigzag_decode(get_u64());
+  }
+  [[nodiscard]] double get_f64() {
+    if (pos_ + 8 > in_.size())
+      throw DecodeError(std::string(name_) + ": truncated f64", pos_);
+    return telemetry::get_f64(in_, pos_);
+  }
+
+  /// Whole blob must be consumed.
+  void finish() const {
+    if (pos_ != in_.size())
+      throw DecodeError(std::string(name_) + ": trailing bytes in state blob",
+                        pos_);
+  }
+
+ private:
+  const std::string& in_;
+  const char* name_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace unp::analysis::state

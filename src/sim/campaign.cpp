@@ -6,6 +6,7 @@
 
 #include "common/require.hpp"
 #include "common/thread_pool.hpp"
+#include "sim/shard.hpp"
 
 namespace unp::sim {
 
@@ -65,10 +66,13 @@ std::uint64_t campaign_session_seed(const CampaignConfig& config) noexcept {
   return mix64(config.seed, 0x5E55);
 }
 
-CampaignSummary run_campaign_streaming(
-    const CampaignConfig& config,
-    const std::vector<telemetry::RecordSink*>& sinks, std::size_t threads) {
+CampaignSummary run_campaign_shard(const CampaignConfig& config,
+                                   const ShardSpec& spec,
+                                   const std::vector<telemetry::RecordSink*>& sinks,
+                                   std::size_t threads) {
   UNP_REQUIRE(threads >= 1);
+  UNP_REQUIRE(spec.count >= 1);
+  UNP_REQUIRE(spec.index >= 0 && spec.index < spec.count);
 
   CampaignSummary summary{campaign_topology(config), {}, {}};
 
@@ -78,7 +82,12 @@ CampaignSummary run_campaign_streaming(
   const auto& nodes = summary.topology.monitored_nodes();
   const std::size_t n = nodes.size();
 
-  // Phase 1: per-node scan plans (parallel, order-independent).
+  // Phase 1: per-node scan plans (parallel, order-independent).  Every shard
+  // builds the plans of the WHOLE fleet: the fleet-wide fault generation
+  // below consumes every node's plan and scanned hours, and re-deriving them
+  // is what keeps each shard's random streams bit-identical to the
+  // monolithic run's.  Planning is cheap next to session simulation, which
+  // is the phase sharding actually divides.
   std::vector<sched::ScanPlan> plans(n);
   auto build_plan = [&](std::size_t i) {
     plans[i] = planner.plan(nodes[i], availability.build(nodes[i]));
@@ -91,7 +100,8 @@ CampaignSummary run_campaign_streaming(
     for (std::size_t i = 0; i < n; ++i) build_plan(i);
   }
 
-  // Phase 2: fleet-wide fault generation (sequential; fleet-level streams).
+  // Phase 2: fleet-wide fault generation (sequential; fleet-level streams),
+  // identical in every shard for the same campaign seed.
   std::vector<faults::NodeContext> contexts(n);
   for (std::size_t i = 0; i < n; ++i) {
     contexts[i].node = nodes[i];
@@ -102,34 +112,70 @@ CampaignSummary run_campaign_streaming(
         nodes[i].soc == cluster::kOverheatingSoc + 1;
   }
   const faults::FaultModelSuite suite(config.faults);
-  summary.ground_truth = suite.generate(contexts, campaign_fault_seed(config));
+  std::vector<faults::FaultEvent> fleet_truth =
+      suite.generate(contexts, campaign_fault_seed(config));
 
   // Partition events per node.
   std::vector<std::vector<faults::FaultEvent>> per_node(
       static_cast<std::size_t>(cluster::kStudyNodeSlots));
-  for (const auto& ev : summary.ground_truth) {
+  for (const auto& ev : fleet_truth) {
     per_node[static_cast<std::size_t>(cluster::node_index(ev.node))].push_back(ev);
   }
 
-  // Phase 3: per-node session simulation, streamed out block by block.
-  // Workers fill a block of node logs in parallel; the block is then emitted
-  // to every sink in ascending node order and freed, so at most one block of
-  // logs is resident at a time and the stream is identical for any thread
-  // count (monitored_nodes() is already index-sorted).
+  // Ownership: monitored position j belongs to shard j % count (see
+  // shard.hpp).  `owned` holds positions into `nodes`, still ascending.
+  std::vector<std::size_t> owned;
+  owned.reserve(n / static_cast<std::size_t>(spec.count) + 1);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j % static_cast<std::size_t>(spec.count) ==
+        static_cast<std::size_t>(spec.index)) {
+      owned.push_back(j);
+    }
+  }
+
+  // The shard summary covers owned nodes only; filtering the time-sorted
+  // fleet truth preserves its order, so shard truths interleave back into
+  // the monolithic vector.
+  if (spec.is_monolithic()) {
+    summary.ground_truth = std::move(fleet_truth);
+  } else {
+    std::vector<bool> owned_slot(
+        static_cast<std::size_t>(cluster::kStudyNodeSlots), false);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j % static_cast<std::size_t>(spec.count) ==
+          static_cast<std::size_t>(spec.index)) {
+        owned_slot[static_cast<std::size_t>(cluster::node_index(nodes[j]))] =
+            true;
+      }
+    }
+    for (const auto& ev : fleet_truth) {
+      if (owned_slot[static_cast<std::size_t>(cluster::node_index(ev.node))]) {
+        summary.ground_truth.push_back(ev);
+      }
+    }
+  }
+
+  // Phase 3: per-node session simulation of the owned nodes, streamed out
+  // block by block.  Workers fill a block of node logs in parallel; the
+  // block is then emitted to every sink in ascending node order and freed,
+  // so at most one block of logs is resident at a time and the stream is
+  // identical for any thread count (monitored_nodes() is index-sorted and
+  // the ownership filter preserves that order).
   for (auto* sink : sinks) sink->begin_campaign(config.window);
 
   const std::uint64_t session_seed = campaign_session_seed(config);
   const std::size_t block = std::max<std::size_t>(threads * 8, 32);
   std::vector<telemetry::NodeLog> logs;
-  summary.accounting.resize(n);
-  for (std::size_t base = 0; base < n; base += block) {
-    const std::size_t count = std::min(block, n - base);
+  summary.accounting.resize(owned.size());
+  for (std::size_t base = 0; base < owned.size(); base += block) {
+    const std::size_t count = std::min(block, owned.size() - base);
     logs.assign(count, telemetry::NodeLog{});
     auto simulate = [&](std::size_t i) {
-      const cluster::NodeId node = nodes[base + i];
+      const std::size_t j = owned[base + i];
+      const cluster::NodeId node = nodes[j];
       const bool overheating = cluster::Topology::is_overheating_slot(node);
       logs[i] = simulate_node(
-          config.session, node, plans[base + i],
+          config.session, node, plans[j],
           per_node[static_cast<std::size_t>(cluster::node_index(node))],
           overheating, session_seed);
     };
@@ -139,21 +185,28 @@ CampaignSummary run_campaign_streaming(
       for (std::size_t i = 0; i < count; ++i) simulate(i);
     }
     for (std::size_t i = 0; i < count; ++i) {
-      const cluster::NodeId node = nodes[base + i];
+      const std::size_t j = owned[base + i];
+      const cluster::NodeId node = nodes[j];
       for (auto* sink : sinks) {
         sink->begin_node(node);
         telemetry::replay_node_log(logs[i], *sink);
         sink->end_node(node);
       }
       logs[i] = telemetry::NodeLog{};
-      summary.accounting[base + i] = {node, plans[base + i].scanned_hours(),
-                                      plans[base + i].terabyte_hours(),
-                                      plans[base + i].sessions.size()};
+      summary.accounting[base + i] = {node, plans[j].scanned_hours(),
+                                      plans[j].terabyte_hours(),
+                                      plans[j].sessions.size()};
     }
   }
 
   for (auto* sink : sinks) sink->end_campaign();
   return summary;
+}
+
+CampaignSummary run_campaign_streaming(
+    const CampaignConfig& config,
+    const std::vector<telemetry::RecordSink*>& sinks, std::size_t threads) {
+  return run_campaign_shard(config, ShardSpec{}, sinks, threads);
 }
 
 CampaignResult run_campaign(const CampaignConfig& config, std::size_t threads) {

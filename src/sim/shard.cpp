@@ -1,0 +1,27 @@
+#include "sim/shard.hpp"
+
+#include "common/require.hpp"
+
+namespace unp::sim {
+
+std::vector<cluster::NodeId> shard_nodes(const cluster::Topology& topology,
+                                         const ShardSpec& spec) {
+  UNP_REQUIRE(spec.count >= 1);
+  UNP_REQUIRE(spec.index >= 0 && spec.index < spec.count);
+  const auto& monitored = topology.monitored_nodes();
+  std::vector<cluster::NodeId> owned;
+  owned.reserve(monitored.size() / static_cast<std::size_t>(spec.count) + 1);
+  for (std::size_t j = 0; j < monitored.size(); ++j) {
+    if (j % static_cast<std::size_t>(spec.count) ==
+        static_cast<std::size_t>(spec.index)) {
+      owned.push_back(monitored[j]);
+    }
+  }
+  return owned;
+}
+
+ShardPlan plan_shard(const cluster::Topology& topology, const ShardSpec& spec) {
+  return ShardPlan{spec, shard_nodes(topology, spec)};
+}
+
+}  // namespace unp::sim

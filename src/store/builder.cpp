@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -120,6 +121,29 @@ void write_store(const std::string& path,
     builder.on_fault(fault);
   builder.end_faults();
   builder.write(path);
+}
+
+void write_partitioned_store(const std::vector<std::string>& part_paths,
+                             const analysis::ExtractionResult& extraction,
+                             const analysis::ScanProfileSink& scan,
+                             std::uint64_t fingerprint,
+                             const StoreBuilder::Config& config) {
+  UNP_REQUIRE(!part_paths.empty());
+  const std::size_t parts = part_paths.size();
+  const std::size_t rows = extraction.faults.size();
+  const std::size_t stride = (rows + parts - 1) / parts;  // ceil; 0 if empty
+  for (std::size_t p = 0; p < parts; ++p) {
+    StoreBuilder builder(config);
+    builder.set_fingerprint(fingerprint);
+    builder.set_scan_profile(scan_profile_from(scan));
+    builder.set_extraction_meta(extraction_meta_from(extraction));
+    builder.begin_faults({scan.window()});
+    const std::size_t lo = std::min(p * stride, rows);
+    const std::size_t hi = std::min(lo + stride, rows);
+    for (std::size_t i = lo; i < hi; ++i) builder.on_fault(extraction.faults[i]);
+    builder.end_faults();
+    builder.write(part_paths[p]);
+  }
 }
 
 }  // namespace unp::store

@@ -95,4 +95,18 @@ void write_store(const std::string& path,
                  std::uint64_t fingerprint = 0,
                  const StoreBuilder::Config& config = {});
 
+/// Partitioned write: stripe the faults into part_paths.size() contiguous
+/// canonical row ranges (ceil division, so every part but possibly the last
+/// holds the same row count) and write each range as a self-describing UNPF
+/// part file with the full campaign metadata replicated.  Striping by
+/// canonical range — not by node ownership — keeps each part's zone
+/// directory in canonical order, so StoreReader::open_partitioned can
+/// concatenate directories in path order and preserve the reader invariant
+/// "directory order = canonical order".
+void write_partitioned_store(const std::vector<std::string>& part_paths,
+                             const analysis::ExtractionResult& extraction,
+                             const analysis::ScanProfileSink& scan,
+                             std::uint64_t fingerprint = 0,
+                             const StoreBuilder::Config& config = {});
+
 }  // namespace unp::store

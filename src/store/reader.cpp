@@ -13,53 +13,83 @@ namespace unp::store {
 using telemetry::get_varint;
 using telemetry::zigzag_decode;
 
-StoreReader::StoreReader(std::string bytes) : bytes_(std::move(bytes)) {
+StoreReader::StoreReader(std::string bytes) { add_part(std::move(bytes)); }
+
+void StoreReader::add_part(std::string bytes) {
+  Part part;
+  part.bytes = std::move(bytes);
+  const std::string& buf = part.bytes;
+
   std::size_t pos = 0;
-  if (bytes_.size() < sizeof kStoreMagic + 1 + 8)
-    throw DecodeError("truncated store header", bytes_.size());
-  if (std::memcmp(bytes_.data(), kStoreMagic, sizeof kStoreMagic) != 0)
+  if (buf.size() < sizeof kStoreMagic + 1 + 8)
+    throw DecodeError("truncated store header", buf.size());
+  if (std::memcmp(buf.data(), kStoreMagic, sizeof kStoreMagic) != 0)
     throw DecodeError("bad UNPF magic", 0);
   pos = sizeof kStoreMagic;
-  const int version = static_cast<unsigned char>(bytes_[pos]);
+  const int version = static_cast<unsigned char>(buf[pos]);
   if (version != kStoreVersion)
     throw DecodeError("unsupported UNPF version " + std::to_string(version),
                       pos);
   ++pos;
-  fingerprint_ = 0;
+  std::uint64_t fingerprint = 0;
   for (std::size_t i = 0; i < 8; ++i)
-    fingerprint_ |= static_cast<std::uint64_t>(
-                        static_cast<unsigned char>(bytes_[pos + i]))
-                    << (8 * i);
+    fingerprint |= static_cast<std::uint64_t>(
+                       static_cast<unsigned char>(buf[pos + i]))
+                   << (8 * i);
   pos += 8;
-  window_.start = zigzag_decode(get_varint(bytes_, pos));
-  window_.end = zigzag_decode(get_varint(bytes_, pos));
-  scan_profile_ = decode_scan_profile(bytes_, pos);
-  extraction_meta_ = decode_extraction_meta(bytes_, pos);
-  const std::uint64_t segment_count = get_varint(bytes_, pos);
-  if (segment_count > bytes_.size())  // each segment occupies >= 1 byte
+  CampaignWindow window;
+  window.start = zigzag_decode(get_varint(buf, pos));
+  window.end = zigzag_decode(get_varint(buf, pos));
+  StoredScanProfile scan_profile = decode_scan_profile(buf, pos);
+  StoredExtractionMeta extraction_meta = decode_extraction_meta(buf, pos);
+  const std::uint64_t segment_count = get_varint(buf, pos);
+  if (segment_count > buf.size())  // each segment occupies >= 1 byte
     throw DecodeError("segment count out of range", pos);
-  zones_.reserve(static_cast<std::size_t>(segment_count));
+  std::vector<SegmentZone> zones;
+  zones.reserve(static_cast<std::size_t>(segment_count));
   for (std::uint64_t i = 0; i < segment_count; ++i)
-    zones_.push_back(decode_zone(bytes_, pos));
-  data_offset_ = pos;
+    zones.push_back(decode_zone(buf, pos));
+  part.data_offset = pos;
 
   // The data section must be exactly the contiguous concatenation the
   // directory declares — anything else is a torn or corrupt file.
   std::uint64_t expected_offset = 0;
-  for (const SegmentZone& zone : zones_) {
+  std::uint64_t part_rows = 0;
+  for (const SegmentZone& zone : zones) {
     if (zone.offset != expected_offset)
-      throw DecodeError("zone directory not contiguous", data_offset_);
+      throw DecodeError("zone directory not contiguous", part.data_offset);
     expected_offset += zone.size;
-    rows_total_ += zone.rows;
+    part_rows += zone.rows;
   }
-  if (data_offset_ + expected_offset != bytes_.size())
+  if (part.data_offset + expected_offset != buf.size())
     throw DecodeError("data section size mismatch (directory declares " +
                           std::to_string(expected_offset) + " bytes, file has " +
-                          std::to_string(bytes_.size() - data_offset_) + ")",
-                      data_offset_);
+                          std::to_string(buf.size() - part.data_offset) + ")",
+                      part.data_offset);
+
+  if (parts_.empty()) {
+    fingerprint_ = fingerprint;
+    window_ = window;
+    scan_profile_ = std::move(scan_profile);
+    extraction_meta_ = std::move(extraction_meta);
+  } else {
+    if (fingerprint != fingerprint_)
+      throw DecodeError("store part fingerprint mismatch", 0);
+    if (window.start != window_.start || window.end != window_.end)
+      throw DecodeError("store part campaign window mismatch", 0);
+  }
+  const std::size_t part_index = parts_.size();
+  for (const SegmentZone& zone : zones) {
+    zones_.push_back(zone);
+    zone_part_.push_back(part_index);
+  }
+  rows_total_ += part_rows;
+  parts_.push_back(std::move(part));
 }
 
-StoreReader StoreReader::open(const std::string& path) {
+namespace {
+
+std::string read_file_bytes(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is.good())
     throw ContractViolation("cannot open store file " + path);
@@ -67,7 +97,28 @@ StoreReader StoreReader::open(const std::string& path) {
   buffer << is.rdbuf();
   if (!is.good() && !is.eof())
     throw ContractViolation("cannot read store file " + path);
-  return StoreReader(std::move(buffer).str());
+  return std::move(buffer).str();
+}
+
+}  // namespace
+
+StoreReader StoreReader::open(const std::string& path) {
+  return StoreReader(read_file_bytes(path));
+}
+
+StoreReader StoreReader::open_partitioned(
+    const std::vector<std::string>& paths) {
+  UNP_REQUIRE(!paths.empty());
+  StoreReader reader;
+  for (const std::string& path : paths) {
+    try {
+      reader.add_part(read_file_bytes(path));
+    } catch (const DecodeError& e) {
+      throw DecodeError("store part " + path + ": " + e.detail(),
+                        e.byte_offset());
+    }
+  }
+  return reader;
 }
 
 namespace {
@@ -134,10 +185,11 @@ QueryResult StoreReader::run(const Query& query, const Options& options,
     SegmentScan& scan = scans[task];
     try {
       const SegmentZone& zone = zones_[chosen[task]];
+      const Part& part = parts_[zone_part_[chosen[task]]];
       SegmentColumns cols;
-      decode_segment(bytes_,
-                     data_offset_ + static_cast<std::size_t>(zone.offset), zone,
-                     scan_columns, cols);
+      decode_segment(part.bytes,
+                     part.data_offset + static_cast<std::size_t>(zone.offset),
+                     zone, scan_columns, cols);
       if (!cols.last_seen.empty())
         for (std::size_t i = 0; i < cols.last_seen.size(); ++i)
           cols.last_seen[i] += cols.first_seen[i];

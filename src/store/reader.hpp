@@ -62,6 +62,15 @@ class StoreReader {
   /// Read and parse the store file at `path`.
   [[nodiscard]] static StoreReader open(const std::string& path);
 
+  /// Open the part files of write_partitioned_store as one logical store.
+  /// Parts must agree on fingerprint, window, and row-shape metadata; their
+  /// zone directories concatenate in path order, which is canonical row
+  /// order, so every query/replay result is byte-identical to the same
+  /// store written as a single file.  A one-element vector is exactly
+  /// open().
+  [[nodiscard]] static StoreReader open_partitioned(
+      const std::vector<std::string>& paths);
+
   // --- campaign metadata --------------------------------------------------
   [[nodiscard]] const CampaignWindow& window() const noexcept { return window_; }
   [[nodiscard]] std::uint64_t fingerprint() const noexcept { return fingerprint_; }
@@ -102,13 +111,26 @@ class StoreReader {
       ThreadPool* pool = nullptr) const;
 
  private:
-  std::string bytes_;
+  StoreReader() = default;
+
+  /// One parsed part file; zone offsets are relative to its data section.
+  struct Part {
+    std::string bytes;
+    std::size_t data_offset = 0;
+  };
+
+  /// Parse `bytes` as a complete UNPF file and append it as the next part:
+  /// metadata is adopted from the first part and checked for agreement on
+  /// every later one.
+  void add_part(std::string bytes);
+
+  std::vector<Part> parts_;
   CampaignWindow window_;
   std::uint64_t fingerprint_ = 0;
   StoredScanProfile scan_profile_;
   StoredExtractionMeta extraction_meta_;
-  std::vector<SegmentZone> zones_;
-  std::size_t data_offset_ = 0;  ///< start of the data section in bytes_
+  std::vector<SegmentZone> zones_;     ///< concatenated in part order
+  std::vector<std::size_t> zone_part_; ///< owning part per zone
   std::uint64_t rows_total_ = 0;
 };
 

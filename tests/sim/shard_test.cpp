@@ -1,0 +1,159 @@
+// Partition invariants of the sharded campaign fabric: shard ownership is
+// disjoint/exhaustive/ascending, and the streaming merge of K shard
+// archives reproduces the monolithic record stream byte for byte for any
+// shard count.
+#include "sim/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/archive_io.hpp"
+#include "telemetry/shard_merge.hpp"
+
+namespace unp::sim {
+namespace {
+
+CampaignConfig short_config(std::uint64_t seed = 5) {
+  CampaignConfig config;
+  config.seed = seed;
+  config.window.start = from_civil_utc({2015, 9, 1, 0, 0, 0});
+  config.window.end = from_civil_utc({2015, 9, 15, 0, 0, 0});
+  return config;
+}
+
+constexpr std::uint64_t kFingerprint = 0x5eedf00d;
+
+/// Simulate one shard into a self-describing UNPH archive at `path`.
+void write_shard_file(const std::string& path, const CampaignConfig& config,
+                      const ShardSpec& spec) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(os.good());
+  telemetry::write_shard_header(
+      os, {static_cast<std::uint32_t>(spec.count),
+           static_cast<std::uint32_t>(spec.index), kFingerprint});
+  telemetry::ArchiveWriter writer(os);
+  (void)run_campaign_shard(config, spec, {&writer});
+}
+
+TEST(Shard, PartitionIsDisjointExhaustiveAscending) {
+  const cluster::Topology topology(cluster::Topology::Config{});
+  const std::vector<cluster::NodeId>& monitored = topology.monitored_nodes();
+  for (const int count : {1, 2, 8}) {
+    SCOPED_TRACE(testing::Message() << "count=" << count);
+    std::set<cluster::NodeId> seen;
+    for (int index = 0; index < count; ++index) {
+      const std::vector<cluster::NodeId> owned =
+          shard_nodes(topology, ShardSpec{count, index});
+      for (std::size_t j = 1; j < owned.size(); ++j) {
+        EXPECT_LT(cluster::node_index(owned[j - 1]),
+                  cluster::node_index(owned[j]));
+      }
+      for (const cluster::NodeId& node : owned) {
+        EXPECT_TRUE(seen.insert(node).second) << "node owned twice";
+      }
+    }
+    EXPECT_EQ(seen.size(), monitored.size());
+  }
+  // The ownership rule itself: position j of the monitored list -> j % K.
+  for (std::size_t j = 0; j < monitored.size(); ++j) {
+    const std::vector<cluster::NodeId> owned = shard_nodes(
+        topology, ShardSpec{8, static_cast<int>(j % 8)});
+    EXPECT_NE(std::find(owned.begin(), owned.end(), monitored[j]),
+              owned.end());
+  }
+}
+
+TEST(Shard, MonolithicSpecIsRunCampaignStreaming) {
+  const CampaignConfig config = short_config();
+  std::ostringstream via_shard;
+  std::ostringstream via_streaming;
+  {
+    telemetry::ArchiveWriter writer(via_shard);
+    (void)run_campaign_shard(config, ShardSpec{}, {&writer});
+  }
+  {
+    telemetry::ArchiveWriter writer(via_streaming);
+    (void)run_campaign_streaming(config, {&writer});
+  }
+  EXPECT_EQ(via_shard.view(), via_streaming.view());
+}
+
+// The tentpole invariant: for K in {1, 2, 8}, simulating the K shards
+// independently and stream-merging their archives yields the exact bytes of
+// the monolithic spill.
+TEST(Shard, MergedStreamMatchesMonolithicForAnyShardCount) {
+  const CampaignConfig config = short_config();
+  std::ostringstream mono;
+  {
+    telemetry::ArchiveWriter writer(mono);
+    (void)run_campaign_shard(config, ShardSpec{}, {&writer}, /*threads=*/2);
+  }
+  ASSERT_GT(mono.view().size(), 1000u);
+
+  for (const int count : {1, 2, 8}) {
+    SCOPED_TRACE(testing::Message() << "count=" << count);
+    std::vector<std::string> paths;
+    for (int index = 0; index < count; ++index) {
+      const std::string path = ::testing::TempDir() + "shard_test_" +
+                               std::to_string(count) + "_" +
+                               std::to_string(index) + ".unph";
+      write_shard_file(path, config, ShardSpec{count, index});
+      paths.push_back(path);
+    }
+
+    std::ostringstream merged;
+    telemetry::merge_shard_archives(paths, merged);
+    ASSERT_EQ(merged.view().size(), mono.view().size());
+    EXPECT_TRUE(merged.view() == mono.view());
+
+    // Shard files are self-describing and stamp the ensemble id.
+    std::ifstream is(paths.back(), std::ios::binary);
+    const telemetry::ShardHeader header = telemetry::read_shard_header(is);
+    EXPECT_EQ(header.shard_count, static_cast<std::uint32_t>(count));
+    EXPECT_EQ(header.shard_index, static_cast<std::uint32_t>(count - 1));
+    EXPECT_EQ(header.fingerprint, kFingerprint);
+
+    for (const std::string& path : paths) std::remove(path.c_str());
+  }
+}
+
+// Shard summaries are the monolithic summary filtered to owned nodes: the
+// parts concatenate without loss or overlap.
+TEST(Shard, SummariesPartitionTheMonolithicSummary) {
+  const CampaignConfig config = short_config();
+
+  class Discard final : public telemetry::RecordSink {
+   public:
+    void on_start(const telemetry::StartRecord&) override {}
+    void on_end(const telemetry::EndRecord&) override {}
+    void on_alloc_fail(const telemetry::AllocFailRecord&) override {}
+    void on_error_run(const telemetry::ErrorRun&) override {}
+  };
+
+  Discard sink;
+  const CampaignSummary mono = run_campaign_shard(config, ShardSpec{}, {&sink});
+
+  std::size_t nodes = 0;
+  std::size_t truth = 0;
+  double hours = 0.0;
+  for (int index = 0; index < 4; ++index) {
+    const CampaignSummary part =
+        run_campaign_shard(config, ShardSpec{4, index}, {&sink});
+    nodes += part.accounting.size();
+    truth += part.ground_truth.size();
+    hours += part.total_scanned_hours();
+  }
+  EXPECT_EQ(nodes, mono.accounting.size());
+  EXPECT_EQ(truth, mono.ground_truth.size());
+  EXPECT_DOUBLE_EQ(hours, mono.total_scanned_hours());
+}
+
+}  // namespace
+}  // namespace unp::sim

@@ -1,0 +1,160 @@
+// Partitioned UNPF stores: write_partitioned_store stripes canonical row
+// ranges into standalone part files, and StoreReader::open_partitioned
+// presents them as one logical store whose every query, replay, and
+// metadata read is identical to the single-file store.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/metrics.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "store/builder.hpp"
+#include "store/reader.hpp"
+
+namespace unp::store {
+namespace {
+
+constexpr TimePoint kStart = 1'440'000'000;
+constexpr TimePoint kEnd = kStart + 300'000;
+constexpr std::uint64_t kFingerprint = 0xc0ffee;
+
+std::vector<analysis::FaultRecord> make_population(int n = 1500) {
+  std::vector<analysis::FaultRecord> faults;
+  Xoshiro256 rng(41);
+  for (int i = 0; i < n; ++i) {
+    analysis::FaultRecord f;
+    f.first_seen = kStart + static_cast<TimePoint>(i) * 90;
+    f.last_seen = f.first_seen + static_cast<TimePoint>(rng.next() % 500);
+    f.node = cluster::NodeId{static_cast<int>(rng.next() % cluster::kStudyBlades),
+                             static_cast<int>(rng.next() % cluster::kSocsPerBlade)};
+    f.raw_logs = 1 + rng.next() % 30;
+    f.virtual_address = rng.next() % (1ull << 40);
+    f.expected = static_cast<Word>(rng.next());
+    Word mask = 1;
+    if (rng.next() % 10 == 0) mask |= Word{1} << (rng.next() % 32);
+    f.actual = f.expected ^ mask;
+    f.temperature_c = 20.0 + static_cast<double>(rng.next() % 20);
+    faults.push_back(f);
+  }
+  std::sort(faults.begin(), faults.end(),
+            [](const analysis::FaultRecord& a, const analysis::FaultRecord& b) {
+              return std::tie(a.first_seen, a.node, a.virtual_address) <
+                     std::tie(b.first_seen, b.node, b.virtual_address);
+            });
+  return faults;
+}
+
+analysis::ExtractionResult make_extraction() {
+  analysis::ExtractionResult extraction;
+  extraction.faults = make_population();
+  for (const auto& f : extraction.faults)
+    extraction.total_raw_logs += f.raw_logs;
+  return extraction;
+}
+
+/// Minimal (empty but well-formed) scan profile shared by all writes.
+const analysis::ScanProfileSink& scan_profile() {
+  static const analysis::ScanProfileSink* scan = [] {
+    auto* s = new analysis::ScanProfileSink;
+    s->begin_campaign({kStart, kEnd});
+    s->end_campaign();
+    return s;
+  }();
+  return *scan;
+}
+
+struct PartPaths {
+  std::vector<std::string> paths;
+  explicit PartPaths(int parts) {
+    for (int p = 0; p < parts; ++p) {
+      paths.push_back(::testing::TempDir() + "pst_part" + std::to_string(p) +
+                      "_of" + std::to_string(parts) + ".unpf");
+    }
+  }
+  ~PartPaths() {
+    for (const auto& p : paths) std::remove(p.c_str());
+  }
+};
+
+TEST(PartitionedStore, QueriesMatchSingleFileStoreForAnyPartCount) {
+  const analysis::ExtractionResult extraction = make_extraction();
+  const std::string single = ::testing::TempDir() + "pst_single.unpf";
+  write_store(single, extraction, scan_profile(), kFingerprint, {128});
+  const StoreReader mono = StoreReader::open(single);
+
+  for (const int parts : {1, 2, 5}) {
+    SCOPED_TRACE(testing::Message() << "parts=" << parts);
+    PartPaths pp(parts);
+    write_partitioned_store(pp.paths, extraction, scan_profile(),
+                            kFingerprint, {128});
+
+    const StoreReader reader = StoreReader::open_partitioned(pp.paths);
+    EXPECT_EQ(reader.fingerprint(), mono.fingerprint());
+    EXPECT_EQ(reader.window().start, mono.window().start);
+    EXPECT_EQ(reader.window().end, mono.window().end);
+    EXPECT_EQ(reader.rows_total(), mono.rows_total());
+    EXPECT_EQ(reader.scan_profile().monitored_nodes,
+              mono.scan_profile().monitored_nodes);
+
+    // Full scan, selective scan, and the rebuilt extraction all agree.
+    EXPECT_EQ(reader.materialize(Query{}), extraction.faults);
+    Query selective;
+    selective.min_bits = 2;
+    EXPECT_EQ(reader.materialize(selective), mono.materialize(selective));
+    Query windowed;
+    windowed.since = kStart + 40'000;
+    windowed.until = kStart + 100'000;
+    EXPECT_EQ(reader.materialize(windowed), mono.materialize(windowed));
+
+    const analysis::ExtractionResult rebuilt = reader.extraction_result();
+    EXPECT_EQ(rebuilt.faults, extraction.faults);
+    EXPECT_EQ(rebuilt.total_raw_logs, extraction.total_raw_logs);
+  }
+  std::remove(single.c_str());
+}
+
+TEST(PartitionedStore, PartsAreStandaloneStoresCoveringDisjointRanges) {
+  const analysis::ExtractionResult extraction = make_extraction();
+  PartPaths pp(3);
+  write_partitioned_store(pp.paths, extraction, scan_profile(), kFingerprint);
+
+  std::vector<analysis::FaultRecord> concatenated;
+  for (const auto& path : pp.paths) {
+    const StoreReader part = StoreReader::open(path);
+    EXPECT_EQ(part.fingerprint(), kFingerprint);
+    const std::vector<analysis::FaultRecord> rows = part.materialize(Query{});
+    concatenated.insert(concatenated.end(), rows.begin(), rows.end());
+  }
+  // Canonical-range striping: parts concatenate to the canonical order.
+  EXPECT_EQ(concatenated, extraction.faults);
+}
+
+TEST(PartitionedStore, RejectsMismatchedParts) {
+  const analysis::ExtractionResult extraction = make_extraction();
+  PartPaths pp(2);
+  write_partitioned_store(pp.paths, extraction, scan_profile(), kFingerprint);
+
+  // A part from a different campaign (different fingerprint) cannot join.
+  const std::string foreign = ::testing::TempDir() + "pst_foreign.unpf";
+  write_store(foreign, extraction, scan_profile(), kFingerprint + 1);
+  try {
+    (void)StoreReader::open_partitioned({pp.paths[0], foreign});
+    FAIL() << "fingerprint mismatch not detected";
+  } catch (const DecodeError& e) {
+    EXPECT_NE(std::string(e.detail()).find("fingerprint"), std::string::npos)
+        << e.detail();
+  }
+  std::remove(foreign.c_str());
+
+  EXPECT_THROW((void)StoreReader::open_partitioned({}), ContractViolation);
+  EXPECT_THROW(
+      (void)StoreReader::open_partitioned({pp.paths[0], "/nonexistent.unpf"}),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace unp::store

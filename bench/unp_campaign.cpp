@@ -29,6 +29,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,8 @@
 #include "analysis/streaming_extractor.hpp"
 #include "sim/campaign.hpp"
 #include "sim/shard.hpp"
+#include "store/builder.hpp"
+#include "store/handle.hpp"
 #include "telemetry/shard_merge.hpp"
 #include "util/campaign_cache.hpp"
 #include "util/cli_args.hpp"
@@ -53,6 +56,7 @@ struct Options {
   long shards = 0;  ///< K (simulate mode)
   long shard = -1;  ///< I (simulate mode)
   std::string out;  ///< simulate: directory; merge: output file
+  std::string store_out;  ///< aggregate: also distill into a UNPF store
   std::vector<std::string> inputs;  ///< shard archives (merge/aggregate)
   std::uint64_t seed = 42;
   std::size_t threads = sim::default_campaign_threads();
@@ -75,6 +79,10 @@ void usage(std::FILE* out) {
                "the\n"
                "                     full report (byte-identical to "
                "unp_report --all)\n"
+               "  --store-out PATH   aggregate: also distill the merged "
+               "faults +\n"
+               "                     scan profile into a queryable UNPF "
+               "store\n"
                "  --seed S           campaign seed (default 42)\n"
                "  --threads T        worker threads (default: hardware "
                "concurrency)\n"
@@ -116,6 +124,11 @@ bool parse_args(int argc, char** argv, Options& opts) {
       const char* v = cli.next_value(i, "--out");
       if (!v) return false;
       opts.out = v;
+    } else if (std::strcmp(arg, "--store-out") == 0) {
+      if (!set_mode(opts, Mode::kAggregate)) return false;
+      const char* v = cli.next_value(i, "--store-out");
+      if (!v) return false;
+      opts.store_out = v;
     } else if (std::strcmp(arg, "--seed") == 0) {
       if (!cli.u64(i, "--seed", opts.seed)) return false;
     } else if (std::strcmp(arg, "--threads") == 0) {
@@ -332,6 +345,23 @@ int run_aggregate(const Options& opts) {
                "%zu sinks x %d partitions)\n",
                agg_ms, static_cast<unsigned long long>(extraction.faults.size()),
                total.sinks().size(), parts);
+
+  if (!opts.store_out.empty()) {
+    // Distill the merged campaign into a queryable UNPF store and prove the
+    // round trip through the shared StoreHandle open path (the same handle
+    // unp_query / unp_serve would share).
+    const auto t_store = std::chrono::steady_clock::now();
+    store::write_store(opts.store_out, extraction, scan, reader.fingerprint());
+    const std::shared_ptr<const store::StoreHandle> handle =
+        store::StoreHandle::open(opts.store_out);
+    const double store_ms = ms_since(t_store);
+    std::fprintf(stderr,
+                 "store distill -> %s : %9.1f ms  (%llu rows, "
+                 "fingerprint %016llx)\n",
+                 opts.store_out.c_str(), store_ms,
+                 static_cast<unsigned long long>(handle->rows_total()),
+                 static_cast<unsigned long long>(handle->fingerprint()));
+  }
   return 0;
 }
 

@@ -16,6 +16,12 @@
 // exact renderers unp_report uses — with no predicates the section output is
 // byte-identical to the live pipeline's.
 //
+// The predicate/action vocabulary is parsed and rendered through
+// util/query_render (shared with unp_serve), so a served response is
+// byte-identical to this CLI's stdout and both front ends validate through
+// the same store::QueryBuilder: an invalid request exits 2 with a
+// field-naming diagnostic before any scan starts.
+//
 // Query results go to stdout; --stats adds a scan-observability footer
 // (segments pruned/scanned, rows, wall clock) on stderr.  Exit status: 0 on
 // success, 2 on bad usage or unreadable/corrupt input.
@@ -27,8 +33,6 @@
 #include <string>
 #include <vector>
 
-#include "analysis/fault_sink.hpp"
-#include "analysis/metrics.hpp"
 #include "analysis/streaming_extractor.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/campaign.hpp"
@@ -36,24 +40,17 @@
 #include "store/reader.hpp"
 #include "util/campaign_cache.hpp"
 #include "util/cli_args.hpp"
-#include "util/report_sections.hpp"
+#include "util/query_render.hpp"
 
 namespace {
 
 using namespace unp;
-using bench::kSectionCount;
 
 struct Options {
   std::string build_path;
   std::string store_path;
-  store::Query query;
-  bool count_only = false;
-  bool no_prune = false;
+  std::vector<std::string> request_tokens;  ///< shared-vocabulary flags
   bool stats = false;
-  std::size_t limit = 20;
-  bool want[kSectionCount] = {};
-  bool any_section = false;
-  bool any_query_action = false;  ///< a predicate, --count, --limit or section
   std::uint64_t seed = 42;
   std::size_t threads = sim::default_campaign_threads();
   analysis::ExtractionConfig extraction;
@@ -92,13 +89,19 @@ void usage(std::FILE* out) {
 
 bool parse_args(int argc, char** argv, Options& opts) {
   const bench::CliParser cli("unp_query", argc, argv);
-  auto parse_bound = [&](int& i, const char* flag, long lo, long hi,
-                         long& out) -> bool {
-    return cli.long_in(i, flag, lo, hi, out);
-  };
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strcmp(arg, "--build") == 0) {
+    bool needs_value = false;
+    if (bench::is_request_flag(arg, &needs_value)) {
+      // Shared query vocabulary: collect verbatim, validate in one place
+      // (parse_request -> QueryBuilder) before the store is touched.
+      opts.request_tokens.emplace_back(arg);
+      if (needs_value) {
+        const char* v = cli.next_value(i, arg);
+        if (!v) return false;
+        opts.request_tokens.emplace_back(v);
+      }
+    } else if (std::strcmp(arg, "--build") == 0) {
       const char* v = cli.next_value(i, "--build");
       if (!v) return false;
       opts.build_path = v;
@@ -106,128 +109,17 @@ bool parse_args(int argc, char** argv, Options& opts) {
       const char* v = cli.next_value(i, "--store");
       if (!v) return false;
       opts.store_path = v;
-    } else if (std::strcmp(arg, "--since") == 0 ||
-               std::strcmp(arg, "--until") == 0) {
-      const bool since = std::strcmp(arg, "--since") == 0;
-      long t = 0;
-      if (!cli.long_in(i, arg, bench::CliParser::kNoLowerBound,
-                       bench::CliParser::kNoUpperBound, t))
-        return false;
-      (since ? opts.query.since : opts.query.until) = t;
-      opts.any_query_action = true;
-    } else if (std::strcmp(arg, "--node") == 0) {
-      const char* v = cli.next_value(i, "--node");
-      if (!v) return false;
-      cluster::NodeId node;
-      try {
-        node = cluster::parse_node_name(v);
-      } catch (const ContractViolation&) {
-        std::fprintf(stderr, "unp_query: --node expects BB-SS, got '%s'\n", v);
-        return false;
-      }
-      opts.query.blade = node.blade;
-      opts.query.soc = node.soc;
-      opts.any_query_action = true;
-    } else if (std::strcmp(arg, "--blade") == 0) {
-      long n = 0;
-      if (!parse_bound(i, "--blade", 0, cluster::kStudyBlades - 1, n))
-        return false;
-      opts.query.blade = static_cast<int>(n);
-      opts.any_query_action = true;
-    } else if (std::strcmp(arg, "--soc") == 0) {
-      long n = 0;
-      if (!parse_bound(i, "--soc", 0, cluster::kSocsPerBlade - 1, n))
-        return false;
-      opts.query.soc = static_cast<int>(n);
-      opts.any_query_action = true;
-    } else if (std::strcmp(arg, "--class") == 0) {
-      const char* v = cli.next_value(i, "--class");
-      if (!v) return false;
-      if (std::strcmp(v, "single") == 0) {
-        opts.query.min_bits = 1;
-        opts.query.max_bits = 1;
-      } else if (std::strcmp(v, "double") == 0) {
-        opts.query.min_bits = 2;
-        opts.query.max_bits = 2;
-      } else if (std::strcmp(v, "few") == 0) {
-        opts.query.min_bits = 3;
-        opts.query.max_bits = 8;
-      } else if (std::strcmp(v, "many") == 0) {
-        opts.query.min_bits = 9;
-        opts.query.max_bits = 32;
-      } else if (std::strcmp(v, "multi") == 0) {
-        opts.query.min_bits = 2;
-        opts.query.max_bits = 32;
-      } else {
-        std::fprintf(stderr,
-                     "unp_query: --class expects "
-                     "single|double|few|many|multi, got '%s'\n",
-                     v);
-        return false;
-      }
-      opts.any_query_action = true;
-    } else if (std::strcmp(arg, "--min-bits") == 0) {
-      long n = 0;
-      if (!parse_bound(i, "--min-bits", 1, 32, n)) return false;
-      opts.query.min_bits = static_cast<int>(n);
-      opts.any_query_action = true;
-    } else if (std::strcmp(arg, "--max-bits") == 0) {
-      long n = 0;
-      if (!parse_bound(i, "--max-bits", 1, 32, n)) return false;
-      opts.query.max_bits = static_cast<int>(n);
-      opts.any_query_action = true;
-    } else if (std::strcmp(arg, "--count") == 0) {
-      opts.count_only = true;
-      opts.any_query_action = true;
-    } else if (std::strcmp(arg, "--limit") == 0) {
-      long n = 0;
-      if (!parse_bound(i, "--limit", 0, 1L << 40, n)) return false;
-      opts.limit = static_cast<std::size_t>(n);
-      opts.any_query_action = true;
-    } else if (std::strcmp(arg, "--no-prune") == 0) {
-      opts.no_prune = true;
     } else if (std::strcmp(arg, "--stats") == 0) {
       opts.stats = true;
-    } else if (std::strcmp(arg, "--all") == 0) {
-      for (int s = 0; s < kSectionCount; ++s) opts.want[s] = true;
-      opts.any_section = opts.any_query_action = true;
-    } else if (std::strcmp(arg, "--headline") == 0) {
-      opts.want[bench::kHeadline] = true;
-      opts.any_section = opts.any_query_action = true;
-    } else if (std::strcmp(arg, "--tab1") == 0) {
-      opts.want[bench::kTab1] = true;
-      opts.any_section = opts.any_query_action = true;
-    } else if (std::strcmp(arg, "--fig") == 0) {
-      long n = 0;
-      if (!parse_bound(i, "--fig", 1, 13, n)) return false;
-      opts.want[bench::kFigSections[n - 1]] = true;
-      opts.any_section = opts.any_query_action = true;
-    } else if (std::strcmp(arg, "--ext") == 0) {
-      const char* v = cli.next_value(i, "--ext");
-      if (!v) return false;
-      if (std::strcmp(v, "temporal") == 0) {
-        opts.want[bench::kExtTemporal] = true;
-      } else if (std::strcmp(v, "markov") == 0) {
-        opts.want[bench::kExtMarkov] = true;
-      } else if (std::strcmp(v, "alignment") == 0) {
-        opts.want[bench::kExtAlignment] = true;
-      } else {
-        std::fprintf(stderr,
-                     "unp_query: --ext expects temporal|markov|alignment, got "
-                     "'%s'\n",
-                     v);
-        return false;
-      }
-      opts.any_section = opts.any_query_action = true;
     } else if (std::strcmp(arg, "--threads") == 0) {
       long n = 0;
-      if (!parse_bound(i, "--threads", 1, 4096, n)) return false;
+      if (!cli.long_in(i, "--threads", 1, 4096, n)) return false;
       opts.threads = static_cast<std::size_t>(n);
     } else if (std::strcmp(arg, "--seed") == 0) {
       if (!cli.u64(i, "--seed", opts.seed)) return false;
     } else if (std::strcmp(arg, "--merge-window") == 0) {
       long n = 0;
-      if (!parse_bound(i, "--merge-window", 0, 1L << 40, n)) return false;
+      if (!cli.long_in(i, "--merge-window", 0, 1L << 40, n)) return false;
       opts.extraction.merge_window_s = n;
     } else if (std::strcmp(arg, "--cache-dir") == 0) {
       const char* v = cli.next_value(i, "--cache-dir");
@@ -251,10 +143,6 @@ bool parse_args(int argc, char** argv, Options& opts) {
     std::fprintf(stderr,
                  "unp_query: --build and --store are exclusive (--build "
                  "queries the store it just wrote)\n");
-    return false;
-  }
-  if (opts.query.min_bits > opts.query.max_bits) {
-    std::fprintf(stderr, "unp_query: --min-bits exceeds --max-bits\n");
     return false;
   }
   return true;
@@ -286,40 +174,16 @@ void build_store(const Options& opts) {
                ms_since(t0), acquire.from_cache ? "cache" : "simulated");
 }
 
-void print_rows(const std::vector<analysis::FaultRecord>& faults,
-                std::size_t limit) {
-  std::printf(
-      "node   first_seen  last_seen   raw_logs  address       expected  "
-      "actual    bits  class       temp_c\n");
-  const std::size_t shown =
-      limit == 0 ? faults.size() : std::min(limit, faults.size());
-  for (std::size_t i = 0; i < shown; ++i) {
-    const analysis::FaultRecord& f = faults[i];
-    const int bits = f.flipped_bits();
-    char temp[32];
-    if (f.temperature_c == telemetry::kNoTemperature)
-      std::snprintf(temp, sizeof temp, "-");
-    else
-      std::snprintf(temp, sizeof temp, "%.1f", f.temperature_c);
-    std::printf(
-        "%-6s %-11lld %-11lld %-9llu 0x%010llx  %08x  %08x  %-5d %-11s %s\n",
-        cluster::node_name(f.node).c_str(),
-        static_cast<long long>(f.first_seen),
-        static_cast<long long>(f.last_seen),
-        static_cast<unsigned long long>(f.raw_logs),
-        static_cast<unsigned long long>(f.virtual_address), f.expected,
-        f.actual, bits, store::to_string(store::classify_bits(bits)), temp);
-  }
-  if (shown < faults.size())
-    std::printf("... %zu more row(s); raise --limit to list them\n",
-                faults.size() - shown);
-}
-
 int run_query(const Options& opts) {
+  // Validate the request before building or opening anything: a rejected
+  // request must never leave a half-done scan (or a fresh store build)
+  // behind the exit-2.
+  const bench::QueryRequest req = bench::parse_request(opts.request_tokens);
+
   if (!opts.build_path.empty()) {
     build_store(opts);
     // --build alone is a complete command; queries ride along if given.
-    if (!opts.any_query_action) return 0;
+    if (!req.any_query_action) return 0;
   }
   const std::string store_path =
       opts.store_path.empty() ? opts.build_path : opts.store_path;
@@ -330,44 +194,11 @@ int run_query(const Options& opts) {
 
   std::unique_ptr<ThreadPool> pool;
   if (opts.threads > 1) pool = std::make_unique<ThreadPool>(opts.threads);
-  const store::ScanOptions scan_options{pool.get(), !opts.no_prune};
+  const store::ScanOptions scan_options{pool.get(), true, nullptr};
 
   store::ScanStats stats;
   const auto t_scan = std::chrono::steady_clock::now();
-
-  if (opts.any_section) {
-    // Replay the selected faults through the exact unp_report renderers.
-    analysis::ExtractionResult extraction;
-    extraction.faults = reader.materialize(opts.query, scan_options, &stats);
-    extraction.removed_nodes = reader.extraction_meta().removed_nodes;
-    extraction.total_raw_logs = reader.extraction_meta().total_raw_logs;
-    extraction.removed_raw_logs = reader.extraction_meta().removed_raw_logs;
-
-    bench::ReportAnalyzers analyzers(opts.want);
-    analysis::run_fault_sinks(extraction.faults, {reader.window()},
-                              analyzers.sinks(), pool.get());
-
-    const store::StoredScanProfile& profile = reader.scan_profile();
-    bench::ReportInputs inputs;
-    inputs.window = reader.window();
-    inputs.hours = &profile.hours;
-    inputs.terabyte_hours = &profile.terabyte_hours;
-    inputs.daily_terabyte_hours = profile.daily_terabyte_hours;
-    inputs.total_hours = profile.total_hours;
-    inputs.total_terabyte_hours = profile.total_terabyte_hours;
-    inputs.monitored_nodes = profile.monitored_nodes;
-    inputs.extraction = &extraction;
-    analyzers.render(inputs);
-  } else if (opts.count_only) {
-    store::Query query = opts.query;
-    query.projection = 0;  // predicate columns only
-    (void)reader.run(query, scan_options, &stats);
-    std::printf("%llu\n", static_cast<unsigned long long>(stats.rows_matched));
-  } else {
-    const std::vector<analysis::FaultRecord> faults =
-        reader.materialize(opts.query, scan_options, &stats);
-    print_rows(faults, opts.limit);
-  }
+  bench::render_request(reader, req, scan_options, stdout, &stats);
   const double scan_ms = ms_since(t_scan);
 
   if (opts.stats) {
@@ -378,11 +209,11 @@ int run_query(const Options& opts) {
                  static_cast<unsigned long long>(reader.fingerprint()),
                  static_cast<unsigned long long>(reader.rows_total()),
                  open_ms);
-    std::fprintf(stderr, "predicate  : %s\n", opts.query.describe().c_str());
+    std::fprintf(stderr, "predicate  : %s\n", req.query.describe().c_str());
     std::fprintf(stderr, "segments   : %zu total, %zu pruned, %zu scanned%s\n",
                  stats.segments_total, stats.segments_pruned,
                  stats.segments_scanned,
-                 opts.no_prune ? "  (pruning off)" : "");
+                 req.no_prune ? "  (pruning off)" : "");
     std::fprintf(stderr, "rows       : %llu scanned, %llu matched\n",
                  static_cast<unsigned long long>(stats.rows_scanned),
                  static_cast<unsigned long long>(stats.rows_matched));
@@ -400,8 +231,9 @@ int main(int argc, char** argv) {
   try {
     return run_query(opts);
   } catch (const ContractViolation& e) {
-    // Covers telemetry::DecodeError (corrupt store/cache bytes, with byte
-    // offset) and any violated pipeline contract.
+    // Covers store::QueryError (invalid request, with the offending field),
+    // telemetry::DecodeError (corrupt store/cache bytes, with byte offset)
+    // and any violated pipeline contract.
     std::fprintf(stderr, "unp_query: fatal: %s\n", e.what());
     return 2;
   }

@@ -171,8 +171,12 @@ void print_sink_timings(const std::vector<const char*>& labels,
 
 /// Store-backed path: faults + scan profile replay from a UNPF store.
 int run_store_report(const Options& opts) {
+  // One parse, shared bytes: the handle owns the mapping; the reader is a
+  // throwaway view over it (any number could share this handle).
   const auto t_open = std::chrono::steady_clock::now();
-  const store::StoreReader reader = store::StoreReader::open(opts.store_path);
+  const std::shared_ptr<const store::StoreHandle> handle =
+      store::StoreHandle::open(opts.store_path);
+  const store::StoreReader reader(handle);
   const double open_ms = ms_since(t_open);
 
   std::unique_ptr<ThreadPool> pool;

@@ -422,11 +422,12 @@ StreamStats stream_campaign(const sim::CampaignConfig& config,
   return stats;
 }
 
-void print_header(const std::string& experiment, const std::string& paper_shape) {
-  std::printf("================================================================\n");
-  std::printf("%s\n", experiment.c_str());
-  std::printf("paper: %s\n", paper_shape.c_str());
-  std::printf("================================================================\n");
+void print_header(const std::string& experiment, const std::string& paper_shape,
+                  FILE* out) {
+  std::fprintf(out, "================================================================\n");
+  std::fprintf(out, "%s\n", experiment.c_str());
+  std::fprintf(out, "paper: %s\n", paper_shape.c_str());
+  std::fprintf(out, "================================================================\n");
 }
 
 }  // namespace unp::bench

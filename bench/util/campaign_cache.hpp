@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 
 #include "analysis/extraction.hpp"
@@ -113,6 +114,7 @@ StreamStats stream_campaign(const sim::CampaignConfig& config,
 
 /// Standard bench header: experiment id, paper reference, and the shape the
 /// paper reports (so every bench output is self-describing).
-void print_header(const std::string& experiment, const std::string& paper_shape);
+void print_header(const std::string& experiment, const std::string& paper_shape,
+                  FILE* out = stdout);
 
 }  // namespace unp::bench

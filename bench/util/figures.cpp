@@ -14,43 +14,43 @@
 namespace unp::bench {
 
 void print_headline(const analysis::HeadlineStats& stats,
-                    const analysis::ExtractionResult& extraction) {
+                    const analysis::ExtractionResult& extraction, FILE* out) {
   print_header(
       "Headline statistics (Section III-B)",
       ">25M raw logs; >98% from one removed node; >55k independent errors; "
       "4.2M node-hours; 12,135 TB-h; 923 nodes; node MTBF ~41h; cluster "
-      "error every ~10 min");
+      "error every ~10 min", out);
 
-  std::printf("monitored nodes                : %d\n", stats.monitored_nodes);
-  std::printf("raw ERROR logs                 : %llu\n",
+  std::fprintf(out, "monitored nodes                : %d\n", stats.monitored_nodes);
+  std::fprintf(out, "raw ERROR logs                 : %llu\n",
               static_cast<unsigned long long>(stats.raw_logs));
-  std::printf("removed (pathological) nodes   : %zu\n",
+  std::fprintf(out, "removed (pathological) nodes   : %zu\n",
               extraction.removed_nodes.size());
   for (const auto& n : extraction.removed_nodes) {
-    std::printf("  removed node                 : %s\n",
+    std::fprintf(out, "  removed node                 : %s\n",
                 cluster::node_name(n).c_str());
   }
-  std::printf("raw-log fraction removed       : %.2f%%\n",
+  std::fprintf(out, "raw-log fraction removed       : %.2f%%\n",
               100.0 * stats.removed_fraction);
-  std::printf("independent memory errors      : %llu\n",
+  std::fprintf(out, "independent memory errors      : %llu\n",
               static_cast<unsigned long long>(stats.independent_faults));
-  std::printf("monitored node-hours           : %.0f\n",
+  std::fprintf(out, "monitored node-hours           : %.0f\n",
               stats.monitored_node_hours);
-  std::printf("terabyte-hours scanned         : %.0f\n", stats.terabyte_hours);
-  std::printf("node MTBF (hours per error)    : %.1f\n", stats.node_mtbf_hours);
-  std::printf("cluster error interval (min)   : %.1f\n",
+  std::fprintf(out, "terabyte-hours scanned         : %.0f\n", stats.terabyte_hours);
+  std::fprintf(out, "node MTBF (hours per error)    : %.1f\n", stats.node_mtbf_hours);
+  std::fprintf(out, "cluster error interval (min)   : %.1f\n",
               stats.cluster_mtbe_minutes);
 }
 
-void print_fig01(const Grid2D& hours) {
+void print_fig01(const Grid2D& hours, FILE* out) {
   print_header(
       "Fig 1 - hours each node was scanned",
       "most nodes ~5000 h; login SoC-0 blank on first blades; SoC-12 column "
-      "starved; blade 33 truncated");
+      "starved; blade 33 truncated", out);
 
-  std::printf("rows = blades 0..%zu, cols = SoCs 0..%zu; max = %.0f h\n\n",
+  std::fprintf(out, "rows = blades 0..%zu, cols = SoCs 0..%zu; max = %.0f h\n\n",
               hours.rows() - 1, hours.cols() - 1, hours.max_value());
-  std::printf("%s\n", render_heatmap(hours).c_str());
+  std::fprintf(out, "%s\n", render_heatmap(hours).c_str());
 
   // Column means expose the SoC-12 starvation; a few reference columns.
   RunningStats all;
@@ -61,19 +61,19 @@ void print_fig01(const Grid2D& hours) {
       (s == 12 ? soc12 : all).add(hours.at(b, s));
     }
   }
-  std::printf("mean hours, SoCs != 12 : %.0f\n", all.mean());
-  std::printf("mean hours, SoC 12     : %.0f (overheating column)\n",
+  std::fprintf(out, "mean hours, SoCs != 12 : %.0f\n", all.mean());
+  std::fprintf(out, "mean hours, SoC 12     : %.0f (overheating column)\n",
               soc12.mean());
 }
 
-void print_fig02(const Grid2D& hours, const Grid2D& tbh) {
+void print_fig02(const Grid2D& hours, const Grid2D& tbh, FILE* out) {
   print_header(
       "Fig 2 - terabyte-hours scanned per node",
-      "mirrors Fig 1; most nodes ~15 TB-h; total 12,135 TB-h");
+      "mirrors Fig 1; most nodes ~15 TB-h; total 12,135 TB-h", out);
 
-  std::printf("rows = blades, cols = SoCs; max = %.1f TB-h; total = %.0f TB-h\n\n",
+  std::fprintf(out, "rows = blades, cols = SoCs; max = %.1f TB-h; total = %.0f TB-h\n\n",
               tbh.max_value(), tbh.sum());
-  std::printf("%s\n", render_heatmap(tbh).c_str());
+  std::fprintf(out, "%s\n", render_heatmap(tbh).c_str());
 
   // Correlation with Fig 1 across scanned nodes.
   std::vector<double> x, y;
@@ -87,21 +87,21 @@ void print_fig02(const Grid2D& hours, const Grid2D& tbh) {
     }
   }
   const PearsonResult corr = pearson(x, y);
-  std::printf("median TB-h per scanned node : %.1f\n",
+  std::fprintf(out, "median TB-h per scanned node : %.1f\n",
               median_of(std::span<const double>(y)));
-  std::printf("corr(hours, TB-h)            : r = %.3f (paper: strong)\n",
+  std::fprintf(out, "corr(hours, TB-h)            : r = %.3f (paper: strong)\n",
               corr.r);
 }
 
-void print_fig03(const Grid2D& errors) {
+void print_fig03(const Grid2D& errors, FILE* out) {
   print_header(
       "Fig 3 - independent memory errors per node (log scale)",
       "most nodes zero; single-error nodes dominate the faulty set; a few "
-      "nodes carry thousands");
+      "nodes carry thousands", out);
 
-  std::printf("rows = blades, cols = SoCs; max = %.0f errors (log ramp)\n\n",
+  std::fprintf(out, "rows = blades, cols = SoCs; max = %.0f errors (log ramp)\n\n",
               errors.max_value());
-  std::printf("%s\n", render_heatmap(errors, /*log_scale=*/true).c_str());
+  std::fprintf(out, "%s\n", render_heatmap(errors, /*log_scale=*/true).c_str());
 
   int zero = 0, one = 0, two_to_ten = 0, more = 0, thousands = 0;
   for (std::size_t b = 0; b < errors.rows(); ++b) {
@@ -120,20 +120,20 @@ void print_fig03(const Grid2D& errors) {
       }
     }
   }
-  std::printf("nodes with zero errors   : %d\n", zero);
-  std::printf("nodes with one error     : %d\n", one);
-  std::printf("nodes with 2-10 errors   : %d\n", two_to_ten);
-  std::printf("nodes with 11-999 errors : %d\n", more);
-  std::printf("nodes with >=1000 errors : %d\n", thousands);
+  std::fprintf(out, "nodes with zero errors   : %d\n", zero);
+  std::fprintf(out, "nodes with one error     : %d\n", one);
+  std::fprintf(out, "nodes with 2-10 errors   : %d\n", two_to_ten);
+  std::fprintf(out, "nodes with 11-999 errors : %d\n", more);
+  std::fprintf(out, "nodes with >=1000 errors : %d\n", thousands);
 }
 
 void print_tab1(const std::vector<analysis::MultibitPattern>& patterns,
                 const analysis::AdjacencyStats& adj,
-                const analysis::DirectionStats& dir) {
+                const analysis::DirectionStats& dir, FILE* out) {
   print_header(
       "Table I - multi-bit corruption census",
       "85 multi-bit (76 double, 9 wider, max 9 bits); repeats up to 36x; "
-      "mostly non-consecutive; mean bit distance ~3, max 11; ~90% 1->0");
+      "mostly non-consecutive; mean bit distance ~3, max 11; ~90% 1->0", out);
 
   TextTable table({"Bits", "Expected", "Corrupted", "Occurrences", "Consecutive"});
   std::uint64_t total = 0, doubles = 0, wider = 0;
@@ -147,39 +147,39 @@ void print_tab1(const std::vector<analysis::MultibitPattern>& patterns,
     if (p.bits > 2) wider += p.occurrences;
     max_bits = p.bits > max_bits ? p.bits : max_bits;
   }
-  std::printf("%s\n", table.render().c_str());
+  std::fprintf(out, "%s\n", table.render().c_str());
 
-  std::printf("multi-bit faults              : %llu (paper: 85)\n",
+  std::fprintf(out, "multi-bit faults              : %llu (paper: 85)\n",
               static_cast<unsigned long long>(total));
-  std::printf("  double-bit                  : %llu (paper: 76)\n",
+  std::fprintf(out, "  double-bit                  : %llu (paper: 76)\n",
               static_cast<unsigned long long>(doubles));
-  std::printf("  more than 2 bits            : %llu (paper: 9)\n",
+  std::fprintf(out, "  more than 2 bits            : %llu (paper: 9)\n",
               static_cast<unsigned long long>(wider));
-  std::printf("  widest corruption           : %d bits (paper: 9)\n", max_bits);
+  std::fprintf(out, "  widest corruption           : %d bits (paper: 9)\n", max_bits);
 
-  std::printf("non-adjacent / consecutive    : %llu / %llu (paper: majority "
+  std::fprintf(out, "non-adjacent / consecutive    : %llu / %llu (paper: majority "
               "non-adjacent)\n",
               static_cast<unsigned long long>(adj.non_adjacent),
               static_cast<unsigned long long>(adj.consecutive));
-  std::printf("mean distance between bits    : %.1f (paper: ~3)\n",
+  std::fprintf(out, "mean distance between bits    : %.1f (paper: ~3)\n",
               adj.mean_distance);
-  std::printf("max distance between bits     : %d (paper: 11)\n",
+  std::fprintf(out, "max distance between bits     : %d (paper: 11)\n",
               adj.max_distance);
-  std::printf("low-half-dominated faults     : %llu of %llu\n",
+  std::fprintf(out, "low-half-dominated faults     : %llu of %llu\n",
               static_cast<unsigned long long>(adj.low_half_majority),
               static_cast<unsigned long long>(adj.multibit_faults));
 
-  std::printf("bits flipped 1->0             : %.1f%% (paper: ~90%%)\n",
+  std::fprintf(out, "bits flipped 1->0             : %.1f%% (paper: ~90%%)\n",
               100.0 * dir.one_to_zero_fraction());
 }
 
 void print_fig04(const analysis::MultibitViewpoints& viewpoints,
-                 const analysis::CoOccurrence& co) {
+                 const analysis::CoOccurrence& co, FILE* out) {
   print_header(
       "Fig 4 - per-word vs per-node multi-bit accounting",
       "per-node multi-bit >> per-word multi-bit; per-node single-bit < "
       "per-word single-bit; >26,000 simultaneous corruptions; bursts up to "
-      "36 bits; 44 double+single, 2 triple+single, 1 double+double");
+      "36 bits; 44 double+single, 2 triple+single, 1 double+double", out);
 
   TextTable table({"Bits", "Per memory word", "Per node"});
   for (int bits = 1; bits <= analysis::MultibitViewpoints::kMaxBits; ++bits) {
@@ -187,7 +187,7 @@ void print_fig04(const analysis::MultibitViewpoints& viewpoints,
     table.add_row({std::to_string(bits), format_count(viewpoints.per_word[bits]),
                    format_count(viewpoints.per_node[bits])});
   }
-  std::printf("%s\n", table.render().c_str());
+  std::fprintf(out, "%s\n", table.render().c_str());
 
   std::uint64_t word_single = viewpoints.per_word[1];
   std::uint64_t node_single = viewpoints.per_node[1];
@@ -196,30 +196,30 @@ void print_fig04(const analysis::MultibitViewpoints& viewpoints,
     word_multi += viewpoints.per_word[bits];
     node_multi += viewpoints.per_node[bits];
   }
-  std::printf("single-bit  per word / per node : %s / %s\n",
+  std::fprintf(out, "single-bit  per word / per node : %s / %s\n",
               format_count(word_single).c_str(), format_count(node_single).c_str());
-  std::printf("multi-bit   per word / per node : %s / %s\n",
+  std::fprintf(out, "multi-bit   per word / per node : %s / %s\n",
               format_count(word_multi).c_str(), format_count(node_multi).c_str());
 
-  std::printf("\nsimultaneous corruptions        : %s (paper: >26,000)\n",
+  std::fprintf(out, "\nsimultaneous corruptions        : %s (paper: >26,000)\n",
               format_count(co.simultaneous_corruptions).c_str());
-  std::printf("multi-single-bit groups         : %s (paper: >99.9%% of them)\n",
+  std::fprintf(out, "multi-single-bit groups         : %s (paper: >99.9%% of them)\n",
               format_count(co.multi_single_groups).c_str());
-  std::printf("double + single co-occurrences  : %s (paper: 44)\n",
+  std::fprintf(out, "double + single co-occurrences  : %s (paper: 44)\n",
               format_count(co.double_plus_single).c_str());
-  std::printf("triple + single co-occurrences  : %s (paper: 2)\n",
+  std::fprintf(out, "triple + single co-occurrences  : %s (paper: 2)\n",
               format_count(co.triple_plus_single).c_str());
-  std::printf("multi + multi co-occurrences    : %s (paper: 1)\n",
+  std::fprintf(out, "multi + multi co-occurrences    : %s (paper: 1)\n",
               format_count(co.double_plus_double).c_str());
-  std::printf("widest burst                    : %s bits (paper: 36)\n",
+  std::fprintf(out, "widest burst                    : %s bits (paper: 36)\n",
               format_count(co.max_bits_one_instant).c_str());
 }
 
-void print_fig05(const analysis::HourOfDayProfile& profile) {
+void print_fig05(const analysis::HourOfDayProfile& profile, FILE* out) {
   print_header(
       "Fig 5 - errors per hour of day, by corrupted bits",
       "single-bit dominates every hour; overall distribution homogeneous "
-      "across the day");
+      "across the day", out);
 
   TextTable table({"Hour", "1", "2", "3", "4", "5", "6+", "Total"});
   for (int h = 0; h < 24; ++h) {
@@ -231,7 +231,7 @@ void print_fig05(const analysis::HourOfDayProfile& profile) {
     row.push_back(format_count(profile.total(h)));
     table.add_row(std::move(row));
   }
-  std::printf("%s\n", table.render().c_str());
+  std::fprintf(out, "%s\n", table.render().c_str());
 
   std::vector<BarEntry> bars;
   for (int h = 0; h < 24; ++h) {
@@ -239,7 +239,7 @@ void print_fig05(const analysis::HourOfDayProfile& profile) {
     std::snprintf(label, sizeof label, "%02dh", h);
     bars.push_back({label, static_cast<double>(profile.total(h))});
   }
-  std::printf("%s\n", render_bars(bars, 50).c_str());
+  std::fprintf(out, "%s\n", render_bars(bars, 50).c_str());
 
   // Homogeneity check: max/min hourly totals stay within a small factor.
   std::uint64_t lo = profile.total(0), hi = profile.total(0);
@@ -247,14 +247,14 @@ void print_fig05(const analysis::HourOfDayProfile& profile) {
     lo = std::min(lo, profile.total(h));
     hi = std::max(hi, profile.total(h));
   }
-  std::printf("hourly total spread (max/min) : %.2f (paper: homogeneous)\n",
+  std::fprintf(out, "hourly total spread (max/min) : %.2f (paper: homogeneous)\n",
               lo > 0 ? static_cast<double>(hi) / static_cast<double>(lo) : 0.0);
 }
 
-void print_fig06(const analysis::HourOfDayProfile& profile) {
+void print_fig06(const analysis::HourOfDayProfile& profile, FILE* out) {
   print_header(
       "Fig 6 - multi-bit errors per hour of day",
-      "bell shape peaking at noon; day (07-18h) ~2x night");
+      "bell shape peaking at noon; day (07-18h) ~2x night", out);
 
   std::vector<BarEntry> bars;
   for (int h = 0; h < 24; ++h) {
@@ -262,7 +262,7 @@ void print_fig06(const analysis::HourOfDayProfile& profile) {
     std::snprintf(label, sizeof label, "%02dh", h);
     bars.push_back({label, static_cast<double>(profile.multibit(h))});
   }
-  std::printf("%s\n", render_bars(bars, 50).c_str());
+  std::fprintf(out, "%s\n", render_bars(bars, 50).c_str());
 
   // With only ~85 events the raw histogram is noisy; locate the bell's top
   // with a 3-hour sliding window, as one would read the figure.
@@ -277,17 +277,17 @@ void print_fig06(const analysis::HourOfDayProfile& profile) {
       peak_hour = h;
     }
   }
-  std::printf("day/night multi-bit ratio : %.2f (paper: ~2)\n",
+  std::fprintf(out, "day/night multi-bit ratio : %.2f (paper: ~2)\n",
               profile.day_night_ratio_multibit());
-  std::printf("peak (3h window centre)   : %d:00 local (paper: noon)\n",
+  std::fprintf(out, "peak (3h window centre)   : %d:00 local (paper: noon)\n",
               peak_hour);
 }
 
-void print_fig07(const analysis::TemperatureProfile& profile) {
+void print_fig07(const analysis::TemperatureProfile& profile, FILE* out) {
   print_header(
       "Fig 7 - errors vs node temperature, by corrupted bits",
       "bulk at 30-40 degC; small >60 degC tail; no high-temperature "
-      "correlation");
+      "correlation", out);
 
   TextTable table({"Temp bin", "1", "2", "3", "4", "5", "6+"});
   for (std::size_t bin = 0; bin < analysis::TemperatureProfile::kBins; ++bin) {
@@ -303,7 +303,7 @@ void print_fig07(const analysis::TemperatureProfile& profile) {
     }
     if (row_total > 0) table.add_row(std::move(row));
   }
-  std::printf("%s\n", table.render().c_str());
+  std::fprintf(out, "%s\n", table.render().c_str());
 
   std::uint64_t in_band = 0, hot = 0, total = 0;
   for (int c = 0; c < analysis::kBitClasses; ++c) {
@@ -317,21 +317,21 @@ void print_fig07(const analysis::TemperatureProfile& profile) {
     total += h.underflow() + h.overflow();
     hot += h.overflow();
   }
-  std::printf("errors with a reading        : %s\n", format_count(total).c_str());
-  std::printf("errors without (pre-April)   : %s\n",
+  std::fprintf(out, "errors with a reading        : %s\n", format_count(total).c_str());
+  std::fprintf(out, "errors without (pre-April)   : %s\n",
               format_count(profile.without_reading).c_str());
-  std::printf("fraction in 30-40 degC       : %.1f%% (paper: most)\n",
+  std::fprintf(out, "fraction in 30-40 degC       : %.1f%% (paper: most)\n",
               total ? 100.0 * static_cast<double>(in_band) /
                           static_cast<double>(total)
                     : 0.0);
-  std::printf("errors above 60 degC         : %s (paper: small set)\n",
+  std::fprintf(out, "errors above 60 degC         : %s (paper: small set)\n",
               format_count(hot).c_str());
 }
 
-void print_fig08(const analysis::TemperatureProfile& profile) {
+void print_fig08(const analysis::TemperatureProfile& profile, FILE* out) {
   print_header(
       "Fig 8 - multi-bit errors vs node temperature",
-      "all multi-bit errors (with a reading) at nominal temperatures");
+      "all multi-bit errors (with a reading) at nominal temperatures", out);
 
   std::vector<BarEntry> bars;
   double hottest = 0.0;
@@ -348,19 +348,19 @@ void print_fig08(const analysis::TemperatureProfile& profile) {
     hottest = lo + 2.0;
     total += multibit;
   }
-  std::printf("%s\n", render_bars(bars, 50).c_str());
-  std::printf("multi-bit errors with a reading : %s\n",
+  std::fprintf(out, "%s\n", render_bars(bars, 50).c_str());
+  std::fprintf(out, "multi-bit errors with a reading : %s\n",
               format_count(total).c_str());
-  std::printf("hottest multi-bit observation   : <%.0f degC (paper: nominal "
+  std::fprintf(out, "hottest multi-bit observation   : <%.0f degC (paper: nominal "
               "range only)\n",
               hottest);
 }
 
 void print_fig09(std::span<const double> daily_tbh,
-                 const CampaignWindow& window) {
+                 const CampaignWindow& window, FILE* out) {
   print_header(
       "Fig 9 - terabyte-hours scanned per day",
-      "peaks in Aug/Sep/Dec (vacations), trough Apr-Jul (term time)");
+      "peaks in Aug/Sep/Dec (vacations), trough Apr-Jul (term time)", out);
 
   // Monthly aggregation for a readable shape; daily values summarized.
   struct Month {
@@ -387,7 +387,7 @@ void print_fig09(std::span<const double> daily_tbh,
     std::snprintf(label, sizeof label, "%04d-%02d", m.year, m.month);
     bars.push_back({label, m.tbh / m.days});
   }
-  std::printf("mean TB-h scanned per day, by month:\n%s\n",
+  std::fprintf(out, "mean TB-h scanned per day, by month:\n%s\n",
               render_bars(bars, 50).c_str());
 
   double summer = 0.0, term = 0.0;
@@ -401,18 +401,18 @@ void print_fig09(std::span<const double> daily_tbh,
       term_n += m.days;
     }
   }
-  std::printf("vacation vs term-time daily scan ratio : %.2f (paper: >1)\n",
+  std::fprintf(out, "vacation vs term-time daily scan ratio : %.2f (paper: >1)\n",
               (term_n && summer_n)
                   ? (summer / summer_n) / (term / term_n)
                   : 0.0);
 }
 
 void print_fig10(const analysis::DailyErrorSeries& series,
-                 const PearsonResult& corr, const CampaignWindow& window) {
+                 const PearsonResult& corr, const CampaignWindow& window, FILE* out) {
   print_header(
       "Fig 10 - errors per day (and scan-vs-error correlation)",
       "errors concentrate Sep-Dec; Pearson r ~ -0.18, p ~ 2e-4: scanning "
-      "volume does not drive error counts");
+      "volume does not drive error counts", out);
 
   // Monthly totals keep the printout readable.
   struct Month {
@@ -437,20 +437,20 @@ void print_fig10(const analysis::DailyErrorSeries& series,
     std::snprintf(label, sizeof label, "%04d-%02d", m.year, m.month);
     bars.push_back({label, static_cast<double>(m.errors)});
   }
-  std::printf("errors per month:\n%s\n", render_bars(bars, 50).c_str());
+  std::fprintf(out, "errors per month:\n%s\n", render_bars(bars, 50).c_str());
 
-  std::printf("Pearson(daily TB-h, daily errors) : r = %.5f (paper: -0.17966)\n",
+  std::fprintf(out, "Pearson(daily TB-h, daily errors) : r = %.5f (paper: -0.17966)\n",
               corr.r);
-  std::printf("p-value                           : %.4g (paper: 0.0002)\n",
+  std::fprintf(out, "p-value                           : %.4g (paper: 0.0002)\n",
               corr.p_value);
-  std::printf("n (days)                          : %zu\n", corr.n);
+  std::fprintf(out, "n (days)                          : %zu\n", corr.n);
 }
 
-void print_fig11(analysis::FaultView faults, const CampaignWindow& window) {
+void print_fig11(analysis::FaultView faults, const CampaignWindow& window, FILE* out) {
   print_header(
       "Fig 11 - multi-bit errors per day",
       "rare all year; November burst correlated with single-bit surge; two "
-      "same-day undetectable pairs (March, May), hours apart");
+      "same-day undetectable pairs (March, May), hours apart", out);
 
   TextTable table({"Date", "Multi-bit errors", "of which >3 bits"});
   std::map<std::int64_t, std::pair<int, int>> days;  // day -> (multibit, sdc)
@@ -475,10 +475,10 @@ void print_fig11(analysis::FaultView faults, const CampaignWindow& window) {
                    std::to_string(counts.second)});
     if (c.year == 2015 && c.month == 11) november += counts.first;
   }
-  std::printf("%s\n", table.render().c_str());
-  std::printf("days with any multi-bit error : %zu (paper: a few dozen)\n",
+  std::fprintf(out, "%s\n", table.render().c_str());
+  std::fprintf(out, "days with any multi-bit error : %zu (paper: a few dozen)\n",
               days.size());
-  std::printf("multi-bit errors in Nov 2015  : %d (paper: unusually high)\n",
+  std::fprintf(out, "multi-bit errors in Nov 2015  : %d (paper: unusually high)\n",
               november);
 
   for (const auto& [day, times] : sdc_times) {
@@ -487,7 +487,7 @@ void print_fig11(analysis::FaultView faults, const CampaignWindow& window) {
         static_cast<double>(times.back() - times.front()) / kSecondsPerHour;
     const CivilDateTime c =
         to_civil_utc(window.start + day * kSecondsPerDay);
-    std::printf("same-day undetectable pair    : %04d-%02d, %.1f h apart "
+    std::fprintf(out, "same-day undetectable pair    : %04d-%02d, %.1f h apart "
                 "(paper: March & May pairs, hours apart)\n",
                 c.year, c.month, hours_apart);
   }
@@ -495,11 +495,11 @@ void print_fig11(analysis::FaultView faults, const CampaignWindow& window) {
 
 void print_fig12(const analysis::TopNodeSeries& top,
                  const std::vector<analysis::NodePatternProfile>& profiles,
-                 const CampaignWindow& window) {
+                 const CampaignWindow& window, FILE* out) {
   print_header(
       "Fig 12 - errors per day: top-3 nodes vs the rest",
       "one degrading node >50k; two weak-bit nodes with one fixed bit each; "
-      "rest negligible; >99.9% of errors in <1% of nodes");
+      "rest negligible; >99.9% of errors in <1% of nodes", out);
 
   std::uint64_t total = top.rest_total;
   for (const auto t : top.node_totals) total += t;
@@ -522,17 +522,17 @@ void print_fig12(const analysis::TopNodeSeries& top,
                                   static_cast<double>(total),
                               2) + "%",
                  "-", "-", "-"});
-  std::printf("%s\n", table.render().c_str());
+  std::fprintf(out, "%s\n", table.render().c_str());
 
   // Peak daily rate of the loudest node and its monthly trajectory.
   if (!top.per_day.empty()) {
     std::uint64_t peak = 0;
     for (const auto v : top.per_day[0]) peak = std::max(peak, v);
-    std::printf("loudest node peak rate  : %s errors/day (paper: >1000 by "
+    std::fprintf(out, "loudest node peak rate  : %s errors/day (paper: >1000 by "
                 "November)\n",
                 format_count(peak).c_str());
 
-    std::printf("loudest node by month   :\n");
+    std::fprintf(out, "loudest node by month   :\n");
     std::vector<BarEntry> bars;
     std::uint64_t month_total = 0;
     int cur_month = -1, cur_year = 0;
@@ -551,25 +551,25 @@ void print_fig12(const analysis::TopNodeSeries& top,
       }
       month_total += top.per_day[0][d];
     }
-    std::printf("%s\n", render_bars(bars, 50).c_str());
+    std::fprintf(out, "%s\n", render_bars(bars, 50).c_str());
   }
 }
 
 void print_fig13(const analysis::AutoRegime& result,
-                 const CampaignWindow& window) {
+                 const CampaignWindow& window, FILE* out) {
   print_header(
       "Fig 13 - normal vs degraded days (Section III-I)",
       "77 degraded days (18.1%) vs 348 normal; MTBF 167 h normal vs 0.39 h "
-      "degraded; loudest (permanent) node excluded first");
+      "degraded; loudest (permanent) node excluded first", out);
 
   if (result.excluded) {
-    std::printf("excluded permanent-failure node : %s\n\n",
+    std::fprintf(out, "excluded permanent-failure node : %s\n\n",
                 cluster::node_name(*result.excluded).c_str());
   }
 
   // Calendar strip: one character per day ('.' normal, '#' degraded),
   // wrapped by month.
-  std::printf("campaign calendar (.=normal  #=degraded):\n");
+  std::fprintf(out, "campaign calendar (.=normal  #=degraded):\n");
   int cur_month = -1;
   std::string line;
   for (std::size_t d = 0; d < result.regime.degraded.size(); ++d) {
@@ -577,7 +577,7 @@ void print_fig13(const analysis::AutoRegime& result,
     if (t >= window.end) break;
     const CivilDateTime c = to_civil_utc(t);
     if (c.month != cur_month) {
-      if (!line.empty()) std::printf("%s\n", line.c_str());
+      if (!line.empty()) std::fprintf(out, "%s\n", line.c_str());
       char label[16];
       std::snprintf(label, sizeof label, "%04d-%02d ", c.year, c.month);
       line = label;
@@ -585,29 +585,29 @@ void print_fig13(const analysis::AutoRegime& result,
     }
     line += result.regime.degraded[d] ? '#' : '.';
   }
-  if (!line.empty()) std::printf("%s\n", line.c_str());
+  if (!line.empty()) std::fprintf(out, "%s\n", line.c_str());
 
   const analysis::RegimeResult& regime = result.regime;
-  std::printf("\nnormal days     : %llu\n",
+  std::fprintf(out, "\nnormal days     : %llu\n",
               static_cast<unsigned long long>(regime.normal_days));
-  std::printf("degraded days   : %llu (%.1f%%; paper: 77 = 18.1%%)\n",
+  std::fprintf(out, "degraded days   : %llu (%.1f%%; paper: 77 = 18.1%%)\n",
               static_cast<unsigned long long>(regime.degraded_days),
               100.0 * regime.degraded_fraction());
-  std::printf("normal errors   : %llu (paper: ~50)\n",
+  std::fprintf(out, "normal errors   : %llu (paper: ~50)\n",
               static_cast<unsigned long long>(regime.normal_errors));
-  std::printf("degraded errors : %llu (paper: ~5000)\n",
+  std::fprintf(out, "degraded errors : %llu (paper: ~5000)\n",
               static_cast<unsigned long long>(regime.degraded_errors));
-  std::printf("normal MTBF     : %.0f h (paper: 167 h)\n",
+  std::fprintf(out, "normal MTBF     : %.0f h (paper: 167 h)\n",
               regime.normal_mtbf_hours);
-  std::printf("degraded MTBF   : %.2f h (paper: 0.39 h)\n",
+  std::fprintf(out, "degraded MTBF   : %.2f h (paper: 0.39 h)\n",
               regime.degraded_mtbf_hours);
 }
 
-void print_tab2(const std::vector<resilience::QuarantineOutcome>& sweep) {
+void print_tab2(const std::vector<resilience::QuarantineOutcome>& sweep, FILE* out) {
   print_header(
       "Table II - quarantine sweep (Section IV)",
       "0d: 4779 errors / 2.1h MTBF ... 30d: 65 errors / 180 node-days / "
-      "156.9h MTBF; ~3 orders of magnitude for <0.1% availability");
+      "156.9h MTBF; ~3 orders of magnitude for <0.1% availability", out);
 
   TextTable table({"Quarantine (days)", "Errors", "Node-days in quarantine",
                    "System MTBF (h)", "Availability loss"});
@@ -618,23 +618,23 @@ void print_tab2(const std::vector<resilience::QuarantineOutcome>& sweep) {
                    format_fixed(row.system_mtbf_hours, 1),
                    format_fixed(100.0 * row.availability_loss, 3) + "%"});
   }
-  std::printf("%s\n", table.render().c_str());
+  std::fprintf(out, "%s\n", table.render().c_str());
 
   if (sweep.size() >= 2 && sweep.front().system_mtbf_hours > 0.0) {
     const double gain =
         sweep.back().system_mtbf_hours / sweep.front().system_mtbf_hours;
-    std::printf("MTBF gain 0d -> 30d : %.0fx (paper: ~75x, 'almost three "
+    std::fprintf(out, "MTBF gain 0d -> 30d : %.0fx (paper: ~75x, 'almost three "
                 "orders of magnitude' vs per-day rates)\n",
                 gain);
   }
 }
 
 void print_ext_temporal(const analysis::InterArrivalStats& observed,
-                        const analysis::InterArrivalStats& null_model) {
+                        const analysis::InterArrivalStats& null_model, FILE* out) {
   print_header(
       "Extension - inter-arrival structure of the error process",
       "cv >> 1 (Poisson would be 1): errors arrive in bursts separated by "
-      "long silences");
+      "long silences", out);
 
   TextTable table({"Quantity", "Campaign", "Poisson null"});
   auto fmt_s = [](double seconds) {
@@ -657,9 +657,9 @@ void print_ext_temporal(const analysis::InterArrivalStats& observed,
   table.add_row({"gaps <= 1 h",
                  format_fixed(100.0 * observed.within_hour, 1) + "%",
                  format_fixed(100.0 * null_model.within_hour, 1) + "%"});
-  std::printf("%s\n", table.render().c_str());
+  std::fprintf(out, "%s\n", table.render().c_str());
 
-  std::printf("(median gap of %s against a mean of %s: most errors chase a "
+  std::fprintf(out, "(median gap of %s against a mean of %s: most errors chase a "
               "predecessor within minutes while the mean is dragged out by "
               "week-long silences - the Section III-I clustering, in one "
               "number: cv %.1f vs Poisson 1.0)\n",
@@ -670,15 +670,15 @@ void print_ext_temporal(const analysis::InterArrivalStats& observed,
 void print_ext_markov(const std::vector<bool>& days,
                       const analysis::MarkovRegimeModel& model,
                       const analysis::SpellStats& stats,
-                      double empirical_degraded_fraction) {
+                      double empirical_degraded_fraction, FILE* out) {
   print_header(
       "Extension - Markov dynamics of the regime sequence (Fig 13)",
       "degraded spells last days, not weeks; the fitted chain reproduces "
-      "the empirical spell structure");
+      "the empirical spell structure", out);
 
-  std::printf("P(stay normal)        : %.3f\n", model.p_stay_normal);
-  std::printf("P(stay degraded)      : %.3f\n", model.p_stay_degraded);
-  std::printf("stationary degraded   : %.1f%% (empirical %.1f%%)\n",
+  std::fprintf(out, "P(stay normal)        : %.3f\n", model.p_stay_normal);
+  std::fprintf(out, "P(stay degraded)      : %.3f\n", model.p_stay_degraded);
+  std::fprintf(out, "stationary degraded   : %.1f%% (empirical %.1f%%)\n",
               100.0 * model.stationary_degraded(),
               100.0 * empirical_degraded_fraction);
 
@@ -692,7 +692,7 @@ void print_ext_markov(const std::vector<bool>& days,
   table.add_row({"degraded spells", "-", format_count(stats.degraded_spells)});
   table.add_row({"longest degraded spell", "-",
                  format_count(stats.longest_degraded_spell) + " days"});
-  std::printf("\n%s\n", table.render().c_str());
+  std::fprintf(out, "\n%s\n", table.render().c_str());
 
   // Generative check: synthetic campaigns from the fitted chain.
   RngStream rng(99);
@@ -704,21 +704,21 @@ void print_ext_markov(const std::vector<bool>& days,
     synthetic.add(100.0 * static_cast<double>(degraded) /
                   static_cast<double>(sim.size()));
   }
-  std::printf("synthetic campaigns   : degraded %.1f%% +/- %.1f%% "
+  std::fprintf(out, "synthetic campaigns   : degraded %.1f%% +/- %.1f%% "
               "(200 samples from the fitted chain)\n",
               synthetic.mean(), synthetic.stddev());
-  std::printf("\n(mean degraded spell ~%.0f days: once a node misbehaves, "
+  std::fprintf(out, "\n(mean degraded spell ~%.0f days: once a node misbehaves, "
               "expect days of trouble - the empirical footing for multi-day "
               "quarantine periods in Table II)\n",
               stats.mean_degraded_spell);
 }
 
 void print_ext_alignment(const analysis::AlignmentStats& stats,
-                         const analysis::LogicalSpread& spread) {
+                         const analysis::LogicalSpread& spread, FILE* out) {
   print_header(
       "Extension - physical alignment of simultaneous corruptions",
       "multi-word groups project onto shared rows; the controller's "
-      "interleaving scatters them across logical addresses");
+      "interleaving scatters them across logical addresses", out);
 
   TextTable table({"Geometry", "Groups", "Share"});
   auto add = [&](const char* name, std::uint64_t count) {
@@ -732,15 +732,15 @@ void print_ext_alignment(const analysis::AlignmentStats& stats,
   add("same bank, mixed row/col", stats.same_bank);
   add("scattered across banks", stats.scattered);
   add("contains a same-row pair", stats.with_aligned_pair);
-  std::printf("multi-word simultaneous groups: %s\n\n%s\n",
+  std::fprintf(out, "multi-word simultaneous groups: %s\n\n%s\n",
               format_count(stats.groups_examined).c_str(),
               table.render().c_str());
 
-  std::printf("mean logical span inside a group : %.1f MB\n",
+  std::fprintf(out, "mean logical span inside a group : %.1f MB\n",
               spread.mean_span_bytes / (1 << 20));
-  std::printf("max logical span inside a group  : %.1f MB\n",
+  std::fprintf(out, "max logical span inside a group  : %.1f MB\n",
               static_cast<double>(spread.max_span_bytes) / (1 << 20));
-  std::printf(
+  std::fprintf(out, 
       "\n(%.1f%% of groups are entirely one row; %.1f%% contain a same-row "
       "pair - random rows essentially never collide, so each pair marks a "
       "physically aligned burst.  The cells are close; their logical "

@@ -1,0 +1,69 @@
+// Shared parse + render path for store query requests.
+//
+// unp_query's CLI flags and unp_serve's request lines speak one predicate
+// and action vocabulary (--since/--until/--node/--blade/--soc/--class/
+// --min-bits/--max-bits selecting faults; --count, a bounded row listing,
+// or a report section rendering them).  Both front ends parse through this
+// translation unit — predicates via the validating store::QueryBuilder —
+// and render through the same code path, so a served response body is
+// byte-identical to unp_query's stdout by construction, and an invalid
+// request fails closed with a store::QueryError naming the field before
+// any scan starts.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/query_builder.hpp"
+#include "store/reader.hpp"
+#include "util/report_sections.hpp"
+
+namespace unp::bench {
+
+/// One parsed query/report request against an open store.
+struct QueryRequest {
+  store::Query query;
+  bool count_only = false;
+  std::size_t limit = 20;  ///< row-listing bound; 0 = unbounded
+  bool no_prune = false;
+  bool want[kSectionCount] = {};
+  bool any_section = false;
+  /// A predicate or an action was given (unp_query's --build uses this to
+  /// decide whether a query rides along).
+  bool any_query_action = false;
+};
+
+/// True when `flag` ("--since", "--count", ...) belongs to the shared
+/// request vocabulary; `*needs_value` reports whether one value token
+/// follows it.
+[[nodiscard]] bool is_request_flag(std::string_view flag, bool* needs_value);
+
+/// Parse "--flag [value]" tokens into a validated request.  Throws
+/// store::QueryError naming the offending field on unknown flags, missing
+/// values, and out-of-range input alike — callers never see a partial
+/// request.
+[[nodiscard]] QueryRequest parse_request(
+    const std::vector<std::string>& tokens);
+
+/// Whitespace-tokenizing wrapper for wire request lines.
+[[nodiscard]] QueryRequest parse_request_line(const std::string& line);
+
+/// The default action: a bounded, human-readable row listing.
+void print_query_rows(const std::vector<analysis::FaultRecord>& faults,
+                      std::size_t limit, FILE* out);
+
+/// Execute `req` against the reader and print the response to `out` exactly
+/// as unp_query prints to stdout.  `req.no_prune` overrides options.prune;
+/// options.pool fans the scan (and the section replay) out when non-null.
+void render_request(const store::StoreReader& reader, const QueryRequest& req,
+                    const store::ScanOptions& options, FILE* out,
+                    store::ScanStats* stats = nullptr);
+
+/// render_request into a heap string via open_memstream (the serve path).
+[[nodiscard]] std::string render_request_to_string(
+    const store::StoreReader& reader, const QueryRequest& req,
+    const store::ScanOptions& options);
+
+}  // namespace unp::bench

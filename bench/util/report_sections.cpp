@@ -29,52 +29,53 @@ ReportAnalyzers::ReportAnalyzers(const bool (&wanted)[kSectionCount])
   add_sink(want(kExtAlignment), "alignment", &alignment_);
 }
 
-void ReportAnalyzers::render(const ReportInputs& in) {
+void ReportAnalyzers::render(const ReportInputs& in, FILE* out) {
   if (want(kHeadline)) {
     print_headline(
         analysis::headline_stats(in.total_hours, in.total_terabyte_hours,
                                  in.monitored_nodes, in.window, *in.extraction),
-        *in.extraction);
+        *in.extraction, out);
   }
-  if (want(kFig01)) print_fig01(*in.hours);
-  if (want(kFig02)) print_fig02(*in.hours, *in.terabyte_hours);
-  if (want(kFig03)) print_fig03(errors_grid_.grid());
+  if (want(kFig01)) print_fig01(*in.hours, out);
+  if (want(kFig02)) print_fig02(*in.hours, *in.terabyte_hours, out);
+  if (want(kFig03)) print_fig03(errors_grid_.grid(), out);
   if (want(kTab1))
-    print_tab1(patterns_.patterns(), adjacency_.stats(), direction_.stats());
+    print_tab1(patterns_.patterns(), adjacency_.stats(), direction_.stats(), out);
   if (want(kFig04)) {
-    print_fig04(grouping_.viewpoints(), grouping_.co_occurrence());
+    print_fig04(grouping_.viewpoints(), grouping_.co_occurrence(), out);
   }
-  if (want(kFig05)) print_fig05(hourly_.profile());
-  if (want(kFig06)) print_fig06(hourly_.profile());
-  if (want(kFig07)) print_fig07(temperature_.profile());
-  if (want(kFig08)) print_fig08(temperature_.profile());
-  if (want(kFig09)) print_fig09(in.daily_terabyte_hours, in.window);
+  if (want(kFig05)) print_fig05(hourly_.profile(), out);
+  if (want(kFig06)) print_fig06(hourly_.profile(), out);
+  if (want(kFig07)) print_fig07(temperature_.profile(), out);
+  if (want(kFig08)) print_fig08(temperature_.profile(), out);
+  if (want(kFig09)) print_fig09(in.daily_terabyte_hours, in.window, out);
   if (want(kFig10)) {
     print_fig10(daily_.series(),
                 analysis::scan_error_correlation(in.daily_terabyte_hours,
                                                  daily_.series()),
-                in.window);
+                in.window, out);
   }
-  if (want(kFig11)) print_fig11(in.extraction->faults, in.window);
+  if (want(kFig11)) print_fig11(in.extraction->faults, in.window, out);
   if (want(kFig12)) {
     std::vector<analysis::NodePatternProfile> profiles;
     for (const auto& node : top_nodes_.series().nodes)
       profiles.push_back(node_patterns_.profile(node));
-    print_fig12(top_nodes_.series(), profiles, in.window);
+    print_fig12(top_nodes_.series(), profiles, in.window, out);
   }
-  if (want(kFig13)) print_fig13(regime_.result(), in.window);
+  if (want(kFig13)) print_fig13(regime_.result(), in.window, out);
   if (want(kExtTemporal)) {
     print_ext_temporal(
         interarrival_.stats(),
         analysis::poisson_reference(interarrival_.stats().gaps + 1,
-                                    in.window.duration_seconds(), 17));
+                                    in.window.duration_seconds(), 17),
+        out);
   }
   if (want(kExtMarkov)) {
     print_ext_markov(dynamics_.days(), dynamics_.model(), dynamics_.spells(),
-                     dynamics_.regime().regime.degraded_fraction());
+                     dynamics_.regime().regime.degraded_fraction(), out);
   }
   if (want(kExtAlignment))
-    print_ext_alignment(alignment_.stats(), alignment_.spread());
+    print_ext_alignment(alignment_.stats(), alignment_.spread(), out);
 }
 
 }  // namespace unp::bench

@@ -9,6 +9,7 @@
 // bench::print_* functions.
 #pragma once
 
+#include <cstdio>
 #include <span>
 #include <vector>
 
@@ -84,9 +85,10 @@ class ReportAnalyzers {
     return labels_;
   }
 
-  /// Print the wanted sections to stdout in canonical order.  Non-const:
-  /// some analyzer accessors finalize lazily on first read.
-  void render(const ReportInputs& in);
+  /// Print the wanted sections to `out` (stdout by default) in canonical
+  /// order.  Non-const: some analyzer accessors finalize lazily on first
+  /// read.
+  void render(const ReportInputs& in, FILE* out = stdout);
 
  private:
   [[nodiscard]] bool want(Section s) const noexcept { return want_[s]; }

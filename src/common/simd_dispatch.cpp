@@ -1,0 +1,106 @@
+#include "common/simd_dispatch.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace unp::simd {
+
+const char* to_string(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kSse2: return "sse2";
+    case Isa::kAvx2: return "avx2";
+    case Isa::kNeon: return "neon";
+  }
+  return "?";
+}
+
+bool is_supported(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kSse2:
+#if defined(__x86_64__) || defined(_M_X64)
+      return true;  // x86-64 baseline
+#else
+      return false;
+#endif
+    case Isa::kAvx2:
+#if (defined(__x86_64__) || defined(_M_X64)) && defined(__GNUC__)
+      // The AVX2 translation units are compiled with -mavx2 -mbmi2 (the
+      // store's varint decoder uses pext), so selection requires both.
+      // Every AVX2-capable CPU generation also has BMI2; a machine missing
+      // it falls back to SSE2.
+      return __builtin_cpu_supports("avx2") != 0 &&
+             __builtin_cpu_supports("bmi2") != 0;
+#else
+      return false;
+#endif
+    case Isa::kNeon:
+#if defined(__aarch64__)
+      return true;  // Advanced SIMD is architectural on AArch64
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Isa best_supported_isa() noexcept {
+  if (is_supported(Isa::kAvx2)) return Isa::kAvx2;
+  if (is_supported(Isa::kSse2)) return Isa::kSse2;
+  if (is_supported(Isa::kNeon)) return Isa::kNeon;
+  return Isa::kScalar;
+}
+
+std::vector<Isa> supported_isas() {
+  std::vector<Isa> out;
+  for (const Isa isa : {Isa::kScalar, Isa::kSse2, Isa::kAvx2, Isa::kNeon}) {
+    if (is_supported(isa)) out.push_back(isa);
+  }
+  return out;
+}
+
+bool parse_isa(std::string_view name, Isa& out) noexcept {
+  if (name == "scalar") { out = Isa::kScalar; return true; }
+  if (name == "sse2") { out = Isa::kSse2; return true; }
+  if (name == "avx2") { out = Isa::kAvx2; return true; }
+  if (name == "neon") { out = Isa::kNeon; return true; }
+  return false;
+}
+
+Isa resolve_isa(const char* env_value, std::string* warning) {
+  const Isa best = best_supported_isa();
+  if (env_value == nullptr || *env_value == '\0') return best;
+  Isa requested = best;
+  if (!parse_isa(env_value, requested)) {
+    if (warning != nullptr) {
+      *warning = std::string("UNP_KERNEL=") + env_value +
+                 " not recognised (scalar|sse2|avx2|neon); using " +
+                 to_string(best);
+    }
+    return best;
+  }
+  if (!is_supported(requested)) {
+    if (warning != nullptr) {
+      *warning = std::string("UNP_KERNEL=") + env_value +
+                 " not supported on this CPU; using " + to_string(best);
+    }
+    return best;
+  }
+  return requested;
+}
+
+Isa active_isa() {
+  static const Isa active = [] {
+    std::string warning;
+    const Isa isa = resolve_isa(std::getenv("UNP_KERNEL"), &warning);
+    if (!warning.empty()) {
+      std::fprintf(stderr, "warning: %s\n", warning.c_str());
+    }
+    return isa;
+  }();
+  return active;
+}
+
+}  // namespace unp::simd

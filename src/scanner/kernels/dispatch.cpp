@@ -1,15 +1,10 @@
-// Runtime CPU dispatch: which kernel set actually runs.
+// Runtime CPU dispatch: which scanner kernel set actually runs.
 //
-// Resolution happens once per process, on first use of active_kernels():
-//   1. UNP_KERNEL=scalar|sse2|avx2|neon forces a path (testing / CI); an
-//      unrecognised or unsupported request warns on stderr and falls back;
-//   2. otherwise the best ISA the CPU reports via cpuid (x86-64) is chosen.
-//      SSE2 is part of the x86-64 baseline and Advanced SIMD is
-//      architectural on AArch64, so only AVX2 needs a runtime probe.
+// ISA detection and the UNP_KERNEL override live in the shared dispatch
+// home (common/simd_dispatch), so the scanner and the store's column-decode
+// kernels latch the same process-wide decision.  This file only maps the
+// resolved ISA onto the scanner's kernel table.
 #include "scanner/kernels/kernel_table.hpp"
-
-#include <cstdio>
-#include <cstdlib>
 
 #include "common/require.hpp"
 
@@ -18,42 +13,6 @@
 #endif
 
 namespace unp::scanner::kernels {
-
-const char* to_string(Isa isa) noexcept {
-  switch (isa) {
-    case Isa::kScalar: return "scalar";
-    case Isa::kSse2: return "sse2";
-    case Isa::kAvx2: return "avx2";
-    case Isa::kNeon: return "neon";
-  }
-  return "?";
-}
-
-bool is_supported(Isa isa) noexcept {
-  switch (isa) {
-    case Isa::kScalar:
-      return true;
-    case Isa::kSse2:
-#if defined(__x86_64__) || defined(_M_X64)
-      return true;  // x86-64 baseline
-#else
-      return false;
-#endif
-    case Isa::kAvx2:
-#if (defined(__x86_64__) || defined(_M_X64)) && defined(__GNUC__)
-      return __builtin_cpu_supports("avx2") != 0;
-#else
-      return false;
-#endif
-    case Isa::kNeon:
-#if defined(__aarch64__)
-      return true;  // Advanced SIMD is architectural on AArch64
-#else
-      return false;
-#endif
-  }
-  return false;
-}
 
 const Kernels& kernels_for(Isa isa) {
   UNP_REQUIRE(is_supported(isa));
@@ -75,61 +34,8 @@ const Kernels& kernels_for(Isa isa) {
   }
 }
 
-Isa best_supported_isa() noexcept {
-  if (is_supported(Isa::kAvx2)) return Isa::kAvx2;
-  if (is_supported(Isa::kSse2)) return Isa::kSse2;
-  if (is_supported(Isa::kNeon)) return Isa::kNeon;
-  return Isa::kScalar;
-}
-
-std::vector<Isa> supported_isas() {
-  std::vector<Isa> out;
-  for (const Isa isa :
-       {Isa::kScalar, Isa::kSse2, Isa::kAvx2, Isa::kNeon}) {
-    if (is_supported(isa)) out.push_back(isa);
-  }
-  return out;
-}
-
-bool parse_isa(std::string_view name, Isa& out) noexcept {
-  if (name == "scalar") { out = Isa::kScalar; return true; }
-  if (name == "sse2") { out = Isa::kSse2; return true; }
-  if (name == "avx2") { out = Isa::kAvx2; return true; }
-  if (name == "neon") { out = Isa::kNeon; return true; }
-  return false;
-}
-
-Isa resolve_isa(const char* env_value, std::string* warning) {
-  const Isa best = best_supported_isa();
-  if (env_value == nullptr || *env_value == '\0') return best;
-  Isa requested = best;
-  if (!parse_isa(env_value, requested)) {
-    if (warning != nullptr) {
-      *warning = std::string("UNP_KERNEL=") + env_value +
-                 " not recognised (scalar|sse2|avx2|neon); using " +
-                 to_string(best);
-    }
-    return best;
-  }
-  if (!is_supported(requested)) {
-    if (warning != nullptr) {
-      *warning = std::string("UNP_KERNEL=") + env_value +
-                 " not supported on this CPU; using " + to_string(best);
-    }
-    return best;
-  }
-  return requested;
-}
-
 const Kernels& active_kernels() {
-  static const Kernels& active = []() -> const Kernels& {
-    std::string warning;
-    const Isa isa = resolve_isa(std::getenv("UNP_KERNEL"), &warning);
-    if (!warning.empty()) {
-      std::fprintf(stderr, "warning: %s\n", warning.c_str());
-    }
-    return kernels_for(isa);
-  }();
+  static const Kernels& active = kernels_for(simd::active_isa());
   return active;
 }
 

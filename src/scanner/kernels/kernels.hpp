@@ -32,14 +32,18 @@
 #include <vector>
 
 #include "common/bitops.hpp"
+#include "common/simd_dispatch.hpp"
 #include "scanner/kernels/interval_set.hpp"
 
 namespace unp::scanner::kernels {
 
-/// Instruction-set architectures a kernel set can be built for.
-enum class Isa : std::uint8_t { kScalar, kSse2, kAvx2, kNeon };
+/// Instruction-set architectures a kernel set can be built for.  Detection
+/// and the UNP_KERNEL override live in the shared dispatch home
+/// (common/simd_dispatch) so the store's column-decode kernels resolve the
+/// same ISA; the aliases below keep this header the scanner-facing API.
+using Isa = simd::Isa;
 
-[[nodiscard]] const char* to_string(Isa isa) noexcept;
+using simd::to_string;
 
 /// One mismatching word: absolute word index and the value actually stored.
 struct Hit {
@@ -69,27 +73,14 @@ struct Kernels {
   VerifyFn verify_and_write = nullptr;
 };
 
-/// True when this CPU can execute `isa`'s kernels.
-[[nodiscard]] bool is_supported(Isa isa) noexcept;
+using simd::best_supported_isa;
+using simd::is_supported;
+using simd::parse_isa;
+using simd::resolve_isa;
+using simd::supported_isas;
 
 /// Kernel set for `isa`; requires is_supported(isa).
 [[nodiscard]] const Kernels& kernels_for(Isa isa);
-
-/// Fastest ISA this CPU supports (avx2 > sse2 > scalar on x86-64,
-/// neon > scalar on AArch64, scalar elsewhere).
-[[nodiscard]] Isa best_supported_isa() noexcept;
-
-/// Every ISA this CPU supports, scalar first (test iteration order).
-[[nodiscard]] std::vector<Isa> supported_isas();
-
-/// Parse an UNP_KERNEL value ("scalar", "sse2", "avx2", "neon").
-/// Returns true and sets `out` on success.
-[[nodiscard]] bool parse_isa(std::string_view name, Isa& out) noexcept;
-
-/// Dispatch decision given an UNP_KERNEL value (nullptr = unset): the
-/// requested ISA when recognised and supported, else best_supported_isa().
-/// On fallback, `warning` (if non-null) receives a one-line explanation.
-[[nodiscard]] Isa resolve_isa(const char* env_value, std::string* warning);
 
 /// The process-wide kernel set: resolved once from cpuid/HWCAP and the
 /// UNP_KERNEL override on first use (a fallback warning goes to stderr).

@@ -1,0 +1,64 @@
+#include "serve/result_cache.hpp"
+
+#include <utility>
+
+namespace unp::serve {
+
+std::string ResultCache::make_key(std::uint64_t generation,
+                                  const std::string& request) {
+  // '\n' cannot appear inside a request line, so the composition is
+  // injective.
+  return std::to_string(generation) + "\n" + request;
+}
+
+std::optional<std::string> ResultCache::get(std::uint64_t generation,
+                                            const std::string& request) {
+  const std::string key = make_key(generation, request);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->response;
+}
+
+void ResultCache::put(std::uint64_t generation, const std::string& request,
+                      std::string response) {
+  if (capacity_ == 0) return;
+  const std::string key = make_key(generation, request);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {  // racing renders of one request: keep newest
+    it->second->response = std::move(response);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{generation, key, std::move(response)});
+  index_.emplace(key, lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+void ResultCache::invalidate(std::uint64_t current) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->generation != current) {
+      index_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+ResultCache::Counters ResultCache::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Counters{hits_, misses_, lru_.size()};
+}
+
+}  // namespace unp::serve

@@ -1,0 +1,69 @@
+// ResultCache: memoized query responses for the serve layer.
+//
+// The figure/predicate workload is heavily repetitive — dashboards and CI
+// replay the same request lines against a store that changes rarely — so
+// the server memoizes fully rendered response bodies.  Keys pair the exact
+// request line with the store *generation*: a monotonically increasing
+// counter the server bumps on every store swap.  A hit is therefore
+// byte-identical to a fresh render by construction (same store bytes, same
+// deterministic renderer), and a swap can never serve stale bytes — the new
+// generation misses, and invalidate() reclaims the dead entries eagerly.
+//
+// Bounded LRU, single mutex: eviction decisions and the hit/miss counters
+// are cheap next to rendering, which happens outside the lock.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace unp::serve {
+
+class ResultCache {
+ public:
+  /// `capacity` = max cached responses (0 disables caching entirely).
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// The cached response for (generation, request), refreshing its LRU
+  /// position; nullopt on miss.
+  [[nodiscard]] std::optional<std::string> get(std::uint64_t generation,
+                                               const std::string& request);
+
+  /// Memoize a rendered response (no-op when capacity is 0; evicts the
+  /// least-recently-used entry when full).
+  void put(std::uint64_t generation, const std::string& request,
+           std::string response);
+
+  /// Drop every entry of a generation other than `current` (called after a
+  /// store swap; correctness never depends on it, memory reclamation does).
+  void invalidate(std::uint64_t current);
+
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+  };
+  [[nodiscard]] Counters counters() const;
+
+ private:
+  struct Entry {
+    std::uint64_t generation = 0;
+    std::string key;  ///< composed generation + request key
+    std::string response;
+  };
+
+  static std::string make_key(std::uint64_t generation,
+                              const std::string& request);
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace unp::serve

@@ -47,12 +47,29 @@ void append_column(std::string& out, const std::string& body) {
 
 /// Bounds of the next length-prefixed column at `pos`; advances `pos` past
 /// the length prefix and returns the end of the column body.
-std::size_t column_end(const std::string& in, std::size_t& pos,
+std::size_t column_end(std::string_view in, std::size_t& pos,
                        std::size_t segment_end) {
   const std::uint64_t len = get_varint(in, pos);
   if (pos + len > segment_end)
     throw DecodeError("column overruns its segment", pos);
   return pos + static_cast<std::size_t>(len);
+}
+
+/// Bounds-checked unpack through a kernel set: validates that the packed
+/// block fits [pos, end) (same DecodeError as always), then hands the
+/// in-bounds bytes to the kernel.
+void unpack_bits_checked(std::string_view in, std::size_t pos, std::size_t end,
+                         std::size_t count, int width,
+                         std::vector<std::uint64_t>& out,
+                         const kernels::StoreKernels& k) {
+  UNP_REQUIRE(width >= 0 && width <= 64);
+  out.assign(count, 0);
+  if (width == 0) return;
+  const std::size_t need = (count * static_cast<std::size_t>(width) + 7) / 8;
+  if (end > in.size() || pos + need > end)
+    throw DecodeError("bit-packed column truncated", pos);
+  k.unpack_bits(reinterpret_cast<const unsigned char*>(in.data()) + pos,
+                count, width, out.data());
 }
 
 }  // namespace
@@ -95,32 +112,10 @@ void pack_bits(std::string& out, std::span<const std::uint64_t> values,
   }
 }
 
-void unpack_bits(const std::string& in, std::size_t pos, std::size_t end,
+void unpack_bits(std::string_view in, std::size_t pos, std::size_t end,
                  std::size_t count, int width, std::vector<std::uint64_t>& out) {
-  UNP_REQUIRE(width >= 0 && width <= 64);
-  out.assign(count, 0);
-  if (width == 0) return;
-  const std::size_t need = (count * static_cast<std::size_t>(width) + 7) / 8;
-  if (end > in.size() || pos + need > end)
-    throw DecodeError("bit-packed column truncated", pos);
-  std::size_t bitpos = 0;
-  for (std::size_t i = 0; i < count; ++i) {
-    std::uint64_t v = 0;
-    int got = 0;
-    while (got < width) {
-      const std::size_t byte = pos + (bitpos >> 3);
-      const int bit = static_cast<int>(bitpos & 7);
-      const int take = std::min(8 - bit, width - got);
-      const std::uint64_t group =
-          (static_cast<std::uint64_t>(static_cast<unsigned char>(in[byte])) >>
-           bit) &
-          ((std::uint64_t{1} << take) - 1);
-      v |= group << got;
-      got += take;
-      bitpos += static_cast<std::size_t>(take);
-    }
-    out[i] = v;
-  }
+  unpack_bits_checked(in, pos, end, count, width, out,
+                      kernels::active_store_kernels());
 }
 
 std::string encode_segment(std::span<const analysis::FaultRecord> rows,
@@ -245,9 +240,9 @@ std::string encode_segment(std::span<const analysis::FaultRecord> rows,
   return out;
 }
 
-void decode_segment(const std::string& bytes, std::size_t pos,
+void decode_segment(std::string_view bytes, std::size_t pos,
                     const SegmentZone& zone, std::uint32_t columns,
-                    SegmentColumns& out) {
+                    SegmentColumns& out, const kernels::StoreKernels& k) {
   const std::size_t segment_end = pos + static_cast<std::size_t>(zone.size);
   if (segment_end > bytes.size())
     throw DecodeError("segment overruns the file", pos);
@@ -280,7 +275,8 @@ void decode_segment(const std::string& bytes, std::size_t pos,
             throw DecodeError("node dictionary entry out of range", pos);
           dict.push_back(static_cast<std::uint32_t>(value));
         }
-        unpack_bits(bytes, pos, end, n, index_width(dict.size()), scratch);
+        unpack_bits_checked(bytes, pos, end, n, index_width(dict.size()),
+                            scratch, k);
         out.node_index.reserve(n);
         for (const std::uint64_t index : scratch) {
           if (index >= dict.size())
@@ -290,53 +286,52 @@ void decode_segment(const std::string& bytes, std::size_t pos,
         break;
       }
       case kStoredFirstSeen: {
-        out.first_seen.reserve(n);
-        TimePoint previous = 0;
-        for (std::size_t i = 0; i < n; ++i) {
-          previous += zigzag_decode(get_varint(bytes, pos));
-          out.first_seen.push_back(previous);
-        }
+        // Fused varint+zigzag+prefix kernel, straight into the column
+        // (u64 view of the i64 storage: same bits, no scratch pass).
+        out.first_seen.resize(n);
+        k.decode_zigzag_deltas(
+            bytes, pos, n, 0,
+            reinterpret_cast<std::uint64_t*>(out.first_seen.data()));
         break;
       }
       case kStoredLastSeen: {
         // Decoded as offsets here; the reader adds first_seen (which it
         // always materializes alongside when this column is requested).
-        out.last_seen.reserve(n);
+        scratch.resize(n);
+        k.decode_varints(bytes, pos, n, scratch.data());
+        out.last_seen.resize(n);
         for (std::size_t i = 0; i < n; ++i)
-          out.last_seen.push_back(
-              static_cast<TimePoint>(get_varint(bytes, pos)));
+          out.last_seen[i] = static_cast<TimePoint>(scratch[i]);
         break;
       }
       case kStoredRawLogs: {
-        out.raw_logs.reserve(n);
-        for (std::size_t i = 0; i < n; ++i)
-          out.raw_logs.push_back(get_varint(bytes, pos));
+        out.raw_logs.resize(n);
+        k.decode_varints(bytes, pos, n, out.raw_logs.data());
         break;
       }
       case kStoredAddress: {
-        out.address.reserve(n);
-        std::uint64_t previous = 0;
-        for (std::size_t i = 0; i < n; ++i) {
-          previous += static_cast<std::uint64_t>(
-              zigzag_decode(get_varint(bytes, pos)));
-          out.address.push_back(previous);
-        }
+        out.address.resize(n);
+        k.decode_zigzag_deltas(bytes, pos, n, 0, out.address.data());
         break;
       }
       case kStoredExpected: {
-        out.expected.reserve(n);
+        scratch.resize(n);
+        k.decode_varints(bytes, pos, n, scratch.data());
+        out.expected.resize(n);
         for (std::size_t i = 0; i < n; ++i)
-          out.expected.push_back(static_cast<Word>(get_varint(bytes, pos)));
+          out.expected[i] = static_cast<Word>(scratch[i]);
         break;
       }
       case kStoredActual: {
-        out.actual.reserve(n);
+        scratch.resize(n);
+        k.decode_varints(bytes, pos, n, scratch.data());
+        out.actual.resize(n);
         for (std::size_t i = 0; i < n; ++i)
-          out.actual.push_back(static_cast<Word>(get_varint(bytes, pos)));
+          out.actual[i] = static_cast<Word>(scratch[i]);
         break;
       }
       case kStoredTemperature: {
-        unpack_bits(bytes, pos, end, n, 1, scratch);
+        unpack_bits_checked(bytes, pos, end, n, 1, scratch, k);
         std::size_t f64_pos = pos + (n + 7) / 8;
         out.temperature.reserve(n);
         for (const std::uint64_t present : scratch) {
@@ -349,7 +344,7 @@ void decode_segment(const std::string& bytes, std::size_t pos,
         break;
       }
       case kStoredClass: {
-        unpack_bits(bytes, pos, end, n, 2, scratch);
+        unpack_bits_checked(bytes, pos, end, n, 2, scratch, k);
         out.fault_class.assign(scratch.begin(), scratch.end());
         break;
       }
@@ -360,6 +355,13 @@ void decode_segment(const std::string& bytes, std::size_t pos,
   }
   if (pos != segment_end)
     throw DecodeError("trailing bytes inside segment", pos);
+}
+
+void decode_segment(std::string_view bytes, std::size_t pos,
+                    const SegmentZone& zone, std::uint32_t columns,
+                    SegmentColumns& out) {
+  decode_segment(bytes, pos, zone, columns, out,
+                 kernels::active_store_kernels());
 }
 
 void encode_zone(std::string& out, const SegmentZone& zone) {
@@ -376,7 +378,7 @@ void encode_zone(std::string& out, const SegmentZone& zone) {
   out.push_back(static_cast<char>(zone.bits_max));
 }
 
-SegmentZone decode_zone(const std::string& in, std::size_t& pos) {
+SegmentZone decode_zone(std::string_view in, std::size_t& pos) {
   SegmentZone zone;
   zone.offset = get_varint(in, pos);
   zone.size = get_varint(in, pos);
@@ -405,7 +407,7 @@ void encode_grid(std::string& out, const Grid2D& grid) {
     for (std::size_t c = 0; c < grid.cols(); ++c) put_f64(out, grid.at(r, c));
 }
 
-Grid2D decode_grid(const std::string& in, std::size_t& pos) {
+Grid2D decode_grid(std::string_view in, std::size_t& pos) {
   const std::uint64_t rows = get_varint(in, pos);
   const std::uint64_t cols = get_varint(in, pos);
   if (rows == 0 || cols == 0 || rows > 4096 || cols > 4096)
@@ -428,7 +430,7 @@ void encode_scan_profile(std::string& out, const StoredScanProfile& profile) {
   put_f64(out, profile.total_terabyte_hours);
 }
 
-StoredScanProfile decode_scan_profile(const std::string& in, std::size_t& pos) {
+StoredScanProfile decode_scan_profile(std::string_view in, std::size_t& pos) {
   StoredScanProfile profile;
   profile.monitored_nodes = static_cast<int>(get_varint(in, pos));
   profile.hours = decode_grid(in, pos);
@@ -452,7 +454,7 @@ void encode_extraction_meta(std::string& out, const StoredExtractionMeta& meta) 
   put_varint(out, meta.removed_raw_logs);
 }
 
-StoredExtractionMeta decode_extraction_meta(const std::string& in,
+StoredExtractionMeta decode_extraction_meta(std::string_view in,
                                             std::size_t& pos) {
   StoredExtractionMeta meta;
   const std::uint64_t removed = get_varint(in, pos);

@@ -47,11 +47,13 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/extraction.hpp"
 #include "common/civil_time.hpp"
 #include "common/histogram.hpp"
+#include "store/kernels/kernels.hpp"
 #include "telemetry/binary_codec.hpp"
 
 namespace unp::store {
@@ -129,8 +131,9 @@ struct SegmentColumns {
 void pack_bits(std::string& out, std::span<const std::uint64_t> values, int width);
 
 /// Inverse of pack_bits: read `count` values of `width` bits from
-/// [pos, end); throws DecodeError when the packed block is short.
-void unpack_bits(const std::string& in, std::size_t pos, std::size_t end,
+/// [pos, end); throws DecodeError when the packed block is short.  Runs on
+/// the process-wide kernel set (byte-identical on every ISA).
+void unpack_bits(std::string_view in, std::size_t pos, std::size_t end,
                  std::size_t count, int width, std::vector<std::uint64_t>& out);
 
 // --- segment codec --------------------------------------------------------
@@ -143,14 +146,20 @@ void unpack_bits(const std::string& in, std::size_t pos, std::size_t end,
 /// Decode the columns selected by `columns` from the segment body at
 /// [pos, pos + zone.size) of `bytes`.  Unselected columns are skipped via
 /// their length prefix and left empty in `out`.  Throws DecodeError (with
-/// offsets relative to `bytes`) on corrupt input.
-void decode_segment(const std::string& bytes, std::size_t pos,
+/// offsets relative to `bytes`) on corrupt input.  The kernel-taking
+/// overload runs the column loops on an explicit set (the perf gate
+/// measures scalar vs vector through it); the other uses the process-wide
+/// set.  All sets decode byte-identically.
+void decode_segment(std::string_view bytes, std::size_t pos,
+                    const SegmentZone& zone, std::uint32_t columns,
+                    SegmentColumns& out, const kernels::StoreKernels& k);
+void decode_segment(std::string_view bytes, std::size_t pos,
                     const SegmentZone& zone, std::uint32_t columns,
                     SegmentColumns& out);
 
 /// Zone directory entry codec (offsets relative to the file's data section).
 void encode_zone(std::string& out, const SegmentZone& zone);
-[[nodiscard]] SegmentZone decode_zone(const std::string& in, std::size_t& pos);
+[[nodiscard]] SegmentZone decode_zone(std::string_view in, std::size_t& pos);
 
 // --- campaign-level metadata sections -------------------------------------
 
@@ -176,11 +185,11 @@ struct StoredExtractionMeta {
 };
 
 void encode_scan_profile(std::string& out, const StoredScanProfile& profile);
-[[nodiscard]] StoredScanProfile decode_scan_profile(const std::string& in,
+[[nodiscard]] StoredScanProfile decode_scan_profile(std::string_view in,
                                                     std::size_t& pos);
 
 void encode_extraction_meta(std::string& out, const StoredExtractionMeta& meta);
-[[nodiscard]] StoredExtractionMeta decode_extraction_meta(const std::string& in,
+[[nodiscard]] StoredExtractionMeta decode_extraction_meta(std::string_view in,
                                                           std::size_t& pos);
 
 }  // namespace unp::store

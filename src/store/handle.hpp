@@ -1,0 +1,108 @@
+// StoreHandle: one parsed, immutable, shareable UNPF store.
+//
+// The redesigned open path splits "own the bytes and parse the metadata"
+// (this class) from "plan and execute scans" (StoreReader).  A handle is
+// created once — mmap the file(s), validate headers, decode the zone
+// directory — and then shared by any number of readers and server worker
+// threads via shared_ptr<const StoreHandle>.  Everything reachable from a
+// handle is deeply immutable after construction, so concurrent scans need
+// no locks: segment decode reads disjoint slices of the shared mapping.
+//
+// StoreReader keeps its familiar API as a thin view over a handle; the old
+// bytes-owning constructor survives as a deprecated shim.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/format.hpp"
+#include "store/mapped_file.hpp"
+
+namespace unp::store {
+
+class StoreHandle {
+ public:
+  /// Map and parse the store file at `path`.  Throws DecodeError naming the
+  /// path on I/O failure and with byte-offset context on corrupt content.
+  [[nodiscard]] static std::shared_ptr<const StoreHandle> open(
+      const std::string& path);
+
+  /// Open the part files of write_partitioned_store as one logical store.
+  /// Parts must agree on fingerprint, window, and row-shape metadata; their
+  /// zone directories concatenate in path order (= canonical row order), so
+  /// every query result is byte-identical to the single-file store.  A
+  /// one-element vector is exactly open().
+  [[nodiscard]] static std::shared_ptr<const StoreHandle> open_partitioned(
+      const std::vector<std::string>& paths);
+
+  /// Parse an in-memory store image (takes ownership of the bytes).
+  [[nodiscard]] static std::shared_ptr<const StoreHandle> from_bytes(
+      std::string bytes);
+
+  // --- campaign metadata --------------------------------------------------
+  [[nodiscard]] const CampaignWindow& window() const noexcept {
+    return window_;
+  }
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept {
+    return fingerprint_;
+  }
+  [[nodiscard]] const StoredScanProfile& scan_profile() const noexcept {
+    return scan_profile_;
+  }
+  [[nodiscard]] const StoredExtractionMeta& extraction_meta() const noexcept {
+    return extraction_meta_;
+  }
+  [[nodiscard]] const std::vector<SegmentZone>& zones() const noexcept {
+    return zones_;
+  }
+  [[nodiscard]] std::uint64_t rows_total() const noexcept {
+    return rows_total_;
+  }
+  [[nodiscard]] std::size_t part_count() const noexcept {
+    return parts_.size();
+  }
+  /// Paths of the backing files (empty for from_bytes stores).
+  [[nodiscard]] std::vector<std::string> part_paths() const;
+
+  // --- scan support -------------------------------------------------------
+
+  /// Where one segment's body lives: the owning part's whole byte image and
+  /// the body's position inside it (DecodeError offsets are relative to the
+  /// part file, matching the directory parser's).
+  struct SegmentLocation {
+    std::string_view bytes;
+    std::size_t pos = 0;
+  };
+  [[nodiscard]] SegmentLocation segment_location(
+      std::size_t zone_index) const noexcept;
+
+ private:
+  StoreHandle() = default;
+
+  /// One parsed part; zone offsets are relative to its data section.  The
+  /// view aliases either the mapping or the owned string.
+  struct Part {
+    MappedFile file;
+    std::string owned;
+    std::string_view bytes;
+    std::size_t data_offset = 0;
+  };
+
+  /// Parse `part.bytes` as a complete UNPF file and append it: metadata is
+  /// adopted from the first part and checked for agreement on later ones.
+  void add_part(Part part);
+
+  std::vector<Part> parts_;
+  CampaignWindow window_;
+  std::uint64_t fingerprint_ = 0;
+  StoredScanProfile scan_profile_;
+  StoredExtractionMeta extraction_meta_;
+  std::vector<SegmentZone> zones_;      ///< concatenated in part order
+  std::vector<std::size_t> zone_part_;  ///< owning part per zone
+  std::uint64_t rows_total_ = 0;
+};
+
+}  // namespace unp::store

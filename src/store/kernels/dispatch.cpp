@@ -1,0 +1,35 @@
+// Runtime dispatch for the store kernel sets.  ISA resolution (cpuid/HWCAP
+// plus the UNP_KERNEL override) lives in common/simd_dispatch and is shared
+// with the scanner, so one process-wide decision governs both families.
+#include "store/kernels/kernel_table.hpp"
+
+#include "common/require.hpp"
+
+namespace unp::store::kernels {
+
+const StoreKernels& store_kernels_for(Isa isa) {
+  UNP_REQUIRE(simd::is_supported(isa));
+  switch (isa) {
+    case Isa::kScalar:
+      return scalar_store_kernel_set();
+#if defined(__x86_64__) || defined(_M_X64)
+    case Isa::kSse2:
+      return sse2_store_kernel_set();
+    case Isa::kAvx2:
+      return avx2_store_kernel_set();
+#endif
+#if defined(__aarch64__)
+    case Isa::kNeon:
+      return neon_store_kernel_set();
+#endif
+    default:
+      return scalar_store_kernel_set();  // unreachable past the UNP_REQUIRE
+  }
+}
+
+const StoreKernels& active_store_kernels() {
+  static const StoreKernels& active = store_kernels_for(simd::active_isa());
+  return active;
+}
+
+}  // namespace unp::store::kernels

@@ -1,0 +1,107 @@
+#include "store/mapped_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define UNP_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#include <fstream>
+#endif
+
+namespace unp::store {
+
+namespace {
+
+[[noreturn]] void throw_io(const char* what, const std::string& path,
+                           int err) {
+  throw telemetry::DecodeError(std::string("cannot ") + what +
+                                   " store file " + path + ": " +
+                                   std::strerror(err),
+                               0);
+}
+
+}  // namespace
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this == &other) return *this;
+#if UNP_HAVE_MMAP
+  if (mapped_) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+#endif
+  path_ = std::move(other.path_);
+  fallback_ = std::move(other.fallback_);
+  mapped_ = std::exchange(other.mapped_, false);
+  size_ = std::exchange(other.size_, 0);
+  data_ = std::exchange(other.data_, nullptr);
+  // The fallback string owns its bytes; re-point the view after the move.
+  if (!mapped_ && data_ != nullptr) data_ = fallback_.data();
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+#if UNP_HAVE_MMAP
+  if (mapped_) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+#endif
+}
+
+#if UNP_HAVE_MMAP
+
+MappedFile MappedFile::map(const std::string& path) {
+  MappedFile out;
+  out.path_ = path;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw_io("open", path, errno);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw_io("stat", path, err);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return out;  // empty view; header validation reports the truncation
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int map_err = errno;
+  ::close(fd);  // the mapping keeps its own reference
+  if (addr == MAP_FAILED) throw_io("map", path, map_err);
+  out.data_ = static_cast<const char*>(addr);
+  out.size_ = size;
+  out.mapped_ = true;
+  return out;
+}
+
+#else  // heap fallback
+
+MappedFile MappedFile::map(const std::string& path) {
+  MappedFile out;
+  out.path_ = path;
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) throw_io("open", path, errno);
+  is.seekg(0, std::ios::end);
+  const auto size = static_cast<std::size_t>(is.tellg());
+  is.seekg(0, std::ios::beg);
+  out.fallback_.resize(size);
+  if (size > 0) {
+    is.read(out.fallback_.data(), static_cast<std::streamsize>(size));
+    if (static_cast<std::size_t>(is.gcount()) != size)
+      throw_io("read", path, errno);
+  }
+  out.data_ = out.fallback_.data();
+  out.size_ = size;
+  return out;
+}
+
+#endif
+
+}  // namespace unp::store

@@ -1,0 +1,54 @@
+// Read-only file mapping for the UNPF store.
+//
+// The old reader slurped every store file into a std::string per open, so N
+// concurrent readers of one campaign paid N copies of the whole file.  A
+// MappedFile mmaps the bytes once; every StoreHandle sharing it reads the
+// same immutable pages, and the page cache — not N heap copies — backs
+// concurrent decode.  On platforms without mmap the class degrades to one
+// heap copy with identical semantics.
+//
+// Failure surfacing is part of the contract: open, stat, map, and read
+// failures all throw telemetry::DecodeError naming the path (the historic
+// stream-based loader silently returned an empty buffer when a read failed
+// mid-file, which then misreported as "truncated store header" with no hint
+// of the real cause).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "telemetry/binary_codec.hpp"
+
+namespace unp::store {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+
+  /// Map `path` read-only; throws telemetry::DecodeError naming the path on
+  /// any I/O failure.  An empty file maps to an empty view.
+  [[nodiscard]] static MappedFile map(const std::string& path);
+
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  [[nodiscard]] std::string_view view() const noexcept {
+    return {data_, size_};
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  /// True when backed by an actual mapping (false: heap fallback or empty).
+  [[nodiscard]] bool is_mapped() const noexcept { return mapped_; }
+
+ private:
+  std::string path_;
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::string fallback_;  ///< owns the bytes when mmap is unavailable
+};
+
+}  // namespace unp::store

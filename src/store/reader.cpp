@@ -1,125 +1,12 @@
 #include "store/reader.hpp"
 
-#include <cstring>
 #include <exception>
-#include <fstream>
-#include <sstream>
+#include <limits>
 
 #include "common/bitops.hpp"
 #include "common/require.hpp"
 
 namespace unp::store {
-
-using telemetry::get_varint;
-using telemetry::zigzag_decode;
-
-StoreReader::StoreReader(std::string bytes) { add_part(std::move(bytes)); }
-
-void StoreReader::add_part(std::string bytes) {
-  Part part;
-  part.bytes = std::move(bytes);
-  const std::string& buf = part.bytes;
-
-  std::size_t pos = 0;
-  if (buf.size() < sizeof kStoreMagic + 1 + 8)
-    throw DecodeError("truncated store header", buf.size());
-  if (std::memcmp(buf.data(), kStoreMagic, sizeof kStoreMagic) != 0)
-    throw DecodeError("bad UNPF magic", 0);
-  pos = sizeof kStoreMagic;
-  const int version = static_cast<unsigned char>(buf[pos]);
-  if (version != kStoreVersion)
-    throw DecodeError("unsupported UNPF version " + std::to_string(version),
-                      pos);
-  ++pos;
-  std::uint64_t fingerprint = 0;
-  for (std::size_t i = 0; i < 8; ++i)
-    fingerprint |= static_cast<std::uint64_t>(
-                       static_cast<unsigned char>(buf[pos + i]))
-                   << (8 * i);
-  pos += 8;
-  CampaignWindow window;
-  window.start = zigzag_decode(get_varint(buf, pos));
-  window.end = zigzag_decode(get_varint(buf, pos));
-  StoredScanProfile scan_profile = decode_scan_profile(buf, pos);
-  StoredExtractionMeta extraction_meta = decode_extraction_meta(buf, pos);
-  const std::uint64_t segment_count = get_varint(buf, pos);
-  if (segment_count > buf.size())  // each segment occupies >= 1 byte
-    throw DecodeError("segment count out of range", pos);
-  std::vector<SegmentZone> zones;
-  zones.reserve(static_cast<std::size_t>(segment_count));
-  for (std::uint64_t i = 0; i < segment_count; ++i)
-    zones.push_back(decode_zone(buf, pos));
-  part.data_offset = pos;
-
-  // The data section must be exactly the contiguous concatenation the
-  // directory declares — anything else is a torn or corrupt file.
-  std::uint64_t expected_offset = 0;
-  std::uint64_t part_rows = 0;
-  for (const SegmentZone& zone : zones) {
-    if (zone.offset != expected_offset)
-      throw DecodeError("zone directory not contiguous", part.data_offset);
-    expected_offset += zone.size;
-    part_rows += zone.rows;
-  }
-  if (part.data_offset + expected_offset != buf.size())
-    throw DecodeError("data section size mismatch (directory declares " +
-                          std::to_string(expected_offset) + " bytes, file has " +
-                          std::to_string(buf.size() - part.data_offset) + ")",
-                      part.data_offset);
-
-  if (parts_.empty()) {
-    fingerprint_ = fingerprint;
-    window_ = window;
-    scan_profile_ = std::move(scan_profile);
-    extraction_meta_ = std::move(extraction_meta);
-  } else {
-    if (fingerprint != fingerprint_)
-      throw DecodeError("store part fingerprint mismatch", 0);
-    if (window.start != window_.start || window.end != window_.end)
-      throw DecodeError("store part campaign window mismatch", 0);
-  }
-  const std::size_t part_index = parts_.size();
-  for (const SegmentZone& zone : zones) {
-    zones_.push_back(zone);
-    zone_part_.push_back(part_index);
-  }
-  rows_total_ += part_rows;
-  parts_.push_back(std::move(part));
-}
-
-namespace {
-
-std::string read_file_bytes(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is.good())
-    throw ContractViolation("cannot open store file " + path);
-  std::ostringstream buffer;
-  buffer << is.rdbuf();
-  if (!is.good() && !is.eof())
-    throw ContractViolation("cannot read store file " + path);
-  return std::move(buffer).str();
-}
-
-}  // namespace
-
-StoreReader StoreReader::open(const std::string& path) {
-  return StoreReader(read_file_bytes(path));
-}
-
-StoreReader StoreReader::open_partitioned(
-    const std::vector<std::string>& paths) {
-  UNP_REQUIRE(!paths.empty());
-  StoreReader reader;
-  for (const std::string& path : paths) {
-    try {
-      reader.add_part(read_file_bytes(path));
-    } catch (const DecodeError& e) {
-      throw DecodeError("store part " + path + ": " + e.detail(),
-                        e.byte_offset());
-    }
-  }
-  return reader;
-}
 
 namespace {
 
@@ -149,23 +36,88 @@ void append_columns(SegmentColumns& dst, const SegmentColumns& src) {
   append_vector(dst.fault_class, src.fault_class);
 }
 
+/// Precomputed vector form of a query whose predicates are all
+/// range-expressible: inclusive ranges + a class membership set that the
+/// mask kernels evaluate column-at-a-time.  Row-for-row equivalent to
+/// Query::matches() whenever `usable` (proven by StoreQueryTest's
+/// vector-vs-row cross-check):
+///   - time:   since <= t < until  ==  t in [since, until - 1]
+///   - node:   blade (+ optional soc) selects one contiguous dense-index
+///             run; a SoC without a blade is a stride, not a range
+///   - bits:   a class-aligned [min_bits, max_bits] is exactly a FaultClass
+///             interval (see representative_bits); exact counts need the
+///             pattern pair and stay on the row loop
+struct VectorPredicates {
+  bool usable = false;
+  bool filter_time = false;
+  std::int64_t time_lo = std::numeric_limits<std::int64_t>::min();
+  std::int64_t time_hi = std::numeric_limits<std::int64_t>::max();
+  bool filter_node = false;
+  std::uint32_t node_lo = 0;
+  std::uint32_t node_hi = 0;
+  bool filter_class = false;
+  std::uint8_t allowed_classes = 0;
+};
+
+VectorPredicates plan_vector_predicates(const Query& q) {
+  VectorPredicates p;
+  if (q.soc && !q.blade) return p;  // stride over node index: row loop
+  const auto class_range = q.class_range();
+  const bool need_bits = !q.bits_unconstrained();
+  if (need_bits && !class_range) return p;  // exact bit counts: row loop
+  p.usable = true;
+  if (q.since || q.until) {
+    p.filter_time = true;
+    if (q.since) p.time_lo = *q.since;
+    if (q.until) {
+      if (*q.until == std::numeric_limits<std::int64_t>::min()) {
+        p.time_lo = 1;  // empty range: nothing satisfies t < INT64_MIN
+        p.time_hi = 0;
+      } else {
+        p.time_hi = *q.until - 1;
+      }
+    }
+  }
+  if (q.blade) {
+    p.filter_node = true;
+    p.node_lo = static_cast<std::uint32_t>(
+        *q.blade * cluster::kSocsPerBlade + (q.soc ? *q.soc : 0));
+    p.node_hi = static_cast<std::uint32_t>(
+        *q.blade * cluster::kSocsPerBlade +
+        (q.soc ? *q.soc : cluster::kSocsPerBlade - 1));
+  }
+  if (need_bits) {
+    p.filter_class = true;
+    for (int c = static_cast<int>(class_range->first);
+         c <= static_cast<int>(class_range->second); ++c)
+      p.allowed_classes |= static_cast<std::uint8_t>(1u << c);
+  }
+  return p;
+}
+
 }  // namespace
 
 QueryResult StoreReader::run(const Query& query, const Options& options,
                              ScanStats* stats) const {
+  const StoreHandle& handle = *handle_;
+  const kernels::StoreKernels& k = options.kernels != nullptr
+                                       ? *options.kernels
+                                       : kernels::active_store_kernels();
   // Scan columns = what the predicate and projection need; last_seen is
   // stored as an offset from first_seen, so it drags first_seen in.
   std::uint32_t scan_columns = query.required_columns();
   if (scan_columns & kColLastSeen) scan_columns |= kColFirstSeen;
   const bool need_bits = !query.bits_unconstrained();
   const bool bits_from_class = need_bits && query.class_range().has_value();
+  const VectorPredicates vp = plan_vector_predicates(query);
 
+  const std::vector<SegmentZone>& zones = handle.zones();
   ScanStats local;
-  local.segments_total = zones_.size();
+  local.segments_total = zones.size();
   std::vector<std::size_t> chosen;
-  chosen.reserve(zones_.size());
-  for (std::size_t i = 0; i < zones_.size(); ++i) {
-    if (options.prune && !query.may_match(zones_[i])) {
+  chosen.reserve(zones.size());
+  for (std::size_t i = 0; i < zones.size(); ++i) {
+    if (options.prune && !query.may_match(zones[i])) {
       ++local.segments_pruned;
       continue;
     }
@@ -184,32 +136,56 @@ QueryResult StoreReader::run(const Query& query, const Options& options,
   const auto scan_one = [&](std::size_t task) {
     SegmentScan& scan = scans[task];
     try {
-      const SegmentZone& zone = zones_[chosen[task]];
-      const Part& part = parts_[zone_part_[chosen[task]]];
+      const SegmentZone& zone = zones[chosen[task]];
+      const StoreHandle::SegmentLocation loc =
+          handle.segment_location(chosen[task]);
       SegmentColumns cols;
-      decode_segment(part.bytes,
-                     part.data_offset + static_cast<std::size_t>(zone.offset),
-                     zone, scan_columns, cols);
+      decode_segment(loc.bytes, loc.pos, zone, scan_columns, cols, k);
       if (!cols.last_seen.empty())
         for (std::size_t i = 0; i < cols.last_seen.size(); ++i)
           cols.last_seen[i] += cols.first_seen[i];
       scan.rows_scanned = zone.rows;
+      const auto n = static_cast<std::size_t>(zone.rows);
+      // Count-only scans (projection == 0) never need row indices; summing
+      // the predicate mask replaces a million-entry keep vector per query.
+      const bool need_rows = query.projection != 0;
       std::vector<std::uint32_t> keep;
-      keep.reserve(zone.rows);
-      for (std::uint32_t i = 0; i < zone.rows; ++i) {
-        const std::uint32_t node =
-            cols.node_index.empty() ? 0 : cols.node_index[i];
-        const TimePoint t = cols.first_seen.empty() ? 0 : cols.first_seen[i];
-        int bits = 1;
-        if (need_bits) {
-          bits = bits_from_class
-                     ? representative_bits(
-                           static_cast<FaultClass>(cols.fault_class[i]))
-                     : flipped_bit_count(cols.expected[i], cols.actual[i]);
+      if (need_rows) keep.reserve(n);
+      if (vp.usable) {
+        std::vector<std::uint8_t> mask(n, 1);
+        if (vp.filter_time)
+          k.mask_range_i64(cols.first_seen.data(), n, vp.time_lo, vp.time_hi,
+                           mask.data());
+        if (vp.filter_node)
+          k.mask_range_u32(cols.node_index.data(), n, vp.node_lo, vp.node_hi,
+                           mask.data());
+        if (vp.filter_class)
+          k.mask_class(cols.fault_class.data(), n, vp.allowed_classes,
+                       mask.data());
+        if (need_rows) {
+          for (std::uint32_t i = 0; i < zone.rows; ++i)
+            if (mask[i] != 0) keep.push_back(i);
+        } else {
+          std::uint64_t matched = 0;
+          for (std::size_t i = 0; i < n; ++i) matched += mask[i];
+          scan.rows_matched = matched;
         }
-        if (query.matches(node, t, bits)) keep.push_back(i);
+      } else {
+        for (std::uint32_t i = 0; i < zone.rows; ++i) {
+          const std::uint32_t node =
+              cols.node_index.empty() ? 0 : cols.node_index[i];
+          const TimePoint t = cols.first_seen.empty() ? 0 : cols.first_seen[i];
+          int bits = 1;
+          if (need_bits) {
+            bits = bits_from_class
+                       ? representative_bits(
+                             static_cast<FaultClass>(cols.fault_class[i]))
+                       : flipped_bit_count(cols.expected[i], cols.actual[i]);
+          }
+          if (query.matches(node, t, bits)) keep.push_back(i);
+        }
       }
-      scan.rows_matched = keep.size();
+      if (need_rows || !vp.usable) scan.rows_matched = keep.size();
       if (query.projection & kColNode)
         append_kept(scan.kept.node_index, cols.node_index, keep);
       if (query.projection & kColFirstSeen)
@@ -281,7 +257,7 @@ std::vector<analysis::FaultRecord> StoreReader::replay(
     ThreadPool* pool) const {
   std::vector<analysis::FaultRecord> faults =
       materialize(query, Options{pool, true});
-  analysis::run_fault_sinks(faults, {window_}, sinks, pool);
+  analysis::run_fault_sinks(faults, {window()}, sinks, pool);
   return faults;
 }
 
@@ -289,9 +265,10 @@ analysis::ExtractionResult StoreReader::extraction_result(
     ThreadPool* pool) const {
   analysis::ExtractionResult result;
   result.faults = materialize(Query{}, Options{pool, true});
-  result.removed_nodes = extraction_meta_.removed_nodes;
-  result.total_raw_logs = extraction_meta_.total_raw_logs;
-  result.removed_raw_logs = extraction_meta_.removed_raw_logs;
+  const StoredExtractionMeta& meta = extraction_meta();
+  result.removed_nodes = meta.removed_nodes;
+  result.total_raw_logs = meta.total_raw_logs;
+  result.removed_raw_logs = meta.removed_raw_logs;
   return result;
 }
 

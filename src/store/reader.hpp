@@ -1,12 +1,14 @@
 // StoreReader: the query side of the UNPF columnar store.
 //
-// Opening a store parses only the header, the campaign metadata, and the
-// zone directory; segment bodies stay undecoded bytes until a query touches
-// them.  run() plans a scan from a Query (segment pruning via zone maps,
-// column projection via required_columns), fans the surviving segments out
-// on the shared ThreadPool, and concatenates per-segment results in
-// directory order — so query results are bit-identical for any thread count
-// and with pruning on or off.
+// A reader is a thin scan planner over a shared, immutable StoreHandle
+// (see store/handle.hpp): the handle owns the mmap-backed bytes and the
+// parsed metadata; the reader plans a scan from a Query (segment pruning
+// via zone maps, column projection via required_columns), fans the
+// surviving segments out on the shared ThreadPool, and concatenates
+// per-segment results in directory order — so query results are
+// bit-identical for any thread count, with pruning on or off, and on every
+// kernel ISA.  Copying a reader copies a shared_ptr; any number of threads
+// may run() against the same handle concurrently without locks.
 //
 // replay() closes the loop with the live pipeline: it materializes matching
 // rows back into canonical FaultRecords and streams them through any set of
@@ -16,13 +18,16 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/extraction.hpp"
 #include "analysis/fault_sink.hpp"
 #include "common/thread_pool.hpp"
 #include "store/format.hpp"
+#include "store/handle.hpp"
 #include "store/query.hpp"
 
 namespace unp::store {
@@ -49,41 +54,62 @@ struct ScanOptions {
   ThreadPool* pool = nullptr;  ///< nullptr = sequential scan
   bool prune = true;           ///< false = decode every segment (for the
                                ///  pruning-equivalence proof in the gate)
+  const kernels::StoreKernels* kernels = nullptr;  ///< nullptr = process-wide
 };
 
 class StoreReader {
  public:
   using Options = ScanOptions;
 
+  /// View an already-open handle (the cheap, shareable path).
+  explicit StoreReader(std::shared_ptr<const StoreHandle> handle)
+      : handle_(std::move(handle)) {}
+
   /// Parse a store from memory (takes ownership of the bytes).  Throws
   /// DecodeError with byte-offset context on corrupt input.
-  explicit StoreReader(std::string bytes);
+  [[deprecated(
+      "construct from StoreHandle::from_bytes (or StoreReader::open) so the "
+      "parsed store is shared instead of re-parsed per reader")]]
+  explicit StoreReader(std::string bytes)
+      : handle_(StoreHandle::from_bytes(std::move(bytes))) {}
 
-  /// Read and parse the store file at `path`.
-  [[nodiscard]] static StoreReader open(const std::string& path);
+  /// Map, parse, and wrap the store file at `path`.
+  [[nodiscard]] static StoreReader open(const std::string& path) {
+    return StoreReader(StoreHandle::open(path));
+  }
 
-  /// Open the part files of write_partitioned_store as one logical store.
-  /// Parts must agree on fingerprint, window, and row-shape metadata; their
-  /// zone directories concatenate in path order, which is canonical row
-  /// order, so every query/replay result is byte-identical to the same
-  /// store written as a single file.  A one-element vector is exactly
-  /// open().
+  /// Open the part files of write_partitioned_store as one logical store
+  /// (see StoreHandle::open_partitioned for the agreement rules).
   [[nodiscard]] static StoreReader open_partitioned(
-      const std::vector<std::string>& paths);
+      const std::vector<std::string>& paths) {
+    return StoreReader(StoreHandle::open_partitioned(paths));
+  }
 
-  // --- campaign metadata --------------------------------------------------
-  [[nodiscard]] const CampaignWindow& window() const noexcept { return window_; }
-  [[nodiscard]] std::uint64_t fingerprint() const noexcept { return fingerprint_; }
+  /// The shared parsed store this reader scans.
+  [[nodiscard]] const std::shared_ptr<const StoreHandle>& handle()
+      const noexcept {
+    return handle_;
+  }
+
+  // --- campaign metadata (forwarded from the handle) ----------------------
+  [[nodiscard]] const CampaignWindow& window() const noexcept {
+    return handle_->window();
+  }
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept {
+    return handle_->fingerprint();
+  }
   [[nodiscard]] const StoredScanProfile& scan_profile() const noexcept {
-    return scan_profile_;
+    return handle_->scan_profile();
   }
   [[nodiscard]] const StoredExtractionMeta& extraction_meta() const noexcept {
-    return extraction_meta_;
+    return handle_->extraction_meta();
   }
   [[nodiscard]] const std::vector<SegmentZone>& zones() const noexcept {
-    return zones_;
+    return handle_->zones();
   }
-  [[nodiscard]] std::uint64_t rows_total() const noexcept { return rows_total_; }
+  [[nodiscard]] std::uint64_t rows_total() const noexcept {
+    return handle_->rows_total();
+  }
 
   /// Execute `query`: prune segments, decode required columns, filter rows,
   /// keep projected columns.  Deterministic for any Options.
@@ -111,27 +137,7 @@ class StoreReader {
       ThreadPool* pool = nullptr) const;
 
  private:
-  StoreReader() = default;
-
-  /// One parsed part file; zone offsets are relative to its data section.
-  struct Part {
-    std::string bytes;
-    std::size_t data_offset = 0;
-  };
-
-  /// Parse `bytes` as a complete UNPF file and append it as the next part:
-  /// metadata is adopted from the first part and checked for agreement on
-  /// every later one.
-  void add_part(std::string bytes);
-
-  std::vector<Part> parts_;
-  CampaignWindow window_;
-  std::uint64_t fingerprint_ = 0;
-  StoredScanProfile scan_profile_;
-  StoredExtractionMeta extraction_meta_;
-  std::vector<SegmentZone> zones_;     ///< concatenated in part order
-  std::vector<std::size_t> zone_part_; ///< owning part per zone
-  std::uint64_t rows_total_ = 0;
+  std::shared_ptr<const StoreHandle> handle_;
 };
 
 }  // namespace unp::store

@@ -63,7 +63,7 @@ void put_f64(std::string& out, double value) {
   }
 }
 
-double get_f64(const std::string& in, std::size_t& pos) {
+double get_f64(std::string_view in, std::size_t& pos) {
   if (pos + 8 > in.size()) throw DecodeError("truncated f64", pos);
   std::uint64_t bits = 0;
   for (int i = 0; i < 8; ++i) {
@@ -77,7 +77,7 @@ double get_f64(const std::string& in, std::size_t& pos) {
   return value;
 }
 
-std::uint64_t get_varint(const std::string& in, std::size_t& pos) {
+std::uint64_t get_varint(std::string_view in, std::size_t& pos) {
   std::uint64_t value = 0;
   int shift = 0;
   for (;;) {

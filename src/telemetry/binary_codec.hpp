@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/require.hpp"
@@ -53,12 +54,13 @@ void put_varint(std::string& out, std::uint64_t value);
 /// Read a LEB128 varint; throws DecodeError on truncation, on an encoding
 /// longer than 10 bytes, and on a 10-byte encoding whose final group carries
 /// bits beyond the 64th (a silent-overflow input no canonical encoder emits).
-[[nodiscard]] std::uint64_t get_varint(const std::string& in, std::size_t& pos);
+/// Takes a view so decoders can run directly over mmap-backed store bytes.
+[[nodiscard]] std::uint64_t get_varint(std::string_view in, std::size_t& pos);
 
 /// Raw little-endian f64 bits (used by derived formats such as the bench
 /// campaign cache that need to serialize doubles exactly).
 void put_f64(std::string& out, double value);
-[[nodiscard]] double get_f64(const std::string& in, std::size_t& pos);
+[[nodiscard]] double get_f64(std::string_view in, std::size_t& pos);
 
 /// ZigZag signed mapping (for timestamp deltas which may regress across
 /// merged sources).

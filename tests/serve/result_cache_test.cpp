@@ -1,0 +1,104 @@
+// ResultCache: bounded LRU of rendered responses keyed by store generation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/result_cache.hpp"
+
+namespace unp::serve {
+namespace {
+
+TEST(ResultCacheTest, MissThenHitWithCounters) {
+  ResultCache cache(8);
+  EXPECT_EQ(cache.get(1, "--count"), std::nullopt);
+  cache.put(1, "--count", "42\n");
+  const std::optional<std::string> hit = cache.get(1, "--count");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "42\n");
+
+  const ResultCache::Counters c = cache.counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.entries, 1u);
+}
+
+TEST(ResultCacheTest, GenerationIsPartOfTheKey) {
+  ResultCache cache(8);
+  cache.put(1, "--count", "old\n");
+  cache.put(2, "--count", "new\n");
+  EXPECT_EQ(cache.get(1, "--count"), "old\n");
+  EXPECT_EQ(cache.get(2, "--count"), "new\n");
+  // A request whose text embeds a generation-like prefix must not collide
+  // with a different generation's entry (the key composition is injective).
+  cache.put(1, "2\n--count", "sneaky\n");
+  EXPECT_EQ(cache.get(2, "--count"), "new\n");
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  cache.put(1, "a", "A");
+  cache.put(1, "b", "B");
+  EXPECT_TRUE(cache.get(1, "a").has_value());  // refresh a; b is now LRU
+  cache.put(1, "c", "C");                      // evicts b
+  EXPECT_TRUE(cache.get(1, "a").has_value());
+  EXPECT_FALSE(cache.get(1, "b").has_value());
+  EXPECT_TRUE(cache.get(1, "c").has_value());
+  EXPECT_EQ(cache.counters().entries, 2u);
+}
+
+TEST(ResultCacheTest, PutOfExistingKeyReplacesTheResponse) {
+  ResultCache cache(4);
+  cache.put(1, "a", "first");
+  cache.put(1, "a", "second");
+  EXPECT_EQ(cache.get(1, "a"), "second");
+  EXPECT_EQ(cache.counters().entries, 1u);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  cache.put(1, "a", "A");
+  EXPECT_FALSE(cache.get(1, "a").has_value());
+  EXPECT_EQ(cache.counters().entries, 0u);
+}
+
+TEST(ResultCacheTest, InvalidateDropsEveryOtherGeneration) {
+  ResultCache cache(16);
+  cache.put(1, "a", "A1");
+  cache.put(1, "b", "B1");
+  cache.put(2, "a", "A2");
+  cache.invalidate(2);  // the swap just installed generation 2
+  EXPECT_FALSE(cache.get(1, "a").has_value());
+  EXPECT_FALSE(cache.get(1, "b").has_value());
+  EXPECT_EQ(cache.get(2, "a"), "A2");
+  EXPECT_EQ(cache.counters().entries, 1u);
+}
+
+TEST(ResultCacheTest, ConcurrentGetPutStaysConsistent) {
+  // Hammer one small cache from several threads; every hit must return the
+  // exact bytes put for that key (no torn/crossed responses).
+  ResultCache cache(32);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 2000;
+  std::vector<std::thread> threads;
+  std::atomic<int> wrong{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &wrong, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const std::string key = "req-" + std::to_string((t + i) % 40);
+        const std::string value = "body-of-" + key;
+        if (i % 3 == 0) cache.put(7, key, value);
+        const std::optional<std::string> got = cache.get(7, key);
+        if (got.has_value() && *got != value) wrong.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(wrong.load(), 0);
+}
+
+}  // namespace
+}  // namespace unp::serve

@@ -1,0 +1,167 @@
+// StoreHandle: the shared mmap-backed open path.  Covers the I/O error
+// contract (missing/unreadable files throw DecodeError naming the path —
+// the silent-empty-buffer regression), metadata forwarding, and one handle
+// feeding many readers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/extraction.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "store/builder.hpp"
+#include "store/handle.hpp"
+#include "store/query.hpp"
+#include "store/reader.hpp"
+#include "telemetry/record.hpp"
+
+namespace unp::store {
+namespace {
+
+constexpr TimePoint kStart = 1'440'000'000;
+constexpr TimePoint kEnd = kStart + 100'000;
+
+std::vector<analysis::FaultRecord> make_population(int n = 800) {
+  std::vector<analysis::FaultRecord> faults;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < n; ++i) {
+    analysis::FaultRecord f;
+    f.first_seen = kStart + static_cast<TimePoint>(i) * 100;
+    f.last_seen = f.first_seen + 30;
+    f.node = cluster::NodeId{(i / 50) % cluster::kStudyBlades,
+                             static_cast<int>(rng.next() % 15)};
+    f.raw_logs = 1 + rng.next() % 9;
+    f.virtual_address = rng.next() % (1ull << 40);
+    f.expected = static_cast<Word>(rng.next());
+    f.actual = f.expected ^ (Word{1} << (rng.next() % 32));
+    f.temperature_c = 20.0 + static_cast<double>(i % 30);
+    faults.push_back(f);
+  }
+  std::sort(faults.begin(), faults.end(),
+            [](const analysis::FaultRecord& a, const analysis::FaultRecord& b) {
+              return std::tie(a.first_seen, a.node, a.virtual_address) <
+                     std::tie(b.first_seen, b.node, b.virtual_address);
+            });
+  return faults;
+}
+
+analysis::ExtractionResult make_extraction(int n = 800) {
+  analysis::ExtractionResult extraction;
+  extraction.faults = make_population(n);
+  extraction.total_raw_logs = 123'456;
+  return extraction;
+}
+
+TEST(StoreHandleTest, OpenMissingFileNamesThePathInTheError) {
+  const std::string path = ::testing::TempDir() + "does_not_exist.unpf";
+  try {
+    (void)StoreHandle::open(path);
+    FAIL() << "open() of a missing file must throw";
+  } catch (const DecodeError& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << "error must name the missing path: " << e.what();
+  }
+}
+
+TEST(StoreHandleTest, OpenPartitionedMissingPartNamesThePathInTheError) {
+  // First part exists and is valid; the second is missing.  The error must
+  // name the part that failed, not succeed with a truncated store.
+  const analysis::ExtractionResult extraction = make_extraction(200);
+  const analysis::ScanProfileSink scan;
+  const std::string good = ::testing::TempDir() + "handle_part0.unpf";
+  const std::string missing = ::testing::TempDir() + "handle_part_missing.unpf";
+  write_store(good, extraction, scan);
+
+  try {
+    (void)StoreHandle::open_partitioned({good, missing});
+    FAIL() << "open_partitioned() with a missing part must throw";
+  } catch (const DecodeError& e) {
+    EXPECT_NE(std::string(e.what()).find(missing), std::string::npos)
+        << "error must name the missing part: " << e.what();
+  }
+  EXPECT_EQ(std::remove(good.c_str()), 0);
+}
+
+TEST(StoreHandleTest, OpenDirectoryAsStoreThrowsDecodeError) {
+  // A directory opens but cannot be read as a flat file; the failure must
+  // be loud, not an empty store.
+  EXPECT_THROW((void)StoreHandle::open(::testing::TempDir()), DecodeError);
+}
+
+TEST(StoreHandleTest, OpenEmptyFileThrowsDecodeError) {
+  const std::string path = ::testing::TempDir() + "empty.unpf";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+  }
+  EXPECT_THROW((void)StoreHandle::open(path), DecodeError);
+  EXPECT_EQ(std::remove(path.c_str()), 0);
+}
+
+TEST(StoreHandleTest, OneHandleFeedsManyReadersWithoutReparsing) {
+  const auto faults = make_population();
+  StoreBuilder builder(StoreBuilder::Config{64});
+  builder.set_window(CampaignWindow{kStart, kEnd});
+  builder.set_fingerprint(0x5eed);
+  builder.begin_faults(analysis::FaultStreamContext{{kStart, kEnd}});
+  for (const auto& f : faults) builder.on_fault(f);
+  builder.end_faults();
+
+  const std::shared_ptr<const StoreHandle> handle =
+      StoreHandle::from_bytes(builder.encode());
+  const StoreReader a(handle);
+  const StoreReader b(handle);
+  EXPECT_EQ(a.handle().get(), b.handle().get());
+  EXPECT_EQ(a.fingerprint(), 0x5eedu);
+  EXPECT_EQ(a.materialize(Query{}), b.materialize(Query{}));
+  // Two readers + the local shared_ptr: shared, not copied.
+  EXPECT_GE(handle.use_count(), 3);
+}
+
+TEST(StoreHandleTest, MappedOpenMatchesFromBytes) {
+  const analysis::ExtractionResult extraction = make_extraction();
+  const analysis::ScanProfileSink scan;
+  const std::string path = ::testing::TempDir() + "handle_roundtrip.unpf";
+  write_store(path, extraction, scan, 0xfeed);
+
+  const std::shared_ptr<const StoreHandle> handle = StoreHandle::open(path);
+  EXPECT_EQ(handle->fingerprint(), 0xfeedu);
+  EXPECT_EQ(handle->part_count(), 1u);
+  ASSERT_EQ(handle->part_paths().size(), 1u);
+  EXPECT_EQ(handle->part_paths().front(), path);
+  EXPECT_EQ(StoreReader(handle).materialize(Query{}), extraction.faults);
+  EXPECT_EQ(std::remove(path.c_str()), 0);
+}
+
+TEST(StoreHandleTest, PartitionedHandleMatchesSingleFileStore) {
+  const analysis::ExtractionResult extraction = make_extraction(500);
+  const analysis::ScanProfileSink scan;
+  const std::string single = ::testing::TempDir() + "handle_single.unpf";
+  const std::vector<std::string> parts = {
+      ::testing::TempDir() + "handle_p0.unpf",
+      ::testing::TempDir() + "handle_p1.unpf",
+      ::testing::TempDir() + "handle_p2.unpf",
+  };
+  write_store(single, extraction, scan, 0xcafe);
+  write_partitioned_store(parts, extraction, scan, 0xcafe);
+
+  const std::shared_ptr<const StoreHandle> whole = StoreHandle::open(single);
+  const std::shared_ptr<const StoreHandle> split =
+      StoreHandle::open_partitioned(parts);
+  EXPECT_EQ(split->part_count(), parts.size());
+  EXPECT_EQ(split->part_paths(), parts);
+  EXPECT_EQ(split->rows_total(), whole->rows_total());
+  Query blade_query;
+  blade_query.blade = 3;
+  EXPECT_EQ(StoreReader(split).materialize(blade_query),
+            StoreReader(whole).materialize(blade_query));
+  EXPECT_EQ(std::remove(single.c_str()), 0);
+  for (const std::string& p : parts) EXPECT_EQ(std::remove(p.c_str()), 0);
+}
+
+}  // namespace
+}  // namespace unp::store

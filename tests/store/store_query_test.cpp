@@ -12,6 +12,7 @@
 #include "common/require.hpp"
 #include "common/rng.hpp"
 #include "store/builder.hpp"
+#include "store/handle.hpp"
 #include "store/query.hpp"
 #include "store/reader.hpp"
 #include "telemetry/record.hpp"
@@ -67,7 +68,7 @@ StoreReader build_reader(const std::vector<analysis::FaultRecord>& faults,
   builder.begin_faults(analysis::FaultStreamContext{{kStart, kEnd}});
   for (const auto& f : faults) builder.on_fault(f);
   builder.end_faults();
-  return StoreReader(builder.encode());
+  return StoreReader(StoreHandle::from_bytes(builder.encode()));
 }
 
 std::vector<analysis::FaultRecord> brute_force(
@@ -274,7 +275,7 @@ TEST(StoreQuery, ExtractionResultRebuildsTheFullPopulation) {
   for (const auto& f : faults) builder.on_fault(f);
   builder.end_faults();
 
-  const StoreReader reader{builder.encode()};
+  const StoreReader reader{StoreHandle::from_bytes(builder.encode())};
   const analysis::ExtractionResult extraction = reader.extraction_result();
   EXPECT_EQ(extraction.faults, faults);
   EXPECT_EQ(extraction.removed_nodes, meta.removed_nodes);
@@ -292,7 +293,7 @@ TEST(StoreBuilderTest, SegmentRowsControlSegmentCount) {
   EXPECT_EQ(builder.rows_written(), 1000u);
   EXPECT_EQ(builder.segments_written(), 10u);
 
-  const StoreReader reader{builder.encode()};
+  const StoreReader reader{StoreHandle::from_bytes(builder.encode())};
   EXPECT_EQ(reader.zones().size(), 10u);
   EXPECT_EQ(reader.rows_total(), 1000u);
 }
@@ -302,7 +303,7 @@ TEST(StoreBuilderTest, EmptyStreamEncodesAndReadsBack) {
   builder.set_window(CampaignWindow{kStart, kEnd});
   builder.begin_faults(analysis::FaultStreamContext{{kStart, kEnd}});
   builder.end_faults();
-  const StoreReader reader{builder.encode()};
+  const StoreReader reader{StoreHandle::from_bytes(builder.encode())};
   EXPECT_EQ(reader.rows_total(), 0u);
   EXPECT_TRUE(reader.materialize(Query{}).empty());
 }
@@ -334,26 +335,31 @@ TEST(StoreReaderTest, RejectsCorruptHeadersWithDecodeError) {
   builder.end_faults();
   const std::string good = builder.encode();
 
-  EXPECT_THROW(StoreReader{std::string{}}, DecodeError);
-  EXPECT_THROW(StoreReader{std::string("UNP")}, DecodeError);
+  EXPECT_THROW((void)StoreHandle::from_bytes(std::string{}), DecodeError);
+  EXPECT_THROW((void)StoreHandle::from_bytes(std::string("UNP")), DecodeError);
 
   std::string bad_magic = good;
   bad_magic[0] = 'X';
-  EXPECT_THROW(StoreReader{std::move(bad_magic)}, DecodeError);
+  EXPECT_THROW((void)StoreHandle::from_bytes(std::move(bad_magic)),
+               DecodeError);
 
   std::string bad_version = good;
   bad_version[4] = static_cast<char>(99);
-  EXPECT_THROW(StoreReader{std::move(bad_version)}, DecodeError);
+  EXPECT_THROW((void)StoreHandle::from_bytes(std::move(bad_version)),
+               DecodeError);
 
   // Truncation anywhere in the file must be loud.
   for (const std::size_t cut : {good.size() / 4, good.size() / 2,
                                 good.size() - 1}) {
-    EXPECT_THROW(StoreReader{good.substr(0, cut)}, DecodeError) << cut;
+    EXPECT_THROW((void)StoreHandle::from_bytes(good.substr(0, cut)),
+                 DecodeError)
+        << cut;
   }
 
   // Trailing garbage after the declared data section must be loud too.
   std::string oversized = good + "junk";
-  EXPECT_THROW(StoreReader{std::move(oversized)}, DecodeError);
+  EXPECT_THROW((void)StoreHandle::from_bytes(std::move(oversized)),
+               DecodeError);
 }
 
 TEST(StoreReaderTest, OpenMissingFileThrowsContractViolation) {
@@ -373,8 +379,28 @@ TEST(StoreReaderTest, CorruptSegmentBodySurfacesDuringScanNotOpen) {
   for (std::size_t i = bytes.size() - 16; i < bytes.size(); ++i)
     bytes[i] = static_cast<char>(~static_cast<unsigned char>(bytes[i]));
 
-  const StoreReader reader{std::move(bytes)};  // header+directory still parse
+  // header+directory still parse
+  const StoreReader reader{StoreHandle::from_bytes(std::move(bytes))};
   EXPECT_THROW((void)reader.materialize(Query{}), DecodeError);
+}
+
+TEST(StoreReaderTest, DeprecatedBytesCtorStillRoundTrips) {
+  // Compatibility shim: the std::string-owning constructor is deprecated in
+  // favour of StoreHandle::from_bytes, but it must keep working (and keep
+  // throwing the same DecodeErrors) until out-of-tree callers migrate.
+  const auto faults = make_population(300);
+  StoreBuilder builder;
+  builder.set_window(CampaignWindow{kStart, kEnd});
+  builder.begin_faults(analysis::FaultStreamContext{{kStart, kEnd}});
+  for (const auto& f : faults) builder.on_fault(f);
+  builder.end_faults();
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const StoreReader reader{builder.encode()};
+  EXPECT_THROW(StoreReader{std::string{}}, DecodeError);
+#pragma GCC diagnostic pop
+  EXPECT_EQ(reader.materialize(Query{}), faults);
 }
 
 }  // namespace

@@ -77,6 +77,7 @@ bool outcomes_equal(const policy::PolicyOutcome& a,
          a.retired_absorbed_errors == b.retired_absorbed_errors &&
          a.placement_flags == b.placement_flags &&
          a.interval_changes == b.interval_changes &&
+         a.protection_changes == b.protection_changes &&
          a.actions_emitted == b.actions_emitted && a.report == b.report;
 }
 

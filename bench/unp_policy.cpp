@@ -45,6 +45,7 @@ struct Options {
   bool want_quarantine = false;
   bool want_predict = false;
   bool want_checkpoint = false;
+  bool want_protection = false;
   int period_days = 30;
   std::uint64_t trigger_threshold = 3;
   std::uint64_t seed = 42;
@@ -57,7 +58,7 @@ void usage(std::FILE* out) {
       out,
       "usage: unp_policy [options]\n"
       "  --policy NAME      shadow-evaluate NAME: quarantine | predict | "
-      "checkpoint; repeatable (default: all three)\n"
+      "checkpoint | protection; repeatable (default: all four)\n"
       "  --sweep            Table II: the seven quarantine periods as seven\n"
       "                     shadowed policies in one campaign pass\n"
       "  --closed-loop      actuate the threshold policy: cut scan plans,\n"
@@ -89,10 +90,12 @@ bool parse_args(int argc, char** argv, Options& opts) {
         opts.want_predict = true;
       } else if (std::strcmp(v, "checkpoint") == 0) {
         opts.want_checkpoint = true;
+      } else if (std::strcmp(v, "protection") == 0) {
+        opts.want_protection = true;
       } else {
         std::fprintf(stderr,
                      "unp_policy: --policy expects "
-                     "quarantine|predict|checkpoint, got '%s'\n",
+                     "quarantine|predict|checkpoint|protection, got '%s'\n",
                      v);
         return false;
       }
@@ -133,8 +136,10 @@ bool parse_args(int argc, char** argv, Options& opts) {
     std::fprintf(stderr, "unp_policy: --sweep and --closed-loop are exclusive\n");
     return false;
   }
-  if (!opts.want_quarantine && !opts.want_predict && !opts.want_checkpoint) {
-    opts.want_quarantine = opts.want_predict = opts.want_checkpoint = true;
+  if (!opts.want_quarantine && !opts.want_predict && !opts.want_checkpoint &&
+      !opts.want_protection) {
+    opts.want_quarantine = opts.want_predict = opts.want_checkpoint =
+        opts.want_protection = true;
   }
   return true;
 }
@@ -269,6 +274,9 @@ int run_policy(const Options& opts) {
     }
     if (opts.want_checkpoint) {
       engine.add_policy(std::make_unique<policy::AdaptiveCheckpointPolicy>());
+    }
+    if (opts.want_protection) {
+      engine.add_policy(std::make_unique<policy::ProtectionSelectionPolicy>());
     }
   }
 

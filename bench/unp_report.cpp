@@ -57,8 +57,8 @@ void usage(std::FILE* out) {
                "  --headline         Section III-B headline statistics\n"
                "  --fig N            figure N (1-13); repeatable\n"
                "  --tab1             Table I multi-bit census\n"
-               "  --ext NAME         extension: temporal | markov | alignment; "
-               "repeatable\n"
+               "  --ext NAME         extension: temporal | markov | alignment "
+               "| ecc; repeatable\n"
                "  --store PATH       replay a prebuilt UNPF fault store "
                "instead of\n"
                "                     simulating (excludes --seed, "
@@ -102,9 +102,11 @@ bool parse_args(int argc, char** argv, Options& opts) {
         opts.want[bench::kExtMarkov] = true;
       } else if (std::strcmp(v, "alignment") == 0) {
         opts.want[bench::kExtAlignment] = true;
+      } else if (std::strcmp(v, "ecc") == 0) {
+        opts.want[bench::kExtEcc] = true;
       } else {
         std::fprintf(stderr,
-                     "unp_report: --ext expects temporal|markov|alignment, "
+                     "unp_report: --ext expects temporal|markov|alignment|ecc, "
                      "got '%s'\n",
                      v);
         return false;

@@ -9,6 +9,9 @@
 #include "cluster/topology.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "ecc/engine.hpp"
+#include "ecc/registry.hpp"
 #include "util/campaign_cache.hpp"
 
 namespace unp::bench {
@@ -748,6 +751,65 @@ void print_ext_alignment(const analysis::AlignmentStats& stats,
       100.0 * stats.aligned_fraction(),
       100.0 * static_cast<double>(stats.with_aligned_pair) /
           static_cast<double>(stats.groups_examined));
+}
+
+void print_ext_ecc(const analysis::ExtractionResult& extraction, FILE* out) {
+  print_header(
+      "Extension - ECC evaluation engine, population replay",
+      "every extracted fault mask decoded by each code; outcomes per code "
+      "and per corruption-multiplicity class (unp_ecc drives the same "
+      "engine standalone)", out);
+
+  std::vector<Word> masks;
+  masks.reserve(extraction.faults.size());
+  for (const auto& f : extraction.faults) masks.push_back(f.flip_mask());
+
+  // One worker keeps the section cheap; the engine's tallies are
+  // thread-count invariant, so this choice cannot change the output.
+  ThreadPool pool(1);
+  std::vector<ecc::PopulationResult> results;
+  std::vector<ecc::CodeGeometry> geometries;
+  for (const auto& spec : ecc::default_code_specs()) {
+    const auto code = ecc::make_code(spec);
+    results.push_back(ecc::evaluate_population(*code, masks, pool));
+    geometries.push_back(code->geometry());
+  }
+
+  TextTable table({"Code", "Bits", "Overhead", "Correct", "Miscorrect",
+                   "Detected", "SDC", "Silent"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    const ecc::VerdictCounts total = r.total();
+    table.add_row(
+        {r.code, std::to_string(geometries[i].codeword_bits),
+         format_fixed(100.0 * geometries[i].overhead_fraction(), 1) + "%",
+         format_count(total.correct), format_count(total.miscorrect),
+         format_count(total.detect_only), format_count(total.sdc),
+         format_fixed(100.0 * r.silent_fraction(), 3) + "%"});
+  }
+  std::fprintf(out, "faults replayed: %s\n\n%s\n",
+               format_count(results.empty() ? 0 : results.front().faults).c_str(),
+               table.render().c_str());
+
+  TextTable by_class({"Code", "single", "double", "few(3-8)", "many(>8)"});
+  for (const auto& r : results) {
+    std::vector<std::string> row{r.code};
+    for (int c = 0; c < ecc::kPopulationClassCount; ++c) {
+      const auto& counts = r.by_class[static_cast<std::size_t>(c)];
+      row.push_back(format_count(counts.silent()) + "/" +
+                    format_count(counts.total()));
+    }
+    by_class.add_row(row);
+  }
+  std::fprintf(out,
+               "silent (miscorrect+SDC) / faults, by corruption class:\n\n%s\n",
+               by_class.render().c_str());
+
+  std::fprintf(out,
+      "(single-bit faults are universally repaired; the codes separate on "
+      "the multi-bit tail - SECDED's weight>=3 miscorrections vs chipkill's "
+      "symbol confinement vs the large-codeword BCH points.  unp_ecc "
+      "--exhaustive enumerates the full upset spaces behind these rates.)\n");
 }
 
 }  // namespace unp::bench

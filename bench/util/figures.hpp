@@ -121,4 +121,12 @@ void print_ext_alignment(const analysis::AlignmentStats& stats,
                          const analysis::LogicalSpread& spread,
                 FILE* out = stdout);
 
+/// Extension: the ECC evaluation engine's population replay — every
+/// extracted fault mask decoded by each default code (ecc/registry.hpp),
+/// outcomes per code and per corruption-multiplicity class.  Deterministic
+/// for a given fault set (the engine is thread-count invariant), so store
+/// and live paths render byte-identically.
+void print_ext_ecc(const analysis::ExtractionResult& extraction,
+                FILE* out = stdout);
+
 }  // namespace unp::bench

@@ -109,9 +109,12 @@ QueryRequest parse_request(const std::vector<std::string>& tokens) {
         req.want[kExtMarkov] = true;
       } else if (value == "alignment") {
         req.want[kExtAlignment] = true;
+      } else if (value == "ecc") {
+        req.want[kExtEcc] = true;
       } else {
-        throw QueryError("ext", "expects temporal|markov|alignment, got '" +
-                                    std::string(value) + "'");
+        throw QueryError("ext",
+                         "expects temporal|markov|alignment|ecc, got '" +
+                             std::string(value) + "'");
       }
       req.any_section = req.any_query_action = true;
     }

@@ -76,6 +76,10 @@ void ReportAnalyzers::render(const ReportInputs& in, FILE* out) {
   }
   if (want(kExtAlignment))
     print_ext_alignment(alignment_.stats(), alignment_.spread(), out);
+  // No sink: the ECC engine replays the finished extraction's masks
+  // directly, so the section is identical on live, store, and aggregate
+  // paths by construction.
+  if (want(kExtEcc)) print_ext_ecc(*in.extraction, out);
 }
 
 }  // namespace unp::bench

@@ -45,6 +45,7 @@ enum Section : int {
   kExtTemporal,
   kExtMarkov,
   kExtAlignment,
+  kExtEcc,
   kSectionCount
 };
 

@@ -1,0 +1,43 @@
+// Code adapters over the study's canonical protection models.
+//
+// The fixed classifier (outcome.hpp) answers the paper's SECDED/chipkill
+// questions over observed 32-bit corruptions; these adapters lift the same
+// two schemes into the pluggable Code interface so they line up in the
+// engine's outcome tables next to the configurable Hamming/Hsiao/BCH/
+// large-codeword codes — and so the classifier itself can be cross-checked
+// against real decoding on every mask (tests/ecc/codes_test.cpp).
+#pragma once
+
+#include "ecc/chipkill.hpp"
+#include "ecc/code.hpp"
+#include "ecc/secded.hpp"
+
+namespace unp::ecc {
+
+/// The canonical Hsiao SECDED(72,64) singleton, evaluated by real decode.
+class Secded7264Code final : public Code {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "secded72";
+  }
+  [[nodiscard]] CodeGeometry geometry() const noexcept override;
+  [[nodiscard]] Verdict evaluate(
+      std::span<const int> error_bits) const override;
+};
+
+/// The SSC-DSD chipkill outcome model over 4-bit symbols: 16 data symbols
+/// (64 bits) plus 2 modeled check symbols.  Errors confined to one symbol
+/// are repaired, two touched symbols are detected, three or more are
+/// beyond the guarantee and modeled silent — exactly ChipkillModel's
+/// classification, extended to check-symbol positions.
+class ChipkillCode final : public Code {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "chipkill";
+  }
+  [[nodiscard]] CodeGeometry geometry() const noexcept override;
+  [[nodiscard]] Verdict evaluate(
+      std::span<const int> error_bits) const override;
+};
+
+}  // namespace unp::ecc

@@ -1,0 +1,89 @@
+// Binary BCH codes over GF(2^m), shortened to the requested payload.
+//
+// BchCode(d, t) picks the smallest field whose cyclic length fits d data
+// bits plus the generator's parity bits (deg lcm of the minimal polynomials
+// of alpha^1..alpha^2t), then shortens: codeword positions [0, d + deg)
+// carry the transmitted word, the remaining cyclic positions are known
+// zero.  The decoder is the standard bounded-distance chain — syndromes,
+// Berlekamp–Massey, Chien search — plus the re-encode check real
+// controllers apply: a located error set whose syndromes do not reproduce
+// the received ones, a locator with missing/extra roots, or a root in the
+// shortened-away region all demote "corrected" to "detected".
+//
+// Evaluation fast path: a pattern of weight <= t is always corrected
+// exactly (unique decoding), so the full decode chain only runs for wider
+// patterns — which is what keeps the population replay cheap even for the
+// large-codeword codes that embed this decoder (large.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ecc/code.hpp"
+#include "ecc/gf2m.hpp"
+
+namespace unp::ecc {
+
+/// Bounded-distance decode core over the shortened cyclic code: shared by
+/// BchCode and the large-codeword schemes.
+class BchDecoder {
+ public:
+  /// Positions [0, shortened_bits) are transmitted; requires
+  /// shortened_bits <= 2^m - 1 and 2t < 2^m - 1.
+  BchDecoder(int m, int shortened_bits, int correct_bits);
+
+  /// deg(g): parity bits the generator adds.
+  [[nodiscard]] int parity_bits() const noexcept { return parity_bits_; }
+  [[nodiscard]] int t() const noexcept { return t_; }
+
+  enum class Status : std::uint8_t {
+    kClean,      ///< all syndromes zero: received word is a codeword
+    kCorrected,  ///< located <= t errors, re-encode check passed
+    kFailed,     ///< uncorrectable: signalled
+  };
+  struct Result {
+    Status status = Status::kClean;
+    std::vector<int> corrected;  ///< located positions (kCorrected only)
+  };
+
+  /// Run the full decode chain on the error pattern `error_bits`.
+  [[nodiscard]] Result decode(std::span<const int> error_bits) const;
+
+  /// True when every syndrome of `error_bits` is zero (pattern is a
+  /// codeword of the shortened code).
+  [[nodiscard]] bool is_codeword(std::span<const int> error_bits) const;
+
+ private:
+  void syndromes(std::span<const int> error_bits,
+                 std::vector<std::uint32_t>& out) const;
+
+  const GaloisField& field_;
+  int shortened_bits_ = 0;
+  int t_ = 0;
+  int parity_bits_ = 0;
+};
+
+/// Number of parity bits deg(g) a t-correcting BCH over GF(2^m) needs.
+[[nodiscard]] int bch_parity_bits(int m, int correct_bits);
+
+class BchCode final : public Code {
+ public:
+  BchCode(int data_bits, int correct_bits);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return name_;
+  }
+  [[nodiscard]] CodeGeometry geometry() const noexcept override;
+  [[nodiscard]] Verdict evaluate(
+      std::span<const int> error_bits) const override;
+
+  [[nodiscard]] int field_m() const noexcept { return m_; }
+
+ private:
+  std::string name_;
+  int data_bits_ = 0;
+  int m_ = 0;
+  std::unique_ptr<BchDecoder> decoder_;
+};
+
+}  // namespace unp::ecc

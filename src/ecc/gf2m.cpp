@@ -1,0 +1,44 @@
+#include "ecc/gf2m.hpp"
+
+#include <array>
+#include <mutex>
+
+#include "common/require.hpp"
+
+namespace unp::ecc {
+namespace {
+
+/// Standard minimal-weight primitive polynomials, x^m term included
+/// (index = m).
+constexpr std::array<std::uint32_t, 17> kPrimitivePoly = {
+    0,      0,      0,      0xB,    0x13,   0x25,    0x43,   0x89,  0x11D,
+    0x211,  0x409,  0x805,  0x1053, 0x201B, 0x4443,  0x8003, 0x1100B,
+};
+
+}  // namespace
+
+GaloisField::GaloisField(int m) : m_(m), n_((1 << m) - 1) {
+  exp_.resize(static_cast<std::size_t>(n_));
+  log_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  const std::uint32_t poly = kPrimitivePoly[static_cast<std::size_t>(m)];
+  std::uint32_t x = 1;
+  for (int i = 0; i < n_; ++i) {
+    exp_[static_cast<std::size_t>(i)] = x;
+    log_[x] = i;
+    x <<= 1;
+    if ((x >> m) != 0) x ^= poly;
+  }
+  UNP_ENSURE(x == 1);  // alpha has full multiplicative order: poly primitive
+}
+
+const GaloisField& GaloisField::get(int m) {
+  UNP_REQUIRE(m >= 3 && m <= 16);
+  static std::array<std::unique_ptr<GaloisField>, 17> fields;
+  static std::mutex mutex;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = fields[static_cast<std::size_t>(m)];
+  if (slot == nullptr) slot.reset(new GaloisField(m));
+  return *slot;
+}
+
+}  // namespace unp::ecc

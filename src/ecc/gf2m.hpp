@@ -1,0 +1,52 @@
+// GF(2^m) arithmetic for the BCH codes, m in [3, 16].
+//
+// Log/antilog tables over a fixed primitive polynomial per m (the standard
+// minimal-weight primitives), built once per field and shared: BchCode
+// instances for the same m reuse one table set.  Multiplication is two log
+// lookups and a modular add; the exhaustive enumerator's syndrome updates
+// and the Chien search both reduce to this.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace unp::ecc {
+
+class GaloisField {
+ public:
+  /// The shared field for 2^m; built on first use, immutable after.
+  [[nodiscard]] static const GaloisField& get(int m);
+
+  [[nodiscard]] int m() const noexcept { return m_; }
+  /// Multiplicative group order, 2^m - 1 (= cyclic code length n).
+  [[nodiscard]] int n() const noexcept { return n_; }
+
+  /// alpha^e for e >= 0 (reduced mod n).
+  [[nodiscard]] std::uint32_t alpha_pow(std::uint64_t e) const noexcept {
+    return exp_[e % static_cast<std::uint64_t>(n_)];
+  }
+  /// discrete log of x != 0.
+  [[nodiscard]] int log(std::uint32_t x) const noexcept { return log_[x]; }
+
+  [[nodiscard]] std::uint32_t mul(std::uint32_t a,
+                                  std::uint32_t b) const noexcept {
+    if (a == 0 || b == 0) return 0;
+    return exp_[(static_cast<std::uint64_t>(log_[a]) +
+                 static_cast<std::uint64_t>(log_[b])) %
+                static_cast<std::uint64_t>(n_)];
+  }
+  [[nodiscard]] std::uint32_t inv(std::uint32_t a) const noexcept {
+    return exp_[static_cast<std::size_t>((n_ - log_[a]) % n_)];
+  }
+
+ private:
+  explicit GaloisField(int m);
+
+  int m_ = 0;
+  int n_ = 0;
+  std::vector<std::uint32_t> exp_;  ///< alpha^i, i in [0, n)
+  std::vector<std::int32_t> log_;   ///< inverse table, log_[0] unused
+};
+
+}  // namespace unp::ecc

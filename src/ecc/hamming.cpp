@@ -1,0 +1,81 @@
+#include "ecc/hamming.hpp"
+
+#include <bit>
+
+#include "common/require.hpp"
+
+namespace unp::ecc {
+
+HammingCode::HammingCode(int data_bits) {
+  UNP_REQUIRE(data_bits >= 4 && data_bits <= 4096);
+  data_bits_ = data_bits;
+  int r = 2;
+  while ((1 << r) < data_bits + r + 1) ++r;
+  position_checks_ = r;
+  name_ = "hamming:" + std::to_string(data_bits);
+
+  // Codeword layout per the library convention: data first, then the r
+  // position checks, then the overall parity bit (position code 0).
+  const int n = data_bits + r + 1;
+  codes_.resize(static_cast<std::size_t>(n));
+  std::uint32_t next = 3;
+  for (int i = 0; i < data_bits; ++i) {
+    while (std::has_single_bit(next)) ++next;
+    codes_[static_cast<std::size_t>(i)] = next++;
+  }
+  for (int j = 0; j < r; ++j) {
+    codes_[static_cast<std::size_t>(data_bits + j)] = std::uint32_t{1} << j;
+  }
+  codes_[static_cast<std::size_t>(n - 1)] = 0;
+
+  std::uint32_t max_code = 0;
+  for (const std::uint32_t c : codes_) max_code = c > max_code ? c : max_code;
+  position_.assign(static_cast<std::size_t>(max_code) + 1, -1);
+  for (int p = 0; p < n - 1; ++p) {
+    position_[codes_[static_cast<std::size_t>(p)]] = p;
+  }
+}
+
+CodeGeometry HammingCode::geometry() const noexcept {
+  CodeGeometry g;
+  g.data_bits = data_bits_;
+  g.check_bits = position_checks_ + 1;
+  g.codeword_bits = data_bits_ + g.check_bits;
+  g.guaranteed_correct = 1;
+  g.guaranteed_detect = 2;
+  return g;
+}
+
+Verdict HammingCode::evaluate(std::span<const int> error_bits) const {
+  std::uint32_t syndrome = 0;
+  bool data_hit = false;
+  for (const int p : error_bits) {
+    syndrome ^= codes_[static_cast<std::size_t>(p)];
+    data_hit = data_hit || p < data_bits_;
+  }
+  const bool parity_odd = error_bits.size() % 2 == 1;
+  if (!parity_odd) {
+    if (syndrome != 0) return Verdict::kDetectOnly;
+    if (error_bits.empty()) return Verdict::kCorrect;
+    // Even weight, zero syndrome, non-empty: a codeword pattern slipped
+    // through.  (Check-only patterns cannot cancel — distinct unit codes —
+    // so the data is always hit.)
+    return Verdict::kSdc;
+  }
+  // Odd parity: the decoder corrects the single position the syndrome names.
+  if (syndrome == 0) {
+    // Blamed on the overall parity bit; data delivered unchanged.
+    return data_hit ? Verdict::kMiscorrect : Verdict::kCorrect;
+  }
+  if (syndrome >= position_.size() || position_[syndrome] < 0) {
+    return Verdict::kDetectOnly;  // syndrome names no existing position
+  }
+  const int fixed = position_[syndrome];
+  if (error_bits.size() == 1 && error_bits[0] == fixed) return Verdict::kCorrect;
+  // Wider pattern aliasing a single: the application's data is wrong unless
+  // neither the real pattern nor the bogus fix touched a data bit.
+  if (!data_hit && fixed >= data_bits_) return Verdict::kCorrect;
+  return Verdict::kMiscorrect;
+}
+
+}  // namespace unp::ecc

@@ -1,0 +1,50 @@
+// Extended Hamming SEC-DED code, Hamming(d).
+//
+// The classic construction mat_ecc_ram calls "hamming 64/8": r position
+// check bits with 2^r >= d + r + 1 plus one overall parity bit.  Each
+// codeword position carries a position code (data bits take the
+// non-power-of-two integers >= 3 in ascending order, check bit j takes
+// 2^j, the overall parity bit takes 0); the syndrome of an error pattern
+// is the XOR of its position codes and the parity of the pattern's weight
+// disambiguates single from double errors:
+//
+//   parity odd              -> decoder assumes a single error and flips the
+//                              position the syndrome names (miscorrection
+//                              when the real pattern was wider);
+//   parity even, syndrome!=0 -> double error, detected;
+//   parity even, syndrome==0 -> valid word (silent when the pattern was a
+//                              codeword).
+//
+// Unlike Hsiao's odd-weight columns, the Hamming syndrome space is dense,
+// so wide patterns alias correctable singles more often — the measurable
+// reason Hsiao replaced it in memory controllers, visible directly in
+// `unp_ecc --exhaustive` miscorrection columns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ecc/code.hpp"
+
+namespace unp::ecc {
+
+class HammingCode final : public Code {
+ public:
+  explicit HammingCode(int data_bits);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return name_;
+  }
+  [[nodiscard]] CodeGeometry geometry() const noexcept override;
+  [[nodiscard]] Verdict evaluate(
+      std::span<const int> error_bits) const override;
+
+ private:
+  std::string name_;
+  int data_bits_ = 0;
+  int position_checks_ = 0;  ///< r (excludes the overall parity bit)
+  std::vector<std::uint32_t> codes_;     ///< position code per codeword bit
+  std::vector<std::int32_t> position_;   ///< position code -> codeword bit
+};
+
+}  // namespace unp::ecc

@@ -1,0 +1,126 @@
+#include "ecc/large.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace unp::ecc {
+namespace {
+
+/// CRC-32 (IEEE 802.3) generator, x^32 term implicit.
+constexpr std::uint32_t kCrcPoly = 0x04C11DB7u;
+
+std::uint32_t mulx_mod_g(std::uint32_t r) noexcept {
+  const bool carry = (r & 0x80000000u) != 0;
+  r <<= 1;
+  return carry ? (r ^ kCrcPoly) : r;
+}
+
+}  // namespace
+
+LargeBlockCode::LargeBlockCode(int block_bytes, int correct_bits) {
+  UNP_REQUIRE(block_bytes == 512 || block_bytes == 1024 || block_bytes == 4096);
+  UNP_REQUIRE(correct_bits >= 1 && correct_bits <= 16);
+  data_bits_ = block_bytes * 8;
+
+  for (int m = 3; m <= 16; ++m) {
+    const int n = (1 << m) - 1;
+    if (2 * correct_bits >= n) continue;
+    const int parity = bch_parity_bits(m, correct_bits);
+    if (data_bits_ + kEdcBits + parity <= n) {
+      m_ = m;
+      decoder_ = std::make_unique<BchDecoder>(
+          m, data_bits_ + kEdcBits + parity, correct_bits);
+      break;
+    }
+  }
+  UNP_REQUIRE(decoder_ != nullptr);
+
+  const char* size_name = block_bytes == 512   ? "512B"
+                          : block_bytes == 1024 ? "1KB"
+                                                : "4KB";
+  name_ = std::string("large:") + size_name + "/" +
+          std::to_string(correct_bits);
+
+  // CRC contribution of data bit b: x^{(N-1-b)+32} mod g, filled from the
+  // last bit (x^32 mod g = the generator's low word) downward.
+  crc_contrib_.resize(static_cast<std::size_t>(data_bits_));
+  std::uint32_t r = kCrcPoly;  // x^32 mod g
+  for (int b = data_bits_ - 1; b >= 0; --b) {
+    crc_contrib_[static_cast<std::size_t>(b)] = r;
+    r = mulx_mod_g(r);
+  }
+}
+
+CodeGeometry LargeBlockCode::geometry() const noexcept {
+  CodeGeometry g;
+  g.data_bits = data_bits_;
+  g.check_bits = kEdcBits + decoder_->parity_bits();
+  g.codeword_bits = data_bits_ + g.check_bits;
+  // CRC-32 has Hamming distance >= 4 at these block lengths, so any
+  // <= 3-bit pattern is guaranteed to take the decode path and be
+  // corrected; at weight 4 the EDC-first short-circuit opens an SDC
+  // window (aliasing patterns skip a BCH that could have fixed them).
+  g.guaranteed_correct = std::min(decoder_->t(), 3);
+  g.guaranteed_detect = g.guaranteed_correct;
+  return g;
+}
+
+std::uint32_t LargeBlockCode::edc_syndrome(
+    std::span<const int> error_bits) const {
+  std::uint32_t syndrome = 0;
+  for (const int p : error_bits) {
+    if (p < data_bits_) {
+      syndrome ^= crc_contrib_[static_cast<std::size_t>(p)];
+    } else if (p < data_bits_ + kEdcBits) {
+      syndrome ^= std::uint32_t{1} << (p - data_bits_);
+    }
+  }
+  return syndrome;
+}
+
+Verdict LargeBlockCode::evaluate(std::span<const int> error_bits) const {
+  if (error_bits.empty()) return Verdict::kCorrect;
+
+  const auto data_touched = [this](std::span<const int> bits) {
+    for (const int p : bits) {
+      if (p < data_bits_) return true;
+    }
+    return false;
+  };
+
+  if (edc_syndrome(error_bits) == 0) {
+    // EDC-first fast path accepts the block without consulting the ECC:
+    // clean for parity-only damage, silent for a CRC-aliasing data pattern.
+    return data_touched(error_bits) ? Verdict::kSdc : Verdict::kCorrect;
+  }
+
+  // EDC mismatch: full BCH decode over the frame.
+  if (static_cast<int>(error_bits.size()) <= decoder_->t()) {
+    return Verdict::kCorrect;  // unique decoding; CRC re-check passes
+  }
+  const BchDecoder::Result res = decoder_->decode(error_bits);
+  switch (res.status) {
+    case BchDecoder::Status::kClean:
+      // The ECC sees a valid word yet the EDC still rejects the data it
+      // carries: correction failed -> fatal uncorrectable error.
+      return Verdict::kDetectOnly;
+    case BchDecoder::Status::kFailed:
+      return Verdict::kDetectOnly;
+    case BchDecoder::Status::kCorrected: {
+      std::vector<int> residual;
+      std::set_symmetric_difference(error_bits.begin(), error_bits.end(),
+                                    res.corrected.begin(),
+                                    res.corrected.end(),
+                                    std::back_inserter(residual));
+      if (residual.empty()) return Verdict::kCorrect;
+      // The corrected frame is re-checked against its CRC before being
+      // returned; only a residual the CRC cannot see escapes.
+      if (edc_syndrome(residual) != 0) return Verdict::kDetectOnly;
+      return data_touched(residual) ? Verdict::kMiscorrect : Verdict::kCorrect;
+    }
+  }
+  return Verdict::kDetectOnly;
+}
+
+}  // namespace unp::ecc

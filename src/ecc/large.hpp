@@ -1,0 +1,62 @@
+// Large-codeword ECC with an EDC-first fast path (512B / 1KB / 4KB).
+//
+// The Ramulator2_ECC design point: amortize redundancy over a whole block
+// instead of per 64-bit word.  A block frame is
+//
+//   [ data (block bytes) | EDC: CRC-32 of the data | BCH parity over all ]
+//
+// and the read path is EDC-FIRST: recompute the CRC and compare — a match
+// returns the data with no ECC work at all (the common, clean case and the
+// reason large codewords are cheap); a mismatch triggers the full
+// t-correcting BCH decode over the frame, followed by a CRC re-check of
+// the corrected data which demotes any miscorrection the re-encode check
+// missed to a detected (fatal) error.
+//
+// The trade-off this models faithfully: the CRC is the only guard on the
+// fast path, so an error pattern the CRC cannot see (weight >= its Hamming
+// distance, e.g. the CRC generator polynomial itself laid into the data)
+// is returned as-is — silent corruption that the BCH layer could have
+// repaired but never saw.  `unp_ecc --exhaustive` and the codes test
+// surface exactly that window.
+//
+// Evaluation uses CRC linearity: the CRC syndrome of an error pattern is
+// the XOR of per-bit contributions (x^(distance) mod g, precomputed per
+// data position), so no block buffers are ever materialized.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ecc/bch.hpp"
+#include "ecc/code.hpp"
+
+namespace unp::ecc {
+
+class LargeBlockCode final : public Code {
+ public:
+  /// `block_bytes` in {512, 1024, 4096}; `correct_bits` = BCH t.
+  LargeBlockCode(int block_bytes, int correct_bits);
+
+  static constexpr int kEdcBits = 32;
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return name_;
+  }
+  [[nodiscard]] CodeGeometry geometry() const noexcept override;
+  [[nodiscard]] Verdict evaluate(
+      std::span<const int> error_bits) const override;
+
+  /// CRC-32 syndrome of an error pattern restricted to the data+EDC bits
+  /// (zero <=> the EDC fast path accepts the block).  Testing hook.
+  [[nodiscard]] std::uint32_t edc_syndrome(
+      std::span<const int> error_bits) const;
+
+ private:
+  std::string name_;
+  int data_bits_ = 0;
+  int m_ = 0;
+  std::unique_ptr<BchDecoder> decoder_;
+  std::vector<std::uint32_t> crc_contrib_;  ///< per data-bit CRC syndrome
+};
+
+}  // namespace unp::ecc

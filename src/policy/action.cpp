@@ -10,6 +10,17 @@ const char* to_string(ActionKind kind) noexcept {
     case ActionKind::kRetirePage: return "retire-page";
     case ActionKind::kSetCheckpointInterval: return "set-interval";
     case ActionKind::kAvoidPlacement: return "avoid-placement";
+    case ActionKind::kSetProtectionLevel: return "set-protection";
+  }
+  return "?";
+}
+
+const char* to_string(ProtectionLevel level) noexcept {
+  switch (level) {
+    case ProtectionLevel::kUnprotected: return "unprotected";
+    case ProtectionLevel::kSecded: return "secded";
+    case ProtectionLevel::kChipkill: return "chipkill";
+    case ProtectionLevel::kLargeBlock: return "large-block";
   }
   return "?";
 }
@@ -28,6 +39,10 @@ std::string to_string(const Action& action) {
       std::snprintf(detail, sizeof(detail), " to %.3fh", action.interval_hours);
       break;
     case ActionKind::kAvoidPlacement:
+      break;
+    case ActionKind::kSetProtectionLevel:
+      std::snprintf(detail, sizeof(detail), " to %s",
+                    to_string(action.protection));
       break;
   }
   return std::string(to_string(action.kind)) + " " + node_name(action.node) +

@@ -30,9 +30,26 @@ enum class ActionKind : std::uint8_t {
   /// Advise the scheduler to avoid placing jobs on `node` (soft signal; no
   /// capacity is removed).
   kAvoidPlacement,
+  /// Escalate (or de-escalate) the modeled memory-protection scheme for
+  /// `node` to `protection` — the ECC-evaluation actuator: which rung to
+  /// request is decided from unp_ecc's outcome tables (silent fraction vs
+  /// redundancy overhead per code), fed to the policy as a cost menu.
+  kSetProtectionLevel,
 };
 
 [[nodiscard]] const char* to_string(ActionKind kind) noexcept;
+
+/// Protection rungs a kSetProtectionLevel action can request, in strength
+/// order.  Each rung corresponds to a canonical ecc code spec (see
+/// ecc/registry.hpp): none, secded72, chipkill, large:4KB/8.
+enum class ProtectionLevel : std::uint8_t {
+  kUnprotected = 0,  ///< the study's raw, ECC-disabled configuration
+  kSecded = 1,       ///< per-word SECDED(72,64)
+  kChipkill = 2,     ///< symbol-correcting SSC-DSD
+  kLargeBlock = 3,   ///< large-codeword BCH with EDC fast path
+};
+
+[[nodiscard]] const char* to_string(ProtectionLevel level) noexcept;
 
 struct Action {
   ActionKind kind = ActionKind::kQuarantineNode;
@@ -41,6 +58,7 @@ struct Action {
   int quarantine_days = 0;             ///< kQuarantineNode
   std::uint64_t virtual_address = 0;   ///< kRetirePage
   double interval_hours = 0.0;         ///< kSetCheckpointInterval
+  ProtectionLevel protection = ProtectionLevel::kUnprotected;  ///< kSetProtectionLevel
 
   friend bool operator==(const Action&, const Action&) = default;
 };

@@ -1,6 +1,9 @@
 #include "policy/builtin.hpp"
 
 #include <cstdio>
+#include <utility>
+
+#include "common/require.hpp"
 
 namespace unp::policy {
 
@@ -153,6 +156,67 @@ std::string AdaptiveCheckpointPolicy::report() const {
       comparison_.static_interval_hours, comparison_.static_waste_fraction,
       comparison_.normal_interval_hours, comparison_.degraded_interval_hours,
       comparison_.adaptive_waste_fraction, 100.0 * comparison_.improvement());
+}
+
+// --- ProtectionSelectionPolicy ---------------------------------------------
+
+ProtectionSelectionPolicy::ProtectionSelectionPolicy(Config config)
+    : config_(std::move(config)) {
+  // The menu must open with the resident baseline and escalate in strictly
+  // increasing trigger order, or the rung walk below is ill-defined.
+  UNP_REQUIRE(!config_.menu.empty());
+  UNP_REQUIRE(config_.menu.front().escalate_after == 0);
+  for (std::size_t i = 1; i < config_.menu.size(); ++i) {
+    UNP_REQUIRE(config_.menu[i].escalate_after >
+                config_.menu[i - 1].escalate_after);
+  }
+}
+
+void ProtectionSelectionPolicy::begin(const PolicyContext&) {
+  multibit_.assign(static_cast<std::size_t>(cluster::kStudyNodeSlots), 0);
+  rung_.assign(static_cast<std::size_t>(cluster::kStudyNodeSlots), 0);
+  escalations_ = 0;
+  expected_caught_ = 0.0;
+}
+
+void ProtectionSelectionPolicy::on_fault(const analysis::FaultRecord& fault,
+                                         const NodeHealth&,
+                                         std::vector<Action>& actions) {
+  if (!fault.is_multibit()) return;
+  const auto index = static_cast<std::size_t>(cluster::node_index(fault.node));
+  const std::uint64_t seen = ++multibit_[index];
+
+  // Credit the rung that was in force when this fault landed.
+  const Rung& current = config_.menu[rung_[index]];
+  expected_caught_ += 1.0 - current.silent_fraction;
+
+  // Walk up every rung the new count now clears (a burst can jump rungs).
+  std::uint8_t target = rung_[index];
+  while (static_cast<std::size_t>(target) + 1 < config_.menu.size() &&
+         seen >= config_.menu[target + 1u].escalate_after) {
+    ++target;
+  }
+  if (target != rung_[index]) {
+    rung_[index] = target;
+    ++escalations_;
+    Action action;
+    action.kind = ActionKind::kSetProtectionLevel;
+    action.node = fault.node;
+    action.time = fault.first_seen;
+    action.protection = config_.menu[target].level;
+    actions.push_back(action);
+  }
+}
+
+std::string ProtectionSelectionPolicy::report() const {
+  std::uint64_t multibit_total = 0;
+  for (const std::uint64_t count : multibit_) multibit_total += count;
+  return format(
+      "%zu-rung menu, %llu multi-bit faults, %llu escalations, "
+      "expected caught %.1f",
+      config_.menu.size(), static_cast<unsigned long long>(multibit_total),
+      static_cast<unsigned long long>(escalations_),
+      expected_caught_);
 }
 
 }  // namespace unp::policy

@@ -14,6 +14,12 @@
 //                               days go degraded, and report the
 //                               static-vs-adaptive Young/Daly comparison
 //                               once the campaign's regimes are final.
+//   ProtectionSelectionPolicy   The ECC-evaluation actuator: escalate a
+//                               node's modeled protection rung as its
+//                               multi-bit fault history outgrows what the
+//                               current code handles silently.  The rung
+//                               costs come in as a menu of plain numbers
+//                               lifted from unp_ecc's outcome tables.
 #pragma once
 
 #include <cstdint>
@@ -132,6 +138,57 @@ class AdaptiveCheckpointPolicy final : public Policy {
   std::vector<std::uint64_t> counts_;  ///< [node * days_ + day]
   analysis::RegimeResult regime_;
   resilience::CheckpointComparison comparison_;
+};
+
+class ProtectionSelectionPolicy final : public Policy {
+ public:
+  /// One rung of the protection menu, in escalation order.  The fractions
+  /// are plain numbers read off unp_ecc's population outcome table for the
+  /// rung's code (silent = (miscorrect+sdc)/faults over multi-bit classes;
+  /// overhead = check_bits/data_bits), so the policy layer needs no coding
+  /// theory — the ECC engine did the evaluation offline.
+  struct Rung {
+    ProtectionLevel level = ProtectionLevel::kUnprotected;
+    double silent_fraction = 1.0;  ///< multi-bit faults passing silently
+    double overhead_fraction = 0.0;
+    /// Multi-bit faults on a node before this rung is requested.
+    std::uint64_t escalate_after = 0;
+  };
+
+  struct Config {
+    /// Default menu: the unprotected baseline, then SECDED after the first
+    /// multi-bit fault, chipkill after the third, large-block after the
+    /// tenth.  Silent fractions are the exhaustive-table figures for the
+    /// canonical codes (secded72 weight 3-4, chipkill >2 symbols, large
+    /// 4KB/8); unp_ecc --population derives campaign-specific ones.
+    std::vector<Rung> menu = {
+        {ProtectionLevel::kUnprotected, 1.0, 0.0, 0},
+        {ProtectionLevel::kSecded, 0.60, 0.125, 1},
+        {ProtectionLevel::kChipkill, 0.05, 0.125, 3},
+        {ProtectionLevel::kLargeBlock, 0.001, 0.0049, 10},
+    };
+  };
+
+  ProtectionSelectionPolicy() : ProtectionSelectionPolicy(Config{}) {}
+  explicit ProtectionSelectionPolicy(Config config);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "protection-selection";
+  }
+  void begin(const PolicyContext& ctx) override;
+  void on_fault(const analysis::FaultRecord& fault, const NodeHealth& health,
+                std::vector<Action>& actions) override;
+  [[nodiscard]] std::string report() const override;
+
+ private:
+  Config config_;
+  std::vector<std::uint64_t> multibit_;  ///< per-node multi-bit fault count
+  std::vector<std::uint8_t> rung_;       ///< per-node current menu index
+  std::uint64_t escalations_ = 0;
+  /// Multi-bit faults that arrived while the node sat on a rung whose menu
+  /// silent fraction is < 1 (i.e. would likely have been caught), summed
+  /// as expected-caught for the report.
+  double expected_caught_ = 0.0;
 };
 
 }  // namespace unp::policy

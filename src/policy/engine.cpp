@@ -29,6 +29,8 @@ std::size_t PolicyEngine::add_policy(std::unique_ptr<Policy> policy) {
   Shadow shadow;
   shadow.policy = std::move(policy);
   shadow.nodes.assign(static_cast<std::size_t>(cluster::kStudyNodeSlots), {});
+  shadow.protection.assign(static_cast<std::size_t>(cluster::kStudyNodeSlots),
+                           0);
   shadows_.push_back(std::move(shadow));
   return shadows_.size() - 1;
 }
@@ -44,6 +46,9 @@ void PolicyEngine::begin_campaign(const CampaignWindow& window) {
     shadow.log.clear();
     shadow.pages_retired = 0;
     shadow.interval_changes = 0;
+    shadow.protection_changes = 0;
+    shadow.protection.assign(static_cast<std::size_t>(cluster::kStudyNodeSlots),
+                             0);
     shadow.policy->begin(PolicyContext{window, config_.fleet_nodes});
   }
 }
@@ -129,6 +134,16 @@ void PolicyEngine::apply(Shadow& shadow, NodeState& state, const Action& action)
     case ActionKind::kAvoidPlacement:
       shadow.flagged.insert(cluster::node_index(action.node));
       break;
+    case ActionKind::kSetProtectionLevel: {
+      auto& current = shadow.protection[static_cast<std::size_t>(
+          cluster::node_index(action.node))];
+      const auto requested = static_cast<std::uint8_t>(action.protection);
+      if (current != requested) {
+        current = requested;
+        ++shadow.protection_changes;
+      }
+      break;
+    }
   }
 }
 
@@ -201,6 +216,7 @@ EngineResult PolicyEngine::finish() {
     outcome.pages_retired = shadow.pages_retired;
     outcome.placement_flags = flags;
     outcome.interval_changes = shadow.interval_changes;
+    outcome.protection_changes = shadow.protection_changes;
     outcome.actions_emitted = shadow.log.size();
     outcome.report = shadow.policy->report();
     result.outcomes.push_back(std::move(outcome));

@@ -110,6 +110,10 @@ class PolicyEngine final : public telemetry::RecordSink {
     std::vector<Action> log;
     std::uint64_t pages_retired = 0;
     std::uint64_t interval_changes = 0;
+    std::uint64_t protection_changes = 0;
+    /// Current protection rung per node (kSetProtectionLevel is only
+    /// counted as a change when the requested rung actually differs).
+    std::vector<std::uint8_t> protection;  ///< kStudyNodeSlots entries
   };
 
   void dispatch_node(cluster::NodeId node,

@@ -61,6 +61,7 @@ struct PolicyOutcome {
   std::uint64_t retired_absorbed_errors = 0;  ///< faults on retired pages
   std::uint64_t placement_flags = 0;          ///< nodes flagged kAvoidPlacement
   std::uint64_t interval_changes = 0;         ///< kSetCheckpointInterval count
+  std::uint64_t protection_changes = 0;       ///< kSetProtectionLevel count
   std::uint64_t actions_emitted = 0;
   std::string report;  ///< policy-specific annotation from finish()
 };

@@ -8,8 +8,9 @@
 // handle is deeply immutable after construction, so concurrent scans need
 // no locks: segment decode reads disjoint slices of the shared mapping.
 //
-// StoreReader keeps its familiar API as a thin view over a handle; the old
-// bytes-owning constructor survives as a deprecated shim.
+// StoreReader keeps its familiar API as a thin view over a handle; every
+// construction path goes through a handle (the old bytes-owning reader
+// constructor is gone — use StoreHandle::from_bytes).
 #pragma once
 
 #include <cstdint>

@@ -65,14 +65,6 @@ class StoreReader {
   explicit StoreReader(std::shared_ptr<const StoreHandle> handle)
       : handle_(std::move(handle)) {}
 
-  /// Parse a store from memory (takes ownership of the bytes).  Throws
-  /// DecodeError with byte-offset context on corrupt input.
-  [[deprecated(
-      "construct from StoreHandle::from_bytes (or StoreReader::open) so the "
-      "parsed store is shared instead of re-parsed per reader")]]
-  explicit StoreReader(std::string bytes)
-      : handle_(StoreHandle::from_bytes(std::move(bytes))) {}
-
   /// Map, parse, and wrap the store file at `path`.
   [[nodiscard]] static StoreReader open(const std::string& path) {
     return StoreReader(StoreHandle::open(path));

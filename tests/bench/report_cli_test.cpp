@@ -20,6 +20,7 @@ int run(const std::string& args_for_binary) {
 const std::string kReport = UNP_REPORT_BIN;
 const std::string kPolicy = UNP_POLICY_BIN;
 const std::string kQuery = UNP_QUERY_BIN;
+const std::string kEcc = UNP_ECC_BIN;
 
 TEST(ReportCli, UnknownFlagExitsTwo) {
   EXPECT_EQ(run(kReport + " --frobnicate"), 2);
@@ -125,6 +126,58 @@ TEST(QueryCli, CorruptStoreFileExitsTwo) {
 
 TEST(QueryCli, HelpExitsZero) {
   EXPECT_EQ(run(kQuery + " --help"), 0);
+}
+
+TEST(EccCli, UnknownFlagExitsTwo) {
+  EXPECT_EQ(run(kEcc + " --frobnicate"), 2);
+}
+
+TEST(EccCli, RequiresAMode) {
+  EXPECT_EQ(run(kEcc), 2);
+  EXPECT_EQ(run(kEcc + " --code secded72"), 2);
+}
+
+TEST(EccCli, MalformedCodeSpecExitsTwo) {
+  EXPECT_EQ(run(kEcc + " --code bogus --exhaustive 2"), 2);
+  EXPECT_EQ(run(kEcc + " --code hamming:zero --exhaustive 2"), 2);
+  EXPECT_EQ(run(kEcc + " --code large:777B/8 --exhaustive 2"), 2);
+}
+
+TEST(EccCli, MalformedNumbersExitTwo) {
+  EXPECT_EQ(run(kEcc + " --exhaustive 0"), 2);
+  EXPECT_EQ(run(kEcc + " --exhaustive 65"), 2);
+  EXPECT_EQ(run(kEcc + " --exhaustive banana"), 2);
+  EXPECT_EQ(run(kEcc + " --threads 0 --exhaustive 2"), 2);
+}
+
+TEST(EccCli, ExhaustiveWorkloadRefusalExitsTwo) {
+  // C(72,16) patterns is far beyond the enumerable ceiling; the CLI must
+  // refuse with an estimate instead of starting a year-long loop.
+  EXPECT_EQ(run(kEcc + " --code secded72 --exhaustive 16"), 2);
+}
+
+TEST(EccCli, StoreRequiresPopulationMode) {
+  EXPECT_EQ(run(kEcc + " --store x.unpf --exhaustive 2"), 2);
+}
+
+TEST(EccCli, StoreExcludesLivePipelineFlags) {
+  EXPECT_EQ(run(kEcc + " --population --store x.unpf --seed 5"), 2);
+}
+
+TEST(EccCli, CheckClassifierRequiresPopulation) {
+  EXPECT_EQ(run(kEcc + " --check-classifier --exhaustive 2"), 2);
+}
+
+TEST(EccCli, MissingStoreFileExitsTwo) {
+  EXPECT_EQ(run(kEcc + " --population --store /nonexistent/no.unpf"), 2);
+}
+
+TEST(EccCli, HelpExitsZero) {
+  EXPECT_EQ(run(kEcc + " --help"), 0);
+}
+
+TEST(EccCli, SmallExhaustiveSweepSucceeds) {
+  EXPECT_EQ(run(kEcc + " --code secded72 --exhaustive 2"), 0);
 }
 
 }  // namespace

@@ -1,0 +1,193 @@
+// The evaluation drivers: combination ranking, exhaustive enumeration
+// totals and thread invariance, population replay bucketing, and the
+// promise that ecc's PopulationClass mirrors store::FaultClass exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "ecc/engine.hpp"
+#include "ecc/registry.hpp"
+#include "store/format.hpp"
+
+namespace unp::ecc {
+namespace {
+
+// --- combinatorics --------------------------------------------------------
+
+TEST(CombinatoricsTest, BinomialValues) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(5, 0), 1u);
+  EXPECT_EQ(binomial(5, 5), 1u);
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(72, 2), 2556u);
+  EXPECT_EQ(binomial(72, 4), 1028790u);
+  EXPECT_EQ(binomial(78, 3), 76076u);
+  EXPECT_EQ(binomial(4, 5), 0u);  // k > n
+  EXPECT_EQ(binomial(60, 10), 75394027566u);
+  // Saturation is conservative: it triggers when the intermediate product
+  // overflows, even if the true value would fit.  Callers only ever ask
+  // "is this enumerable", so UINT64_MAX is the right answer for both.
+  EXPECT_EQ(binomial(64, 32), UINT64_MAX);
+  EXPECT_EQ(binomial(200, 100), UINT64_MAX);
+}
+
+TEST(CombinatoricsTest, UnrankMatchesSuccessorWalk) {
+  constexpr int n = 9;
+  constexpr int k = 4;
+  std::vector<int> combo = {0, 1, 2, 3};  // rank 0
+  std::uint64_t rank = 0;
+  do {
+    std::vector<int> unranked(k);
+    unrank_combination(rank, n, k, unranked);
+    ASSERT_EQ(unranked, combo) << "rank " << rank;
+    ++rank;
+  } while (next_combination(combo, n));
+  EXPECT_EQ(rank, binomial(n, k));
+}
+
+TEST(CombinatoricsTest, SuccessorWalkEndsAtLastCombination) {
+  std::vector<int> combo = {3, 4, 5};
+  EXPECT_FALSE(next_combination(combo, 6));
+  combo = {0, 4, 5};
+  EXPECT_TRUE(next_combination(combo, 6));
+  EXPECT_EQ(combo, (std::vector<int>{1, 2, 3}));
+}
+
+// --- exhaustive enumeration ----------------------------------------------
+
+TEST(ExhaustiveTest, TotalsAreBinomialSums) {
+  const auto code = make_code("secded72");
+  ThreadPool pool(2);
+  const ExhaustiveResult r = evaluate_exhaustive(*code, 3, pool);
+  EXPECT_EQ(r.code, "secded72");
+  EXPECT_EQ(r.codeword_bits, 72);
+  ASSERT_EQ(r.weights.size(), 3u);
+  std::uint64_t expected_total = 0;
+  for (int w = 1; w <= 3; ++w) {
+    const ExhaustiveWeightResult& wr = r.weights[static_cast<std::size_t>(w - 1)];
+    EXPECT_EQ(wr.weight, w);
+    EXPECT_EQ(wr.patterns, binomial(72, w));
+    EXPECT_EQ(wr.counts.total(), wr.patterns);  // every pattern tallied once
+    expected_total += wr.patterns;
+  }
+  EXPECT_EQ(r.total_patterns(), expected_total);
+  EXPECT_EQ(r.total().total(), expected_total);
+}
+
+TEST(ExhaustiveTest, CountsAreThreadCountInvariant) {
+  for (const char* spec : {"secded72", "bch:64/2"}) {
+    const auto code = make_code(spec);
+    ThreadPool one(1);
+    const ExhaustiveResult baseline = evaluate_exhaustive(*code, 3, one);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      ThreadPool pool(threads);
+      const ExhaustiveResult r = evaluate_exhaustive(*code, 3, pool);
+      ASSERT_EQ(r.weights.size(), baseline.weights.size()) << spec;
+      for (std::size_t w = 0; w < r.weights.size(); ++w)
+        EXPECT_EQ(r.weights[w], baseline.weights[w])
+            << spec << " weight " << (w + 1) << " at " << threads
+            << " threads";
+    }
+  }
+}
+
+// --- population replay ----------------------------------------------------
+
+TEST(PopulationTest, ClassBoundariesMirrorStoreFaultClass) {
+  // ecc is a leaf library and cannot include store, so it re-states the
+  // bucketing; this is the assertion that keeps the two in lockstep.
+  for (int bits = 0; bits <= 40; ++bits) {
+    EXPECT_EQ(static_cast<int>(classify_population_bits(bits)),
+              static_cast<int>(store::classify_bits(bits)))
+        << bits << " flipped bits";
+  }
+}
+
+TEST(PopulationTest, MasksLandInTheirMultiplicityBuckets) {
+  const auto code = make_code("secded72");
+  const std::vector<Word> masks = {
+      0x1,        // single
+      0x3,        // double
+      0xFF,       // few (8)
+      0x1FF,      // many (9)
+      0x0,        // clean: skipped entirely
+      0x80000000  // single again
+  };
+  ThreadPool pool(1);
+  const PopulationResult r = evaluate_population(*code, masks, pool);
+  EXPECT_EQ(r.code, "secded72");
+  EXPECT_EQ(r.faults, 5u);  // zero mask skipped
+  const auto at = [&](PopulationClass c) -> const VerdictCounts& {
+    return r.by_class[static_cast<std::size_t>(c)];
+  };
+  EXPECT_EQ(at(PopulationClass::kSingleBit).total(), 2u);
+  EXPECT_EQ(at(PopulationClass::kDoubleBit).total(), 1u);
+  EXPECT_EQ(at(PopulationClass::kFewBit).total(), 1u);
+  EXPECT_EQ(at(PopulationClass::kManyBit).total(), 1u);
+  // SECDED verdicts per bucket: singles corrected, the double detected.
+  EXPECT_EQ(at(PopulationClass::kSingleBit).correct, 2u);
+  EXPECT_EQ(at(PopulationClass::kDoubleBit).detect_only, 1u);
+  EXPECT_EQ(r.total().total(), 5u);
+}
+
+TEST(PopulationTest, SilentFractionCountsMiscorrectAndSdc) {
+  PopulationResult r;
+  r.faults = 8;
+  r.by_class[0].correct = 5;
+  r.by_class[2].miscorrect = 2;
+  r.by_class[3].sdc = 1;
+  EXPECT_DOUBLE_EQ(r.silent_fraction(), 3.0 / 8.0);
+}
+
+TEST(PopulationTest, ReplayIsThreadCountInvariant) {
+  // Up to 8 flips: within every default code's guaranteed-or-cheap range,
+  // so the full seven-code sweep over a large population stays fast.
+  RngStream rng(23);
+  std::vector<Word> masks(20000);
+  for (auto& m : masks) {
+    const int flips = static_cast<int>(rng.uniform_u64(9));  // incl. zeros
+    m = 0;
+    for (int f = 0; f < flips; ++f) m |= Word{1} << rng.uniform_u64(32);
+  }
+  for (const std::string& spec : default_code_specs()) {
+    const auto code = make_code(spec);
+    ThreadPool one(1);
+    const PopulationResult baseline = evaluate_population(*code, masks, one);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      ThreadPool pool(threads);
+      EXPECT_EQ(evaluate_population(*code, masks, pool), baseline)
+          << spec << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(PopulationTest, ReplayIsThreadCountInvariantBeyondTheGuarantee) {
+  // A small >t tail drives the expensive full-decode verdict paths (BCH
+  // Berlekamp-Massey/Chien, large-codeword CRC re-check).  Kept small and
+  // pointed at the m=7 and m=13 fields — the m=16 (4KB) Chien search costs
+  // ~1M field ops per mask and adds nothing to the invariance argument.
+  RngStream rng(29);
+  std::vector<Word> masks(40);
+  for (auto& m : masks) {
+    const int flips = 9 + static_cast<int>(rng.uniform_u64(8));
+    m = 0;
+    for (int f = 0; f < flips; ++f) m |= Word{1} << rng.uniform_u64(32);
+  }
+  for (const char* spec : {"bch:64/2", "large:512B/8"}) {
+    const auto code = make_code(spec);
+    ThreadPool one(1);
+    const PopulationResult baseline = evaluate_population(*code, masks, one);
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      ThreadPool pool(threads);
+      EXPECT_EQ(evaluate_population(*code, masks, pool), baseline)
+          << spec << " at " << threads << " threads";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace unp::ecc

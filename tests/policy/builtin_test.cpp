@@ -168,5 +168,66 @@ TEST(AdaptiveCheckpoint, EmitsIntervalChangeOnDegradedDay) {
   EXPECT_TRUE(saw_interval);
 }
 
+// Multi-bit faults walk the node up the protection menu at the configured
+// thresholds (1 -> SECDED, 3 -> chipkill, 10 -> large-block), each rung
+// change emitting one set-protection action; single-bit faults never move
+// the rung.
+TEST(ProtectionSelection, EscalatesThroughMenuOnMultibitFaults) {
+  const CampaignWindow w;
+  PolicyEngine::Config config;
+  config.exclude_loudest = false;
+  PolicyEngine engine(config);
+  engine.add_policy(std::make_unique<ProtectionSelectionPolicy>());
+
+  engine.begin_campaign(w);
+  const cluster::NodeId node = cluster::node_from_index(10);
+  engine.begin_node(node);
+  for (int i = 0; i < 12; ++i) {
+    telemetry::ErrorRun run;
+    run.first.time = at(w, 2, i);
+    run.first.node = node;
+    run.first.virtual_address = 0x1000u + static_cast<std::uint64_t>(i) * 0x40u;
+    run.first.expected = 0xFFFFFFFFu;
+    // Two single-bit faults mixed in: they must not advance the rung.
+    run.first.actual = i % 6 == 5 ? 0xFFFFFFFEu : 0xFFFFFF00u;
+    run.count = 1;
+    engine.on_error_run(run);
+  }
+  engine.end_node(node);
+  engine.end_campaign();
+  const EngineResult result = engine.finish();
+
+  // 10 multi-bit faults: rung changes at the 1st, 3rd, and 10th.
+  EXPECT_EQ(result.outcomes[0].protection_changes, 3u);
+  std::vector<ProtectionLevel> levels;
+  for (const Action& action : engine.actions(0)) {
+    if (action.kind == ActionKind::kSetProtectionLevel)
+      levels.push_back(action.protection);
+  }
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_EQ(levels[0], ProtectionLevel::kSecded);
+  EXPECT_EQ(levels[1], ProtectionLevel::kChipkill);
+  EXPECT_EQ(levels[2], ProtectionLevel::kLargeBlock);
+  EXPECT_FALSE(result.outcomes[0].report.empty());
+}
+
+TEST(ProtectionSelection, SingleBitFaultsNeverEscalate) {
+  const CampaignWindow w;
+  std::vector<RawError> errors;  // stream_errors emits single-bit flips
+  for (int i = 0; i < 20; ++i)
+    errors.push_back({10, at(w, 2, i),
+                      0x1000u + static_cast<std::uint64_t>(i) * 0x40u});
+
+  PolicyEngine::Config config;
+  config.exclude_loudest = false;
+  PolicyEngine engine(config);
+  engine.add_policy(std::make_unique<ProtectionSelectionPolicy>());
+  stream_errors(engine, w, errors);
+  const EngineResult result = engine.finish();
+  EXPECT_EQ(result.outcomes[0].protection_changes, 0u);
+  for (const Action& action : engine.actions(0))
+    EXPECT_NE(action.kind, ActionKind::kSetProtectionLevel);
+}
+
 }  // namespace
 }  // namespace unp::policy

@@ -384,10 +384,10 @@ TEST(StoreReaderTest, CorruptSegmentBodySurfacesDuringScanNotOpen) {
   EXPECT_THROW((void)reader.materialize(Query{}), DecodeError);
 }
 
-TEST(StoreReaderTest, DeprecatedBytesCtorStillRoundTrips) {
-  // Compatibility shim: the std::string-owning constructor is deprecated in
-  // favour of StoreHandle::from_bytes, but it must keep working (and keep
-  // throwing the same DecodeErrors) until out-of-tree callers migrate.
+TEST(StoreReaderTest, FromBytesRoundTrips) {
+  // The canonical in-memory path (all call sites migrated off the removed
+  // bytes-owning StoreReader constructor): StoreHandle::from_bytes owns and
+  // parses, StoreReader views.  Same DecodeError contract as the file path.
   const auto faults = make_population(300);
   StoreBuilder builder;
   builder.set_window(CampaignWindow{kStart, kEnd});
@@ -395,11 +395,8 @@ TEST(StoreReaderTest, DeprecatedBytesCtorStillRoundTrips) {
   for (const auto& f : faults) builder.on_fault(f);
   builder.end_faults();
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const StoreReader reader{builder.encode()};
-  EXPECT_THROW(StoreReader{std::string{}}, DecodeError);
-#pragma GCC diagnostic pop
+  const StoreReader reader{StoreHandle::from_bytes(builder.encode())};
+  EXPECT_THROW(StoreHandle::from_bytes(std::string{}), DecodeError);
   EXPECT_EQ(reader.materialize(Query{}), faults);
 }
 

@@ -43,6 +43,7 @@ using bench::Section;
 struct Options {
   bool want[kSectionCount] = {};
   std::uint64_t seed = 42;
+  bool hammer = false;  ///< enable the Rowhammer generator (live pipeline)
   std::size_t threads = sim::default_campaign_threads();
   analysis::ExtractionConfig extraction;
   std::string store_path;  ///< non-empty: replay a UNPF store
@@ -58,7 +59,9 @@ void usage(std::FILE* out) {
                "  --fig N            figure N (1-13); repeatable\n"
                "  --tab1             Table I multi-bit census\n"
                "  --ext NAME         extension: temporal | markov | alignment "
-               "| ecc; repeatable\n"
+               "| ecc | hammer; repeatable\n"
+               "  --hammer           enable the Rowhammer fault generator in "
+               "the live campaign\n"
                "  --store PATH       replay a prebuilt UNPF fault store "
                "instead of\n"
                "                     simulating (excludes --seed, "
@@ -96,19 +99,22 @@ bool parse_args(int argc, char** argv, Options& opts) {
     } else if (std::strcmp(arg, "--ext") == 0) {
       const char* v = cli.next_value(i, "--ext");
       if (!v) return false;
-      if (std::strcmp(v, "temporal") == 0) {
-        opts.want[bench::kExtTemporal] = true;
-      } else if (std::strcmp(v, "markov") == 0) {
-        opts.want[bench::kExtMarkov] = true;
-      } else if (std::strcmp(v, "alignment") == 0) {
-        opts.want[bench::kExtAlignment] = true;
-      } else if (std::strcmp(v, "ecc") == 0) {
-        opts.want[bench::kExtEcc] = true;
-      } else {
-        std::fprintf(stderr,
-                     "unp_report: --ext expects temporal|markov|alignment|ecc, "
-                     "got '%s'\n",
-                     v);
+      bool found = false;
+      for (const bench::ExtSection& ext : bench::ext_sections()) {
+        if (std::strcmp(v, ext.name) == 0) {
+          opts.want[ext.section] = true;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::string names;
+        for (const bench::ExtSection& ext : bench::ext_sections()) {
+          if (!names.empty()) names += " | ";
+          names += ext.name;
+        }
+        std::fprintf(stderr, "unp_report: --ext expects %s, got '%s'\n",
+                     names.c_str(), v);
         return false;
       }
       any_section = true;
@@ -118,6 +124,9 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.store_path = v;
     } else if (std::strcmp(arg, "--seed") == 0) {
       if (!cli.u64(i, "--seed", opts.seed)) return false;
+      opts.live_flags_used = true;
+    } else if (std::strcmp(arg, "--hammer") == 0) {
+      opts.hammer = true;
       opts.live_flags_used = true;
     } else if (std::strcmp(arg, "--threads") == 0) {
       long n = 0;
@@ -226,6 +235,7 @@ int run_store_report(const Options& opts) {
 int run_report(const Options& opts) {
   sim::CampaignConfig config;
   config.seed = opts.seed;
+  config.faults.enable_hammer = opts.hammer;
 
   // --- Pass 1: one record stream feeds scan totals AND fault extraction. ---
   analysis::ScanProfileSink scan;

@@ -125,7 +125,7 @@ std::vector<faults::FaultEvent> decode_ground_truth(const std::string& in,
     ev.node = cluster::node_from_index(static_cast<int>(index));
     UNP_REQUIRE(pos + 2 <= in.size());
     const auto mechanism = static_cast<std::uint8_t>(in[pos++]);
-    UNP_REQUIRE(mechanism <= static_cast<std::uint8_t>(faults::Mechanism::kIsolatedSdc));
+    UNP_REQUIRE(mechanism <= static_cast<std::uint8_t>(faults::Mechanism::kRowhammer));
     ev.mechanism = static_cast<faults::Mechanism>(mechanism);
     const auto persistence = static_cast<std::uint8_t>(in[pos++]);
     UNP_REQUIRE(persistence <= static_cast<std::uint8_t>(faults::Persistence::kStuck));
@@ -348,6 +348,28 @@ std::uint64_t campaign_fingerprint(const sim::CampaignConfig& config,
   h = mix64(h, static_cast<std::uint64_t>(extraction.merge_window_s));
   h = mix64(h, extraction.pathological_min_raw);
   h = mix64(h, std::bit_cast<std::uint64_t>(extraction.pathological_raw_fraction));
+  // Hammer-enabled campaigns produce a different record stream for the
+  // same seed, so their config participates - but only when enabled, which
+  // keeps every existing time-driven cache entry valid.
+  if (config.faults.enable_hammer) {
+    const auto& hammer = config.faults.hammer;
+    h = mix64(h, faults::hammer::kHammerDerivationVersion);
+    for (const char c : hammer.mapping) {
+      h = mix64(h, static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+    }
+    h = mix64(h, std::bit_cast<std::uint64_t>(hammer.hammered_node_fraction));
+    h = mix64(h, std::bit_cast<std::uint64_t>(hammer.episodes_per_node_mean));
+    h = mix64(h, std::bit_cast<std::uint64_t>(hammer.episode_min_h));
+    h = mix64(h, std::bit_cast<std::uint64_t>(hammer.episode_max_h));
+    h = mix64(h,
+              std::bit_cast<std::uint64_t>(hammer.activations_per_scanned_hour));
+    h = mix64(h, std::bit_cast<std::uint64_t>(hammer.threshold_median));
+    h = mix64(h, std::bit_cast<std::uint64_t>(hammer.threshold_log_sigma));
+    h = mix64(h, std::bit_cast<std::uint64_t>(hammer.distance2_factor));
+    h = mix64(h, static_cast<std::uint64_t>(hammer.flip_words_min));
+    h = mix64(h, static_cast<std::uint64_t>(hammer.flip_words_max));
+    h = mix64(h, std::bit_cast<std::uint64_t>(hammer.flip_burst_hours));
+  }
   return h;
 }
 

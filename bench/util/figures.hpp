@@ -129,4 +129,12 @@ void print_ext_alignment(const analysis::AlignmentStats& stats,
 void print_ext_ecc(const analysis::ExtractionResult& extraction,
                 FILE* out = stdout);
 
+/// Extension: Rowhammer victim-row census — the extracted faults replayed
+/// through the spatial HammerRowDetector under every menu geometry
+/// (dram/mapping), plus the detected-row ledger for the primary geometry.
+/// Pure function of the extraction, so store and live paths render
+/// byte-identically.
+void print_ext_hammer(const analysis::ExtractionResult& extraction,
+                FILE* out = stdout);
+
 }  // namespace unp::bench

@@ -4,6 +4,15 @@
 
 namespace unp::bench {
 
+std::span<const ExtSection> ext_sections() noexcept {
+  static constexpr ExtSection kExtSections[] = {
+      {"temporal", kExtTemporal}, {"markov", kExtMarkov},
+      {"alignment", kExtAlignment}, {"ecc", kExtEcc},
+      {"hammer", kExtHammer},
+  };
+  return kExtSections;
+}
+
 ReportAnalyzers::ReportAnalyzers(const bool (&wanted)[kSectionCount])
     : address_map_(dram::default_geometry()), alignment_(address_map_) {
   for (int s = 0; s < kSectionCount; ++s) want_[s] = wanted[s];
@@ -80,6 +89,10 @@ void ReportAnalyzers::render(const ReportInputs& in, FILE* out) {
   // directly, so the section is identical on live, store, and aggregate
   // paths by construction.
   if (want(kExtEcc)) print_ext_ecc(*in.extraction, out);
+  // Also sink-free: the hammer census replays the finished extraction
+  // through the same HammerRowDetector the mitigation loop uses, so live,
+  // store, and aggregate paths agree by construction.
+  if (want(kExtHammer)) print_ext_hammer(*in.extraction, out);
 }
 
 }  // namespace unp::bench

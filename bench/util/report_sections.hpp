@@ -46,8 +46,20 @@ enum Section : int {
   kExtMarkov,
   kExtAlignment,
   kExtEcc,
+  kExtHammer,
   kSectionCount
 };
+
+/// One `--ext NAME` extension section.  The registry below is the single
+/// source of truth for the front ends: unp_report resolves `--ext` values
+/// against it and lists exactly these names when given an unknown one, so
+/// adding a section here is all it takes to expose it on the CLI.
+struct ExtSection {
+  const char* name;
+  Section section;
+};
+
+[[nodiscard]] std::span<const ExtSection> ext_sections() noexcept;
 
 /// `--fig N` (1..13) to Section mapping.
 inline constexpr Section kFigSections[] = {kFig01, kFig02, kFig03, kFig04,

@@ -1,0 +1,95 @@
+// Small dense GF(2) linear algebra over 64-bit row masks.
+//
+// Every DRAM addressing function in this module is a parity (XOR fold) of a
+// subset of physical address bits, i.e. a linear functional over GF(2)^n
+// represented as a 64-bit mask (LSB = physical bit 0).  The mapping solver
+// needs three operations on sets of such masks: a canonical reduced
+// row-echelon basis (so two recovered function sets can be compared for
+// span equality), the rank, and a null-space basis (the set of address
+// deltas that leave every function unchanged).
+//
+// Pivot convention: the pivot of a row is its LOWEST set bit.  Physical
+// bank/channel selects live below the row bits in every geometry we model,
+// so lowest-bit pivots keep the canonical basis' pivots out of the row-bit
+// region - which is exactly what lets the solver classify the remaining
+// free bits as row/column by timing (see solver.cpp).
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace unp::dram::mapping {
+
+/// Parity of the bits of `x`: the GF(2) inner product <x, ones>.
+[[nodiscard]] constexpr int gf2_parity(std::uint64_t x) noexcept {
+  return std::popcount(x) & 1;
+}
+
+/// GF(2) inner product of two masks.
+[[nodiscard]] constexpr int gf2_dot(std::uint64_t a, std::uint64_t b) noexcept {
+  return gf2_parity(a & b);
+}
+
+/// Reduced row-echelon basis of span(rows) with lowest-bit pivots, sorted by
+/// pivot.  The result is the unique canonical basis of the row space: two
+/// mask sets span the same space iff their gf2_rref outputs are equal.
+[[nodiscard]] inline std::vector<std::uint64_t> gf2_rref(
+    std::vector<std::uint64_t> rows) {
+  std::vector<std::uint64_t> basis;
+  for (std::uint64_t row : rows) {
+    // Eliminate existing pivots, then insert if independent.
+    for (const std::uint64_t b : basis) {
+      const std::uint64_t pivot = b & (~b + 1);  // lowest set bit
+      if (row & pivot) row ^= b;
+    }
+    if (row == 0) continue;
+    const std::uint64_t pivot = row & (~row + 1);
+    for (std::uint64_t& b : basis) {
+      if (b & pivot) b ^= row;
+    }
+    basis.push_back(row);
+  }
+  std::sort(basis.begin(), basis.end(),
+            [](std::uint64_t a, std::uint64_t b) {
+              return (a & (~a + 1)) < (b & (~b + 1));
+            });
+  return basis;
+}
+
+[[nodiscard]] inline int gf2_rank(std::vector<std::uint64_t> rows) {
+  return static_cast<int>(gf2_rref(std::move(rows)).size());
+}
+
+/// Union of the pivot bits of an RREF basis.
+[[nodiscard]] inline std::uint64_t gf2_pivot_mask(
+    const std::vector<std::uint64_t>& rref) {
+  std::uint64_t mask = 0;
+  for (const std::uint64_t b : rref) mask |= b & (~b + 1);
+  return mask;
+}
+
+/// Basis of the null space {x in GF(2)^n : gf2_dot(x, r) == 0 for all rows}.
+///
+/// Returned vectors are in free-variable form: one per non-pivot bit f, each
+/// equal to e_f XOR (one pivot bit per constraint row containing f).  The
+/// free bit of a vector v is recoverable as v & ~gf2_pivot_mask(rref).
+[[nodiscard]] inline std::vector<std::uint64_t> gf2_nullspace(
+    const std::vector<std::uint64_t>& rows, int n) {
+  const std::vector<std::uint64_t> rref = gf2_rref(rows);
+  const std::uint64_t pivots = gf2_pivot_mask(rref);
+  std::vector<std::uint64_t> basis;
+  for (int f = 0; f < n; ++f) {
+    const std::uint64_t ef = std::uint64_t{1} << f;
+    if (pivots & ef) continue;
+    std::uint64_t v = ef;
+    for (const std::uint64_t r : rref) {
+      if (r & ef) v |= r & (~r + 1);  // pivot of the row constrains x_pivot
+    }
+    basis.push_back(v);
+  }
+  return basis;
+}
+
+}  // namespace unp::dram::mapping

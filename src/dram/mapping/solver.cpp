@@ -1,0 +1,135 @@
+#include "dram/mapping/solver.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/require.hpp"
+#include "dram/mapping/gf2.hpp"
+
+namespace unp::dram::mapping {
+
+namespace {
+
+/// Mean steady-state latency of alternating accesses to {a, b}.  The first
+/// two accesses open both rows (warm-up, excluded); afterwards every access
+/// is a hit unless the two addresses share a bank with different rows, in
+/// which case every access closes the other's row (conflict).
+double pair_latency(AccessTimingOracle& oracle, std::uint64_t a,
+                    std::uint64_t b, int probes) {
+  (void)oracle.access(a);
+  (void)oracle.access(b);
+  double total = 0.0;
+  for (int i = 0; i < probes; ++i) {
+    total += oracle.access(a);
+    total += oracle.access(b);
+  }
+  return total / (2.0 * probes);
+}
+
+}  // namespace
+
+SolveResult MappingSolver::solve(AccessTimingOracle& oracle,
+                                 int address_bits) const {
+  UNP_REQUIRE(address_bits > 0 && address_bits < 63);
+  UNP_REQUIRE(config_.pool_size >= 2);
+  const std::uint64_t before = oracle.accesses();
+  const std::uint64_t space = std::uint64_t{1} << address_bits;
+  RngStream rng(config_.seed, /*stream_id=*/0x501E);
+
+  SolveResult result;
+
+  // --- 1. Calibrate the hit/conflict decision threshold. -----------------
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < config_.calibration_pairs; ++i) {
+    const std::uint64_t a = rng.uniform_u64(space);
+    std::uint64_t b = rng.uniform_u64(space);
+    if (b == a) b ^= 1;
+    const double t = pair_latency(oracle, a, b, config_.probes_per_pair);
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  // The two modes must be separated; with sane timing configs the gap is
+  // tens of sigma wide.
+  UNP_REQUIRE(hi - lo > 16.0);
+  const double threshold = 0.5 * (lo + hi);
+  result.threshold_ns = threshold;
+  const auto conflicts = [&](std::uint64_t a, std::uint64_t b) {
+    return pair_latency(oracle, a, b, config_.probes_per_pair) > threshold;
+  };
+
+  // --- 2. Cluster a random pool into same-bank sets. ----------------------
+  // Same-bank different-row pairs conflict; everything else runs at hit
+  // speed.  A pool member lands in the first cluster whose representative
+  // it conflicts with (same bank, and a same-row collision against a
+  // representative is a ~2^-13 accident that only costs a duplicate
+  // cluster, never an impure one).
+  std::vector<std::uint64_t> reps;
+  std::vector<std::uint64_t> null_span;
+  for (int i = 0; i < config_.pool_size; ++i) {
+    const std::uint64_t addr = rng.uniform_u64(space);
+    bool placed = false;
+    for (const std::uint64_t rep : reps) {
+      if (conflicts(rep, addr)) {
+        null_span.push_back(rep ^ addr);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) reps.push_back(addr);
+  }
+  result.clusters = static_cast<int>(reps.size());
+
+  // --- 3. Bank functions: canonical dual basis of the difference span. ----
+  // Every XOR difference of a same-bank pair zeroes all bank functions, so
+  // the functions span the dual of span(null_span).
+  result.bank_functions = gf2_rref(gf2_nullspace(null_span, address_bits));
+
+  // --- 4. Row/column split of the free bits. ------------------------------
+  // The null space of the recovered functions, in free-variable form: one
+  // vector per non-pivot bit f, each connecting same-bank addresses that
+  // differ in f (plus compensating pivot bits).  Pivot bits are bank
+  // address lines by construction and belong to neither mask.
+  const std::uint64_t pivots = gf2_pivot_mask(result.bank_functions);
+  const std::vector<std::uint64_t> free_vectors =
+      gf2_nullspace(result.bank_functions, address_bits);
+  for (const std::uint64_t v : free_vectors) {
+    const std::uint64_t free_bit = v & ~pivots;
+    bool row_bit = false;
+    for (int p = 0; p < config_.classify_probes && !row_bit; ++p) {
+      const std::uint64_t a = rng.uniform_u64(space);
+      row_bit = conflicts(a, (a ^ v) & (space - 1));
+    }
+    if (row_bit) {
+      result.row_mask |= free_bit;
+    } else {
+      result.column_mask |= free_bit;
+    }
+  }
+
+  // --- 5. Verify: the model predicts fresh measurements. ------------------
+  int agree = 0;
+  for (int i = 0; i < config_.verify_pairs; ++i) {
+    const std::uint64_t a = rng.uniform_u64(space);
+    std::uint64_t b = rng.uniform_u64(space);
+    if (b == a) b ^= 1;
+    const std::uint64_t d = a ^ b;
+    bool same_bank = true;
+    for (const std::uint64_t fn : result.bank_functions) {
+      if (gf2_dot(d, fn) != 0) {
+        same_bank = false;
+        break;
+      }
+    }
+    const bool predicted = same_bank && (d & result.row_mask) != 0;
+    if (predicted == conflicts(a, b)) ++agree;
+  }
+  result.verify_agreement =
+      config_.verify_pairs > 0
+          ? static_cast<double>(agree) / config_.verify_pairs
+          : 1.0;
+  result.measurements = oracle.accesses() - before;
+  return result;
+}
+
+}  // namespace unp::dram::mapping

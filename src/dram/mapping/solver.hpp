@@ -1,0 +1,73 @@
+// Reverse engineering of DRAM address mappings from timing alone.
+//
+// The DRAMA technique as implemented by zenhammer's DramAnalyzer, run
+// against our synthetic oracle:
+//
+//   1. Calibrate: measure many random address pairs; the pair-latency
+//      distribution is bimodal (row-buffer hit vs bank conflict), so the
+//      decision threshold is the midpoint of the observed extremes.
+//   2. Cluster: group a pool of random addresses into same-bank sets by
+//      conflict timing against a growing list of cluster representatives.
+//   3. Solve the bank functions: XOR differences of same-cluster addresses
+//      all lie in the null space of the bank-function matrix; the bank
+//      functions are the canonical (RREF) basis of that span's dual.
+//   4. Classify the remaining bits: for every non-pivot bit f, the
+//      null-space vector v_f (e_f plus compensating pivot bits) connects
+//      two same-bank addresses; the pair conflicts iff f is a row bit.
+//
+// The result is exact - recovered functions equal the oracle mapping's
+// canonical_bank_functions() and row mask - which the self-test asserts
+// for every geometry in the menu.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/mapping/timing_oracle.hpp"
+
+namespace unp::dram::mapping {
+
+struct SolverConfig {
+  /// Random addresses clustered into same-bank sets.
+  int pool_size = 768;
+  /// Alternating access rounds per pair measurement (after a 2-access
+  /// warm-up that opens both rows).
+  int probes_per_pair = 8;
+  /// Random pairs used to calibrate the hit/conflict threshold.
+  int calibration_pairs = 512;
+  /// Random probes per free bit in the row/column classification step.
+  int classify_probes = 4;
+  /// Fresh random pairs measured to cross-check the recovered model.
+  int verify_pairs = 256;
+  std::uint64_t seed = 1;
+};
+
+struct SolveResult {
+  /// Canonical (RREF) bank-function masks, sorted by pivot bit.
+  std::vector<std::uint64_t> bank_functions;
+  std::uint64_t row_mask = 0;
+  std::uint64_t column_mask = 0;  ///< complement: non-row, non-pivot free bits
+
+  int clusters = 0;                   ///< same-bank sets found in the pool
+  double threshold_ns = 0.0;          ///< calibrated decision threshold
+  std::uint64_t measurements = 0;     ///< oracle accesses consumed
+  /// Fraction of verify_pairs whose measured class matched the recovered
+  /// model's prediction (1.0 = perfect).
+  double verify_agreement = 0.0;
+};
+
+class MappingSolver {
+ public:
+  explicit MappingSolver(const SolverConfig& config = {}) : config_(config) {}
+
+  /// Recover the mapping behind `oracle`.  `address_bits` is the size of
+  /// the probeable physical space (known to any attacker: it is the module
+  /// capacity), not a peek into the mapping.
+  [[nodiscard]] SolveResult solve(AccessTimingOracle& oracle,
+                                  int address_bits) const;
+
+ private:
+  SolverConfig config_;
+};
+
+}  // namespace unp::dram::mapping

@@ -1,0 +1,65 @@
+// Synthetic access-timing oracle over a DramMapping.
+//
+// Models the three latency classes a memory access can see at the bank
+// level: row-buffer hit (the addressed row is already open), row miss (the
+// bank had no open row; activate only) and bank conflict (a different row
+// is open; precharge + activate).  Each bank remembers its open row - the
+// open-page policy every timing-side-channel mapping attack relies on -
+// and every returned latency carries seeded Gaussian measurement noise.
+//
+// The oracle is the ground truth the MappingSolver must never look inside:
+// solver code sees access() latencies only, exactly like DRAMA/zenhammer
+// measuring a live controller with rdtsc.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "dram/mapping/mapping.hpp"
+
+namespace unp::dram::mapping {
+
+struct TimingConfig {
+  double row_hit_ns = 45.0;
+  double row_miss_ns = 90.0;
+  double row_conflict_ns = 135.0;
+  double noise_sigma_ns = 3.0;
+};
+
+class AccessTimingOracle {
+ public:
+  AccessTimingOracle(const DramMapping& mapping, const TimingConfig& timing,
+                     std::uint64_t seed)
+      : mapping_(mapping), timing_(timing), rng_(seed, /*stream_id=*/0x0AC1) {}
+
+  /// Latency of accessing `word_addr`, updating the open-row state.
+  [[nodiscard]] double access(std::uint64_t word_addr) {
+    const DramCoordinate c = mapping_.decode(word_addr);
+    double base = timing_.row_miss_ns;
+    const auto it = open_rows_.find(c.bank);
+    if (it != open_rows_.end()) {
+      base = (it->second == c.row) ? timing_.row_hit_ns
+                                   : timing_.row_conflict_ns;
+      it->second = c.row;
+    } else {
+      open_rows_.emplace(c.bank, c.row);
+    }
+    ++accesses_;
+    return base + rng_.normal(0.0, timing_.noise_sigma_ns);
+  }
+
+  /// Total accesses served (the solver's measurement budget).
+  [[nodiscard]] std::uint64_t accesses() const noexcept { return accesses_; }
+
+  [[nodiscard]] const DramMapping& mapping() const noexcept { return mapping_; }
+
+ private:
+  const DramMapping& mapping_;
+  TimingConfig timing_;
+  RngStream rng_;
+  std::unordered_map<std::uint32_t, std::uint64_t> open_rows_;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace unp::dram::mapping

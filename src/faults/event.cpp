@@ -13,6 +13,7 @@ const char* to_string(Mechanism mechanism) noexcept {
     case Mechanism::kDegradingComponent: return "degrading-component";
     case Mechanism::kPathologicalStuck: return "pathological-stuck";
     case Mechanism::kIsolatedSdc: return "isolated-sdc";
+    case Mechanism::kRowhammer: return "rowhammer";
   }
   return "unknown";
 }

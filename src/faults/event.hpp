@@ -18,6 +18,11 @@
 //                         the >98%-of-raw-logs node removed from the study.
 //   kIsolatedSdc          the seven >3-bit corruptions that appeared on
 //                         otherwise silent nodes (Section III-D).
+//   kRowhammer            activation-induced disturbance: victim-row cells
+//                         discharged by a neighboring aggressor row crossing
+//                         its hammer-count threshold (src/faults/hammer).
+//                         Not part of the paper's campaign - an access-
+//                         dependent extension, off by default.
 //
 // A FaultEvent is one root cause manifesting at one instant; it may corrupt
 // several words at once (the per-node "simultaneous" corruptions).
@@ -39,6 +44,7 @@ enum class Mechanism : std::uint8_t {
   kDegradingComponent,
   kPathologicalStuck,
   kIsolatedSdc,
+  kRowhammer,
 };
 
 [[nodiscard]] const char* to_string(Mechanism mechanism) noexcept;

@@ -1,0 +1,45 @@
+#include "faults/hammer/detect.hpp"
+
+#include <algorithm>
+
+namespace unp::faults::hammer {
+
+bool HammerRowDetector::observe(TimePoint time, std::uint64_t word_index) {
+  ++observed_;
+  const dram::mapping::DramCoordinate c = mapping_.decode(word_index);
+  const std::uint64_t key = (std::uint64_t{c.bank} << 48) | c.row;
+  RowState& state = rows_[key];
+  state.words_ever.insert(word_index);
+
+  if (state.detection_index >= 0) {
+    DetectedRow& detection =
+        detections_[static_cast<std::size_t>(state.detection_index)];
+    if (time > detection.trigger_time) ++absorbable_;
+    detection.distinct_words = static_cast<int>(state.words_ever.size());
+    return false;
+  }
+
+  // Trailing window: drop stale observations, then insert if the word is
+  // new within the window (a repeated word refreshes its timestamp).
+  std::erase_if(state.recent, [&](const auto& entry) {
+    return entry.first < time - config_.window_seconds;
+  });
+  bool fresh = true;
+  for (auto& [t, w] : state.recent) {
+    if (w == word_index) {
+      t = time;
+      fresh = false;
+      break;
+    }
+  }
+  if (fresh) state.recent.emplace_back(time, word_index);
+  if (static_cast<int>(state.recent.size()) < config_.min_distinct_words) {
+    return false;
+  }
+  state.detection_index = static_cast<int>(detections_.size());
+  detections_.push_back({c.bank, c.row, time,
+                         static_cast<int>(state.words_ever.size())});
+  return true;
+}
+
+}  // namespace unp::faults::hammer

@@ -1,0 +1,85 @@
+// Spatial clustering detector for hammered rows.
+//
+// Consumes one node's observed faults as (time, word index) pairs in
+// nondecreasing time order, maps each to DRAM coordinates, and flags a
+// (bank, row) once `min_distinct_words` *distinct* words of that row have
+// faulted within a trailing time window.  Time-driven mechanisms scatter
+// faults uniformly over ~2^21 (bank, row) cells, so same-row multiplicity
+// inside a short window is an access-dependent signature; the thresholds
+// below make accidental triggers from the background mechanisms
+// negligible while a tripped victim row (a burst of 16+ flips) is caught
+// with near certainty.
+//
+// The detector is a pure function of the observed fault stream - the same
+// class drives the live HammerMitigationPolicy, the closed-loop runner and
+// the `unp_report --ext hammer` census, so all three agree by construction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/civil_time.hpp"
+#include "dram/mapping/mapping.hpp"
+
+namespace unp::faults::hammer {
+
+struct DetectorConfig {
+  int min_distinct_words = 3;
+  /// Trailing window within which the distinct words must cluster.
+  std::int64_t window_seconds = 6 * 3600;
+};
+
+struct DetectedRow {
+  std::uint32_t bank = 0;
+  std::uint64_t row = 0;
+  TimePoint trigger_time = 0;
+  int distinct_words = 0;  ///< total distinct words seen by end of stream
+};
+
+class HammerRowDetector {
+ public:
+  HammerRowDetector(const dram::mapping::DramMapping& mapping,
+                    const DetectorConfig& config)
+      : mapping_(mapping), config_(config) {}
+
+  /// Feed one observed fault (times nondecreasing).  Returns true when
+  /// this observation newly triggers its row.
+  bool observe(TimePoint time, std::uint64_t word_index);
+
+  /// Rows that crossed the threshold, in trigger order.
+  [[nodiscard]] const std::vector<DetectedRow>& detections() const noexcept {
+    return detections_;
+  }
+
+  /// Observed faults that landed on an already-triggered row strictly
+  /// after its trigger (what retirement would have absorbed).
+  [[nodiscard]] std::uint64_t absorbable_faults() const noexcept {
+    return absorbable_;
+  }
+
+  [[nodiscard]] std::uint64_t observed_faults() const noexcept {
+    return observed_;
+  }
+
+  [[nodiscard]] const dram::mapping::DramMapping& mapping() const noexcept {
+    return mapping_;
+  }
+
+ private:
+  struct RowState {
+    std::vector<std::pair<TimePoint, std::uint64_t>> recent;  ///< (time, word)
+    std::set<std::uint64_t> words_ever;  ///< census of distinct words
+    int detection_index = -1;  ///< into detections_, -1 until triggered
+  };
+
+  const dram::mapping::DramMapping& mapping_;
+  DetectorConfig config_;
+  std::map<std::uint64_t, RowState> rows_;  ///< key: bank<<48 | row
+  std::vector<DetectedRow> detections_;
+  std::uint64_t absorbable_ = 0;
+  std::uint64_t observed_ = 0;
+};
+
+}  // namespace unp::faults::hammer

@@ -1,0 +1,166 @@
+#include "faults/hammer/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/require.hpp"
+#include "dram/mapping/mapping.hpp"
+
+namespace unp::faults::hammer {
+
+namespace {
+
+/// One contiguous stretch of scanned time.
+struct Segment {
+  TimePoint start = 0;
+  TimePoint end = 0;
+};
+
+}  // namespace
+
+HammerFaultGenerator::HammerFaultGenerator(Config config)
+    : config_(std::move(config)) {
+  UNP_REQUIRE(config_.hammered_node_fraction >= 0.0 &&
+              config_.hammered_node_fraction <= 1.0);
+  UNP_REQUIRE(config_.episode_min_h > 0.0 &&
+              config_.episode_max_h >= config_.episode_min_h);
+  UNP_REQUIRE(config_.activations_per_scanned_hour > 0.0);
+  UNP_REQUIRE(config_.threshold_median > 0.0);
+  UNP_REQUIRE(config_.flip_words_min >= 1 &&
+              config_.flip_words_max >= config_.flip_words_min);
+  // Fail fast on a bad geometry name rather than mid-campaign.
+  (void)dram::mapping::make_mapping_config(config_.mapping);
+}
+
+double HammerFaultGenerator::row_threshold(std::uint64_t seed,
+                                           std::uint64_t node_index,
+                                           std::uint32_t bank,
+                                           std::uint64_t row) const {
+  RngStream rng(seed, kHammerThresholdStreamId,
+                mix64(node_index, (std::uint64_t{bank} << 48) | row));
+  return config_.threshold_median *
+         std::exp(config_.threshold_log_sigma * rng.normal());
+}
+
+void HammerFaultGenerator::generate(const std::vector<NodeContext>& nodes,
+                                    std::uint64_t seed,
+                                    std::vector<FaultEvent>& out) const {
+  const dram::mapping::DramMapping mapping{
+      dram::mapping::make_mapping_config(config_.mapping)};
+  const std::uint64_t scannable_words =
+      cluster::kScannableBytes / sizeof(Word);
+  const dram::CellLeakModel leak(config_.leak);
+  const PatternBuilder builder(config_.patterns);
+
+  for (const NodeContext& ctx : nodes) {
+    if (ctx.plan == nullptr || ctx.plan->sessions.empty()) continue;
+    if (ctx.scanned_hours <= 0.0) continue;
+    const auto node_index =
+        static_cast<std::uint64_t>(cluster::node_index(ctx.node));
+    RngStream rng(seed, kHammerWorkloadStreamId, node_index);
+    if (!rng.bernoulli(config_.hammered_node_fraction)) continue;
+
+    const std::uint64_t episodes =
+        rng.poisson(config_.episodes_per_node_mean);
+    for (std::uint64_t e = 0; e < episodes; ++e) {
+      TimePoint ep_start = 0;
+      if (!random_scanned_time(*ctx.plan, rng, ep_start)) break;
+      const double duration_h =
+          rng.uniform(config_.episode_min_h, config_.episode_max_h);
+      const TimePoint ep_end =
+          ep_start + static_cast<TimePoint>(duration_h * kSecondsPerHour);
+
+      const auto bank =
+          static_cast<std::uint32_t>(rng.uniform_u64(mapping.banks()));
+      const HammerPattern pattern = builder.build(rng);
+
+      // Place the base row with flank margin on both sides.
+      const std::int64_t span = pattern.span();
+      const auto rows = static_cast<std::int64_t>(mapping.rows());
+      UNP_REQUIRE(rows > span + 4);
+      const std::int64_t base_row =
+          2 + static_cast<std::int64_t>(
+                  rng.uniform_u64(static_cast<std::uint64_t>(rows - span - 4)));
+
+      // Scanned stretches of the episode: activations only accrue while
+      // the scanner owns the memory (the observable half of reality, like
+      // every generator in this suite).
+      std::vector<Segment> segments;
+      double scanned_h = 0.0;
+      for (const auto& session : ctx.plan->sessions) {
+        const TimePoint s = std::max(session.window.start, ep_start);
+        const TimePoint t_end = std::min(session.window.end, ep_end);
+        if (t_end <= s) continue;
+        segments.push_back({s, t_end});
+        scanned_h += static_cast<double>(t_end - s) / kSecondsPerHour;
+      }
+      if (segments.empty()) continue;
+
+      const std::vector<VictimPressure> victims =
+          victim_pressures(pattern, config_.distance2_factor);
+      for (const VictimPressure& victim : victims) {
+        const auto row =
+            static_cast<std::uint64_t>(base_row + victim.row_offset);
+        const double rate =
+            config_.activations_per_scanned_hour * victim.pressure;
+        const double threshold = row_threshold(seed, node_index, bank, row);
+        if (rate * scanned_h < threshold) continue;
+
+        // Threshold crossing inside the scanned stretches.
+        const double need_h = threshold / rate;
+        TimePoint crossing = segments.front().start;
+        TimePoint segment_end = segments.front().end;
+        double cum_h = 0.0;
+        for (const Segment& seg : segments) {
+          const double len_h =
+              static_cast<double>(seg.end - seg.start) / kSecondsPerHour;
+          if (cum_h + len_h >= need_h) {
+            crossing = seg.start + static_cast<TimePoint>(
+                                       (need_h - cum_h) * kSecondsPerHour);
+            segment_end = seg.end;
+            break;
+          }
+          cum_h += len_h;
+        }
+        const TimePoint burst_end = std::min(
+            segment_end,
+            crossing + static_cast<TimePoint>(config_.flip_burst_hours *
+                                              kSecondsPerHour));
+
+        // Distinct victim-row columns discharge in a burst.
+        const auto flips = static_cast<int>(rng.uniform_int(
+            config_.flip_words_min, config_.flip_words_max));
+        std::set<std::uint64_t> columns;
+        while (static_cast<int>(columns.size()) < flips) {
+          columns.insert(rng.uniform_u64(mapping.columns()));
+        }
+        for (const std::uint64_t column : columns) {
+          const std::uint64_t word =
+              mapping.encode({bank, row, column});
+          const TimePoint when =
+              crossing +
+              static_cast<TimePoint>(rng.uniform_u64(
+                  static_cast<std::uint64_t>(burst_end - crossing) + 1));
+          const Word bit = Word{1}
+                           << static_cast<int>(rng.uniform_u64(32));
+          const dram::WordCorruption corruption =
+              leak.make_corruption(bit, rng);
+          // The top quarter of the module sits outside the 3 GiB scan
+          // buffer; flips there are real but unobservable.  Draws happen
+          // regardless so the stream stays identical either way.
+          if (word >= scannable_words) continue;
+          FaultEvent ev;
+          ev.time = when;
+          ev.node = ctx.node;
+          ev.mechanism = Mechanism::kRowhammer;
+          ev.persistence = Persistence::kTransient;
+          ev.words.push_back({word, corruption});
+          out.push_back(std::move(ev));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace unp::faults::hammer

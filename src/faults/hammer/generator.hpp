@@ -1,0 +1,89 @@
+// Activation-induced (Rowhammer) fault generator.
+//
+// A synthetic hammer-prone workload model layered on the campaign's seeded
+// per-node streams: a small fraction of nodes run workloads that hammer
+// aggressor rows in episodes; per scan interval the model accrues each
+// victim row's activation count (aggressor activation rate x pattern
+// frequency x scanned hours), and when a victim's deterministic per-row
+// hammer-count threshold is crossed, a burst of its cells discharges.
+// Victim placement follows the node's DramMapping (src/dram/mapping), so
+// flips land on *physically* adjacent rows - spatially clustered in DRAM
+// coordinates, scattered in the scan space - which is exactly the signature
+// HammerMitigationPolicy detects.
+//
+// Determinism: all randomness derives from (seed, stream id, node index),
+// and per-(node,bank,row) thresholds use their own derived stream keyed by
+// the cell coordinates, so the same row has one threshold regardless of how
+// many episodes touch it or in what order.  Like every generator, this runs
+// in the fleet-wide generation phase, making campaign record streams
+// byte-identical across thread and shard counts.  The stream ids below are
+// pinned by faults/hammer_test.cpp: changing any of them silently rewrites
+// every hammer campaign, so bump kHammerDerivationVersion instead.
+#pragma once
+
+#include <string>
+
+#include "dram/cell_model.hpp"
+#include "faults/generator.hpp"
+#include "faults/hammer/pattern.hpp"
+
+namespace unp::faults::hammer {
+
+/// Version of the stream-derivation scheme (mix keys + draw order).
+inline constexpr std::uint64_t kHammerDerivationVersion = 1;
+/// Per-node workload stream: (seed, kHammerWorkloadStreamId, node index).
+inline constexpr std::uint64_t kHammerWorkloadStreamId = 0x4A33;
+/// Per-cell threshold stream:
+/// (seed, kHammerThresholdStreamId, mix64(node index, bank<<48 | row)).
+inline constexpr std::uint64_t kHammerThresholdStreamId = 0x7B17;
+
+class HammerFaultGenerator final : public FaultGenerator {
+ public:
+  struct Config {
+    /// Geometry of the node DRAM (a mapping_menu() name).
+    std::string mapping = "lpddr3:mb";
+    /// Fraction of the fleet running hammer-prone workloads.
+    double hammered_node_fraction = 0.02;
+    /// Hammer episodes per hammered node per campaign (Poisson mean).
+    double episodes_per_node_mean = 3.0;
+    /// Episode duration (uniform hours of wall time).
+    double episode_min_h = 6.0;
+    double episode_max_h = 36.0;
+    /// Aggressor activations per scanned hour (per unit pattern frequency).
+    double activations_per_scanned_hour = 1.2e6;
+    /// Per-row hammer-count threshold: lognormal with this median and log
+    /// sigma.
+    double threshold_median = 2.0e6;
+    double threshold_log_sigma = 0.5;
+    /// Coupling of distance-2 victims relative to direct neighbors.
+    double distance2_factor = 0.12;
+    /// Distinct victim-row words discharged when a row trips (uniform).
+    int flip_words_min = 16;
+    int flip_words_max = 28;
+    /// Flips land within this long a burst after the threshold crossing.
+    double flip_burst_hours = 2.0;
+    dram::CellLeakModel::Config leak{};
+    PatternBuilder::Config patterns{};
+  };
+
+  HammerFaultGenerator() : HammerFaultGenerator(Config{}) {}
+  explicit HammerFaultGenerator(Config config);
+
+  void generate(const std::vector<NodeContext>& nodes, std::uint64_t seed,
+                std::vector<FaultEvent>& out) const override;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  /// The threshold the flip model assigns to (node, bank, row) under
+  /// `seed` - exposed so tests and the mitigation analysis can reason
+  /// about ground truth without re-deriving the stream recipe.
+  [[nodiscard]] double row_threshold(std::uint64_t seed,
+                                     std::uint64_t node_index,
+                                     std::uint32_t bank,
+                                     std::uint64_t row) const;
+
+ private:
+  Config config_;
+};
+
+}  // namespace unp::faults::hammer

@@ -1,0 +1,83 @@
+#include "faults/hammer/pattern.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/require.hpp"
+
+namespace unp::faults::hammer {
+
+const char* to_string(PatternKind kind) noexcept {
+  switch (kind) {
+    case PatternKind::kSingleSided: return "single-sided";
+    case PatternKind::kDoubleSided: return "double-sided";
+    case PatternKind::kNSided: return "n-sided";
+  }
+  return "unknown";
+}
+
+std::int64_t HammerPattern::span() const noexcept {
+  if (aggressor_offsets.empty()) return 0;
+  return aggressor_offsets.back() + 1;  // outermost victim flank
+}
+
+std::vector<VictimPressure> victim_pressures(const HammerPattern& pattern,
+                                             double distance2_factor) {
+  UNP_REQUIRE(pattern.aggressor_offsets.size() == pattern.frequencies.size());
+  std::map<std::int64_t, double> pressure;
+  std::vector<std::int64_t> sorted = pattern.aggressor_offsets;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < pattern.aggressor_offsets.size(); ++i) {
+    const std::int64_t a = pattern.aggressor_offsets[i];
+    const double f = pattern.frequencies[i];
+    for (const std::int64_t d : {-2, -1, +1, +2}) {
+      const std::int64_t row = a + d;
+      // Aggressors are not victims of each other: their cells are being
+      // actively rewritten, not left to leak.
+      if (std::binary_search(sorted.begin(), sorted.end(), row)) continue;
+      pressure[row] += (d == -1 || d == +1) ? f : distance2_factor * f;
+    }
+  }
+  std::vector<VictimPressure> out;
+  out.reserve(pressure.size());
+  for (const auto& [row, p] : pressure) out.push_back({row, p});
+  return out;
+}
+
+HammerPattern PatternBuilder::build(RngStream& rng) const {
+  const double weights[3] = {config_.single_sided_weight,
+                             config_.double_sided_weight,
+                             config_.n_sided_weight};
+  HammerPattern pattern;
+  int aggressors = 0;
+  switch (rng.weighted_index(weights, 3)) {
+    case 0:
+      pattern.kind = PatternKind::kSingleSided;
+      aggressors = 1;
+      break;
+    case 1:
+      pattern.kind = PatternKind::kDoubleSided;
+      aggressors = 2;
+      break;
+    default:
+      pattern.kind = PatternKind::kNSided;
+      aggressors = static_cast<int>(
+          rng.uniform_int(config_.n_min, config_.n_max));
+      break;
+  }
+  double total = 0.0;
+  for (int i = 0; i < aggressors; ++i) {
+    pattern.aggressor_offsets.push_back(2 * i);
+    const double f = rng.uniform(1.0 - config_.frequency_jitter,
+                                 1.0 + config_.frequency_jitter);
+    pattern.frequencies.push_back(f);
+    total += f;
+  }
+  // Normalize to mean 1 so the activation budget is layout-independent.
+  for (double& f : pattern.frequencies) {
+    f *= static_cast<double>(aggressors) / total;
+  }
+  return pattern;
+}
+
+}  // namespace unp::faults::hammer

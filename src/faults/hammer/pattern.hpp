@@ -1,0 +1,83 @@
+// Aggressor/victim hammering patterns.
+//
+// A hammering workload repeatedly activates a small set of *aggressor*
+// rows inside one bank; rows physically adjacent to an aggressor are the
+// *victims*.  The classic layouts (blacksmith's PatternBuilder generalizes
+// them to fuzzed frequency/phase schedules; we keep the frequency idea):
+//
+//   single-sided   one aggressor, victims on both flanks
+//   double-sided   two aggressors sandwiching one victim (rows r, r+2)
+//   n-sided        n aggressors every other row (r, r+2, ..., r+2(n-1)),
+//                  each with its own relative activation frequency
+//
+// Offsets are row deltas relative to the pattern's base row; victims are
+// derived, not stored, so the layout stays valid wherever it is placed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace unp::faults::hammer {
+
+enum class PatternKind : std::uint8_t {
+  kSingleSided,
+  kDoubleSided,
+  kNSided,
+};
+
+[[nodiscard]] const char* to_string(PatternKind kind) noexcept;
+
+struct HammerPattern {
+  PatternKind kind = PatternKind::kDoubleSided;
+  /// Aggressor row offsets from the base row, strictly increasing.
+  std::vector<std::int64_t> aggressor_offsets;
+  /// Relative activation frequency per aggressor (mean 1.0): the share of
+  /// the workload's activation budget each aggressor receives.
+  std::vector<double> frequencies;
+
+  /// Largest offset any aggressor or victim reaches (for placement).
+  [[nodiscard]] std::int64_t span() const noexcept;
+};
+
+/// Victim rows of `pattern` placed at `base_row`, with the total activation
+/// pressure each receives: direct neighbors (distance 1) accumulate the
+/// adjacent aggressors' full activation share; `distance2_factor` scales
+/// the weaker distance-2 coupling.
+struct VictimPressure {
+  std::int64_t row_offset = 0;  ///< relative to the base row
+  double pressure = 0.0;        ///< in units of the per-aggressor budget
+};
+[[nodiscard]] std::vector<VictimPressure> victim_pressures(
+    const HammerPattern& pattern, double distance2_factor);
+
+class PatternBuilder {
+ public:
+  struct Config {
+    /// Relative draw weights of the three layout kinds.
+    double single_sided_weight = 0.25;
+    double double_sided_weight = 0.50;
+    double n_sided_weight = 0.25;
+    /// Aggressor count range for n-sided layouts.
+    int n_min = 3;
+    int n_max = 6;
+    /// Frequency jitter: each aggressor draws Uniform[1-j, 1+j], then the
+    /// set is normalized back to mean 1.
+    double frequency_jitter = 0.5;
+  };
+
+  PatternBuilder() = default;
+  explicit PatternBuilder(const Config& config) : config_(config) {}
+
+  /// Draw a layout from `rng` (all randomness comes from the caller's
+  /// stream so pattern choice stays campaign-deterministic).
+  [[nodiscard]] HammerPattern build(RngStream& rng) const;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_{};
+};
+
+}  // namespace unp::faults::hammer

@@ -9,7 +9,8 @@ FaultModelSuite::FaultModelSuite(const Config& config)
       weak_bits_(config.weak_bits),
       degrading_(config.degrading),
       pathological_(config.pathological),
-      isolated_sdc_(config.isolated_sdc) {}
+      isolated_sdc_(config.isolated_sdc),
+      hammer_(config.hammer) {}
 
 std::vector<FaultEvent> FaultModelSuite::generate(
     const std::vector<NodeContext>& nodes, std::uint64_t seed) const {
@@ -35,6 +36,7 @@ std::vector<FaultEvent> FaultModelSuite::generate(
   if (config_.enable_weak_bits) weak_bits_.generate(nodes, seed, events);
   if (config_.enable_degrading) degrading_.generate(nodes, seed, events);
   if (config_.enable_pathological) pathological_.generate(nodes, seed, events);
+  if (config_.enable_hammer) hammer_.generate(nodes, seed, events);
   events.insert(events.end(), isolated.begin(), isolated.end());
   sort_events(events);
   return events;

@@ -6,6 +6,7 @@
 #include "faults/background.hpp"
 #include "faults/degrading.hpp"
 #include "faults/generator.hpp"
+#include "faults/hammer/generator.hpp"
 #include "faults/isolated_sdc.hpp"
 #include "faults/neutron.hpp"
 #include "faults/pathological.hpp"
@@ -22,6 +23,7 @@ class FaultModelSuite {
     DegradingComponentGenerator::Config degrading{};
     PathologicalNodeGenerator::Config pathological{};
     IsolatedSdcGenerator::Config isolated_sdc{};
+    hammer::HammerFaultGenerator::Config hammer{};
 
     bool enable_background = true;
     bool enable_neutron = true;
@@ -29,6 +31,9 @@ class FaultModelSuite {
     bool enable_degrading = true;
     bool enable_pathological = true;
     bool enable_isolated_sdc = true;
+    /// Off by default: the paper's campaign is time-driven only, and the
+    /// calibrated seed-42 record stream must stay byte-identical.
+    bool enable_hammer = false;
   };
 
   FaultModelSuite() : FaultModelSuite(Config{}) {}
@@ -48,6 +53,7 @@ class FaultModelSuite {
   DegradingComponentGenerator degrading_;
   PathologicalNodeGenerator pathological_;
   IsolatedSdcGenerator isolated_sdc_;
+  hammer::HammerFaultGenerator hammer_;
 };
 
 }  // namespace unp::faults

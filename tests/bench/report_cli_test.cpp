@@ -17,10 +17,25 @@ int run(const std::string& args_for_binary) {
   return WEXITSTATUS(status);
 }
 
+/// Run with stderr captured (stdout discarded), for diagnostics contracts.
+std::string run_stderr(const std::string& args_for_binary, int& exit_code) {
+  const std::string command = args_for_binary + " 2>&1 >/dev/null";
+  std::FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << command;
+  std::string output;
+  char buffer[256];
+  while (std::fgets(buffer, sizeof buffer, pipe) != nullptr) output += buffer;
+  const int status = pclose(pipe);
+  EXPECT_TRUE(WIFEXITED(status)) << command;
+  exit_code = WEXITSTATUS(status);
+  return output;
+}
+
 const std::string kReport = UNP_REPORT_BIN;
 const std::string kPolicy = UNP_POLICY_BIN;
 const std::string kQuery = UNP_QUERY_BIN;
 const std::string kEcc = UNP_ECC_BIN;
+const std::string kHammer = UNP_HAMMER_BIN;
 
 TEST(ReportCli, UnknownFlagExitsTwo) {
   EXPECT_EQ(run(kReport + " --frobnicate"), 2);
@@ -43,6 +58,19 @@ TEST(ReportCli, MissingValueExitsTwo) {
 
 TEST(ReportCli, HelpExitsZero) {
   EXPECT_EQ(run(kReport + " --help"), 0);
+}
+
+TEST(ReportCli, UnknownExtSectionListsRegisteredNames) {
+  int exit_code = 0;
+  const std::string err = run_stderr(kReport + " --ext bogus", exit_code);
+  EXPECT_EQ(exit_code, 2);
+  // The diagnostic enumerates the section registry, so a user who guesses
+  // wrong learns every valid name - including newly registered ones.
+  for (const char* name : {"temporal", "markov", "alignment", "ecc", "hammer"}) {
+    EXPECT_NE(err.find(name), std::string::npos)
+        << "missing '" << name << "' in: " << err;
+  }
+  EXPECT_NE(err.find("bogus"), std::string::npos) << err;
 }
 
 TEST(PolicyCli, UnknownFlagExitsTwo) {
@@ -178,6 +206,45 @@ TEST(EccCli, HelpExitsZero) {
 
 TEST(EccCli, SmallExhaustiveSweepSucceeds) {
   EXPECT_EQ(run(kEcc + " --code secded72 --exhaustive 2"), 0);
+}
+
+TEST(HammerCli, UnknownFlagExitsTwo) {
+  EXPECT_EQ(run(kHammer + " --frobnicate"), 2);
+}
+
+TEST(HammerCli, RequiresExactlyOneMode) {
+  EXPECT_EQ(run(kHammer), 2);
+  EXPECT_EQ(run(kHammer + " --solve --campaign"), 2);
+  EXPECT_EQ(run(kHammer + " --campaign --mitigate"), 2);
+}
+
+TEST(HammerCli, UnknownGeometryListsMenu) {
+  int exit_code = 0;
+  const std::string err =
+      run_stderr(kHammer + " --solve --geometry bogus", exit_code);
+  EXPECT_EQ(exit_code, 2);
+  EXPECT_NE(err.find("lpddr3:mb"), std::string::npos) << err;
+  EXPECT_NE(err.find("ddr4:2ch"), std::string::npos) << err;
+}
+
+TEST(HammerCli, GeometryRequiresSolveMode) {
+  EXPECT_EQ(run(kHammer + " --campaign --geometry lpddr3:mb"), 2);
+}
+
+TEST(HammerCli, MalformedNumbersExitTwo) {
+  EXPECT_EQ(run(kHammer + " --solve --days 0"), 2);
+  EXPECT_EQ(run(kHammer + " --solve --days 400"), 2);
+  EXPECT_EQ(run(kHammer + " --solve --fraction-pct 101"), 2);
+  EXPECT_EQ(run(kHammer + " --solve --episodes banana"), 2);
+  EXPECT_EQ(run(kHammer + " --solve --threads 0"), 2);
+}
+
+TEST(HammerCli, HelpExitsZero) {
+  EXPECT_EQ(run(kHammer + " --help"), 0);
+}
+
+TEST(HammerCli, SingleGeometrySolveSucceeds) {
+  EXPECT_EQ(run(kHammer + " --solve --geometry ddr3:1ch"), 0);
 }
 
 }  // namespace

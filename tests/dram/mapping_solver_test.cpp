@@ -1,0 +1,64 @@
+// MappingSolver self-test: every menu geometry is recovered exactly - bank
+// XOR functions and row mask - from oracle timings alone.
+#include "dram/mapping/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dram/mapping/gf2.hpp"
+#include "dram/mapping/mapping.hpp"
+#include "dram/mapping/timing_oracle.hpp"
+
+namespace unp::dram::mapping {
+namespace {
+
+TEST(MappingSolver, RecoversEveryMenuGeometryFromTimingAlone) {
+  for (const std::string& name : mapping_menu()) {
+    SCOPED_TRACE(name);
+    const DramMapping mapping{make_mapping_config(name)};
+    AccessTimingOracle oracle(mapping, TimingConfig{}, /*seed=*/1234);
+    const MappingSolver solver;
+    const SolveResult result =
+        solver.solve(oracle, mapping.config().address_bits);
+
+    EXPECT_EQ(result.bank_functions, mapping.canonical_bank_functions());
+    EXPECT_EQ(result.row_mask, mapping.config().row_mask);
+    // Free bits that are not row bits: column bits plus any select bit
+    // displaced from RREF pivot position by a lower fold tap.
+    const std::uint64_t space =
+        (std::uint64_t{1} << mapping.config().address_bits) - 1;
+    const std::uint64_t pivots = gf2_pivot_mask(result.bank_functions);
+    EXPECT_EQ(result.column_mask, space & ~pivots & ~result.row_mask);
+    EXPECT_GE(result.verify_agreement, 0.999);
+    EXPECT_GT(result.measurements, 0u);
+  }
+}
+
+TEST(MappingSolver, RowClassificationSurvivesNoisyTiming) {
+  // 3x the default measurement noise: the per-pair averaging must still
+  // separate the modes cleanly.
+  const DramMapping mapping{make_mapping_config("ddr4:2ch")};
+  TimingConfig timing;
+  timing.noise_sigma_ns = 9.0;
+  AccessTimingOracle oracle(mapping, timing, /*seed=*/99);
+  const MappingSolver solver;
+  const SolveResult result =
+      solver.solve(oracle, mapping.config().address_bits);
+  EXPECT_EQ(result.bank_functions, mapping.canonical_bank_functions());
+  EXPECT_EQ(result.row_mask, mapping.config().row_mask);
+}
+
+TEST(MappingSolver, DeterministicForAFixedSeed) {
+  const DramMapping mapping{make_mapping_config("ddr3:2ch")};
+  SolveResult results[2];
+  for (SolveResult& r : results) {
+    AccessTimingOracle oracle(mapping, TimingConfig{}, /*seed=*/7);
+    r = MappingSolver{}.solve(oracle, mapping.config().address_bits);
+  }
+  EXPECT_EQ(results[0].bank_functions, results[1].bank_functions);
+  EXPECT_EQ(results[0].row_mask, results[1].row_mask);
+  EXPECT_EQ(results[0].measurements, results[1].measurements);
+  EXPECT_EQ(results[0].threshold_ns, results[1].threshold_ns);
+}
+
+}  // namespace
+}  // namespace unp::dram::mapping

@@ -304,6 +304,100 @@ TEST(IntervalSetTest, GapWalkDecomposesExactly) {
                       {5, 9}}));
 }
 
+/// Canonical-form invariants after any churn: ranges strictly ascending,
+/// pairwise disjoint, never abutting (adjacency must have coalesced), and
+/// total() equal to the summed widths.
+void expect_canonical(const IntervalSet& s) {
+  std::uint64_t total = 0;
+  std::uint64_t prev_end = 0;
+  bool first = true;
+  for (const auto& [begin, end] : s.ranges()) {
+    ASSERT_LT(begin, end);
+    if (!first) {
+      // A zero-width gap between stored ranges means a missed coalesce.
+      ASSERT_GT(begin, prev_end);
+    }
+    total += end - begin;
+    prev_end = end;
+    first = false;
+  }
+  EXPECT_EQ(total, s.total());
+}
+
+TEST(IntervalSetTest, AdversarialChurnKeepsGapWalkCanonical) {
+  // Retirement churn as the closed loop produces it: pages retired out of
+  // order, re-retired, nested inside earlier retirements, and abutting
+  // them exactly.  A bitmap over a small universe is the oracle.
+  constexpr std::uint64_t kUniverse = 512;
+  IntervalSet s;
+  std::vector<bool> bitmap(kUniverse, false);
+
+  const auto insert_both = [&](std::uint64_t first, std::uint64_t count) {
+    s.insert(first, count);
+    for (std::uint64_t x = first; x < first + count; ++x) bitmap[x] = true;
+    expect_canonical(s);
+  };
+  const auto expect_matches_bitmap = [&] {
+    for (std::uint64_t x = 0; x < kUniverse; ++x) {
+      ASSERT_EQ(s.contains(x), bitmap[x]) << "word " << x;
+    }
+    // The gap walk must decompose [0, kUniverse) into exactly the maximal
+    // uncovered runs of the bitmap, in order, with no empty or split gaps.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> gaps;
+    s.for_each_gap(0, kUniverse, [&](std::uint64_t a, std::uint64_t b) {
+      gaps.emplace_back(a, b);
+    });
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> want;
+    for (std::uint64_t x = 0; x < kUniverse; ++x) {
+      if (bitmap[x]) continue;
+      if (!want.empty() && want.back().second == x) {
+        ++want.back().second;
+      } else {
+        want.emplace_back(x, x + 1);
+      }
+    }
+    ASSERT_EQ(gaps, want);
+  };
+
+  // Round 1: scattered seeds.
+  insert_both(100, 20);
+  insert_both(300, 40);
+  insert_both(10, 5);
+  expect_matches_bitmap();
+
+  // Round 2: fully nested inside existing ranges (must be no-ops on the
+  // range structure) and exact abutments on both sides.
+  insert_both(105, 5);   // nested in [100,120)
+  insert_both(300, 40);  // exact duplicate
+  insert_both(310, 1);   // single word, nested
+  EXPECT_EQ(s.ranges().size(), 3u);
+  insert_both(120, 30);  // abuts [100,120) on the right
+  insert_both(95, 5);    // abuts the merged [95,150) on the left
+  insert_both(290, 10);  // abuts [300,340) on the left
+  EXPECT_EQ(s.ranges().size(), 3u);
+  expect_matches_bitmap();
+
+  // Round 3: one insert bridging everything, then churn nested inside it.
+  insert_both(14, 280);  // swallows [10,15) tail, [95,150), touches [290..)
+  insert_both(0, 10);
+  insert_both(200, 50);  // fully nested in the merged giant
+  expect_matches_bitmap();
+
+  // Round 4: deterministic pseudo-random churn, re-checking the full
+  // decomposition after every insert batch.
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  for (int round = 0; round < 200; ++round) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint64_t first = (state >> 33) % kUniverse;
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint64_t count =
+        std::min<std::uint64_t>((state >> 33) % 32, kUniverse - first);
+    insert_both(first, count);
+    if (round % 20 == 19) expect_matches_bitmap();
+  }
+  expect_matches_bitmap();
+}
+
 TEST(KernelNontemporal, ThresholdIsStableAndPositive) {
   const std::size_t t = nontemporal_threshold_bytes();
   EXPECT_GT(t, 0u);

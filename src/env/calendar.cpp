@@ -8,20 +8,56 @@
 namespace unp::env {
 
 double AcademicCalendar::utilization(TimePoint t) const noexcept {
-  const std::int64_t day = BarcelonaClock::local_day_index(t);
-  const CivilDateTime local = BarcelonaClock::to_local(t);
+  return day_utilization(BarcelonaClock::local_day_index(t));
+}
+
+double AcademicCalendar::day_utilization(std::int64_t local_day) const noexcept {
+  const CivilDateTime local = civil_from_days(local_day);
 
   double u = config_.month_utilization[local.month - 1];
 
-  const int wd = weekday_from_days(day);
+  const int wd = weekday_from_days(local_day);
   if (wd == 0 || wd == 6) u *= config_.weekend_factor;
 
   // Deterministic per-day wobble so daily series are not perfectly smooth.
   RngStream rng(config_.seed, /*stream_id=*/0xCA1E,
-                static_cast<std::uint64_t>(day));
+                static_cast<std::uint64_t>(local_day));
   u += config_.wobble * (2.0 * rng.uniform() - 1.0);
 
   return std::clamp(u, 0.02, 0.98);
+}
+
+double UtilizationCursor::utilization(TimePoint t) noexcept {
+  if (t >= lo_ && t < hi_) return value_;
+
+  const std::int64_t day = BarcelonaClock::local_day_index(t);
+  value_ = calendar_->day_utilization(day);
+
+  // UTC instant where a given local day begins.  Local midnight is never
+  // skipped or repeated by the Madrid DST rule (transitions happen at
+  // 02:00/03:00 local), so the boundary b solves b + utc_offset(b) ==
+  // day*86400 exactly; iterate the offset to its fixed point.
+  const auto day_start_utc = [](std::int64_t d, TimePoint near) noexcept {
+    TimePoint guess = d * kSecondsPerDay - BarcelonaClock::utc_offset(near);
+    for (int i = 0; i < 4; ++i) {
+      const TimePoint next = d * kSecondsPerDay - BarcelonaClock::utc_offset(guess);
+      if (next == guess) break;
+      guess = next;
+    }
+    return guess;
+  };
+  lo_ = day_start_utc(day, t);
+  hi_ = day_start_utc(day + 1, t);
+  // The cached span must agree with the uncached mapping at both edges; if
+  // it ever did not, drop the span and answer every query via the exact
+  // path.  (Defensive: the fixed point above converges for this tz rule.)
+  if (BarcelonaClock::local_day_index(lo_) != day ||
+      BarcelonaClock::local_day_index(hi_ - 1) != day ||
+      BarcelonaClock::local_day_index(hi_) != day + 1) {
+    lo_ = 0;
+    hi_ = 0;
+  }
+  return value_;
 }
 
 }  // namespace unp::env

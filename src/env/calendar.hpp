@@ -47,6 +47,11 @@ class AcademicCalendar {
   /// in.  Always within [0.02, 0.98].
   [[nodiscard]] double utilization(TimePoint t) const noexcept;
 
+  /// The same utilization keyed directly by local calendar day (the value is
+  /// a pure function of the day; `utilization(t)` is exactly
+  /// `day_utilization(BarcelonaClock::local_day_index(t))`).
+  [[nodiscard]] double day_utilization(std::int64_t local_day) const noexcept;
+
   /// Convenience: expected idle fraction (what the scanner can use).
   [[nodiscard]] double idle_fraction(TimePoint t) const noexcept {
     return 1.0 - utilization(t);
@@ -56,6 +61,27 @@ class AcademicCalendar {
 
  private:
   Config config_;
+};
+
+/// Memoizing view over AcademicCalendar::utilization for callers that query
+/// it many times per day (the scan planner asks once per busy/idle cycle).
+/// Each utilization(t) is a pure function of t's local calendar day, so the
+/// cursor resolves the day once, caches the exact UTC span of that day, and
+/// answers every further query inside the span with a pair of comparisons —
+/// skipping the civil-time conversions and the per-day wobble draw.  Values
+/// are bit-identical to the uncached path by construction.
+class UtilizationCursor {
+ public:
+  explicit UtilizationCursor(const AcademicCalendar& calendar) noexcept
+      : calendar_(&calendar) {}
+
+  [[nodiscard]] double utilization(TimePoint t) noexcept;
+
+ private:
+  const AcademicCalendar* calendar_;
+  TimePoint lo_ = 0;  ///< cached span [lo_, hi_); empty until first query
+  TimePoint hi_ = 0;
+  double value_ = 0.0;
 };
 
 }  // namespace unp::env

@@ -31,7 +31,15 @@ double TemperatureModel::node_idle_delta_c(std::uint32_t node_id) const noexcept
 double TemperatureModel::sample_node_c(TimePoint t, std::uint32_t node_id,
                                        bool overheating,
                                        RngStream& rng) const noexcept {
-  double temp = room_c(t) + node_idle_delta_c(node_id);
+  return sample_with_idle_delta_c(t, node_idle_delta_c(node_id), overheating,
+                                  rng);
+}
+
+double TemperatureModel::sample_with_idle_delta_c(TimePoint t,
+                                                  double idle_delta_c,
+                                                  bool overheating,
+                                                  RngStream& rng) const noexcept {
+  double temp = room_c(t) + idle_delta_c;
   if (overheating) temp += config_.overheat_delta_c;
   temp += rng.normal(0.0, config_.sensor_noise_c);
   return temp;

@@ -54,6 +54,14 @@ class TemperatureModel {
   [[nodiscard]] double sample_node_c(TimePoint t, std::uint32_t node_id,
                                      bool overheating, RngStream& rng) const noexcept;
 
+  /// Same sample with the node's idle delta already resolved.  The delta is
+  /// a pure function of the node id, so per-node loops hoist the
+  /// node_idle_delta_c draw (a fresh keyed stream plus a polar-method
+  /// normal) out of the per-record path; values are bit-identical.
+  [[nodiscard]] double sample_with_idle_delta_c(TimePoint t, double idle_delta_c,
+                                                bool overheating,
+                                                RngStream& rng) const noexcept;
+
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 
  private:

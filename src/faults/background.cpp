@@ -5,6 +5,7 @@ namespace unp::faults {
 void BackgroundTransientGenerator::generate(
     const std::vector<NodeContext>& nodes, std::uint64_t seed,
     std::vector<FaultEvent>& out) const {
+  ScannedTimeIndex scanned;
   for (const auto& ctx : nodes) {
     if (ctx.plan == nullptr || ctx.scanned_hours <= 0.0) continue;
     RngStream rng(seed, /*stream_id=*/0xB6D0,
@@ -14,9 +15,17 @@ void BackgroundTransientGenerator::generate(
       rate *= config_.overheat_rate_multiplier;
     }
     const std::uint64_t count = rng.poisson(rate * ctx.scanned_hours);
+    if (count == 0) continue;
+    scanned.reset(*ctx.plan);
+    // Grow once per node instead of several times mid-loop, keeping the
+    // geometric schedule so successive nodes don't each force a realloc.
+    if (out.size() + count > out.capacity()) {
+      out.reserve(std::max(out.size() + count,
+                           out.capacity() + out.capacity() / 2));
+    }
     for (std::uint64_t i = 0; i < count; ++i) {
       TimePoint when = 0;
-      if (!random_scanned_time(*ctx.plan, rng, when)) break;
+      if (!scanned.random_time(rng, when)) break;
       FaultEvent ev;
       ev.time = when;
       ev.node = ctx.node;

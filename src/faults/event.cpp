@@ -34,4 +34,16 @@ void sort_events(std::vector<FaultEvent>& events) {
             });
 }
 
+void sort_event_ptrs(std::vector<const FaultEvent*>& events) {
+  // Must stay the exact comparator of sort_events: std::sort's output
+  // permutation is a deterministic function of (input order, comparison
+  // results), so sorting pointers here reproduces the value sort bit for
+  // bit — including the tie order of equal-time events.
+  std::sort(events.begin(), events.end(),
+            [](const FaultEvent* a, const FaultEvent* b) {
+              if (a->time != b->time) return a->time < b->time;
+              return cluster::node_index(a->node) < cluster::node_index(b->node);
+            });
+}
+
 }  // namespace unp::faults

@@ -80,4 +80,10 @@ struct FaultEvent {
 /// Order events by (time, node) for deterministic processing.
 void sort_events(std::vector<FaultEvent>& events);
 
+/// Pointer form of sort_events: same comparator, same resulting permutation
+/// for the same input order, but no FaultEvent (and inner word-list) moves.
+/// The campaign hot path sorts per-node views into the shared fleet-truth
+/// vector with this instead of deep-copying each node's events first.
+void sort_event_ptrs(std::vector<const FaultEvent*>& events);
+
 }  // namespace unp::faults

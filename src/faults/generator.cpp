@@ -1,5 +1,7 @@
 #include "faults/generator.hpp"
 
+#include <algorithm>
+
 #include "common/require.hpp"
 
 namespace unp::faults {
@@ -25,6 +27,33 @@ bool random_scanned_time(const sched::ScanPlan& plan, RngStream& rng,
   }
   UNP_ENSURE(!"unreachable: offset exceeded total session time");
   return false;
+}
+
+void ScannedTimeIndex::reset(const sched::ScanPlan& plan) {
+  plan_ = &plan;
+  prefix_.clear();
+  prefix_.reserve(plan.sessions.size() + 1);
+  std::int64_t total = 0;
+  prefix_.push_back(0);
+  for (const auto& s : plan.sessions) {
+    total += s.window.seconds();
+    prefix_.push_back(total);
+  }
+}
+
+bool ScannedTimeIndex::random_time(RngStream& rng, TimePoint& out) const {
+  UNP_REQUIRE(plan_ != nullptr);
+  const std::int64_t total = prefix_.back();
+  if (total <= 0) return false;
+
+  const auto offset =
+      static_cast<std::int64_t>(rng.uniform_u64(static_cast<std::uint64_t>(total)));
+  // First session whose cumulative span exceeds `offset` — the session the
+  // linear walk in random_scanned_time would have stopped at.
+  const auto it = std::upper_bound(prefix_.begin(), prefix_.end(), offset);
+  const auto idx = static_cast<std::size_t>(it - prefix_.begin()) - 1;
+  out = plan_->sessions[idx].window.start + (offset - prefix_[idx]);
+  return true;
 }
 
 }  // namespace unp::faults

@@ -47,8 +47,35 @@ class FaultGenerator {
 
 /// Draw a fault time uniformly within the scanned time of `plan`
 /// (proportional to session lengths).  Returns false if the plan has no
-/// sessions.
+/// sessions.  One-shot convenience: generators drawing many times from the
+/// same plan should build a ScannedTimeIndex instead — this walks every
+/// session per draw.
 [[nodiscard]] bool random_scanned_time(const sched::ScanPlan& plan,
                                        RngStream& rng, TimePoint& out);
+
+/// Prefix-summed view over a plan's sessions for repeated scanned-time
+/// draws: build once per node (O(sessions)), then each draw costs one
+/// uniform variate and a binary search.  Draws consume the RNG exactly like
+/// random_scanned_time and map the variate to the identical instant, so
+/// swapping one for the other never moves an event.
+class ScannedTimeIndex {
+ public:
+  ScannedTimeIndex() = default;
+  explicit ScannedTimeIndex(const sched::ScanPlan& plan) { reset(plan); }
+
+  /// Rebind to another plan, reusing the prefix vector's capacity.
+  void reset(const sched::ScanPlan& plan);
+
+  [[nodiscard]] bool built() const noexcept { return plan_ != nullptr; }
+
+  /// Uniform instant within the plan's scanned time; false if none exists
+  /// (then the RNG is untouched, matching random_scanned_time).
+  [[nodiscard]] bool random_time(RngStream& rng, TimePoint& out) const;
+
+ private:
+  const sched::ScanPlan* plan_ = nullptr;
+  /// prefix_[i] = total scanned seconds of sessions [0, i).
+  std::vector<std::int64_t> prefix_;
+};
 
 }  // namespace unp::faults

@@ -63,9 +63,11 @@ void HammerFaultGenerator::generate(const std::vector<NodeContext>& nodes,
 
     const std::uint64_t episodes =
         rng.poisson(config_.episodes_per_node_mean);
+    if (episodes == 0) continue;
+    const ScannedTimeIndex scanned(*ctx.plan);
     for (std::uint64_t e = 0; e < episodes; ++e) {
       TimePoint ep_start = 0;
-      if (!random_scanned_time(*ctx.plan, rng, ep_start)) break;
+      if (!scanned.random_time(rng, ep_start)) break;
       const double duration_h =
           rng.uniform(config_.episode_min_h, config_.episode_max_h);
       const TimePoint ep_end =

@@ -55,7 +55,7 @@ Word NeutronEventGenerator::draw_multibit_mask(int bits, RngStream& rng) const {
   return config_.scrambler.contiguous_upset(start, bits);
 }
 
-bool NeutronEventGenerator::sample_flux_time(const sched::ScanPlan& plan,
+bool NeutronEventGenerator::sample_flux_time(const ScannedTimeIndex& scanned,
                                              RngStream& rng,
                                              TimePoint& out) const {
   const double flux_max =
@@ -66,7 +66,7 @@ bool NeutronEventGenerator::sample_flux_time(const sched::ScanPlan& plan,
   // the iteration cap keeps pathological configs from spinning.
   for (int attempt = 0; attempt < 4096; ++attempt) {
     TimePoint candidate = 0;
-    if (!random_scanned_time(plan, rng, candidate)) return false;
+    if (!scanned.random_time(rng, candidate)) return false;
     if (rng.uniform() * flux_max <= config_.flux.flux(candidate)) {
       out = candidate;
       return true;
@@ -79,6 +79,15 @@ void NeutronEventGenerator::generate(const std::vector<NodeContext>& nodes,
                                      std::uint64_t seed,
                                      std::vector<FaultEvent>& out) const {
   RngStream rng(seed, /*stream_id=*/0x4E07);
+
+  // Events land on weighted-random nodes, so session prefix sums are built
+  // lazily, once per node that actually hosts an event.
+  std::vector<ScannedTimeIndex> scan_index(nodes.size());
+  const auto scanned_for = [&](const NodeContext* ctx) -> const ScannedTimeIndex& {
+    const auto i = static_cast<std::size_t>(ctx - nodes.data());
+    if (!scan_index[i].built()) scan_index[i].reset(*ctx->plan);
+    return scan_index[i];
+  };
 
   // --- Susceptible repeat sites: fixed (node, word, corruption) tuples. ---
   struct RepeatSite {
@@ -127,7 +136,7 @@ void NeutronEventGenerator::generate(const std::vector<NodeContext>& nodes,
 
     bool placed = false;
     for (int attempt = 0; attempt < 64 && !placed; ++attempt) {
-      if (!sample_flux_time(*ctx->plan, rng, ev.time)) break;
+      if (!sample_flux_time(scanned_for(ctx), rng, ev.time)) break;
       if (!on_site || config_.site_ramp_tau_days <= 0.0) {
         placed = true;
         break;
@@ -172,7 +181,7 @@ void NeutronEventGenerator::generate(const std::vector<NodeContext>& nodes,
     if (idx == static_cast<std::size_t>(-1)) break;
     const NodeContext& ctx = nodes[idx];
     FaultEvent ev;
-    if (!sample_flux_time(*ctx.plan, rng, ev.time)) continue;
+    if (!sample_flux_time(scanned_for(&ctx), rng, ev.time)) continue;
     ev.node = ctx.node;
     ev.mechanism = Mechanism::kNeutronEvent;
     ev.persistence = Persistence::kTransient;

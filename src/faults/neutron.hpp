@@ -94,9 +94,9 @@ class NeutronEventGenerator final : public FaultGenerator {
   [[nodiscard]] Word draw_multibit_mask(int bits, RngStream& rng) const;
 
  private:
-  /// Sample an event time inside `plan`'s sessions, thinned by relative
-  /// neutron flux.  False if the plan is empty.
-  [[nodiscard]] bool sample_flux_time(const sched::ScanPlan& plan,
+  /// Sample an event time inside the indexed plan's sessions, thinned by
+  /// relative neutron flux.  False if the plan is empty.
+  [[nodiscard]] bool sample_flux_time(const ScannedTimeIndex& scanned,
                                       RngStream& rng, TimePoint& out) const;
 
   Config config_;

@@ -14,14 +14,17 @@ ScanPlan ScanPlanner::plan(cluster::NodeId node,
                 static_cast<std::uint64_t>(cluster::node_index(node)));
 
   ScanPlan out;
+  // The walk below asks for utilization once per busy/idle cycle — many
+  // times per day — so resolve it through a day-memoizing cursor (exact
+  // same values, minus the repeated civil-time math and wobble draws).
+  env::UtilizationCursor calendar(config_.calendar);
   for (const auto& up : availability.intervals()) {
     TimePoint t = up.start;
     // Nodes alternate busy/idle; start each powered interval in a random
     // phase so session boundaries do not align across nodes.
     bool busy = rng.bernoulli(0.5);
     while (t < up.end) {
-      const double util =
-          std::clamp(config_.calendar.utilization(t), 0.02, 0.98);
+      const double util = std::clamp(calendar.utilization(t), 0.02, 0.98);
       if (busy) {
         const double busy_h = rng.exponential(1.0 / config_.mean_busy_hours);
         t += static_cast<TimePoint>(busy_h * kSecondsPerHour) + 1;

@@ -7,6 +7,8 @@
 #include "common/require.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/shard.hpp"
+#include "telemetry/binary_codec.hpp"
+#include "telemetry/kernels/kernels.hpp"
 
 namespace unp::sim {
 
@@ -66,10 +68,27 @@ std::uint64_t campaign_session_seed(const CampaignConfig& config) noexcept {
   return mix64(config.seed, 0x5E55);
 }
 
+namespace {
+
+/// Per-slot scratch for phase 3: everything a worker touches while turning
+/// one node's fault events into (optionally pre-encoded) telemetry.  Under
+/// the default emit options a slot is allocated once and reused for every
+/// block, so steady-state simulation+encoding allocates nothing per node.
+struct NodeSlot {
+  telemetry::NodeLog log;
+  SessionSimArena sim;
+  std::string encoded;         ///< pre-encoded UNPA body (bulk path)
+  telemetry::EncodeArena enc;  ///< gather scratch for the batch kernels
+  bool pre_encoded = false;
+};
+
+}  // namespace
+
 CampaignSummary run_campaign_shard(const CampaignConfig& config,
                                    const ShardSpec& spec,
                                    const std::vector<telemetry::RecordSink*>& sinks,
-                                   std::size_t threads) {
+                                   std::size_t threads,
+                                   const CampaignEmitOptions& emit) {
   UNP_REQUIRE(threads >= 1);
   UNP_REQUIRE(spec.count >= 1);
   UNP_REQUIRE(spec.index >= 0 && spec.index < spec.count);
@@ -115,11 +134,15 @@ CampaignSummary run_campaign_shard(const CampaignConfig& config,
   std::vector<faults::FaultEvent> fleet_truth =
       suite.generate(contexts, campaign_fault_seed(config));
 
-  // Partition events per node.
-  std::vector<std::vector<faults::FaultEvent>> per_node(
+  // Partition events per node as index lists into the shared fleet vector —
+  // the events themselves (with their heap word lists) are never copied on
+  // the hot path; workers read them in place.
+  UNP_REQUIRE(fleet_truth.size() <= 0xFFFFFFFFull);
+  std::vector<std::vector<std::uint32_t>> per_node(
       static_cast<std::size_t>(cluster::kStudyNodeSlots));
-  for (const auto& ev : fleet_truth) {
-    per_node[static_cast<std::size_t>(cluster::node_index(ev.node))].push_back(ev);
+  for (std::size_t e = 0; e < fleet_truth.size(); ++e) {
+    per_node[static_cast<std::size_t>(cluster::node_index(fleet_truth[e].node))]
+        .push_back(static_cast<std::uint32_t>(e));
   }
 
   // Ownership: monitored position j belongs to shard j % count (see
@@ -135,10 +158,9 @@ CampaignSummary run_campaign_shard(const CampaignConfig& config,
 
   // The shard summary covers owned nodes only; filtering the time-sorted
   // fleet truth preserves its order, so shard truths interleave back into
-  // the monolithic vector.
-  if (spec.is_monolithic()) {
-    summary.ground_truth = std::move(fleet_truth);
-  } else {
+  // the monolithic vector.  The monolithic move happens after phase 3 —
+  // workers read events out of fleet_truth until the last block is emitted.
+  if (!spec.is_monolithic()) {
     std::vector<bool> owned_slot(
         static_cast<std::size_t>(cluster::kStudyNodeSlots), false);
     for (std::size_t j = 0; j < n; ++j) {
@@ -165,19 +187,55 @@ CampaignSummary run_campaign_shard(const CampaignConfig& config,
 
   const std::uint64_t session_seed = campaign_session_seed(config);
   const std::size_t block = std::max<std::size_t>(threads * 8, 32);
-  std::vector<telemetry::NodeLog> logs;
+  const telemetry::kernels::EncodeKernels& encode =
+      emit.encode != nullptr ? *emit.encode
+                             : telemetry::kernels::active_encode_kernels();
+  // Pre-encode UNPA bodies in the workers only when some sink will actually
+  // consume bytes; record-routing sinks never pay for encoding.
+  bool wants_encoded = false;
+  if (emit.bulk_node_logs) {
+    for (const auto* sink : sinks)
+      wants_encoded = wants_encoded || sink->wants_encoded_node_log();
+  }
+
+  std::vector<NodeSlot> slots;
+  if (emit.reuse_buffers) slots.resize(std::min(block, owned.size()));
   summary.accounting.resize(owned.size());
   for (std::size_t base = 0; base < owned.size(); base += block) {
     const std::size_t count = std::min(block, owned.size() - base);
-    logs.assign(count, telemetry::NodeLog{});
+    if (!emit.reuse_buffers) {
+      // Legacy churn baseline: fresh buffers for every block.
+      slots.clear();
+      slots.resize(count);
+    }
     auto simulate = [&](std::size_t i) {
       const std::size_t j = owned[base + i];
       const cluster::NodeId node = nodes[j];
       const bool overheating = cluster::Topology::is_overheating_slot(node);
-      logs[i] = simulate_node(
-          config.session, node, plans[j],
-          per_node[static_cast<std::size_t>(cluster::node_index(node))],
-          overheating, session_seed);
+      NodeSlot& s = slots[i];
+      const auto& indices =
+          per_node[static_cast<std::size_t>(cluster::node_index(node))];
+      if (emit.reuse_buffers) {
+        // Zero-copy: simulate straight off the shared fleet-truth events.
+        simulate_node_shared_into(config.session, node, plans[j], overheating,
+                                  session_seed, fleet_truth, indices, s.sim,
+                                  s.log);
+      } else {
+        // Legacy churn baseline: deep-copy this node's events (heap word
+        // lists included) before simulating, as the pre-arena code did.
+        s.sim.events.clear();
+        s.sim.events.reserve(indices.size());
+        for (const std::uint32_t e : indices)
+          s.sim.events.push_back(fleet_truth[e]);
+        simulate_node_into(config.session, node, plans[j], overheating,
+                           session_seed, s.sim, s.log);
+      }
+      s.pre_encoded = false;
+      if (wants_encoded) {
+        s.encoded.clear();
+        telemetry::encode_node_log_into(s.log, s.encoded, encode, &s.enc);
+        s.pre_encoded = true;
+      }
     };
     if (pool) {
       pool->parallel_for(count, simulate);
@@ -187,12 +245,26 @@ CampaignSummary run_campaign_shard(const CampaignConfig& config,
     for (std::size_t i = 0; i < count; ++i) {
       const std::size_t j = owned[base + i];
       const cluster::NodeId node = nodes[j];
-      for (auto* sink : sinks) {
-        sink->begin_node(node);
-        telemetry::replay_node_log(logs[i], *sink);
-        sink->end_node(node);
+      NodeSlot& s = slots[i];
+      if (emit.bulk_node_logs) {
+        // One EncodedNodeLog shared across sinks: the body is encoded at
+        // most once per node (already done in the worker if any sink wants
+        // bytes) and spliced — never re-encoded, never re-copied per sink.
+        telemetry::EncodedNodeLog enc_log(node, s.log, s.encoded, encode,
+                                          &s.enc, s.pre_encoded);
+        for (auto* sink : sinks) {
+          sink->begin_node(node);
+          sink->on_node_log(enc_log);
+          sink->end_node(node);
+        }
+      } else {
+        for (auto* sink : sinks) {
+          sink->begin_node(node);
+          telemetry::replay_node_log(s.log, *sink);
+          sink->end_node(node);
+        }
       }
-      logs[i] = telemetry::NodeLog{};
+      if (!emit.reuse_buffers) s.log = telemetry::NodeLog{};
       summary.accounting[base + i] = {node, plans[j].scanned_hours(),
                                       plans[j].terabyte_hours(),
                                       plans[j].sessions.size()};
@@ -200,13 +272,15 @@ CampaignSummary run_campaign_shard(const CampaignConfig& config,
   }
 
   for (auto* sink : sinks) sink->end_campaign();
+  if (spec.is_monolithic()) summary.ground_truth = std::move(fleet_truth);
   return summary;
 }
 
 CampaignSummary run_campaign_streaming(
     const CampaignConfig& config,
-    const std::vector<telemetry::RecordSink*>& sinks, std::size_t threads) {
-  return run_campaign_shard(config, ShardSpec{}, sinks, threads);
+    const std::vector<telemetry::RecordSink*>& sinks, std::size_t threads,
+    const CampaignEmitOptions& emit) {
+  return run_campaign_shard(config, ShardSpec{}, sinks, threads, emit);
 }
 
 CampaignResult run_campaign(const CampaignConfig& config, std::size_t threads) {

@@ -1,6 +1,7 @@
 #include "sim/session_sim.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/require.hpp"
 #include "scanner/pattern.hpp"
@@ -22,12 +23,23 @@ struct TempSampler {
   cluster::NodeId node;
   bool overheating;
   RngStream* rng;
+  /// Hoisted per-node idle delta: a pure function of the node id, resolved
+  /// once here instead of redrawing it for every record's sample.
+  double idle_delta_c;
+
+  TempSampler(const SessionSimConfig* cfg, cluster::NodeId n, bool hot,
+              RngStream* r)
+      : config(cfg),
+        node(n),
+        overheating(hot),
+        rng(r),
+        idle_delta_c(cfg->temperature.node_idle_delta_c(
+            static_cast<std::uint32_t>(cluster::node_index(n)))) {}
 
   [[nodiscard]] double at(TimePoint t) const {
     if (t < config->sensors_online) return telemetry::kNoTemperature;
-    return config->temperature.sample_node_c(
-        t, static_cast<std::uint32_t>(cluster::node_index(node)), overheating,
-        *rng);
+    return config->temperature.sample_with_idle_delta_c(t, idle_delta_c,
+                                                        overheating, *rng);
   }
 };
 
@@ -153,26 +165,37 @@ void simulate_stuck(const sched::ScanSession& session, const FaultEvent& ev,
 
 }  // namespace
 
-telemetry::NodeLog simulate_node(const SessionSimConfig& config,
-                                 cluster::NodeId node,
-                                 const sched::ScanPlan& plan,
-                                 std::vector<faults::FaultEvent> events,
-                                 bool overheating, std::uint64_t seed) {
-  NodeLog log;
+namespace {
+
+/// Shared tail of the simulate_node_* entry points: `arena.ptrs` holds this
+/// node's events (any order) and is sorted in place; everything else is read
+/// through it.  Sorting the pointer view yields the same event order the old
+/// value sort produced (see sort_event_ptrs), without moving any FaultEvent.
+void simulate_node_core(const SessionSimConfig& config, cluster::NodeId node,
+                        const sched::ScanPlan& plan, bool overheating,
+                        std::uint64_t seed, SessionSimArena& arena,
+                        telemetry::NodeLog& out) {
+  NodeLog& log = out;
+  log.clear();
+  log.reserve_starts(plan.sessions.size());
+  log.reserve_ends(plan.sessions.size());
+  log.reserve_alloc_fails(plan.failures.size());
   RngStream rng(seed, /*stream_id=*/0x5E55,
                 static_cast<std::uint64_t>(cluster::node_index(node)));
   const TempSampler temp{&config, node, overheating, &rng};
 
-  faults::sort_events(events);
+  faults::sort_event_ptrs(arena.ptrs);
 
   // A transient belongs to exactly one session; stuck faults (few) are
   // checked against every session they overlap.
-  std::vector<const FaultEvent*> transients;
-  std::vector<const FaultEvent*> stucks;
-  transients.reserve(events.size());
-  for (const auto& ev : events) {
-    (ev.persistence == Persistence::kTransient ? transients : stucks)
-        .push_back(&ev);
+  std::vector<const FaultEvent*>& transients = arena.transients;
+  std::vector<const FaultEvent*>& stucks = arena.stucks;
+  transients.clear();
+  stucks.clear();
+  transients.reserve(arena.ptrs.size());
+  for (const FaultEvent* ev : arena.ptrs) {
+    (ev->persistence == Persistence::kTransient ? transients : stucks)
+        .push_back(ev);
   }
 
   for (const auto& failure : plan.failures) {
@@ -209,6 +232,42 @@ telemetry::NodeLog simulate_node(const SessionSimConfig& config,
   }
 
   log.sort_by_time();
+}
+
+}  // namespace
+
+void simulate_node_into(const SessionSimConfig& config, cluster::NodeId node,
+                        const sched::ScanPlan& plan, bool overheating,
+                        std::uint64_t seed, SessionSimArena& arena,
+                        telemetry::NodeLog& out) {
+  arena.ptrs.clear();
+  arena.ptrs.reserve(arena.events.size());
+  for (const FaultEvent& ev : arena.events) arena.ptrs.push_back(&ev);
+  simulate_node_core(config, node, plan, overheating, seed, arena, out);
+}
+
+void simulate_node_shared_into(const SessionSimConfig& config,
+                               cluster::NodeId node,
+                               const sched::ScanPlan& plan, bool overheating,
+                               std::uint64_t seed,
+                               std::span<const faults::FaultEvent> fleet,
+                               std::span<const std::uint32_t> indices,
+                               SessionSimArena& arena, telemetry::NodeLog& out) {
+  arena.ptrs.clear();
+  arena.ptrs.reserve(indices.size());
+  for (const std::uint32_t i : indices) arena.ptrs.push_back(&fleet[i]);
+  simulate_node_core(config, node, plan, overheating, seed, arena, out);
+}
+
+telemetry::NodeLog simulate_node(const SessionSimConfig& config,
+                                 cluster::NodeId node,
+                                 const sched::ScanPlan& plan,
+                                 std::vector<faults::FaultEvent> events,
+                                 bool overheating, std::uint64_t seed) {
+  SessionSimArena arena;
+  arena.events = std::move(events);
+  NodeLog log;
+  simulate_node_into(config, node, plan, overheating, seed, arena, log);
   return log;
 }
 

@@ -70,6 +70,7 @@ struct ShardPlan {
 CampaignSummary run_campaign_shard(const CampaignConfig& config,
                                    const ShardSpec& spec,
                                    const std::vector<telemetry::RecordSink*>& sinks,
-                                   std::size_t threads = 1);
+                                   std::size_t threads = 1,
+                                   const CampaignEmitOptions& emit = {});
 
 }  // namespace unp::sim

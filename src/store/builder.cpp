@@ -7,6 +7,7 @@
 #include <fstream>
 
 #include "common/require.hpp"
+#include "telemetry/kernels/kernels.hpp"
 
 namespace unp::store {
 
@@ -65,9 +66,13 @@ void StoreBuilder::set_extraction_meta(StoredExtractionMeta meta) {
 void StoreBuilder::flush_segment() {
   if (pending_.empty()) return;
   SegmentZone zone;
-  const std::string body = encode_segment(pending_, zone);
   zone.offset = data_.size();
-  data_ += body;
+  // Encode straight into the data section — no per-segment body string to
+  // allocate and copy.
+  encode_segment_into(pending_, zone, data_, arena_,
+                      encode_ != nullptr
+                          ? *encode_
+                          : telemetry::kernels::active_encode_kernels());
   zones_.push_back(zone);
   pending_.clear();
 }

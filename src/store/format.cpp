@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/require.hpp"
+#include "telemetry/kernels/kernels.hpp"
 
 namespace unp::store {
 
@@ -118,8 +119,10 @@ void unpack_bits(std::string_view in, std::size_t pos, std::size_t end,
                       kernels::active_store_kernels());
 }
 
-std::string encode_segment(std::span<const analysis::FaultRecord> rows,
-                           SegmentZone& zone) {
+void encode_segment_into(std::span<const analysis::FaultRecord> rows,
+                         SegmentZone& zone, std::string& out,
+                         SegmentEncodeArena& arena,
+                         const telemetry::kernels::EncodeKernels& encode) {
   UNP_REQUIRE(!rows.empty());
   zone.rows = static_cast<std::uint32_t>(rows.size());
 
@@ -144,99 +147,126 @@ std::string encode_segment(std::span<const analysis::FaultRecord> rows,
     zone.bits_max = std::max(zone.bits_max, bits);
   }
 
-  std::string out;
-  put_varint(out, rows.size());
+  const std::size_t n = rows.size();
+  const std::size_t base = out.size();
+  // Body bound: row count + 9 column prefixes (10 bytes each) + the widest
+  // per-row costs (six 10-byte varints, the dictionary, 9-byte temperature,
+  // packed bits).  Keeps every append below from reallocating `out`.
+  out.reserve(base + 128 + 96 * n);
+
+  std::string& column = arena.column;
+  std::vector<std::uint64_t>& values = arena.values;
+  // Column-body bound: the widest column is the node dictionary (count +
+  // per-entry deltas + packed indices).
+  column.reserve(16 + 11 * n);
+
+  put_varint(out, n);
 
   {  // node: dictionary of ascending distinct indices + packed row indices
-    std::string body;
-    std::vector<std::uint32_t> dict;
+    column.clear();
+    std::vector<std::uint32_t>& dict = arena.dict;
+    dict.clear();
     for (const auto& f : rows)
       dict.push_back(static_cast<std::uint32_t>(cluster::node_index(f.node)));
     std::sort(dict.begin(), dict.end());
     dict.erase(std::unique(dict.begin(), dict.end()), dict.end());
-    put_varint(body, dict.size());
+    put_varint(column, dict.size());
+    values.clear();
+    values.reserve(std::max(n, dict.size()));
     std::uint32_t previous = 0;
-    for (std::size_t i = 0; i < dict.size(); ++i) {
-      put_varint(body, dict[i] - previous);  // ascending: deltas >= 0
-      previous = dict[i];
+    for (const std::uint32_t d : dict) {
+      values.push_back(d - previous);  // ascending: deltas >= 0
+      previous = d;
     }
-    std::vector<std::uint64_t> indices;
-    indices.reserve(rows.size());
+    encode.encode_varints(values.data(), values.size(), column);
+    values.clear();
     for (const auto& f : rows) {
       const auto it = std::lower_bound(
           dict.begin(), dict.end(),
           static_cast<std::uint32_t>(cluster::node_index(f.node)));
-      indices.push_back(static_cast<std::uint64_t>(it - dict.begin()));
+      values.push_back(static_cast<std::uint64_t>(it - dict.begin()));
     }
-    pack_bits(body, indices, index_width(dict.size()));
-    append_column(out, body);
+    pack_bits(column, values, index_width(dict.size()));
+    append_column(out, column);
   }
-  {  // first_seen: zigzag delta varints
-    std::string body;
-    TimePoint previous = 0;
-    for (const auto& f : rows) {
-      put_varint(body, zigzag_encode(f.first_seen - previous));
-      previous = f.first_seen;
-    }
-    append_column(out, body);
+  {  // first_seen: zigzag delta varints (fused gather + batch kernel)
+    column.clear();
+    values.clear();
+    for (const auto& f : rows)
+      values.push_back(static_cast<std::uint64_t>(f.first_seen));
+    encode.encode_zigzag_deltas(values.data(), values.size(), 0, column);
+    append_column(out, column);
   }
   {  // last_seen: non-negative offset from first_seen
-    std::string body;
+    column.clear();
+    values.clear();
     for (const auto& f : rows) {
       UNP_REQUIRE(f.last_seen >= f.first_seen);
-      put_varint(body, static_cast<std::uint64_t>(f.last_seen - f.first_seen));
+      values.push_back(static_cast<std::uint64_t>(f.last_seen - f.first_seen));
     }
-    append_column(out, body);
+    encode.encode_varints(values.data(), values.size(), column);
+    append_column(out, column);
   }
   {  // raw_logs
-    std::string body;
-    for (const auto& f : rows) put_varint(body, f.raw_logs);
-    append_column(out, body);
+    column.clear();
+    values.clear();
+    for (const auto& f : rows) values.push_back(f.raw_logs);
+    encode.encode_varints(values.data(), values.size(), column);
+    append_column(out, column);
   }
   {  // address: zigzag delta varints
-    std::string body;
-    std::uint64_t previous = 0;
-    for (const auto& f : rows) {
-      put_varint(body, zigzag_encode(static_cast<std::int64_t>(
-                           f.virtual_address - previous)));
-      previous = f.virtual_address;
-    }
-    append_column(out, body);
+    column.clear();
+    values.clear();
+    for (const auto& f : rows) values.push_back(f.virtual_address);
+    encode.encode_zigzag_deltas(values.data(), values.size(), 0, column);
+    append_column(out, column);
   }
   {  // expected
-    std::string body;
-    for (const auto& f : rows) put_varint(body, f.expected);
-    append_column(out, body);
+    column.clear();
+    values.clear();
+    for (const auto& f : rows)
+      values.push_back(static_cast<std::uint64_t>(f.expected));
+    encode.encode_varints(values.data(), values.size(), column);
+    append_column(out, column);
   }
   {  // actual
-    std::string body;
-    for (const auto& f : rows) put_varint(body, f.actual);
-    append_column(out, body);
+    column.clear();
+    values.clear();
+    for (const auto& f : rows)
+      values.push_back(static_cast<std::uint64_t>(f.actual));
+    encode.encode_varints(values.data(), values.size(), column);
+    append_column(out, column);
   }
   {  // temperature: presence bitmap + raw f64 bits of present readings
-    std::string body;
-    std::vector<std::uint64_t> present;
-    present.reserve(rows.size());
+    column.clear();
+    values.clear();
     for (const auto& f : rows)
-      present.push_back(f.temperature_c == telemetry::kNoTemperature ? 0 : 1);
-    pack_bits(body, present, 1);
+      values.push_back(f.temperature_c == telemetry::kNoTemperature ? 0 : 1);
+    pack_bits(column, values, 1);
     for (const auto& f : rows) {
       if (f.temperature_c != telemetry::kNoTemperature)
-        put_f64(body, f.temperature_c);
+        put_f64(column, f.temperature_c);
     }
-    append_column(out, body);
+    append_column(out, column);
   }
   {  // class: 2-bit codes
-    std::string body;
-    std::vector<std::uint64_t> codes;
-    codes.reserve(rows.size());
+    column.clear();
+    values.clear();
     for (const auto& f : rows)
-      codes.push_back(static_cast<std::uint64_t>(classify_bits(f.flipped_bits())));
-    pack_bits(body, codes, 2);
-    append_column(out, body);
+      values.push_back(static_cast<std::uint64_t>(classify_bits(f.flipped_bits())));
+    pack_bits(column, values, 2);
+    append_column(out, column);
   }
 
-  zone.size = out.size();
+  zone.size = out.size() - base;
+}
+
+std::string encode_segment(std::span<const analysis::FaultRecord> rows,
+                           SegmentZone& zone) {
+  std::string out;
+  SegmentEncodeArena arena;
+  encode_segment_into(rows, zone, out, arena,
+                      telemetry::kernels::active_encode_kernels());
   return out;
 }
 

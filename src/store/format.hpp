@@ -138,10 +138,29 @@ void unpack_bits(std::string_view in, std::size_t pos, std::size_t end,
 
 // --- segment codec --------------------------------------------------------
 
+/// Reusable scratch for segment encoding: the gather buffers the batch
+/// encode kernels read from and the per-column body buffer.  One arena per
+/// builder; capacity persists across segments.
+struct SegmentEncodeArena {
+  std::vector<std::uint64_t> values;  ///< gathered column values
+  std::vector<std::uint32_t> dict;    ///< node dictionary scratch
+  std::string column;                 ///< reused column-body buffer
+};
+
 /// Encode `rows` (non-empty, canonical order) into a segment body and fill
 /// `zone` (offset/size are left to the directory writer).
 [[nodiscard]] std::string encode_segment(
     std::span<const analysis::FaultRecord> rows, SegmentZone& zone);
+
+/// Hot-path form of encode_segment: append the segment body to `out`
+/// directly (no body string to copy), running the varint columns through an
+/// explicit telemetry encode kernel set.  Sets zone.size to the body length;
+/// zone.offset is left to the caller.  Output is byte-identical to
+/// encode_segment for every kernel set.
+void encode_segment_into(std::span<const analysis::FaultRecord> rows,
+                         SegmentZone& zone, std::string& out,
+                         SegmentEncodeArena& arena,
+                         const telemetry::kernels::EncodeKernels& encode);
 
 /// Decode the columns selected by `columns` from the segment body at
 /// [pos, pos + zone.size) of `bytes`.  Unselected columns are skipped via

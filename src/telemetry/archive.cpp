@@ -50,18 +50,33 @@ double NodeLog::terabyte_hours() const noexcept {
   return tbh;
 }
 
+void NodeLog::append(const NodeLog& other) {
+  starts_.insert(starts_.end(), other.starts_.begin(), other.starts_.end());
+  ends_.insert(ends_.end(), other.ends_.begin(), other.ends_.end());
+  alloc_fails_.insert(alloc_fails_.end(), other.alloc_fails_.begin(),
+                      other.alloc_fails_.end());
+  error_runs_.insert(error_runs_.end(), other.error_runs_.begin(),
+                     other.error_runs_.end());
+}
+
 void NodeLog::sort_by_time() {
   // Stable so records sharing a timestamp (several addresses caught in one
   // scan pass) keep their stored order; parsing a serialized log must not
-  // permute ties.
+  // permute ties.  The simulator appends most categories in time order
+  // already, so check first: a stable sort of a sorted range is the
+  // identity, and skipping it skips stable_sort's scratch allocation too.
+  const auto sort_if_needed = [](auto& v, auto cmp) {
+    if (!std::is_sorted(v.begin(), v.end(), cmp)) {
+      std::stable_sort(v.begin(), v.end(), cmp);
+    }
+  };
   auto by_time = [](const auto& a, const auto& b) { return a.time < b.time; };
-  std::stable_sort(starts_.begin(), starts_.end(), by_time);
-  std::stable_sort(ends_.begin(), ends_.end(), by_time);
-  std::stable_sort(alloc_fails_.begin(), alloc_fails_.end(), by_time);
-  std::stable_sort(error_runs_.begin(), error_runs_.end(),
-                   [](const ErrorRun& a, const ErrorRun& b) {
-                     return a.first.time < b.first.time;
-                   });
+  sort_if_needed(starts_, by_time);
+  sort_if_needed(ends_, by_time);
+  sort_if_needed(alloc_fails_, by_time);
+  sort_if_needed(error_runs_, [](const ErrorRun& a, const ErrorRun& b) {
+    return a.first.time < b.first.time;
+  });
 }
 
 std::uint64_t CampaignArchive::total_raw_errors() const noexcept {

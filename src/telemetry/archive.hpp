@@ -55,6 +55,22 @@ class NodeLog {
   /// Sort all record vectors by time (builders normally append in order).
   void sort_by_time();
 
+  [[nodiscard]] bool empty() const noexcept {
+    return starts_.empty() && ends_.empty() && alloc_fails_.empty() &&
+           error_runs_.empty();
+  }
+
+  /// Drop all records but keep vector capacity — arena reuse across nodes.
+  void clear() noexcept {
+    starts_.clear();
+    ends_.clear();
+    alloc_fails_.clear();
+    error_runs_.clear();
+  }
+
+  /// Append every record of `other` in stored order.
+  void append(const NodeLog& other);
+
  private:
   std::vector<StartRecord> starts_;
   std::vector<EndRecord> ends_;
@@ -79,6 +95,12 @@ class CampaignArchive final : public RecordSink {
     log(r.node).add_alloc_fail(r);
   }
   void on_error_run(const ErrorRun& r) override { log(r.first.node).add_error_run(r); }
+  // Bulk path: splice the node's whole log in one append instead of one
+  // virtual call per record.  Leaves wants_encoded_node_log() false — the
+  // archive routes records, so the producer never encodes bytes for it.
+  void on_node_log(EncodedNodeLog& enc) override {
+    log(enc.node()).append(enc.log());
+  }
 
   [[nodiscard]] NodeLog& log(cluster::NodeId id) {
     return logs_[static_cast<std::size_t>(cluster::node_index(id))];

@@ -7,6 +7,7 @@
 
 #include "common/require.hpp"
 #include "telemetry/binary_codec.hpp"
+#include "telemetry/kernels/kernels.hpp"
 
 namespace unp::telemetry {
 
@@ -63,7 +64,10 @@ std::string read_exact(std::istream& is, std::uint64_t size) {
 
 }  // namespace
 
-ArchiveWriter::ArchiveWriter(std::ostream& os) : os_(&os) {}
+ArchiveWriter::ArchiveWriter(std::ostream& os,
+                             const kernels::EncodeKernels* encode)
+    : os_(&os),
+      encode_(encode != nullptr ? encode : &kernels::active_encode_kernels()) {}
 
 void ArchiveWriter::begin_campaign(const CampaignWindow& window) {
   UNP_REQUIRE(!header_written_);
@@ -78,7 +82,8 @@ void ArchiveWriter::begin_campaign(const CampaignWindow& window) {
 void ArchiveWriter::begin_node(cluster::NodeId node) {
   UNP_REQUIRE(header_written_ && !finished_ && !node_open_);
   (void)node;
-  pending_ = NodeLog{};
+  pending_.clear();  // keep capacity across frames
+  bulk_ = false;
   node_open_ = true;
 }
 
@@ -102,20 +107,37 @@ void ArchiveWriter::on_error_run(const ErrorRun& r) {
   pending_.add_error_run(r);
 }
 
-void ArchiveWriter::end_node(cluster::NodeId node) {
-  UNP_REQUIRE(node_open_);
-  node_open_ = false;
-  // Empty frames are elided, mirroring encode_archive's non-empty-only rule.
-  if (pending_.starts().empty() && pending_.ends().empty() &&
-      pending_.alloc_fails().empty() && pending_.error_runs().empty()) {
-    return;
-  }
-  write_varint(*os_, static_cast<std::uint64_t>(cluster::node_index(node)));
-  const std::string body = encode_node_log(pending_);
+void ArchiveWriter::on_node_log(EncodedNodeLog& log) {
+  // A bulk frame replaces the per-record collection: no records may have
+  // been pushed into this frame already, and none may follow.
+  UNP_REQUIRE(node_open_ && pending_.empty());
+  bulk_ = true;
+  if (log.empty()) return;  // empty frames are elided
+  write_varint(*os_,
+               static_cast<std::uint64_t>(cluster::node_index(log.node())));
+  const std::string& body = log.bytes();
   write_varint(*os_, body.size());
   os_->write(body.data(), static_cast<std::streamsize>(body.size()));
   UNP_REQUIRE(os_->good());
-  pending_ = NodeLog{};
+  ++frames_;
+}
+
+void ArchiveWriter::end_node(cluster::NodeId node) {
+  UNP_REQUIRE(node_open_);
+  node_open_ = false;
+  if (bulk_) {  // frame already written (or elided) by on_node_log
+    bulk_ = false;
+    return;
+  }
+  // Empty frames are elided, mirroring encode_archive's non-empty-only rule.
+  if (pending_.empty()) return;
+  write_varint(*os_, static_cast<std::uint64_t>(cluster::node_index(node)));
+  body_.clear();
+  encode_node_log_into(pending_, body_, *encode_, &arena_);
+  write_varint(*os_, body_.size());
+  os_->write(body_.data(), static_cast<std::streamsize>(body_.size()));
+  UNP_REQUIRE(os_->good());
+  pending_.clear();
   ++frames_;
 }
 
@@ -180,9 +202,15 @@ void ArchiveReader::drain(RecordSink& sink) {
   sink.begin_campaign(window_);
   cluster::NodeId node;
   NodeLog log;
+  std::string scratch;
+  EncodeArena arena;
+  const auto& kernels = kernels::active_encode_kernels();
   while (next(node, log)) {
     sink.begin_node(node);
-    replay_node_log(log, sink);
+    // Bulk delivery: record-oriented sinks replay (same stream as before),
+    // byte-oriented sinks re-encode once into the reused scratch buffer.
+    EncodedNodeLog enc(node, log, scratch, kernels, &arena);
+    sink.on_node_log(enc);
     sink.end_node(node);
   }
   sink.end_campaign();
@@ -193,10 +221,14 @@ void save_archive_stream(const CampaignArchive& archive, const std::string& path
   UNP_REQUIRE(os.good());
   ArchiveWriter writer(os);
   writer.begin_campaign(archive.window());
+  std::string scratch;
+  EncodeArena arena;
+  const auto& kernels = kernels::active_encode_kernels();
   for (int i = 0; i < cluster::kStudyNodeSlots; ++i) {
     const cluster::NodeId node = cluster::node_from_index(i);
     writer.begin_node(node);
-    replay_node_log(archive.log(node), writer);
+    EncodedNodeLog enc(node, archive.log(node), scratch, kernels, &arena);
+    writer.on_node_log(enc);
     writer.end_node(node);
   }
   writer.finish();

@@ -39,7 +39,10 @@ namespace unp::telemetry {
 class ArchiveWriter final : public RecordSink {
  public:
   /// Writes to `os` (binary mode), starting at its current position.
-  explicit ArchiveWriter(std::ostream& os);
+  /// `encode` selects the encode kernel set (byte-identical output across
+  /// sets); defaults to the process-wide active set.
+  explicit ArchiveWriter(std::ostream& os,
+                         const kernels::EncodeKernels* encode = nullptr);
 
   void begin_campaign(const CampaignWindow& window) override;
   void begin_node(cluster::NodeId node) override;
@@ -50,6 +53,12 @@ class ArchiveWriter final : public RecordSink {
   void end_node(cluster::NodeId node) override;
   void end_campaign() override { finish(); }
 
+  /// Bulk path: the frame body is spliced from the already-encoded node log
+  /// (encoded at most once per node, possibly in a producer worker thread),
+  /// skipping the per-record collection into pending_ entirely.
+  void on_node_log(EncodedNodeLog& log) override;
+  [[nodiscard]] bool wants_encoded_node_log() const override { return true; }
+
   /// Write the end frame.  Idempotent; called by end_campaign.
   void finish();
 
@@ -57,8 +66,12 @@ class ArchiveWriter final : public RecordSink {
 
  private:
   std::ostream* os_;
+  const kernels::EncodeKernels* encode_;
   NodeLog pending_;      ///< records of the currently open node frame
+  std::string body_;     ///< reused frame-body encode buffer
+  EncodeArena arena_;    ///< reused gather scratch for batch kernels
   bool node_open_ = false;
+  bool bulk_ = false;    ///< current frame arrived via on_node_log
   bool header_written_ = false;
   bool finished_ = false;
   std::uint64_t frames_ = 0;

@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "common/require.hpp"
+#include "telemetry/kernels/kernels.hpp"
 
 namespace unp::telemetry {
 
@@ -13,15 +14,6 @@ namespace {
 
 constexpr char kMagic[4] = {'U', 'N', 'P', 'A'};
 constexpr std::uint8_t kVersion = 1;
-
-void put_temp(std::string& out, double celsius) {
-  if (!has_temperature(celsius)) {
-    out.push_back('\0');
-    return;
-  }
-  out.push_back('\1');
-  put_f64(out, celsius);
-}
 
 double get_temp(const std::string& in, std::size_t& pos) {
   if (pos >= in.size()) throw DecodeError("truncated temperature flag", pos);
@@ -31,14 +23,11 @@ double get_temp(const std::string& in, std::size_t& pos) {
   return flag == 0 ? kNoTemperature : get_f64(in, pos);
 }
 
-/// Delta-encoded timestamp writer/reader per section.
+/// Delta-encoded timestamp reader per section (the encode side runs through
+/// the kernel-backed encode_node_log_into).
 struct TimeDelta {
   TimePoint previous = 0;
 
-  void put(std::string& out, TimePoint t) {
-    put_varint(out, zigzag_encode(t - previous));
-    previous = t;
-  }
   TimePoint get(const std::string& in, std::size_t& pos) {
     previous += zigzag_decode(get_varint(in, pos));
     return previous;
@@ -94,45 +83,92 @@ std::uint64_t get_varint(std::string_view in, std::size_t& pos) {
   }
 }
 
-std::string encode_node_log(const NodeLog& log) {
-  std::string out;
+std::size_t node_log_encoded_bound(const NodeLog& log) noexcept {
+  // Section counts: 4 varints.  START: time + bytes varints, temp flag+f64.
+  // END: time varint, temp.  ALLOCFAIL: time varint.  RUN: six varints,
+  // temp, period, count.
+  return 4 * 10 + log.starts().size() * (10 + 10 + 9) +
+         log.ends().size() * (10 + 9) + log.alloc_fails().size() * 10 +
+         log.error_runs().size() * (6 * 10 + 9 + 10);
+}
+
+void encode_node_log_into(const NodeLog& log, std::string& out,
+                          const kernels::EncodeKernels& kernels,
+                          EncodeArena* arena) {
+  // Pre-size to the record-count bound so no append below reallocates.
+  out.reserve(out.size() + node_log_encoded_bound(log));
+
+  kernels::VarintWriter w(out, kernels);
+  const auto temp = [&w](double celsius) {
+    if (!has_temperature(celsius)) {
+      w.byte('\0');
+      return;
+    }
+    w.byte('\1');
+    w.f64(celsius);
+  };
 
   {  // STARTs
-    put_varint(out, log.starts().size());
-    TimeDelta td;
+    w.varint(log.starts().size());
+    TimePoint previous = 0;
     for (const auto& r : log.starts()) {
-      td.put(out, r.time);
-      put_varint(out, r.allocated_bytes);
-      put_temp(out, r.temperature_c);
+      w.varint(zigzag_encode(r.time - previous));
+      previous = r.time;
+      w.varint(r.allocated_bytes);
+      temp(r.temperature_c);
     }
   }
   {  // ENDs
-    put_varint(out, log.ends().size());
-    TimeDelta td;
+    w.varint(log.ends().size());
+    TimePoint previous = 0;
     for (const auto& r : log.ends()) {
-      td.put(out, r.time);
-      put_temp(out, r.temperature_c);
+      w.varint(zigzag_encode(r.time - previous));
+      previous = r.time;
+      temp(r.temperature_c);
     }
   }
-  {  // ALLOCFAILs
-    put_varint(out, log.alloc_fails().size());
-    TimeDelta td;
-    for (const auto& r : log.alloc_fails()) td.put(out, r.time);
+  {  // ALLOCFAILs — a pure timestamp run, the one section the fused
+     // zigzag-delta batch kernel can take whole.  Bytes match the writer
+     // loop exactly (the batch kernel is the same delta chain from base 0).
+    const auto& fails = log.alloc_fails();
+    w.varint(fails.size());
+    if (arena != nullptr && fails.size() >= 4) {
+      auto& times = arena->scratch;
+      times.clear();
+      times.reserve(fails.size());
+      for (const auto& r : fails)
+        times.push_back(static_cast<std::uint64_t>(r.time));
+      w.flush();  // order the buffered bytes before the direct append
+      kernels.encode_zigzag_deltas(times.data(), times.size(), 0, out);
+    } else {
+      TimePoint previous = 0;
+      for (const auto& r : fails) {
+        w.varint(zigzag_encode(r.time - previous));
+        previous = r.time;
+      }
+    }
   }
   {  // ERROR runs
-    put_varint(out, log.error_runs().size());
-    TimeDelta td;
+    w.varint(log.error_runs().size());
+    TimePoint previous = 0;
     for (const auto& run : log.error_runs()) {
-      td.put(out, run.first.time);
-      put_varint(out, run.first.virtual_address);
-      put_varint(out, run.first.expected);
-      put_varint(out, run.first.actual);
-      put_temp(out, run.first.temperature_c);
-      put_varint(out, run.first.physical_page);
-      put_varint(out, static_cast<std::uint64_t>(run.period_s));
-      put_varint(out, run.count);
+      w.varint(zigzag_encode(run.first.time - previous));
+      previous = run.first.time;
+      w.varint(run.first.virtual_address);
+      w.varint(run.first.expected);
+      w.varint(run.first.actual);
+      temp(run.first.temperature_c);
+      w.varint(run.first.physical_page);
+      w.varint(static_cast<std::uint64_t>(run.period_s));
+      w.varint(run.count);
     }
   }
+  // w flushes on scope exit.
+}
+
+std::string encode_node_log(const NodeLog& log) {
+  std::string out;
+  encode_node_log_into(log, out, kernels::active_encode_kernels());
   return out;
 }
 
@@ -216,9 +252,14 @@ std::string encode_archive(const CampaignArchive& archive) {
     }
   }
   put_varint(out, nodes.size());
+  const auto& kernels = kernels::active_encode_kernels();
+  std::string body;
+  EncodeArena arena;
   for (const int i : nodes) {
     put_varint(out, static_cast<std::uint64_t>(i));
-    const std::string body = encode_node_log(archive.log(cluster::node_from_index(i)));
+    body.clear();
+    encode_node_log_into(archive.log(cluster::node_from_index(i)), body,
+                         kernels, &arena);
     put_varint(out, body.size());
     out += body;
   }

@@ -1,0 +1,74 @@
+// Runtime dispatch for the encode kernel sets, plus the growth-counting
+// append choke point and the VarintWriter spill path.  ISA resolution
+// (cpuid/HWCAP plus the UNP_KERNEL override) lives in common/simd_dispatch
+// and is shared with the scanner and store kernels, so one process-wide
+// decision governs all three families.
+#include "telemetry/kernels/kernel_table.hpp"
+
+#include <atomic>
+
+#include "common/require.hpp"
+
+namespace unp::telemetry::kernels {
+
+namespace {
+
+std::atomic<std::uint64_t> g_growth_count{0};
+
+}  // namespace
+
+void kernel_append(std::string& out, const char* data, std::size_t size) {
+  if (out.size() + size > out.capacity())
+    g_growth_count.fetch_add(1, std::memory_order_relaxed);
+  out.append(data, size);
+}
+
+std::uint64_t encode_growth_count() noexcept {
+  return g_growth_count.load(std::memory_order_relaxed);
+}
+
+void reset_encode_growth_count() noexcept {
+  g_growth_count.store(0, std::memory_order_relaxed);
+}
+
+void VarintWriter::f64(double value) {
+  ensure(8);
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof bits);
+  // LSB-first byte order, matching put_f64/get_f64 on any host endianness.
+  for (int i = 0; i < 8; ++i)
+    buffer_[used_++] = static_cast<char>((bits >> (8 * i)) & 0xFF);
+}
+
+void VarintWriter::flush() {
+  if (used_ == 0) return;
+  kernel_append(*out_, buffer_, used_);
+  used_ = 0;
+}
+
+const EncodeKernels& encode_kernels_for(Isa isa) {
+  UNP_REQUIRE(simd::is_supported(isa));
+  switch (isa) {
+    case Isa::kScalar:
+      return scalar_encode_kernel_set();
+#if defined(__x86_64__) || defined(_M_X64)
+    case Isa::kSse2:
+      return sse2_encode_kernel_set();
+    case Isa::kAvx2:
+      return avx2_encode_kernel_set();
+#endif
+#if defined(__aarch64__)
+    case Isa::kNeon:
+      return neon_encode_kernel_set();
+#endif
+    default:
+      return scalar_encode_kernel_set();  // unreachable past the UNP_REQUIRE
+  }
+}
+
+const EncodeKernels& active_encode_kernels() {
+  static const EncodeKernels& active = encode_kernels_for(simd::active_isa());
+  return active;
+}
+
+}  // namespace unp::telemetry::kernels

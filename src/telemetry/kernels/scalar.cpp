@@ -1,0 +1,67 @@
+// Scalar encode kernels: the portable correctness oracle.
+//
+// encode_varint_scalar is put_varint's loop writing into a caller buffer —
+// deliberately, so the canonical LEB128 byte sequence is defined in exactly
+// one place and every vector path is measured against it.  The batch forms
+// run that loop per value and spill through kernel_append, so the growth
+// counter sees the same traffic on every ISA.
+#include "telemetry/kernels/kernel_table.hpp"
+
+namespace unp::telemetry::kernels {
+
+std::size_t encode_varint_scalar(std::uint64_t value, char* dst) {
+  std::size_t n = 0;
+  while (value >= 0x80) {
+    dst[n++] = static_cast<char>((value & 0x7F) | 0x80);
+    value >>= 7;
+  }
+  dst[n++] = static_cast<char>(value);
+  return n;
+}
+
+namespace {
+
+void encode_varints_scalar(const std::uint64_t* values, std::size_t count,
+                           std::string& out) {
+  char buffer[kEncodeBlock + 16];
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (used > kEncodeBlock - 16) {
+      kernel_append(out, buffer, used);
+      used = 0;
+    }
+    used += encode_varint_scalar(values[i], buffer + used);
+  }
+  if (used != 0) kernel_append(out, buffer, used);
+}
+
+void encode_zigzag_deltas_scalar(const std::uint64_t* values, std::size_t count,
+                                 std::uint64_t base, std::string& out) {
+  char buffer[kEncodeBlock + 16];
+  std::size_t used = 0;
+  std::uint64_t prev = base;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (used > kEncodeBlock - 16) {
+      kernel_append(out, buffer, used);
+      used = 0;
+    }
+    used += encode_varint_scalar(zigzag_u64(values[i] - prev), buffer + used);
+    prev = values[i];
+  }
+  if (used != 0) kernel_append(out, buffer, used);
+}
+
+}  // namespace
+
+const EncodeKernels& scalar_encode_kernel_set() noexcept {
+  static constexpr EncodeKernels kSet{
+      Isa::kScalar,
+      "scalar",
+      encode_varint_scalar,
+      encode_varints_scalar,
+      encode_zigzag_deltas_scalar,
+  };
+  return kSet;
+}
+
+}  // namespace unp::telemetry::kernels

@@ -33,12 +33,72 @@
 //     either keep per-node clocks or defer the merge to end_campaign().
 #pragma once
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "common/civil_time.hpp"
 #include "telemetry/record.hpp"
 
 namespace unp::telemetry {
 
 class NodeLog;
+class RecordSink;
+
+namespace kernels {
+struct EncodeKernels;
+}  // namespace kernels
+
+/// Reusable scratch for the encode hot path: gather buffers the batch
+/// kernels read from.  One arena per producer thread; capacity persists
+/// across node logs so steady-state encoding allocates nothing.
+struct EncodeArena {
+  std::vector<std::uint64_t> scratch;
+};
+
+/// A node's whole log plus its (lazily produced) UNPA body encoding.
+///
+/// The bulk streaming path hands one of these per node to sinks instead of
+/// replaying records one virtual call at a time.  Byte-oriented sinks
+/// (ArchiveWriter) splice `bytes()` straight into their frame — the body is
+/// encoded exactly once per node, in the producer worker when the driver
+/// pre-encodes, and never re-encoded per sink.  Record-oriented sinks
+/// (CampaignArchive, extractors) read `log()` and never pay for encoding:
+/// `bytes()` only encodes on first call.
+class EncodedNodeLog {
+ public:
+  /// `scratch` is caller-owned storage for the encoded body (an arena slot
+  /// reused across nodes); `pre_encoded` asserts it already holds exactly
+  /// the body for `log` under `kernels`.
+  EncodedNodeLog(cluster::NodeId node, const NodeLog& log, std::string& scratch,
+                 const kernels::EncodeKernels& kernels,
+                 EncodeArena* arena = nullptr, bool pre_encoded = false) noexcept
+      : node_(node),
+        log_(&log),
+        scratch_(&scratch),
+        kernels_(&kernels),
+        arena_(arena),
+        encoded_(pre_encoded) {}
+
+  [[nodiscard]] cluster::NodeId node() const noexcept { return node_; }
+  [[nodiscard]] const NodeLog& log() const noexcept { return *log_; }
+
+  /// The UNPA node-log body (encode_node_log bytes).  Encodes on first call,
+  /// then returns the cached bytes.
+  [[nodiscard]] const std::string& bytes();
+
+  /// True when the log holds no records (its encoded body would still be the
+  /// four zero section counts, but writers skip the frame entirely).
+  [[nodiscard]] bool empty() const noexcept;
+
+ private:
+  cluster::NodeId node_;
+  const NodeLog* log_;
+  std::string* scratch_;
+  const kernels::EncodeKernels* kernels_;
+  EncodeArena* arena_;
+  bool encoded_;
+};
 
 /// Consumer of a campaign record stream.
 class RecordSink {
@@ -55,6 +115,17 @@ class RecordSink {
   virtual void on_end(const EndRecord& r) = 0;
   virtual void on_alloc_fail(const AllocFailRecord& r) = 0;
   virtual void on_error_run(const ErrorRun& r) = 0;
+
+  /// Bulk path: the producer may deliver a node's whole log between
+  /// begin_node and end_node as one call instead of per-record ones.  The
+  /// default replays the log through the per-record interface, so existing
+  /// sinks see an identical stream; byte-oriented sinks override this (and
+  /// wants_encoded_node_log) to consume the encoded body directly.
+  virtual void on_node_log(EncodedNodeLog& log);
+
+  /// True when this sink consumes `bytes()` of bulk node logs — a hint that
+  /// lets producers pre-encode bodies in parallel workers.
+  [[nodiscard]] virtual bool wants_encoded_node_log() const { return false; }
 };
 
 /// Broadcast one stream to several sinks (archive + spill file + extractor
@@ -87,6 +158,14 @@ class FanOutSink final : public RecordSink {
   }
   void on_error_run(const ErrorRun& r) override {
     for (auto* s : sinks_) s->on_error_run(r);
+  }
+  void on_node_log(EncodedNodeLog& log) override {
+    for (auto* s : sinks_) s->on_node_log(log);
+  }
+  [[nodiscard]] bool wants_encoded_node_log() const override {
+    for (const auto* s : sinks_)
+      if (s->wants_encoded_node_log()) return true;
+    return false;
   }
 
  private:
